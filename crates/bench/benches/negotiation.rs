@@ -1,0 +1,38 @@
+//! Criterion: adaptation-proxy negotiation cost — cache hit vs. full path
+//! search (the compute component of Figure 9(a)).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fractal_core::presets::ClientClass;
+use fractal_core::server::AdaptiveContentMode;
+use fractal_core::testbed::Testbed;
+
+fn bench_negotiation(c: &mut Criterion) {
+    let env = ClientClass::PdaBluetooth.env();
+
+    c.bench_function("negotiate_cache_miss", |b| {
+        b.iter_batched(
+            || Testbed::case_study(AdaptiveContentMode::Reactive),
+            |mut tb| tb.proxy.negotiate(tb.app_id, env).unwrap(),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    tb.proxy.negotiate(tb.app_id, env).unwrap();
+    c.bench_function("negotiate_cache_hit", |b| {
+        b.iter(|| tb.proxy.negotiate(tb.app_id, std::hint::black_box(env)).unwrap())
+    });
+
+    c.bench_function("app_meta_push", |b| {
+        let artifacts: Vec<_> = fractal_protocols::ProtocolId::PAPER_FOUR
+            .iter()
+            .map(|&p| (p, fractal_crypto::sha1::sha1(p.slug().as_bytes()), 2000u32))
+            .collect();
+        let meta =
+            fractal_core::presets::case_study_app_meta(fractal_core::meta::AppId(1), &artifacts);
+        b.iter(|| tb.proxy.push_app_meta(std::hint::black_box(&meta)))
+    });
+}
+
+criterion_group!(benches, bench_negotiation);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Criterion: wall-clock cost of the Figure 9(b) batch-retrieval
+//! simulation itself (the processor-sharing pipe and routing are the hot
+//! paths of the capacity experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fractal_bench::fig9b::Fixture;
+
+fn bench_retrieval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("retrieve_batch");
+    group.sample_size(20);
+    for n in [50usize, 300] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter_batched(
+                Fixture::new,
+                |mut fx| fx.run_point(n),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_retrieval);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Criterion: the adaptation path search (Figure 6 algorithm) on PATs of
+//! growing size — the "efficiency of the adaptation path search algorithm"
+//! the paper credits for Figure 9(a)'s flatness.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fractal_core::meta::{AppId, PadId, PadMeta, PadOverhead};
+use fractal_core::overhead::OverheadModel;
+use fractal_core::pat::Pat;
+use fractal_core::presets::ClientClass;
+use fractal_core::ratio::Ratios;
+use fractal_core::search::search;
+use fractal_protocols::ProtocolId;
+
+fn pad(id: u64) -> PadMeta {
+    PadMeta {
+        id: PadId(id),
+        protocol: ProtocolId::Direct,
+        size: 1000,
+        overhead: PadOverhead {
+            server_ms_per_mb: (id % 13) as f64 * 50.0,
+            client_ms_per_mb: (id % 7) as f64 * 100.0,
+            traffic_ratio: 0.2 + (id % 5) as f64 * 0.2,
+        },
+        digest: fractal_crypto::sha1::sha1(&id.to_le_bytes()),
+        url: String::new(),
+        parent: None,
+        children: vec![],
+    }
+}
+
+/// Builds a PAT with `width` level-1 nodes, each with `width` children.
+fn build_pat(width: u64) -> Pat {
+    let mut pat = Pat::new(AppId(1));
+    let mut next = 1u64;
+    for _ in 0..width {
+        let parent = next;
+        pat.insert(pad(parent), None).unwrap();
+        next += 1;
+        for _ in 0..width {
+            pat.insert(pad(next), Some(PadId(parent))).unwrap();
+            next += 1;
+        }
+    }
+    pat
+}
+
+fn bench_search(c: &mut Criterion) {
+    let model = OverheadModel::paper(Ratios::linear());
+    let env = ClientClass::LaptopWlan.env();
+    let mut group = c.benchmark_group("path_search");
+    for width in [2u64, 8, 16, 32] {
+        let pat = build_pat(width);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}nodes", pat.len())),
+            &pat,
+            |b, pat| b.iter(|| search(std::hint::black_box(pat), &model, &env, 1_000_000).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

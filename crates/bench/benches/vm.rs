@@ -1,0 +1,64 @@
+//! Criterion: the mobile-code tax — FVM interpretation vs. native decode,
+//! plus the per-deployment costs (assemble, verify, sign-check,
+//! instantiate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fractal_core::server::codec_for;
+use fractal_crypto::sign::{SignerRegistry, TrustStore};
+use fractal_pads::artifact::{build_pad, open_unchecked, source_for};
+use fractal_pads::runtime::PadRuntime;
+use fractal_protocols::ProtocolId;
+use fractal_vm::{assemble, verify::verify_module, SandboxPolicy};
+use fractal_workload::mutate::EditProfile;
+use fractal_workload::PageSet;
+
+fn bench_vm_decode(c: &mut Criterion) {
+    let pages = PageSet::new(2005, 1);
+    let old = pages.original(0).to_bytes();
+    let new = pages.version(0, 1, EditProfile::Localized).to_bytes();
+    let signer = SignerRegistry::new().provision("bench");
+
+    let mut group = c.benchmark_group("vm_decode");
+    group.throughput(Throughput::Bytes(new.len() as u64));
+    for p in [ProtocolId::Gzip, ProtocolId::Bitmap, ProtocolId::VaryBlock] {
+        let codec = codec_for(p);
+        let payload = codec.encode(&old, &new);
+        let mut rt =
+            PadRuntime::new(open_unchecked(&build_pad(p, &signer)), SandboxPolicy::for_pads())
+                .unwrap();
+        group.bench_with_input(BenchmarkId::from_parameter(p.slug()), &p, |b, _| {
+            b.iter(|| rt.decode(std::hint::black_box(&old), std::hint::black_box(&payload)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_deployment_path(c: &mut Criterion) {
+    let mut reg = SignerRegistry::new();
+    let signer = reg.provision("bench");
+    let mut trust = TrustStore::new();
+    reg.export_trust(&mut trust);
+    let artifact = build_pad(ProtocolId::Gzip, &signer);
+    let wire = artifact.signed.to_wire();
+    let digest = artifact.digest();
+    let source = source_for(ProtocolId::Gzip);
+
+    c.bench_function("assemble_gzip_pad", |b| b.iter(|| assemble(std::hint::black_box(&source)).unwrap()));
+
+    let module = assemble(&source).unwrap();
+    c.bench_function("verify_gzip_pad", |b| b.iter(|| verify_module(std::hint::black_box(&module)).unwrap()));
+
+    c.bench_function("open_signed_pad", |b| {
+        b.iter(|| {
+            let signed = fractal_vm::SignedModule::from_wire(std::hint::black_box(&wire)).unwrap();
+            signed.open(&digest, &trust).unwrap()
+        })
+    });
+
+    c.bench_function("instantiate_pad", |b| {
+        b.iter(|| PadRuntime::new(module.clone(), SandboxPolicy::for_pads()).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_vm_decode, bench_deployment_path);
+criterion_main!(benches);

@@ -1,0 +1,138 @@
+//! Ablations called out in DESIGN.md:
+//!
+//! * **ratio matrices off** — the pure linear model mis-selects when a PAD
+//!   cannot run at all on the client's platform (the §3.4.2
+//!   WinMedia/Kinoma scenario reconstructed on the PAT);
+//! * **ρ sensitivity** — how the negotiated winner moves as the
+//!   application-level utilization factor varies over the paper's 0.6–0.8
+//!   band (and beyond).
+
+use fractal_core::meta::{AppId, OsType, PadId, PadMeta, PadOverhead};
+use fractal_core::overhead::OverheadModel;
+use fractal_core::pat::Pat;
+use fractal_core::presets::{case_study_app_meta, paper_ratios, ClientClass};
+use fractal_core::ratio::Ratios;
+use fractal_core::search::search;
+use fractal_crypto::sha1::sha1;
+use fractal_protocols::ProtocolId;
+
+/// Result of the ratio-matrix ablation.
+#[derive(Clone, Copy, Debug)]
+pub struct RatioAblation {
+    /// What the full model picks.
+    pub with_ratios: PadId,
+    /// What the pure linear model picks.
+    pub linear_only: PadId,
+    /// Whether the linear model picked a PAD that cannot run (the failure
+    /// the matrices exist to prevent).
+    pub linear_picked_infeasible: bool,
+}
+
+/// Reconstructs the WinMedia/Kinoma example on a PAT: two "player" PADs,
+/// where the linear model prefers the one that cannot run on the client's
+/// OS.
+pub fn ratio_ablation() -> RatioAblation {
+    let winmedia = PadId(100);
+    let kinoma = PadId(101);
+    let player = |id: PadId, client_ms: f64| PadMeta {
+        id,
+        protocol: ProtocolId::Direct,
+        size: 1000,
+        overhead: PadOverhead {
+            server_ms_per_mb: 0.0,
+            client_ms_per_mb: client_ms,
+            traffic_ratio: 1.0,
+        },
+        digest: sha1(&id.0.to_le_bytes()),
+        url: String::new(),
+        parent: None,
+        children: vec![],
+    };
+    let mut pat = Pat::new(AppId(50));
+    // Linear estimates: Kinoma looks 2.5× cheaper.
+    pat.insert(player(winmedia, 5000.0), None).unwrap();
+    pat.insert(player(kinoma, 2000.0), None).unwrap();
+
+    // Client: a WinCE Pocket PC.
+    let env = ClientClass::PdaBluetooth.env();
+
+    // Full model: Kinoma cannot run on WinCE (∞).
+    let mut ratios = Ratios::linear();
+    ratios.os.set(kinoma, OsType::WinCe42, f64::INFINITY);
+    let with = search(&pat, &OverheadModel::paper(ratios), &env, 1_000_000).unwrap();
+
+    // Pure linear model.
+    let linear =
+        search(&pat, &OverheadModel::paper(Ratios::linear()), &env, 1_000_000).unwrap();
+
+    RatioAblation {
+        with_ratios: with.pads[0],
+        linear_only: linear.pads[0],
+        linear_picked_infeasible: linear.pads[0] == kinoma,
+    }
+}
+
+/// One point of the ρ sweep.
+#[derive(Clone, Copy, Debug)]
+pub struct RhoPoint {
+    /// The utilization factor.
+    pub rho: f64,
+    /// Winner for the laptop at this ρ.
+    pub laptop_pick: ProtocolId,
+    /// Winner for the PDA at this ρ.
+    pub pda_pick: ProtocolId,
+}
+
+/// Sweeps ρ from 0.3 to 1.0, re-running the case-study negotiation.
+pub fn rho_sweep() -> Vec<RhoPoint> {
+    let artifacts: Vec<_> = ProtocolId::PAPER_FOUR
+        .iter()
+        .map(|&p| (p, sha1(p.slug().as_bytes()), 3000u32))
+        .collect();
+    let meta = case_study_app_meta(AppId(1), &artifacts);
+    let pat = Pat::from_app_meta(&meta);
+
+    (3..=10)
+        .map(|k| {
+            let rho = k as f64 / 10.0;
+            let model = OverheadModel::paper(paper_ratios()).with_rho(rho);
+            let pick = |class: ClientClass| {
+                let path = search(&pat, &model, &class.env(), 1_000_000).unwrap();
+                pat.meta(path.pads[0]).unwrap().protocol
+            };
+            RhoPoint {
+                rho,
+                laptop_pick: pick(ClientClass::LaptopWlan),
+                pda_pick: pick(ClientClass::PdaBluetooth),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_model_misselects_without_ratios() {
+        let r = ratio_ablation();
+        assert_eq!(r.with_ratios, PadId(100), "full model picks the runnable player");
+        assert!(r.linear_picked_infeasible, "linear model should fall into the trap");
+        assert_ne!(r.with_ratios, r.linear_only);
+    }
+
+    #[test]
+    fn rho_sweep_is_monotone_in_transmission_weight() {
+        let sweep = rho_sweep();
+        assert_eq!(sweep.len(), 8);
+        // At low ρ transmission dominates → low-traffic protocols win on
+        // slow links; the PDA never picks Direct anywhere in the band.
+        for p in &sweep {
+            assert_ne!(p.pda_pick, ProtocolId::Direct, "rho={}", p.rho);
+        }
+        // The paper's operating point (ρ=0.8) reproduces the headline picks.
+        let at08 = sweep.iter().find(|p| (p.rho - 0.8).abs() < 1e-9).unwrap();
+        assert_eq!(at08.laptop_pick, ProtocolId::Gzip);
+        assert_eq!(at08.pda_pick, ProtocolId::Bitmap);
+    }
+}

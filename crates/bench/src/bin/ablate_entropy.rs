@@ -1,0 +1,75 @@
+//! Ablation: the Gzip PAD's missing entropy stage.
+//!
+//! The paper's gzip is DEFLATE = LZ77 + Huffman; the shipped Gzip PAD uses
+//! the byte-aligned LZ77 token stream so the mobile-code decoder stays a
+//! bulk-copy loop. This ablation quantifies what the Huffman stage would
+//! buy in bytes — and what it costs in encode/decode compute — on the real
+//! workload.
+
+use std::time::Instant;
+
+use fractal_protocols::deflate::Deflate;
+use fractal_protocols::gzip::Gzip;
+use fractal_protocols::DiffCodec;
+use fractal_workload::mutate::EditProfile;
+use fractal_workload::PageSet;
+
+fn main() {
+    let n_pages: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
+    let pages = PageSet::new(2005, n_pages);
+    let contents: Vec<Vec<u8>> = (0..n_pages)
+        .map(|p| pages.version(p, 1, EditProfile::Localized).to_bytes())
+        .collect();
+    let total: usize = contents.iter().map(Vec::len).sum();
+
+    println!("Ablation: LZ77 alone vs LZ77+Huffman on {n_pages} pages ({} KB)\n", total / 1024);
+
+    for (name, codec) in [("gzip (LZ77 only)", &Gzip as &dyn DiffCodec), ("deflate (LZ77+Huffman)", &Deflate)] {
+        let t0 = Instant::now();
+        let payloads: Vec<Vec<u8>> = contents.iter().map(|c| codec.encode(&[], c)).collect();
+        let enc = t0.elapsed();
+        let t0 = Instant::now();
+        for (c, p) in contents.iter().zip(&payloads) {
+            assert_eq!(&codec.decode(&[], p).unwrap(), c);
+        }
+        let dec = t0.elapsed();
+        let wire: usize = payloads.iter().map(Vec::len).sum();
+        println!(
+            "{:<24} {:>8.1} KB wire ({:>4.1}%)   encode {:>7.1} ms   decode {:>7.1} ms",
+            name,
+            wire as f64 / 1024.0,
+            wire as f64 / total as f64 * 100.0,
+            enc.as_secs_f64() * 1000.0,
+            dec.as_secs_f64() * 1000.0,
+        );
+    }
+
+    // And prove the entropy-coded protocol still ships as mobile code:
+    // decode one page through the DEFLATE FVM PAD.
+    let signer = fractal_crypto::sign::SignerRegistry::new().provision("ablate");
+    let artifact = fractal_pads::artifact::build_deflate_pad(&signer);
+    let mut rt = fractal_pads::runtime::PadRuntime::new(
+        fractal_pads::artifact::open_unchecked(&artifact),
+        fractal_vm::SandboxPolicy::for_pads(),
+    )
+    .unwrap();
+    let payload = Deflate.encode(&[], &contents[0]);
+    let t0 = Instant::now();
+    let decoded = rt.decode(&[], &payload).unwrap();
+    let vm_time = t0.elapsed();
+    assert_eq!(decoded, contents[0]);
+    println!(
+        "\nDEFLATE as mobile code: {} byte PAD decoded a {} KB page in {:.1} ms\n\
+         ({} fuel) inside the sandbox.",
+        artifact.wire_len(),
+        contents[0].len() / 1024,
+        vm_time.as_secs_f64() * 1000.0,
+        rt.fuel_used(),
+    );
+
+    println!(
+        "\nThe entropy stage buys a further byte reduction but replaces the\n\
+         PAD decoder's bulk copies with bit-serial work — the trade the\n\
+         framework would weigh via the PAD's overhead profile."
+    );
+}

@@ -1,0 +1,22 @@
+//! Ablation: sensitivity of the negotiated winner to the application-level
+//! utilization factor ρ (the paper fixes ρ = 0.8; real deployments sit in
+//! 0.6–0.8).
+
+use fractal_bench::ablate::rho_sweep;
+use fractal_bench::report::render_table;
+
+fn main() {
+    println!("Ablation: negotiated winner vs utilization factor rho\n");
+    let rows: Vec<Vec<String>> = rho_sweep()
+        .into_iter()
+        .map(|p| {
+            vec![
+                format!("{:.1}", p.rho),
+                p.laptop_pick.name().to_string(),
+                p.pda_pick.name().to_string(),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["rho", "laptop pick", "PDA pick"], &rows));
+    println!("\nThe paper's operating point is rho = 0.8.");
+}

@@ -1,0 +1,47 @@
+//! Regenerates Figure 10: computing overhead per protocol per client
+//! configuration, panels (a)–(d).
+
+use fractal_bench::fig10::run_all;
+use fractal_bench::report::{ms, render_table};
+
+fn main() {
+    let n_pages = page_count();
+    println!("Figure 10: computing overhead (server + client) per protocol");
+    println!("workload: {n_pages} pages, warm sessions, localized edits\n");
+
+    for (i, panel) in run_all(n_pages).into_iter().enumerate() {
+        let label = ["(a)", "(b)", "(c)", "(d)"][i];
+        let mode = if panel.with_server_compute {
+            "with server-side computing"
+        } else {
+            "without server-side computing (proactive)"
+        };
+        println!("panel {label}: {} — {mode}", panel.class);
+        let rows: Vec<Vec<String>> = panel
+            .cells
+            .iter()
+            .map(|c| {
+                vec![
+                    c.protocol.name().to_string(),
+                    ms(c.server_compute),
+                    ms(c.client_compute),
+                    ms(c.server_compute + c.client_compute),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["protocol", "server (ms)", "client (ms)", "total compute (ms)"], &rows)
+        );
+        println!("negotiated (adaptive) protocol: {}\n", panel.adaptive_pick);
+    }
+    println!("paper expectation: vary-sized blocking's server compute dominates (a)-(c);");
+    println!("panel (d) PDA adaptive pick flips from Bitmap to Vary-sized blocking.");
+}
+
+fn page_count() -> u32 {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(75)
+}

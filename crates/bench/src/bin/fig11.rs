@@ -1,0 +1,52 @@
+//! Regenerates Figure 11: (a) bytes transferred, (b) total time with
+//! server-side computing, (c) total time without.
+
+use fractal_bench::fig11::run;
+use fractal_bench::report::{kb, render_table, secs};
+use fractal_core::presets::ClientClass;
+use fractal_protocols::ProtocolId;
+
+fn main() {
+    let n_pages = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(75);
+    println!("Figure 11 over {n_pages} pages (warm sessions, localized edits)\n");
+    let fig = run(n_pages);
+
+    println!("(a) bytes transferred per page (mean, up + down)");
+    let rows: Vec<Vec<String>> = fig
+        .bytes_per_protocol()
+        .into_iter()
+        .map(|(p, b)| vec![p.name().to_string(), kb(b)])
+        .collect();
+    println!("{}", render_table(&["protocol", "KB"], &rows));
+    println!("paper expectation: Direct most, Vary-sized least, Gzip/Bitmap between\n");
+
+    for (label, with_server) in [("(b) total time WITH server-side computing (s)", true),
+        ("(c) total time WITHOUT server-side computing (s)", false)]
+    {
+        println!("{label}");
+        let mut rows = Vec::new();
+        for p in ProtocolId::PAPER_FOUR {
+            let mut row = vec![p.name().to_string()];
+            for class in ClientClass::ALL {
+                let cell = if with_server {
+                    fig.cell_with(class, p)
+                } else {
+                    fig.cell_without(class, p)
+                };
+                row.push(secs(cell.total));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(&["protocol", "Desktop/LAN", "Laptop/WLAN", "PDA/BT"], &rows)
+        );
+        let picks = if with_server { &fig.picks_with } else { &fig.picks_without };
+        for (class, p) in picks {
+            println!("  adaptive pick for {class}: {p}");
+        }
+        println!();
+    }
+    println!("paper expectation: winners Direct/Gzip/Bitmap with server computing;");
+    println!("PDA winner becomes Vary-sized blocking without it.");
+}

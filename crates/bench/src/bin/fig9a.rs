@@ -1,0 +1,24 @@
+//! Regenerates Figure 9(a): average negotiation time vs. number of clients.
+
+use fractal_bench::fig9a::run_sweep;
+use fractal_bench::report::{ms, render_table};
+
+fn main() {
+    println!("Figure 9(a): average negotiation time vs number of clients (one proxy)");
+    println!("paper expectation: stays in a relatively stable range, with fluctuations\n");
+
+    let rows: Vec<Vec<String>> = run_sweep(true)
+        .into_iter()
+        .map(|p| {
+            vec![p.clients.to_string(), ms(p.mean_negotiation), p.cache_hits.to_string()]
+        })
+        .collect();
+    println!("{}", render_table(&["clients", "mean negotiation (ms)", "cache hits"], &rows));
+
+    println!("ablation: adaptation cache disabled");
+    let rows: Vec<Vec<String>> = run_sweep(false)
+        .into_iter()
+        .map(|p| vec![p.clients.to_string(), ms(p.mean_negotiation)])
+        .collect();
+    println!("{}", render_table(&["clients", "mean negotiation (ms)"], &rows));
+}

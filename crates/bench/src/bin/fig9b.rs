@@ -1,0 +1,26 @@
+//! Regenerates Figure 9(b): average PAD retrieval time, centralized vs.
+//! distributed PAD servers.
+
+use fractal_bench::fig9b::run_sweep;
+use fractal_bench::report::{ms, render_table};
+
+fn main() {
+    println!("Figure 9(b): average PAD retrieval time vs number of simultaneous clients");
+    println!("paper expectation: centralized climbs rapidly; distributed stays flat\n");
+
+    let rows: Vec<Vec<String>> = run_sweep()
+        .into_iter()
+        .map(|p| {
+            vec![
+                p.clients.to_string(),
+                ms(p.centralized),
+                ms(p.distributed),
+                format!("{:.1}x", p.centralized.as_secs_f64() / p.distributed.as_secs_f64()),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["clients", "centralized (ms)", "distributed (ms)", "ratio"], &rows)
+    );
+}

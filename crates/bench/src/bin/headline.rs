@@ -1,0 +1,41 @@
+//! Regenerates the headline claim: total communication overhead reduction
+//! of adaptive Fractal vs. no adaptation and vs. static adaptation.
+
+use fractal_bench::headline::run;
+use fractal_bench::report::{render_table, secs};
+
+fn main() {
+    let n_pages = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(75);
+    println!("Headline comparison over {n_pages} pages (warm sessions)\n");
+
+    let rows: Vec<Vec<String>> = run(n_pages)
+        .into_iter()
+        .map(|c| {
+            vec![
+                c.class.name().to_string(),
+                secs(c.none.total),
+                secs(c.fixed.total),
+                secs(c.adaptive.total),
+                c.picked.name().to_string(),
+                format!("{:.0}%", c.vs_none() * 100.0),
+                format!("{:.0}%", c.vs_fixed() * 100.0),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &[
+                "client",
+                "none (s)",
+                "static/vary (s)",
+                "adaptive (s)",
+                "picked",
+                "vs none",
+                "vs static"
+            ],
+            &rows
+        )
+    );
+    println!("\npaper claim: for some clients −41% vs no adaptation, −14% vs static.");
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 1 with live artifact vitals.
+
+use fractal_bench::report::render_table;
+use fractal_bench::table1::run;
+
+fn main() {
+    println!("Table 1: functions and implementations of the PADs\n");
+    let rows: Vec<Vec<String>> = run()
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.row.name.to_string(),
+                r.row.function.to_string(),
+                r.row.implementation.to_string(),
+                r.artifact_bytes.to_string(),
+                r.digest_short,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["PAD name", "Function", "Implementation", "bytes", "digest"], &rows)
+    );
+}

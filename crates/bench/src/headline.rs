@@ -1,0 +1,109 @@
+//! The headline claim: "For some clients, the total communication overhead
+//! reduces 41% compared with no protocol adaptation mechanism, and 14%
+//! compared with the static protocol adaptation approach."
+//!
+//! Three scenarios over the same workload (paper §4.4.2):
+//!
+//! * **No protocol adaptation** — every client talks Direct.
+//! * **Fixed (static) protocol adaptation** — "all clients always use one
+//!   protocol, Vary-sized blocking, to talk with the Web server without
+//!   the negotiation procedure".
+//! * **Adaptive** — full Fractal.
+
+use fractal_core::presets::ClientClass;
+use fractal_core::server::AdaptiveContentMode;
+use fractal_protocols::ProtocolId;
+
+use crate::workbench::{measure_adaptive, measure_protocol, CellReport};
+
+/// The comparison for one client class.
+#[derive(Clone, Copy, Debug)]
+pub struct Comparison {
+    /// Client class.
+    pub class: ClientClass,
+    /// The Direct-only scenario.
+    pub none: CellReport,
+    /// The static Vary-sized-blocking scenario.
+    pub fixed: CellReport,
+    /// Full Fractal.
+    pub adaptive: CellReport,
+    /// What Fractal picked.
+    pub picked: ProtocolId,
+}
+
+impl Comparison {
+    /// Relative reduction of adaptive vs. no adaptation (0.41 ≙ 41%).
+    pub fn vs_none(&self) -> f64 {
+        1.0 - self.adaptive.total.as_secs_f64() / self.none.total.as_secs_f64()
+    }
+
+    /// Relative reduction of adaptive vs. static adaptation.
+    pub fn vs_fixed(&self) -> f64 {
+        1.0 - self.adaptive.total.as_secs_f64() / self.fixed.total.as_secs_f64()
+    }
+}
+
+/// Runs the three scenarios for every class.
+pub fn run(n_pages: u32) -> Vec<Comparison> {
+    ClientClass::ALL
+        .iter()
+        .map(|&class| {
+            let none = measure_protocol(
+                class,
+                ProtocolId::Direct,
+                n_pages,
+                AdaptiveContentMode::Reactive,
+            );
+            let fixed = measure_protocol(
+                class,
+                ProtocolId::VaryBlock,
+                n_pages,
+                AdaptiveContentMode::Reactive,
+            );
+            let (adaptive, picked) =
+                measure_adaptive(class, n_pages, AdaptiveContentMode::Reactive, false);
+            Comparison { class, none, fixed, adaptive, picked }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn some_client_sees_large_reduction_vs_none() {
+        let comps = run(3);
+        // "For some clients" — the PDA on Bluetooth is the paper's best
+        // case. Tens of percent vs. no adaptation.
+        let best = comps.iter().map(|c| c.vs_none()).fold(f64::MIN, f64::max);
+        assert!(best > 0.30, "best reduction vs none was {best:.2}");
+    }
+
+    #[test]
+    fn some_client_sees_positive_reduction_vs_static() {
+        let comps = run(3);
+        let best = comps.iter().map(|c| c.vs_fixed()).fold(f64::MIN, f64::max);
+        assert!(best > 0.05, "best reduction vs static was {best:.2}");
+    }
+
+    #[test]
+    fn adaptive_never_loses_to_either_baseline() {
+        for c in run(3) {
+            assert!(
+                c.adaptive.total <= c.none.total,
+                "{}: adaptive {} worse than none {}",
+                c.class,
+                c.adaptive.total,
+                c.none.total
+            );
+            assert!(
+                c.adaptive.total <= c.fixed.total,
+                "{}: adaptive {} worse than fixed {}",
+                c.class,
+                c.adaptive.total,
+                c.fixed.total
+            );
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # fractal-bench
+//!
+//! The experiment harness: one module per table/figure of the paper's
+//! evaluation (§4.4), each regenerating the corresponding result from the
+//! simulated platform. The `bin/` targets print the series; the Criterion
+//! benches measure the real (wall-clock) cost of the hot paths.
+//!
+//! | Paper artifact | Module | Binary |
+//! |---|---|---|
+//! | Table 1 | [`table1`] | `table1` |
+//! | Figure 9(a) | [`fig9a`] | `fig9a` |
+//! | Figure 9(b) | [`fig9b`] | `fig9b` |
+//! | Figure 10(a–d) | [`fig10`] | `fig10` |
+//! | Figure 11(a–c) | [`fig11`] | `fig11` |
+//! | headline −41%/−14% | [`headline`] | `headline` |
+//! | ratio-matrix ablation | [`ablate`] | `ablate_ratio` |
+//! | ρ sensitivity | [`ablate`] | `ablate_rho` |
+//! | entropy-stage ablation | — | `ablate_entropy` |
+//! | server-capacity extension | [`capacity`] | `capacity` |
+//! | native-regime calibration | — | `calibrate` |
+//!
+//! Run everything: `cargo run --release -p fractal-bench --bin all`.
+
+#![forbid(unsafe_code)]
+
+pub mod ablate;
+pub mod capacity;
+pub mod fig10;
+pub mod fig11;
+pub mod fig9a;
+pub mod fig9b;
+pub mod headline;
+pub mod report;
+pub mod table1;
+pub mod workbench;

@@ -1,0 +1,290 @@
+//! Centralized vs. distributed PAD-server deployments and the batch
+//! retrieval simulation behind Figure 9(b).
+//!
+//! "We set up a centralized PAD server which holds all the PADs for the
+//! purpose of performance comparisons between centralized and distributed
+//! PAD servers" (§4.2). A [`Deployment`] is either that one server or a set
+//! of edge servers with closest-edge routing; [`Deployment::retrieve_batch`]
+//! computes per-client retrieval times when all clients download
+//! simultaneously, sharing each server's egress pipe.
+
+use fractal_crypto::Digest;
+use fractal_net::link::Link;
+use fractal_net::queue::{SharedPipe, Transfer};
+use fractal_net::time::{SimDuration, SimTime};
+use fractal_net::topology::{NodeId, Topology};
+
+use crate::edge::EdgeServer;
+use crate::origin::OriginStore;
+
+/// One client's PAD download request.
+#[derive(Clone, Debug)]
+pub struct RetrievalRequest {
+    /// Where the client sits in the topology.
+    pub client_node: NodeId,
+    /// The client's last-mile link (bounds its download rate).
+    pub last_mile: Link,
+    /// Content address to fetch.
+    pub digest: Digest,
+    /// When the download starts.
+    pub start: SimTime,
+}
+
+/// A PAD-serving deployment.
+pub enum Deployment {
+    /// One PAD server holds everything; every client hits it.
+    Centralized {
+        /// The server's topology position.
+        node: NodeId,
+        /// Server egress in bytes/second.
+        egress_bytes_per_sec: f64,
+    },
+    /// CDN edge servers with closest-edge routing.
+    Distributed {
+        /// The edges.
+        edges: Vec<EdgeServer>,
+    },
+}
+
+impl Deployment {
+    /// Human-readable label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Deployment::Centralized { .. } => "centralized",
+            Deployment::Distributed { .. } => "distributed",
+        }
+    }
+
+    /// Routes a request to the serving node.
+    pub fn route(&self, topo: &Topology, client: NodeId) -> NodeId {
+        match self {
+            Deployment::Centralized { node, .. } => *node,
+            Deployment::Distributed { edges } => {
+                let nodes: Vec<NodeId> = edges.iter().map(|e| e.node).collect();
+                topo.closest(client, &nodes).expect("deployment has ≥1 edge")
+            }
+        }
+    }
+
+    /// Simulates a batch of simultaneous downloads. Returns per-request
+    /// retrieval durations (aligned with `requests`).
+    ///
+    /// Model per request: wide-area RTT to the serving node, an origin
+    /// fetch penalty when a distributed edge misses its cache, then a
+    /// download bounded by *both* the server's shared egress pipe and the
+    /// client's own last-mile goodput (the slower governs).
+    pub fn retrieve_batch(
+        &self,
+        topo: &Topology,
+        origin: &OriginStore,
+        requests: &[RetrievalRequest],
+    ) -> Vec<SimDuration> {
+        // Group request indices per serving node.
+        let mut groups: Vec<(NodeId, Vec<usize>)> = Vec::new();
+        for (i, req) in requests.iter().enumerate() {
+            let server = self.route(topo, req.client_node);
+            match groups.iter_mut().find(|(n, _)| *n == server) {
+                Some((_, idxs)) => idxs.push(i),
+                None => groups.push((server, vec![i])),
+            }
+        }
+
+        let mut results = vec![SimDuration::ZERO; requests.len()];
+        for (server_node, idxs) in groups {
+            // Resolve object sizes (and miss penalties for edges).
+            let mut sizes = Vec::with_capacity(idxs.len());
+            let mut penalties = Vec::with_capacity(idxs.len());
+            let egress = match self {
+                Deployment::Centralized { egress_bytes_per_sec, .. } => *egress_bytes_per_sec,
+                Deployment::Distributed { edges } => {
+                    edges.iter().find(|e| e.node == server_node).expect("routed edge").egress_bytes_per_sec
+                }
+            };
+            for &i in &idxs {
+                let req = &requests[i];
+                let (size, miss) = match self {
+                    Deployment::Centralized { .. } => {
+                        let obj = origin.fetch(&req.digest).expect("origin holds all PADs");
+                        (obj.size(), false)
+                    }
+                    Deployment::Distributed { edges } => {
+                        let edge =
+                            edges.iter().find(|e| e.node == server_node).expect("routed edge");
+                        let (obj, miss) = edge
+                            .serve(&req.digest, origin)
+                            .expect("origin holds all PADs");
+                        (obj.size(), miss)
+                    }
+                };
+                sizes.push(size);
+                // Miss penalty: one origin round trip plus refetch at the
+                // modeled origin path rate (we charge 2× the edge RTT as a
+                // simple wide-area fetch estimate).
+                let penalty = if miss {
+                    topo.latency(server_node, NodeId(0)).scale(2.0)
+                } else {
+                    SimDuration::ZERO
+                };
+                penalties.push(penalty);
+            }
+
+            // Shared egress pipe across this server's concurrent downloads.
+            let pipe = SharedPipe::new(egress);
+            let transfers: Vec<Transfer> = idxs
+                .iter()
+                .zip(&sizes)
+                .map(|(&i, &size)| Transfer { arrival: requests[i].start, size_bytes: size })
+                .collect();
+            // SharedPipe requires sorted arrivals; requests come in batch
+            // order which the callers keep sorted. Guard in debug builds.
+            debug_assert!(transfers.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+            let completions = pipe.run(&transfers);
+
+            for ((pos, &i), done) in idxs.iter().enumerate().zip(&completions) {
+                let req = &requests[i];
+                let pipe_time = done.since(req.start);
+                // The client cannot download faster than its own link.
+                let last_mile_time = req.last_mile.serialization_time(sizes[pos]);
+                let download = if pipe_time > last_mile_time { pipe_time } else { last_mile_time };
+                let rtt = topo.latency(req.client_node, server_node).scale(2.0)
+                    + req.last_mile.rtt();
+                results[i] = rtt + penalties[pos] + download;
+            }
+        }
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_net::link::LinkKind;
+    use fractal_net::topology::Position;
+
+    fn setup(n_edges: usize) -> (Topology, OriginStore, Digest, Vec<NodeId>) {
+        let mut topo = Topology::new();
+        // Node 0 is the origin/application-server site.
+        let _origin_node = topo.add_node(Position { x: 0.5, y: 0.5 });
+        let edge_nodes = topo.add_spread_nodes(n_edges, 1);
+        let mut origin = OriginStore::new();
+        let digest = origin.publish(vec![0xAB; 50_000]);
+        (topo, origin, digest, edge_nodes)
+    }
+
+    fn clients(topo: &mut Topology, n: usize) -> Vec<NodeId> {
+        topo.add_spread_nodes(n, 99)
+    }
+
+    fn requests(nodes: &[NodeId], digest: Digest) -> Vec<RetrievalRequest> {
+        nodes
+            .iter()
+            .map(|&c| RetrievalRequest {
+                client_node: c,
+                last_mile: LinkKind::Lan.link(),
+                digest,
+                start: SimTime::ZERO,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn centralized_degrades_with_load() {
+        let (mut topo, origin, digest, _) = setup(0);
+        let server = topo.add_node(Position { x: 0.5, y: 0.5 });
+        let dep = Deployment::Centralized { node: server, egress_bytes_per_sec: 1e6 };
+
+        let few = clients(&mut topo, 5);
+        let many = clients(&mut topo, 100);
+        let t_few = mean(&dep.retrieve_batch(&topo, &origin, &requests(&few, digest)));
+        let t_many = mean(&dep.retrieve_batch(&topo, &origin, &requests(&many, digest)));
+        assert!(
+            t_many.as_secs_f64() > t_few.as_secs_f64() * 5.0,
+            "centralized should degrade: few={t_few} many={t_many}"
+        );
+    }
+
+    #[test]
+    fn distributed_stays_flat() {
+        let (mut topo, origin, digest, edge_nodes) = setup(20);
+        let edges: Vec<EdgeServer> =
+            edge_nodes.iter().map(|&n| EdgeServer::new(n, 1e6, 10_000_000)).collect();
+        for e in &edges {
+            e.warm(&origin, &[digest]);
+        }
+        let dep = Deployment::Distributed { edges };
+
+        let few = clients(&mut topo, 5);
+        let many = clients(&mut topo, 100);
+        let t_few = mean(&dep.retrieve_batch(&topo, &origin, &requests(&few, digest)));
+        let t_many = mean(&dep.retrieve_batch(&topo, &origin, &requests(&many, digest)));
+        assert!(
+            t_many.as_secs_f64() < t_few.as_secs_f64() * 4.0,
+            "distributed should stay flat-ish: few={t_few} many={t_many}"
+        );
+    }
+
+    #[test]
+    fn distributed_beats_centralized_under_load() {
+        let (mut topo, origin, digest, edge_nodes) = setup(20);
+        let edges: Vec<EdgeServer> =
+            edge_nodes.iter().map(|&n| EdgeServer::new(n, 1e6, 10_000_000)).collect();
+        for e in &edges {
+            e.warm(&origin, &[digest]);
+        }
+        let server = topo.add_node(Position { x: 0.5, y: 0.5 });
+        let many = clients(&mut topo, 150);
+        let reqs = requests(&many, digest);
+
+        let central = Deployment::Centralized { node: server, egress_bytes_per_sec: 1e6 };
+        let dist = Deployment::Distributed { edges };
+        let t_c = mean(&central.retrieve_batch(&topo, &origin, &reqs));
+        let t_d = mean(&dist.retrieve_batch(&topo, &origin, &reqs));
+        assert!(
+            t_c.as_secs_f64() > t_d.as_secs_f64() * 3.0,
+            "centralized {t_c} should be ≫ distributed {t_d} at 150 clients"
+        );
+    }
+
+    #[test]
+    fn slow_last_mile_bounds_download() {
+        let (mut topo, origin, digest, _) = setup(0);
+        let server = topo.add_node(Position { x: 0.5, y: 0.5 });
+        let dep = Deployment::Centralized { node: server, egress_bytes_per_sec: 1e9 };
+        let c = clients(&mut topo, 1);
+        let mut reqs = requests(&c, digest);
+        reqs[0].last_mile = LinkKind::Bluetooth.link();
+        let t = dep.retrieve_batch(&topo, &origin, &reqs)[0];
+        // 50 KB over Bluetooth goodput (~72 KB/s): at least 0.5 s.
+        assert!(t.as_secs_f64() > 0.5, "{t}");
+    }
+
+    #[test]
+    fn cache_misses_charge_penalty_once() {
+        let (mut topo, origin, digest, edge_nodes) = setup(1);
+        let edges: Vec<EdgeServer> =
+            edge_nodes.iter().map(|&n| EdgeServer::new(n, 1e8, 10_000_000)).collect();
+        let dep = Deployment::Distributed { edges };
+        let c = clients(&mut topo, 1);
+        let reqs = requests(&c, digest);
+        let t_cold = dep.retrieve_batch(&topo, &origin, &reqs)[0];
+        let t_warm = dep.retrieve_batch(&topo, &origin, &reqs)[0];
+        assert!(t_cold > t_warm, "cold {t_cold} must exceed warm {t_warm}");
+    }
+
+    #[test]
+    fn routing_picks_closest_edge() {
+        let (topo, _, _, edge_nodes) = setup(5);
+        let edges: Vec<EdgeServer> =
+            edge_nodes.iter().map(|&n| EdgeServer::new(n, 1e6, 1_000_000)).collect();
+        let dep = Deployment::Distributed { edges };
+        // Route every edge node to itself.
+        for &n in &edge_nodes {
+            assert_eq!(dep.route(&topo, n), n);
+        }
+    }
+
+    fn mean(ds: &[SimDuration]) -> SimDuration {
+        let total: u64 = ds.iter().map(|d| d.as_micros()).sum();
+        SimDuration::micros(total / ds.len().max(1) as u64)
+    }
+}

@@ -1,0 +1,231 @@
+//! Edge servers: byte-budgeted LRU caches with an egress pipe and a
+//! position in the topology.
+
+use std::collections::HashMap;
+
+use fractal_crypto::Digest;
+use fractal_net::topology::NodeId;
+use parking_lot::Mutex;
+
+use crate::origin::{OriginStore, PadObject};
+
+/// A byte-budgeted LRU cache of PAD objects.
+#[derive(Debug)]
+pub struct LruCache {
+    capacity_bytes: u64,
+    used_bytes: u64,
+    objects: HashMap<Digest, PadObject>,
+    /// Recency order: front = least recently used.
+    order: Vec<Digest>,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Creates a cache with a byte budget.
+    pub fn new(capacity_bytes: u64) -> LruCache {
+        LruCache {
+            capacity_bytes,
+            used_bytes: 0,
+            objects: HashMap::new(),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Looks up `digest`, refreshing recency. Counts a hit or miss.
+    pub fn get(&mut self, digest: &Digest) -> Option<PadObject> {
+        match self.objects.get(digest) {
+            Some(obj) => {
+                let obj = obj.clone();
+                self.touch(digest);
+                self.hits += 1;
+                Some(obj)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Inserts an object, evicting LRU entries to fit. Objects larger than
+    /// the whole budget are not cached.
+    pub fn insert(&mut self, obj: PadObject) {
+        if obj.size() > self.capacity_bytes {
+            return;
+        }
+        if let Some(prev) = self.objects.remove(&obj.digest) {
+            self.used_bytes -= prev.size();
+            self.order.retain(|d| d != &obj.digest);
+        }
+        while self.used_bytes + obj.size() > self.capacity_bytes {
+            let victim = self.order.remove(0);
+            let evicted = self.objects.remove(&victim).expect("order tracks objects");
+            self.used_bytes -= evicted.size();
+        }
+        self.used_bytes += obj.size();
+        self.order.push(obj.digest);
+        self.objects.insert(obj.digest, obj);
+    }
+
+    fn touch(&mut self, digest: &Digest) {
+        if let Some(idx) = self.order.iter().position(|d| d == digest) {
+            let d = self.order.remove(idx);
+            self.order.push(d);
+        }
+    }
+
+    /// Bytes currently cached.
+    pub fn used_bytes(&self) -> u64 {
+        self.used_bytes
+    }
+
+    /// Number of cached objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// (hits, misses) counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// One CDN edge server.
+#[derive(Debug)]
+pub struct EdgeServer {
+    /// Where the edge sits in the topology.
+    pub node: NodeId,
+    /// Egress capacity in bytes per second, shared by concurrent downloads.
+    pub egress_bytes_per_sec: f64,
+    cache: Mutex<LruCache>,
+}
+
+impl EdgeServer {
+    /// Creates an edge server at `node` with the given egress capacity and
+    /// cache budget.
+    pub fn new(node: NodeId, egress_bytes_per_sec: f64, cache_bytes: u64) -> EdgeServer {
+        EdgeServer { node, egress_bytes_per_sec, cache: Mutex::new(LruCache::new(cache_bytes)) }
+    }
+
+    /// Serves `digest`: cache hit returns the object directly; a miss
+    /// fetches from the origin, fills the cache, and reports `was_miss` so
+    /// the caller can charge the origin round trip.
+    pub fn serve(&self, digest: &Digest, origin: &OriginStore) -> Option<(PadObject, bool)> {
+        if let Some(obj) = self.cache.lock().get(digest) {
+            return Some((obj, false));
+        }
+        let obj = origin.fetch(digest)?;
+        self.cache.lock().insert(obj.clone());
+        Some((obj, true))
+    }
+
+    /// Pre-populates the cache (the paper pushes PADs to edges in advance).
+    pub fn warm(&self, origin: &OriginStore, digests: &[Digest]) {
+        let mut cache = self.cache.lock();
+        for d in digests {
+            if let Some(obj) = origin.fetch(d) {
+                cache.insert(obj);
+            }
+        }
+    }
+
+    /// Cache hit/miss counters.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj(byte: u8, len: usize) -> PadObject {
+        PadObject::new(vec![byte; len])
+    }
+
+    #[test]
+    fn lru_insert_and_get() {
+        let mut c = LruCache::new(100);
+        let o = obj(1, 10);
+        let d = o.digest;
+        c.insert(o.clone());
+        assert_eq!(c.get(&d), Some(o));
+        assert_eq!(c.stats(), (1, 0));
+        assert_eq!(c.used_bytes(), 10);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = LruCache::new(25);
+        let a = obj(1, 10);
+        let b = obj(2, 10);
+        let x = obj(3, 10);
+        let (da, db, dx) = (a.digest, b.digest, x.digest);
+        c.insert(a);
+        c.insert(b);
+        // Touch a so b becomes LRU.
+        assert!(c.get(&da).is_some());
+        c.insert(x); // must evict b
+        assert!(c.get(&da).is_some());
+        assert!(c.get(&db).is_none());
+        assert!(c.get(&dx).is_some());
+        assert!(c.used_bytes() <= 25);
+    }
+
+    #[test]
+    fn lru_rejects_oversized() {
+        let mut c = LruCache::new(5);
+        let big = obj(1, 10);
+        let d = big.digest;
+        c.insert(big);
+        assert!(c.get(&d).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn lru_reinsert_same_object() {
+        let mut c = LruCache::new(100);
+        c.insert(obj(1, 10));
+        c.insert(obj(1, 10));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.used_bytes(), 10);
+    }
+
+    #[test]
+    fn edge_serves_with_miss_then_hit() {
+        let mut origin = OriginStore::new();
+        let d = origin.publish(vec![7u8; 100]);
+        let edge = EdgeServer::new(NodeId(0), 1e6, 1000);
+        let (o1, miss1) = edge.serve(&d, &origin).unwrap();
+        assert!(miss1);
+        assert_eq!(o1.size(), 100);
+        let (_, miss2) = edge.serve(&d, &origin).unwrap();
+        assert!(!miss2);
+        assert_eq!(edge.cache_stats(), (1, 1));
+    }
+
+    #[test]
+    fn edge_warm_prefills() {
+        let mut origin = OriginStore::new();
+        let d = origin.publish(vec![7u8; 100]);
+        let edge = EdgeServer::new(NodeId(0), 1e6, 1000);
+        edge.warm(&origin, &[d]);
+        let (_, miss) = edge.serve(&d, &origin).unwrap();
+        assert!(!miss, "warmed object must hit");
+    }
+
+    #[test]
+    fn edge_unknown_object() {
+        let origin = OriginStore::new();
+        let edge = EdgeServer::new(NodeId(0), 1e6, 1000);
+        assert!(edge.serve(&Digest::ZERO, &origin).is_none());
+    }
+}

@@ -1,0 +1,30 @@
+//! # fractal-cdn
+//!
+//! The content-distribution-network substrate: what stands in for the
+//! paper's PlanetLab-emulated CDN (§4.2) and its centralized comparison
+//! server.
+//!
+//! Fractal "leverages existing content distribution networks for protocol
+//! adaptor deployment" (§1): PADs are content-addressed web objects pushed
+//! from an [`origin`] store to [`edge`] servers; clients are routed to the
+//! closest edge (`Topology::closest`), which serves from its LRU cache and
+//! fetches from the origin on a miss.
+//!
+//! [`deployment`] assembles either topology — one **centralized** PAD
+//! server, or **distributed** edges — and simulates batch retrieval under
+//! load with exact processor-sharing of each server's egress pipe. This is
+//! the machinery behind Figure 9(b): the centralized curve climbs with
+//! client count while the distributed curve stays flat.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod edge;
+pub mod origin;
+pub mod stats;
+
+pub use deployment::{Deployment, RetrievalRequest};
+pub use edge::{EdgeServer, LruCache};
+pub use origin::{OriginStore, PadObject};
+pub use stats::RetrievalStats;

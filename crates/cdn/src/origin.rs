@@ -1,0 +1,134 @@
+//! The origin store: the application server's authoritative, content-
+//! addressed repository of PAD objects.
+//!
+//! "We assume the application server has already deployed all PADs in
+//! advance" (§3.1). The origin is where edge servers fetch on a cache miss,
+//! and the source of truth for digests.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use fractal_crypto::sha1::sha1;
+use fractal_crypto::Digest;
+
+/// A content-addressed PAD object as stored and served by the CDN.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PadObject {
+    /// SHA-1 of the bytes (the CDN's content address and `PADMeta`'s
+    /// integrity digest).
+    pub digest: Digest,
+    /// The signed-module wire bytes.
+    pub bytes: Bytes,
+}
+
+impl PadObject {
+    /// Wraps raw wire bytes, computing the content address.
+    pub fn new(bytes: impl Into<Bytes>) -> PadObject {
+        let bytes = bytes.into();
+        PadObject { digest: sha1(&bytes), bytes }
+    }
+
+    /// Object size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+}
+
+/// The authoritative object store at the application server.
+#[derive(Clone, Debug, Default)]
+pub struct OriginStore {
+    objects: HashMap<Digest, PadObject>,
+}
+
+impl OriginStore {
+    /// Creates an empty store.
+    pub fn new() -> OriginStore {
+        OriginStore::default()
+    }
+
+    /// Publishes an object, returning its content address.
+    pub fn publish(&mut self, bytes: impl Into<Bytes>) -> Digest {
+        let obj = PadObject::new(bytes);
+        let digest = obj.digest;
+        self.objects.insert(digest, obj);
+        digest
+    }
+
+    /// Fetches by content address.
+    pub fn fetch(&self, digest: &Digest) -> Option<PadObject> {
+        self.objects.get(digest).cloned()
+    }
+
+    /// Whether the store holds `digest`.
+    pub fn contains(&self, digest: &Digest) -> bool {
+        self.objects.contains_key(digest)
+    }
+
+    /// Number of published objects.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+
+    /// All published digests (sorted for determinism).
+    pub fn digests(&self) -> Vec<Digest> {
+        let mut v: Vec<Digest> = self.objects.keys().copied().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn publish_and_fetch() {
+        let mut store = OriginStore::new();
+        let d = store.publish(&b"pad bytes"[..]);
+        let obj = store.fetch(&d).unwrap();
+        assert_eq!(&obj.bytes[..], b"pad bytes");
+        assert_eq!(obj.digest, d);
+        assert_eq!(obj.size(), 9);
+    }
+
+    #[test]
+    fn content_addressing_is_deterministic() {
+        let mut a = OriginStore::new();
+        let mut b = OriginStore::new();
+        assert_eq!(a.publish(&b"x"[..]), b.publish(&b"x"[..]));
+        assert_ne!(a.publish(&b"y"[..]), a.publish(&b"z"[..]));
+    }
+
+    #[test]
+    fn republish_same_bytes_is_idempotent() {
+        let mut store = OriginStore::new();
+        let d1 = store.publish(&b"same"[..]);
+        let d2 = store.publish(&b"same"[..]);
+        assert_eq!(d1, d2);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn missing_digest() {
+        let store = OriginStore::new();
+        assert!(store.fetch(&Digest::ZERO).is_none());
+        assert!(!store.contains(&Digest::ZERO));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn digests_sorted() {
+        let mut store = OriginStore::new();
+        store.publish(&b"a"[..]);
+        store.publish(&b"b"[..]);
+        store.publish(&b"c"[..]);
+        let ds = store.digests();
+        assert_eq!(ds.len(), 3);
+        assert!(ds.windows(2).all(|w| w[0] < w[1]));
+    }
+}

@@ -1,0 +1,97 @@
+//! Summary statistics for retrieval experiments.
+
+use fractal_net::time::SimDuration;
+
+/// Aggregates of a batch of retrieval durations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RetrievalStats {
+    /// Number of samples.
+    pub count: usize,
+    /// Mean duration.
+    pub mean: SimDuration,
+    /// Minimum duration.
+    pub min: SimDuration,
+    /// Maximum duration.
+    pub max: SimDuration,
+    /// Median (p50).
+    pub p50: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+}
+
+impl RetrievalStats {
+    /// Computes stats over a batch; returns `None` for an empty batch.
+    pub fn compute(durations: &[SimDuration]) -> Option<RetrievalStats> {
+        if durations.is_empty() {
+            return None;
+        }
+        let mut sorted: Vec<u64> = durations.iter().map(|d| d.as_micros()).collect();
+        sorted.sort_unstable();
+        let count = sorted.len();
+        let total: u64 = sorted.iter().sum();
+        let pct = |p: f64| -> SimDuration {
+            let idx = ((count - 1) as f64 * p).round() as usize;
+            SimDuration::micros(sorted[idx])
+        };
+        Some(RetrievalStats {
+            count,
+            mean: SimDuration::micros(total / count as u64),
+            min: SimDuration::micros(sorted[0]),
+            max: SimDuration::micros(sorted[count - 1]),
+            p50: pct(0.5),
+            p95: pct(0.95),
+        })
+    }
+}
+
+impl core::fmt::Display for RetrievalStats {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "n={} mean={} min={} p50={} p95={} max={}",
+            self.count, self.mean, self.min, self.p50, self.p95, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_none() {
+        assert!(RetrievalStats::compute(&[]).is_none());
+    }
+
+    #[test]
+    fn single_sample() {
+        let s = RetrievalStats::compute(&[SimDuration::micros(100)]).unwrap();
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, SimDuration::micros(100));
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.p50, s.p95);
+    }
+
+    #[test]
+    fn percentiles_ordered() {
+        let ds: Vec<SimDuration> = (1..=100).map(SimDuration::micros).collect();
+        let s = RetrievalStats::compute(&ds).unwrap();
+        assert_eq!(s.min, SimDuration::micros(1));
+        assert_eq!(s.max, SimDuration::micros(100));
+        assert!(s.min <= s.p50 && s.p50 <= s.p95 && s.p95 <= s.max);
+        assert_eq!(s.mean, SimDuration::micros(50)); // (5050/100) = 50.5 → 50 integer div
+    }
+
+    #[test]
+    fn unsorted_input_handled() {
+        let ds = vec![
+            SimDuration::micros(30),
+            SimDuration::micros(10),
+            SimDuration::micros(20),
+        ];
+        let s = RetrievalStats::compute(&ds).unwrap();
+        assert_eq!(s.min, SimDuration::micros(10));
+        assert_eq!(s.p50, SimDuration::micros(20));
+        assert_eq!(s.max, SimDuration::micros(30));
+    }
+}

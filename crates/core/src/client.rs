@@ -1,0 +1,342 @@
+//! The Fractal client: protocol cache, PAD acceptance gauntlet, sandboxed
+//! deployment, and mobile-code decoding.
+//!
+//! §3.3: "a client first checks its own protocol cache, which contains
+//! some PADMeta saved for previous requests"; §3.5: "when a PAD is
+//! received, the client verifies that it was signed by an entity on this
+//! list" plus digest integrity and sandboxing. The acceptance gauntlet in
+//! [`FractalClient::deploy_pad`] is, in order:
+//!
+//! 1. digest check against the `PADMeta` the proxy advertised;
+//! 2. code-signature check against the client's trust store;
+//! 3. static bytecode verification;
+//! 4. instantiation under the sandbox policy.
+
+use std::collections::HashMap;
+
+use fractal_crypto::sign::TrustStore;
+use fractal_pads::runtime::PadRuntime;
+use fractal_protocols::ProtocolId;
+use fractal_vm::verify::verify_module;
+use fractal_vm::{SandboxPolicy, SignedModule};
+
+use crate::error::FractalError;
+use crate::meta::{AppId, ClientEnv, PadId, PadMeta};
+
+/// One locally cached content version.
+#[derive(Clone, Debug)]
+pub struct CachedContent {
+    /// Version number held.
+    pub version: u32,
+    /// The bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// Client-side statistics.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ClientStats {
+    /// Negotiations skipped thanks to the protocol cache.
+    pub protocol_cache_hits: u64,
+    /// Full negotiations performed.
+    pub negotiations: u64,
+    /// PADs downloaded and deployed.
+    pub pads_deployed: u64,
+    /// PADs rejected by the acceptance gauntlet.
+    pub pads_rejected: u64,
+}
+
+/// A Fractal client host.
+pub struct FractalClient {
+    /// The environment this client probes and reports.
+    pub env: ClientEnv,
+    /// Trusted signing entities (§3.5).
+    pub trust: TrustStore,
+    /// Sandbox policy for deployed PADs.
+    pub policy: SandboxPolicy,
+    protocol_cache: HashMap<AppId, Vec<PadMeta>>,
+    deployed: HashMap<PadId, PadRuntime>,
+    content_cache: HashMap<u32, CachedContent>,
+    stats: ClientStats,
+}
+
+impl core::fmt::Debug for FractalClient {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("FractalClient")
+            .field("env", &self.env)
+            .field("deployed", &self.deployed.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FractalClient {
+    /// Creates a client in the given environment with the given trust
+    /// anchors.
+    pub fn new(env: ClientEnv, trust: TrustStore) -> FractalClient {
+        FractalClient {
+            env,
+            trust,
+            policy: SandboxPolicy::for_pads(),
+            protocol_cache: HashMap::new(),
+            deployed: HashMap::new(),
+            content_cache: HashMap::new(),
+            stats: ClientStats::default(),
+        }
+    }
+
+    /// "Probing the system using system calls": returns the metadata for
+    /// `Cli_META_REP`.
+    pub fn probe(&self) -> ClientEnv {
+        self.env
+    }
+
+    /// Protocol-cache lookup (the fast path of Figure 4).
+    pub fn cached_protocols(&mut self, app_id: AppId) -> Option<Vec<PadMeta>> {
+        match self.protocol_cache.get(&app_id) {
+            Some(pads) => {
+                self.stats.protocol_cache_hits += 1;
+                Some(pads.clone())
+            }
+            None => None,
+        }
+    }
+
+    /// Records a negotiation result ("the client updates his protocol
+    /// cache").
+    pub fn remember_protocols(&mut self, app_id: AppId, pads: &[PadMeta]) {
+        self.stats.negotiations += 1;
+        self.protocol_cache.insert(app_id, pads.to_vec());
+    }
+
+    /// Drops the protocol cache (e.g. when the environment changes).
+    pub fn clear_protocol_cache(&mut self) {
+        self.protocol_cache.clear();
+    }
+
+    /// Whether the PAD is already deployed locally.
+    pub fn is_deployed(&self, pad: PadId) -> bool {
+        self.deployed.contains_key(&pad)
+    }
+
+    /// Runs the full acceptance gauntlet on downloaded PAD bytes and
+    /// deploys the module into the sandbox.
+    pub fn deploy_pad(&mut self, meta: &PadMeta, wire_bytes: &[u8]) -> Result<(), FractalError> {
+        let result = (|| {
+            let signed = SignedModule::from_wire(wire_bytes)?;
+            let module = signed.open(&meta.digest, &self.trust)?; // digest + signature
+            verify_module(&module)?; // static verification
+            let runtime = PadRuntime::new(module, self.policy.clone())?;
+            Ok::<PadRuntime, FractalError>(runtime)
+        })();
+        match result {
+            Ok(runtime) => {
+                self.deployed.insert(meta.id, runtime);
+                self.stats.pads_deployed += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.pads_rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Decodes a server payload with a deployed PAD (mobile code, in the
+    /// sandbox), using the locally cached old version when present.
+    pub fn decode_content(
+        &mut self,
+        pad: PadId,
+        content_id: u32,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, FractalError> {
+        let old = self
+            .content_cache
+            .get(&content_id)
+            .map(|c| c.bytes.clone())
+            .unwrap_or_default();
+        let runtime = self
+            .deployed
+            .get_mut(&pad)
+            .ok_or(FractalError::PadUnavailable(pad))?;
+        Ok(runtime.decode(&old, payload)?)
+    }
+
+    /// Builds a protocol's upstream message (Bitmap digests / fixed-block
+    /// signatures) via the deployed PAD. Returns `None` for protocols with
+    /// no upstream leg.
+    pub fn upstream_message(
+        &mut self,
+        pad: PadId,
+        protocol: ProtocolId,
+        content_id: u32,
+    ) -> Result<Option<Vec<u8>>, FractalError> {
+        let entry = match protocol {
+            ProtocolId::Bitmap => "digests",
+            ProtocolId::FixedBlock => "signatures",
+            _ => return Ok(None),
+        };
+        let block_size: u32 = match protocol {
+            ProtocolId::Bitmap => fractal_protocols::bitmap::DEFAULT_BLOCK_SIZE as u32,
+            _ => fractal_protocols::fixedblock::DEFAULT_BLOCK_SIZE as u32,
+        };
+        let old = self
+            .content_cache
+            .get(&content_id)
+            .map(|c| c.bytes.clone())
+            .unwrap_or_default();
+        let runtime = self
+            .deployed
+            .get_mut(&pad)
+            .ok_or(FractalError::PadUnavailable(pad))?;
+        Ok(Some(runtime.upstream(entry, &old, block_size)?))
+    }
+
+    /// The locally cached version of `content_id`.
+    pub fn cached_content(&self, content_id: u32) -> Option<&CachedContent> {
+        self.content_cache.get(&content_id)
+    }
+
+    /// Stores a decoded content version.
+    pub fn store_content(&mut self, content_id: u32, version: u32, bytes: Vec<u8>) {
+        self.content_cache.insert(content_id, CachedContent { version, bytes });
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{pad_id, pad_overhead, ClientClass};
+    use fractal_crypto::sign::SignerRegistry;
+    use fractal_pads::artifact::build_pad;
+
+    fn setup(trusted: bool) -> (FractalClient, PadMeta, Vec<u8>) {
+        let mut reg = SignerRegistry::new();
+        let signer = reg.provision("app-operator");
+        let artifact = build_pad(ProtocolId::Gzip, &signer);
+        let meta = PadMeta {
+            id: pad_id(ProtocolId::Gzip),
+            protocol: ProtocolId::Gzip,
+            size: artifact.wire_len() as u32,
+            overhead: pad_overhead(ProtocolId::Gzip),
+            digest: artifact.digest(),
+            url: "cdn://pads/gzip".into(),
+            parent: None,
+            children: vec![],
+        };
+        let mut trust = TrustStore::new();
+        if trusted {
+            reg.export_trust(&mut trust);
+        }
+        let client = FractalClient::new(ClientClass::LaptopWlan.env(), trust);
+        (client, meta, artifact.signed.to_wire())
+    }
+
+    #[test]
+    fn deploy_and_decode() {
+        let (mut client, meta, wire) = setup(true);
+        client.deploy_pad(&meta, &wire).unwrap();
+        assert!(client.is_deployed(meta.id));
+
+        let content = b"some page content, some page content".repeat(50);
+        let payload = fractal_protocols::gzip::Gzip
+            .encode(&[], &content)
+            .to_vec();
+        let decoded = client.decode_content(meta.id, 7, &payload).unwrap();
+        assert_eq!(decoded, content);
+        assert_eq!(client.stats().pads_deployed, 1);
+    }
+
+    #[test]
+    fn untrusted_signer_rejected_at_deploy() {
+        let (mut client, meta, wire) = setup(false);
+        let err = client.deploy_pad(&meta, &wire).unwrap_err();
+        assert!(matches!(err, FractalError::PadRejected(_)), "{err:?}");
+        assert!(!client.is_deployed(meta.id));
+        assert_eq!(client.stats().pads_rejected, 1);
+    }
+
+    #[test]
+    fn tampered_bytes_rejected_at_deploy() {
+        let (mut client, meta, mut wire) = setup(true);
+        let idx = wire.len() - 5;
+        wire[idx] ^= 0xFF;
+        let err = client.deploy_pad(&meta, &wire).unwrap_err();
+        assert!(matches!(err, FractalError::PadRejected(_)));
+    }
+
+    #[test]
+    fn wrong_advertised_digest_rejected() {
+        let (mut client, mut meta, wire) = setup(true);
+        meta.digest = fractal_crypto::sha1::sha1(b"something else");
+        assert!(client.deploy_pad(&meta, &wire).is_err());
+    }
+
+    #[test]
+    fn decode_without_deploy_fails() {
+        let (mut client, meta, _) = setup(true);
+        let err = client.decode_content(meta.id, 7, &[]).unwrap_err();
+        assert_eq!(err, FractalError::PadUnavailable(meta.id));
+    }
+
+    #[test]
+    fn protocol_cache_round_trip() {
+        let (mut client, meta, _) = setup(true);
+        assert!(client.cached_protocols(AppId(1)).is_none());
+        client.remember_protocols(AppId(1), std::slice::from_ref(&meta));
+        let cached = client.cached_protocols(AppId(1)).unwrap();
+        assert_eq!(cached[0].id, meta.id);
+        assert_eq!(client.stats().protocol_cache_hits, 1);
+        client.clear_protocol_cache();
+        assert!(client.cached_protocols(AppId(1)).is_none());
+    }
+
+    #[test]
+    fn content_cache() {
+        let (mut client, _, _) = setup(true);
+        assert!(client.cached_content(3).is_none());
+        client.store_content(3, 2, vec![1, 2, 3]);
+        let c = client.cached_content(3).unwrap();
+        assert_eq!(c.version, 2);
+        assert_eq!(c.bytes, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn upstream_message_for_bitmap_only() {
+        let mut reg = SignerRegistry::new();
+        let signer = reg.provision("op");
+        let mut trust = TrustStore::new();
+        reg.export_trust(&mut trust);
+        let mut client = FractalClient::new(ClientClass::PdaBluetooth.env(), trust);
+
+        let bitmap = build_pad(ProtocolId::Bitmap, &signer);
+        let meta = PadMeta {
+            id: pad_id(ProtocolId::Bitmap),
+            protocol: ProtocolId::Bitmap,
+            size: bitmap.wire_len() as u32,
+            overhead: pad_overhead(ProtocolId::Bitmap),
+            digest: bitmap.digest(),
+            url: String::new(),
+            parent: None,
+            children: vec![],
+        };
+        client.deploy_pad(&meta, &bitmap.signed.to_wire()).unwrap();
+        client.store_content(7, 0, vec![9u8; 10_000]);
+        let msg = client
+            .upstream_message(meta.id, ProtocolId::Bitmap, 7)
+            .unwrap()
+            .expect("bitmap has an upstream leg");
+        let expected = fractal_protocols::bitmap::Bitmap::default()
+            .upstream_message(&vec![9u8; 10_000]);
+        assert_eq!(msg, expected);
+
+        // Direct has no upstream leg.
+        assert_eq!(client.upstream_message(meta.id, ProtocolId::Direct, 7).unwrap(), None);
+    }
+
+    use fractal_protocols::DiffCodec;
+}

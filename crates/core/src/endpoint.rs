@@ -1,0 +1,313 @@
+//! INP endpoint state machines: the "protocol integrity" the paper's INP
+//! header maintains (§3.3).
+//!
+//! Figure 4 defines a strict message order; a real deployment must reject
+//! out-of-order or repeated messages rather than act on them. Two state
+//! machines enforce that order:
+//!
+//! * [`ClientEndpoint`] — drives INIT_REQ → … → APP_REQ on the client;
+//! * [`ProxyEndpoint`] — accepts INIT_REQ then CLI_META_REP on the proxy.
+//!
+//! Both are pure state trackers over [`InpMessage`] values: the transport
+//! and the negotiation logic stay elsewhere, which keeps the machines
+//! exhaustively testable.
+
+use crate::error::WireError;
+use crate::inp::InpMessage;
+use crate::meta::{AppId, ClientEnv, PadMeta};
+
+/// Client-side negotiation states, in Figure 4 order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ClientState {
+    /// Nothing sent yet.
+    Idle,
+    /// INIT_REQ sent; awaiting INIT_REP.
+    AwaitInitRep,
+    /// INIT_REP seen; awaiting CLI_META_REQ.
+    AwaitMetaReq,
+    /// CLI_META_REP sent; awaiting PAD_META_REP.
+    AwaitPadMeta,
+    /// Negotiation complete; PADs known.
+    Negotiated,
+}
+
+/// A protocol-order violation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum ProtocolViolation {
+    /// A message arrived that the current state does not accept.
+    UnexpectedMessage {
+        /// State at the time.
+        state: &'static str,
+        /// Offending message name.
+        message: &'static str,
+    },
+    /// The peer's bytes failed to parse.
+    Malformed(WireError),
+}
+
+impl core::fmt::Display for ProtocolViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ProtocolViolation::UnexpectedMessage { state, message } => {
+                write!(f, "unexpected {message} in state {state}")
+            }
+            ProtocolViolation::Malformed(e) => write!(f, "malformed message: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolViolation {}
+
+/// The client half of the INP exchange.
+#[derive(Debug)]
+pub struct ClientEndpoint {
+    app_id: AppId,
+    env: ClientEnv,
+    state: ClientState,
+    pads: Vec<PadMeta>,
+}
+
+impl ClientEndpoint {
+    /// Creates an endpoint for one negotiation.
+    pub fn new(app_id: AppId, env: ClientEnv) -> ClientEndpoint {
+        ClientEndpoint { app_id, env, state: ClientState::Idle, pads: Vec::new() }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ClientState {
+        self.state
+    }
+
+    /// Produces INIT_REQ (only valid from `Idle`).
+    pub fn start(&mut self, payload: Vec<u8>) -> Result<InpMessage, ProtocolViolation> {
+        if self.state != ClientState::Idle {
+            return Err(ProtocolViolation::UnexpectedMessage {
+                state: self.state_name(),
+                message: "start()",
+            });
+        }
+        self.state = ClientState::AwaitInitRep;
+        Ok(InpMessage::InitReq { app_id: self.app_id, payload })
+    }
+
+    /// Feeds raw bytes from the proxy; returns the client's reply when the
+    /// protocol calls for one.
+    pub fn on_bytes(&mut self, bytes: &[u8]) -> Result<Option<InpMessage>, ProtocolViolation> {
+        let msg = InpMessage::from_bytes(bytes).map_err(ProtocolViolation::Malformed)?;
+        self.on_message(&msg)
+    }
+
+    /// Feeds a parsed message from the proxy.
+    pub fn on_message(
+        &mut self,
+        msg: &InpMessage,
+    ) -> Result<Option<InpMessage>, ProtocolViolation> {
+        match (self.state, msg) {
+            (ClientState::AwaitInitRep, InpMessage::InitRep) => {
+                self.state = ClientState::AwaitMetaReq;
+                Ok(None)
+            }
+            (ClientState::AwaitMetaReq, InpMessage::CliMetaReq) => {
+                self.state = ClientState::AwaitPadMeta;
+                Ok(Some(InpMessage::CliMetaRep { dev: self.env.dev, ntwk: self.env.ntwk }))
+            }
+            (ClientState::AwaitPadMeta, InpMessage::PadMetaRep { pads }) => {
+                self.pads = pads.clone();
+                self.state = ClientState::Negotiated;
+                Ok(None)
+            }
+            (_, m) => Err(ProtocolViolation::UnexpectedMessage {
+                state: self.state_name(),
+                message: m.name(),
+            }),
+        }
+    }
+
+    /// The negotiated PADs (only after `Negotiated`).
+    pub fn negotiated(&self) -> Option<&[PadMeta]> {
+        (self.state == ClientState::Negotiated).then_some(self.pads.as_slice())
+    }
+
+    fn state_name(&self) -> &'static str {
+        match self.state {
+            ClientState::Idle => "Idle",
+            ClientState::AwaitInitRep => "AwaitInitRep",
+            ClientState::AwaitMetaReq => "AwaitMetaReq",
+            ClientState::AwaitPadMeta => "AwaitPadMeta",
+            ClientState::Negotiated => "Negotiated",
+        }
+    }
+}
+
+/// Proxy-side negotiation states.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProxyState {
+    /// Awaiting INIT_REQ.
+    AwaitInit,
+    /// INIT_REP + CLI_META_REQ sent; awaiting CLI_META_REP.
+    AwaitMetaRep,
+    /// PAD_META_REP sent.
+    Done,
+}
+
+/// The proxy half of the INP exchange. Negotiation itself is delegated to
+/// the closure the caller supplies (normally
+/// [`AdaptationProxy::negotiate`](crate::proxy::AdaptationProxy::negotiate)).
+#[derive(Debug)]
+pub struct ProxyEndpoint {
+    state: ProxyState,
+    app_id: Option<AppId>,
+}
+
+impl Default for ProxyEndpoint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProxyEndpoint {
+    /// Creates an endpoint for one client connection.
+    pub fn new() -> ProxyEndpoint {
+        ProxyEndpoint { state: ProxyState::AwaitInit, app_id: None }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> ProxyState {
+        self.state
+    }
+
+    /// Feeds a client message; `negotiate` is invoked exactly once, at the
+    /// CLI_META_REP step. Returns the message(s) to send back.
+    pub fn on_message<F>(
+        &mut self,
+        msg: &InpMessage,
+        mut negotiate: F,
+    ) -> Result<Vec<InpMessage>, ProtocolViolation>
+    where
+        F: FnMut(AppId, ClientEnv) -> Vec<PadMeta>,
+    {
+        match (self.state, msg) {
+            (ProxyState::AwaitInit, InpMessage::InitReq { app_id, .. }) => {
+                self.app_id = Some(*app_id);
+                self.state = ProxyState::AwaitMetaRep;
+                Ok(vec![InpMessage::InitRep, InpMessage::CliMetaReq])
+            }
+            (ProxyState::AwaitMetaRep, InpMessage::CliMetaRep { dev, ntwk }) => {
+                let app_id = self.app_id.expect("set at InitReq");
+                let pads = negotiate(app_id, ClientEnv { dev: *dev, ntwk: *ntwk });
+                self.state = ProxyState::Done;
+                Ok(vec![InpMessage::PadMetaRep { pads }])
+            }
+            (_, m) => Err(ProtocolViolation::UnexpectedMessage {
+                state: match self.state {
+                    ProxyState::AwaitInit => "AwaitInit",
+                    ProxyState::AwaitMetaRep => "AwaitMetaRep",
+                    ProxyState::Done => "Done",
+                },
+                message: m.name(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::ClientClass;
+    use crate::proxy::AdaptationProxy;
+    use crate::server::AdaptiveContentMode;
+    use crate::testbed::Testbed;
+
+    fn wired() -> (ClientEndpoint, ProxyEndpoint, AdaptationProxy, AppId) {
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let client = ClientEndpoint::new(tb.app_id, ClientClass::PdaBluetooth.env());
+        (client, ProxyEndpoint::new(), tb.proxy, tb.app_id)
+    }
+
+    /// Drives the complete Figure 4 exchange over serialized bytes.
+    #[test]
+    fn full_exchange_over_the_wire() {
+        let (mut client, mut proxy_ep, mut proxy, _) = wired();
+
+        let init = client.start(b"GET page".to_vec()).unwrap();
+        let replies = proxy_ep
+            .on_message(&InpMessage::from_bytes(&init.to_bytes()).unwrap(), |a, e| {
+                proxy.negotiate(a, e).unwrap()
+            })
+            .unwrap();
+        assert_eq!(replies.len(), 2, "INIT_REP + CLI_META_REQ");
+
+        let mut to_proxy = Vec::new();
+        for r in &replies {
+            if let Some(reply) = client.on_bytes(&r.to_bytes()).unwrap() {
+                to_proxy.push(reply);
+            }
+        }
+        assert_eq!(to_proxy.len(), 1, "CLI_META_REP");
+
+        let pad_meta = proxy_ep
+            .on_message(&to_proxy[0], |a, e| proxy.negotiate(a, e).unwrap())
+            .unwrap();
+        assert_eq!(pad_meta.len(), 1);
+        assert!(client.on_bytes(&pad_meta[0].to_bytes()).unwrap().is_none());
+
+        let pads = client.negotiated().expect("negotiated");
+        assert_eq!(pads.len(), 1);
+        assert_eq!(proxy_ep.state(), ProxyState::Done);
+    }
+
+    #[test]
+    fn client_rejects_out_of_order_messages() {
+        let (mut client, _, mut proxy, app_id) = wired();
+        // PAD_META_REP before anything else.
+        let pads = proxy.negotiate(app_id, ClientClass::PdaBluetooth.env()).unwrap();
+        let premature = InpMessage::PadMetaRep { pads };
+        let err = client.on_message(&premature).unwrap_err();
+        assert!(matches!(err, ProtocolViolation::UnexpectedMessage { .. }));
+        // State unchanged; the proper flow still works.
+        assert_eq!(client.state(), ClientState::Idle);
+    }
+
+    #[test]
+    fn client_rejects_repeated_init_rep() {
+        let (mut client, _, _, _) = wired();
+        client.start(vec![]).unwrap();
+        client.on_message(&InpMessage::InitRep).unwrap();
+        let err = client.on_message(&InpMessage::InitRep).unwrap_err();
+        assert!(matches!(err, ProtocolViolation::UnexpectedMessage { .. }));
+    }
+
+    #[test]
+    fn client_rejects_double_start() {
+        let (mut client, _, _, _) = wired();
+        client.start(vec![]).unwrap();
+        assert!(client.start(vec![]).is_err());
+    }
+
+    #[test]
+    fn proxy_rejects_meta_rep_before_init() {
+        let (_, mut proxy_ep, _, _) = wired();
+        let env = ClientClass::DesktopLan.env();
+        let msg = InpMessage::CliMetaRep { dev: env.dev, ntwk: env.ntwk };
+        let err = proxy_ep.on_message(&msg, |_, _| vec![]).unwrap_err();
+        assert!(matches!(err, ProtocolViolation::UnexpectedMessage { .. }));
+        assert_eq!(proxy_ep.state(), ProxyState::AwaitInit);
+    }
+
+    #[test]
+    fn malformed_bytes_reported_not_acted_on() {
+        let (mut client, _, _, _) = wired();
+        client.start(vec![]).unwrap();
+        let err = client.on_bytes(b"garbage").unwrap_err();
+        assert!(matches!(err, ProtocolViolation::Malformed(_)));
+        assert_eq!(client.state(), ClientState::AwaitInitRep);
+    }
+
+    #[test]
+    fn negotiated_is_gated_on_state() {
+        let (mut client, _, _, _) = wired();
+        assert!(client.negotiated().is_none());
+        client.start(vec![]).unwrap();
+        assert!(client.negotiated().is_none());
+    }
+}

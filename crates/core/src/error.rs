@@ -1,0 +1,113 @@
+//! Error types for the core framework.
+
+use fractal_pads::PadError;
+use fractal_vm::{ModuleError, VerifyError};
+
+/// Wire-format decode errors for metadata and INP messages.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// Message ends before a declared field.
+    Truncated,
+    /// An enum discriminant that is not defined.
+    BadEnum(&'static str),
+    /// A string field is not valid UTF-8.
+    BadUtf8,
+    /// Bytes left over after a complete parse.
+    TrailingBytes,
+    /// The INP header is malformed.
+    BadHeader,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "message truncated"),
+            WireError::BadEnum(what) => write!(f, "invalid {what} discriminant"),
+            WireError::BadUtf8 => write!(f, "invalid UTF-8 in string field"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+            WireError::BadHeader => write!(f, "malformed INP header"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Top-level framework errors.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FractalError {
+    /// Wire decode failure.
+    Wire(WireError),
+    /// The proxy knows no such application.
+    UnknownApp(crate::meta::AppId),
+    /// The path search found no feasible path (all paths hit an ∞ ratio).
+    NoFeasiblePath,
+    /// The CDN could not supply a PAD.
+    PadUnavailable(crate::meta::PadId),
+    /// Downloaded PAD failed the integrity/signature/verification gauntlet.
+    PadRejected(ModuleError),
+    /// Downloaded PAD failed static bytecode verification.
+    PadUnverifiable(VerifyError),
+    /// A deployed PAD failed at run time.
+    PadRuntime(PadError),
+    /// The server does not hold the requested content.
+    UnknownContent(u32),
+    /// Protocol mismatch between `APP_REQ` and the server's PAD set.
+    ProtocolNotDeployed(fractal_protocols::ProtocolId),
+}
+
+impl core::fmt::Display for FractalError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FractalError::Wire(e) => write!(f, "wire error: {e}"),
+            FractalError::UnknownApp(id) => write!(f, "unknown application {id}"),
+            FractalError::NoFeasiblePath => write!(f, "no feasible adaptation path"),
+            FractalError::PadUnavailable(id) => write!(f, "PAD {id} unavailable from CDN"),
+            FractalError::PadRejected(e) => write!(f, "PAD rejected: {e}"),
+            FractalError::PadUnverifiable(e) => write!(f, "PAD failed verification: {e}"),
+            FractalError::PadRuntime(e) => write!(f, "PAD runtime failure: {e}"),
+            FractalError::UnknownContent(id) => write!(f, "unknown content {id}"),
+            FractalError::ProtocolNotDeployed(p) => {
+                write!(f, "protocol {p} not deployed at server")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FractalError {}
+
+impl From<WireError> for FractalError {
+    fn from(e: WireError) -> Self {
+        FractalError::Wire(e)
+    }
+}
+
+impl From<ModuleError> for FractalError {
+    fn from(e: ModuleError) -> Self {
+        FractalError::PadRejected(e)
+    }
+}
+
+impl From<VerifyError> for FractalError {
+    fn from(e: VerifyError) -> Self {
+        FractalError::PadUnverifiable(e)
+    }
+}
+
+impl From<PadError> for FractalError {
+    fn from(e: PadError) -> Self {
+        FractalError::PadRuntime(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_strings() {
+        assert!(WireError::Truncated.to_string().contains("truncated"));
+        assert!(FractalError::NoFeasiblePath.to_string().contains("feasible"));
+        let e: FractalError = WireError::BadUtf8.into();
+        assert!(matches!(e, FractalError::Wire(WireError::BadUtf8)));
+    }
+}

@@ -1,0 +1,57 @@
+//! # fractal-core
+//!
+//! The Fractal framework itself — the paper's contribution (§3):
+//!
+//! * [`meta`] — the metadata vocabulary of Figure 3 (`DevMeta`, `NtwkMeta`,
+//!   `PADMeta`, `AppMeta`) with binary wire codecs;
+//! * [`ratio`] — the normalized ratio matrices 𝓐 (processor × PAD),
+//!   𝓑 (OS × PAD), 𝓡 (network × PAD) of Equation 2, including ∞ entries
+//!   that disqualify a PAD outright (the WinMedia/Kinoma example);
+//! * [`overhead`] — the total-overhead estimator of Equations 1 and 3:
+//!   linear CPU/bandwidth scaling corrected by the ratio matrices;
+//! * [`pat`] — the Protocol Adaptation Tree of §3.4.1, with symbolic-link
+//!   nodes for PADs shared by several parents;
+//! * [`search`] — the adaptation path search algorithm of Figure 6
+//!   (mark every node with its estimated total overhead, then depth-first
+//!   search all root→leaf paths for the cheapest);
+//! * [`inp`] — the Interactive Negotiation Protocol of Figure 4, messages
+//!   and wire formats;
+//! * [`endpoint`] — the INP state machines that enforce Figure 4's message
+//!   order on both ends (the "protocol integrity" of the INP header);
+//! * [`proxy`] — the adaptation proxy: negotiation manager + distribution
+//!   manager + adaptation cache (§3.2);
+//! * [`server`] — the application server: versioned adaptive content,
+//!   reactive vs. proactive generation (§3.1);
+//! * [`client`] — the Fractal client: protocol cache, PAD download,
+//!   verification (digest + code signature + static verification),
+//!   sandboxed deployment (§3.3, §3.5);
+//! * [`session`] — the end-to-end session runner over the simulated
+//!   network, producing the measurements behind Figures 9–11;
+//! * [`presets`] — the experimental platform of Figure 7 (Desktop/LAN,
+//!   Laptop/WLAN, PDA/Bluetooth) and the calibrated cost table.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod endpoint;
+pub mod error;
+pub mod inp;
+pub mod meta;
+pub mod overhead;
+pub mod pat;
+pub mod presets;
+pub mod proxy;
+pub mod ratio;
+pub mod search;
+pub mod server;
+pub mod session;
+pub mod testbed;
+
+pub use error::FractalError;
+pub use meta::{AppId, AppMeta, ClientEnv, CpuType, DevMeta, NtwkMeta, OsType, PadId, PadMeta};
+pub use overhead::{OverheadModel, ServerComputeMode};
+pub use pat::Pat;
+pub use presets::ClientClass;
+pub use proxy::AdaptationProxy;
+pub use ratio::RatioMatrix;

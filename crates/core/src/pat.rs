@@ -1,0 +1,353 @@
+//! The Protocol Adaptation Tree (PAT) of §3.4.1.
+//!
+//! Each node is a protocol adaptor; "the child PAD is an auxiliary
+//! component of the parent PAD. In order to run the parent PAD, one and
+//! only one of the children PADs must work together with the parent PAD."
+//! A complete protocol is therefore a path from the (implicit application)
+//! root to a leaf, and "the number of possible paths equals the number of
+//! leaves in the tree."
+//!
+//! A PAD required by several parents (the paper's TCP-under-FTP-and-HTTP
+//! example) appears once canonically and as *symbolic copies* elsewhere;
+//! symbolic nodes resolve to the canonical PAD's metadata during search.
+//!
+//! The tree is extensible at the leaves ("we just add this new PAD as the
+//! first child") and in the middle ([`Pat::insert_between`]).
+
+use std::collections::HashMap;
+
+use crate::error::FractalError;
+use crate::meta::{AppId, AppMeta, PadId, PadMeta};
+
+#[derive(Clone, Debug)]
+struct Node {
+    meta: PadMeta,
+    children: Vec<usize>,
+    /// `Some(target)` marks a symbolic copy of another PAD.
+    symlink_to: Option<PadId>,
+}
+
+/// The protocol adaptation tree for one application.
+#[derive(Clone, Debug)]
+pub struct Pat {
+    /// Which application this tree describes.
+    pub app_id: AppId,
+    nodes: Vec<Node>,
+    /// Children of the implicit application root.
+    roots: Vec<usize>,
+    by_id: HashMap<PadId, usize>,
+}
+
+impl Pat {
+    /// An empty tree.
+    pub fn new(app_id: AppId) -> Pat {
+        Pat { app_id, nodes: Vec::new(), roots: Vec::new(), by_id: HashMap::new() }
+    }
+
+    /// Builds a PAT from pushed [`AppMeta`] using the parent/child links.
+    /// Pads whose parent is `None` become children of the root.
+    pub fn from_app_meta(meta: &AppMeta) -> Pat {
+        let mut pat = Pat::new(meta.app_id);
+        // Insert parents before children: iterate until fixpoint.
+        let mut pending: Vec<&PadMeta> = meta.pads.iter().collect();
+        while !pending.is_empty() {
+            let before = pending.len();
+            pending.retain(|p| match p.parent {
+                None => {
+                    pat.insert((*p).clone(), None).expect("root insert");
+                    false
+                }
+                Some(parent) if pat.by_id.contains_key(&parent) => {
+                    pat.insert((*p).clone(), Some(parent)).expect("child insert");
+                    false
+                }
+                Some(_) => true,
+            });
+            assert!(pending.len() < before, "orphaned PADs in AppMeta");
+        }
+        pat
+    }
+
+    /// Inserts a PAD under `parent` (`None` = under the root). Fails when
+    /// the id already exists or the parent is unknown.
+    pub fn insert(&mut self, meta: PadMeta, parent: Option<PadId>) -> Result<(), FractalError> {
+        if self.by_id.contains_key(&meta.id) {
+            return Err(FractalError::PadUnavailable(meta.id));
+        }
+        let idx = self.nodes.len();
+        let id = meta.id;
+        self.nodes.push(Node { meta, children: Vec::new(), symlink_to: None });
+        match parent {
+            None => self.roots.push(idx),
+            Some(p) => {
+                let pidx = *self
+                    .by_id
+                    .get(&p)
+                    .ok_or(FractalError::PadUnavailable(p))?;
+                self.nodes[pidx].children.push(idx);
+            }
+        }
+        self.by_id.insert(id, idx);
+        Ok(())
+    }
+
+    /// Inserts a *symbolic copy* of `target` under `parent` with its own
+    /// id (Figure 5's PAD6 → PAD7).
+    pub fn insert_symlink(
+        &mut self,
+        alias: PadId,
+        target: PadId,
+        parent: Option<PadId>,
+    ) -> Result<(), FractalError> {
+        let tidx = *self.by_id.get(&target).ok_or(FractalError::PadUnavailable(target))?;
+        if self.by_id.contains_key(&alias) {
+            return Err(FractalError::PadUnavailable(alias));
+        }
+        let mut meta = self.nodes[tidx].meta.clone();
+        meta.id = alias;
+        let idx = self.nodes.len();
+        self.nodes.push(Node { meta, children: Vec::new(), symlink_to: Some(target) });
+        match parent {
+            None => self.roots.push(idx),
+            Some(p) => {
+                let pidx = *self.by_id.get(&p).ok_or(FractalError::PadUnavailable(p))?;
+                self.nodes[pidx].children.push(idx);
+            }
+        }
+        self.by_id.insert(alias, idx);
+        Ok(())
+    }
+
+    /// Splices `meta` between `parent` and all of `parent`'s current
+    /// children — the paper's "adding a new PAD in the middle, instead of
+    /// the leaf".
+    pub fn insert_between(&mut self, meta: PadMeta, parent: PadId) -> Result<(), FractalError> {
+        let pidx = *self.by_id.get(&parent).ok_or(FractalError::PadUnavailable(parent))?;
+        if self.by_id.contains_key(&meta.id) {
+            return Err(FractalError::PadUnavailable(meta.id));
+        }
+        let idx = self.nodes.len();
+        let id = meta.id;
+        let grandchildren = std::mem::take(&mut self.nodes[pidx].children);
+        self.nodes.push(Node { meta, children: grandchildren, symlink_to: None });
+        self.nodes[pidx].children.push(idx);
+        self.by_id.insert(id, idx);
+        Ok(())
+    }
+
+    /// Resolves a (possibly symbolic) id to the canonical PAD id.
+    pub fn resolve(&self, id: PadId) -> Option<PadId> {
+        let idx = *self.by_id.get(&id)?;
+        Some(self.nodes[idx].symlink_to.unwrap_or(id))
+    }
+
+    /// Metadata for a PAD; symbolic nodes return the canonical metadata.
+    pub fn meta(&self, id: PadId) -> Option<&PadMeta> {
+        let idx = *self.by_id.get(&id)?;
+        match self.nodes[idx].symlink_to {
+            Some(target) => self.meta(target),
+            None => Some(&self.nodes[idx].meta),
+        }
+    }
+
+    /// Number of nodes (including symbolic copies).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tree has no PADs.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// All PAD ids (canonical and symbolic) in insertion order.
+    pub fn ids(&self) -> Vec<PadId> {
+        self.nodes.iter().map(|n| n.meta.id).collect()
+    }
+
+    /// All root→leaf paths as canonical id sequences. A symlinked leaf's
+    /// path ends at the canonical id.
+    pub fn paths(&self) -> Vec<Vec<PadId>> {
+        let mut out = Vec::new();
+        let mut stack = Vec::new();
+        for &r in &self.roots {
+            self.dfs(r, &mut stack, &mut out);
+        }
+        out
+    }
+
+    fn dfs(&self, idx: usize, stack: &mut Vec<PadId>, out: &mut Vec<Vec<PadId>>) {
+        let node = &self.nodes[idx];
+        let canonical = node.symlink_to.unwrap_or(node.meta.id);
+        stack.push(canonical);
+        // A symlink node delegates its children to the canonical node.
+        let children: &[usize] = match node.symlink_to {
+            Some(target) => {
+                let tidx = self.by_id[&target];
+                &self.nodes[tidx].children
+            }
+            None => &node.children,
+        };
+        if children.is_empty() {
+            out.push(stack.clone());
+        } else {
+            for &c in children {
+                self.dfs(c, stack, out);
+            }
+        }
+        stack.pop();
+    }
+
+    /// Number of leaves — which the paper notes equals the number of
+    /// possible paths.
+    pub fn leaf_count(&self) -> usize {
+        self.paths().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::PadOverhead;
+    use fractal_protocols::ProtocolId;
+
+    pub(crate) fn pad(id: u64) -> PadMeta {
+        PadMeta {
+            id: PadId(id),
+            protocol: ProtocolId::Direct,
+            size: 100,
+            overhead: PadOverhead {
+                server_ms_per_mb: 0.0,
+                client_ms_per_mb: 0.0,
+                traffic_ratio: 1.0,
+            },
+            digest: fractal_crypto::Digest::ZERO,
+            url: String::new(),
+            parent: None,
+            children: vec![],
+        }
+    }
+
+    /// Builds the Figure 5 tree:
+    /// root → {PAD1 → {PAD4, PAD5, PAD6⇒PAD7}, PAD2 → {PAD7, PAD8}, PAD3}.
+    fn figure5() -> Pat {
+        let mut pat = Pat::new(AppId(1));
+        pat.insert(pad(1), None).unwrap();
+        pat.insert(pad(2), None).unwrap();
+        pat.insert(pad(3), None).unwrap();
+        pat.insert(pad(4), Some(PadId(1))).unwrap();
+        pat.insert(pad(5), Some(PadId(1))).unwrap();
+        pat.insert(pad(7), Some(PadId(2))).unwrap();
+        pat.insert(pad(8), Some(PadId(2))).unwrap();
+        pat.insert_symlink(PadId(6), PadId(7), Some(PadId(1))).unwrap();
+        pat
+    }
+
+    #[test]
+    fn figure5_paths() {
+        let pat = figure5();
+        let paths = pat.paths();
+        // Leaves: 4, 5, 6(⇒7), 7, 8, 3 → six paths.
+        assert_eq!(paths.len(), 6);
+        assert_eq!(pat.leaf_count(), 6);
+        assert!(paths.contains(&vec![PadId(1), PadId(4)]));
+        assert!(paths.contains(&vec![PadId(1), PadId(5)]));
+        // Symlink path resolves to the canonical PAD7.
+        assert!(paths.contains(&vec![PadId(1), PadId(7)]));
+        assert!(paths.contains(&vec![PadId(2), PadId(7)]));
+        assert!(paths.contains(&vec![PadId(2), PadId(8)]));
+        assert!(paths.contains(&vec![PadId(3)]));
+    }
+
+    #[test]
+    fn symlink_resolution() {
+        let pat = figure5();
+        assert_eq!(pat.resolve(PadId(6)), Some(PadId(7)));
+        assert_eq!(pat.resolve(PadId(7)), Some(PadId(7)));
+        assert_eq!(pat.resolve(PadId(99)), None);
+        assert_eq!(pat.meta(PadId(6)).unwrap().id, PadId(7));
+    }
+
+    #[test]
+    fn one_level_tree_like_case_study() {
+        // Figure 8: a one-level tree of the four protocols.
+        let mut pat = Pat::new(AppId(2));
+        for id in 1..=4 {
+            pat.insert(pad(id), None).unwrap();
+        }
+        assert_eq!(pat.paths().len(), 4);
+        assert!(pat.paths().iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn duplicate_id_rejected() {
+        let mut pat = Pat::new(AppId(1));
+        pat.insert(pad(1), None).unwrap();
+        assert!(pat.insert(pad(1), None).is_err());
+        assert!(pat.insert_symlink(PadId(1), PadId(1), None).is_err());
+    }
+
+    #[test]
+    fn unknown_parent_rejected() {
+        let mut pat = Pat::new(AppId(1));
+        assert!(pat.insert(pad(1), Some(PadId(42))).is_err());
+    }
+
+    #[test]
+    fn extend_at_leaf() {
+        let mut pat = figure5();
+        // New PAD supporting PAD3: "add this new PAD as the first child".
+        pat.insert(pad(9), Some(PadId(3))).unwrap();
+        let paths = pat.paths();
+        assert_eq!(paths.len(), 6); // PAD3 stops being a leaf, PAD9 becomes one
+        assert!(paths.contains(&vec![PadId(3), PadId(9)]));
+    }
+
+    #[test]
+    fn insert_between_splices() {
+        let mut pat = figure5();
+        pat.insert_between(pad(10), PadId(2)).unwrap();
+        let paths = pat.paths();
+        // PAD2's old children now hang under PAD10.
+        assert!(paths.contains(&vec![PadId(2), PadId(10), PadId(7)]));
+        assert!(paths.contains(&vec![PadId(2), PadId(10), PadId(8)]));
+        assert!(!paths.contains(&vec![PadId(2), PadId(7)]));
+        assert_eq!(paths.len(), 6);
+    }
+
+    #[test]
+    fn from_app_meta_reconstructs_tree() {
+        let mut p1 = pad(1);
+        let mut p2 = pad(2);
+        p2.parent = Some(PadId(1));
+        let p3 = {
+            let mut p = pad(3);
+            p.parent = Some(PadId(1));
+            p
+        };
+        p1.children = vec![PadId(2), PadId(3)];
+        let meta = AppMeta { app_id: AppId(9), pads: vec![p2, p3, p1] }; // children first
+        let pat = Pat::from_app_meta(&meta);
+        assert_eq!(pat.app_id, AppId(9));
+        assert_eq!(pat.len(), 3);
+        let paths = pat.paths();
+        assert_eq!(paths.len(), 2);
+        assert!(paths.contains(&vec![PadId(1), PadId(2)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "orphaned")]
+    fn from_app_meta_rejects_orphans() {
+        let mut p = pad(2);
+        p.parent = Some(PadId(99));
+        Pat::from_app_meta(&AppMeta { app_id: AppId(1), pads: vec![p] });
+    }
+
+    #[test]
+    fn empty_tree() {
+        let pat = Pat::new(AppId(1));
+        assert!(pat.is_empty());
+        assert_eq!(pat.paths().len(), 0);
+        assert_eq!(pat.leaf_count(), 0);
+    }
+}

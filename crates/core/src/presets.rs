@@ -1,0 +1,258 @@
+//! The experimental platform of Figure 7 and the calibrated cost table.
+//!
+//! ## Client classes
+//!
+//! | Class | CPU | OS | Network |
+//! |---|---|---|---|
+//! | Desktop | Pentium IV 2.0 GHz ("D") | Fedora Core 2 | LAN (100 Mbps) |
+//! | Laptop | Pentium IV 3.06 GHz ("L") | Fedora Core 2 | Wireless LAN (11 Mbps) |
+//! | Pocket PC | Intel PXA 255 400 MHz ("P") | WinCE 4.2 | Bluetooth (723 kbps) |
+//!
+//! ## Cost table calibration
+//!
+//! The per-PAD overhead profiles (ms per MB of content at the 500 MHz
+//! reference CPU of Equation 1) are calibrated to the *relative* overheads
+//! the paper measured with its Java prototype on 2005 hardware — Figure 10
+//! shows seconds-scale compute on the Pocket PC and a vary-sized-blocking
+//! server cost an order of magnitude above everything else. They are not
+//! native-Rust throughputs; using modern native speeds would flatten every
+//! compute effect the paper's adaptation decisions hinge on. The
+//! [`fractal-bench` calibration binary](../fractal_bench) can re-derive a
+//! table from live measurements if you want the native regime instead.
+//!
+//! | PAD | server ms/MB | client ms/MB | est. traffic ratio |
+//! |---|---|---|---|
+//! | Direct | 0 | 5 | 1.0 |
+//! | Gzip | 500 (LZ77 encode) | 300 (decode) | 0.40 |
+//! | Bitmap | 120 (digest + compare) | 2600 (digest old + upload + rebuild) | 0.12 |
+//! | Vary-sized | 12000 (chunk+digest both versions) | 2700 (verify + rebuild) | 0.06 |
+//! | Fixed-sized | 9000 (rolling scan) | 3000 (signatures + rebuild) | 0.13 |
+
+use fractal_net::link::{Link, LinkKind};
+use fractal_protocols::ProtocolId;
+
+use crate::meta::{
+    AppId, AppMeta, ClientEnv, CpuType, DevMeta, NtwkMeta, OsType, PadId, PadMeta, PadOverhead,
+};
+use crate::ratio::Ratios;
+
+/// The paper's three client configurations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ClientClass {
+    /// Desktop on switched Ethernet.
+    DesktopLan,
+    /// Laptop on 802.11b.
+    LaptopWlan,
+    /// Pocket PC on Bluetooth.
+    PdaBluetooth,
+}
+
+impl ClientClass {
+    /// All classes in the paper's presentation order.
+    pub const ALL: [ClientClass; 3] =
+        [ClientClass::DesktopLan, ClientClass::LaptopWlan, ClientClass::PdaBluetooth];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClientClass::DesktopLan => "Desktop in LAN",
+            ClientClass::LaptopWlan => "Laptop in Wireless LAN",
+            ClientClass::PdaBluetooth => "PDA in Bluetooth",
+        }
+    }
+
+    /// The device + network metadata this class probes.
+    pub fn env(self) -> ClientEnv {
+        match self {
+            ClientClass::DesktopLan => ClientEnv {
+                dev: DevMeta {
+                    os: OsType::FedoraCore2,
+                    cpu: CpuType::PentiumIv2000,
+                    cpu_mhz: 2000,
+                    memory_mb: 512,
+                },
+                ntwk: NtwkMeta {
+                    kind: LinkKind::Lan,
+                    bandwidth_kbps: LinkKind::Lan.bandwidth_kbps() as u32,
+                },
+            },
+            ClientClass::LaptopWlan => ClientEnv {
+                dev: DevMeta {
+                    os: OsType::FedoraCore2,
+                    cpu: CpuType::PentiumIv3060,
+                    cpu_mhz: 3060,
+                    memory_mb: 512,
+                },
+                ntwk: NtwkMeta {
+                    kind: LinkKind::Wlan,
+                    bandwidth_kbps: LinkKind::Wlan.bandwidth_kbps() as u32,
+                },
+            },
+            ClientClass::PdaBluetooth => ClientEnv {
+                dev: DevMeta {
+                    os: OsType::WinCe42,
+                    cpu: CpuType::Pxa255,
+                    cpu_mhz: 400,
+                    memory_mb: 64,
+                },
+                ntwk: NtwkMeta {
+                    kind: LinkKind::Bluetooth,
+                    bandwidth_kbps: LinkKind::Bluetooth.bandwidth_kbps() as u32,
+                },
+            },
+        }
+    }
+
+    /// The simulated last-mile link.
+    pub fn link(self) -> Link {
+        match self {
+            ClientClass::DesktopLan => LinkKind::Lan.link(),
+            ClientClass::LaptopWlan => LinkKind::Wlan.link(),
+            ClientClass::PdaBluetooth => LinkKind::Bluetooth.link(),
+        }
+    }
+}
+
+impl core::fmt::Display for ClientClass {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The calibrated overhead profile for one protocol (see module docs).
+pub fn pad_overhead(protocol: ProtocolId) -> PadOverhead {
+    match protocol {
+        ProtocolId::Direct => PadOverhead {
+            server_ms_per_mb: 0.0,
+            client_ms_per_mb: 5.0,
+            traffic_ratio: 1.0,
+        },
+        ProtocolId::Gzip => PadOverhead {
+            server_ms_per_mb: 500.0,
+            client_ms_per_mb: 300.0,
+            traffic_ratio: 0.40,
+        },
+        ProtocolId::Bitmap => PadOverhead {
+            server_ms_per_mb: 120.0,
+            client_ms_per_mb: 2600.0,
+            traffic_ratio: 0.12,
+        },
+        ProtocolId::VaryBlock => PadOverhead {
+            server_ms_per_mb: 12_000.0,
+            client_ms_per_mb: 2700.0,
+            traffic_ratio: 0.06,
+        },
+        ProtocolId::FixedBlock => PadOverhead {
+            server_ms_per_mb: 9000.0,
+            client_ms_per_mb: 3000.0,
+            traffic_ratio: 0.13,
+        },
+    }
+}
+
+/// Deterministic PAD id for a case-study protocol.
+pub fn pad_id(protocol: ProtocolId) -> PadId {
+    PadId(protocol.wire_id() as u64)
+}
+
+/// The normalized ratio matrices of Equations 4–6: 𝓐 has 1.1 entries for
+/// the compute protocols on the PXA 255 column; 𝓑 and 𝓡 are all ones.
+pub fn paper_ratios() -> Ratios {
+    let mut ratios = Ratios::linear();
+    for p in [ProtocolId::Gzip, ProtocolId::VaryBlock, ProtocolId::Bitmap] {
+        ratios.cpu.set(pad_id(p), CpuType::Pxa255, 1.1);
+    }
+    ratios
+}
+
+/// Builds the case-study `AppMeta` (the one-level PAT of Figure 8) from
+/// built PAD artifacts: one leaf per protocol, sizes and digests from the
+/// signed modules, overheads from the calibrated table.
+pub fn case_study_app_meta(
+    app_id: AppId,
+    artifacts: &[(ProtocolId, fractal_crypto::Digest, u32)],
+) -> AppMeta {
+    let pads = artifacts
+        .iter()
+        .map(|&(protocol, digest, size)| PadMeta {
+            id: pad_id(protocol),
+            protocol,
+            size,
+            overhead: pad_overhead(protocol),
+            digest,
+            url: format!("cdn://pads/{}", protocol.slug()),
+            parent: None,
+            children: vec![],
+        })
+        .collect();
+    AppMeta { app_id, pads }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_envs_match_figure7() {
+        let d = ClientClass::DesktopLan.env();
+        assert_eq!(d.dev.cpu_mhz, 2000);
+        assert_eq!(d.ntwk.kind, LinkKind::Lan);
+        let l = ClientClass::LaptopWlan.env();
+        assert_eq!(l.dev.cpu_mhz, 3060);
+        assert_eq!(l.ntwk.kind, LinkKind::Wlan);
+        let p = ClientClass::PdaBluetooth.env();
+        assert_eq!(p.dev.os, OsType::WinCe42);
+        assert_eq!(p.dev.cpu, CpuType::Pxa255);
+        assert_eq!(p.ntwk.kind, LinkKind::Bluetooth);
+    }
+
+    #[test]
+    fn cost_table_shape() {
+        // Vary's server cost dominates everything (Figure 10's headline).
+        let vary = pad_overhead(ProtocolId::VaryBlock);
+        for p in ProtocolId::ALL {
+            if p != ProtocolId::VaryBlock {
+                assert!(vary.server_ms_per_mb >= 10.0 * pad_overhead(p).server_ms_per_mb / 10.0);
+                assert!(vary.server_ms_per_mb > pad_overhead(p).server_ms_per_mb);
+            }
+        }
+        // Traffic ordering: direct > gzip > bitmap > vary (Figure 11(a)).
+        let r = |p: ProtocolId| pad_overhead(p).traffic_ratio;
+        assert!(r(ProtocolId::Direct) > r(ProtocolId::Gzip));
+        assert!(r(ProtocolId::Gzip) > r(ProtocolId::Bitmap));
+        assert!(r(ProtocolId::Bitmap) > r(ProtocolId::VaryBlock));
+    }
+
+    #[test]
+    fn ratios_match_equation4() {
+        let r = paper_ratios();
+        assert_eq!(r.cpu.get(pad_id(ProtocolId::Gzip), CpuType::Pxa255), 1.1);
+        assert_eq!(r.cpu.get(pad_id(ProtocolId::Direct), CpuType::Pxa255), 1.0);
+        assert_eq!(r.cpu.get(pad_id(ProtocolId::Gzip), CpuType::PentiumIv2000), 1.0);
+        assert!(r.os.is_empty());
+        assert!(r.net.is_empty());
+    }
+
+    #[test]
+    fn app_meta_builder() {
+        let artifacts: Vec<(ProtocolId, fractal_crypto::Digest, u32)> = ProtocolId::PAPER_FOUR
+            .iter()
+            .map(|&p| (p, fractal_crypto::sha1::sha1(p.slug().as_bytes()), 1000 + p.wire_id() as u32))
+            .collect();
+        let meta = case_study_app_meta(AppId(1), &artifacts);
+        assert_eq!(meta.pads.len(), 4);
+        for pad in &meta.pads {
+            assert!(pad.parent.is_none());
+            assert!(pad.children.is_empty());
+            assert!(pad.url.starts_with("cdn://pads/"));
+        }
+    }
+
+    #[test]
+    fn pad_ids_distinct() {
+        let ids: std::collections::HashSet<_> =
+            ProtocolId::ALL.iter().map(|&p| pad_id(p)).collect();
+        assert_eq!(ids.len(), ProtocolId::ALL.len());
+    }
+}
+

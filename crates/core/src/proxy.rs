@@ -1,0 +1,292 @@
+//! The adaptation proxy of §3.2: negotiation manager, distribution
+//! manager, and the adaptation cache.
+//!
+//! The **negotiation manager** holds one PAT per application (built from
+//! `AppMeta` pushed by the application server) and runs the Figure 6 path
+//! search. The **distribution manager** post-processes the result — it
+//! strips the parent/child links from the `PADMeta` sent to clients
+//! ("hides the parent and child links since the exposure to the client is
+//! unnecessary") — and maintains the **adaptation cache**:
+//!
+//! ```text
+//! { DevMeta, Application ID, NtwkMeta } ⇒ { PADMeta₁ … PADMetaₙ }
+//! ```
+
+use std::collections::HashMap;
+
+use fractal_net::time::SimDuration;
+
+use crate::error::FractalError;
+use crate::meta::{AppId, AppMeta, ClientEnv, PadMeta};
+use crate::overhead::{OverheadModel, ServerComputeMode};
+use crate::pat::Pat;
+use crate::search::{search, AdaptationPath};
+
+/// `Std` content size used during negotiation (Equation 1's "fixed size of
+/// traffic, 1MB in our implementation").
+pub const STD_CONTENT_BYTES: u64 = 1_000_000;
+
+/// Counters for Figure 9(a) and the ablations.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProxyStats {
+    /// Negotiations answered from the adaptation cache.
+    pub cache_hits: u64,
+    /// Negotiations that ran the path search.
+    pub cache_misses: u64,
+    /// `AppMeta` pushes received.
+    pub app_pushes: u64,
+}
+
+/// The adaptation proxy.
+pub struct AdaptationProxy {
+    pats: HashMap<AppId, Pat>,
+    model: OverheadModel,
+    cache: HashMap<(ClientEnv, AppId), Vec<PadMeta>>,
+    cache_enabled: bool,
+    stats: ProxyStats,
+}
+
+impl core::fmt::Debug for AdaptationProxy {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("AdaptationProxy")
+            .field("apps", &self.pats.len())
+            .field("cache_entries", &self.cache.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl AdaptationProxy {
+    /// Creates a proxy with the given overhead model.
+    pub fn new(model: OverheadModel) -> AdaptationProxy {
+        AdaptationProxy {
+            pats: HashMap::new(),
+            model,
+            cache: HashMap::new(),
+            cache_enabled: true,
+            stats: ProxyStats::default(),
+        }
+    }
+
+    /// Disables the adaptation cache (ablation).
+    pub fn with_cache_disabled(mut self) -> AdaptationProxy {
+        self.cache_enabled = false;
+        self
+    }
+
+    /// Receives an `AppMeta` push from an application server, (re)building
+    /// that application's PAT and invalidating affected cache entries.
+    pub fn push_app_meta(&mut self, meta: &AppMeta) {
+        let pat = Pat::from_app_meta(meta);
+        self.cache.retain(|(_, app), _| *app != meta.app_id);
+        self.pats.insert(meta.app_id, pat);
+        self.stats.app_pushes += 1;
+    }
+
+    /// Switches the server-compute mode (reactive ↔ proactive adaptive
+    /// content). Clears the cache: cached decisions embed the old mode.
+    pub fn set_mode(&mut self, mode: ServerComputeMode) {
+        if self.model.mode != mode {
+            self.model.mode = mode;
+            self.cache.clear();
+        }
+    }
+
+    /// Current server-compute mode.
+    pub fn mode(&self) -> ServerComputeMode {
+        self.model.mode
+    }
+
+    /// The proxy's overhead model (read-only).
+    pub fn model(&self) -> &OverheadModel {
+        &self.model
+    }
+
+    /// Direct access to an application's PAT (diagnostics, figure harness).
+    pub fn pat(&self, app_id: AppId) -> Option<&Pat> {
+        self.pats.get(&app_id)
+    }
+
+    /// The heart of the negotiation: answers `Cli_META_REP` with the
+    /// `PADMeta` list for `PAD_META_REP`.
+    pub fn negotiate(
+        &mut self,
+        app_id: AppId,
+        client: ClientEnv,
+    ) -> Result<Vec<PadMeta>, FractalError> {
+        if self.cache_enabled {
+            if let Some(hit) = self.cache.get(&(client, app_id)) {
+                self.stats.cache_hits += 1;
+                return Ok(hit.clone());
+            }
+        }
+        let pat = self.pats.get(&app_id).ok_or(FractalError::UnknownApp(app_id))?;
+        let path = search(pat, &self.model, &client, STD_CONTENT_BYTES)?;
+        self.stats.cache_misses += 1;
+
+        // Distribution manager: client views (links hidden), cache update.
+        let pads = self.materialize(app_id, &path);
+        if self.cache_enabled {
+            self.cache.insert((client, app_id), pads.clone());
+        }
+        Ok(pads)
+    }
+
+    fn materialize(&self, app_id: AppId, path: &AdaptationPath) -> Vec<PadMeta> {
+        let pat = &self.pats[&app_id];
+        path.pads
+            .iter()
+            .map(|id| pat.meta(*id).expect("path ids resolve").client_view())
+            .collect()
+    }
+
+    /// Estimated proxy service time for one negotiation — used by the
+    /// Figure 9(a) capacity simulation. Cache hits are one table lookup;
+    /// misses pay the path search, linear in PAT size.
+    pub fn service_time(&self, app_id: AppId, cache_hit: bool) -> SimDuration {
+        let nodes = self.pats.get(&app_id).map_or(0, Pat::len) as u64;
+        if cache_hit {
+            SimDuration::micros(40)
+        } else {
+            SimDuration::micros(200 + 25 * nodes)
+        }
+    }
+
+    /// Whether the cache currently holds an entry for `(client, app)`.
+    pub fn cached(&self, app_id: AppId, client: &ClientEnv) -> bool {
+        self.cache.contains_key(&(*client, app_id))
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{case_study_app_meta, paper_ratios, ClientClass};
+    use crate::ratio::Ratios;
+    use fractal_crypto::sha1::sha1;
+    use fractal_protocols::ProtocolId;
+
+    fn proxy_with_case_study() -> AdaptationProxy {
+        let artifacts: Vec<_> = ProtocolId::PAPER_FOUR
+            .iter()
+            .map(|&p| (p, sha1(p.slug().as_bytes()), 2000u32))
+            .collect();
+        let meta = case_study_app_meta(AppId(1), &artifacts);
+        let mut proxy = AdaptationProxy::new(OverheadModel::paper(paper_ratios()));
+        proxy.push_app_meta(&meta);
+        proxy
+    }
+
+    #[test]
+    fn unknown_app_rejected() {
+        let mut proxy = AdaptationProxy::new(OverheadModel::paper(Ratios::linear()));
+        let err = proxy.negotiate(AppId(9), ClientClass::DesktopLan.env());
+        assert_eq!(err, Err(FractalError::UnknownApp(AppId(9))));
+    }
+
+    #[test]
+    fn negotiation_returns_client_views() {
+        let mut proxy = proxy_with_case_study();
+        let pads = proxy.negotiate(AppId(1), ClientClass::DesktopLan.env()).unwrap();
+        assert_eq!(pads.len(), 1, "one-level PAT picks a single PAD");
+        assert!(pads[0].parent.is_none());
+        assert!(pads[0].children.is_empty());
+        assert!(!pads[0].url.is_empty());
+    }
+
+    #[test]
+    fn case_study_winners_per_class() {
+        // The headline adaptation decisions of Figure 11(b).
+        let mut proxy = proxy_with_case_study();
+        let pick = |proxy: &mut AdaptationProxy, class: ClientClass| {
+            proxy.negotiate(AppId(1), class.env()).unwrap()[0].protocol
+        };
+        assert_eq!(pick(&mut proxy, ClientClass::DesktopLan), ProtocolId::Direct);
+        assert_eq!(pick(&mut proxy, ClientClass::LaptopWlan), ProtocolId::Gzip);
+        assert_eq!(pick(&mut proxy, ClientClass::PdaBluetooth), ProtocolId::Bitmap);
+    }
+
+    #[test]
+    fn proactive_mode_flips_pda_to_varyblock() {
+        // Figure 10(d) / 11(c): excluding server compute changes the PDA's
+        // negotiated protocol from Bitmap to Vary-sized blocking.
+        let mut proxy = proxy_with_case_study();
+        proxy.set_mode(ServerComputeMode::Exclude);
+        let pads = proxy.negotiate(AppId(1), ClientClass::PdaBluetooth.env()).unwrap();
+        assert_eq!(pads[0].protocol, ProtocolId::VaryBlock);
+        // Desktop and laptop keep their winners.
+        let d = proxy.negotiate(AppId(1), ClientClass::DesktopLan.env()).unwrap();
+        assert_eq!(d[0].protocol, ProtocolId::Direct);
+        let l = proxy.negotiate(AppId(1), ClientClass::LaptopWlan.env()).unwrap();
+        assert_eq!(l[0].protocol, ProtocolId::Gzip);
+    }
+
+    #[test]
+    fn cache_hits_after_first_negotiation() {
+        let mut proxy = proxy_with_case_study();
+        let env = ClientClass::LaptopWlan.env();
+        let first = proxy.negotiate(AppId(1), env).unwrap();
+        assert!(proxy.cached(AppId(1), &env));
+        let second = proxy.negotiate(AppId(1), env).unwrap();
+        assert_eq!(first, second);
+        let stats = proxy.stats();
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+    }
+
+    #[test]
+    fn cache_disabled_ablation() {
+        let mut proxy = proxy_with_case_study().with_cache_disabled();
+        let env = ClientClass::LaptopWlan.env();
+        proxy.negotiate(AppId(1), env).unwrap();
+        proxy.negotiate(AppId(1), env).unwrap();
+        let stats = proxy.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
+    }
+
+    #[test]
+    fn mode_switch_clears_cache() {
+        let mut proxy = proxy_with_case_study();
+        let env = ClientClass::PdaBluetooth.env();
+        proxy.negotiate(AppId(1), env).unwrap();
+        assert!(proxy.cached(AppId(1), &env));
+        proxy.set_mode(ServerComputeMode::Exclude);
+        assert!(!proxy.cached(AppId(1), &env));
+        // Same-mode set is a no-op that keeps the cache.
+        proxy.negotiate(AppId(1), env).unwrap();
+        proxy.set_mode(ServerComputeMode::Exclude);
+        assert!(proxy.cached(AppId(1), &env));
+    }
+
+    #[test]
+    fn app_push_invalidates_only_that_app() {
+        let mut proxy = proxy_with_case_study();
+        let artifacts: Vec<_> = ProtocolId::PAPER_FOUR
+            .iter()
+            .map(|&p| (p, sha1(p.slug().as_bytes()), 2000u32))
+            .collect();
+        let other = case_study_app_meta(AppId(2), &artifacts);
+        proxy.push_app_meta(&other);
+
+        let env = ClientClass::DesktopLan.env();
+        proxy.negotiate(AppId(1), env).unwrap();
+        proxy.negotiate(AppId(2), env).unwrap();
+        proxy.push_app_meta(&other); // re-push app 2
+        assert!(proxy.cached(AppId(1), &env));
+        assert!(!proxy.cached(AppId(2), &env));
+    }
+
+    #[test]
+    fn service_time_scales_with_tree() {
+        let proxy = proxy_with_case_study();
+        let hit = proxy.service_time(AppId(1), true);
+        let miss = proxy.service_time(AppId(1), false);
+        assert!(miss > hit);
+    }
+}

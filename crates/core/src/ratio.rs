@@ -1,0 +1,158 @@
+//! The normalized ratio matrices of Equation 2: 𝓐 (processor × PAD),
+//! 𝓑 (OS × PAD), 𝓡 (network × PAD).
+//!
+//! "This linear model is not so accurate because other parameters of the
+//! processor and networks introduce error" (§3.4.2) — the matrices correct
+//! the linear estimate multiplicatively, and an ∞ entry disqualifies a PAD
+//! outright (the paper's WinMedia-on-PalmOS example).
+//!
+//! Entries default to 1.0 (pure linear model) when unspecified, matching
+//! the paper: "Some of the data come from the test, others we set as 1 to
+//! follow the linear model."
+
+use std::collections::HashMap;
+
+use crate::meta::PadId;
+
+/// One ratio matrix over a column type `C` (processor, OS, or network).
+#[derive(Clone, Debug)]
+pub struct RatioMatrix<C: Copy + Eq + std::hash::Hash> {
+    entries: HashMap<(PadId, C), f64>,
+}
+
+impl<C: Copy + Eq + std::hash::Hash> Default for RatioMatrix<C> {
+    fn default() -> Self {
+        RatioMatrix { entries: HashMap::new() }
+    }
+}
+
+impl<C: Copy + Eq + std::hash::Hash> RatioMatrix<C> {
+    /// An all-ones matrix (pure linear model).
+    pub fn ones() -> Self {
+        Self::default()
+    }
+
+    /// Sets the ratio for `(pad, column)`. Use `f64::INFINITY` to
+    /// disqualify the PAD on that column.
+    pub fn set(&mut self, pad: PadId, column: C, ratio: f64) -> &mut Self {
+        assert!(ratio > 0.0 || ratio.is_infinite(), "ratio must be positive or ∞");
+        self.entries.insert((pad, column), ratio);
+        self
+    }
+
+    /// Builder-style [`set`](Self::set).
+    pub fn with(mut self, pad: PadId, column: C, ratio: f64) -> Self {
+        self.set(pad, column, ratio);
+        self
+    }
+
+    /// Looks up the ratio, defaulting to 1.0.
+    pub fn get(&self, pad: PadId, column: C) -> f64 {
+        self.entries.get(&(pad, column)).copied().unwrap_or(1.0)
+    }
+
+    /// Whether the PAD is disqualified (∞) on this column.
+    pub fn disqualified(&self, pad: PadId, column: C) -> bool {
+        self.get(pad, column).is_infinite()
+    }
+
+    /// Number of explicit (non-default) entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the matrix is pure-linear (no explicit entries).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// The three matrices bundled, as consumed by the overhead model.
+#[derive(Clone, Debug, Default)]
+pub struct Ratios {
+    /// 𝓐 — processor-type ratios (Equation 4).
+    pub cpu: RatioMatrix<crate::meta::CpuType>,
+    /// 𝓑 — operating-system ratios (Equation 5).
+    pub os: RatioMatrix<crate::meta::OsType>,
+    /// 𝓡 — network-type ratios (Equation 6).
+    pub net: RatioMatrix<fractal_net::link::LinkKind>,
+}
+
+impl Ratios {
+    /// All-ones (pure linear model) — the ablation baseline.
+    pub fn linear() -> Ratios {
+        Ratios::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{CpuType, OsType};
+
+    #[test]
+    fn defaults_to_one() {
+        let m: RatioMatrix<CpuType> = RatioMatrix::ones();
+        assert_eq!(m.get(PadId(1), CpuType::Pxa255), 1.0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn set_and_get() {
+        let mut m: RatioMatrix<CpuType> = RatioMatrix::ones();
+        m.set(PadId(1), CpuType::Pxa255, 1.1);
+        assert_eq!(m.get(PadId(1), CpuType::Pxa255), 1.1);
+        assert_eq!(m.get(PadId(1), CpuType::PentiumIv2000), 1.0);
+        assert_eq!(m.get(PadId(2), CpuType::Pxa255), 1.0);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn infinity_disqualifies() {
+        let m: RatioMatrix<OsType> =
+            RatioMatrix::ones().with(PadId(5), OsType::PalmOs, f64::INFINITY);
+        assert!(m.disqualified(PadId(5), OsType::PalmOs));
+        assert!(!m.disqualified(PadId(5), OsType::WinCe42));
+    }
+
+    /// The §3.4.2 example: WinMedia runs on WinCE but not PalmOS; Kinoma
+    /// the reverse. Without the matrix the linear model picks the player
+    /// that cannot run at all.
+    #[test]
+    fn winmedia_kinoma_example() {
+        let winmedia = PadId(100);
+        let kinoma = PadId(101);
+        let m: RatioMatrix<OsType> = RatioMatrix::ones()
+            .with(winmedia, OsType::WinCe42, 1.0)
+            .with(winmedia, OsType::PalmOs, f64::INFINITY)
+            .with(kinoma, OsType::WinCe42, f64::INFINITY)
+            .with(kinoma, OsType::PalmOs, 1.0);
+
+        // Linear compute estimates on WinCE: Kinoma looks faster…
+        let linear = |_pad: PadId| -> f64 {
+            if _pad == kinoma {
+                2.0
+            } else {
+                5.0
+            }
+        };
+        // …but the adjusted cost disqualifies it.
+        let adjusted =
+            |pad: PadId| -> f64 { linear(pad) * m.get(pad, OsType::WinCe42) };
+        assert!(adjusted(kinoma).is_infinite());
+        assert!(adjusted(winmedia) < adjusted(kinoma));
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio must be positive")]
+    fn rejects_nonpositive_ratio() {
+        let mut m: RatioMatrix<CpuType> = RatioMatrix::ones();
+        m.set(PadId(1), CpuType::Pxa255, 0.0);
+    }
+
+    #[test]
+    fn bundled_ratios_default_linear() {
+        let r = Ratios::linear();
+        assert!(r.cpu.is_empty() && r.os.is_empty() && r.net.is_empty());
+    }
+}

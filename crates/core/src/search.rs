@@ -1,0 +1,193 @@
+//! The adaptation path search algorithm of Figure 6.
+//!
+//! "The adaptation path search algorithm starts the first step by marking
+//! each node in the PAT with the total overhead computed by Equation 3 …
+//! Then the algorithm uses the Depth-First-Search-like algorithm to
+//! traverse each path from root to leaves and finds the path with the
+//! least sum of each PAD's total overhead."
+//!
+//! Nodes marked ∞ (disqualified by a ratio matrix) poison any path through
+//! them; when every path is poisoned the search reports
+//! [`FractalError::NoFeasiblePath`].
+
+use std::collections::HashMap;
+
+use crate::error::FractalError;
+use crate::meta::{ClientEnv, PadId};
+use crate::overhead::OverheadModel;
+use crate::pat::Pat;
+
+/// The search result: the chosen PAD chain and its estimated overhead.
+#[derive(Clone, PartialEq, Debug)]
+pub struct AdaptationPath {
+    /// Canonical PAD ids, root-most first.
+    pub pads: Vec<PadId>,
+    /// Sum of per-PAD estimated total overheads (seconds).
+    pub total_overhead_s: f64,
+}
+
+/// Marks every node with its Equation-3 total, then finds the cheapest
+/// root→leaf path.
+pub fn search(
+    pat: &Pat,
+    model: &OverheadModel,
+    client: &ClientEnv,
+    content_bytes: u64,
+) -> Result<AdaptationPath, FractalError> {
+    // Step 1 (Figure 6 lines 1–3): mark each node. Symbolic copies share
+    // their canonical PAD's mark.
+    let marks = mark_nodes(pat, model, client, content_bytes);
+
+    // Step 2: DFS over enumerated paths, tracking the least total.
+    let mut best: Option<AdaptationPath> = None;
+    for path in pat.paths() {
+        let total: f64 = path.iter().map(|id| marks[id]).sum();
+        if !total.is_finite() {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some(b) => total < b.total_overhead_s,
+        };
+        if better {
+            best = Some(AdaptationPath { pads: path, total_overhead_s: total });
+        }
+    }
+    best.ok_or(FractalError::NoFeasiblePath)
+}
+
+/// The per-node overhead marks (exposed for diagnostics and the figure
+/// harness; Figure 5 draws these beside each node).
+pub fn mark_nodes(
+    pat: &Pat,
+    model: &OverheadModel,
+    client: &ClientEnv,
+    content_bytes: u64,
+) -> HashMap<PadId, f64> {
+    let mut marks = HashMap::new();
+    for id in pat.ids() {
+        let canonical = pat.resolve(id).expect("id from tree");
+        let meta = pat.meta(canonical).expect("canonical meta");
+        let total = model.pad_total(meta, client, content_bytes);
+        marks.insert(canonical, total);
+        marks.insert(id, total);
+    }
+    marks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meta::{AppId, CpuType, DevMeta, NtwkMeta, OsType, PadMeta, PadOverhead};
+    use crate::ratio::Ratios;
+    use fractal_net::link::LinkKind;
+    use fractal_protocols::ProtocolId;
+
+    fn pad_with(id: u64, client_ms: f64, traffic: f64) -> PadMeta {
+        PadMeta {
+            id: PadId(id),
+            protocol: ProtocolId::Direct,
+            size: 0,
+            overhead: PadOverhead {
+                server_ms_per_mb: 0.0,
+                client_ms_per_mb: client_ms,
+                traffic_ratio: traffic,
+            },
+            digest: fractal_crypto::Digest::ZERO,
+            url: String::new(),
+            parent: None,
+            children: vec![],
+        }
+    }
+
+    fn client() -> ClientEnv {
+        ClientEnv {
+            dev: DevMeta {
+                os: OsType::FedoraCore2,
+                cpu: CpuType::Reference500,
+                cpu_mhz: 500,
+                memory_mb: 256,
+            },
+            ntwk: NtwkMeta { kind: LinkKind::Wan, bandwidth_kbps: 1000 },
+        }
+    }
+
+    /// Rebuild the Figure 5 / Figure 6 walk-through: the first examined
+    /// path (PAD1, PAD4) costs 14, but (PAD2, PAD7) costs 9 and wins.
+    #[test]
+    fn figure6_walkthrough() {
+        let mut pat = Pat::new(AppId(1));
+        // Overheads are induced via client compute at the reference CPU on
+        // 1 MB content: client_ms 1000 → 1 s. Traffic 0 to keep it exact.
+        let s = |x: f64| x * 1000.0;
+        pat.insert(pad_with(1, s(6.0), 0.0), None).unwrap(); // PAD1 = 6
+        pat.insert(pad_with(2, s(4.0), 0.0), None).unwrap(); // PAD2 = 4
+        pat.insert(pad_with(3, f64::INFINITY, 0.0), None).unwrap(); // PAD3 = ∞… via ratio below
+        pat.insert(pad_with(4, s(8.0), 0.0), Some(PadId(1))).unwrap(); // PAD4 = 8 → path 14
+        pat.insert(pad_with(5, s(9.0), 0.0), Some(PadId(1))).unwrap(); // PAD5 = 9 → path 15
+        pat.insert(pad_with(7, s(5.0), 0.0), Some(PadId(2))).unwrap(); // PAD7 = 5 → path 9
+        pat.insert(pad_with(8, s(7.0), 0.0), Some(PadId(2))).unwrap(); // PAD8 = 7 → path 11
+        pat.insert_symlink(PadId(6), PadId(7), Some(PadId(1))).unwrap(); // PAD1+PAD6 = 11
+
+        let model = OverheadModel::paper(Ratios::linear());
+        let got = search(&pat, &model, &client(), 1_000_000).unwrap();
+        assert_eq!(got.pads, vec![PadId(2), PadId(7)]);
+        assert!((got.total_overhead_s - 9.0).abs() < 1e-6, "{}", got.total_overhead_s);
+    }
+
+    #[test]
+    fn infinite_marks_poison_paths() {
+        let mut pat = Pat::new(AppId(1));
+        pat.insert(pad_with(1, 1000.0, 0.0), None).unwrap();
+        pat.insert(pad_with(2, 1000.0, 0.0), Some(PadId(1))).unwrap();
+        let mut ratios = Ratios::linear();
+        ratios.os.set(PadId(2), OsType::FedoraCore2, f64::INFINITY);
+        let model = OverheadModel::paper(ratios);
+        // The only path goes through the disqualified PAD2.
+        assert_eq!(
+            search(&pat, &model, &client(), 1_000_000),
+            Err(FractalError::NoFeasiblePath)
+        );
+    }
+
+    #[test]
+    fn picks_feasible_over_cheaper_infeasible() {
+        let mut pat = Pat::new(AppId(1));
+        pat.insert(pad_with(1, 100.0, 0.0), None).unwrap(); // cheap
+        pat.insert(pad_with(2, 90_000.0, 0.0), None).unwrap(); // expensive
+        let mut ratios = Ratios::linear();
+        ratios.cpu.set(PadId(1), CpuType::Reference500, f64::INFINITY);
+        let model = OverheadModel::paper(ratios);
+        let got = search(&pat, &model, &client(), 1_000_000).unwrap();
+        assert_eq!(got.pads, vec![PadId(2)]);
+    }
+
+    #[test]
+    fn single_level_picks_min() {
+        let mut pat = Pat::new(AppId(1));
+        for (id, cost) in [(1u64, 500.0), (2, 200.0), (3, 900.0)] {
+            pat.insert(pad_with(id, cost, 0.0), None).unwrap();
+        }
+        let model = OverheadModel::paper(Ratios::linear());
+        let got = search(&pat, &model, &client(), 1_000_000).unwrap();
+        assert_eq!(got.pads, vec![PadId(2)]);
+    }
+
+    #[test]
+    fn empty_tree_has_no_path() {
+        let pat = Pat::new(AppId(1));
+        let model = OverheadModel::paper(Ratios::linear());
+        assert_eq!(search(&pat, &model, &client(), 1), Err(FractalError::NoFeasiblePath));
+    }
+
+    #[test]
+    fn marks_cover_symbolic_and_canonical() {
+        let mut pat = Pat::new(AppId(1));
+        pat.insert(pad_with(1, 100.0, 0.0), None).unwrap();
+        pat.insert(pad_with(7, 100.0, 0.0), None).unwrap();
+        pat.insert_symlink(PadId(6), PadId(7), Some(PadId(1))).unwrap();
+        let model = OverheadModel::paper(Ratios::linear());
+        let marks = mark_nodes(&pat, &model, &client(), 1_000_000);
+        assert_eq!(marks[&PadId(6)], marks[&PadId(7)]);
+    }
+}

@@ -1,0 +1,301 @@
+//! The application server: versioned adaptive content, reactive vs.
+//! proactive generation, and the PAD-encoded session responses.
+//!
+//! §3.1: "adaptive content can be generated either reactively or
+//! proactively. The former is suitable for the case in which content keeps
+//! changing … the price of computing the dynamic adaptive content maybe
+//! high. On the contrary, the latter, where adaptive content is
+//! precalculated in advance and saved in memory or disk consumes less CPU
+//! and has large memory or disk space requirements."
+
+use std::collections::HashMap;
+
+use fractal_protocols::bitmap::Bitmap;
+use fractal_protocols::direct::Direct;
+use fractal_protocols::fixedblock::FixedBlock;
+use fractal_protocols::gzip::Gzip;
+use fractal_protocols::varyblock::VaryBlock;
+use fractal_protocols::{DiffCodec, ProtocolId};
+
+use crate::error::FractalError;
+use crate::meta::AppId;
+
+/// Reactive vs. proactive adaptive-content generation (§3.1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AdaptiveContentMode {
+    /// Encode per request; server compute is on the critical path.
+    Reactive,
+    /// Pre-encode into the adaptive-content store; requests are lookups.
+    Proactive,
+}
+
+/// One encoded response plus its accounting.
+#[derive(Clone, Debug)]
+pub struct EncodedResponse {
+    /// The protocol used.
+    pub protocol: ProtocolId,
+    /// Encoded payload bytes.
+    pub payload: Vec<u8>,
+    /// Whether the encode ran on the request path (false = served from the
+    /// proactive store).
+    pub computed_on_request: bool,
+}
+
+/// Memory accounting for the proactive store — the space/CPU trade-off the
+/// paper calls out.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StoreStats {
+    /// Pre-encoded entries held.
+    pub entries: usize,
+    /// Bytes held.
+    pub bytes: u64,
+}
+
+type StoreKey = (u32, Option<u32>, u32, ProtocolId);
+
+/// The application server.
+pub struct ApplicationServer {
+    /// Application this server provides.
+    pub app_id: AppId,
+    mode: AdaptiveContentMode,
+    /// content id → versions (index = version number).
+    contents: HashMap<u32, Vec<Vec<u8>>>,
+    /// Proactive store: (content, have, want, protocol) → payload.
+    store: HashMap<StoreKey, Vec<u8>>,
+    /// Deployed server-side PADs.
+    protocols: Vec<ProtocolId>,
+}
+
+impl core::fmt::Debug for ApplicationServer {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("ApplicationServer")
+            .field("app_id", &self.app_id)
+            .field("mode", &self.mode)
+            .field("contents", &self.contents.len())
+            .field("store", &self.store.len())
+            .finish()
+    }
+}
+
+/// Builds the codec for one protocol (the server-side PAD function).
+pub fn codec_for(protocol: ProtocolId) -> Box<dyn DiffCodec> {
+    match protocol {
+        ProtocolId::Direct => Box::new(Direct),
+        ProtocolId::Gzip => Box::new(Gzip),
+        ProtocolId::Bitmap => Box::new(Bitmap::default()),
+        ProtocolId::VaryBlock => Box::new(VaryBlock::default()),
+        ProtocolId::FixedBlock => Box::new(FixedBlock::default()),
+    }
+}
+
+impl ApplicationServer {
+    /// Creates a server with the given deployed protocols.
+    pub fn new(app_id: AppId, protocols: &[ProtocolId], mode: AdaptiveContentMode) -> Self {
+        ApplicationServer {
+            app_id,
+            mode,
+            contents: HashMap::new(),
+            store: HashMap::new(),
+            protocols: protocols.to_vec(),
+        }
+    }
+
+    /// Current generation mode.
+    pub fn mode(&self) -> AdaptiveContentMode {
+        self.mode
+    }
+
+    /// Publishes a new version of `content_id`; returns the version number.
+    /// In proactive mode the adaptive content for the new version is
+    /// pre-computed immediately (the off-request-path cost).
+    pub fn publish(&mut self, content_id: u32, bytes: Vec<u8>) -> u32 {
+        let versions = self.contents.entry(content_id).or_default();
+        versions.push(bytes);
+        let version = (versions.len() - 1) as u32;
+        if self.mode == AdaptiveContentMode::Proactive {
+            self.precompute(content_id, version);
+        }
+        version
+    }
+
+    /// Latest version number of `content_id`.
+    pub fn latest_version(&self, content_id: u32) -> Option<u32> {
+        self.contents.get(&content_id).map(|v| (v.len() - 1) as u32)
+    }
+
+    /// Raw bytes of a version (for tests and the session runner's oracle).
+    pub fn content(&self, content_id: u32, version: u32) -> Option<&[u8]> {
+        self.contents.get(&content_id)?.get(version as usize).map(Vec::as_slice)
+    }
+
+    fn precompute(&mut self, content_id: u32, version: u32) {
+        let versions = &self.contents[&content_id];
+        let new = versions[version as usize].clone();
+        let old_versions: Vec<(Option<u32>, Vec<u8>)> = {
+            let mut v: Vec<(Option<u32>, Vec<u8>)> =
+                vec![(None, Vec::new())];
+            if version > 0 {
+                v.push((Some(version - 1), versions[version as usize - 1].clone()));
+            }
+            v
+        };
+        for &protocol in &self.protocols.clone() {
+            let codec = codec_for(protocol);
+            for (have, old) in &old_versions {
+                let payload = codec.encode(old, &new);
+                self.store.insert((content_id, *have, version, protocol), payload);
+            }
+        }
+    }
+
+    /// Handles the encoded-content part of an `APP_REQ`: the client holds
+    /// `have_version` (or nothing) and wants `want_version` encoded with
+    /// `protocol`.
+    pub fn respond(
+        &mut self,
+        content_id: u32,
+        have_version: Option<u32>,
+        want_version: u32,
+        protocol: ProtocolId,
+    ) -> Result<EncodedResponse, FractalError> {
+        if !self.protocols.contains(&protocol) {
+            return Err(FractalError::ProtocolNotDeployed(protocol));
+        }
+        let versions =
+            self.contents.get(&content_id).ok_or(FractalError::UnknownContent(content_id))?;
+        let new = versions
+            .get(want_version as usize)
+            .ok_or(FractalError::UnknownContent(content_id))?;
+
+        if self.mode == AdaptiveContentMode::Proactive {
+            if let Some(payload) = self.store.get(&(content_id, have_version, want_version, protocol))
+            {
+                return Ok(EncodedResponse {
+                    protocol,
+                    payload: payload.clone(),
+                    computed_on_request: false,
+                });
+            }
+        }
+
+        let old: &[u8] = match have_version {
+            Some(v) => versions
+                .get(v as usize)
+                .map(Vec::as_slice)
+                .ok_or(FractalError::UnknownContent(content_id))?,
+            None => &[],
+        };
+        let payload = codec_for(protocol).encode(old, new);
+        Ok(EncodedResponse { protocol, payload, computed_on_request: true })
+    }
+
+    /// Proactive-store accounting.
+    pub fn store_stats(&self) -> StoreStats {
+        StoreStats {
+            entries: self.store.len(),
+            bytes: self.store.values().map(|p| p.len() as u64).sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn content(seed: u8, len: usize) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(seed).wrapping_add(seed)).collect()
+    }
+
+    fn server(mode: AdaptiveContentMode) -> ApplicationServer {
+        ApplicationServer::new(AppId(1), &ProtocolId::PAPER_FOUR, mode)
+    }
+
+    #[test]
+    fn publish_and_version_chain() {
+        let mut s = server(AdaptiveContentMode::Reactive);
+        assert_eq!(s.publish(7, content(1, 100)), 0);
+        assert_eq!(s.publish(7, content(2, 100)), 1);
+        assert_eq!(s.latest_version(7), Some(1));
+        assert_eq!(s.latest_version(8), None);
+        assert_eq!(s.content(7, 0).unwrap().len(), 100);
+    }
+
+    #[test]
+    fn reactive_respond_round_trips_every_protocol() {
+        let mut s = server(AdaptiveContentMode::Reactive);
+        let v0 = content(1, 5000);
+        let v1 = content(2, 5000);
+        s.publish(7, v0.clone());
+        s.publish(7, v1.clone());
+        for p in ProtocolId::PAPER_FOUR {
+            let resp = s.respond(7, Some(0), 1, p).unwrap();
+            assert!(resp.computed_on_request);
+            let decoded = codec_for(p).decode(&v0, &resp.payload).unwrap();
+            assert_eq!(decoded, v1, "{p}");
+        }
+    }
+
+    #[test]
+    fn proactive_serves_from_store() {
+        let mut s = server(AdaptiveContentMode::Proactive);
+        s.publish(7, content(1, 2000));
+        s.publish(7, content(2, 2000));
+        // Cold fetch and warm fetch are both precomputed.
+        let cold = s.respond(7, None, 1, ProtocolId::Gzip).unwrap();
+        assert!(!cold.computed_on_request);
+        let warm = s.respond(7, Some(0), 1, ProtocolId::VaryBlock).unwrap();
+        assert!(!warm.computed_on_request);
+        assert!(s.store_stats().entries > 0);
+        assert!(s.store_stats().bytes > 0);
+    }
+
+    #[test]
+    fn proactive_falls_back_to_reactive_for_unexpected_pairs() {
+        let mut s = server(AdaptiveContentMode::Proactive);
+        s.publish(7, content(1, 1000));
+        s.publish(7, content(2, 1000));
+        s.publish(7, content(3, 1000));
+        // have=0 want=2 was not precomputed (only adjacent pairs are).
+        let resp = s.respond(7, Some(0), 2, ProtocolId::Gzip).unwrap();
+        assert!(resp.computed_on_request);
+    }
+
+    #[test]
+    fn unknown_content_and_versions_rejected() {
+        let mut s = server(AdaptiveContentMode::Reactive);
+        assert!(matches!(
+            s.respond(9, None, 0, ProtocolId::Direct),
+            Err(FractalError::UnknownContent(9))
+        ));
+        s.publish(7, content(1, 10));
+        assert!(s.respond(7, None, 5, ProtocolId::Direct).is_err());
+        assert!(s.respond(7, Some(9), 0, ProtocolId::Direct).is_err());
+    }
+
+    #[test]
+    fn undeployed_protocol_rejected() {
+        let mut s = ApplicationServer::new(
+            AppId(1),
+            &[ProtocolId::Direct],
+            AdaptiveContentMode::Reactive,
+        );
+        s.publish(7, content(1, 10));
+        assert_eq!(
+            s.respond(7, None, 0, ProtocolId::Gzip).unwrap_err(),
+            FractalError::ProtocolNotDeployed(ProtocolId::Gzip)
+        );
+    }
+
+    #[test]
+    fn proactive_store_grows_with_versions() {
+        let mut s = server(AdaptiveContentMode::Proactive);
+        s.publish(7, content(1, 1000));
+        let after_one = s.store_stats().entries;
+        s.publish(7, content(2, 1000));
+        let after_two = s.store_stats().entries;
+        assert!(after_two > after_one);
+        // v0: 4 protocols × cold; v1: 4 × (cold + warm).
+        assert_eq!(after_one, 4);
+        assert_eq!(after_two, 12);
+    }
+}

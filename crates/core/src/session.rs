@@ -1,0 +1,324 @@
+//! The end-to-end session runner: the full Figure 4 sequence over the
+//! simulated network, producing the per-session measurements behind
+//! Figures 10 and 11.
+//!
+//! Every step really happens — INP messages are built and parsed, PADs are
+//! verified and deployed, the server encoder runs, and the client decodes
+//! with the sandboxed FVM module — while *time* is charged from the
+//! calibrated overhead model and link parameters, so results are exact and
+//! reproducible.
+
+use std::collections::HashMap;
+
+use fractal_net::link::Link;
+use fractal_net::time::SimDuration;
+use fractal_protocols::{ProtocolId, Traffic};
+
+use crate::client::FractalClient;
+use crate::error::FractalError;
+use crate::inp::InpMessage;
+use crate::meta::{AppId, PadId, PadMeta};
+use crate::overhead::STD_CPU_MHZ;
+use crate::proxy::AdaptationProxy;
+use crate::server::ApplicationServer;
+
+/// Where clients download PADs from in the uncontended sessions of
+/// Figures 10/11 (the contended Figure 9(b) capacity experiment uses the
+/// full CDN deployment in `fractal-cdn`).
+pub type PadRepo = HashMap<PadId, Vec<u8>>;
+
+/// Per-session measurements, decomposed the way the paper plots them.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SessionReport {
+    /// The negotiated protocol (first PAD of the path).
+    pub protocol: ProtocolId,
+    /// INIT_REQ → PAD_META_REP (zero on a protocol-cache hit).
+    pub negotiation: SimDuration,
+    /// Whether the client's protocol cache short-circuited negotiation.
+    pub negotiation_cached: bool,
+    /// PAD download + verify + deploy (zero when already deployed).
+    pub pad_retrieval: SimDuration,
+    /// Server-side computing overhead (Figure 10's dark bars).
+    pub server_compute: SimDuration,
+    /// Client-side computing overhead (Figure 10's light bars).
+    pub client_compute: SimDuration,
+    /// Wire time for the application exchange (requests, upstream
+    /// protocol messages, encoded payload).
+    pub transmission: SimDuration,
+    /// Bytes on the wire for the application exchange (Figure 11(a)).
+    pub traffic: Traffic,
+}
+
+impl SessionReport {
+    /// The paper's "total time" (Figure 11(b)/(c)): everything after
+    /// negotiation, i.e. PAD retrieval + compute + transmission.
+    pub fn total(&self) -> SimDuration {
+        self.pad_retrieval + self.server_compute + self.client_compute + self.transmission
+    }
+
+    /// Total including negotiation (the client-perceived session time).
+    pub fn total_with_negotiation(&self) -> SimDuration {
+        self.negotiation + self.total()
+    }
+}
+
+/// Runs one full client session for `content_id` at version
+/// `want_version`, negotiating (or reusing) the protocol, downloading and
+/// deploying PADs as needed, and transferring + decoding the content.
+#[allow(clippy::too_many_arguments)] // one parameter per party in Figure 4
+pub fn run_session(
+    client: &mut FractalClient,
+    proxy: &mut AdaptationProxy,
+    server: &mut ApplicationServer,
+    pad_repo: &PadRepo,
+    link: &Link,
+    app_id: AppId,
+    content_id: u32,
+    want_version: u32,
+) -> Result<SessionReport, FractalError> {
+    // --- Negotiation (Figure 4, top half) -----------------------------
+    let (pads, negotiation, cached) = negotiate(client, proxy, link, app_id)?;
+    let protocol = pads.first().map(|p| p.protocol).ok_or(FractalError::NoFeasiblePath)?;
+
+    // --- PAD download + deploy ----------------------------------------
+    let mut pad_retrieval = SimDuration::ZERO;
+    for pad in &pads {
+        if client.is_deployed(pad.id) {
+            continue;
+        }
+        let wire = pad_repo.get(&pad.id).ok_or(FractalError::PadUnavailable(pad.id))?;
+        let req = InpMessage::PadDownloadReq { pad_id: pad.id };
+        let rep = InpMessage::PadDownloadRep { pad_id: pad.id, bytes: wire.clone() };
+        pad_retrieval += link.transfer_time(req.wire_len() as u64);
+        pad_retrieval += link.transfer_time(rep.wire_len() as u64);
+        client.deploy_pad(pad, wire)?;
+        // Verification + instantiation cost, linear-model scaled.
+        pad_retrieval += SimDuration::millis(1)
+            .scale(STD_CPU_MHZ / client.env.dev.cpu_mhz as f64);
+    }
+
+    // --- Application exchange (APP_REQ … session) ----------------------
+    let have = client.cached_content(content_id).map(|c| c.version);
+
+    let pad_id = pads[0].id;
+    // Upstream protocol message (Bitmap digests / fixed-block signatures),
+    // built by the deployed mobile code.
+    let upstream_msg = client.upstream_message(pad_id, protocol, content_id)?;
+
+    let app_req = InpMessage::AppReq {
+        app_id,
+        protocols: pads.iter().map(|p| p.protocol).collect(),
+        payload: content_id.to_le_bytes().to_vec(),
+    };
+    let mut upstream_bytes = app_req.wire_len() as u64;
+    let mut transmission = link.transfer_time(upstream_bytes);
+    if let Some(msg) = &upstream_msg {
+        upstream_bytes += msg.len() as u64;
+        transmission += link.transfer_time(msg.len() as u64);
+    }
+
+    // Server encodes (really runs the codec).
+    let response = server.respond(content_id, have, want_version, protocol)?;
+    let payload_len = response.payload.len() as u64;
+    transmission += link.transfer_time(payload_len);
+
+    // Client decodes through the sandboxed FVM module.
+    let decoded = client.decode_content(pad_id, content_id, &response.payload)?;
+    let expected = server.content(content_id, want_version).expect("published version");
+    assert_eq!(decoded, expected, "mobile-code decode must reproduce the content");
+    client.store_content(content_id, want_version, decoded);
+
+    // --- Compute charging (Equation 3 terms with measured traffic) -----
+    let model = proxy.model();
+    let content_mb = expected.len() as f64 / 1_000_000.0;
+    let over = &pads[0].overhead;
+    let alpha = model.ratios.cpu.get(pad_id, client.env.dev.cpu);
+    let beta = model.ratios.os.get(pad_id, client.env.dev.os);
+    let server_compute = if response.computed_on_request {
+        SimDuration::from_secs_f64(
+            beta * over.server_ms_per_mb * content_mb * (STD_CPU_MHZ / model.server_cpu_mhz)
+                / 1000.0,
+        )
+    } else {
+        // Proactive store lookup.
+        SimDuration::micros(50)
+    };
+    let client_compute = SimDuration::from_secs_f64(
+        alpha
+            * beta
+            * over.client_ms_per_mb
+            * content_mb
+            * (STD_CPU_MHZ / client.env.dev.cpu_mhz as f64)
+            / 1000.0,
+    );
+
+    Ok(SessionReport {
+        protocol,
+        negotiation,
+        negotiation_cached: cached,
+        pad_retrieval,
+        server_compute,
+        client_compute,
+        transmission,
+        traffic: Traffic { upstream: upstream_bytes, downstream: payload_len },
+    })
+}
+
+/// The negotiation half: protocol-cache check, else the four-leg INP
+/// exchange with the adaptation proxy.
+fn negotiate(
+    client: &mut FractalClient,
+    proxy: &mut AdaptationProxy,
+    link: &Link,
+    app_id: AppId,
+) -> Result<(Vec<PadMeta>, SimDuration, bool), FractalError> {
+    if let Some(pads) = client.cached_protocols(app_id) {
+        return Ok((pads, SimDuration::ZERO, true));
+    }
+
+    let env = client.probe();
+    let was_cached_at_proxy = proxy.cached(app_id, &env);
+    let pads = proxy.negotiate(app_id, env)?;
+
+    // Build the real messages to account the real wire bytes.
+    let init_req = InpMessage::InitReq { app_id, payload: b"app-request".to_vec() };
+    let init_rep = InpMessage::InitRep;
+    let meta_req = InpMessage::CliMetaReq;
+    let meta_rep = InpMessage::CliMetaRep { dev: env.dev, ntwk: env.ntwk };
+    let pads_rep = InpMessage::PadMetaRep { pads: pads.clone() };
+    // Round-trip sanity: the proxy must be able to parse what we send.
+    debug_assert_eq!(InpMessage::from_bytes(&meta_rep.to_bytes()).as_ref(), Ok(&meta_rep));
+
+    let mut t = SimDuration::ZERO;
+    t += link.transfer_time(init_req.wire_len() as u64);
+    t += link.transfer_time((init_rep.wire_len() + meta_req.wire_len()) as u64);
+    t += link.transfer_time(meta_rep.wire_len() as u64);
+    t += proxy.service_time(app_id, was_cached_at_proxy);
+    t += link.transfer_time(pads_rep.wire_len() as u64);
+
+    client.remember_protocols(app_id, &pads);
+    Ok((pads, t, false))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::ClientClass;
+    use crate::server::AdaptiveContentMode;
+    use crate::testbed::Testbed;
+
+    fn content(seed: u8, len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i / 7) as u8).wrapping_mul(seed).wrapping_add(seed)).collect()
+    }
+
+    #[test]
+    fn full_session_cold_then_warm() {
+        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let v0 = content(3, 40_000);
+        let mut v1 = v0.clone();
+        v1[100] ^= 0xFF;
+        tb.server.publish(7, v0);
+        tb.server.publish(7, v1);
+
+        let mut client = tb.client(ClientClass::PdaBluetooth);
+        let link = ClientClass::PdaBluetooth.link();
+
+        let cold = run_session(
+            &mut client,
+            &mut tb.proxy,
+            &mut tb.server,
+            &tb.pad_repo,
+            &link,
+            tb.app_id,
+            7,
+            0,
+        )
+        .unwrap();
+        assert!(!cold.negotiation_cached);
+        assert!(cold.negotiation > SimDuration::ZERO);
+        assert!(cold.pad_retrieval > SimDuration::ZERO);
+        assert!(cold.total() > SimDuration::ZERO);
+
+        let warm = run_session(
+            &mut client,
+            &mut tb.proxy,
+            &mut tb.server,
+            &tb.pad_repo,
+            &link,
+            tb.app_id,
+            7,
+            1,
+        )
+        .unwrap();
+        assert!(warm.negotiation_cached, "protocol cache should hit");
+        assert_eq!(warm.negotiation, SimDuration::ZERO);
+        assert_eq!(warm.pad_retrieval, SimDuration::ZERO, "PAD already deployed");
+        // Warm differencing transfer moves far fewer bytes than cold.
+        assert!(warm.traffic.downstream < cold.traffic.downstream / 2);
+    }
+
+    #[test]
+    fn session_decodes_through_vm_for_every_class() {
+        for class in ClientClass::ALL {
+            let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+            tb.server.publish(7, content(5, 20_000));
+            let mut client = tb.client(class);
+            let link = class.link();
+            let report = run_session(
+                &mut client,
+                &mut tb.proxy,
+                &mut tb.server,
+                &tb.pad_repo,
+                &link,
+                tb.app_id,
+                7,
+                0,
+            )
+            .unwrap();
+            assert!(report.traffic.downstream > 0, "{class}");
+            assert_eq!(client.cached_content(7).unwrap().version, 0);
+        }
+    }
+
+    #[test]
+    fn proactive_mode_charges_no_server_compute() {
+        let mut tb = Testbed::case_study(AdaptiveContentMode::Proactive);
+        tb.proxy.set_mode(crate::overhead::ServerComputeMode::Exclude);
+        tb.server.publish(7, content(6, 20_000));
+        let mut client = tb.client(ClientClass::PdaBluetooth);
+        let link = ClientClass::PdaBluetooth.link();
+        let report = run_session(
+            &mut client,
+            &mut tb.proxy,
+            &mut tb.server,
+            &tb.pad_repo,
+            &link,
+            tb.app_id,
+            7,
+            0,
+        )
+        .unwrap();
+        assert!(report.server_compute < SimDuration::millis(1));
+    }
+
+    #[test]
+    fn missing_pad_in_repo_fails_cleanly() {
+        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        tb.server.publish(7, content(9, 5_000));
+        tb.pad_repo.clear();
+        let mut client = tb.client(ClientClass::DesktopLan);
+        let link = ClientClass::DesktopLan.link();
+        let err = run_session(
+            &mut client,
+            &mut tb.proxy,
+            &mut tb.server,
+            &tb.pad_repo,
+            &link,
+            tb.app_id,
+            7,
+            0,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FractalError::PadUnavailable(_)));
+    }
+}

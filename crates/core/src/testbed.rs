@@ -1,0 +1,114 @@
+//! A pre-wired case-study testbed: signer, PAD catalog, adaptation proxy,
+//! application server, and PAD repository — everything Figure 7 sets up,
+//! ready for sessions.
+//!
+//! Used by the integration tests, the examples, and the figure harness so
+//! they all exercise the same assembly code path.
+
+use std::collections::HashMap;
+
+use fractal_crypto::sign::{Signer, SignerRegistry, TrustStore};
+use fractal_pads::Catalog;
+use fractal_protocols::ProtocolId;
+
+use crate::client::FractalClient;
+use crate::meta::AppId;
+use crate::overhead::OverheadModel;
+use crate::presets::{case_study_app_meta, pad_id, paper_ratios, ClientClass};
+use crate::proxy::AdaptationProxy;
+use crate::server::{AdaptiveContentMode, ApplicationServer};
+use crate::session::PadRepo;
+
+/// The assembled experimental platform.
+pub struct Testbed {
+    /// The adaptation proxy, PAT pushed and ready.
+    pub proxy: AdaptationProxy,
+    /// The application server with the four case-study protocols deployed.
+    pub server: ApplicationServer,
+    /// PAD wire bytes by id (what the CDN serves).
+    pub pad_repo: PadRepo,
+    /// The application id.
+    pub app_id: AppId,
+    /// The operator's signer (for publishing more PADs).
+    pub signer: Signer,
+    registry: SignerRegistry,
+}
+
+impl Testbed {
+    /// Builds the paper's case study: four PADs signed and published, the
+    /// one-level PAT pushed to the proxy, server in the given
+    /// adaptive-content mode.
+    pub fn case_study(mode: AdaptiveContentMode) -> Testbed {
+        Self::with_protocols(&ProtocolId::PAPER_FOUR, mode)
+    }
+
+    /// Builds a testbed with an arbitrary protocol set (e.g. including the
+    /// fixed-block extension).
+    pub fn with_protocols(protocols: &[ProtocolId], mode: AdaptiveContentMode) -> Testbed {
+        let mut registry = SignerRegistry::new();
+        let signer = registry.provision("application-operator");
+        let catalog = if protocols == ProtocolId::PAPER_FOUR {
+            Catalog::paper_four(&signer)
+        } else {
+            Catalog::all(&signer)
+        };
+
+        let app_id = AppId(1);
+        let mut pad_repo: PadRepo = HashMap::new();
+        let mut artifacts = Vec::new();
+        for &p in protocols {
+            let a = catalog.get(p).expect("catalog holds protocol");
+            pad_repo.insert(pad_id(p), a.signed.to_wire());
+            artifacts.push((p, a.digest(), a.wire_len() as u32));
+        }
+
+        let meta = case_study_app_meta(app_id, &artifacts);
+        let mut proxy = AdaptationProxy::new(OverheadModel::paper(paper_ratios()));
+        proxy.push_app_meta(&meta);
+
+        let server = ApplicationServer::new(app_id, protocols, mode);
+        Testbed { proxy, server, pad_repo, app_id, signer, registry }
+    }
+
+    /// Creates a client of the given class with the operator's trust
+    /// anchors installed.
+    pub fn client(&self, class: ClientClass) -> FractalClient {
+        let mut trust = TrustStore::new();
+        self.registry.export_trust(&mut trust);
+        FractalClient::new(class.env(), trust)
+    }
+
+    /// Creates a client that trusts nobody (for security failure tests).
+    pub fn untrusting_client(&self, class: ClientClass) -> FractalClient {
+        FractalClient::new(class.env(), TrustStore::new())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn case_study_assembly() {
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        assert_eq!(tb.pad_repo.len(), 4);
+        assert!(tb.proxy.pat(tb.app_id).is_some());
+        assert_eq!(tb.proxy.pat(tb.app_id).unwrap().leaf_count(), 4);
+    }
+
+    #[test]
+    fn with_extension_protocols() {
+        let tb = Testbed::with_protocols(&ProtocolId::ALL, AdaptiveContentMode::Reactive);
+        assert_eq!(tb.pad_repo.len(), 5);
+        assert_eq!(tb.proxy.pat(tb.app_id).unwrap().leaf_count(), 5);
+    }
+
+    #[test]
+    fn clients_trust_or_not() {
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let trusted = tb.client(ClientClass::DesktopLan);
+        assert!(!trusted.trust.is_empty());
+        let untrusted = tb.untrusting_client(ClientClass::DesktopLan);
+        assert!(untrusted.trust.is_empty());
+    }
+}

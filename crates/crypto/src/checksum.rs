@@ -1,0 +1,57 @@
+//! The weak 32-bit rolling checksum used by the fixed-block (rsync-style)
+//! protocol: the classic two-component sum that admits O(1) rolling.
+
+/// Computes the weak checksum of `data` from scratch.
+pub fn weak_sum(data: &[u8]) -> u32 {
+    let mut a: u32 = 0;
+    let mut b: u32 = 0;
+    for (i, &byte) in data.iter().enumerate() {
+        a = a.wrapping_add(byte as u32);
+        b = b.wrapping_add((data.len() - i) as u32 * byte as u32);
+    }
+    (a & 0xFFFF) | (b << 16)
+}
+
+/// Rolls [`weak_sum`] one byte forward: removes `out`, appends `inc`, for a
+/// window of length `len`.
+pub fn weak_sum_roll(sum: u32, out: u8, inc: u8, len: usize) -> u32 {
+    let a = sum & 0xFFFF;
+    let b = sum >> 16;
+    let a2 = a.wrapping_sub(out as u32).wrapping_add(inc as u32) & 0xFFFF;
+    let b2 = b.wrapping_sub(len as u32 * out as u32).wrapping_add(a2);
+    (a2 & 0xFFFF) | (b2 << 16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weak_sum_basics() {
+        assert_eq!(weak_sum(&[]), 0);
+        assert_ne!(weak_sum(b"abc"), weak_sum(b"acb"), "order sensitive");
+        assert_eq!(weak_sum(b"abc"), weak_sum(b"abc"));
+    }
+
+    #[test]
+    fn weak_sum_rolls_correctly() {
+        let data: Vec<u8> = (0..200u32).map(|i| (i * 31 + 7) as u8).collect();
+        let w = 32usize;
+        let mut s = weak_sum(&data[..w]);
+        for start in 1..data.len() - w {
+            s = weak_sum_roll(s, data[start - 1], data[start + w - 1], w);
+            assert_eq!(s, weak_sum(&data[start..start + w]), "window at {start}");
+        }
+    }
+
+    #[test]
+    fn rolling_over_extreme_bytes() {
+        let data = [0u8, 255, 0, 255, 255, 0, 1, 254, 3];
+        let w = 4usize;
+        let mut s = weak_sum(&data[..w]);
+        for start in 1..=data.len() - w {
+            s = weak_sum_roll(s, data[start - 1], data[start + w - 1], w);
+            assert_eq!(s, weak_sum(&data[start..start + w]));
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal hex encoding/decoding helpers (no external dependency).
+
+const TABLE: &[u8; 16] = b"0123456789abcdef";
+
+/// Encodes `bytes` as lowercase hex.
+pub fn encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xF) as usize] as char);
+    }
+    out
+}
+
+/// Decodes a hex string (case-insensitive). Returns `None` on odd length or
+/// non-hex characters.
+pub fn decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(s.len() / 2);
+    let bytes = s.as_bytes();
+    for pair in bytes.chunks_exact(2) {
+        let hi = val(pair[0])?;
+        let lo = val(pair[1])?;
+        out.push((hi << 4) | lo);
+    }
+    Some(out)
+}
+
+fn val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_known() {
+        assert_eq!(encode(&[0x00, 0xff, 0x10]), "00ff10");
+        assert_eq!(encode(&[]), "");
+    }
+
+    #[test]
+    fn decode_known() {
+        assert_eq!(decode("00ff10"), Some(vec![0x00, 0xff, 0x10]));
+        assert_eq!(decode("DEADbeef"), Some(vec![0xde, 0xad, 0xbe, 0xef]));
+        assert_eq!(decode(""), Some(vec![]));
+    }
+
+    #[test]
+    fn decode_rejects_invalid() {
+        assert_eq!(decode("0"), None);
+        assert_eq!(decode("0g"), None);
+        assert_eq!(decode("  "), None);
+    }
+
+    #[test]
+    fn round_trip_all_bytes() {
+        let all: Vec<u8> = (0u16..256).map(|b| b as u8).collect();
+        assert_eq!(decode(&encode(&all)).unwrap(), all);
+    }
+}

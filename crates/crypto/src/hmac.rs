@@ -1,0 +1,130 @@
+//! HMAC-SHA1 (RFC 2104), the MAC primitive behind Fractal code signing.
+
+use crate::digest::Digest;
+use crate::sha1::Sha1;
+
+const BLOCK: usize = 64;
+const IPAD: u8 = 0x36;
+const OPAD: u8 = 0x5c;
+
+/// Streaming HMAC-SHA1.
+#[derive(Clone)]
+pub struct HmacSha1 {
+    inner: Sha1,
+    /// Key XOR opad, kept for the outer pass.
+    opad_key: [u8; BLOCK],
+}
+
+impl HmacSha1 {
+    /// Creates a MAC instance keyed with `key` (any length; keys longer than
+    /// one block are first hashed, per RFC 2104).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK];
+        if key.len() > BLOCK {
+            let d = crate::sha1::sha1(key);
+            k[..20].copy_from_slice(d.as_bytes());
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_key = [0u8; BLOCK];
+        let mut opad_key = [0u8; BLOCK];
+        for i in 0..BLOCK {
+            ipad_key[i] = k[i] ^ IPAD;
+            opad_key[i] = k[i] ^ OPAD;
+        }
+        let mut inner = Sha1::new();
+        inner.update(&ipad_key);
+        HmacSha1 { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Completes the MAC.
+    pub fn finalize(self) -> Digest {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha1::new();
+        outer.update(&self.opad_key);
+        outer.update(inner_digest.as_bytes());
+        outer.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA1 of `message` under `key`.
+pub fn hmac_sha1(key: &[u8], message: &[u8]) -> Digest {
+    let mut mac = HmacSha1::new(key);
+    mac.update(message);
+    mac.finalize()
+}
+
+/// Constant-time digest comparison, so signature verification does not leak
+/// the position of the first mismatching byte.
+pub fn verify_equal(a: &Digest, b: &Digest) -> bool {
+    let mut diff = 0u8;
+    for (x, y) in a.0.iter().zip(b.0.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 2202 test vectors for HMAC-SHA1.
+    #[test]
+    fn rfc2202_case1() {
+        let key = [0x0bu8; 20];
+        let d = hmac_sha1(&key, b"Hi There");
+        assert_eq!(d.to_hex(), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn rfc2202_case2() {
+        let d = hmac_sha1(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(d.to_hex(), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn rfc2202_case3() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        let d = hmac_sha1(&key, &data);
+        assert_eq!(d.to_hex(), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    }
+
+    #[test]
+    fn rfc2202_case6_long_key() {
+        let key = [0xaau8; 80];
+        let d = hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        assert_eq!(d.to_hex(), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key = b"signer-key";
+        let msg = b"mobile code module bytes".repeat(17);
+        let want = hmac_sha1(key, &msg);
+        let mut mac = HmacSha1::new(key);
+        for chunk in msg.chunks(7) {
+            mac.update(chunk);
+        }
+        assert_eq!(mac.finalize(), want);
+    }
+
+    #[test]
+    fn different_keys_different_macs() {
+        assert_ne!(hmac_sha1(b"k1", b"m"), hmac_sha1(b"k2", b"m"));
+    }
+
+    #[test]
+    fn verify_equal_behaviour() {
+        let a = hmac_sha1(b"k", b"m");
+        let b = hmac_sha1(b"k", b"m");
+        let c = hmac_sha1(b"k", b"n");
+        assert!(verify_equal(&a, &b));
+        assert!(!verify_equal(&a, &c));
+    }
+}

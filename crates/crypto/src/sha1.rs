@@ -1,0 +1,227 @@
+//! SHA-1 message digest (FIPS 180-1), implemented from scratch.
+//!
+//! The paper uses SHA-1 (reference \[10\]) for PAD integrity digests and for
+//! the chunk digests of the differencing protocols. This is a streaming
+//! implementation: feed bytes with [`Sha1::update`], finish with
+//! [`Sha1::finalize`]. A convenience one-shot [`sha1`] is also provided.
+//!
+//! SHA-1 is cryptographically broken for collision resistance today; it is
+//! kept here for fidelity to the 2005 paper. Nothing in the framework
+//! depends on collision resistance beyond what the paper assumed.
+
+use crate::digest::Digest;
+
+const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+/// Streaming SHA-1 hasher.
+#[derive(Clone)]
+pub struct Sha1 {
+    /// Working hash state (a, b, c, d, e).
+    state: [u32; 5],
+    /// Partial input block awaiting compression.
+    buffer: [u8; 64],
+    /// Number of valid bytes in `buffer`.
+    buffered: usize,
+    /// Total message length in bytes processed so far.
+    length: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl core::fmt::Debug for Sha1 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Sha1")
+            .field("length", &self.length)
+            .field("buffered", &self.buffered)
+            .finish()
+    }
+}
+
+impl Sha1 {
+    /// Creates a hasher in the initial FIPS 180-1 state.
+    pub fn new() -> Self {
+        Sha1 { state: H0, buffer: [0u8; 64], buffered: 0, length: 0 }
+    }
+
+    /// Absorbs `data` into the hash state.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut input = data;
+        // Top up a partial block first.
+        if self.buffered > 0 {
+            let want = 64 - self.buffered;
+            let take = want.min(input.len());
+            self.buffer[self.buffered..self.buffered + take].copy_from_slice(&input[..take]);
+            self.buffered += take;
+            input = &input[take..];
+            if self.buffered == 64 {
+                let block = self.buffer;
+                self.compress(&block);
+                self.buffered = 0;
+            }
+        }
+        // Whole blocks straight from the input.
+        while input.len() >= 64 {
+            let (block, rest) = input.split_at(64);
+            let mut b = [0u8; 64];
+            b.copy_from_slice(block);
+            self.compress(&b);
+            input = rest;
+        }
+        // Stash the tail.
+        if !input.is_empty() {
+            self.buffer[..input.len()].copy_from_slice(input);
+            self.buffered = input.len();
+        }
+    }
+
+    /// Completes the hash, consuming the hasher.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.length.wrapping_mul(8);
+        // Append 0x80 then zero padding until 8 bytes remain in the block.
+        self.update(&[0x80]);
+        while self.buffered != 56 {
+            self.update(&[0]);
+        }
+        // Length is tracked by `update`; neutralize the padding's effect on
+        // it by writing the big-endian bit length of the original message.
+        self.update(&bit_len.to_be_bytes());
+        debug_assert_eq!(self.buffered, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// SHA-1 compression function over one 512-bit block.
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for t in 16..80 {
+            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (t, &wt) in w.iter().enumerate() {
+            let (f, k) = match t {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wt);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: &Digest) -> String {
+        crate::hex::encode(&d.0)
+    }
+
+    #[test]
+    fn empty_message() {
+        assert_eq!(hex(&sha1(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc_vector() {
+        assert_eq!(hex(&sha1(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn two_block_vector() {
+        let msg = b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+        assert_eq!(hex(&sha1(msg)), "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+    }
+
+    #[test]
+    fn million_a_vector() {
+        let msg = vec![b'a'; 1_000_000];
+        assert_eq!(hex(&sha1(&msg)), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn quick_brown_fox() {
+        assert_eq!(
+            hex(&sha1(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_at_all_split_points() {
+        let data: Vec<u8> = (0u32..300).map(|i| (i * 7 + 13) as u8).collect();
+        let want = sha1(&data);
+        for split in 0..data.len() {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_oneshot_byte_by_byte() {
+        let data = b"protocol adaptors packaged as mobile code modules";
+        let mut h = Sha1::new();
+        for b in data.iter() {
+            h.update(&[*b]);
+        }
+        assert_eq!(h.finalize(), sha1(data));
+    }
+
+    #[test]
+    fn boundary_lengths_55_56_63_64_65() {
+        // Padding edge cases: message lengths around the block boundary.
+        for len in [55usize, 56, 57, 63, 64, 65, 119, 120, 127, 128] {
+            let data = vec![0xABu8; len];
+            let mut h = Sha1::new();
+            h.update(&data);
+            // Also via two uneven updates.
+            let mut h2 = Sha1::new();
+            h2.update(&data[..len / 3]);
+            h2.update(&data[len / 3..]);
+            assert_eq!(h.finalize(), h2.finalize(), "len {len}");
+        }
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(sha1(b"PAD1"), sha1(b"PAD2"));
+        assert_ne!(sha1(b""), sha1(b"\0"));
+    }
+}

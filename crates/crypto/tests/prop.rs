@@ -1,0 +1,79 @@
+//! Property-based tests for the crypto substrate.
+
+use fractal_crypto::checksum::{weak_sum, weak_sum_roll};
+use fractal_crypto::hex;
+use fractal_crypto::hmac::hmac_sha1;
+use fractal_crypto::rabin::{fingerprint, RollingHash, WINDOW};
+use fractal_crypto::sha1::{sha1, Sha1};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Streaming SHA-1 equals one-shot regardless of chunking.
+    #[test]
+    fn sha1_streaming_invariant(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                splits in proptest::collection::vec(any::<u16>(), 0..8)) {
+        let want = sha1(&data);
+        let mut h = Sha1::new();
+        let mut pos = 0usize;
+        for s in splits {
+            let cut = pos + (s as usize % (data.len() - pos + 1));
+            h.update(&data[pos..cut]);
+            pos = cut;
+        }
+        h.update(&data[pos..]);
+        prop_assert_eq!(h.finalize(), want);
+    }
+
+    /// Hex encode/decode is a bijection on byte strings.
+    #[test]
+    fn hex_round_trip(data in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let encoded = hex::encode(&data);
+        prop_assert_eq!(hex::decode(&encoded).unwrap(), data);
+    }
+
+    /// Different keys (or messages) virtually never collide under HMAC.
+    #[test]
+    fn hmac_separates_keys(key1 in proptest::collection::vec(any::<u8>(), 1..64),
+                           key2 in proptest::collection::vec(any::<u8>(), 1..64),
+                           msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assume!(key1 != key2);
+        prop_assert_ne!(hmac_sha1(&key1, &msg), hmac_sha1(&key2, &msg));
+    }
+
+    /// Rolling Rabin fingerprint equals the from-scratch fingerprint of
+    /// every full window.
+    #[test]
+    fn rabin_rolls_correctly(data in proptest::collection::vec(any::<u8>(), WINDOW..1024)) {
+        let mut rh = RollingHash::new();
+        for (i, &b) in data.iter().enumerate() {
+            let v = rh.roll(b);
+            if i + 1 >= WINDOW {
+                prop_assert_eq!(v, fingerprint(&data[i + 1 - WINDOW..=i]));
+            }
+        }
+    }
+
+    /// The weak checksum rolls exactly.
+    #[test]
+    fn weak_sum_rolls(data in proptest::collection::vec(any::<u8>(), 10..512),
+                      window in 2usize..9) {
+        prop_assume!(data.len() > window + 1);
+        let mut s = weak_sum(&data[..window]);
+        for start in 1..data.len() - window {
+            s = weak_sum_roll(s, data[start - 1], data[start + window - 1], window);
+            prop_assert_eq!(s, weak_sum(&data[start..start + window]));
+        }
+    }
+
+    /// SHA-1 output differs when any single byte is flipped.
+    #[test]
+    fn sha1_sensitive_to_single_bit(data in proptest::collection::vec(any::<u8>(), 1..512),
+                                    idx in any::<usize>(), bit in 0u8..8) {
+        let mut flipped = data.clone();
+        let i = idx % data.len();
+        flipped[i] ^= 1 << bit;
+        prop_assert_ne!(sha1(&data), sha1(&flipped));
+    }
+}

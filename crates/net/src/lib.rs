@@ -1,0 +1,38 @@
+//! # fractal-net
+//!
+//! A deterministic, discrete-event network simulator: the substrate that
+//! stands in for the paper's physical testbed (LAN / Wireless LAN /
+//! Bluetooth clients, a PlanetLab-emulated CDN).
+//!
+//! The paper's evaluation quantities — negotiation time, PAD retrieval
+//! time, transfer time — are functions of link bandwidth, link latency, the
+//! application-level utilization factor ρ (§3.4.2, "usually between 0.6 to
+//! 0.8 … we approximate ρ as 0.8"), and server-side queueing under load.
+//! This crate models exactly those first-order effects:
+//!
+//! * [`time`] — microsecond simulated time;
+//! * [`link`] — link profiles (LAN, WLAN, Bluetooth, Dialup, WAN) with
+//!   bandwidth, propagation latency, ρ, and transfer-time math;
+//! * [`queue`] — server-side queueing: a c-server FIFO queue and an exact
+//!   processor-sharing pipe (concurrent downloads share egress bandwidth),
+//!   which produce the load curves of Figure 9;
+//! * [`topology`] — planar node placement with distance-derived latency,
+//!   used by the CDN's closest-edge routing;
+//! * [`jitter`] — deterministic measurement noise so plots show the
+//!   "fluctuations" real testbeds exhibit without losing reproducibility.
+//!
+//! Everything is deterministic given a seed; there is no wall-clock I/O.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod jitter;
+pub mod link;
+pub mod queue;
+pub mod time;
+pub mod topology;
+
+pub use link::{Link, LinkKind};
+pub use queue::{FifoQueue, SharedPipe};
+pub use time::{SimDuration, SimTime};
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,285 @@
+//! Server-side queueing models.
+//!
+//! Figure 9 of the paper is all about load: (a) negotiation time at one
+//! adaptation proxy as client count grows, and (b) PAD retrieval time from
+//! a centralized server versus distributed CDN edge servers. Two models
+//! cover both:
+//!
+//! * [`FifoQueue`] — `c` identical servers, FIFO dispatch: the adaptation
+//!   proxy's negotiation manager handling one negotiation at a time per
+//!   worker.
+//! * [`SharedPipe`] — exact processor-sharing of an egress pipe: `n`
+//!   concurrent downloads each progress at `capacity / n`, the right model
+//!   for a server NIC saturated by simultaneous PAD downloads.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A `c`-server FIFO queue evaluated over a batch of jobs.
+#[derive(Clone, Debug)]
+pub struct FifoQueue {
+    /// Number of parallel servers (worker threads).
+    pub servers: usize,
+}
+
+/// One job for the queueing models.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Job {
+    /// When the job arrives.
+    pub arrival: SimTime,
+    /// Service demand (for [`FifoQueue`]) in time, or transfer size in
+    /// bytes (for [`SharedPipe`], via `size_bytes`).
+    pub service: SimDuration,
+}
+
+impl FifoQueue {
+    /// Creates a queue with `servers` parallel workers.
+    pub fn new(servers: usize) -> FifoQueue {
+        assert!(servers > 0);
+        FifoQueue { servers }
+    }
+
+    /// Computes per-job completion times, FIFO in arrival order. Jobs must
+    /// be sorted by arrival time. Returns completion times aligned with the
+    /// input order.
+    pub fn run(&self, jobs: &[Job]) -> Vec<SimTime> {
+        debug_assert!(jobs.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        // free_at[i] = when server i next becomes free; pick the earliest.
+        let mut free_at = vec![SimTime::ZERO; self.servers];
+        let mut completions = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            // Earliest-free server.
+            let (idx, &free) =
+                free_at.iter().enumerate().min_by_key(|(_, &t)| t).expect("≥1 server");
+            let start = if free > job.arrival { free } else { job.arrival };
+            let done = start + job.service;
+            free_at[idx] = done;
+            completions.push(done);
+        }
+        completions
+    }
+
+    /// Mean sojourn time (completion − arrival) for a batch.
+    pub fn mean_sojourn(&self, jobs: &[Job]) -> SimDuration {
+        if jobs.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let completions = self.run(jobs);
+        let total: u64 = completions
+            .iter()
+            .zip(jobs)
+            .map(|(c, j)| c.since(j.arrival).as_micros())
+            .sum();
+        SimDuration::micros(total / jobs.len() as u64)
+    }
+}
+
+/// A transfer request through a shared egress pipe.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Transfer {
+    /// When the download starts.
+    pub arrival: SimTime,
+    /// Bytes to move.
+    pub size_bytes: u64,
+}
+
+/// Exact processor-sharing simulation of a shared egress pipe: at any
+/// instant, each of the `n` active transfers progresses at `capacity / n`.
+#[derive(Clone, Copy, Debug)]
+pub struct SharedPipe {
+    /// Pipe capacity in bytes per second.
+    pub bytes_per_sec: f64,
+}
+
+impl SharedPipe {
+    /// Creates a pipe with the given capacity (bytes/second).
+    pub fn new(bytes_per_sec: f64) -> SharedPipe {
+        assert!(bytes_per_sec > 0.0);
+        SharedPipe { bytes_per_sec }
+    }
+
+    /// Runs the processor-sharing simulation. `transfers` must be sorted by
+    /// arrival. Returns completion times aligned with input order.
+    pub fn run(&self, transfers: &[Transfer]) -> Vec<SimTime> {
+        debug_assert!(transfers.windows(2).all(|w| w[0].arrival <= w[1].arrival));
+        let n = transfers.len();
+        let mut completions = vec![SimTime::ZERO; n];
+        // Active set: (index, remaining_bytes).
+        let mut active: Vec<(usize, f64)> = Vec::new();
+        let mut next_arrival = 0usize;
+        let mut now = 0.0f64; // seconds
+
+        while next_arrival < n || !active.is_empty() {
+            // Advance to the first arrival if idle.
+            if active.is_empty() {
+                now = now.max(transfers[next_arrival].arrival.as_micros() as f64 / 1e6);
+            }
+            // Admit all arrivals at or before now.
+            while next_arrival < n
+                && transfers[next_arrival].arrival.as_micros() as f64 / 1e6 <= now + 1e-12
+            {
+                active.push((next_arrival, transfers[next_arrival].size_bytes as f64));
+                next_arrival += 1;
+            }
+            let rate = self.bytes_per_sec / active.len() as f64;
+            // Time until the smallest remaining transfer finishes…
+            let min_remaining =
+                active.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+            let t_finish = min_remaining / rate;
+            // …or until the next arrival changes the share.
+            let t_arrival = if next_arrival < n {
+                transfers[next_arrival].arrival.as_micros() as f64 / 1e6 - now
+            } else {
+                f64::INFINITY
+            };
+            let dt = t_finish.min(t_arrival);
+            now += dt;
+            let drained = rate * dt;
+            // Drain everyone; collect finishers.
+            let mut i = 0;
+            while i < active.len() {
+                active[i].1 -= drained;
+                if active[i].1 <= 1e-6 {
+                    completions[active[i].0] = SimTime((now * 1e6).round() as u64);
+                    active.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        completions
+    }
+
+    /// Mean transfer time for a batch of simultaneous equal downloads — the
+    /// closed form `size × n / capacity` checked against the simulation in
+    /// tests.
+    pub fn mean_time(&self, transfers: &[Transfer]) -> SimDuration {
+        if transfers.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let completions = self.run(transfers);
+        let total: u64 = completions
+            .iter()
+            .zip(transfers)
+            .map(|(c, t)| c.since(t.arrival).as_micros())
+            .sum();
+        SimDuration::micros(total / transfers.len() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(us: u64) -> SimTime {
+        SimTime(us)
+    }
+
+    #[test]
+    fn single_server_fifo_serializes() {
+        let q = FifoQueue::new(1);
+        let jobs = vec![
+            Job { arrival: at(0), service: SimDuration::micros(100) },
+            Job { arrival: at(0), service: SimDuration::micros(100) },
+            Job { arrival: at(0), service: SimDuration::micros(100) },
+        ];
+        let done = q.run(&jobs);
+        assert_eq!(done, vec![at(100), at(200), at(300)]);
+    }
+
+    #[test]
+    fn multi_server_fifo_parallelizes() {
+        let q = FifoQueue::new(3);
+        let jobs = vec![
+            Job { arrival: at(0), service: SimDuration::micros(100) },
+            Job { arrival: at(0), service: SimDuration::micros(100) },
+            Job { arrival: at(0), service: SimDuration::micros(100) },
+        ];
+        let done = q.run(&jobs);
+        assert_eq!(done, vec![at(100), at(100), at(100)]);
+    }
+
+    #[test]
+    fn fifo_idle_gap_resets() {
+        let q = FifoQueue::new(1);
+        let jobs = vec![
+            Job { arrival: at(0), service: SimDuration::micros(10) },
+            Job { arrival: at(1000), service: SimDuration::micros(10) },
+        ];
+        let done = q.run(&jobs);
+        assert_eq!(done, vec![at(10), at(1010)]);
+    }
+
+    #[test]
+    fn fifo_mean_sojourn_grows_with_load() {
+        let q = FifoQueue::new(2);
+        let make = |n: usize| -> Vec<Job> {
+            (0..n).map(|_| Job { arrival: at(0), service: SimDuration::micros(100) }).collect()
+        };
+        let light = q.mean_sojourn(&make(2));
+        let heavy = q.mean_sojourn(&make(20));
+        assert!(heavy > light);
+        assert_eq!(q.mean_sojourn(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn shared_pipe_single_transfer_full_rate() {
+        let pipe = SharedPipe::new(1_000_000.0); // 1 MB/s
+        let done = pipe.run(&[Transfer { arrival: at(0), size_bytes: 500_000 }]);
+        assert_eq!(done, vec![at(500_000)]); // 0.5 s
+    }
+
+    #[test]
+    fn shared_pipe_simultaneous_equal_transfers() {
+        // n equal simultaneous downloads: each takes size*n/capacity.
+        let pipe = SharedPipe::new(1_000_000.0);
+        let transfers: Vec<Transfer> =
+            (0..4).map(|_| Transfer { arrival: at(0), size_bytes: 250_000 }).collect();
+        let done = pipe.run(&transfers);
+        for d in done {
+            assert_eq!(d, at(1_000_000)); // 4 × 0.25 MB / 1 MB/s = 1 s each
+        }
+    }
+
+    #[test]
+    fn shared_pipe_staggered_arrivals() {
+        let pipe = SharedPipe::new(1_000_000.0);
+        // First starts alone, second arrives halfway through the first.
+        let transfers = vec![
+            Transfer { arrival: at(0), size_bytes: 500_000 },
+            Transfer { arrival: at(250_000), size_bytes: 500_000 },
+        ];
+        let done = pipe.run(&transfers);
+        // First: 0.25 s alone (250 KB), then shares: remaining 250 KB at
+        // 0.5 MB/s = 0.5 s → done at 0.75 s.
+        assert_eq!(done[0], at(750_000));
+        // Second: 250 KB moved while sharing (0.5 s), then 250 KB alone at
+        // 1 MB/s (0.25 s) → done at 0.25 + 0.5 + 0.25 = 1.0 s.
+        assert_eq!(done[1], at(1_000_000));
+    }
+
+    #[test]
+    fn shared_pipe_mean_grows_linearly_with_n() {
+        let pipe = SharedPipe::new(10_000_000.0);
+        let make = |n: usize| -> Vec<Transfer> {
+            (0..n).map(|_| Transfer { arrival: at(0), size_bytes: 100_000 }).collect()
+        };
+        let t10 = pipe.mean_time(&make(10)).as_secs_f64();
+        let t100 = pipe.mean_time(&make(100)).as_secs_f64();
+        let ratio = t100 / t10;
+        assert!((ratio - 10.0).abs() < 0.5, "expected ~10× growth, got {ratio}");
+    }
+
+    #[test]
+    fn shared_pipe_empty_batch() {
+        let pipe = SharedPipe::new(1000.0);
+        assert_eq!(pipe.mean_time(&[]), SimDuration::ZERO);
+        assert!(pipe.run(&[]).is_empty());
+    }
+
+    #[test]
+    fn shared_pipe_zero_size_transfer_completes_at_arrival() {
+        let pipe = SharedPipe::new(1000.0);
+        let done = pipe.run(&[Transfer { arrival: at(42), size_bytes: 0 }]);
+        assert_eq!(done, vec![at(42)]);
+    }
+}

@@ -1,0 +1,201 @@
+//! Simulated time: microsecond-resolution instants and durations.
+//!
+//! All experiment results are expressed in simulated time so they are
+//! exactly reproducible; nothing in the framework reads a wall clock.
+
+use core::ops::{Add, AddAssign, Sub};
+
+/// A duration in simulated microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimDuration(pub u64);
+
+impl SimDuration {
+    /// Zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// From whole microseconds.
+    pub const fn micros(us: u64) -> SimDuration {
+        SimDuration(us)
+    }
+
+    /// From whole milliseconds.
+    pub const fn millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000)
+    }
+
+    /// From whole seconds.
+    pub const fn secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// From fractional seconds (rounds to the nearest microsecond; negative
+    /// values clamp to zero).
+    pub fn from_secs_f64(s: f64) -> SimDuration {
+        SimDuration((s.max(0.0) * 1e6).round() as u64)
+    }
+
+    /// As microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// As fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// As fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Scales by a non-negative factor (rounds; NaN and negatives clamp to
+    /// zero).
+    pub fn scale(self, factor: f64) -> SimDuration {
+        if factor.is_nan() || factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((self.0 as f64 * factor).round() as u64)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.checked_sub(rhs.0).expect("duration underflow"))
+    }
+}
+
+impl core::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl core::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let us = self.0;
+        if us >= 1_000_000 {
+            write!(f, "{:.3}s", us as f64 / 1e6)
+        } else if us >= 1_000 {
+            write!(f, "{:.3}ms", us as f64 / 1e3)
+        } else {
+            write!(f, "{us}µs")
+        }
+    }
+}
+
+/// An instant in simulated time (microseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(pub u64);
+
+impl SimTime {
+    /// Simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Duration since `earlier`; panics if `earlier` is later.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(earlier.0).expect("time went backwards"))
+    }
+
+    /// As microseconds since the epoch.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl core::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(SimDuration::millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_secs_f64(0.5).as_micros(), 500_000);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimDuration::millis(2);
+        let b = SimDuration::millis(3);
+        assert_eq!((a + b).as_micros(), 5_000);
+        assert_eq!((b - a).as_micros(), 1_000);
+        assert_eq!(a.saturating_sub(b), SimDuration::ZERO);
+        let mut t = SimTime::ZERO;
+        t += a;
+        assert_eq!(t.as_micros(), 2_000);
+        assert_eq!((t + b).since(t), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration underflow")]
+    fn sub_underflow_panics() {
+        let _ = SimDuration::micros(1) - SimDuration::micros(2);
+    }
+
+    #[test]
+    fn scale() {
+        assert_eq!(SimDuration::micros(100).scale(2.5).as_micros(), 250);
+        assert_eq!(SimDuration::micros(100).scale(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::micros(100).scale(f64::NAN), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn sum() {
+        let total: SimDuration =
+            [1u64, 2, 3].into_iter().map(SimDuration::micros).sum();
+        assert_eq!(total.as_micros(), 6);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SimDuration::micros(5).to_string(), "5µs");
+        assert_eq!(SimDuration::micros(1500).to_string(), "1.500ms");
+        assert_eq!(SimDuration::secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn conversions() {
+        assert!((SimDuration::millis(1500).as_secs_f64() - 1.5).abs() < 1e-12);
+        assert!((SimDuration::micros(2500).as_millis_f64() - 2.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,102 @@
+//! Property-based tests for the network simulator: conservation laws of
+//! the queueing models and the link-time arithmetic.
+
+use fractal_net::link::{Link, LinkKind};
+use fractal_net::queue::{FifoQueue, Job, SharedPipe, Transfer};
+use fractal_net::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FIFO conservation: every job completes at or after both its arrival
+    /// plus service, and with c servers no more than c jobs overlap.
+    #[test]
+    fn fifo_completions_are_feasible(
+        servers in 1usize..6,
+        raw in proptest::collection::vec((0u64..10_000, 1u64..5_000), 1..40)
+    ) {
+        let mut jobs: Vec<Job> = raw
+            .iter()
+            .map(|&(a, s)| Job { arrival: SimTime(a), service: SimDuration::micros(s) })
+            .collect();
+        jobs.sort_by_key(|j| j.arrival);
+        let q = FifoQueue::new(servers);
+        let done = q.run(&jobs);
+        for (j, d) in jobs.iter().zip(&done) {
+            prop_assert!(*d >= j.arrival + j.service, "too early");
+        }
+        // Overlap bound: at any completion instant, count jobs in service.
+        for &t in &done {
+            let in_service = jobs
+                .iter()
+                .zip(&done)
+                .filter(|(j, d)| {
+                    let start = SimTime(d.as_micros() - j.service.as_micros());
+                    start < t && t <= **d
+                })
+                .count();
+            prop_assert!(in_service <= servers + jobs.len().saturating_sub(jobs.len()),
+                          "impossible: {} in service with {} servers", in_service, servers);
+        }
+        // Total busy time ≤ servers × makespan.
+        let makespan = done.iter().max().unwrap().as_micros()
+            - jobs.iter().map(|j| j.arrival.as_micros()).min().unwrap();
+        let busy: u64 = jobs.iter().map(|j| j.service.as_micros()).sum();
+        prop_assert!(busy <= makespan * servers as u64 + 1);
+    }
+
+    /// Processor sharing conserves work: total bytes delivered per unit
+    /// time never exceeds pipe capacity, so the makespan is at least
+    /// total_bytes / capacity.
+    #[test]
+    fn shared_pipe_conserves_capacity(
+        cap_kbps in 1u64..10_000,
+        raw in proptest::collection::vec((0u64..1_000_000, 1u64..500_000), 1..20)
+    ) {
+        let capacity = cap_kbps as f64 * 1000.0;
+        let mut transfers: Vec<Transfer> = raw
+            .iter()
+            .map(|&(a, s)| Transfer { arrival: SimTime(a), size_bytes: s })
+            .collect();
+        transfers.sort_by_key(|t| t.arrival);
+        let pipe = SharedPipe::new(capacity);
+        let done = pipe.run(&transfers);
+
+        let first_arrival = transfers[0].arrival.as_micros();
+        let last_done = done.iter().max().unwrap().as_micros();
+        let total_bytes: u64 = transfers.iter().map(|t| t.size_bytes).sum();
+        let min_secs = total_bytes as f64 / capacity;
+        let makespan_secs = (last_done - first_arrival) as f64 / 1e6;
+        prop_assert!(
+            makespan_secs + 1e-4 >= min_secs,
+            "makespan {makespan_secs} < work bound {min_secs}"
+        );
+        // And each transfer takes at least its solo time.
+        for (t, d) in transfers.iter().zip(&done) {
+            let solo = t.size_bytes as f64 / capacity;
+            let took = d.since(t.arrival).as_secs_f64();
+            prop_assert!(took + 1e-4 >= solo);
+        }
+    }
+
+    /// Link transfer time is additive in latency and monotone in size.
+    #[test]
+    fn link_time_monotone(bytes_a in 0u64..10_000_000, bytes_b in 0u64..10_000_000) {
+        for kind in LinkKind::ALL {
+            let link: Link = kind.link();
+            let (small, big) = (bytes_a.min(bytes_b), bytes_a.max(bytes_b));
+            prop_assert!(link.transfer_time(small) <= link.transfer_time(big));
+            prop_assert!(link.transfer_time(small) >= link.latency);
+        }
+    }
+
+    /// Serialization time scales linearly with size (within rounding).
+    #[test]
+    fn serialization_linearity(bytes in 1u64..1_000_000) {
+        let link = LinkKind::Wlan.link();
+        let one = link.serialization_time(bytes).as_micros() as f64;
+        let two = link.serialization_time(bytes * 2).as_micros() as f64;
+        prop_assert!((two - 2.0 * one).abs() <= 2.0, "one={one} two={two}");
+    }
+}

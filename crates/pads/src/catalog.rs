@@ -1,0 +1,127 @@
+//! The PAD catalog: what an application server registers with its
+//! adaptation proxy, and the source of the paper's Table 1.
+
+use fractal_crypto::sign::Signer;
+use fractal_protocols::ProtocolId;
+
+use crate::artifact::{build_pad, PadArtifact};
+
+/// All PADs an application server has built and signed.
+#[derive(Clone, Debug)]
+pub struct Catalog {
+    pads: Vec<PadArtifact>,
+}
+
+impl Catalog {
+    /// Builds and signs the paper's four case-study PADs (Table 1).
+    pub fn paper_four(signer: &Signer) -> Catalog {
+        Catalog { pads: ProtocolId::PAPER_FOUR.iter().map(|&p| build_pad(p, signer)).collect() }
+    }
+
+    /// Builds all five PADs (the four plus the rsync-style extension).
+    pub fn all(signer: &Signer) -> Catalog {
+        Catalog { pads: ProtocolId::ALL.iter().map(|&p| build_pad(p, signer)).collect() }
+    }
+
+    /// Iterates the artifacts.
+    pub fn artifacts(&self) -> impl Iterator<Item = &PadArtifact> {
+        self.pads.iter()
+    }
+
+    /// Looks up the artifact for one protocol.
+    pub fn get(&self, protocol: ProtocolId) -> Option<&PadArtifact> {
+        self.pads.iter().find(|a| a.protocol == protocol)
+    }
+
+    /// Number of PADs in the catalog.
+    pub fn len(&self) -> usize {
+        self.pads.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pads.is_empty()
+    }
+}
+
+/// One row of the paper's Table 1 ("The functions and implementations of
+/// PADs used in the experiments").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Table1Row {
+    /// PAD name.
+    pub name: &'static str,
+    /// What the protocol does.
+    pub function: &'static str,
+    /// How it is implemented in this reproduction.
+    pub implementation: &'static str,
+}
+
+/// Produces Table 1 for this reproduction (the paper's "Java class object"
+/// column becomes "signed FVM mobile-code module").
+pub fn table1() -> Vec<Table1Row> {
+    vec![
+        Table1Row { name: "Direct", function: "null", implementation: "null (signed FVM module)" },
+        Table1Row {
+            name: "Gzip",
+            function: "Compression (LZ77)",
+            implementation: "signed FVM mobile-code module",
+        },
+        Table1Row {
+            name: "Vary-sized blocking",
+            function: "Differencing files using Rabin fingerprint chunks",
+            implementation: "signed FVM mobile-code module",
+        },
+        Table1Row {
+            name: "Bitmap",
+            function: "Differencing files block by block",
+            implementation: "signed FVM mobile-code module",
+        },
+        Table1Row {
+            name: "Fixed-sized blocking (ext.)",
+            function: "Differencing files with rolling checksums (rsync)",
+            implementation: "signed FVM mobile-code module",
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fractal_crypto::sign::SignerRegistry;
+
+    #[test]
+    fn paper_four_catalog() {
+        let signer = SignerRegistry::new().provision("catalog");
+        let c = Catalog::paper_four(&signer);
+        assert_eq!(c.len(), 4);
+        for p in ProtocolId::PAPER_FOUR {
+            assert!(c.get(p).is_some(), "missing {p}");
+        }
+        assert!(c.get(ProtocolId::FixedBlock).is_none());
+    }
+
+    #[test]
+    fn full_catalog() {
+        let signer = SignerRegistry::new().provision("catalog");
+        let c = Catalog::all(&signer);
+        assert_eq!(c.len(), 5);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn artifacts_have_distinct_digests() {
+        let signer = SignerRegistry::new().provision("catalog");
+        let c = Catalog::all(&signer);
+        let digests: std::collections::HashSet<_> =
+            c.artifacts().map(|a| a.digest()).collect();
+        assert_eq!(digests.len(), c.len());
+    }
+
+    #[test]
+    fn table1_covers_all_protocols() {
+        let rows = table1();
+        assert_eq!(rows.len(), 5);
+        assert!(rows.iter().any(|r| r.name == "Direct"));
+        assert!(rows.iter().any(|r| r.name == "Bitmap"));
+    }
+}

@@ -1,0 +1,36 @@
+//! # fractal-pads
+//!
+//! The PAD factory: protocol adaptors packaged as **signed FVM mobile-code
+//! modules**, exactly as the Fractal paper deploys them (§3.1: "PAD, which
+//! is a protocol adaptor implemented in a mobile code module").
+//!
+//! Each of the case-study protocols has its client-side logic written in
+//! FVM assembly (the `fasm/` directory), compiled by the
+//! [`assembler`](fractal_vm::asm), verified, and signed by the application
+//! server's signer:
+//!
+//! | PAD | source | entries |
+//! |---|---|---|
+//! | Direct sending | `fasm/direct.fasm` | `decode` |
+//! | Gzip | `fasm/gzip.fasm` | `decode` (LZ77 token-stream decompressor) |
+//! | Bitmap | `fasm/bitmap.fasm` | `decode`, `digests` (upstream message) |
+//! | Vary-sized blocking | `fasm/recipe.fasm` | `decode` (recipe interpreter) |
+//! | Fixed-sized blocking | `fasm/recipe.fasm` + `fasm/signatures.fasm` | `decode`, `signatures` |
+//!
+//! [`runtime::PadRuntime`] is what a Fractal *client* runs after verifying
+//! and deploying a downloaded PAD: it stages the old version and the
+//! server's payload into the sandboxed machine's linear memory, invokes the
+//! module's `decode` entry, and extracts the rebuilt content. Property
+//! tests differential-check every VM decoder against the native reference
+//! codecs in `fractal-protocols`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifact;
+pub mod catalog;
+pub mod runtime;
+
+pub use artifact::{build_pad, PadArtifact};
+pub use catalog::{Catalog, Table1Row};
+pub use runtime::{PadError, PadRuntime};

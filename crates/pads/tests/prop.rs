@@ -1,0 +1,140 @@
+//! Differential property tests: the FVM mobile-code decoders against the
+//! native reference codecs, on arbitrary inputs.
+
+use fractal_crypto::sign::SignerRegistry;
+use fractal_pads::artifact::{build_pad, open_unchecked};
+use fractal_pads::runtime::{PadError, PadRuntime};
+use fractal_protocols::bitmap::Bitmap;
+use fractal_protocols::direct::Direct;
+use fractal_protocols::fixedblock::FixedBlock;
+use fractal_protocols::gzip::Gzip;
+use fractal_protocols::varyblock::{ChunkParams, VaryBlock};
+use fractal_protocols::{DiffCodec, ProtocolId};
+use fractal_vm::SandboxPolicy;
+use proptest::prelude::*;
+
+fn runtime(p: ProtocolId) -> PadRuntime {
+    let signer = SignerRegistry::new().provision("prop");
+    PadRuntime::new(open_unchecked(&build_pad(p, &signer)), SandboxPolicy::for_pads()).unwrap()
+}
+
+/// Native codec with parameters small enough for proptest-sized inputs.
+/// NOTE: bitmap/fixed decoders read parameters from the payload, and the
+/// vary decoder is parameter-free, so the VM side needs no configuration.
+fn native(p: ProtocolId) -> Box<dyn DiffCodec> {
+    match p {
+        ProtocolId::Direct => Box::new(Direct),
+        ProtocolId::Gzip => Box::new(Gzip),
+        ProtocolId::Bitmap => Box::new(Bitmap::with_block_size(64)),
+        ProtocolId::VaryBlock => {
+            Box::new(VaryBlock::with_params(ChunkParams { min: 32, max: 512, mask: 0x3F }))
+        }
+        ProtocolId::FixedBlock => Box::new(FixedBlock::with_block_size(64)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every protocol: VM decode of a genuine payload equals the new
+    /// version, on arbitrary old/new byte vectors.
+    #[test]
+    fn vm_decoders_match_native_encoders(
+        old in proptest::collection::vec(any::<u8>(), 0..2048),
+        mut new in proptest::collection::vec(any::<u8>(), 0..2048),
+        reuse_prefix in any::<bool>()
+    ) {
+        if reuse_prefix {
+            // Make versions related half the time so diff paths trigger.
+            let keep = old.len().min(new.len()) / 2;
+            new[..keep].copy_from_slice(&old[..keep]);
+        }
+        for p in ProtocolId::ALL {
+            let payload = native(p).encode(&old, &new);
+            let mut rt = runtime(p);
+            let decoded = rt.decode(&old, &payload);
+            prop_assert_eq!(decoded.as_deref().ok(), Some(new.as_slice()), "{}", p);
+        }
+    }
+
+    /// VM decoders are total on garbage payloads: a clean PadError (status
+    /// or trap), never a panic, never fabricated success matching nothing.
+    #[test]
+    fn vm_decoders_total_on_garbage(
+        old in proptest::collection::vec(any::<u8>(), 0..512),
+        payload in proptest::collection::vec(any::<u8>(), 0..512)
+    ) {
+        for p in ProtocolId::ALL {
+            let mut rt = runtime(p);
+            match rt.decode(&old, &payload) {
+                Ok(_) | Err(PadError::Status(_)) | Err(PadError::Trap(_)) => {}
+                Err(other) => prop_assert!(
+                    matches!(other, PadError::InputsTooLarge { .. }),
+                    "unexpected error {other:?}"
+                ),
+            }
+        }
+    }
+
+    /// Where the native decoder errors on a truncated payload, the VM
+    /// decoder must error too (no silent acceptance).
+    #[test]
+    fn vm_rejects_what_native_rejects(
+        old in proptest::collection::vec(any::<u8>(), 0..1024),
+        new in proptest::collection::vec(any::<u8>(), 1..1024),
+        cut_ppm in 0u32..999_999
+    ) {
+        for p in ProtocolId::ALL {
+            let codec = native(p);
+            let payload = codec.encode(&old, &new);
+            if payload.len() < 2 { continue; }
+            let cut = 1 + (cut_ppm as usize % (payload.len() - 1));
+            let truncated = &payload[..cut];
+            if codec.decode(&old, truncated).is_err() {
+                let mut rt = runtime(p);
+                prop_assert!(rt.decode(&old, truncated).is_err(),
+                             "{} accepted a truncated payload", p);
+            }
+        }
+    }
+
+    /// The DEFLATE extension PAD (Huffman + LZ77 in mobile code) matches
+    /// the native Deflate codec on arbitrary content.
+    #[test]
+    fn deflate_pad_matches_native(content in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        use fractal_protocols::deflate::Deflate;
+        let payload = Deflate.encode(&[], &content);
+        let signer = SignerRegistry::new().provision("prop-deflate");
+        let artifact = fractal_pads::artifact::build_deflate_pad(&signer);
+        let mut rt = PadRuntime::new(open_unchecked(&artifact), SandboxPolicy::for_pads()).unwrap();
+        let decoded = rt.decode(&[], &payload);
+        prop_assert_eq!(decoded.as_deref().ok(), Some(content.as_slice()));
+    }
+
+    /// The DEFLATE PAD is total on garbage payloads.
+    #[test]
+    fn deflate_pad_total_on_garbage(payload in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let signer = SignerRegistry::new().provision("prop-deflate");
+        let artifact = fractal_pads::artifact::build_deflate_pad(&signer);
+        let mut rt = PadRuntime::new(open_unchecked(&artifact), SandboxPolicy::for_pads()).unwrap();
+        let _ = rt.decode(&[], &payload);
+    }
+
+    /// Upstream builders agree with the native message for arbitrary old
+    /// versions and block sizes.
+    #[test]
+    fn upstream_builders_match(
+        old in proptest::collection::vec(any::<u8>(), 0..2048),
+        bs in 16u32..256
+    ) {
+        let mut rt = runtime(ProtocolId::Bitmap);
+        let vm = rt.upstream("digests", &old, bs).unwrap();
+        let native = Bitmap::with_block_size(bs as usize).upstream_message(&old);
+        prop_assert_eq!(vm, native);
+
+        let mut rt = runtime(ProtocolId::FixedBlock);
+        let vm = rt.upstream("signatures", &old, bs).unwrap();
+        let native = FixedBlock::with_block_size(bs as usize).upstream_message(&old);
+        prop_assert_eq!(vm, native);
+    }
+}

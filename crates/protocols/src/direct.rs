@@ -1,0 +1,57 @@
+//! Direct sending: the null protocol — content goes over the wire verbatim.
+//!
+//! "Strictly speaking, there is no communication optimization technique,
+//! client and Web server just directly send content to each other" (§4.1).
+//! It is still a PAD in the framework (the client must negotiate before
+//! using it), and it wins on fast networks where any compute overhead costs
+//! more than the saved bytes (Figure 11(b), Desktop/LAN).
+
+use crate::traits::{CodecError, DiffCodec, ProtocolId};
+
+/// The direct-sending codec.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Direct;
+
+impl DiffCodec for Direct {
+    fn id(&self) -> ProtocolId {
+        ProtocolId::Direct
+    }
+
+    fn encode(&self, _old: &[u8], new: &[u8]) -> Vec<u8> {
+        new.to_vec()
+    }
+
+    fn decode(&self, _old: &[u8], payload: &[u8]) -> Result<Vec<u8>, CodecError> {
+        Ok(payload.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_is_identity() {
+        let d = Direct;
+        let new = b"the content".to_vec();
+        let payload = d.encode(b"irrelevant old", &new);
+        assert_eq!(payload, new);
+        assert_eq!(d.decode(&[], &payload).unwrap(), new);
+    }
+
+    #[test]
+    fn empty_content() {
+        let d = Direct;
+        assert_eq!(d.encode(&[], &[]), Vec::<u8>::new());
+        assert_eq!(d.decode(&[], &[]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn traffic_equals_content_size() {
+        let d = Direct;
+        let new = vec![7u8; 1234];
+        let t = d.traffic(&[], &new);
+        assert_eq!(t.downstream, 1234);
+        assert_eq!(t.upstream, 0);
+    }
+}

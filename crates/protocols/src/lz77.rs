@@ -1,0 +1,281 @@
+//! LZ77/LZSS compression engine: the core of the [`gzip`](crate::gzip)
+//! protocol.
+//!
+//! The paper's Gzip PAD "uses the LZ77 algorithm" (§4.1, via the gzip tool).
+//! This is a from-scratch LZ77 with a hash-chain match finder and a
+//! byte-aligned token stream chosen so the client-side decoder is a tight
+//! loop of bulk copies — exactly what the FVM executes well.
+//!
+//! ## Token stream format
+//!
+//! ```text
+//! u32 raw_len                       ; decompressed length
+//! tokens until raw_len bytes produced:
+//!   control byte C:
+//!     0x00..=0x7F  literal run of C+1 bytes follows (1..=128)
+//!     0x80..=0xFF  match: length = (C & 0x7F) + MIN_MATCH, then u16 distance
+//! ```
+//!
+//! Distances are 1..=65535 back from the current output position; matches
+//! may overlap forward (distance < length), the classic LZ replication
+//! trick.
+
+use crate::traits::CodecError;
+
+/// Minimum match length worth encoding (a match token costs 3 bytes).
+pub const MIN_MATCH: usize = 4;
+/// Maximum match length encodable in one token.
+pub const MAX_MATCH: usize = 0x7F + MIN_MATCH; // 131
+/// Maximum back-reference distance.
+pub const MAX_DIST: usize = 65535;
+/// Maximum literal run per token.
+pub const MAX_LITERAL_RUN: usize = 128;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+/// How many chain links the match finder follows before giving up. Higher
+/// finds better matches but costs encode time (the server-side asymmetry
+/// the paper's Figure 10 shows).
+const MAX_CHAIN: usize = 64;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    // Multiplicative hash of the next 4 bytes.
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input` into the token stream format.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 + input.len() / 2);
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+
+    // head[h] = most recent position with hash h; prev[pos & mask] = chain.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; input.len().max(1)];
+
+    let mut pos = 0usize;
+    let mut literal_start = 0usize;
+
+    while pos < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash4(&input[pos..]);
+            let mut candidate = head[h];
+            let mut chain = 0;
+            while candidate != usize::MAX && chain < MAX_CHAIN {
+                let dist = pos - candidate;
+                if dist > MAX_DIST {
+                    break;
+                }
+                // Extend the match.
+                let limit = (input.len() - pos).min(MAX_MATCH);
+                let mut len = 0;
+                while len < limit && input[candidate + len] == input[pos + len] {
+                    len += 1;
+                }
+                if len > best_len {
+                    best_len = len;
+                    best_dist = dist;
+                    if len == limit {
+                        break;
+                    }
+                }
+                candidate = prev[candidate];
+                chain += 1;
+            }
+            head_insert(&mut head, &mut prev, input, pos);
+        }
+
+        if best_len >= MIN_MATCH {
+            flush_literals(&mut out, &input[literal_start..pos]);
+            // Emit the match token.
+            out.push(0x80 | ((best_len - MIN_MATCH) as u8));
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            // Index the skipped positions so later matches can reference
+            // them (bounded to keep encode cost linear-ish).
+            let end = pos + best_len;
+            let index_limit = (pos + 1 + 32).min(end);
+            for p in pos + 1..index_limit {
+                if p + MIN_MATCH <= input.len() {
+                    head_insert(&mut head, &mut prev, input, p);
+                }
+            }
+            pos = end;
+            literal_start = pos;
+        } else {
+            pos += 1;
+        }
+    }
+    flush_literals(&mut out, &input[literal_start..]);
+    out
+}
+
+#[inline]
+fn head_insert(head: &mut [usize], prev: &mut [usize], input: &[u8], pos: usize) {
+    let h = hash4(&input[pos..]);
+    prev[pos] = head[h];
+    head[h] = pos;
+}
+
+fn flush_literals(out: &mut Vec<u8>, mut lits: &[u8]) {
+    while !lits.is_empty() {
+        let take = lits.len().min(MAX_LITERAL_RUN);
+        out.push((take - 1) as u8);
+        out.extend_from_slice(&lits[..take]);
+        lits = &lits[take..];
+    }
+}
+
+/// Decompresses a token stream produced by [`compress`].
+pub fn decompress(payload: &[u8]) -> Result<Vec<u8>, CodecError> {
+    if payload.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let raw_len = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+    let mut out = Vec::with_capacity(raw_len);
+    let mut pos = 4usize;
+    while out.len() < raw_len {
+        let c = *payload.get(pos).ok_or(CodecError::Truncated)?;
+        pos += 1;
+        if c < 0x80 {
+            let run = c as usize + 1;
+            let bytes = payload.get(pos..pos + run).ok_or(CodecError::Truncated)?;
+            out.extend_from_slice(bytes);
+            pos += run;
+        } else {
+            let len = (c & 0x7F) as usize + MIN_MATCH;
+            let d = payload.get(pos..pos + 2).ok_or(CodecError::Truncated)?;
+            let dist = u16::from_le_bytes([d[0], d[1]]) as usize;
+            pos += 2;
+            if dist == 0 || dist > out.len() {
+                return Err(CodecError::BadFormat("match distance out of range"));
+            }
+            let start = out.len() - dist;
+            for i in 0..len {
+                let b = out[start + i];
+                out.push(b);
+            }
+        }
+    }
+    if out.len() != raw_len {
+        return Err(CodecError::LengthMismatch { declared: raw_len, produced: out.len() });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(data: &[u8]) -> Vec<u8> {
+        let c = compress(data);
+        let d = decompress(&c).expect("decompresses");
+        assert_eq!(d, data);
+        c
+    }
+
+    #[test]
+    fn empty_input() {
+        let c = round_trip(b"");
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn short_incompressible() {
+        round_trip(b"abc");
+        round_trip(b"a");
+    }
+
+    #[test]
+    fn repeated_bytes_compress_well() {
+        let data = vec![b'x'; 10_000];
+        let c = round_trip(&data);
+        assert!(c.len() < 400, "run of 10k identical bytes should shrink a lot, got {}", c.len());
+    }
+
+    #[test]
+    fn periodic_pattern_compresses() {
+        let data: Vec<u8> = b"the quick brown fox ".iter().copied().cycle().take(8000).collect();
+        let c = round_trip(&data);
+        assert!(c.len() < data.len() / 4, "periodic text should compress 4x+, got {}", c.len());
+    }
+
+    #[test]
+    fn random_data_does_not_explode() {
+        // Worst case: token overhead is 1 byte per 128 literals.
+        let mut state = 0x12345678u32;
+        let data: Vec<u8> = (0..50_000)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 24) as u8
+            })
+            .collect();
+        let c = round_trip(&data);
+        assert!(c.len() <= data.len() + data.len() / 100 + 16);
+    }
+
+    #[test]
+    fn overlapping_match_replication() {
+        // "abcabcabc…" forces dist=3 matches with len > dist.
+        let data: Vec<u8> = b"abc".iter().copied().cycle().take(5000).collect();
+        round_trip(&data);
+    }
+
+    #[test]
+    fn long_matches_split_at_max_match() {
+        let mut data = vec![0u8; 1000];
+        data.extend_from_slice(&vec![0u8; MAX_MATCH * 3]);
+        round_trip(&data);
+    }
+
+    #[test]
+    fn text_like_content() {
+        let text = "Fractal works entirely at the application level and has no \
+                    specific requirements about underlying network topologies, \
+                    connection media types, network protocols, and client \
+                    hardware configurations. "
+            .repeat(40);
+        let c = round_trip(text.as_bytes());
+        assert!(c.len() < text.len() / 3);
+    }
+
+    #[test]
+    fn decompress_rejects_truncated_header() {
+        assert_eq!(decompress(&[1, 2]), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn decompress_rejects_truncated_literals() {
+        let mut payload = 10u32.to_le_bytes().to_vec();
+        payload.push(9); // literal run of 10…
+        payload.extend_from_slice(b"only5"); // …but 5 bytes
+        assert_eq!(decompress(&payload), Err(CodecError::Truncated));
+    }
+
+    #[test]
+    fn decompress_rejects_wild_distance() {
+        let mut payload = 8u32.to_le_bytes().to_vec();
+        payload.push(0x80); // match len=MIN_MATCH
+        payload.extend_from_slice(&100u16.to_le_bytes()); // dist 100 into empty output
+        assert!(matches!(decompress(&payload), Err(CodecError::BadFormat(_))));
+    }
+
+    #[test]
+    fn decompress_rejects_zero_distance() {
+        let mut payload = 8u32.to_le_bytes().to_vec();
+        payload.push(0x00); // one literal
+        payload.push(b'a');
+        payload.push(0x80);
+        payload.extend_from_slice(&0u16.to_le_bytes());
+        assert!(matches!(decompress(&payload), Err(CodecError::BadFormat(_))));
+    }
+
+    #[test]
+    fn all_byte_values_round_trip() {
+        let data: Vec<u8> = (0u16..256).map(|b| b as u8).collect::<Vec<_>>().repeat(30);
+        round_trip(&data);
+    }
+}

@@ -1,0 +1,230 @@
+//! The shared *recipe* wire format used by the differencing protocols.
+//!
+//! Both vary-sized blocking and fixed-sized blocking ultimately tell the
+//! client the same thing: "rebuild the new version by copying these ranges
+//! of your old version and splicing in these fresh bytes". That instruction
+//! list is a recipe:
+//!
+//! ```text
+//! u32 new_len
+//! ops until new_len bytes produced:
+//!   u8 0x00 = COPY:  u32 old_offset, u32 len     ; copy from old version
+//!   u8 0x01 = DATA:  u32 len, bytes              ; splice literal bytes
+//! ```
+//!
+//! Keeping one format means one FVM decoder serves both protocols — the
+//! PADs differ only in their server-side encoders, which is faithful to how
+//! the paper treats them as siblings in the PAT.
+
+use crate::traits::CodecError;
+
+/// Opcode byte for a copy-from-old instruction.
+pub const OP_COPY: u8 = 0x00;
+/// Opcode byte for a literal-data instruction.
+pub const OP_DATA: u8 = 0x01;
+
+/// One rebuild instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RecipeOp {
+    /// Copy `len` bytes from `old_offset` in the old version.
+    Copy {
+        /// Offset into the old version.
+        old_offset: u32,
+        /// Bytes to copy.
+        len: u32,
+    },
+    /// Splice literal bytes.
+    Data(Vec<u8>),
+}
+
+impl RecipeOp {
+    /// Output bytes this op produces.
+    pub fn output_len(&self) -> usize {
+        match self {
+            RecipeOp::Copy { len, .. } => *len as usize,
+            RecipeOp::Data(bytes) => bytes.len(),
+        }
+    }
+
+    /// Wire size of this op.
+    pub fn wire_len(&self) -> usize {
+        match self {
+            RecipeOp::Copy { .. } => 1 + 8,
+            RecipeOp::Data(bytes) => 1 + 4 + bytes.len(),
+        }
+    }
+}
+
+/// Serializes ops into a recipe payload.
+pub fn encode(new_len: usize, ops: &[RecipeOp]) -> Vec<u8> {
+    let body: usize = ops.iter().map(RecipeOp::wire_len).sum();
+    let mut out = Vec::with_capacity(4 + body);
+    out.extend_from_slice(&(new_len as u32).to_le_bytes());
+    for op in ops {
+        match op {
+            RecipeOp::Copy { old_offset, len } => {
+                out.push(OP_COPY);
+                out.extend_from_slice(&old_offset.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            RecipeOp::Data(bytes) => {
+                out.push(OP_DATA);
+                out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+                out.extend_from_slice(bytes);
+            }
+        }
+    }
+    out
+}
+
+/// Applies a recipe payload to `old`, producing the new version.
+pub fn apply(old: &[u8], payload: &[u8]) -> Result<Vec<u8>, CodecError> {
+    if payload.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let new_len = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+    let mut out = Vec::with_capacity(new_len);
+    let mut pos = 4usize;
+    while out.len() < new_len {
+        let op = *payload.get(pos).ok_or(CodecError::Truncated)?;
+        pos += 1;
+        match op {
+            OP_COPY => {
+                let f = payload.get(pos..pos + 8).ok_or(CodecError::Truncated)?;
+                let off = u32::from_le_bytes([f[0], f[1], f[2], f[3]]) as usize;
+                let len = u32::from_le_bytes([f[4], f[5], f[6], f[7]]) as usize;
+                pos += 8;
+                let src = old
+                    .get(off..off.checked_add(len).ok_or(CodecError::OldOutOfRange)?)
+                    .ok_or(CodecError::OldOutOfRange)?;
+                out.extend_from_slice(src);
+            }
+            OP_DATA => {
+                let f = payload.get(pos..pos + 4).ok_or(CodecError::Truncated)?;
+                let len = u32::from_le_bytes([f[0], f[1], f[2], f[3]]) as usize;
+                pos += 4;
+                let bytes = payload.get(pos..pos + len).ok_or(CodecError::Truncated)?;
+                out.extend_from_slice(bytes);
+                pos += len;
+            }
+            _ => return Err(CodecError::BadFormat("unknown recipe op")),
+        }
+    }
+    if out.len() != new_len {
+        return Err(CodecError::LengthMismatch { declared: new_len, produced: out.len() });
+    }
+    Ok(out)
+}
+
+/// Parses a payload back into structured ops (diagnostics and tests).
+pub fn parse(payload: &[u8]) -> Result<(usize, Vec<RecipeOp>), CodecError> {
+    if payload.len() < 4 {
+        return Err(CodecError::Truncated);
+    }
+    let new_len = u32::from_le_bytes([payload[0], payload[1], payload[2], payload[3]]) as usize;
+    let mut ops = Vec::new();
+    let mut pos = 4usize;
+    let mut produced = 0usize;
+    while produced < new_len {
+        let op = *payload.get(pos).ok_or(CodecError::Truncated)?;
+        pos += 1;
+        match op {
+            OP_COPY => {
+                let f = payload.get(pos..pos + 8).ok_or(CodecError::Truncated)?;
+                let old_offset = u32::from_le_bytes([f[0], f[1], f[2], f[3]]);
+                let len = u32::from_le_bytes([f[4], f[5], f[6], f[7]]);
+                pos += 8;
+                produced += len as usize;
+                ops.push(RecipeOp::Copy { old_offset, len });
+            }
+            OP_DATA => {
+                let f = payload.get(pos..pos + 4).ok_or(CodecError::Truncated)?;
+                let len = u32::from_le_bytes([f[0], f[1], f[2], f[3]]) as usize;
+                pos += 4;
+                let bytes = payload.get(pos..pos + len).ok_or(CodecError::Truncated)?;
+                pos += len;
+                produced += len;
+                ops.push(RecipeOp::Data(bytes.to_vec()));
+            }
+            _ => return Err(CodecError::BadFormat("unknown recipe op")),
+        }
+    }
+    Ok((new_len, ops))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_and_data_round_trip() {
+        let old = b"0123456789abcdef";
+        let ops = vec![
+            RecipeOp::Copy { old_offset: 10, len: 6 },
+            RecipeOp::Data(b"NEW".to_vec()),
+            RecipeOp::Copy { old_offset: 0, len: 4 },
+        ];
+        let new_len = 6 + 3 + 4;
+        let payload = encode(new_len, &ops);
+        let out = apply(old, &payload).unwrap();
+        assert_eq!(out, b"abcdefNEW0123");
+        let (len, parsed) = parse(&payload).unwrap();
+        assert_eq!(len, new_len);
+        assert_eq!(parsed, ops);
+    }
+
+    #[test]
+    fn empty_recipe() {
+        let payload = encode(0, &[]);
+        assert_eq!(apply(b"old", &payload).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn copy_out_of_old_range_rejected() {
+        let ops = vec![RecipeOp::Copy { old_offset: 2, len: 10 }];
+        let payload = encode(10, &ops);
+        assert_eq!(apply(b"abc", &payload), Err(CodecError::OldOutOfRange));
+    }
+
+    #[test]
+    fn copy_offset_overflow_rejected() {
+        let ops = vec![RecipeOp::Copy { old_offset: u32::MAX, len: u32::MAX }];
+        let payload = encode(u32::MAX as usize, &ops);
+        assert_eq!(apply(b"abc", &payload), Err(CodecError::OldOutOfRange));
+    }
+
+    #[test]
+    fn truncated_payloads_rejected() {
+        let ops = vec![RecipeOp::Data(b"hello world".to_vec())];
+        let payload = encode(11, &ops);
+        for cut in 0..payload.len() {
+            assert!(apply(b"", &payload[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_op_rejected() {
+        let mut payload = 5u32.to_le_bytes().to_vec();
+        payload.push(0x77);
+        assert!(matches!(apply(b"", &payload), Err(CodecError::BadFormat(_))));
+    }
+
+    #[test]
+    fn overrun_recipe_rejected() {
+        // Recipe produces more than declared: apply stops only at >= so a
+        // final op overshooting yields LengthMismatch.
+        let ops = vec![RecipeOp::Data(b"abcdef".to_vec())];
+        let payload = encode(3, &ops);
+        assert!(matches!(apply(b"", &payload), Err(CodecError::LengthMismatch { .. })));
+    }
+
+    #[test]
+    fn output_and_wire_lens() {
+        let c = RecipeOp::Copy { old_offset: 0, len: 100 };
+        let d = RecipeOp::Data(vec![0; 7]);
+        assert_eq!(c.output_len(), 100);
+        assert_eq!(c.wire_len(), 9);
+        assert_eq!(d.output_len(), 7);
+        assert_eq!(d.wire_len(), 12);
+    }
+}

@@ -1,0 +1,70 @@
+//! Transfer statistics helpers used by the experiment harness.
+
+use crate::traits::{DiffCodec, Traffic};
+
+/// Outcome of measuring one codec on one (old, new) pair.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TransferStats {
+    /// Wire traffic in both directions.
+    pub traffic: Traffic,
+    /// Size of the new version (what Direct would send downstream).
+    pub content_len: u64,
+}
+
+impl TransferStats {
+    /// Downstream compression/differencing ratio versus sending raw
+    /// content: `1.0` means no saving, `0.1` means 10× reduction.
+    pub fn downstream_ratio(&self) -> f64 {
+        if self.content_len == 0 {
+            return 1.0;
+        }
+        self.traffic.downstream as f64 / self.content_len as f64
+    }
+
+    /// Total bytes saved (can be negative when overheads dominate).
+    pub fn saved_bytes(&self) -> i64 {
+        self.content_len as i64 - self.traffic.total() as i64
+    }
+}
+
+/// Measures one codec on one version pair (verifying correctness on the
+/// way — the decode must reproduce `new` exactly).
+pub fn measure(codec: &dyn DiffCodec, old: &[u8], new: &[u8]) -> TransferStats {
+    let payload = codec.encode(old, new);
+    let decoded = codec.decode(old, &payload).expect("codec must round-trip");
+    assert_eq!(decoded, new, "codec {} failed to reproduce content", codec.id());
+    TransferStats {
+        traffic: Traffic {
+            upstream: codec.upstream_bytes(old.len()),
+            downstream: payload.len() as u64,
+        },
+        content_len: new.len() as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::direct::Direct;
+    use crate::gzip::Gzip;
+
+    #[test]
+    fn direct_ratio_is_one() {
+        let s = measure(&Direct, &[], &vec![9u8; 1000]);
+        assert!((s.downstream_ratio() - 1.0).abs() < 1e-9);
+        assert_eq!(s.saved_bytes(), 0);
+    }
+
+    #[test]
+    fn gzip_ratio_below_one_on_redundant_content() {
+        let s = measure(&Gzip, &[], &b"abcd".repeat(1000));
+        assert!(s.downstream_ratio() < 0.3);
+        assert!(s.saved_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_content_ratio() {
+        let s = measure(&Direct, &[], &[]);
+        assert_eq!(s.downstream_ratio(), 1.0);
+    }
+}

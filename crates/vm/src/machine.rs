@@ -1,0 +1,1001 @@
+//! The FVM interpreter: a sandboxed stack machine over linear memory.
+//!
+//! A [`Machine`] is one *instance* of a module: its own memory (initialized
+//! from the module's data segments), its own fuel budget, and its own log
+//! buffer. The embedding writes inputs into memory with
+//! [`Machine::write_memory`], invokes an exported entry point with
+//! [`Machine::call`], and reads results back with [`Machine::read_memory`].
+//!
+//! Every memory access is bounds-checked; every instruction charges fuel;
+//! bulk operations charge proportionally to the bytes they move. There is no
+//! `unsafe` anywhere in this crate.
+
+use fractal_crypto::sha1::Sha1;
+
+use crate::bytecode::Op;
+use crate::error::Trap;
+use crate::host::{weak_sum, HostId};
+use crate::module::Module;
+use crate::sandbox::SandboxPolicy;
+
+/// Fuel charged per byte moved by MemCopy/MemFill/LzCopy (in 1/8 units:
+/// `len / COPY_BYTES_PER_FUEL + 1`).
+const COPY_BYTES_PER_FUEL: u64 = 8;
+/// Fuel charged per byte hashed by the SHA-1 intrinsic.
+const SHA1_BYTES_PER_FUEL: u64 = 4;
+
+/// One call frame.
+struct Frame {
+    /// Function index executing.
+    func: usize,
+    /// Program counter within that function's code.
+    pc: usize,
+    /// Base of this frame's locals in the locals arena.
+    locals_base: usize,
+}
+
+/// An instantiated module ready to execute.
+pub struct Machine {
+    module: Module,
+    policy: SandboxPolicy,
+    memory: Vec<u8>,
+    stack: Vec<i64>,
+    locals: Vec<i64>,
+    frames: Vec<Frame>,
+    fuel: u64,
+    fuel_used_total: u64,
+    log: Vec<u8>,
+}
+
+impl core::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Machine")
+            .field("memory", &self.memory.len())
+            .field("fuel", &self.fuel)
+            .field("functions", &self.module.functions.len())
+            .finish()
+    }
+}
+
+impl Machine {
+    /// Instantiates `module` under `policy`. Fails if the module declares
+    /// more memory than the policy allows.
+    pub fn new(module: Module, policy: SandboxPolicy) -> Result<Machine, Trap> {
+        let mem_bytes = module.memory_bytes();
+        if mem_bytes > policy.max_memory {
+            return Err(Trap::OutOfBounds { addr: mem_bytes as u64, len: 0 });
+        }
+        let mut memory = vec![0u8; mem_bytes];
+        for seg in &module.data {
+            let start = seg.offset as usize;
+            memory[start..start + seg.bytes.len()].copy_from_slice(&seg.bytes);
+        }
+        let fuel = policy.max_fuel;
+        Ok(Machine {
+            module,
+            policy,
+            memory,
+            stack: Vec::with_capacity(64),
+            locals: Vec::with_capacity(64),
+            frames: Vec::with_capacity(8),
+            fuel,
+            fuel_used_total: 0,
+            log: Vec::new(),
+        })
+    }
+
+    /// Linear memory size in bytes.
+    pub fn memory_len(&self) -> usize {
+        self.memory.len()
+    }
+
+    /// Remaining fuel.
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel
+    }
+
+    /// Total fuel consumed across all calls on this instance.
+    pub fn fuel_used(&self) -> u64 {
+        self.fuel_used_total
+    }
+
+    /// Refills fuel to the policy maximum (a fresh budget per entry call is
+    /// the embedding's choice).
+    pub fn refuel(&mut self) {
+        self.fuel = self.policy.max_fuel;
+    }
+
+    /// Bytes captured from the module's `log` intrinsic.
+    pub fn log_bytes(&self) -> &[u8] {
+        &self.log
+    }
+
+    /// Copies `bytes` into memory at `addr`.
+    pub fn write_memory(&mut self, addr: usize, bytes: &[u8]) -> Result<(), Trap> {
+        let end = addr.checked_add(bytes.len()).filter(|&e| e <= self.memory.len()).ok_or(
+            Trap::OutOfBounds { addr: addr as u64, len: bytes.len() as u64 },
+        )?;
+        self.memory[addr..end].copy_from_slice(bytes);
+        Ok(())
+    }
+
+    /// Reads `len` bytes from memory at `addr`.
+    pub fn read_memory(&self, addr: usize, len: usize) -> Result<&[u8], Trap> {
+        let end = addr
+            .checked_add(len)
+            .filter(|&e| e <= self.memory.len())
+            .ok_or(Trap::OutOfBounds { addr: addr as u64, len: len as u64 })?;
+        Ok(&self.memory[addr..end])
+    }
+
+    /// Invokes the exported function `entry` with `args`, running to
+    /// completion. Returns the function's result value.
+    pub fn call(&mut self, entry: &str, args: &[i64]) -> Result<i64, Trap> {
+        let func = self
+            .module
+            .find(entry)
+            .ok_or_else(|| Trap::NoSuchEntry(entry.to_string()))?;
+        let decl = &self.module.functions[func];
+        if decl.n_args as usize != args.len() {
+            return Err(Trap::ArityMismatch { expected: decl.n_args, got: args.len() });
+        }
+        // Reset transient state (memory persists across calls by design —
+        // the embedding stages inputs there).
+        self.stack.clear();
+        self.locals.clear();
+        self.frames.clear();
+
+        let locals_base = 0;
+        self.locals.extend_from_slice(args);
+        self.locals
+            .extend(std::iter::repeat_n(0, decl.n_locals as usize));
+        self.frames.push(Frame { func, pc: 0, locals_base });
+        let result = self.run();
+        if result.is_err() {
+            // Leave state consistent for inspection but do not allow resume.
+            self.frames.clear();
+        }
+        result
+    }
+
+    fn charge(&mut self, amount: u64) -> Result<(), Trap> {
+        if self.fuel < amount {
+            self.fuel = 0;
+            return Err(Trap::FuelExhausted);
+        }
+        self.fuel -= amount;
+        self.fuel_used_total += amount;
+        Ok(())
+    }
+
+    fn push(&mut self, v: i64) -> Result<(), Trap> {
+        if self.stack.len() >= self.policy.max_stack {
+            return Err(Trap::StackOverflow);
+        }
+        self.stack.push(v);
+        Ok(())
+    }
+
+    fn pop(&mut self) -> Result<i64, Trap> {
+        self.stack.pop().ok_or(Trap::StackUnderflow)
+    }
+
+    fn mem_range(&self, addr: i64, len: i64) -> Result<(usize, usize), Trap> {
+        let oob = || Trap::OutOfBounds { addr: addr as u64, len: len as u64 };
+        if addr < 0 || len < 0 {
+            return Err(oob());
+        }
+        let (a, l) = (addr as usize, len as usize);
+        let end = a.checked_add(l).ok_or_else(oob)?;
+        if end > self.memory.len() {
+            return Err(oob());
+        }
+        Ok((a, end))
+    }
+
+    fn load(&self, addr: i64, width: usize) -> Result<i64, Trap> {
+        let (a, end) = self.mem_range(addr, width as i64)?;
+        let bytes = &self.memory[a..end];
+        let mut buf = [0u8; 8];
+        buf[..width].copy_from_slice(bytes);
+        Ok(i64::from_le_bytes(buf))
+    }
+
+    fn store(&mut self, addr: i64, width: usize, value: i64) -> Result<(), Trap> {
+        let (a, end) = self.mem_range(addr, width as i64)?;
+        let bytes = value.to_le_bytes();
+        self.memory[a..end].copy_from_slice(&bytes[..width]);
+        Ok(())
+    }
+
+    fn local_slot(&self, idx: u8) -> Result<usize, Trap> {
+        let frame = self.frames.last().ok_or(Trap::Wedged)?;
+        let decl = &self.module.functions[frame.func];
+        let count = decl.n_args as usize + decl.n_locals as usize;
+        let i = idx as usize;
+        if i >= count {
+            // Verifier rejects this statically; runtime check is defensive.
+            return Err(Trap::Wedged);
+        }
+        Ok(frame.locals_base + i)
+    }
+
+    /// The main dispatch loop.
+    fn run(&mut self) -> Result<i64, Trap> {
+        loop {
+            let frame = self.frames.last_mut().ok_or(Trap::Wedged)?;
+            let func = frame.func;
+            let pc = frame.pc;
+            let code = &self.module.functions[func].code;
+            if pc >= code.len() {
+                // Implicit return at end of body (verifier guarantees a
+                // terminator, this is defensive).
+                if self.ret()? {
+                    return Ok(self.stack.pop().unwrap_or(0));
+                }
+                continue;
+            }
+            let (op, next) = Op::decode(code, pc).map_err(|_| Trap::Wedged)?;
+            self.frames.last_mut().expect("frame").pc = next;
+            self.charge(1)?;
+
+            match op {
+                Op::Halt => return Ok(self.stack.pop().unwrap_or(0)),
+                Op::Nop => {}
+                Op::Unreachable => return Err(Trap::Unreachable),
+                Op::Jmp(rel) => self.branch(rel)?,
+                Op::JmpIf(rel) => {
+                    if self.pop()? != 0 {
+                        self.branch(rel)?;
+                    }
+                }
+                Op::JmpIfZ(rel) => {
+                    if self.pop()? == 0 {
+                        self.branch(rel)?;
+                    }
+                }
+                Op::Call(idx) => self.enter(idx as usize)?,
+                Op::Ret => {
+                    if self.ret()? {
+                        return Ok(self.stack.pop().unwrap_or(0));
+                    }
+                }
+                Op::HostCall(id) => {
+                    if let Some(abort_code) = self.host_call(id)? {
+                        return Err(Trap::HostAbort(abort_code));
+                    }
+                }
+                Op::PushI8(v) => self.push(v as i64)?,
+                Op::PushI32(v) => self.push(v as i64)?,
+                Op::PushI64(v) => self.push(v)?,
+                Op::LocalGet(n) => {
+                    let slot = self.local_slot(n)?;
+                    let v = self.locals[slot];
+                    self.push(v)?;
+                }
+                Op::LocalSet(n) => {
+                    let slot = self.local_slot(n)?;
+                    let v = self.pop()?;
+                    self.locals[slot] = v;
+                }
+                Op::LocalTee(n) => {
+                    let slot = self.local_slot(n)?;
+                    let v = *self.stack.last().ok_or(Trap::StackUnderflow)?;
+                    self.locals[slot] = v;
+                }
+                Op::Drop => {
+                    self.pop()?;
+                }
+                Op::Dup => {
+                    let v = *self.stack.last().ok_or(Trap::StackUnderflow)?;
+                    self.push(v)?;
+                }
+                Op::Swap => {
+                    let n = self.stack.len();
+                    if n < 2 {
+                        return Err(Trap::StackUnderflow);
+                    }
+                    self.stack.swap(n - 1, n - 2);
+                }
+                Op::Add => self.binop(|a, b| Ok(a.wrapping_add(b)))?,
+                Op::Sub => self.binop(|a, b| Ok(a.wrapping_sub(b)))?,
+                Op::Mul => self.binop(|a, b| Ok(a.wrapping_mul(b)))?,
+                Op::DivU => self.binop(|a, b| {
+                    if b == 0 {
+                        Err(Trap::DivideByZero)
+                    } else {
+                        Ok(((a as u64) / (b as u64)) as i64)
+                    }
+                })?,
+                Op::DivS => self.binop(|a, b| {
+                    if b == 0 || (a == i64::MIN && b == -1) {
+                        Err(Trap::DivideByZero)
+                    } else {
+                        Ok(a / b)
+                    }
+                })?,
+                Op::RemU => self.binop(|a, b| {
+                    if b == 0 {
+                        Err(Trap::DivideByZero)
+                    } else {
+                        Ok(((a as u64) % (b as u64)) as i64)
+                    }
+                })?,
+                Op::And => self.binop(|a, b| Ok(a & b))?,
+                Op::Or => self.binop(|a, b| Ok(a | b))?,
+                Op::Xor => self.binop(|a, b| Ok(a ^ b))?,
+                Op::Shl => self.binop(|a, b| Ok(a.wrapping_shl(b as u32)))?,
+                Op::ShrU => self.binop(|a, b| Ok(((a as u64).wrapping_shr(b as u32)) as i64))?,
+                Op::ShrS => self.binop(|a, b| Ok(a.wrapping_shr(b as u32)))?,
+                Op::Eq => self.binop(|a, b| Ok((a == b) as i64))?,
+                Op::Ne => self.binop(|a, b| Ok((a != b) as i64))?,
+                Op::LtU => self.binop(|a, b| Ok(((a as u64) < (b as u64)) as i64))?,
+                Op::LtS => self.binop(|a, b| Ok((a < b) as i64))?,
+                Op::GtU => self.binop(|a, b| Ok(((a as u64) > (b as u64)) as i64))?,
+                Op::GtS => self.binop(|a, b| Ok((a > b) as i64))?,
+                Op::LeU => self.binop(|a, b| Ok(((a as u64) <= (b as u64)) as i64))?,
+                Op::GeU => self.binop(|a, b| Ok(((a as u64) >= (b as u64)) as i64))?,
+                Op::Eqz => {
+                    let v = self.pop()?;
+                    self.push((v == 0) as i64)?;
+                }
+                Op::Load8 => {
+                    let a = self.pop()?;
+                    let v = self.load(a, 1)?;
+                    self.push(v)?;
+                }
+                Op::Load16 => {
+                    let a = self.pop()?;
+                    let v = self.load(a, 2)?;
+                    self.push(v)?;
+                }
+                Op::Load32 => {
+                    let a = self.pop()?;
+                    let v = self.load(a, 4)?;
+                    self.push(v)?;
+                }
+                Op::Load64 => {
+                    let a = self.pop()?;
+                    let v = self.load(a, 8)?;
+                    self.push(v)?;
+                }
+                Op::Store8 => {
+                    let v = self.pop()?;
+                    let a = self.pop()?;
+                    self.store(a, 1, v)?;
+                }
+                Op::Store16 => {
+                    let v = self.pop()?;
+                    let a = self.pop()?;
+                    self.store(a, 2, v)?;
+                }
+                Op::Store32 => {
+                    let v = self.pop()?;
+                    let a = self.pop()?;
+                    self.store(a, 4, v)?;
+                }
+                Op::Store64 => {
+                    let v = self.pop()?;
+                    let a = self.pop()?;
+                    self.store(a, 8, v)?;
+                }
+                Op::MemCopy => {
+                    let len = self.pop()?;
+                    let src = self.pop()?;
+                    let dst = self.pop()?;
+                    self.charge(len.max(0) as u64 / COPY_BYTES_PER_FUEL + 1)?;
+                    let (s, _) = self.mem_range(src, len)?;
+                    let (d, _) = self.mem_range(dst, len)?;
+                    self.memory.copy_within(s..s + len as usize, d);
+                }
+                Op::MemFill => {
+                    let len = self.pop()?;
+                    let byte = self.pop()?;
+                    let dst = self.pop()?;
+                    self.charge(len.max(0) as u64 / COPY_BYTES_PER_FUEL + 1)?;
+                    let (d, end) = self.mem_range(dst, len)?;
+                    self.memory[d..end].fill(byte as u8);
+                }
+                Op::LzCopy => {
+                    let len = self.pop()?;
+                    let src = self.pop()?;
+                    let dst = self.pop()?;
+                    self.charge(len.max(0) as u64 / COPY_BYTES_PER_FUEL + 1)?;
+                    let (s, _) = self.mem_range(src, len)?;
+                    let (d, _) = self.mem_range(dst, len)?;
+                    let n = len as usize;
+                    if d >= s + n || s >= d {
+                        // Disjoint (or src ahead): plain copy.
+                        self.memory.copy_within(s..s + n, d);
+                    } else {
+                        // Overlapping with dst after src: byte-forward
+                        // replication, the LZ match semantics.
+                        for i in 0..n {
+                            self.memory[d + i] = self.memory[s + i];
+                        }
+                    }
+                }
+                Op::MemSize => {
+                    let size = self.memory.len() as i64;
+                    self.push(size)?;
+                }
+            }
+        }
+    }
+
+    fn binop(&mut self, f: impl FnOnce(i64, i64) -> Result<i64, Trap>) -> Result<(), Trap> {
+        let b = self.pop()?;
+        let a = self.pop()?;
+        let r = f(a, b)?;
+        self.push(r)
+    }
+
+    fn branch(&mut self, rel: i32) -> Result<(), Trap> {
+        let frame = self.frames.last_mut().ok_or(Trap::Wedged)?;
+        // pc currently points at the *next* instruction; offsets are
+        // relative to it. The verifier guarantees targets are valid.
+        let target = frame.pc as i64 + rel as i64;
+        let code_len = self.module.functions[frame.func].code.len() as i64;
+        if target < 0 || target > code_len {
+            return Err(Trap::Wedged);
+        }
+        frame.pc = target as usize;
+        Ok(())
+    }
+
+    fn enter(&mut self, callee: usize) -> Result<(), Trap> {
+        if self.frames.len() >= self.policy.max_call_depth {
+            return Err(Trap::CallDepthExceeded);
+        }
+        let decl = self.module.functions.get(callee).ok_or(Trap::Wedged)?;
+        let n_args = decl.n_args as usize;
+        let n_locals = decl.n_locals as usize;
+        if self.stack.len() < n_args {
+            return Err(Trap::StackUnderflow);
+        }
+        let locals_base = self.locals.len();
+        // Move args from stack into locals, preserving order (first arg is
+        // deepest on the stack).
+        let split = self.stack.len() - n_args;
+        self.locals.extend_from_slice(&self.stack[split..]);
+        self.stack.truncate(split);
+        self.locals.extend(std::iter::repeat_n(0, n_locals));
+        self.frames.push(Frame { func: callee, pc: 0, locals_base });
+        Ok(())
+    }
+
+    /// Pops a frame. Returns true when the entry frame itself returned.
+    fn ret(&mut self) -> Result<bool, Trap> {
+        let frame = self.frames.pop().ok_or(Trap::Wedged)?;
+        self.locals.truncate(frame.locals_base);
+        Ok(self.frames.is_empty())
+    }
+
+    /// Dispatches a host call. Returns `Some(code)` when the module aborted.
+    fn host_call(&mut self, id: u8) -> Result<Option<i64>, Trap> {
+        let host = HostId::from_id(id).ok_or(Trap::UnknownHost(id))?;
+        if !self.policy.allows(host) {
+            return Err(Trap::HostDenied(id));
+        }
+        match host {
+            HostId::Sha1 => {
+                let dst = self.pop()?;
+                let len = self.pop()?;
+                let src = self.pop()?;
+                self.charge(len.max(0) as u64 / SHA1_BYTES_PER_FUEL + 1)?;
+                let (s, send) = self.mem_range(src, len)?;
+                let (d, _) = self.mem_range(dst, 20)?;
+                let mut h = Sha1::new();
+                h.update(&self.memory[s..send]);
+                let digest = h.finalize();
+                self.memory[d..d + 20].copy_from_slice(digest.as_bytes());
+                self.push(0)?;
+            }
+            HostId::Log => {
+                let len = self.pop()?;
+                let ptr = self.pop()?;
+                let (p, end) = self.mem_range(ptr, len)?;
+                let room = self.policy.max_log_bytes.saturating_sub(self.log.len());
+                let take = room.min(end - p);
+                let bytes = self.memory[p..p + take].to_vec();
+                self.log.extend_from_slice(&bytes);
+                self.push(0)?;
+            }
+            HostId::Abort => {
+                let code = self.pop()?;
+                return Ok(Some(code));
+            }
+            HostId::MemEq => {
+                let len = self.pop()?;
+                let b = self.pop()?;
+                let a = self.pop()?;
+                self.charge(len.max(0) as u64 / COPY_BYTES_PER_FUEL + 1)?;
+                let (ai, aend) = self.mem_range(a, len)?;
+                let (bi, bend) = self.mem_range(b, len)?;
+                let eq = self.memory[ai..aend] == self.memory[bi..bend];
+                self.push(eq as i64)?;
+            }
+            HostId::WeakSum => {
+                let len = self.pop()?;
+                let src = self.pop()?;
+                self.charge(len.max(0) as u64 / COPY_BYTES_PER_FUEL + 1)?;
+                let (s, end) = self.mem_range(src, len)?;
+                let sum = weak_sum(&self.memory[s..end]);
+                self.push(sum as i64)?;
+            }
+        }
+        Ok(None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(src: &str, entry: &str, args: &[i64]) -> Result<i64, Trap> {
+        let module = assemble(src).expect("assembles");
+        crate::verify::verify_module(&module).expect("verifies");
+        let mut m = Machine::new(module, SandboxPolicy::default()).expect("instantiates");
+        m.call(entry, args)
+    }
+
+    #[test]
+    fn arithmetic() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                push 20
+                push 22
+                add
+                ret
+        "#;
+        assert_eq!(run(src, "main", &[]), Ok(42));
+    }
+
+    #[test]
+    fn arguments_and_locals() {
+        let src = r#"
+            .memory 1
+            .func addmul args=2 locals=1
+                local.get 0
+                local.get 1
+                add
+                local.set 2
+                local.get 2
+                local.get 2
+                mul
+                ret
+        "#;
+        assert_eq!(run(src, "addmul", &[3, 4]), Ok(49));
+    }
+
+    #[test]
+    fn loops_and_branches() {
+        // Sum 1..=n iteratively.
+        let src = r#"
+            .memory 1
+            .func sum args=1 locals=2
+            loop:
+                local.get 0
+                eqz
+                jmpif done
+                local.get 1
+                local.get 0
+                add
+                local.set 1
+                local.get 0
+                push 1
+                sub
+                local.set 0
+                jmp loop
+            done:
+                local.get 1
+                ret
+        "#;
+        assert_eq!(run(src, "sum", &[10]), Ok(55));
+        assert_eq!(run(src, "sum", &[0]), Ok(0));
+        assert_eq!(run(src, "sum", &[1000]), Ok(500500));
+    }
+
+    #[test]
+    fn function_calls() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                push 7
+                call double
+                push 1
+                add
+                ret
+            .func double args=1 locals=0
+                local.get 0
+                push 2
+                mul
+                ret
+        "#;
+        assert_eq!(run(src, "main", &[]), Ok(15));
+    }
+
+    #[test]
+    fn recursion_fibonacci() {
+        let src = r#"
+            .memory 1
+            .func fib args=1 locals=0
+                local.get 0
+                push 2
+                lts
+                jmpif base
+                local.get 0
+                push 1
+                sub
+                call fib
+                local.get 0
+                push 2
+                sub
+                call fib
+                add
+                ret
+            base:
+                local.get 0
+                ret
+        "#;
+        assert_eq!(run(src, "fib", &[10]), Ok(55));
+    }
+
+    #[test]
+    fn memory_load_store() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                push 100
+                push 0x1234
+                store16
+                push 100
+                load16
+                ret
+        "#;
+        assert_eq!(run(src, "main", &[]), Ok(0x1234));
+    }
+
+    #[test]
+    fn memory_widths() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                push 64
+                push -1
+                store64
+                push 64
+                load32
+                ret
+        "#;
+        // Low 32 bits of -1, zero-extended.
+        assert_eq!(run(src, "main", &[]), Ok(0xFFFF_FFFF));
+    }
+
+    #[test]
+    fn data_segments_initialize_memory() {
+        let src = r#"
+            .memory 1
+            .data 8 hex:DEADBEEF
+            .func main args=0 locals=0
+                push 8
+                load32
+                ret
+        "#;
+        // Stored little-endian in memory as DE AD BE EF → load32 LE.
+        assert_eq!(run(src, "main", &[]), Ok(0xEFBEADDE));
+    }
+
+    #[test]
+    fn memcopy_and_fill() {
+        let src = r#"
+            .memory 1
+            .data 0 str:"hello"
+            .func main args=0 locals=0
+                push 100
+                push 0
+                push 5
+                memcopy
+                push 105
+                push 33
+                push 1
+                memfill
+                push 104
+                load16
+                ret
+        "#;
+        // mem[104] = 'o' (0x6F), mem[105] = '!' (33 = 0x21).
+        assert_eq!(run(src, "main", &[]), Ok(0x216F));
+    }
+
+    #[test]
+    fn lzcopy_replicates_on_overlap() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                push 0
+                push 0xAB
+                store8
+                ; replicate mem[0] forward 8 times
+                push 1
+                push 0
+                push 8
+                lzcopy
+                push 7
+                load8
+                ret
+        "#;
+        assert_eq!(run(src, "main", &[]), Ok(0xAB));
+    }
+
+    #[test]
+    fn sha1_host_call() {
+        let src = r#"
+            .memory 1
+            .data 0 str:"abc"
+            .func main args=0 locals=0
+                push 0
+                push 3
+                push 100
+                host sha1
+                drop
+                push 100
+                load8
+                ret
+        "#;
+        // First byte of sha1("abc") is 0xA9.
+        assert_eq!(run(src, "main", &[]), Ok(0xA9));
+    }
+
+    #[test]
+    fn memeq_host_call() {
+        let src = r#"
+            .memory 1
+            .data 0 str:"abcabc"
+            .func main args=0 locals=0
+                push 0
+                push 3
+                push 3
+                host memeq
+                ret
+        "#;
+        assert_eq!(run(src, "main", &[]), Ok(1));
+    }
+
+    #[test]
+    fn abort_host_call_traps() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                push 42
+                host abort
+                ret
+        "#;
+        assert_eq!(run(src, "main", &[]), Err(Trap::HostAbort(42)));
+    }
+
+    #[test]
+    fn log_host_call_captures() {
+        let src = r#"
+            .memory 1
+            .data 0 str:"pad online"
+            .func main args=0 locals=0
+                push 0
+                push 10
+                host log
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let mut m = Machine::new(module, SandboxPolicy::default()).unwrap();
+        m.call("main", &[]).unwrap();
+        assert_eq!(m.log_bytes(), b"pad online");
+    }
+
+    #[test]
+    fn out_of_bounds_load_traps() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                push 65536
+                load8
+                ret
+        "#;
+        assert!(matches!(run(src, "main", &[]), Err(Trap::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn negative_address_traps() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                push -1
+                load8
+                ret
+        "#;
+        assert!(matches!(run(src, "main", &[]), Err(Trap::OutOfBounds { .. })));
+    }
+
+    #[test]
+    fn divide_by_zero_traps() {
+        let src = r#"
+            .memory 1
+            .func main args=2 locals=0
+                local.get 0
+                local.get 1
+                divu
+                ret
+        "#;
+        assert_eq!(run(src, "main", &[5, 0]), Err(Trap::DivideByZero));
+        assert_eq!(run(src, "main", &[5, 2]), Ok(2));
+    }
+
+    #[test]
+    fn fuel_exhaustion_stops_infinite_loop() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+            spin:
+                jmp spin
+        "#;
+        let module = assemble(src).unwrap();
+        let mut m =
+            Machine::new(module, SandboxPolicy::default().with_fuel(10_000)).unwrap();
+        assert_eq!(m.call("main", &[]), Err(Trap::FuelExhausted));
+        assert_eq!(m.fuel_remaining(), 0);
+    }
+
+    #[test]
+    fn call_depth_limit() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                call main
+                ret
+        "#;
+        assert_eq!(run(src, "main", &[]), Err(Trap::CallDepthExceeded));
+    }
+
+    #[test]
+    fn stack_overflow_limit() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+            grow:
+                push 1
+                jmp grow
+        "#;
+        assert_eq!(run(src, "main", &[]), Err(Trap::StackOverflow));
+    }
+
+    #[test]
+    fn host_denied_by_policy() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                push 0
+                push 1
+                host log
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let mut m = Machine::new(
+            module,
+            SandboxPolicy::default().with_hosts(&[HostId::Abort]),
+        )
+        .unwrap();
+        assert_eq!(m.call("main", &[]), Err(Trap::HostDenied(HostId::Log.id())));
+    }
+
+    #[test]
+    fn module_too_big_for_policy() {
+        let src = r#"
+            .memory 32
+            .func main args=0 locals=0
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let res = Machine::new(module, SandboxPolicy::default().with_memory(65536));
+        assert!(res.is_err());
+    }
+
+    #[test]
+    fn entry_errors() {
+        let src = r#"
+            .memory 1
+            .func main args=1 locals=0
+                local.get 0
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let mut m = Machine::new(module, SandboxPolicy::default()).unwrap();
+        assert_eq!(m.call("nope", &[]), Err(Trap::NoSuchEntry("nope".into())));
+        assert_eq!(m.call("main", &[]), Err(Trap::ArityMismatch { expected: 1, got: 0 }));
+        assert_eq!(m.call("main", &[9]), Ok(9));
+    }
+
+    #[test]
+    fn unreachable_traps() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                unreachable
+        "#;
+        assert_eq!(run(src, "main", &[]), Err(Trap::Unreachable));
+    }
+
+    #[test]
+    fn repeated_calls_reuse_instance() {
+        let src = r#"
+            .memory 1
+            .func bump args=0 locals=0
+                push 0
+                push 0
+                load8
+                push 1
+                add
+                store8
+                push 0
+                load8
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let mut m = Machine::new(module, SandboxPolicy::default()).unwrap();
+        assert_eq!(m.call("bump", &[]), Ok(1));
+        assert_eq!(m.call("bump", &[]), Ok(2));
+        assert_eq!(m.call("bump", &[]), Ok(3));
+    }
+
+    #[test]
+    fn write_and_read_memory_api() {
+        let src = r#"
+            .memory 1
+            .func passthrough args=2 locals=0
+                ; passthrough(src, len) copies to 0x8000, returns len
+                push 0x8000
+                local.get 0
+                local.get 1
+                memcopy
+                local.get 1
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let mut m = Machine::new(module, SandboxPolicy::default()).unwrap();
+        m.write_memory(0x100, b"fractal").unwrap();
+        let n = m.call("passthrough", &[0x100, 7]).unwrap();
+        assert_eq!(n, 7);
+        assert_eq!(m.read_memory(0x8000, 7).unwrap(), b"fractal");
+    }
+
+    #[test]
+    fn swap_and_dup() {
+        let src = r#"
+            .memory 1
+            .func main args=0 locals=0
+                push 3
+                push 10
+                swap
+                sub
+                dup
+                mul
+                ret
+        "#;
+        // swap → 10,3 on stack → sub = 10-3... careful: push3 push10 swap
+        // gives stack [10, 3]; sub pops b=3, a=10 → 7; dup, mul → 49.
+        assert_eq!(run(src, "main", &[]), Ok(49));
+    }
+
+    #[test]
+    fn shift_ops() {
+        let src = r#"
+            .memory 1
+            .func main args=2 locals=0
+                local.get 0
+                local.get 1
+                shru
+                ret
+        "#;
+        assert_eq!(run(src, "main", &[-1, 56]), Ok(0xFF));
+    }
+}

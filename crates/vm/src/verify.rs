@@ -1,0 +1,228 @@
+//! Static verification of FVM modules before execution.
+//!
+//! Verification is the first of the paper's two §3.5 security mechanisms in
+//! spirit: downloaded code is never executed until it has been statically
+//! shown to be *structurally* safe — every opcode decodes, every branch
+//! lands on an instruction boundary inside its own function, every `Call`
+//! names a real function, every local index is in range, every host id is
+//! known. Dynamic properties (stack depth, memory bounds, fuel) are enforced
+//! by the interpreter at run time.
+
+use std::collections::HashSet;
+
+use crate::bytecode::Op;
+use crate::error::VerifyError;
+use crate::host::HostId;
+use crate::module::{Function, Module};
+
+/// Verifies every function in `module`.
+pub fn verify_module(module: &Module) -> Result<(), VerifyError> {
+    for (idx, func) in module.functions.iter().enumerate() {
+        verify_function(module, idx, func)?;
+    }
+    Ok(())
+}
+
+fn verify_function(module: &Module, idx: usize, func: &Function) -> Result<(), VerifyError> {
+    let n_slots = func.n_args as u16 + func.n_locals as u16;
+    if n_slots > 255 {
+        return Err(VerifyError::TooManyLocals { func: idx });
+    }
+
+    // First pass: decode everything, record instruction boundaries.
+    let mut boundaries = HashSet::new();
+    let mut decoded: Vec<(usize, Op, usize)> = Vec::new();
+    let mut pc = 0usize;
+    while pc < func.code.len() {
+        boundaries.insert(pc);
+        let (op, next) = Op::decode(&func.code, pc)?;
+        decoded.push((pc, op, next));
+        pc = next;
+    }
+    // End-of-code is a valid branch target only if the body cannot fall
+    // through there; we treat it as invalid and also require an explicit
+    // terminator before it.
+    let code_end = func.code.len();
+
+    // A body is allowed to be empty only if it can never execute… which it
+    // can, so empty bodies are rejected via the fall-off check below.
+    match decoded.last() {
+        Some((_, op, _)) if is_terminator(op) => {}
+        Some((_, Op::Jmp(_), _)) => {}
+        _ => return Err(VerifyError::MissingTerminator { func: idx }),
+    }
+
+    for (at, op, next) in decoded {
+        match op {
+            Op::Jmp(rel) | Op::JmpIf(rel) | Op::JmpIfZ(rel) => {
+                let target = next as i64 + rel as i64;
+                let valid = target >= 0
+                    && (target as usize) < code_end
+                    && boundaries.contains(&(target as usize));
+                if !valid {
+                    return Err(VerifyError::WildJump { func: idx, at, target });
+                }
+            }
+            Op::Call(callee)
+                if callee as usize >= module.functions.len() => {
+                    return Err(VerifyError::BadCallTarget { func: idx, at, callee });
+                }
+            Op::LocalGet(n) | Op::LocalSet(n) | Op::LocalTee(n)
+                if n as u16 >= n_slots => {
+                    return Err(VerifyError::BadLocal { func: idx, at, local: n });
+                }
+            Op::HostCall(id)
+                if HostId::from_id(id).is_none() => {
+                    return Err(VerifyError::UnknownHost { func: idx, at, id });
+                }
+            _ => {}
+        }
+    }
+    Ok(())
+}
+
+fn is_terminator(op: &Op) -> bool {
+    matches!(op, Op::Ret | Op::Halt | Op::Unreachable | Op::Jmp(_))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::module::Function;
+
+    fn raw_module(code: Vec<u8>, n_args: u8, n_locals: u8) -> Module {
+        Module {
+            mem_pages: 1,
+            functions: vec![Function { name: "f".into(), n_args, n_locals, code }],
+            data: vec![],
+        }
+    }
+
+    #[test]
+    fn accepts_well_formed_module() {
+        let m = assemble(
+            r#"
+            .func main args=1 locals=1
+            top:
+                local.get 0
+                jmpifz done
+                local.get 0
+                push 1
+                sub
+                local.set 0
+                jmp top
+            done:
+                ret
+        "#,
+        )
+        .unwrap();
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_jump_into_immediate() {
+        // Jmp +(-3) from after a PushI32 lands inside the immediate.
+        let mut code = Vec::new();
+        Op::PushI32(99).encode(&mut code); // bytes 0..5
+        Op::Jmp(-3).encode(&mut code); // target = 10 - 3 = 7: inside nothing… compute: next=10, target=7 → not a boundary (boundaries: 0,5)
+        Op::Ret.encode(&mut code);
+        let m = raw_module(code, 0, 0);
+        assert!(matches!(verify_module(&m), Err(VerifyError::WildJump { .. })));
+    }
+
+    #[test]
+    fn rejects_jump_out_of_function() {
+        let mut code = Vec::new();
+        Op::Jmp(1000).encode(&mut code);
+        Op::Ret.encode(&mut code);
+        let m = raw_module(code, 0, 0);
+        assert!(matches!(verify_module(&m), Err(VerifyError::WildJump { .. })));
+    }
+
+    #[test]
+    fn rejects_negative_jump_before_start() {
+        let mut code = Vec::new();
+        Op::Jmp(-100).encode(&mut code);
+        Op::Ret.encode(&mut code);
+        let m = raw_module(code, 0, 0);
+        assert!(matches!(verify_module(&m), Err(VerifyError::WildJump { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_call_target() {
+        let mut code = Vec::new();
+        Op::Call(7).encode(&mut code);
+        Op::Ret.encode(&mut code);
+        let m = raw_module(code, 0, 0);
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::BadCallTarget { callee: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_local_index() {
+        let mut code = Vec::new();
+        Op::LocalGet(5).encode(&mut code);
+        Op::Ret.encode(&mut code);
+        let m = raw_module(code, 2, 2); // slots 0..4 valid, 5 is not
+        assert!(matches!(verify_module(&m), Err(VerifyError::BadLocal { local: 5, .. })));
+    }
+
+    #[test]
+    fn accepts_max_valid_local_index() {
+        let mut code = Vec::new();
+        Op::LocalGet(3).encode(&mut code);
+        Op::Ret.encode(&mut code);
+        let m = raw_module(code, 2, 2);
+        assert!(verify_module(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_unknown_host() {
+        let mut code = Vec::new();
+        Op::HostCall(99).encode(&mut code);
+        Op::Ret.encode(&mut code);
+        let m = raw_module(code, 0, 0);
+        assert!(matches!(verify_module(&m), Err(VerifyError::UnknownHost { id: 99, .. })));
+    }
+
+    #[test]
+    fn rejects_missing_terminator() {
+        let mut code = Vec::new();
+        Op::PushI8(1).encode(&mut code);
+        let m = raw_module(code, 0, 0);
+        assert!(matches!(verify_module(&m), Err(VerifyError::MissingTerminator { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        let m = raw_module(vec![], 0, 0);
+        assert!(matches!(verify_module(&m), Err(VerifyError::MissingTerminator { .. })));
+    }
+
+    #[test]
+    fn rejects_undecodable_code() {
+        let m = raw_module(vec![0xFE], 0, 0);
+        assert!(matches!(verify_module(&m), Err(VerifyError::Code(_))));
+    }
+
+    #[test]
+    fn verifies_every_function_not_just_first() {
+        let mut good = Vec::new();
+        Op::Ret.encode(&mut good);
+        let mut bad = Vec::new();
+        Op::LocalGet(9).encode(&mut bad);
+        Op::Ret.encode(&mut bad);
+        let m = Module {
+            mem_pages: 1,
+            functions: vec![
+                Function { name: "a".into(), n_args: 0, n_locals: 0, code: good },
+                Function { name: "b".into(), n_args: 0, n_locals: 0, code: bad },
+            ],
+            data: vec![],
+        };
+        assert!(matches!(verify_module(&m), Err(VerifyError::BadLocal { func: 1, .. })));
+    }
+}

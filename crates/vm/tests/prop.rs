@@ -1,0 +1,189 @@
+//! Property-based tests for the FVM: decoder totality, container fuzzing,
+//! verifier soundness on mutated code, and interpreter arithmetic laws.
+
+use fractal_vm::bytecode::Op;
+use fractal_vm::module::{Function, Module};
+use fractal_vm::verify::verify_module;
+use fractal_vm::{assemble, Machine, SandboxPolicy, Trap};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Module::from_bytes is total: arbitrary bytes parse or error, never
+    /// panic — the property the download path relies on.
+    #[test]
+    fn container_parser_is_total(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let _ = Module::from_bytes(&bytes);
+    }
+
+    /// Instruction decoding is total on arbitrary code.
+    #[test]
+    fn instruction_decoder_is_total(code in proptest::collection::vec(any::<u8>(), 0..256),
+                                    pc in any::<usize>()) {
+        let _ = Op::decode(&code, pc % (code.len() + 1));
+    }
+
+    /// The verifier + interpreter never panic on verified random-ish code:
+    /// we build modules out of arbitrary bytes as a single function body;
+    /// if the verifier accepts, running must end in Ok or a Trap.
+    #[test]
+    fn verified_code_runs_to_ok_or_trap(code in proptest::collection::vec(any::<u8>(), 1..128)) {
+        let module = Module {
+            mem_pages: 1,
+            functions: vec![Function { name: "f".into(), n_args: 0, n_locals: 4, code }],
+            data: vec![],
+        };
+        if verify_module(&module).is_ok() {
+            let mut m = Machine::new(module, SandboxPolicy::strict()).unwrap();
+            let _ = m.call("f", &[]);
+        }
+    }
+
+    /// Interpreter arithmetic matches Rust semantics for add/sub/mul.
+    #[test]
+    fn arithmetic_matches_rust(a in any::<i64>(), b in any::<i64>()) {
+        let src = r#"
+            .memory 1
+            .func add args=2 locals=0
+                local.get 0
+                local.get 1
+                add
+                ret
+            .func sub args=2 locals=0
+                local.get 0
+                local.get 1
+                sub
+                ret
+            .func mul args=2 locals=0
+                local.get 0
+                local.get 1
+                mul
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let mut m = Machine::new(module, SandboxPolicy::default()).unwrap();
+        prop_assert_eq!(m.call("add", &[a, b]).unwrap(), a.wrapping_add(b));
+        prop_assert_eq!(m.call("sub", &[a, b]).unwrap(), a.wrapping_sub(b));
+        prop_assert_eq!(m.call("mul", &[a, b]).unwrap(), a.wrapping_mul(b));
+    }
+
+    /// Unsigned comparisons match Rust semantics.
+    #[test]
+    fn comparisons_match_rust(a in any::<i64>(), b in any::<i64>()) {
+        let src = r#"
+            .memory 1
+            .func ltu args=2 locals=0
+                local.get 0
+                local.get 1
+                ltu
+                ret
+            .func geu args=2 locals=0
+                local.get 0
+                local.get 1
+                geu
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let mut m = Machine::new(module, SandboxPolicy::default()).unwrap();
+        prop_assert_eq!(m.call("ltu", &[a, b]).unwrap(), ((a as u64) < (b as u64)) as i64);
+        prop_assert_eq!(m.call("geu", &[a, b]).unwrap(), ((a as u64) >= (b as u64)) as i64);
+    }
+
+    /// Memory store/load round-trips at every width.
+    #[test]
+    fn memory_round_trip(v in any::<i64>(), addr in 0usize..60_000) {
+        let src = r#"
+            .memory 1
+            .func rt64 args=2 locals=0
+                local.get 0
+                local.get 1
+                store64
+                local.get 0
+                load64
+                ret
+            .func rt8 args=2 locals=0
+                local.get 0
+                local.get 1
+                store8
+                local.get 0
+                load8
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let mut m = Machine::new(module, SandboxPolicy::default()).unwrap();
+        let addr8 = (addr % 65536) as i64;
+        let addr64 = (addr % (65536 - 8)) as i64;
+        prop_assert_eq!(m.call("rt64", &[addr64, v]).unwrap(), v);
+        prop_assert_eq!(m.call("rt8", &[addr8, v]).unwrap(), v & 0xFF);
+    }
+
+    /// Fuel metering is deterministic: identical runs consume identical
+    /// fuel.
+    #[test]
+    fn fuel_is_deterministic(n in 1i64..500) {
+        let src = r#"
+            .memory 1
+            .func count args=1 locals=0
+            loop:
+                local.get 0
+                eqz
+                jmpif done
+                local.get 0
+                push 1
+                sub
+                local.set 0
+                jmp loop
+            done:
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let mut m1 = Machine::new(module.clone(), SandboxPolicy::default()).unwrap();
+        let mut m2 = Machine::new(module, SandboxPolicy::default()).unwrap();
+        m1.call("count", &[n]).unwrap();
+        m2.call("count", &[n]).unwrap();
+        prop_assert_eq!(m1.fuel_used(), m2.fuel_used());
+    }
+
+    /// Serialization round-trip for arbitrary well-formed modules.
+    #[test]
+    fn module_serialization_round_trip(
+        n_funcs in 1usize..5,
+        mem_pages in 0u16..8,
+        codes in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..5)
+    ) {
+        let functions: Vec<Function> = (0..n_funcs.min(codes.len()))
+            .map(|i| Function {
+                name: format!("f{i}"),
+                n_args: (i % 4) as u8,
+                n_locals: (i % 3) as u8,
+                code: codes[i].clone(),
+            })
+            .collect();
+        let module = Module { mem_pages, functions, data: vec![] };
+        let bytes = module.to_bytes();
+        prop_assert_eq!(Module::from_bytes(&bytes).unwrap(), module);
+    }
+}
+
+#[test]
+fn truncation_fuzz_on_real_pad_module() {
+    // Exhaustively truncate a real PAD container: every prefix must parse
+    // as an error, never panic.
+    let src = fractal_vm::asm::assemble(
+        ".memory 2\n.func decode args=6 locals=2\n push 0\n ret\n",
+    )
+    .unwrap();
+    let bytes = src.to_bytes();
+    for cut in 0..bytes.len() {
+        assert!(Module::from_bytes(&bytes[..cut]).is_err());
+    }
+}
+
+#[test]
+fn hostile_deep_recursion_traps_cleanly() {
+    let src = ".memory 1\n.func f args=0 locals=0\n call f\n ret\n";
+    let module = assemble(src).unwrap();
+    let mut m = Machine::new(module, SandboxPolicy::default()).unwrap();
+    assert_eq!(m.call("f", &[]), Err(Trap::CallDepthExceeded));
+}

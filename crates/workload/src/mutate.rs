@@ -1,0 +1,188 @@
+//! Version-evolution operators.
+//!
+//! The paper's core empirical observation (\[30\]) is that *which* protocol
+//! wins depends on document type and how documents change. Three edit
+//! profiles span that space:
+//!
+//! * [`EditProfile::Localized`] — re-render small image regions in place
+//!   and replace a sentence in the text without changing its length where
+//!   possible. Positionally stable → Bitmap's best case.
+//! * [`EditProfile::Shifting`] — insert/delete text runs, shifting all
+//!   later bytes. Content-defined chunking (vary-sized) and rolling
+//!   checksums (fixed-block) survive this; Bitmap does not.
+//! * [`EditProfile::Churn`] — regenerate most of the content. No version
+//!   correlation → compression (Gzip) or Direct wins.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::image::Image;
+use crate::text;
+
+/// How one version evolves into the next.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EditProfile {
+    /// In-place localized edits (medical re-rendering).
+    Localized,
+    /// Insertions and deletions that shift content.
+    Shifting,
+    /// Near-total regeneration.
+    Churn,
+}
+
+impl EditProfile {
+    /// All profiles, for sweeps.
+    pub const ALL: [EditProfile; 3] =
+        [EditProfile::Localized, EditProfile::Shifting, EditProfile::Churn];
+
+    /// Short label for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            EditProfile::Localized => "localized",
+            EditProfile::Shifting => "shifting",
+            EditProfile::Churn => "churn",
+        }
+    }
+}
+
+/// Evolves the markup once.
+pub fn mutate_text(old: &[u8], seed: u64, profile: EditProfile) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xA5A5_5A5A_0F0F_F0F0);
+    match profile {
+        EditProfile::Localized => {
+            // Overwrite one span in place with same-length fresh text.
+            let mut out = old.to_vec();
+            if out.len() > 64 {
+                let span = rng.gen_range(16..48.min(out.len() / 2));
+                let at = rng.gen_range(0..out.len() - span);
+                let fresh = text::generate(seed.wrapping_add(1), span + 64);
+                out[at..at + span].copy_from_slice(&fresh[64..64 + span]);
+            }
+            out
+        }
+        EditProfile::Shifting => {
+            // Insert a fresh sentence at a random point and delete a small
+            // run elsewhere.
+            let mut out = old.to_vec();
+            let fresh = text::generate(seed.wrapping_add(2), 160);
+            let insert_at = rng.gen_range(0..=out.len());
+            let sentence = &fresh[52..fresh.len().min(52 + rng.gen_range(40..120))];
+            out.splice(insert_at..insert_at, sentence.iter().copied());
+            if out.len() > 400 {
+                let del = rng.gen_range(10..80);
+                let at = rng.gen_range(0..out.len() - del);
+                out.drain(at..at + del);
+            }
+            out
+        }
+        EditProfile::Churn => text::generate(seed.wrapping_add(3), old.len().max(512)),
+    }
+}
+
+/// Evolves the image set once.
+pub fn mutate_images(images: &mut [Image], seed: u64, profile: EditProfile) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x0BAD_F00D_CAFE_D00D);
+    match profile {
+        EditProfile::Localized => {
+            // Re-render one region of one or two views in place.
+            let n_edits = rng.gen_range(1..=2.min(images.len()));
+            for _ in 0..n_edits {
+                let idx = rng.gen_range(0..images.len());
+                let img = &mut images[idx];
+                let w = rng.gen_range(img.width / 8..img.width / 3);
+                let h = rng.gen_range(img.height / 8..img.height / 3);
+                let x0 = rng.gen_range(0..img.width - w);
+                let y0 = rng.gen_range(0..img.height - h);
+                img.edit_region(seed.wrapping_add(idx as u64), x0, y0, w, h);
+            }
+        }
+        EditProfile::Shifting => {
+            // Images keep their content (text shifted around them); touch
+            // a thin strip of one view.
+            if let Some(img) = images.first_mut() {
+                let h = (img.height / 16).max(1);
+                img.edit_region(seed, 0, 0, img.width, h);
+            }
+        }
+        EditProfile::Churn => {
+            // Fully new renders.
+            for (i, img) in images.iter_mut().enumerate() {
+                *img = Image::render(
+                    seed.wrapping_add(5000 + i as u64),
+                    img.width,
+                    img.height,
+                    6,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::standard_view;
+
+    #[test]
+    fn localized_text_preserves_length() {
+        let old = text::generate(1, 5000);
+        let new = mutate_text(&old, 2, EditProfile::Localized);
+        assert_eq!(old.len(), new.len());
+        assert_ne!(old, new);
+        let same = old.iter().zip(&new).filter(|(a, b)| a == b).count();
+        assert!(same > old.len() * 9 / 10);
+    }
+
+    #[test]
+    fn shifting_text_changes_length() {
+        let old = text::generate(3, 5000);
+        let new = mutate_text(&old, 4, EditProfile::Shifting);
+        assert_ne!(old.len(), new.len());
+    }
+
+    #[test]
+    fn churn_text_is_unrelated() {
+        let old = text::generate(5, 5000);
+        let new = mutate_text(&old, 6, EditProfile::Churn);
+        let same = old.iter().zip(&new).filter(|(a, b)| a == b).count();
+        assert!(same < old.len() / 2, "churned text too similar: {same}");
+    }
+
+    #[test]
+    fn localized_images_mostly_unchanged() {
+        let mut images: Vec<Image> = (0..4).map(standard_view).collect();
+        let before = images.clone();
+        mutate_images(&mut images, 7, EditProfile::Localized);
+        let total_diff: f64 = images
+            .iter()
+            .zip(&before)
+            .map(|(a, b)| a.diff_fraction(b))
+            .sum::<f64>()
+            / images.len() as f64;
+        assert!(total_diff > 0.0 && total_diff < 0.15, "diff {total_diff}");
+    }
+
+    #[test]
+    fn churn_images_fully_changed() {
+        let mut images: Vec<Image> = (0..4).map(standard_view).collect();
+        let before = images.clone();
+        mutate_images(&mut images, 8, EditProfile::Churn);
+        for (a, b) in images.iter().zip(&before) {
+            assert!(a.diff_fraction(b) > 0.5);
+        }
+    }
+
+    #[test]
+    fn mutations_are_deterministic() {
+        let old = text::generate(9, 3000);
+        for p in EditProfile::ALL {
+            assert_eq!(mutate_text(&old, 10, p), mutate_text(&old, 10, p));
+        }
+    }
+
+    #[test]
+    fn profile_names() {
+        let names: Vec<_> = EditProfile::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names, vec!["localized", "shifting", "churn"]);
+    }
+}

@@ -1,0 +1,107 @@
+//! Request traces: which page each client asks for, and which version it
+//! already holds.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One client request.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Request {
+    /// Requesting client index in the population.
+    pub client: u32,
+    /// Page requested.
+    pub page: u32,
+    /// Version the client already caches (`None` = cold fetch).
+    pub have_version: Option<u32>,
+    /// Version the server currently publishes.
+    pub want_version: u32,
+}
+
+/// A deterministic trace generator.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    seed: u64,
+    n_pages: u32,
+    /// Probability a client already holds the previous version.
+    warm_fraction: f64,
+}
+
+impl Trace {
+    /// Creates a trace over `n_pages` with the given warm-cache fraction.
+    pub fn new(seed: u64, n_pages: u32, warm_fraction: f64) -> Trace {
+        assert!((0.0..=1.0).contains(&warm_fraction));
+        assert!(n_pages > 0);
+        Trace { seed, n_pages, warm_fraction }
+    }
+
+    /// The paper's session model: every client re-fetches a page it has
+    /// seen before (warm_fraction = 1.0): the differencing protocols'
+    /// target scenario.
+    pub fn warm(seed: u64, n_pages: u32) -> Trace {
+        Trace::new(seed, n_pages, 1.0)
+    }
+
+    /// Generates `n` requests for `clients` clients. Pages are chosen
+    /// uniformly; warm requests hold `want_version - 1`.
+    pub fn generate(&self, clients: u32, n: usize) -> Vec<Request> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xFEED_FACE_DEAD_BEEF);
+        (0..n)
+            .map(|_| {
+                let client = rng.gen_range(0..clients.max(1));
+                let page = rng.gen_range(0..self.n_pages);
+                let want_version = rng.gen_range(1..4);
+                let warm = rng.gen_bool(self.warm_fraction);
+                Request {
+                    client,
+                    page,
+                    have_version: warm.then(|| want_version - 1),
+                    want_version,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let t = Trace::new(1, 75, 0.5);
+        assert_eq!(t.generate(10, 100), t.generate(10, 100));
+    }
+
+    #[test]
+    fn warm_trace_always_has_old_version() {
+        let t = Trace::warm(2, 75);
+        for r in t.generate(10, 200) {
+            let have = r.have_version.expect("warm trace");
+            assert_eq!(have, r.want_version - 1);
+        }
+    }
+
+    #[test]
+    fn cold_trace_never_has_old_version() {
+        let t = Trace::new(3, 75, 0.0);
+        assert!(t.generate(10, 200).iter().all(|r| r.have_version.is_none()));
+    }
+
+    #[test]
+    fn pages_and_clients_in_range() {
+        let t = Trace::new(4, 10, 0.5);
+        for r in t.generate(7, 500) {
+            assert!(r.page < 10);
+            assert!(r.client < 7);
+            assert!(r.want_version >= 1);
+        }
+    }
+
+    #[test]
+    fn mixed_fraction_is_mixed() {
+        let t = Trace::new(5, 75, 0.5);
+        let reqs = t.generate(10, 400);
+        let warm = reqs.iter().filter(|r| r.have_version.is_some()).count();
+        assert!(warm > 100 && warm < 300, "warm count {warm}");
+    }
+}

@@ -1,0 +1,76 @@
+//! PAD deployment through the CDN substrate: publishing signed mobile-code
+//! artifacts to an origin, warming edge servers, routing clients to the
+//! closest edge, and comparing a centralized PAD server against the
+//! distributed deployment under load (paper Figure 9(b)).
+//!
+//! ```sh
+//! cargo run --release --example cdn_deployment
+//! ```
+
+use fractal::cdn::deployment::{Deployment, RetrievalRequest};
+use fractal::cdn::edge::EdgeServer;
+use fractal::cdn::origin::OriginStore;
+use fractal::cdn::stats::RetrievalStats;
+use fractal::core::server::AdaptiveContentMode;
+use fractal::core::testbed::Testbed;
+use fractal::net::link::LinkKind;
+use fractal::net::time::SimTime;
+use fractal::net::topology::{Position, Topology};
+
+fn main() {
+    // Build and publish the real signed PAD artifacts.
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let mut origin = OriginStore::new();
+    let digests: Vec<_> = tb.pad_repo.values().map(|w| origin.publish(w.clone())).collect();
+    println!("published {} PAD artifacts to the origin:", digests.len());
+    for d in &digests {
+        let obj = origin.fetch(d).unwrap();
+        println!("  {}  {} bytes", d.short(), obj.size());
+    }
+
+    // Topology: one origin site, 20 edges, clients spread over the plane.
+    let mut topo = Topology::new();
+    let central = topo.add_node(Position { x: 0.5, y: 0.5 });
+    let edge_nodes = topo.add_spread_nodes(20, 7);
+    let edges: Vec<EdgeServer> =
+        edge_nodes.iter().map(|&n| EdgeServer::new(n, 2.5e5, 64 << 20)).collect();
+    for e in &edges {
+        e.warm(&origin, &digests);
+    }
+
+    println!("\nclients  centralized(mean)  distributed(mean)  distributed(p95)");
+    for n in [20usize, 100, 300] {
+        let clients = topo.add_spread_nodes(n, 1000 + n as u32);
+        let requests: Vec<RetrievalRequest> = clients
+            .iter()
+            .map(|&c| RetrievalRequest {
+                client_node: c,
+                last_mile: LinkKind::Wlan.link(),
+                digest: digests[0],
+                start: SimTime::ZERO,
+            })
+            .collect();
+
+        let dep_c = Deployment::Centralized { node: central, egress_bytes_per_sec: 2.5e5 };
+        let dep_d = Deployment::Distributed {
+            edges: edge_nodes.iter().map(|&nd| EdgeServer::new(nd, 2.5e5, 64 << 20)).collect(),
+        };
+        if let Deployment::Distributed { edges } = &dep_d {
+            for e in edges {
+                e.warm(&origin, &digests);
+            }
+        }
+
+        let sc = RetrievalStats::compute(&dep_c.retrieve_batch(&topo, &origin, &requests)).unwrap();
+        let sd = RetrievalStats::compute(&dep_d.retrieve_batch(&topo, &origin, &requests)).unwrap();
+        println!(
+            "{:>7}  {:>17}  {:>17}  {:>16}",
+            n, sc.mean.to_string(), sd.mean.to_string(), sd.p95.to_string()
+        );
+    }
+
+    println!(
+        "\nThe centralized server's shared egress pipe saturates as clients\n\
+         grow; closest-edge routing keeps the distributed times flat."
+    );
+}

@@ -1,0 +1,57 @@
+//! The motivating workload: computer-assisted surgery image distribution
+//! (the paper's reference [29]). Shows *why* no single protocol wins —
+//! the best choice flips with the document's edit pattern.
+//!
+//! ```sh
+//! cargo run --release --example medical_images
+//! ```
+
+use fractal::core::server::codec_for;
+use fractal::protocols::ProtocolId;
+use fractal::workload::image::standard_view;
+use fractal::workload::mutate::EditProfile;
+use fractal::workload::PageSet;
+
+fn main() {
+    println!("One 3D view image: {} bytes\n", standard_view(1).to_bytes().len());
+
+    let pages = PageSet::new(42, 4);
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "protocol", "localized", "shifting", "churn"
+    );
+    println!("{}", "-".repeat(62));
+    for protocol in ProtocolId::PAPER_FOUR {
+        let codec = codec_for(protocol);
+        let mut cells = Vec::new();
+        for profile in EditProfile::ALL {
+            let mut wire = 0u64;
+            let mut content = 0u64;
+            for p in 0..pages.len() {
+                let v0 = pages.original(p).to_bytes();
+                let v1 = pages.version(p, 1, profile).to_bytes();
+                wire += codec.traffic(&v0, &v1).total();
+                content += v1.len() as u64;
+            }
+            cells.push(wire as f64 / content as f64);
+        }
+        println!(
+            "{:<22} {:>11.1}% {:>11.1}% {:>11.1}%",
+            protocol.name(),
+            cells[0] * 100.0,
+            cells[1] * 100.0,
+            cells[2] * 100.0
+        );
+    }
+
+    println!(
+        "\n(wire bytes as % of content size; lower is better)\n\n\
+         * localized in-place pixel edits: Bitmap and Vary-sized excel;\n\
+         * shifting insertions/deletions: Bitmap collapses to ~100% while\n\
+           content-defined chunking (Vary-sized) barely notices;\n\
+         * churn (fresh renders): only compression helps — Gzip wins.\n\n\
+         This is the paper's core observation: \"no single algorithm\n\
+         outperformed others in all cases\" — hence a framework that\n\
+         *negotiates* the protocol per client and per workload."
+    );
+}

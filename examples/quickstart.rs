@@ -1,0 +1,55 @@
+//! Quickstart: the full Fractal flow in ~40 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use fractal::core::presets::ClientClass;
+use fractal::core::server::AdaptiveContentMode;
+use fractal::core::session::run_session;
+use fractal::core::testbed::Testbed;
+
+fn main() {
+    // 1. Assemble the platform: four PADs built from FVM assembly, signed,
+    //    published; the PAT pushed to the adaptation proxy; an application
+    //    server with reactive adaptive content.
+    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+
+    // 2. Publish two versions of some content.
+    let v0: Vec<u8> = b"breaking news, version one. ".repeat(2000).to_vec();
+    let mut v1 = v0.clone();
+    v1[40..52].copy_from_slice(b"version two!");
+    tb.server.publish(1, v0);
+    tb.server.publish(1, v1);
+
+    // 3. A PDA on Bluetooth negotiates and runs two sessions.
+    let mut client = tb.client(ClientClass::PdaBluetooth);
+    let link = ClientClass::PdaBluetooth.link();
+
+    for version in [0u32, 1] {
+        let report = run_session(
+            &mut client,
+            &mut tb.proxy,
+            &mut tb.server,
+            &tb.pad_repo,
+            &link,
+            tb.app_id,
+            1,
+            version,
+        )
+        .expect("session runs");
+        println!(
+            "fetch v{version}: protocol={} negotiation={} pad-retrieval={} \
+             traffic={}B total={}",
+            report.protocol,
+            report.negotiation,
+            report.pad_retrieval,
+            report.traffic.total(),
+            report.total(),
+        );
+    }
+    println!(
+        "\nThe second fetch reused the cached protocol and deployed PAD, and \
+         the differencing protocol moved only the changed bytes."
+    );
+}

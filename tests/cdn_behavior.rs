@@ -1,0 +1,129 @@
+//! Integration tests for the CDN substrate feeding the framework: PAD
+//! objects published at the origin, edge caching, routing, and the
+//! centralized/distributed capacity contrast.
+
+use fractal::cdn::deployment::{Deployment, RetrievalRequest};
+use fractal::cdn::edge::EdgeServer;
+use fractal::cdn::origin::OriginStore;
+use fractal::cdn::stats::RetrievalStats;
+use fractal::core::server::AdaptiveContentMode;
+use fractal::core::testbed::Testbed;
+use fractal::net::link::LinkKind;
+use fractal::net::time::SimTime;
+use fractal::net::topology::{Position, Topology};
+
+/// Publishes every case-study PAD artifact to an origin store.
+fn publish_catalog() -> (OriginStore, Vec<fractal::crypto::Digest>) {
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let mut origin = OriginStore::new();
+    let digests = tb.pad_repo.values().map(|wire| origin.publish(wire.clone())).collect();
+    (origin, digests)
+}
+
+#[test]
+fn all_pads_retrievable_from_every_edge() {
+    let (origin, digests) = publish_catalog();
+    let mut topo = Topology::new();
+    let edge_nodes = topo.add_spread_nodes(5, 3);
+    let edges: Vec<EdgeServer> =
+        edge_nodes.iter().map(|&n| EdgeServer::new(n, 1e6, 1_000_000)).collect();
+    for edge in &edges {
+        for d in &digests {
+            let (obj, _) = edge.serve(d, &origin).expect("object served");
+            assert_eq!(&fractal::crypto::sha1::sha1(&obj.bytes), d, "content addressed");
+        }
+        let (hits, misses) = edge.cache_stats();
+        assert_eq!(misses, digests.len() as u64, "first pass all misses");
+        assert_eq!(hits, 0);
+    }
+}
+
+#[test]
+fn edge_cache_turns_misses_into_hits() {
+    let (origin, digests) = publish_catalog();
+    let edge = EdgeServer::new(fractal::net::topology::NodeId(0), 1e6, 1_000_000);
+    for d in &digests {
+        edge.serve(d, &origin).unwrap();
+    }
+    for d in &digests {
+        let (_, miss) = edge.serve(d, &origin).unwrap();
+        assert!(!miss);
+    }
+    let (hits, misses) = edge.cache_stats();
+    assert_eq!(hits, digests.len() as u64);
+    assert_eq!(misses, digests.len() as u64);
+}
+
+#[test]
+fn tiny_cache_thrashes_but_still_serves() {
+    let (origin, digests) = publish_catalog();
+    // Budget fits roughly one artifact: constant eviction, always correct.
+    let edge = EdgeServer::new(fractal::net::topology::NodeId(0), 1e6, 600);
+    for _ in 0..3 {
+        for d in &digests {
+            let (obj, _) = edge.serve(d, &origin).unwrap();
+            assert_eq!(&fractal::crypto::sha1::sha1(&obj.bytes), d);
+        }
+    }
+    let (hits, misses) = edge.cache_stats();
+    assert!(misses > hits, "thrash expected: {hits} hits, {misses} misses");
+}
+
+#[test]
+fn batch_retrieval_statistics_are_sane() {
+    let (origin, digests) = publish_catalog();
+    let mut topo = Topology::new();
+    let server = topo.add_node(Position { x: 0.5, y: 0.5 });
+    let clients = topo.add_spread_nodes(60, 9);
+    let dep = Deployment::Centralized { node: server, egress_bytes_per_sec: 2.5e5 };
+    let requests: Vec<RetrievalRequest> = clients
+        .iter()
+        .map(|&c| RetrievalRequest {
+            client_node: c,
+            last_mile: LinkKind::Wlan.link(),
+            digest: digests[0],
+            start: SimTime::ZERO,
+        })
+        .collect();
+    let times = dep.retrieve_batch(&topo, &origin, &requests);
+    let stats = RetrievalStats::compute(&times).unwrap();
+    assert_eq!(stats.count, 60);
+    assert!(stats.min <= stats.p50 && stats.p50 <= stats.p95 && stats.p95 <= stats.max);
+    assert!(stats.max > stats.min, "shared pipe must spread completions");
+}
+
+#[test]
+fn mixed_deployment_comparison_over_identical_requests() {
+    let (origin, digests) = publish_catalog();
+    let mut topo = Topology::new();
+    let central = topo.add_node(Position { x: 0.5, y: 0.5 });
+    let edge_nodes = topo.add_spread_nodes(10, 4);
+    let clients = topo.add_spread_nodes(200, 5);
+
+    let requests: Vec<RetrievalRequest> = clients
+        .iter()
+        .map(|&c| RetrievalRequest {
+            client_node: c,
+            last_mile: LinkKind::Lan.link(),
+            digest: digests[0],
+            start: SimTime::ZERO,
+        })
+        .collect();
+
+    let dep_c = Deployment::Centralized { node: central, egress_bytes_per_sec: 2.5e5 };
+    let edges: Vec<EdgeServer> =
+        edge_nodes.iter().map(|&n| EdgeServer::new(n, 2.5e5, 10_000_000)).collect();
+    for e in &edges {
+        e.warm(&origin, &digests);
+    }
+    let dep_d = Deployment::Distributed { edges };
+
+    let t_c = RetrievalStats::compute(&dep_c.retrieve_batch(&topo, &origin, &requests)).unwrap();
+    let t_d = RetrievalStats::compute(&dep_d.retrieve_batch(&topo, &origin, &requests)).unwrap();
+    assert!(
+        t_c.mean.as_secs_f64() > 2.0 * t_d.mean.as_secs_f64(),
+        "200 clients: centralized {} vs distributed {}",
+        t_c.mean,
+        t_d.mean
+    );
+}

@@ -1,0 +1,138 @@
+//! Integration tests for the mobile-code pipeline: every protocol's FVM
+//! decoder against the native codecs over the real workload, plus fuel and
+//! repeat-use behavior.
+
+use fractal::core::server::codec_for;
+use fractal::crypto::sign::SignerRegistry;
+use fractal::pads::artifact::{build_pad, open_unchecked};
+use fractal::pads::PadRuntime;
+use fractal::protocols::ProtocolId;
+use fractal::vm::SandboxPolicy;
+use fractal::workload::mutate::EditProfile;
+use fractal::workload::PageSet;
+
+fn runtime(p: ProtocolId) -> PadRuntime {
+    let signer = SignerRegistry::new().provision("mc-test");
+    let artifact = build_pad(p, &signer);
+    PadRuntime::new(open_unchecked(&artifact), SandboxPolicy::for_pads()).unwrap()
+}
+
+#[test]
+fn every_protocol_decodes_real_pages_in_the_vm() {
+    let pages = PageSet::new(77, 2);
+    for protocol in ProtocolId::ALL {
+        let codec = codec_for(protocol);
+        let mut rt = runtime(protocol);
+        for page in 0..pages.len() {
+            for profile in [EditProfile::Localized, EditProfile::Shifting] {
+                let old = pages.original(page).to_bytes();
+                let new = pages.version(page, 1, profile).to_bytes();
+                let payload = codec.encode(&old, &new);
+                let decoded = rt.decode(&old, &payload).unwrap();
+                assert_eq!(decoded, new, "{protocol} page {page} {profile:?}");
+            }
+        }
+    }
+}
+
+#[test]
+fn vm_and_native_agree_on_cold_fetches() {
+    let pages = PageSet::new(78, 1);
+    let new = pages.original(0).to_bytes();
+    for protocol in ProtocolId::ALL {
+        let codec = codec_for(protocol);
+        let payload = codec.encode(&[], &new);
+        let native = codec.decode(&[], &payload).unwrap();
+        let mut rt = runtime(protocol);
+        let vm = rt.decode(&[], &payload).unwrap();
+        assert_eq!(native, vm, "{protocol}");
+        assert_eq!(native, new);
+    }
+}
+
+#[test]
+fn upstream_builders_match_native_on_real_content() {
+    let pages = PageSet::new(79, 1);
+    let old = pages.original(0).to_bytes();
+
+    let mut bitmap_rt = runtime(ProtocolId::Bitmap);
+    let bs = fractal::protocols::bitmap::DEFAULT_BLOCK_SIZE;
+    let vm_msg = bitmap_rt.upstream("digests", &old, bs as u32).unwrap();
+    let native_msg =
+        fractal::protocols::bitmap::Bitmap::with_block_size(bs).upstream_message(&old);
+    assert_eq!(vm_msg, native_msg);
+
+    let mut fixed_rt = runtime(ProtocolId::FixedBlock);
+    let bs = fractal::protocols::fixedblock::DEFAULT_BLOCK_SIZE;
+    let vm_msg = fixed_rt.upstream("signatures", &old, bs as u32).unwrap();
+    let native_msg =
+        fractal::protocols::fixedblock::FixedBlock::with_block_size(bs).upstream_message(&old);
+    assert_eq!(vm_msg, native_msg);
+}
+
+#[test]
+fn fuel_usage_scales_with_content_size() {
+    let mut rt = runtime(ProtocolId::Gzip);
+    let codec = codec_for(ProtocolId::Gzip);
+
+    let small: Vec<u8> = b"fractal ".iter().copied().cycle().take(5_000).collect();
+    let large: Vec<u8> = b"fractal ".iter().copied().cycle().take(100_000).collect();
+
+    let p_small = codec.encode(&[], &small);
+    rt.decode(&[], &p_small).unwrap();
+    let fuel_small = rt.fuel_used();
+
+    let p_large = codec.encode(&[], &large);
+    rt.decode(&[], &p_large).unwrap();
+    let fuel_large = rt.fuel_used() - fuel_small;
+
+    assert!(
+        fuel_large > fuel_small * 5,
+        "20x content should cost >5x fuel ({fuel_small} vs {fuel_large})"
+    );
+}
+
+#[test]
+fn one_deployed_pad_serves_a_whole_session_sequence() {
+    // The mobile-code module persists across requests (the point of
+    // on-demand protocol retrieval): no re-instantiation needed.
+    let pages = PageSet::new(80, 3);
+    let codec = codec_for(ProtocolId::VaryBlock);
+    let mut rt = runtime(ProtocolId::VaryBlock);
+    let mut old = pages.original(0).to_bytes();
+    for v in 1..=3 {
+        let new = pages.version(0, v, EditProfile::Localized).to_bytes();
+        let payload = codec.encode(&old, &new);
+        let decoded = rt.decode(&old, &payload).unwrap();
+        assert_eq!(decoded, new, "version {v}");
+        old = decoded;
+    }
+}
+
+#[test]
+fn decoders_reject_cross_protocol_payloads() {
+    // Feeding one protocol's payload to another's decoder must fail
+    // cleanly (status or trap), never panic or return wrong bytes.
+    let pages = PageSet::new(81, 1);
+    let old = pages.original(0).to_bytes();
+    let mut new = old.clone();
+    new[5000] ^= 0xAA;
+
+    for (enc, dec) in [
+        (ProtocolId::Gzip, ProtocolId::VaryBlock),
+        (ProtocolId::Bitmap, ProtocolId::Gzip),
+        (ProtocolId::VaryBlock, ProtocolId::Bitmap),
+    ] {
+        let payload = codec_for(enc).encode(&old, &new);
+        let mut rt = runtime(dec);
+        match rt.decode(&old, &payload) {
+            Err(_) => {}
+            Ok(decoded) => {
+                // Extremely unlikely, but if it "succeeds" it must not
+                // silently corrupt: the framework's digest check on content
+                // would catch it; here we just require inequality awareness.
+                assert_ne!(decoded, new, "{enc} payload decoded by {dec}");
+            }
+        }
+    }
+}

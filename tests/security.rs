@@ -1,0 +1,170 @@
+//! Security integration: the §3.5 mobile-code acceptance gauntlet under
+//! attack — tampering, untrusted signers, malformed modules, hostile
+//! bytecode, and sandbox escapes.
+
+use fractal::core::presets::{pad_id, pad_overhead, ClientClass};
+use fractal::core::meta::{PadId, PadMeta};
+use fractal::core::server::AdaptiveContentMode;
+use fractal::core::testbed::Testbed;
+use fractal::core::FractalError;
+use fractal::crypto::sign::{Signer, SignerRegistry};
+use fractal::pads::artifact::build_pad;
+use fractal::protocols::ProtocolId;
+use fractal::vm::{assemble, Machine, SandboxPolicy, SignedModule, Trap};
+
+fn meta_for(artifact: &fractal::pads::PadArtifact, id: PadId) -> PadMeta {
+    PadMeta {
+        id,
+        protocol: artifact.protocol,
+        size: artifact.wire_len() as u32,
+        overhead: pad_overhead(artifact.protocol),
+        digest: artifact.digest(),
+        url: "cdn://pads/x".into(),
+        parent: None,
+        children: vec![],
+    }
+}
+
+#[test]
+fn bit_flips_anywhere_in_the_artifact_are_rejected() {
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let artifact = build_pad(ProtocolId::Gzip, &tb.signer);
+    let meta = meta_for(&artifact, pad_id(ProtocolId::Gzip));
+    let wire = artifact.signed.to_wire();
+
+    // Flip one bit at a spread of positions including the signature,
+    // header, code, and tail.
+    let positions: Vec<usize> =
+        (0..wire.len()).step_by((wire.len() / 23).max(1)).collect();
+    for pos in positions {
+        let mut client = tb.client(ClientClass::LaptopWlan);
+        let mut tampered = wire.clone();
+        tampered[pos] ^= 0x01;
+        let err = client.deploy_pad(&meta, &tampered).unwrap_err();
+        assert!(
+            matches!(err, FractalError::PadRejected(_)),
+            "flip at {pos} produced {err:?}"
+        );
+        assert!(!client.is_deployed(meta.id));
+    }
+}
+
+#[test]
+fn valid_module_signed_by_stranger_is_rejected() {
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    // A perfectly well-formed PAD signed by an unknown key.
+    let mut rogue_reg = SignerRegistry::new();
+    let rogue = rogue_reg.provision("evil-operator");
+    let artifact = build_pad(ProtocolId::Gzip, &rogue);
+    let meta = meta_for(&artifact, pad_id(ProtocolId::Gzip));
+    let mut client = tb.client(ClientClass::LaptopWlan);
+    let err = client.deploy_pad(&meta, &artifact.signed.to_wire()).unwrap_err();
+    assert!(matches!(err, FractalError::PadRejected(_)));
+}
+
+#[test]
+fn signed_but_malformed_bytecode_is_rejected_by_verifier() {
+    // The operator's key signs garbage bytecode: signature passes, static
+    // verification must still refuse it.
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let mut module = assemble(".memory 1\n.func decode args=6 locals=0\n ret\n").unwrap();
+    // Corrupt the code *before* signing: a wild jump.
+    module.functions[0].code = vec![0x03, 0xFF, 0x00, 0x00, 0x00]; // Jmp +255
+    let signed = SignedModule::sign(&module, &tb.signer);
+    let meta = PadMeta {
+        id: PadId(77),
+        protocol: ProtocolId::Direct,
+        size: signed.wire_len() as u32,
+        overhead: pad_overhead(ProtocolId::Direct),
+        digest: signed.digest(),
+        url: String::new(),
+        parent: None,
+        children: vec![],
+    };
+    let mut client = tb.client(ClientClass::DesktopLan);
+    let err = client.deploy_pad(&meta, &signed.to_wire()).unwrap_err();
+    assert!(matches!(err, FractalError::PadUnverifiable(_)), "{err:?}");
+}
+
+#[test]
+fn hostile_infinite_loop_is_stopped_by_fuel() {
+    let src = ".memory 1\n.func spin args=0 locals=0\nhot:\n jmp hot\n";
+    let module = assemble(src).unwrap();
+    let mut m = Machine::new(module, SandboxPolicy::for_pads().with_fuel(100_000)).unwrap();
+    assert_eq!(m.call("spin", &[]), Err(Trap::FuelExhausted));
+}
+
+#[test]
+fn hostile_memory_scan_is_stopped_by_bounds() {
+    // Code that walks past the end of linear memory.
+    let src = r#"
+        .memory 1
+        .func scan args=0 locals=1
+        loop:
+            local.get 0
+            load8
+            drop
+            local.get 0
+            push 1
+            add
+            local.set 0
+            jmp loop
+    "#;
+    let module = assemble(src).unwrap();
+    let mut m = Machine::new(module, SandboxPolicy::for_pads()).unwrap();
+    assert!(matches!(m.call("scan", &[]), Err(Trap::OutOfBounds { .. })));
+}
+
+#[test]
+fn sandbox_policy_denies_unneeded_intrinsics() {
+    // Deploy the direct PAD under a policy that denies sha1; direct never
+    // calls it, so it must still work — capability minimization.
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let artifact = build_pad(ProtocolId::Direct, &tb.signer);
+    let meta = meta_for(&artifact, pad_id(ProtocolId::Direct));
+    let mut client = tb.client(ClientClass::DesktopLan);
+    client.policy = SandboxPolicy::for_pads().with_hosts(&[]);
+    client.deploy_pad(&meta, &artifact.signed.to_wire()).unwrap();
+
+    let payload = {
+        use fractal::protocols::DiffCodec;
+        fractal::protocols::direct::Direct.encode(&[], b"hello")
+    };
+    assert_eq!(client.decode_content(meta.id, 1, &payload).unwrap(), b"hello");
+
+    // But the bitmap PAD's digests entry needs sha1 and must be denied.
+    let bitmap = build_pad(ProtocolId::Bitmap, &tb.signer);
+    let bmeta = meta_for(&bitmap, pad_id(ProtocolId::Bitmap));
+    client.deploy_pad(&bmeta, &bitmap.signed.to_wire()).unwrap();
+    client.store_content(2, 0, vec![1u8; 4096]);
+    let err = client.upstream_message(bmeta.id, ProtocolId::Bitmap, 2).unwrap_err();
+    assert!(matches!(err, FractalError::PadRuntime(_)), "{err:?}");
+}
+
+#[test]
+fn revoking_trust_blocks_future_deployments() {
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let artifact = build_pad(ProtocolId::Gzip, &tb.signer);
+    let meta = meta_for(&artifact, pad_id(ProtocolId::Gzip));
+    let mut client = tb.client(ClientClass::LaptopWlan);
+    client.deploy_pad(&meta, &artifact.signed.to_wire()).unwrap();
+
+    // Revoke and try a fresh deployment of another PAD by the same signer.
+    let signer_id = artifact.signed.signature.key_id;
+    assert!(client.trust.revoke(signer_id));
+    let other = build_pad(ProtocolId::Bitmap, &tb.signer);
+    let ometa = meta_for(&other, pad_id(ProtocolId::Bitmap));
+    assert!(client.deploy_pad(&ometa, &other.signed.to_wire()).is_err());
+}
+
+#[test]
+fn signer_provisioning_is_isolated_between_operators() {
+    let mut reg = SignerRegistry::new();
+    let a: Signer = reg.provision("operator-a");
+    let b: Signer = reg.provision("operator-b");
+    let artifact_a = build_pad(ProtocolId::Direct, &a);
+    let artifact_b = build_pad(ProtocolId::Direct, &b);
+    // Same module bytes, different signatures.
+    assert_eq!(artifact_a.signed.bytes, artifact_b.signed.bytes);
+    assert_ne!(artifact_a.signed.signature, artifact_b.signed.signature);
+}
