@@ -30,9 +30,7 @@ fn bench_codecs(c: &mut Criterion) {
         let payload = codec.encode(&old, &new);
         group.bench_with_input(BenchmarkId::from_parameter(p.slug()), &p, |b, _| {
             b.iter(|| {
-                codec
-                    .decode(std::hint::black_box(&old), std::hint::black_box(&payload))
-                    .unwrap()
+                codec.decode(std::hint::black_box(&old), std::hint::black_box(&payload)).unwrap()
             })
         });
     }

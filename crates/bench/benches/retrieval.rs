@@ -10,11 +10,7 @@ fn bench_retrieval(c: &mut Criterion) {
     group.sample_size(20);
     for n in [50usize, 300] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter_batched(
-                Fixture::new,
-                |mut fx| fx.run_point(n),
-                criterion::BatchSize::SmallInput,
-            )
+            b.iter_batched(Fixture::new, |mut fx| fx.run_point(n), criterion::BatchSize::SmallInput)
         });
     }
     group.finish();

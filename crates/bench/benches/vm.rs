@@ -8,7 +8,7 @@ use fractal_crypto::sign::{SignerRegistry, TrustStore};
 use fractal_pads::artifact::{build_pad, open_unchecked, source_for};
 use fractal_pads::runtime::PadRuntime;
 use fractal_protocols::ProtocolId;
-use fractal_vm::{assemble, verify::verify_module, SandboxPolicy};
+use fractal_vm::{analyze_module, assemble, verify::verify_module, SandboxPolicy};
 use fractal_workload::mutate::EditProfile;
 use fractal_workload::PageSet;
 
@@ -27,7 +27,42 @@ fn bench_vm_decode(c: &mut Criterion) {
             PadRuntime::new(open_unchecked(&build_pad(p, &signer)), SandboxPolicy::for_pads())
                 .unwrap();
         group.bench_with_input(BenchmarkId::from_parameter(p.slug()), &p, |b, _| {
-            b.iter(|| rt.decode(std::hint::black_box(&old), std::hint::black_box(&payload)).unwrap())
+            b.iter(|| {
+                rt.decode(std::hint::black_box(&old), std::hint::black_box(&payload)).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The checked interpreter (per-op stack checks) vs. the analyzed fast
+/// path (checks discharged statically, branches pre-resolved) on the same
+/// decode workloads — the payoff of the admission-time analysis.
+fn bench_interpreter_paths(c: &mut Criterion) {
+    let pages = PageSet::new(2005, 1);
+    let old = pages.original(0).to_bytes();
+    let new = pages.version(0, 1, EditProfile::Localized).to_bytes();
+    let signer = SignerRegistry::new().provision("bench");
+
+    let mut group = c.benchmark_group("interpreter_path");
+    group.throughput(Throughput::Bytes(new.len() as u64));
+    for p in [ProtocolId::Gzip, ProtocolId::VaryBlock] {
+        let codec = codec_for(p);
+        let payload = codec.encode(&old, &new);
+        let module = open_unchecked(&build_pad(p, &signer));
+        let mut checked =
+            PadRuntime::new_checked(module.clone(), SandboxPolicy::for_pads()).unwrap();
+        let mut fast = PadRuntime::new(module, SandboxPolicy::for_pads()).unwrap();
+        assert!(fast.is_fast_path(), "{p} should analyze clean");
+        group.bench_with_input(BenchmarkId::new("checked", p.slug()), &p, |b, _| {
+            b.iter(|| {
+                checked.decode(std::hint::black_box(&old), std::hint::black_box(&payload)).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("analyzed", p.slug()), &p, |b, _| {
+            b.iter(|| {
+                fast.decode(std::hint::black_box(&old), std::hint::black_box(&payload)).unwrap()
+            })
         });
     }
     group.finish();
@@ -43,10 +78,19 @@ fn bench_deployment_path(c: &mut Criterion) {
     let digest = artifact.digest();
     let source = source_for(ProtocolId::Gzip);
 
-    c.bench_function("assemble_gzip_pad", |b| b.iter(|| assemble(std::hint::black_box(&source)).unwrap()));
+    c.bench_function("assemble_gzip_pad", |b| {
+        b.iter(|| assemble(std::hint::black_box(&source)).unwrap())
+    });
 
     let module = assemble(&source).unwrap();
-    c.bench_function("verify_gzip_pad", |b| b.iter(|| verify_module(std::hint::black_box(&module)).unwrap()));
+    c.bench_function("verify_gzip_pad", |b| {
+        b.iter(|| verify_module(std::hint::black_box(&module)).unwrap())
+    });
+
+    let policy = SandboxPolicy::for_pads();
+    c.bench_function("analyze_gzip_pad", |b| {
+        b.iter(|| analyze_module(std::hint::black_box(&module), &policy).unwrap())
+    });
 
     c.bench_function("open_signed_pad", |b| {
         b.iter(|| {
@@ -60,5 +104,5 @@ fn bench_deployment_path(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_vm_decode, bench_deployment_path);
+criterion_group!(benches, bench_vm_decode, bench_interpreter_paths, bench_deployment_path);
 criterion_main!(benches);

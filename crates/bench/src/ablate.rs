@@ -62,8 +62,7 @@ pub fn ratio_ablation() -> RatioAblation {
     let with = search(&pat, &OverheadModel::paper(ratios), &env, 1_000_000).unwrap();
 
     // Pure linear model.
-    let linear =
-        search(&pat, &OverheadModel::paper(Ratios::linear()), &env, 1_000_000).unwrap();
+    let linear = search(&pat, &OverheadModel::paper(Ratios::linear()), &env, 1_000_000).unwrap();
 
     RatioAblation {
         with_ratios: with.pads[0],
@@ -85,10 +84,8 @@ pub struct RhoPoint {
 
 /// Sweeps ρ from 0.3 to 1.0, re-running the case-study negotiation.
 pub fn rho_sweep() -> Vec<RhoPoint> {
-    let artifacts: Vec<_> = ProtocolId::PAPER_FOUR
-        .iter()
-        .map(|&p| (p, sha1(p.slug().as_bytes()), 3000u32))
-        .collect();
+    let artifacts: Vec<_> =
+        ProtocolId::PAPER_FOUR.iter().map(|&p| (p, sha1(p.slug().as_bytes()), 3000u32)).collect();
     let meta = case_study_app_meta(AppId(1), &artifacts);
     let pat = Pat::from_app_meta(&meta);
 

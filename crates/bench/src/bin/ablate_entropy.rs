@@ -17,14 +17,15 @@ use fractal_workload::PageSet;
 fn main() {
     let n_pages: u32 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(20);
     let pages = PageSet::new(2005, n_pages);
-    let contents: Vec<Vec<u8>> = (0..n_pages)
-        .map(|p| pages.version(p, 1, EditProfile::Localized).to_bytes())
-        .collect();
+    let contents: Vec<Vec<u8>> =
+        (0..n_pages).map(|p| pages.version(p, 1, EditProfile::Localized).to_bytes()).collect();
     let total: usize = contents.iter().map(Vec::len).sum();
 
     println!("Ablation: LZ77 alone vs LZ77+Huffman on {n_pages} pages ({} KB)\n", total / 1024);
 
-    for (name, codec) in [("gzip (LZ77 only)", &Gzip as &dyn DiffCodec), ("deflate (LZ77+Huffman)", &Deflate)] {
+    for (name, codec) in
+        [("gzip (LZ77 only)", &Gzip as &dyn DiffCodec), ("deflate (LZ77+Huffman)", &Deflate)]
+    {
         let t0 = Instant::now();
         let payloads: Vec<Vec<u8>> = contents.iter().map(|c| codec.encode(&[], c)).collect();
         let enc = t0.elapsed();

@@ -5,7 +5,10 @@ fn main() {
 
     section("TABLE 1");
     for r in fractal_bench::table1::run() {
-        println!("{:<28} {:<48} {:>6} bytes  {}", r.row.name, r.row.function, r.artifact_bytes, r.digest_short);
+        println!(
+            "{:<28} {:<48} {:>6} bytes  {}",
+            r.row.name, r.row.function, r.artifact_bytes, r.digest_short
+        );
     }
 
     section("FIGURE 9(a)");
@@ -86,8 +89,10 @@ fn main() {
 
     section("ABLATIONS");
     let r = fractal_bench::ablate::ratio_ablation();
-    println!("ratio matrices: full model {} / linear model {} (infeasible: {})",
-        r.with_ratios, r.linear_only, r.linear_picked_infeasible);
+    println!(
+        "ratio matrices: full model {} / linear model {} (infeasible: {})",
+        r.with_ratios, r.linear_only, r.linear_picked_infeasible
+    );
     for p in fractal_bench::ablate::rho_sweep() {
         println!("rho {:.1}: laptop {} / PDA {}", p.rho, p.laptop_pick.name(), p.pda_pick.name());
     }

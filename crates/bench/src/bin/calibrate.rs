@@ -17,14 +17,10 @@ fn main() {
     let pages = PageSet::new(2005, n_pages);
     let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..n_pages)
         .map(|p| {
-            (
-                pages.original(p).to_bytes(),
-                pages.version(p, 1, EditProfile::Localized).to_bytes(),
-            )
+            (pages.original(p).to_bytes(), pages.version(p, 1, EditProfile::Localized).to_bytes())
         })
         .collect();
-    let total_mb: f64 =
-        pairs.iter().map(|(_, new)| new.len() as f64).sum::<f64>() / 1_000_000.0;
+    let total_mb: f64 = pairs.iter().map(|(_, new)| new.len() as f64).sum::<f64>() / 1_000_000.0;
 
     println!("calibrating on {n_pages} pages ({total_mb:.1} MB of content), native Rust codecs\n");
     println!(

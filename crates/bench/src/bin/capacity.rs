@@ -16,10 +16,7 @@ fn main() {
             ]
         })
         .collect();
-    println!(
-        "{}",
-        render_table(&["protocol", "server ms/page", "max sustainable rps"], &rows)
-    );
+    println!("{}", render_table(&["protocol", "server ms/page", "max sustainable rps"], &rows));
 
     println!("\nsojourn under load (vary-sized blocking):");
     for rps in [2.0, 5.0, 8.0, 12.0] {

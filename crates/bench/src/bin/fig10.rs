@@ -40,8 +40,5 @@ fn main() {
 }
 
 fn page_count() -> u32 {
-    std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(75)
+    std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(75)
 }

@@ -20,27 +20,22 @@ fn main() {
     println!("{}", render_table(&["protocol", "KB"], &rows));
     println!("paper expectation: Direct most, Vary-sized least, Gzip/Bitmap between\n");
 
-    for (label, with_server) in [("(b) total time WITH server-side computing (s)", true),
-        ("(c) total time WITHOUT server-side computing (s)", false)]
-    {
+    for (label, with_server) in [
+        ("(b) total time WITH server-side computing (s)", true),
+        ("(c) total time WITHOUT server-side computing (s)", false),
+    ] {
         println!("{label}");
         let mut rows = Vec::new();
         for p in ProtocolId::PAPER_FOUR {
             let mut row = vec![p.name().to_string()];
             for class in ClientClass::ALL {
-                let cell = if with_server {
-                    fig.cell_with(class, p)
-                } else {
-                    fig.cell_without(class, p)
-                };
+                let cell =
+                    if with_server { fig.cell_with(class, p) } else { fig.cell_without(class, p) };
                 row.push(secs(cell.total));
             }
             rows.push(row);
         }
-        println!(
-            "{}",
-            render_table(&["protocol", "Desktop/LAN", "Laptop/WLAN", "PDA/BT"], &rows)
-        );
+        println!("{}", render_table(&["protocol", "Desktop/LAN", "Laptop/WLAN", "PDA/BT"], &rows));
         let picks = if with_server { &fig.picks_with } else { &fig.picks_without };
         for (class, p) in picks {
             println!("  adaptive pick for {class}: {p}");

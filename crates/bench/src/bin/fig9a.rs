@@ -9,9 +9,7 @@ fn main() {
 
     let rows: Vec<Vec<String>> = run_sweep(true)
         .into_iter()
-        .map(|p| {
-            vec![p.clients.to_string(), ms(p.mean_negotiation), p.cache_hits.to_string()]
-        })
+        .map(|p| vec![p.clients.to_string(), ms(p.mean_negotiation), p.cache_hits.to_string()])
         .collect();
     println!("{}", render_table(&["clients", "mean negotiation (ms)", "cache hits"], &rows));
 

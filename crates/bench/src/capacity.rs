@@ -50,9 +50,8 @@ pub fn service_time(protocol: ProtocolId) -> SimDuration {
 pub fn run_point(protocol: ProtocolId, offered_rps: f64, n_requests: usize) -> CapacityPoint {
     let service = service_time(protocol);
     let spacing_us = (1e6 / offered_rps) as u64;
-    let jobs: Vec<Job> = (0..n_requests)
-        .map(|i| Job { arrival: SimTime(i as u64 * spacing_us), service })
-        .collect();
+    let jobs: Vec<Job> =
+        (0..n_requests).map(|i| Job { arrival: SimTime(i as u64 * spacing_us), service }).collect();
     let queue = FifoQueue::new(SERVER_WORKERS);
     let mean_sojourn = queue.mean_sojourn(&jobs);
     // Saturated when queueing dominates: sojourn well above pure service.
@@ -95,11 +94,7 @@ mod tests {
         assert!(knee(ProtocolId::Bitmap) > knee(ProtocolId::VaryBlock));
         // Vary's knee is in single-digit requests/second: ~290 ms service
         // on 2 workers ≈ 7 rps.
-        assert!(
-            knee(ProtocolId::VaryBlock) < 12.0,
-            "vary knee {}",
-            knee(ProtocolId::VaryBlock)
-        );
+        assert!(knee(ProtocolId::VaryBlock) < 12.0, "vary knee {}", knee(ProtocolId::VaryBlock));
     }
 
     #[test]

@@ -33,10 +33,8 @@ pub fn run_panel(class: ClientClass, with_server_compute: bool, n_pages: u32) ->
     } else {
         AdaptiveContentMode::Proactive
     };
-    let cells = ProtocolId::PAPER_FOUR
-        .iter()
-        .map(|&p| measure_protocol(class, p, n_pages, mode))
-        .collect();
+    let cells =
+        ProtocolId::PAPER_FOUR.iter().map(|&p| measure_protocol(class, p, n_pages, mode)).collect();
     let (_, adaptive_pick) = measure_adaptive(class, n_pages, mode, !with_server_compute);
     Panel { class, with_server_compute, cells, adaptive_pick }
 }
@@ -62,11 +60,7 @@ mod tests {
         // The paper: "Vary-sized blocking has huge server side computing
         // time, which disqualifies it" (Fig. 10(a–c)).
         let panel = run_panel(ClientClass::LaptopWlan, true, 3);
-        let vary = panel
-            .cells
-            .iter()
-            .find(|c| c.protocol == ProtocolId::VaryBlock)
-            .unwrap();
+        let vary = panel.cells.iter().find(|c| c.protocol == ProtocolId::VaryBlock).unwrap();
         for c in &panel.cells {
             if c.protocol != ProtocolId::VaryBlock {
                 assert!(
@@ -88,11 +82,7 @@ mod tests {
         let without = run_panel(ClientClass::PdaBluetooth, false, 3);
         assert_eq!(without.adaptive_pick, ProtocolId::VaryBlock);
         // Panel (d): server compute off the request path.
-        let vary_d = without
-            .cells
-            .iter()
-            .find(|c| c.protocol == ProtocolId::VaryBlock)
-            .unwrap();
+        let vary_d = without.cells.iter().find(|c| c.protocol == ProtocolId::VaryBlock).unwrap();
         assert!(vary_d.server_compute < SimDuration::millis(1));
     }
 }

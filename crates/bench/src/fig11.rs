@@ -49,8 +49,7 @@ pub fn run(n_pages: u32) -> Figure11 {
         }
         let (_, p_with) = measure_adaptive(class, n_pages, AdaptiveContentMode::Reactive, false);
         picks_with.push((class, p_with));
-        let (_, p_without) =
-            measure_adaptive(class, n_pages, AdaptiveContentMode::Proactive, true);
+        let (_, p_without) = measure_adaptive(class, n_pages, AdaptiveContentMode::Proactive, true);
         picks_without.push((class, p_without));
     }
     Figure11 { with_server, without_server, picks_with, picks_without }
@@ -97,23 +96,20 @@ mod tests {
         let fig = run(3);
 
         // Panel (a): byte ordering Direct > {Gzip, Bitmap} > Vary.
-        let bytes: std::collections::HashMap<_, _> =
-            fig.bytes_per_protocol().into_iter().collect();
+        let bytes: std::collections::HashMap<_, _> = fig.bytes_per_protocol().into_iter().collect();
         assert!(bytes[&ProtocolId::Direct] > bytes[&ProtocolId::Gzip]);
         assert!(bytes[&ProtocolId::Direct] > bytes[&ProtocolId::Bitmap]);
         assert!(bytes[&ProtocolId::Gzip] > bytes[&ProtocolId::VaryBlock]);
         assert!(bytes[&ProtocolId::Bitmap] > bytes[&ProtocolId::VaryBlock]);
 
         // Panel (b): winners per class.
-        let picks: std::collections::HashMap<_, _> =
-            fig.picks_with.iter().copied().collect();
+        let picks: std::collections::HashMap<_, _> = fig.picks_with.iter().copied().collect();
         assert_eq!(picks[&ClientClass::DesktopLan], ProtocolId::Direct);
         assert_eq!(picks[&ClientClass::LaptopWlan], ProtocolId::Gzip);
         assert_eq!(picks[&ClientClass::PdaBluetooth], ProtocolId::Bitmap);
 
         // Panel (c): PDA flips to Vary, others keep theirs.
-        let picks_wo: std::collections::HashMap<_, _> =
-            fig.picks_without.iter().copied().collect();
+        let picks_wo: std::collections::HashMap<_, _> = fig.picks_without.iter().copied().collect();
         assert_eq!(picks_wo[&ClientClass::DesktopLan], ProtocolId::Direct);
         assert_eq!(picks_wo[&ClientClass::LaptopWlan], ProtocolId::Gzip);
         assert_eq!(picks_wo[&ClientClass::PdaBluetooth], ProtocolId::VaryBlock);

@@ -86,8 +86,8 @@ pub fn run_point(n_clients: usize, cache_enabled: bool, seed: u64) -> Point {
         legs.push(jitter.apply(leg_time));
 
         let service = jitter.apply(proxy.service_time(app_id, was_cached));
-        let arrival =
-            SimTime::ZERO + SimDuration::micros(ARRIVAL_WINDOW.as_micros() * i as u64 / n_clients.max(1) as u64);
+        let arrival = SimTime::ZERO
+            + SimDuration::micros(ARRIVAL_WINDOW.as_micros() * i as u64 / n_clients.max(1) as u64);
         jobs.push(Job { arrival, service });
     }
 
@@ -124,8 +124,7 @@ mod tests {
         // The paper's claim: flat-ish in client count. Allow 3× slack for
         // fluctuations; the centralized-download curve grows ~10× over the
         // same range, so this still discriminates.
-        let ratio =
-            p200.mean_negotiation.as_secs_f64() / p20.mean_negotiation.as_secs_f64();
+        let ratio = p200.mean_negotiation.as_secs_f64() / p20.mean_negotiation.as_secs_f64();
         assert!(ratio < 3.0, "negotiation should stay stable, grew {ratio:.1}x");
     }
 

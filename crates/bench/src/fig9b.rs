@@ -47,12 +47,8 @@ impl Fixture {
     pub fn new() -> Fixture {
         let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         // Use the biggest real artifact so transfer times are visible.
-        let wire = tb
-            .pad_repo
-            .values()
-            .max_by_key(|w| w.len())
-            .expect("repo has artifacts")
-            .clone();
+        let wire =
+            tb.pad_repo.values().max_by_key(|w| w.len()).expect("repo has artifacts").clone();
         let mut topo = Topology::new();
         let central_node = topo.add_node(Position { x: 0.5, y: 0.5 });
         let edge_nodes = topo.add_spread_nodes(N_EDGES, 7);
@@ -74,10 +70,8 @@ impl Fixture {
             })
             .collect();
 
-        let central = Deployment::Centralized {
-            node: self.central_node,
-            egress_bytes_per_sec: EGRESS_BPS,
-        };
+        let central =
+            Deployment::Centralized { node: self.central_node, egress_bytes_per_sec: EGRESS_BPS };
         let edges: Vec<EdgeServer> = self
             .edge_nodes
             .iter()
@@ -119,10 +113,8 @@ mod tests {
         let mut fx = Fixture::new();
         let small = fx.run_point(20);
         let big = fx.run_point(300);
-        let central_growth =
-            big.centralized.as_secs_f64() / small.centralized.as_secs_f64();
-        let dist_growth =
-            big.distributed.as_secs_f64() / small.distributed.as_secs_f64();
+        let central_growth = big.centralized.as_secs_f64() / small.centralized.as_secs_f64();
+        let dist_growth = big.distributed.as_secs_f64() / small.distributed.as_secs_f64();
         assert!(central_growth > 4.0, "centralized grew only {central_growth:.1}x");
         assert!(dist_growth < 3.0, "distributed grew {dist_growth:.1}x");
         assert!(big.centralized > big.distributed);

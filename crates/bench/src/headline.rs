@@ -48,12 +48,8 @@ pub fn run(n_pages: u32) -> Vec<Comparison> {
     ClientClass::ALL
         .iter()
         .map(|&class| {
-            let none = measure_protocol(
-                class,
-                ProtocolId::Direct,
-                n_pages,
-                AdaptiveContentMode::Reactive,
-            );
+            let none =
+                measure_protocol(class, ProtocolId::Direct, n_pages, AdaptiveContentMode::Reactive);
             let fixed = measure_protocol(
                 class,
                 ProtocolId::VaryBlock,

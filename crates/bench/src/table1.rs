@@ -19,10 +19,8 @@ pub struct BuiltRow {
 
 /// Produces the table with live artifact data.
 pub fn run() -> Vec<BuiltRow> {
-    let tb = Testbed::with_protocols(
-        &fractal_protocols::ProtocolId::ALL,
-        AdaptiveContentMode::Reactive,
-    );
+    let tb =
+        Testbed::with_protocols(&fractal_protocols::ProtocolId::ALL, AdaptiveContentMode::Reactive);
     let signer = &tb.signer;
     table1()
         .into_iter()

@@ -119,9 +119,8 @@ pub fn measure_adaptive(
 
 fn aggregate(class: ClientClass, protocol: ProtocolId, reports: &[SessionReport]) -> CellReport {
     let n = reports.len() as u64;
-    let mean = |f: &dyn Fn(&SessionReport) -> u64| -> u64 {
-        reports.iter().map(f).sum::<u64>() / n
-    };
+    let mean =
+        |f: &dyn Fn(&SessionReport) -> u64| -> u64 { reports.iter().map(f).sum::<u64>() / n };
     CellReport {
         protocol,
         class,

@@ -97,7 +97,11 @@ impl Deployment {
             let egress = match self {
                 Deployment::Centralized { egress_bytes_per_sec, .. } => *egress_bytes_per_sec,
                 Deployment::Distributed { edges } => {
-                    edges.iter().find(|e| e.node == server_node).expect("routed edge").egress_bytes_per_sec
+                    edges
+                        .iter()
+                        .find(|e| e.node == server_node)
+                        .expect("routed edge")
+                        .egress_bytes_per_sec
                 }
             };
             for &i in &idxs {
@@ -110,9 +114,8 @@ impl Deployment {
                     Deployment::Distributed { edges } => {
                         let edge =
                             edges.iter().find(|e| e.node == server_node).expect("routed edge");
-                        let (obj, miss) = edge
-                            .serve(&req.digest, origin)
-                            .expect("origin holds all PADs");
+                        let (obj, miss) =
+                            edge.serve(&req.digest, origin).expect("origin holds all PADs");
                         (obj.size(), miss)
                     }
                 };
@@ -146,8 +149,8 @@ impl Deployment {
                 // The client cannot download faster than its own link.
                 let last_mile_time = req.last_mile.serialization_time(sizes[pos]);
                 let download = if pipe_time > last_mile_time { pipe_time } else { last_mile_time };
-                let rtt = topo.latency(req.client_node, server_node).scale(2.0)
-                    + req.last_mile.rtt();
+                let rtt =
+                    topo.latency(req.client_node, server_node).scale(2.0) + req.last_mile.rtt();
                 results[i] = rtt + penalties[pos] + download;
             }
         }

@@ -84,11 +84,7 @@ mod tests {
 
     #[test]
     fn unsorted_input_handled() {
-        let ds = vec![
-            SimDuration::micros(30),
-            SimDuration::micros(10),
-            SimDuration::micros(20),
-        ];
+        let ds = vec![SimDuration::micros(30), SimDuration::micros(10), SimDuration::micros(20)];
         let s = RetrievalStats::compute(&ds).unwrap();
         assert_eq!(s.min, SimDuration::micros(10));
         assert_eq!(s.p50, SimDuration::micros(20));

@@ -9,8 +9,12 @@
 //!
 //! 1. digest check against the `PADMeta` the proxy advertised;
 //! 2. code-signature check against the client's trust store;
-//! 3. static bytecode verification;
-//! 4. instantiation under the sandbox policy.
+//! 3. static structural verification (every opcode decodes, branches land
+//!    on instruction boundaries, …);
+//! 4. abstract interpretation: stack discipline within the policy bound,
+//!    reachable host calls within the granted capabilities, and a proven
+//!    minimum fuel that fits the budget — all before any code runs;
+//! 5. instantiation under the sandbox policy.
 
 use std::collections::HashMap;
 
@@ -18,7 +22,7 @@ use fractal_crypto::sign::TrustStore;
 use fractal_pads::runtime::PadRuntime;
 use fractal_protocols::ProtocolId;
 use fractal_vm::verify::verify_module;
-use fractal_vm::{SandboxPolicy, SignedModule};
+use fractal_vm::{analyze_module, SandboxPolicy, SignedModule};
 
 use crate::error::FractalError;
 use crate::meta::{AppId, ClientEnv, PadId, PadMeta};
@@ -124,7 +128,16 @@ impl FractalClient {
         let result = (|| {
             let signed = SignedModule::from_wire(wire_bytes)?;
             let module = signed.open(&meta.digest, &self.trust)?; // digest + signature
-            verify_module(&module)?; // static verification
+            verify_module(&module)?; // structural verification
+                                     // Abstract interpretation: stack/capability proof obligations,
+                                     // plus the fuel-feasibility check, all before instantiation.
+            let analysis = analyze_module(&module, &self.policy)?;
+            if analysis.module_min_fuel > self.policy.max_fuel {
+                return Err(FractalError::PadInfeasible {
+                    min_fuel: analysis.module_min_fuel,
+                    budget: self.policy.max_fuel,
+                });
+            }
             let runtime = PadRuntime::new(module, self.policy.clone())?;
             Ok::<PadRuntime, FractalError>(runtime)
         })();
@@ -149,15 +162,8 @@ impl FractalClient {
         content_id: u32,
         payload: &[u8],
     ) -> Result<Vec<u8>, FractalError> {
-        let old = self
-            .content_cache
-            .get(&content_id)
-            .map(|c| c.bytes.clone())
-            .unwrap_or_default();
-        let runtime = self
-            .deployed
-            .get_mut(&pad)
-            .ok_or(FractalError::PadUnavailable(pad))?;
+        let old = self.content_cache.get(&content_id).map(|c| c.bytes.clone()).unwrap_or_default();
+        let runtime = self.deployed.get_mut(&pad).ok_or(FractalError::PadUnavailable(pad))?;
         Ok(runtime.decode(&old, payload)?)
     }
 
@@ -179,15 +185,8 @@ impl FractalClient {
             ProtocolId::Bitmap => fractal_protocols::bitmap::DEFAULT_BLOCK_SIZE as u32,
             _ => fractal_protocols::fixedblock::DEFAULT_BLOCK_SIZE as u32,
         };
-        let old = self
-            .content_cache
-            .get(&content_id)
-            .map(|c| c.bytes.clone())
-            .unwrap_or_default();
-        let runtime = self
-            .deployed
-            .get_mut(&pad)
-            .ok_or(FractalError::PadUnavailable(pad))?;
+        let old = self.content_cache.get(&content_id).map(|c| c.bytes.clone()).unwrap_or_default();
+        let runtime = self.deployed.get_mut(&pad).ok_or(FractalError::PadUnavailable(pad))?;
         Ok(Some(runtime.upstream(entry, &old, block_size)?))
     }
 
@@ -243,9 +242,7 @@ mod tests {
         assert!(client.is_deployed(meta.id));
 
         let content = b"some page content, some page content".repeat(50);
-        let payload = fractal_protocols::gzip::Gzip
-            .encode(&[], &content)
-            .to_vec();
+        let payload = fractal_protocols::gzip::Gzip.encode(&[], &content).to_vec();
         let decoded = client.decode_content(meta.id, 7, &payload).unwrap();
         assert_eq!(decoded, content);
         assert_eq!(client.stats().pads_deployed, 1);
@@ -267,6 +264,46 @@ mod tests {
         wire[idx] ^= 0xFF;
         let err = client.deploy_pad(&meta, &wire).unwrap_err();
         assert!(matches!(err, FractalError::PadRejected(_)));
+    }
+
+    #[test]
+    fn capability_exceeding_pad_rejected_before_instantiation() {
+        use fractal_vm::{HostId, VerifyError};
+        let mut reg = SignerRegistry::new();
+        let signer = reg.provision("op");
+        let mut trust = TrustStore::new();
+        reg.export_trust(&mut trust);
+        let mut client = FractalClient::new(ClientClass::PdaBluetooth.env(), trust);
+        // The bitmap PAD's digests entry reaches the sha1 intrinsic; a
+        // policy that does not grant it must reject the PAD statically.
+        client.policy = SandboxPolicy::for_pads().with_hosts(&[HostId::Abort, HostId::Log]);
+        let artifact = build_pad(ProtocolId::Bitmap, &signer);
+        let meta = PadMeta {
+            id: pad_id(ProtocolId::Bitmap),
+            protocol: ProtocolId::Bitmap,
+            size: artifact.wire_len() as u32,
+            overhead: pad_overhead(ProtocolId::Bitmap),
+            digest: artifact.digest(),
+            url: String::new(),
+            parent: None,
+            children: vec![],
+        };
+        let err = client.deploy_pad(&meta, &artifact.signed.to_wire()).unwrap_err();
+        assert!(
+            matches!(err, FractalError::PadUnverifiable(VerifyError::CapabilityViolation { .. })),
+            "{err:?}"
+        );
+        assert!(!client.is_deployed(meta.id));
+        assert_eq!(client.stats().pads_rejected, 1);
+    }
+
+    #[test]
+    fn fuel_infeasible_pad_rejected_before_instantiation() {
+        let (mut client, meta, wire) = setup(true);
+        client.policy = SandboxPolicy::for_pads().with_fuel(3);
+        let err = client.deploy_pad(&meta, &wire).unwrap_err();
+        assert!(matches!(err, FractalError::PadInfeasible { budget: 3, .. }), "{err:?}");
+        assert_eq!(client.stats().pads_rejected, 1);
     }
 
     #[test]
@@ -330,8 +367,8 @@ mod tests {
             .upstream_message(meta.id, ProtocolId::Bitmap, 7)
             .unwrap()
             .expect("bitmap has an upstream leg");
-        let expected = fractal_protocols::bitmap::Bitmap::default()
-            .upstream_message(&vec![9u8; 10_000]);
+        let expected =
+            fractal_protocols::bitmap::Bitmap::default().upstream_message(&vec![9u8; 10_000]);
         assert_eq!(msg, expected);
 
         // Direct has no upstream leg.

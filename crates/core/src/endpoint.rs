@@ -245,9 +245,8 @@ mod tests {
         }
         assert_eq!(to_proxy.len(), 1, "CLI_META_REP");
 
-        let pad_meta = proxy_ep
-            .on_message(&to_proxy[0], |a, e| proxy.negotiate(a, e).unwrap())
-            .unwrap();
+        let pad_meta =
+            proxy_ep.on_message(&to_proxy[0], |a, e| proxy.negotiate(a, e).unwrap()).unwrap();
         assert_eq!(pad_meta.len(), 1);
         assert!(client.on_bytes(&pad_meta[0].to_bytes()).unwrap().is_none());
 

@@ -47,6 +47,15 @@ pub enum FractalError {
     PadRejected(ModuleError),
     /// Downloaded PAD failed static bytecode verification.
     PadUnverifiable(VerifyError),
+    /// The PAD's statically proven minimum fuel exceeds the client's
+    /// sandbox budget: it could never complete, so it is rejected before
+    /// instantiation instead of wasting a download and a doomed run.
+    PadInfeasible {
+        /// Fuel the PAD provably needs for an entry to complete.
+        min_fuel: u64,
+        /// The client's sandbox fuel budget.
+        budget: u64,
+    },
     /// A deployed PAD failed at run time.
     PadRuntime(PadError),
     /// The server does not hold the requested content.
@@ -64,6 +73,9 @@ impl core::fmt::Display for FractalError {
             FractalError::PadUnavailable(id) => write!(f, "PAD {id} unavailable from CDN"),
             FractalError::PadRejected(e) => write!(f, "PAD rejected: {e}"),
             FractalError::PadUnverifiable(e) => write!(f, "PAD failed verification: {e}"),
+            FractalError::PadInfeasible { min_fuel, budget } => {
+                write!(f, "PAD needs at least {min_fuel} fuel but the budget is {budget}")
+            }
             FractalError::PadRuntime(e) => write!(f, "PAD runtime failure: {e}"),
             FractalError::UnknownContent(id) => write!(f, "unknown content {id}"),
             FractalError::ProtocolNotDeployed(p) => {

@@ -150,7 +150,7 @@ impl InpMessage {
         out.push(INP_VERSION);
         out.push(self.msg_type());
         out.extend_from_slice(&[0u8; 3]); // reserved/padding to 8-byte header… length below
-        // Header layout: magic(3) version(1) type(1) len(3: u24).
+                                          // Header layout: magic(3) version(1) type(1) len(3: u24).
         let len = body.0.len() as u32;
         assert!(len < 1 << 24, "INP body too large");
         out[5] = (len & 0xFF) as u8;
@@ -169,8 +169,7 @@ impl InpMessage {
             return Err(WireError::BadHeader);
         }
         let msg_type = bytes[4];
-        let len =
-            bytes[5] as usize | (bytes[6] as usize) << 8 | (bytes[7] as usize) << 16;
+        let len = bytes[5] as usize | (bytes[6] as usize) << 8 | (bytes[7] as usize) << 16;
         let body = bytes.get(HEADER_LEN..).ok_or(WireError::Truncated)?;
         if body.len() != len {
             return Err(WireError::Truncated);

@@ -121,14 +121,14 @@ impl OverheadModel {
             return None;
         }
 
-        let goodput_bytes_per_s =
-            self.rho * client.ntwk.bandwidth_kbps as f64 * 1000.0 / 8.0;
+        let goodput_bytes_per_s = self.rho * client.ntwk.bandwidth_kbps as f64 * 1000.0 / 8.0;
         let content_mb = content_bytes as f64 / 1_000_000.0;
 
         let pad_download_s = pad.size as f64 / goodput_bytes_per_s;
         let server_compute_s = match self.mode {
             ServerComputeMode::Include => {
-                beta * pad.overhead.server_ms_per_mb * content_mb
+                beta * pad.overhead.server_ms_per_mb
+                    * content_mb
                     * (STD_CPU_MHZ / self.server_cpu_mhz)
                     / 1000.0
             }

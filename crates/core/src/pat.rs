@@ -80,10 +80,7 @@ impl Pat {
         match parent {
             None => self.roots.push(idx),
             Some(p) => {
-                let pidx = *self
-                    .by_id
-                    .get(&p)
-                    .ok_or(FractalError::PadUnavailable(p))?;
+                let pidx = *self.by_id.get(&p).ok_or(FractalError::PadUnavailable(p))?;
                 self.nodes[pidx].children.push(idx);
             }
         }

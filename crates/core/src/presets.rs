@@ -122,31 +122,23 @@ impl core::fmt::Display for ClientClass {
 /// The calibrated overhead profile for one protocol (see module docs).
 pub fn pad_overhead(protocol: ProtocolId) -> PadOverhead {
     match protocol {
-        ProtocolId::Direct => PadOverhead {
-            server_ms_per_mb: 0.0,
-            client_ms_per_mb: 5.0,
-            traffic_ratio: 1.0,
-        },
-        ProtocolId::Gzip => PadOverhead {
-            server_ms_per_mb: 500.0,
-            client_ms_per_mb: 300.0,
-            traffic_ratio: 0.40,
-        },
-        ProtocolId::Bitmap => PadOverhead {
-            server_ms_per_mb: 120.0,
-            client_ms_per_mb: 2600.0,
-            traffic_ratio: 0.12,
-        },
+        ProtocolId::Direct => {
+            PadOverhead { server_ms_per_mb: 0.0, client_ms_per_mb: 5.0, traffic_ratio: 1.0 }
+        }
+        ProtocolId::Gzip => {
+            PadOverhead { server_ms_per_mb: 500.0, client_ms_per_mb: 300.0, traffic_ratio: 0.40 }
+        }
+        ProtocolId::Bitmap => {
+            PadOverhead { server_ms_per_mb: 120.0, client_ms_per_mb: 2600.0, traffic_ratio: 0.12 }
+        }
         ProtocolId::VaryBlock => PadOverhead {
             server_ms_per_mb: 12_000.0,
             client_ms_per_mb: 2700.0,
             traffic_ratio: 0.06,
         },
-        ProtocolId::FixedBlock => PadOverhead {
-            server_ms_per_mb: 9000.0,
-            client_ms_per_mb: 3000.0,
-            traffic_ratio: 0.13,
-        },
+        ProtocolId::FixedBlock => {
+            PadOverhead { server_ms_per_mb: 9000.0, client_ms_per_mb: 3000.0, traffic_ratio: 0.13 }
+        }
     }
 }
 
@@ -237,7 +229,9 @@ mod tests {
     fn app_meta_builder() {
         let artifacts: Vec<(ProtocolId, fractal_crypto::Digest, u32)> = ProtocolId::PAPER_FOUR
             .iter()
-            .map(|&p| (p, fractal_crypto::sha1::sha1(p.slug().as_bytes()), 1000 + p.wire_id() as u32))
+            .map(|&p| {
+                (p, fractal_crypto::sha1::sha1(p.slug().as_bytes()), 1000 + p.wire_id() as u32)
+            })
             .collect();
         let meta = case_study_app_meta(AppId(1), &artifacts);
         assert_eq!(meta.pads.len(), 4);
@@ -255,4 +249,3 @@ mod tests {
         assert_eq!(ids.len(), ProtocolId::ALL.len());
     }
 }
-

@@ -134,10 +134,7 @@ impl AdaptationProxy {
 
     fn materialize(&self, app_id: AppId, path: &AdaptationPath) -> Vec<PadMeta> {
         let pat = &self.pats[&app_id];
-        path.pads
-            .iter()
-            .map(|id| pat.meta(*id).expect("path ids resolve").client_view())
-            .collect()
+        path.pads.iter().map(|id| pat.meta(*id).expect("path ids resolve").client_view()).collect()
     }
 
     /// Estimated proxy service time for one negotiation — used by the

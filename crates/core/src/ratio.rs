@@ -137,8 +137,7 @@ mod tests {
             }
         };
         // …but the adjusted cost disqualifies it.
-        let adjusted =
-            |pad: PadId| -> f64 { linear(pad) * m.get(pad, OsType::WinCe42) };
+        let adjusted = |pad: PadId| -> f64 { linear(pad) * m.get(pad, OsType::WinCe42) };
         assert!(adjusted(kinoma).is_infinite());
         assert!(adjusted(winmedia) < adjusted(kinoma));
     }

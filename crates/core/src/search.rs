@@ -144,10 +144,7 @@ mod tests {
         ratios.os.set(PadId(2), OsType::FedoraCore2, f64::INFINITY);
         let model = OverheadModel::paper(ratios);
         // The only path goes through the disqualified PAD2.
-        assert_eq!(
-            search(&pat, &model, &client(), 1_000_000),
-            Err(FractalError::NoFeasiblePath)
-        );
+        assert_eq!(search(&pat, &model, &client(), 1_000_000), Err(FractalError::NoFeasiblePath));
     }
 
     #[test]

@@ -132,8 +132,7 @@ impl ApplicationServer {
         let versions = &self.contents[&content_id];
         let new = versions[version as usize].clone();
         let old_versions: Vec<(Option<u32>, Vec<u8>)> = {
-            let mut v: Vec<(Option<u32>, Vec<u8>)> =
-                vec![(None, Vec::new())];
+            let mut v: Vec<(Option<u32>, Vec<u8>)> = vec![(None, Vec::new())];
             if version > 0 {
                 v.push((Some(version - 1), versions[version as usize - 1].clone()));
             }
@@ -163,12 +162,12 @@ impl ApplicationServer {
         }
         let versions =
             self.contents.get(&content_id).ok_or(FractalError::UnknownContent(content_id))?;
-        let new = versions
-            .get(want_version as usize)
-            .ok_or(FractalError::UnknownContent(content_id))?;
+        let new =
+            versions.get(want_version as usize).ok_or(FractalError::UnknownContent(content_id))?;
 
         if self.mode == AdaptiveContentMode::Proactive {
-            if let Some(payload) = self.store.get(&(content_id, have_version, want_version, protocol))
+            if let Some(payload) =
+                self.store.get(&(content_id, have_version, want_version, protocol))
             {
                 return Ok(EncodedResponse {
                     protocol,
@@ -274,11 +273,8 @@ mod tests {
 
     #[test]
     fn undeployed_protocol_rejected() {
-        let mut s = ApplicationServer::new(
-            AppId(1),
-            &[ProtocolId::Direct],
-            AdaptiveContentMode::Reactive,
-        );
+        let mut s =
+            ApplicationServer::new(AppId(1), &[ProtocolId::Direct], AdaptiveContentMode::Reactive);
         s.publish(7, content(1, 10));
         assert_eq!(
             s.respond(7, None, 0, ProtocolId::Gzip).unwrap_err(),

@@ -93,8 +93,7 @@ pub fn run_session(
         pad_retrieval += link.transfer_time(rep.wire_len() as u64);
         client.deploy_pad(pad, wire)?;
         // Verification + instantiation cost, linear-model scaled.
-        pad_retrieval += SimDuration::millis(1)
-            .scale(STD_CPU_MHZ / client.env.dev.cpu_mhz as f64);
+        pad_retrieval += SimDuration::millis(1).scale(STD_CPU_MHZ / client.env.dev.cpu_mhz as f64);
     }
 
     // --- Application exchange (APP_REQ … session) ----------------------

@@ -66,9 +66,7 @@ impl RollingHash {
         if self.filled == WINDOW {
             let outgoing = self.window[self.pos];
             // Remove outgoing*BASE^(W-1), shift, add incoming.
-            self.hash = self
-                .hash
-                .wrapping_sub((outgoing as u64 + 1).wrapping_mul(self.pow_out));
+            self.hash = self.hash.wrapping_sub((outgoing as u64 + 1).wrapping_mul(self.pow_out));
         } else {
             self.filled += 1;
         }

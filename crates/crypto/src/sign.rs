@@ -239,10 +239,7 @@ mod tests {
     fn tampered_message_rejected() {
         let (signer, store) = setup();
         let sig = signer.sign(b"original");
-        assert_eq!(
-            store.verify(b"tampered", &sig),
-            Err(VerifyError::BadSignature(signer.id()))
-        );
+        assert_eq!(store.verify(b"tampered", &sig), Err(VerifyError::BadSignature(signer.id())));
     }
 
     #[test]

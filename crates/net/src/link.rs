@@ -63,7 +63,12 @@ impl LinkKind {
 
     /// Builds the default link for this kind (ρ = 0.8, the paper's value).
     pub fn link(self) -> Link {
-        Link { kind: self, bandwidth_kbps: self.bandwidth_kbps(), latency: self.latency(), rho: 0.8 }
+        Link {
+            kind: self,
+            bandwidth_kbps: self.bandwidth_kbps(),
+            latency: self.latency(),
+            rho: 0.8,
+        }
     }
 }
 

@@ -64,11 +64,8 @@ impl FifoQueue {
             return SimDuration::ZERO;
         }
         let completions = self.run(jobs);
-        let total: u64 = completions
-            .iter()
-            .zip(jobs)
-            .map(|(c, j)| c.since(j.arrival).as_micros())
-            .sum();
+        let total: u64 =
+            completions.iter().zip(jobs).map(|(c, j)| c.since(j.arrival).as_micros()).sum();
         SimDuration::micros(total / jobs.len() as u64)
     }
 }
@@ -122,8 +119,7 @@ impl SharedPipe {
             }
             let rate = self.bytes_per_sec / active.len() as f64;
             // Time until the smallest remaining transfer finishes…
-            let min_remaining =
-                active.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
+            let min_remaining = active.iter().map(|&(_, r)| r).fold(f64::INFINITY, f64::min);
             let t_finish = min_remaining / rate;
             // …or until the next arrival changes the share.
             let t_arrival = if next_arrival < n {
@@ -157,11 +153,8 @@ impl SharedPipe {
             return SimDuration::ZERO;
         }
         let completions = self.run(transfers);
-        let total: u64 = completions
-            .iter()
-            .zip(transfers)
-            .map(|(c, t)| c.since(t.arrival).as_micros())
-            .sum();
+        let total: u64 =
+            completions.iter().zip(transfers).map(|(c, t)| c.since(t.arrival).as_micros()).sum();
         SimDuration::micros(total / transfers.len() as u64)
     }
 }

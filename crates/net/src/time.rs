@@ -181,8 +181,7 @@ mod tests {
 
     #[test]
     fn sum() {
-        let total: SimDuration =
-            [1u64, 2, 3].into_iter().map(SimDuration::micros).sum();
+        let total: SimDuration = [1u64, 2, 3].into_iter().map(SimDuration::micros).sum();
         assert_eq!(total.as_micros(), 6);
     }
 

@@ -162,11 +162,8 @@ mod tests {
         // Different salts give different layouts.
         let mut t3 = Topology::new();
         let ids3 = t3.add_spread_nodes(10, 43);
-        let same = ids1
-            .iter()
-            .zip(&ids3)
-            .filter(|(&a, &b)| t1.position(a).x == t3.position(b).x)
-            .count();
+        let same =
+            ids1.iter().zip(&ids3).filter(|(&a, &b)| t1.position(a).x == t3.position(b).x).count();
         assert!(same < 10);
     }
 

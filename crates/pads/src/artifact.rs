@@ -3,7 +3,9 @@
 use fractal_crypto::sign::Signer;
 use fractal_crypto::Digest;
 use fractal_protocols::ProtocolId;
-use fractal_vm::{assemble, verify::verify_module, Module, SignedModule};
+use fractal_vm::{
+    analyze_module, assemble, verify::verify_module, HostId, Module, SandboxPolicy, SignedModule,
+};
 
 /// FVM assembly source for the direct-sending PAD.
 pub const DIRECT_FASM: &str = include_str!("../fasm/direct.fasm");
@@ -30,6 +32,14 @@ pub struct PadArtifact {
     pub signed: SignedModule,
     /// Entry points the module exports.
     pub entries: Vec<String>,
+    /// Static lower bound on the fuel any entry needs to complete, proven
+    /// by the abstract interpreter at build time. A client whose sandbox
+    /// budget is below this can reject the PAD without downloading it.
+    pub min_fuel: u64,
+    /// Host intrinsics reachable from any entry — the capabilities the PAD
+    /// actually needs, as opposed to the ones it could name. Computed at
+    /// build time; not part of the wire format.
+    pub required_hosts: Vec<HostId>,
 }
 
 impl PadArtifact {
@@ -64,27 +74,37 @@ pub fn source_for(protocol: ProtocolId) -> String {
 /// crate, so failure is a build bug, not an input condition.
 pub fn build_pad(protocol: ProtocolId, signer: &Signer) -> PadArtifact {
     let source = source_for(protocol);
-    let module = assemble(&source)
-        .unwrap_or_else(|e| panic!("PAD {protocol} failed to assemble: {e}"));
-    verify_module(&module)
-        .unwrap_or_else(|e| panic!("PAD {protocol} failed verification: {e}"));
+    let module =
+        assemble(&source).unwrap_or_else(|e| panic!("PAD {protocol} failed to assemble: {e}"));
+    verify_module(&module).unwrap_or_else(|e| panic!("PAD {protocol} failed verification: {e}"));
+    let analysis = analyze_module(&module, &SandboxPolicy::for_pads())
+        .unwrap_or_else(|e| panic!("PAD {protocol} failed analysis: {e}"));
     let entries = module.functions.iter().map(|f| f.name.clone()).collect();
-    PadArtifact { protocol, signed: SignedModule::sign(&module, signer), entries }
+    PadArtifact {
+        protocol,
+        signed: SignedModule::sign(&module, signer),
+        entries,
+        min_fuel: analysis.module_min_fuel,
+        required_hosts: analysis.all_hosts(),
+    }
 }
 
 /// Builds the DEFLATE-class extension PAD (Huffman + LZ77 decoder in
 /// mobile code), the upgrade of the Gzip PAD measured by the
 /// entropy-stage ablation. Reports itself under the Gzip protocol id.
 pub fn build_deflate_pad(signer: &Signer) -> PadArtifact {
-    let module = assemble(DEFLATE_FASM)
-        .unwrap_or_else(|e| panic!("deflate PAD failed to assemble: {e}"));
-    verify_module(&module)
-        .unwrap_or_else(|e| panic!("deflate PAD failed verification: {e}"));
+    let module =
+        assemble(DEFLATE_FASM).unwrap_or_else(|e| panic!("deflate PAD failed to assemble: {e}"));
+    verify_module(&module).unwrap_or_else(|e| panic!("deflate PAD failed verification: {e}"));
+    let analysis = analyze_module(&module, &SandboxPolicy::for_pads())
+        .unwrap_or_else(|e| panic!("deflate PAD failed analysis: {e}"));
     let entries = module.functions.iter().map(|f| f.name.clone()).collect();
     PadArtifact {
         protocol: ProtocolId::Gzip,
         signed: SignedModule::sign(&module, signer),
         entries,
+        min_fuel: analysis.module_min_fuel,
+        required_hosts: analysis.all_hosts(),
     }
 }
 
@@ -124,6 +144,29 @@ mod tests {
         let a = build_pad(ProtocolId::FixedBlock, &signer());
         assert!(a.entries.contains(&"signatures".to_string()));
         assert!(a.entries.contains(&"decode".to_string()));
+    }
+
+    #[test]
+    fn every_pad_carries_finite_static_bounds() {
+        let s = signer();
+        for p in ProtocolId::ALL {
+            let a = build_pad(p, &s);
+            assert!(a.min_fuel > 0, "{p} min_fuel must be positive");
+            assert!(a.min_fuel < u64::MAX, "{p} must have a completing path");
+            assert!(
+                a.min_fuel <= SandboxPolicy::for_pads().max_fuel,
+                "{p} could never finish under the default budget"
+            );
+        }
+    }
+
+    #[test]
+    fn required_hosts_reflect_reachable_intrinsics() {
+        let s = signer();
+        // The direct PAD just memcopies — no host calls at all.
+        assert!(build_pad(ProtocolId::Direct, &s).required_hosts.is_empty());
+        // The bitmap PAD hashes blocks with the sha1 intrinsic.
+        assert!(build_pad(ProtocolId::Bitmap, &s).required_hosts.contains(&HostId::Sha1));
     }
 
     #[test]
@@ -189,21 +232,15 @@ mod deflate_tests {
         let mut rt = runtime();
         for content in [texty(50_000), texty(1), Vec::new(), texty(4096)] {
             let payload = Deflate.encode(&[], &content);
-            assert_eq!(
-                rt.decode(&[], &payload).unwrap(),
-                content,
-                "len {}",
-                content.len()
-            );
+            assert_eq!(rt.decode(&[], &payload).unwrap(), content, "len {}", content.len());
         }
     }
 
     #[test]
     fn vm_decodes_binary_content() {
         let mut rt = runtime();
-        let content: Vec<u8> = (0..30_000u32)
-            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
-            .collect();
+        let content: Vec<u8> =
+            (0..30_000u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
         let payload = Deflate.encode(&[], &content);
         assert_eq!(rt.decode(&[], &payload).unwrap(), content);
     }

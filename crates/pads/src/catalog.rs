@@ -112,8 +112,7 @@ mod tests {
     fn artifacts_have_distinct_digests() {
         let signer = SignerRegistry::new().provision("catalog");
         let c = Catalog::all(&signer);
-        let digests: std::collections::HashSet<_> =
-            c.artifacts().map(|a| a.digest()).collect();
+        let digests: std::collections::HashSet<_> = c.artifacts().map(|a| a.digest()).collect();
         assert_eq!(digests.len(), c.len());
     }
 

@@ -83,8 +83,29 @@ impl core::fmt::Debug for PadRuntime {
 
 impl PadRuntime {
     /// Instantiates a verified module under `policy`.
+    ///
+    /// Runs the abstract interpreter first; modules it proves safe execute
+    /// on the interpreter's fast path (no per-op stack checks). Modules it
+    /// cannot prove — e.g. recursion whose shared-stack bound exceeds the
+    /// policy — still deploy, on the fully checked path.
     pub fn new(module: Module, policy: SandboxPolicy) -> Result<PadRuntime, PadError> {
+        let machine = match module.clone().analyzed(&policy) {
+            Ok(analyzed) => Machine::new_analyzed(analyzed, policy)?,
+            Err(_) => Machine::new(module, policy)?,
+        };
+        Ok(PadRuntime { machine })
+    }
+
+    /// Instantiates on the fully checked interpreter path, skipping the
+    /// analyzer — the path [`PadRuntime::new`] falls back to. Exposed so
+    /// benchmarks and tests can compare the two paths directly.
+    pub fn new_checked(module: Module, policy: SandboxPolicy) -> Result<PadRuntime, PadError> {
         Ok(PadRuntime { machine: Machine::new(module, policy)? })
+    }
+
+    /// Whether this instance runs on the analyzed fast path.
+    pub fn is_fast_path(&self) -> bool {
+        self.machine.is_fast_path()
     }
 
     /// Total fuel the instance has consumed (a proxy for client-side
@@ -312,6 +333,13 @@ mod tests {
         let payload = Gzip.encode(&[], &texty(5000));
         rt.decode(&[], &payload).unwrap();
         assert!(rt.fuel_used() > 100, "fuel used: {}", rt.fuel_used());
+    }
+
+    #[test]
+    fn shipped_pads_deploy_on_the_fast_path() {
+        for p in ProtocolId::ALL {
+            assert!(runtime(p).is_fast_path(), "{p} fell back to the checked path");
+        }
     }
 
     #[test]

@@ -45,10 +45,7 @@ mod tests {
         let data = b"the quick brown fox jumps over the lazy dog. ".repeat(400);
         let plain = lz77::compress(&data).len();
         let full = Deflate.encode(&[], &data).len();
-        assert!(
-            full < plain,
-            "entropy stage should shrink the token stream: {full} vs {plain}"
-        );
+        assert!(full < plain, "entropy stage should shrink the token stream: {full} vs {plain}");
     }
 
     #[test]

@@ -19,8 +19,8 @@
 
 use std::collections::HashMap;
 
-use fractal_crypto::sha1::sha1;
 use fractal_crypto::checksum::{weak_sum, weak_sum_roll};
+use fractal_crypto::sha1::sha1;
 
 use crate::recipe::{self, RecipeOp};
 use crate::traits::{CodecError, DiffCodec, ProtocolId};

@@ -136,10 +136,9 @@ pub fn code_lengths(freqs: &[u64; ALPHABET]) -> [u8; ALPHABET] {
         counts[l] += 1;
     }
     // Kraft sum in units of 2^-MAX_BITS.
-    let kraft =
-        |counts: &[usize; MAX_BITS + 1]| -> u64 {
-            (1..=MAX_BITS).map(|l| (counts[l] as u64) << (MAX_BITS - l)).sum()
-        };
+    let kraft = |counts: &[usize; MAX_BITS + 1]| -> u64 {
+        (1..=MAX_BITS).map(|l| (counts[l] as u64) << (MAX_BITS - l)).sum()
+    };
     let budget = 1u64 << MAX_BITS;
     while kraft(&counts) > budget {
         // Find the deepest non-max length with entries, demote one code
@@ -353,11 +352,8 @@ mod tests {
         let lengths = code_lengths(&freqs);
         assert!(lengths.iter().all(|&l| l as usize <= MAX_BITS));
         // Kraft equality/inequality must hold.
-        let kraft: u64 = lengths
-            .iter()
-            .filter(|&&l| l > 0)
-            .map(|&l| 1u64 << (MAX_BITS - l as usize))
-            .sum();
+        let kraft: u64 =
+            lengths.iter().filter(|&&l| l > 0).map(|&l| 1u64 << (MAX_BITS - l as usize)).sum();
         assert!(kraft <= 1 << MAX_BITS, "Kraft violated: {kraft}");
         round_trip(&data);
     }

@@ -29,12 +29,8 @@ impl ProtocolId {
     ];
 
     /// The paper's four case-study protocols (Table 1).
-    pub const PAPER_FOUR: [ProtocolId; 4] = [
-        ProtocolId::Direct,
-        ProtocolId::Gzip,
-        ProtocolId::Bitmap,
-        ProtocolId::VaryBlock,
-    ];
+    pub const PAPER_FOUR: [ProtocolId; 4] =
+        [ProtocolId::Direct, ProtocolId::Gzip, ProtocolId::Bitmap, ProtocolId::VaryBlock];
 
     /// Human-readable name matching the paper's terminology.
     pub fn name(self) -> &'static str {

@@ -190,10 +190,8 @@ mod tests {
             new.insert(1000 + i, b);
         }
         let params = ChunkParams::default();
-        let old_digests: std::collections::HashSet<_> = chunk(&old, &params)
-            .iter()
-            .map(|c| sha1(&old[c.offset..c.offset + c.len]).0)
-            .collect();
+        let old_digests: std::collections::HashSet<_> =
+            chunk(&old, &params).iter().map(|c| sha1(&old[c.offset..c.offset + c.len]).0).collect();
         let new_chunks = chunk(&new, &params);
         let preserved = new_chunks
             .iter()

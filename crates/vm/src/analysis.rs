@@ -1,0 +1,1480 @@
+//! Abstract interpretation of FVM bytecode: static stack, fuel, and
+//! capability bounds.
+//!
+//! The structural verifier ([`crate::verify`]) guarantees that code
+//! *decodes* safely; this module proves things about what the code will
+//! *do*. It builds a basic-block CFG per function and runs a worklist
+//! dataflow over frame-relative stack heights, which yields:
+//!
+//! * **Stack safety** — every instruction's entry height is a single proven
+//!   value. Underflow below the frame (reading the caller's operands),
+//!   heights beyond the sandbox's `max_stack`, and merge points reached at
+//!   different heights are all rejected at admission time.
+//! * **Fuel lower bounds** — the cheapest possible successful run of each
+//!   function, and of the module as a whole, so the embedding can refuse a
+//!   PAD whose *best case* already exceeds its fuel budget (e.g. a module
+//!   whose every entry inevitably spins forever).
+//! * **Capabilities** — the set of host intrinsics reachable from each
+//!   function, checked against the [`SandboxPolicy`] *before* the module is
+//!   instantiated, so a capability-exceeding PAD never executes at all.
+//! * **Lints** — unreachable code, dead stores, and functions that can
+//!   never return, surfaced by `fvm-lint` and the annotated disassembler.
+//!
+//! An accepted analysis also licenses the interpreter's *fast path*
+//! ([`AnalyzedModule`]): bytecode is predecoded into [`FastOp`]s with
+//! branch targets resolved to instruction indices, and the per-op stack
+//! checks become debug assertions because the dataflow has already proven
+//! they cannot fire.
+//!
+//! ## Soundness notes
+//!
+//! The operand stack is *shared* across call frames at run time: `call`
+//! pops the arguments and `ret` leaves the callee's leftovers for the
+//! caller. The analysis therefore tracks **frame-relative** heights and
+//! rejects any instruction that would pop below its own frame's entry
+//! height — stricter than the runtime (which only traps when the whole
+//! shared stack empties), and exactly the discipline that keeps a callee
+//! from corrupting its caller's operands. Calls to functions that can
+//! never return are modelled as pushing one value; the post-call path can
+//! never execute, so any height derived from it is vacuous. Unreachable
+//! instructions keep `height = None` and are reported as lints, never
+//! errors.
+
+use std::collections::VecDeque;
+
+use crate::bytecode::Op;
+use crate::error::VerifyError;
+use crate::host::HostId;
+use crate::module::{Function, Module};
+use crate::sandbox::SandboxPolicy;
+use crate::verify::verify_module;
+
+/// Fuel cost floor for one instruction (every op charges at least this).
+const BASE_COST: u64 = 1;
+/// Extra fuel floor for bulk ops (`len/8 + 1` is at least 1 even at len 0).
+const BULK_EXTRA: u64 = 1;
+/// Cap on call-graph fuel fixpoint rounds; the bound is sound at any round
+/// count because costs only grow from a trivially-true floor.
+const FUEL_ROUNDS: usize = 8;
+
+/// Cost-to-reach values saturate instead of overflowing; `u64::MAX` means
+/// "no successful path exists".
+const INF: u64 = u64::MAX;
+
+/// One decoded instruction with its dataflow facts.
+#[derive(Clone, Debug)]
+pub struct InsnInfo {
+    /// Byte offset of the instruction.
+    pub at: usize,
+    /// The decoded instruction.
+    pub op: Op,
+    /// Byte offset of the following instruction.
+    pub next: usize,
+    /// Frame-relative stack height on entry, `None` when unreachable.
+    pub height: Option<u32>,
+}
+
+/// A basic block in a function's CFG.
+#[derive(Clone, Debug)]
+pub struct BlockInfo {
+    /// Index of the block's first instruction in `insns`.
+    pub start: usize,
+    /// One past the index of the block's last instruction.
+    pub end: usize,
+    /// Successor blocks (indices into the function's block list).
+    pub succs: Vec<usize>,
+}
+
+/// A diagnostic that does not make the module unsafe, only suspicious.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Lint {
+    /// No path from function entry reaches this instruction.
+    UnreachableCode {
+        /// Function index.
+        func: usize,
+        /// Byte offset of the first unreachable instruction of a block.
+        at: usize,
+    },
+    /// A local is written (`local.set`/`local.tee`) but never read anywhere
+    /// in the function.
+    DeadStore {
+        /// Function index.
+        func: usize,
+        /// Byte offset of the store.
+        at: usize,
+        /// The local index written.
+        local: u8,
+    },
+    /// No reachable `ret` exists: the function can only halt the machine,
+    /// trap, or loop forever.
+    NeverReturns {
+        /// Function index.
+        func: usize,
+    },
+}
+
+impl core::fmt::Display for Lint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Lint::UnreachableCode { func, at } => {
+                write!(f, "fn {func}: unreachable code at {at}")
+            }
+            Lint::DeadStore { func, at, local } => {
+                write!(f, "fn {func}: local {local} stored at {at} but never read")
+            }
+            Lint::NeverReturns { func } => write!(f, "fn {func}: no reachable ret"),
+        }
+    }
+}
+
+/// Everything the analyzer proved about one function.
+#[derive(Clone, Debug)]
+pub struct FunctionAnalysis {
+    /// Decoded instructions in code order with entry heights.
+    pub insns: Vec<InsnInfo>,
+    /// Basic blocks over `insns`.
+    pub blocks: Vec<BlockInfo>,
+    /// Maximum frame-relative stack height anywhere in the function.
+    pub max_height: u32,
+    /// Frame-relative height at `ret` (all `ret` sites agree), or `None`
+    /// when no `ret` is reachable. Callers gain exactly this many values.
+    pub exit_height: Option<u32>,
+    /// Lower bound on fuel for any run of this function that ends the
+    /// machine successfully (its own `ret`/`halt` or a callee's `halt`);
+    /// `u64::MAX` when no such run exists.
+    pub min_fuel: u64,
+    /// Bitmask (by [`HostId::id`]) of intrinsics this function itself
+    /// invokes on reachable paths.
+    pub own_hosts: u8,
+    /// `own_hosts` unioned over everything transitively callable.
+    pub reachable_hosts: u8,
+    /// Suspicious-but-safe findings for this function.
+    pub lints: Vec<Lint>,
+}
+
+/// Whole-module analysis results.
+#[derive(Clone, Debug)]
+pub struct ModuleAnalysis {
+    /// Per-function facts, indexed like `Module::functions`.
+    pub functions: Vec<FunctionAnalysis>,
+    /// Lower bound on fuel needed to run the most expensive entry point
+    /// once. Since every function is an invokable entry, this is the max of
+    /// the per-function `min_fuel` values; `u64::MAX` means some entry can
+    /// never complete and the module should be refused a fuel budget.
+    pub module_min_fuel: u64,
+    /// Proven bound on the *shared* operand stack across the whole call
+    /// tree, from a longest-path walk of the call DAG (recursive modules
+    /// fall back to `max_call_depth × tallest frame`).
+    pub stack_bound: usize,
+}
+
+impl ModuleAnalysis {
+    /// Intrinsics reachable from the named entry point, as `HostId`s.
+    pub fn entry_hosts(&self, module: &Module, entry: &str) -> Vec<HostId> {
+        let Some(idx) = module.find(entry) else { return Vec::new() };
+        mask_to_hosts(self.functions[idx].reachable_hosts)
+    }
+
+    /// Union of `reachable_hosts` over every function, as `HostId`s.
+    pub fn all_hosts(&self) -> Vec<HostId> {
+        let mask = self.functions.iter().fold(0u8, |m, f| m | f.reachable_hosts);
+        mask_to_hosts(mask)
+    }
+}
+
+/// Expands a host bitmask into ids.
+fn mask_to_hosts(mask: u8) -> Vec<HostId> {
+    HostId::ALL.into_iter().filter(|h| mask & (1 << h.id()) != 0).collect()
+}
+
+/// A predecoded instruction for the fast interpreter path. Branch targets
+/// are absolute instruction indices; small push variants are folded.
+#[derive(Clone, Copy, Debug)]
+pub enum FastOp {
+    /// See [`Op::Halt`].
+    Halt,
+    /// See [`Op::Nop`].
+    Nop,
+    /// See [`Op::Unreachable`].
+    Unreachable,
+    /// Unconditional jump to an instruction index.
+    Jmp(u32),
+    /// Pop; jump to the index when non-zero.
+    JmpIf(u32),
+    /// Pop; jump to the index when zero.
+    JmpIfZ(u32),
+    /// See [`Op::Call`].
+    Call(u16),
+    /// See [`Op::Ret`].
+    Ret,
+    /// See [`Op::HostCall`].
+    HostCall(u8),
+    /// All push widths decode to one i64 constant.
+    Push(i64),
+    /// See [`Op::LocalGet`].
+    LocalGet(u8),
+    /// See [`Op::LocalSet`].
+    LocalSet(u8),
+    /// See [`Op::LocalTee`].
+    LocalTee(u8),
+    /// See [`Op::Drop`].
+    Drop,
+    /// See [`Op::Dup`].
+    Dup,
+    /// See [`Op::Swap`].
+    Swap,
+    /// Binary arithmetic/comparison op, dispatched by [`Op`] kind.
+    Bin(BinKind),
+    /// See [`Op::Eqz`].
+    Eqz,
+    /// Load of the given width in bytes.
+    Load(u8),
+    /// Store of the given width in bytes.
+    Store(u8),
+    /// See [`Op::MemCopy`].
+    MemCopy,
+    /// See [`Op::MemFill`].
+    MemFill,
+    /// See [`Op::LzCopy`].
+    LzCopy,
+    /// See [`Op::MemSize`].
+    MemSize,
+}
+
+/// Binary operator selector for [`FastOp::Bin`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[allow(missing_docs)]
+pub enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    DivU,
+    DivS,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrU,
+    ShrS,
+    Eq,
+    Ne,
+    LtU,
+    LtS,
+    GtU,
+    GtS,
+    LeU,
+    GeU,
+}
+
+/// A module that has passed structural verification *and* abstract
+/// interpretation, bundled with its predecoded fast-path code.
+#[derive(Debug)]
+pub struct AnalyzedModule {
+    /// The verified module.
+    pub module: Module,
+    /// The proof object.
+    pub analysis: ModuleAnalysis,
+    /// Per-function predecoded code, indexed like `module.functions`.
+    pub(crate) fast: Vec<Vec<FastOp>>,
+}
+
+impl AnalyzedModule {
+    /// Verifies and analyzes `module` under `policy`, predecoding the fast
+    /// path on success.
+    pub fn analyze(module: Module, policy: &SandboxPolicy) -> Result<AnalyzedModule, VerifyError> {
+        verify_module(&module)?;
+        let analysis = analyze_module(&module, policy)?;
+        let fast = module
+            .functions
+            .iter()
+            .zip(&analysis.functions)
+            .map(|(f, fa)| predecode(f, fa))
+            .collect();
+        Ok(AnalyzedModule { module, analysis, fast })
+    }
+}
+
+/// Per-op stack effect: operands required and values produced, with the
+/// `Call` effect resolved through `exit_heights`.
+///
+/// Returns `(need, push, terminator)`.
+fn stack_effect(op: &Op, module: &Module, exit_heights: &[Option<u32>]) -> (u32, u32, bool) {
+    match *op {
+        Op::Halt | Op::Unreachable => (0, 0, true),
+        Op::Nop => (0, 0, false),
+        Op::Jmp(_) => (0, 0, true),
+        Op::JmpIf(_) | Op::JmpIfZ(_) => (1, 0, false),
+        Op::Call(idx) => {
+            let callee = &module.functions[idx as usize];
+            // A never-returning callee pushes a vacuous value: the post-call
+            // path cannot execute, so whatever we derive from it is unused.
+            let produced = exit_heights[idx as usize].unwrap_or(1);
+            (callee.n_args as u32, produced, false)
+        }
+        Op::Ret => (0, 0, true),
+        Op::HostCall(id) => {
+            let host = HostId::from_id(id).expect("verifier admits only known hosts");
+            // Abort always traps, so nothing is pushed and control ends.
+            match host {
+                HostId::Abort => (1, 0, true),
+                _ => (host.arity() as u32, 1, false),
+            }
+        }
+        Op::PushI8(_) | Op::PushI32(_) | Op::PushI64(_) => (0, 1, false),
+        Op::LocalGet(_) => (0, 1, false),
+        Op::LocalSet(_) => (1, 0, false),
+        Op::LocalTee(_) => (1, 1, false),
+        Op::Drop => (1, 0, false),
+        Op::Dup => (1, 2, false),
+        Op::Swap => (2, 2, false),
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::DivU
+        | Op::DivS
+        | Op::RemU
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Shl
+        | Op::ShrU
+        | Op::ShrS
+        | Op::Eq
+        | Op::Ne
+        | Op::LtU
+        | Op::LtS
+        | Op::GtU
+        | Op::GtS
+        | Op::LeU
+        | Op::GeU => (2, 1, false),
+        Op::Eqz => (1, 1, false),
+        Op::Load8 | Op::Load16 | Op::Load32 | Op::Load64 => (1, 1, false),
+        Op::Store8 | Op::Store16 | Op::Store32 | Op::Store64 => (2, 0, false),
+        Op::MemCopy | Op::MemFill | Op::LzCopy => (3, 0, false),
+        Op::MemSize => (0, 1, false),
+    }
+}
+
+/// Minimum fuel the interpreter charges for one instruction.
+fn insn_min_cost(op: &Op) -> u64 {
+    match op {
+        Op::MemCopy | Op::MemFill | Op::LzCopy => BASE_COST + BULK_EXTRA,
+        Op::HostCall(id) => match HostId::from_id(*id) {
+            Some(HostId::Sha1) | Some(HostId::MemEq) | Some(HostId::WeakSum) => {
+                BASE_COST + BULK_EXTRA
+            }
+            _ => BASE_COST,
+        },
+        _ => BASE_COST,
+    }
+}
+
+/// Internal per-function scaffolding shared by the passes.
+struct FuncCfg {
+    insns: Vec<InsnInfo>,
+    /// Map byte offset → instruction index.
+    index_of: Vec<Option<usize>>,
+    blocks: Vec<BlockInfo>,
+}
+
+/// Decodes `func` and builds its basic-block CFG. The structural verifier
+/// has already run, so decoding and branch targets cannot fail.
+fn build_cfg(func: &Function) -> FuncCfg {
+    let mut insns = Vec::new();
+    let mut index_of = vec![None; func.code.len() + 1];
+    let mut pc = 0usize;
+    while pc < func.code.len() {
+        let (op, next) = Op::decode(&func.code, pc).expect("verified code decodes");
+        index_of[pc] = Some(insns.len());
+        insns.push(InsnInfo { at: pc, op, next, height: None });
+        pc = next;
+    }
+
+    // Leaders: the entry, every branch target, and every instruction after
+    // a branch or terminator.
+    let mut leader = vec![false; insns.len()];
+    if !insns.is_empty() {
+        leader[0] = true;
+    }
+    for (i, insn) in insns.iter().enumerate() {
+        let ends_block = match insn.op {
+            Op::Jmp(rel) | Op::JmpIf(rel) | Op::JmpIfZ(rel) => {
+                let target = (insn.next as i64 + rel as i64) as usize;
+                leader[index_of[target].expect("verified branch target")] = true;
+                true
+            }
+            Op::Ret | Op::Halt | Op::Unreachable => true,
+            Op::HostCall(id) => HostId::from_id(id) == Some(HostId::Abort),
+            _ => false,
+        };
+        if ends_block && i + 1 < insns.len() {
+            leader[i + 1] = true;
+        }
+    }
+
+    let mut blocks: Vec<BlockInfo> = Vec::new();
+    let mut block_of = vec![0usize; insns.len()];
+    for (i, &is_leader) in leader.iter().enumerate() {
+        if is_leader {
+            if let Some(last) = blocks.last_mut() {
+                last.end = i;
+            }
+            blocks.push(BlockInfo { start: i, end: insns.len(), succs: Vec::new() });
+        }
+        if let Some(b) = blocks.len().checked_sub(1) {
+            block_of[i] = b;
+        }
+    }
+
+    // Successors from each block's last instruction.
+    let block_at = |target: usize, index_of: &[Option<usize>], block_of: &[usize]| {
+        block_of[index_of[target].expect("verified branch target")]
+    };
+    for b in 0..blocks.len() {
+        let last = &insns[blocks[b].end - 1];
+        let mut succs = Vec::new();
+        match last.op {
+            Op::Jmp(rel) => {
+                succs.push(block_at(
+                    (last.next as i64 + rel as i64) as usize,
+                    &index_of,
+                    &block_of,
+                ));
+            }
+            Op::JmpIf(rel) | Op::JmpIfZ(rel) => {
+                succs.push(block_at(
+                    (last.next as i64 + rel as i64) as usize,
+                    &index_of,
+                    &block_of,
+                ));
+                if blocks[b].end < insns.len() {
+                    succs.push(block_of[blocks[b].end]);
+                }
+            }
+            Op::Ret | Op::Halt | Op::Unreachable => {}
+            Op::HostCall(id) if HostId::from_id(id) == Some(HostId::Abort) => {}
+            _ => {
+                // Fall-through (the verifier guarantees a terminator ends
+                // the body, so a fall-through block always has a successor).
+                if blocks[b].end < insns.len() {
+                    succs.push(block_of[blocks[b].end]);
+                }
+            }
+        }
+        succs.sort_unstable();
+        succs.dedup();
+        blocks[b].succs = succs;
+    }
+
+    FuncCfg { insns, index_of, blocks }
+}
+
+/// Strongly-connected components of the call graph (Tarjan, iterative),
+/// returned in reverse topological order: callees before callers.
+fn call_sccs(module: &Module) -> Vec<Vec<usize>> {
+    let n = module.functions.len();
+    let callees: Vec<Vec<usize>> = module
+        .functions
+        .iter()
+        .map(|f| {
+            let mut out = Vec::new();
+            let mut pc = 0usize;
+            while pc < f.code.len() {
+                let (op, next) = Op::decode(&f.code, pc).expect("verified code decodes");
+                if let Op::Call(idx) = op {
+                    out.push(idx as usize);
+                }
+                pc = next;
+            }
+            out.sort_unstable();
+            out.dedup();
+            out
+        })
+        .collect();
+
+    let mut index = vec![usize::MAX; n];
+    let mut low = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut sccs: Vec<Vec<usize>> = Vec::new();
+    let mut next_index = 0usize;
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        // Explicit DFS stack of (node, next child position).
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut ci)) = dfs.last_mut() {
+            if *ci == 0 {
+                index[v] = next_index;
+                low[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *ci < callees[v].len() {
+                let w = callees[v][*ci];
+                *ci += 1;
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    low[v] = low[v].min(index[w]);
+                }
+            } else {
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    low[parent] = low[parent].min(low[v]);
+                }
+                if low[v] == index[v] {
+                    let mut scc = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack");
+                        on_stack[w] = false;
+                        scc.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    sccs.push(scc);
+                }
+            }
+        }
+    }
+    sccs
+}
+
+/// Runs the stack-height dataflow for one function given the current
+/// callee exit-height table. Fills `insns[..].height`, returns
+/// `(max_height, exit_height)`.
+fn flow_heights(
+    func_idx: usize,
+    cfg: &mut FuncCfg,
+    module: &Module,
+    exit_heights: &[Option<u32>],
+    policy: &SandboxPolicy,
+) -> Result<(u32, Option<u32>), VerifyError> {
+    let mut entry: Vec<Option<u32>> = vec![None; cfg.blocks.len()];
+    let mut max_height = 0u32;
+    let mut exit: Option<u32> = None;
+    if cfg.blocks.is_empty() {
+        return Ok((0, None));
+    }
+    entry[0] = Some(0);
+    let mut work: VecDeque<usize> = VecDeque::new();
+    work.push_back(0);
+    let mut queued = vec![false; cfg.blocks.len()];
+    queued[0] = true;
+
+    while let Some(b) = work.pop_front() {
+        queued[b] = false;
+        let mut h = entry[b].expect("queued blocks have heights");
+        let (start, end) = (cfg.blocks[b].start, cfg.blocks[b].end);
+        for i in start..end {
+            let insn = &mut cfg.insns[i];
+            match insn.height {
+                Some(prev) if prev != h => {
+                    return Err(VerifyError::HeightMismatch {
+                        func: func_idx,
+                        at: insn.at,
+                        expected: prev,
+                        found: h,
+                    });
+                }
+                _ => insn.height = Some(h),
+            }
+            let (need, push, _) = stack_effect(&insn.op, module, exit_heights);
+            if h < need {
+                return Err(VerifyError::StackUnderflow {
+                    func: func_idx,
+                    at: insn.at,
+                    depth: h,
+                    need,
+                });
+            }
+            let after = h - need + push;
+            if after as usize > policy.max_stack {
+                return Err(VerifyError::StackLimit {
+                    func: func_idx,
+                    at: insn.at,
+                    height: after,
+                    limit: policy.max_stack,
+                });
+            }
+            max_height = max_height.max(after);
+            if let Op::Ret = insn.op {
+                match exit {
+                    Some(prev) if prev != after => {
+                        return Err(VerifyError::HeightMismatch {
+                            func: func_idx,
+                            at: insn.at,
+                            expected: prev,
+                            found: after,
+                        });
+                    }
+                    _ => exit = Some(after),
+                }
+            }
+            h = after;
+        }
+        for &s in &cfg.blocks[b].succs {
+            match entry[s] {
+                Some(prev) if prev != h => {
+                    return Err(VerifyError::HeightMismatch {
+                        func: func_idx,
+                        at: cfg.insns[cfg.blocks[s].start].at,
+                        expected: prev,
+                        found: h,
+                    });
+                }
+                Some(_) => {}
+                None => {
+                    entry[s] = Some(h);
+                    if !queued[s] {
+                        queued[s] = true;
+                        work.push_back(s);
+                    }
+                }
+            }
+        }
+    }
+    Ok((max_height, exit))
+}
+
+/// Shortest-path fuel costs for one function given current callee bounds.
+/// Returns `(ret_cost, halt_cost)` — both saturating lower bounds.
+fn flow_fuel(cfg: &FuncCfg, ret_lb: &[u64], halt_lb: &[u64]) -> (u64, u64) {
+    let n = cfg.insns.len();
+    if n == 0 {
+        return (INF, INF);
+    }
+    // dist[i]: min fuel spent before executing instruction i.
+    let mut dist = vec![INF; n];
+    dist[0] = 0;
+    let mut work: VecDeque<usize> = VecDeque::new();
+    work.push_back(0);
+    let mut ret_cost = INF;
+    let mut halt_cost = INF;
+
+    let relax = |dist: &mut Vec<u64>, work: &mut VecDeque<usize>, j: usize, d: u64| {
+        if d < dist[j] {
+            dist[j] = d;
+            work.push_back(j);
+        }
+    };
+
+    while let Some(i) = work.pop_front() {
+        let d = dist[i];
+        let insn = &cfg.insns[i];
+        let step = insn_min_cost(&insn.op);
+        match insn.op {
+            Op::Ret => ret_cost = ret_cost.min(d.saturating_add(step)),
+            Op::Halt => halt_cost = halt_cost.min(d.saturating_add(step)),
+            Op::Unreachable => {}
+            Op::HostCall(id) if HostId::from_id(id) == Some(HostId::Abort) => {}
+            Op::Jmp(rel) => {
+                let t = cfg.index_of[(insn.next as i64 + rel as i64) as usize].expect("target");
+                relax(&mut dist, &mut work, t, d.saturating_add(step));
+            }
+            Op::JmpIf(rel) | Op::JmpIfZ(rel) => {
+                let t = cfg.index_of[(insn.next as i64 + rel as i64) as usize].expect("target");
+                relax(&mut dist, &mut work, t, d.saturating_add(step));
+                if i + 1 < n {
+                    relax(&mut dist, &mut work, i + 1, d.saturating_add(step));
+                }
+            }
+            Op::Call(idx) => {
+                // The callee may halt the machine directly…
+                let through_halt = d.saturating_add(step).saturating_add(halt_lb[idx as usize]);
+                halt_cost = halt_cost.min(through_halt);
+                // …or return, continuing at the next instruction.
+                if i + 1 < n {
+                    let through = d.saturating_add(step).saturating_add(ret_lb[idx as usize]);
+                    relax(&mut dist, &mut work, i + 1, through);
+                }
+            }
+            _ => {
+                if i + 1 < n {
+                    relax(&mut dist, &mut work, i + 1, d.saturating_add(step));
+                }
+            }
+        }
+    }
+    (ret_cost, halt_cost)
+}
+
+/// Computes a bound on the shared operand stack over the whole call tree:
+/// the deepest `entry height at a call site − args + callee bound` chain.
+/// Recursive modules fall back to `max_call_depth × tallest frame`.
+fn shared_stack_bound(
+    module: &Module,
+    cfgs: &[FuncCfg],
+    max_heights: &[u32],
+    sccs: &[Vec<usize>],
+    policy: &SandboxPolicy,
+) -> usize {
+    let recursive = sccs.iter().any(|scc| {
+        scc.len() > 1 || {
+            // A singleton SCC is recursive iff it calls itself.
+            let f = scc[0];
+            cfgs[f].insns.iter().any(|i| matches!(i.op, Op::Call(c) if c as usize == f))
+        }
+    });
+    if recursive {
+        let tallest = max_heights.iter().copied().max().unwrap_or(0) as usize;
+        return policy.max_call_depth.saturating_mul(tallest.max(1));
+    }
+    // SCCs arrive callees-first, so one pass suffices.
+    let mut bound = vec![0usize; module.functions.len()];
+    for scc in sccs {
+        let f = scc[0];
+        let mut b = max_heights[f] as usize;
+        for insn in &cfgs[f].insns {
+            if let (Op::Call(idx), Some(h)) = (insn.op, insn.height) {
+                let callee = idx as usize;
+                let n_args = module.functions[callee].n_args as usize;
+                let below = (h as usize).saturating_sub(n_args);
+                b = b.max(below + bound[callee]);
+            }
+        }
+        bound[f] = b;
+    }
+    bound.into_iter().max().unwrap_or(0)
+}
+
+/// Collects lints for one function after heights are known.
+fn collect_lints(func_idx: usize, cfg: &FuncCfg, exit: Option<u32>, lints: &mut Vec<Lint>) {
+    // Unreachable blocks: report the first instruction of each.
+    for block in &cfg.blocks {
+        if cfg.insns[block.start].height.is_none() {
+            lints.push(Lint::UnreachableCode { func: func_idx, at: cfg.insns[block.start].at });
+        }
+    }
+    // Dead stores: locals written but never read anywhere in the function.
+    let mut read = [false; 256];
+    for insn in &cfg.insns {
+        if let Op::LocalGet(n) = insn.op {
+            read[n as usize] = true;
+        }
+    }
+    for insn in &cfg.insns {
+        if insn.height.is_none() {
+            continue;
+        }
+        if let Op::LocalSet(n) | Op::LocalTee(n) = insn.op {
+            if !read[n as usize] {
+                lints.push(Lint::DeadStore { func: func_idx, at: insn.at, local: n });
+            }
+        }
+    }
+    if exit.is_none() {
+        lints.push(Lint::NeverReturns { func: func_idx });
+    }
+}
+
+/// Runs abstract interpretation over every function of a structurally
+/// verified module. Returns the proof object, or the first admission error.
+///
+/// Call [`crate::verify::verify_module`] first (or use
+/// [`AnalyzedModule::analyze`], which does both): this pass assumes code
+/// decodes and branch targets are valid.
+pub fn analyze_module(
+    module: &Module,
+    policy: &SandboxPolicy,
+) -> Result<ModuleAnalysis, VerifyError> {
+    let n = module.functions.len();
+    let mut cfgs: Vec<FuncCfg> = module.functions.iter().map(build_cfg).collect();
+    let sccs = call_sccs(module);
+
+    // --- stack heights, interprocedurally (callees before callers) -------
+    let mut exit_heights: Vec<Option<u32>> = vec![None; n];
+    let mut analyzed = vec![false; n];
+    let mut max_heights = vec![0u32; n];
+    for scc in &sccs {
+        // Within a cycle, hypothesize that every member returns one value,
+        // then check the hypothesis against what the dataflow derived.
+        for &f in scc {
+            if scc.len() > 1 || calls_self(&cfgs[f], f) {
+                exit_heights[f] = Some(1);
+            }
+        }
+        for &f in scc {
+            let (max_h, exit) = flow_heights(f, &mut cfgs[f], module, &exit_heights, policy)?;
+            max_heights[f] = max_h;
+            if (scc.len() > 1 || calls_self(&cfgs[f], f)) && !(exit.is_none() || exit == Some(1)) {
+                // The recursion hypothesis failed: some ret leaves a height
+                // other than 1, so heights derived at in-cycle call sites
+                // were wrong. Reject rather than iterate to an unsound fix.
+                let at = cfgs[f]
+                    .insns
+                    .iter()
+                    .find(|i| matches!(i.op, Op::Ret))
+                    .map(|i| i.at)
+                    .unwrap_or(0);
+                return Err(VerifyError::HeightMismatch {
+                    func: f,
+                    at,
+                    expected: 1,
+                    found: exit.unwrap_or(0),
+                });
+            }
+            // Cycle members' exits are now exact; downstream SCCs use
+            // them. (A never-returning recursive function keeps `None`:
+            // in-cycle calls to it were modelled as pushing 1, which is
+            // vacuous because those call sites can never complete.)
+            exit_heights[f] = exit;
+            analyzed[f] = true;
+        }
+    }
+    debug_assert!(analyzed.iter().all(|&a| a));
+
+    // --- capability masks (reachable host-call sites only) ----------------
+    let mut own_hosts = vec![0u8; n];
+    for (f, cfg) in cfgs.iter().enumerate() {
+        for insn in &cfg.insns {
+            if insn.height.is_none() {
+                continue;
+            }
+            if let Op::HostCall(id) = insn.op {
+                if let Some(host) = HostId::from_id(id) {
+                    if !policy.allows(host) {
+                        return Err(VerifyError::CapabilityViolation { func: f, at: insn.at, id });
+                    }
+                    own_hosts[f] |= 1 << host.id();
+                }
+            }
+        }
+    }
+    // Transitive closure over the call graph (callees-first, plus a
+    // fixpoint sweep so recursive cycles converge).
+    let mut reachable = own_hosts.clone();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for (f, cfg) in cfgs.iter().enumerate() {
+            let mut mask = reachable[f];
+            for insn in &cfg.insns {
+                if insn.height.is_none() {
+                    continue;
+                }
+                if let Op::Call(idx) = insn.op {
+                    mask |= reachable[idx as usize];
+                }
+            }
+            if mask != reachable[f] {
+                reachable[f] = mask;
+                changed = true;
+            }
+        }
+    }
+
+    // --- fuel lower bounds -----------------------------------------------
+    // Floors: any call that returns, or run that halts, executes ≥ 1 insn.
+    let mut ret_lb = vec![BASE_COST; n];
+    let mut halt_lb = vec![BASE_COST; n];
+    for _ in 0..FUEL_ROUNDS {
+        let mut changed = false;
+        for scc in &sccs {
+            for &f in scc {
+                let (r, h) = flow_fuel(&cfgs[f], &ret_lb, &halt_lb);
+                // Never drop below the floor; costs only grow, staying sound.
+                let r = r.max(ret_lb[f]);
+                let h = h.max(halt_lb[f]);
+                if r != ret_lb[f] || h != halt_lb[f] {
+                    ret_lb[f] = r;
+                    halt_lb[f] = h;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // --- lints -------------------------------------------------------------
+    let mut all_lints: Vec<Vec<Lint>> = vec![Vec::new(); n];
+    for (f, cfg) in cfgs.iter().enumerate() {
+        collect_lints(f, cfg, exit_heights[f], &mut all_lints[f]);
+    }
+
+    let stack_bound = shared_stack_bound(module, &cfgs, &max_heights, &sccs, policy);
+
+    let mut functions = Vec::with_capacity(n);
+    let mut module_min_fuel = 0u64;
+    for (f, (cfg, lints)) in cfgs.into_iter().zip(all_lints).enumerate() {
+        let min_fuel = ret_lb[f].min(halt_lb[f]);
+        module_min_fuel = module_min_fuel.max(min_fuel);
+        functions.push(FunctionAnalysis {
+            insns: cfg.insns,
+            blocks: cfg.blocks,
+            max_height: max_heights[f],
+            exit_height: exit_heights[f],
+            min_fuel,
+            own_hosts: own_hosts[f],
+            reachable_hosts: reachable[f],
+            lints,
+        });
+    }
+
+    Ok(ModuleAnalysis { functions, module_min_fuel, stack_bound })
+}
+
+fn calls_self(cfg: &FuncCfg, f: usize) -> bool {
+    cfg.insns.iter().any(|i| matches!(i.op, Op::Call(c) if c as usize == f))
+}
+
+/// Predecodes one verified, analyzed function into fast-path form.
+fn predecode(func: &Function, fa: &FunctionAnalysis) -> Vec<FastOp> {
+    let mut index_of = vec![u32::MAX; func.code.len() + 1];
+    for (i, insn) in fa.insns.iter().enumerate() {
+        index_of[insn.at] = i as u32;
+    }
+    fa.insns
+        .iter()
+        .map(|insn| {
+            let target = |rel: i32| index_of[(insn.next as i64 + rel as i64) as usize];
+            match insn.op {
+                Op::Halt => FastOp::Halt,
+                Op::Nop => FastOp::Nop,
+                Op::Unreachable => FastOp::Unreachable,
+                Op::Jmp(rel) => FastOp::Jmp(target(rel)),
+                Op::JmpIf(rel) => FastOp::JmpIf(target(rel)),
+                Op::JmpIfZ(rel) => FastOp::JmpIfZ(target(rel)),
+                Op::Call(idx) => FastOp::Call(idx),
+                Op::Ret => FastOp::Ret,
+                Op::HostCall(id) => FastOp::HostCall(id),
+                Op::PushI8(v) => FastOp::Push(v as i64),
+                Op::PushI32(v) => FastOp::Push(v as i64),
+                Op::PushI64(v) => FastOp::Push(v),
+                Op::LocalGet(n) => FastOp::LocalGet(n),
+                Op::LocalSet(n) => FastOp::LocalSet(n),
+                Op::LocalTee(n) => FastOp::LocalTee(n),
+                Op::Drop => FastOp::Drop,
+                Op::Dup => FastOp::Dup,
+                Op::Swap => FastOp::Swap,
+                Op::Add => FastOp::Bin(BinKind::Add),
+                Op::Sub => FastOp::Bin(BinKind::Sub),
+                Op::Mul => FastOp::Bin(BinKind::Mul),
+                Op::DivU => FastOp::Bin(BinKind::DivU),
+                Op::DivS => FastOp::Bin(BinKind::DivS),
+                Op::RemU => FastOp::Bin(BinKind::RemU),
+                Op::And => FastOp::Bin(BinKind::And),
+                Op::Or => FastOp::Bin(BinKind::Or),
+                Op::Xor => FastOp::Bin(BinKind::Xor),
+                Op::Shl => FastOp::Bin(BinKind::Shl),
+                Op::ShrU => FastOp::Bin(BinKind::ShrU),
+                Op::ShrS => FastOp::Bin(BinKind::ShrS),
+                Op::Eq => FastOp::Bin(BinKind::Eq),
+                Op::Ne => FastOp::Bin(BinKind::Ne),
+                Op::LtU => FastOp::Bin(BinKind::LtU),
+                Op::LtS => FastOp::Bin(BinKind::LtS),
+                Op::GtU => FastOp::Bin(BinKind::GtU),
+                Op::GtS => FastOp::Bin(BinKind::GtS),
+                Op::LeU => FastOp::Bin(BinKind::LeU),
+                Op::GeU => FastOp::Bin(BinKind::GeU),
+                Op::Eqz => FastOp::Eqz,
+                Op::Load8 => FastOp::Load(1),
+                Op::Load16 => FastOp::Load(2),
+                Op::Load32 => FastOp::Load(4),
+                Op::Load64 => FastOp::Load(8),
+                Op::Store8 => FastOp::Store(1),
+                Op::Store16 => FastOp::Store(2),
+                Op::Store32 => FastOp::Store(4),
+                Op::Store64 => FastOp::Store(8),
+                Op::MemCopy => FastOp::MemCopy,
+                Op::MemFill => FastOp::MemFill,
+                Op::LzCopy => FastOp::LzCopy,
+                Op::MemSize => FastOp::MemSize,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::machine::Machine;
+
+    fn analyze_src(src: &str) -> Result<ModuleAnalysis, VerifyError> {
+        let m = assemble(src).expect("assembles");
+        verify_module(&m).expect("structurally valid");
+        analyze_module(&m, &SandboxPolicy::default())
+    }
+
+    #[test]
+    fn accepts_balanced_function() {
+        let a = analyze_src(
+            r#"
+            .func main args=1 locals=1
+            top:
+                local.get 0
+                jmpifz done
+                local.get 0
+                push 1
+                sub
+                local.set 0
+                jmp top
+            done:
+                push 7
+                ret
+        "#,
+        )
+        .unwrap();
+        let f = &a.functions[0];
+        assert_eq!(f.exit_height, Some(1));
+        assert_eq!(f.max_height, 2);
+        assert!(f.lints.is_empty(), "{:?}", f.lints);
+        // Cheapest run: local.get, jmpifz (taken), push, ret = 4 ops.
+        assert_eq!(f.min_fuel, 4);
+    }
+
+    #[test]
+    fn rejects_underflow() {
+        let err = analyze_src(
+            r#"
+            .func f args=0 locals=0
+                add
+                ret
+        "#,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, VerifyError::StackUnderflow { func: 0, at: 0, depth: 0, need: 2 }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_callee_popping_into_caller() {
+        // The callee receives one arg (its frame starts empty after arg
+        // capture) and drops twice: the second drop would consume the
+        // caller's operand at run time.
+        let err = analyze_src(
+            r#"
+            .func main args=0 locals=0
+                push 1
+                push 2
+                call eater
+                ret
+            .func eater args=1 locals=0
+                local.get 0
+                drop
+                drop
+                ret
+        "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::StackUnderflow { func: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_merge_height_mismatch() {
+        let err = analyze_src(
+            r#"
+            .func f args=1 locals=0
+                local.get 0
+                jmpifz other
+                push 1
+                push 2
+                jmp join
+            other:
+                push 1
+            join:
+                ret
+        "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::HeightMismatch { func: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_ret_height_disagreement() {
+        let err = analyze_src(
+            r#"
+            .func f args=1 locals=0
+                local.get 0
+                jmpifz zero
+                push 1
+                push 2
+                ret
+            zero:
+                push 1
+                ret
+        "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::HeightMismatch { func: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn rejects_height_beyond_policy_stack() {
+        let mut src = String::from(".func f args=0 locals=0\n");
+        for _ in 0..20 {
+            src.push_str("    push 1\n");
+        }
+        src.push_str("    ret\n");
+        let m = assemble(&src).unwrap();
+        verify_module(&m).unwrap();
+        let policy = SandboxPolicy { max_stack: 8, ..SandboxPolicy::default() };
+        let err = analyze_module(&m, &policy).unwrap_err();
+        assert!(
+            matches!(err, VerifyError::StackLimit { func: 0, height: 9, limit: 8, .. }),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn rejects_denied_capability_before_instantiation() {
+        let m = assemble(
+            r#"
+            .func f args=0 locals=0
+                push 0
+                push 1
+                host log
+                drop
+                ret
+        "#,
+        )
+        .unwrap();
+        verify_module(&m).unwrap();
+        let policy = SandboxPolicy::default().with_hosts(&[HostId::Abort]);
+        let err = analyze_module(&m, &policy).unwrap_err();
+        assert!(matches!(err, VerifyError::CapabilityViolation { func: 0, id: 1, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn unreachable_host_call_is_not_a_violation() {
+        let m = assemble(
+            r#"
+            .func f args=0 locals=0
+                push 0
+                ret
+                push 0
+                push 1
+                host log
+                drop
+                ret
+        "#,
+        )
+        .unwrap();
+        verify_module(&m).unwrap();
+        let policy = SandboxPolicy::default().with_hosts(&[HostId::Abort]);
+        let a = analyze_module(&m, &policy).unwrap();
+        assert_eq!(a.functions[0].own_hosts, 0);
+        assert!(a.functions[0].lints.iter().any(|l| matches!(l, Lint::UnreachableCode { .. })));
+    }
+
+    #[test]
+    fn capability_sets_are_transitive() {
+        let a = analyze_src(
+            r#"
+            .func entry args=0 locals=0
+                call helper
+                ret
+            .func helper args=0 locals=0
+                push 0
+                push 4
+                push 64
+                host sha1
+                ret
+        "#,
+        )
+        .unwrap();
+        let m = assemble(
+            r#"
+            .func entry args=0 locals=0
+                call helper
+                ret
+            .func helper args=0 locals=0
+                push 0
+                push 4
+                push 64
+                host sha1
+                ret
+        "#,
+        )
+        .unwrap();
+        assert_eq!(a.functions[0].own_hosts, 0);
+        assert_eq!(a.entry_hosts(&m, "entry"), vec![HostId::Sha1]);
+        assert_eq!(a.all_hosts(), vec![HostId::Sha1]);
+    }
+
+    #[test]
+    fn min_fuel_is_infinite_for_inescapable_loop() {
+        let a = analyze_src(
+            r#"
+            .func spin args=0 locals=0
+            top:
+                jmp top
+        "#,
+        )
+        .unwrap();
+        assert_eq!(a.functions[0].min_fuel, u64::MAX);
+        assert_eq!(a.module_min_fuel, u64::MAX);
+        assert!(a.functions[0].lints.iter().any(|l| matches!(l, Lint::NeverReturns { func: 0 })));
+    }
+
+    #[test]
+    fn min_fuel_counts_callee_cost() {
+        let a = analyze_src(
+            r#"
+            .func main args=0 locals=0
+                call three
+                ret
+            .func three args=0 locals=0
+                push 1
+                push 2
+                add
+                ret
+        "#,
+        )
+        .unwrap();
+        // three: push, push, add, ret = 4.
+        assert_eq!(a.functions[1].min_fuel, 4);
+        // main: call (1) + callee ret path (4) + ret (1) = 6.
+        assert_eq!(a.functions[0].min_fuel, 6);
+        assert_eq!(a.module_min_fuel, 6);
+    }
+
+    #[test]
+    fn bulk_ops_cost_at_least_two() {
+        let a = analyze_src(
+            r#"
+            .func f args=0 locals=0
+                push 0
+                push 0
+                push 0
+                memcopy
+                ret
+        "#,
+        )
+        .unwrap();
+        // 3 pushes + memcopy (2) + ret = 6.
+        assert_eq!(a.functions[0].min_fuel, 6);
+    }
+
+    #[test]
+    fn recursion_with_unit_exit_is_accepted() {
+        let a = analyze_src(
+            r#"
+            .func fib args=1 locals=0
+                local.get 0
+                push 2
+                lts
+                jmpif base
+                local.get 0
+                push 1
+                sub
+                call fib
+                local.get 0
+                push 2
+                sub
+                call fib
+                add
+                ret
+            base:
+                local.get 0
+                ret
+        "#,
+        )
+        .unwrap();
+        assert_eq!(a.functions[0].exit_height, Some(1));
+        // Recursive module: stack bound falls back to depth × tallest frame.
+        let p = SandboxPolicy::default();
+        assert_eq!(a.stack_bound, p.max_call_depth * a.functions[0].max_height as usize);
+    }
+
+    #[test]
+    fn recursion_with_non_unit_exit_is_rejected() {
+        let err = analyze_src(
+            r#"
+            .func f args=1 locals=0
+                local.get 0
+                jmpifz base
+                local.get 0
+                call f
+                drop
+                push 1
+                push 2
+                ret
+            base:
+                push 1
+                push 2
+                ret
+        "#,
+        )
+        .unwrap_err();
+        assert!(matches!(err, VerifyError::HeightMismatch { func: 0, .. }), "{err:?}");
+    }
+
+    #[test]
+    fn dag_stack_bound_is_tight() {
+        let a = analyze_src(
+            r#"
+            .func main args=0 locals=0
+                push 10
+                push 20
+                call leaf
+                add
+                ret
+            .func leaf args=1 locals=0
+                local.get 0
+                push 1
+                add
+                ret
+        "#,
+        )
+        .unwrap();
+        // main reaches height 2; at the call, 1 arg is consumed leaving 1
+        // below the callee, whose own frame reaches 2 → bound 3.
+        assert_eq!(a.stack_bound, 3);
+    }
+
+    #[test]
+    fn dead_store_lint_fires() {
+        let a = analyze_src(
+            r#"
+            .func f args=0 locals=1
+                push 5
+                local.set 0
+                push 0
+                ret
+        "#,
+        )
+        .unwrap();
+        assert!(a.functions[0]
+            .lints
+            .iter()
+            .any(|l| matches!(l, Lint::DeadStore { func: 0, local: 0, .. })));
+    }
+
+    #[test]
+    fn heights_are_recorded_per_instruction() {
+        let a = analyze_src(
+            r#"
+            .func f args=0 locals=0
+                push 1
+                push 2
+                add
+                ret
+        "#,
+        )
+        .unwrap();
+        let hs: Vec<Option<u32>> = a.functions[0].insns.iter().map(|i| i.height).collect();
+        assert_eq!(hs, vec![Some(0), Some(1), Some(2), Some(1)]);
+    }
+
+    #[test]
+    fn analyzed_module_runs_fast_path_with_same_results() {
+        let src = r#"
+            .memory 1
+            .func sum args=1 locals=2
+            loop:
+                local.get 0
+                eqz
+                jmpif done
+                local.get 1
+                local.get 0
+                add
+                local.set 1
+                local.get 0
+                push 1
+                sub
+                local.set 0
+                jmp loop
+            done:
+                local.get 1
+                ret
+        "#;
+        let checked_module = assemble(src).unwrap();
+        let mut checked = Machine::new(checked_module.clone(), SandboxPolicy::default()).unwrap();
+        let analyzed = checked_module.analyzed(&SandboxPolicy::default()).unwrap();
+        let mut fast = Machine::new_analyzed(analyzed, SandboxPolicy::default()).unwrap();
+        assert!(fast.is_fast_path());
+        for n in [0i64, 1, 10, 1000] {
+            let a = checked.call("sum", &[n]).unwrap();
+            checked.refuel();
+            let b = fast.call("sum", &[n]).unwrap();
+            fast.refuel();
+            assert_eq!(a, b, "n={n}");
+        }
+    }
+
+    #[test]
+    fn fast_path_fuel_matches_checked_path() {
+        let src = r#"
+            .memory 1
+            .func work args=1 locals=1
+            loop:
+                local.get 0
+                eqz
+                jmpif done
+                push 0
+                push 0
+                push 64
+                memcopy
+                local.get 0
+                push 1
+                sub
+                local.set 0
+                jmp loop
+            done:
+                push 0
+                ret
+        "#;
+        let module = assemble(src).unwrap();
+        let mut checked = Machine::new(module.clone(), SandboxPolicy::default()).unwrap();
+        checked.call("work", &[25]).unwrap();
+        let analyzed = module.analyzed(&SandboxPolicy::default()).unwrap();
+        let mut fast = Machine::new_analyzed(analyzed, SandboxPolicy::default()).unwrap();
+        assert!(fast.is_fast_path());
+        fast.call("work", &[25]).unwrap();
+        assert_eq!(checked.fuel_used(), fast.fuel_used());
+    }
+
+    #[test]
+    fn shipped_pads_pass_analysis() {
+        for (name, src) in [
+            ("direct", include_str!("../../pads/fasm/direct.fasm")),
+            ("gzip", include_str!("../../pads/fasm/gzip.fasm")),
+            ("bitmap", include_str!("../../pads/fasm/bitmap.fasm")),
+            ("recipe", include_str!("../../pads/fasm/recipe.fasm")),
+            ("deflate", include_str!("../../pads/fasm/deflate.fasm")),
+            ("signatures", include_str!("../../pads/fasm/signatures.fasm")),
+        ] {
+            let m = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            verify_module(&m).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let policy = SandboxPolicy::for_pads();
+            let a = analyze_module(&m, &policy).unwrap_or_else(|e| panic!("{name} rejected: {e}"));
+            assert!(
+                a.stack_bound <= policy.max_stack,
+                "{name}: bound {} exceeds {}",
+                a.stack_bound,
+                policy.max_stack
+            );
+            assert!(a.module_min_fuel < policy.max_fuel, "{name}");
+        }
+    }
+
+    #[test]
+    fn annotated_disassembly_reassembles_and_carries_heights() {
+        let src = r#"
+            .func f args=0 locals=0
+                push 1
+                push 2
+                add
+                ret
+        "#;
+        let m = assemble(src).unwrap();
+        let a = analyze_module(&m, &SandboxPolicy::default()).unwrap();
+        let text = crate::disasm::disassemble_annotated(&m, &a).unwrap();
+        assert!(text.contains("; h=0"), "{text}");
+        assert!(text.contains("; h=2"), "{text}");
+        assert!(text.contains("; max_height=2"), "{text}");
+        let m2 = assemble(&text).expect("annotations are comments");
+        assert_eq!(m.functions[0].code, m2.functions[0].code);
+    }
+}

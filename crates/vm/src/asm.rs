@@ -39,9 +39,16 @@ use crate::module::{DataSegment, Function, Module};
 enum Item {
     Op(Op),
     /// jmp/jmpif/jmpifz with a symbolic label.
-    Branch { kind: BranchKind, label: String, line: usize },
+    Branch {
+        kind: BranchKind,
+        label: String,
+        line: usize,
+    },
     /// call with a symbolic function name.
-    Call { name: String, line: usize },
+    Call {
+        name: String,
+        line: usize,
+    },
     Label(String),
 }
 
@@ -124,7 +131,13 @@ pub fn assemble(source: &str) -> Result<Module, AsmError> {
             if (n_args as u16 + n_locals as u16) > 255 {
                 return Err(err("args + locals must fit in 255".into()));
             }
-            funcs.push(FuncBuilder { name, n_args, n_locals, items: Vec::new(), decl_line: line_no });
+            funcs.push(FuncBuilder {
+                name,
+                n_args,
+                n_locals,
+                items: Vec::new(),
+                decl_line: line_no,
+            });
             continue;
         }
         if line.starts_with('.') {
@@ -132,9 +145,7 @@ pub fn assemble(source: &str) -> Result<Module, AsmError> {
         }
 
         // Labels and instructions live inside a function.
-        let func = funcs
-            .last_mut()
-            .ok_or_else(|| err("instruction before any .func".into()))?;
+        let func = funcs.last_mut().ok_or_else(|| err("instruction before any .func".into()))?;
         if let Some(label) = line.strip_suffix(':') {
             if label.contains(char::is_whitespace) {
                 return Err(err(format!("bad label {label:?}")));
@@ -160,7 +171,12 @@ pub fn assemble(source: &str) -> Result<Module, AsmError> {
     let mut functions = Vec::with_capacity(funcs.len());
     for f in &funcs {
         let code = encode_function(f, &by_name)?;
-        functions.push(Function { name: f.name.clone(), n_args: f.n_args, n_locals: f.n_locals, code });
+        functions.push(Function {
+            name: f.name.clone(),
+            n_args: f.n_args,
+            n_locals: f.n_locals,
+            code,
+        });
     }
 
     Ok(Module { mem_pages, functions, data })
@@ -268,13 +284,19 @@ fn parse_instruction(line: &str, line_no: usize) -> Result<Item, AsmError> {
         "local.get" => Ok(Item::Op(Op::LocalGet(local_idx(need!(operand)?)?))),
         "local.set" => Ok(Item::Op(Op::LocalSet(local_idx(need!(operand)?)?))),
         "local.tee" => Ok(Item::Op(Op::LocalTee(local_idx(need!(operand)?)?))),
-        "jmp" => Ok(Item::Branch { kind: BranchKind::Jmp, label: need!(operand)?.into(), line: line_no }),
-        "jmpif" => {
-            Ok(Item::Branch { kind: BranchKind::JmpIf, label: need!(operand)?.into(), line: line_no })
+        "jmp" => {
+            Ok(Item::Branch { kind: BranchKind::Jmp, label: need!(operand)?.into(), line: line_no })
         }
-        "jmpifz" => {
-            Ok(Item::Branch { kind: BranchKind::JmpIfZ, label: need!(operand)?.into(), line: line_no })
-        }
+        "jmpif" => Ok(Item::Branch {
+            kind: BranchKind::JmpIf,
+            label: need!(operand)?.into(),
+            line: line_no,
+        }),
+        "jmpifz" => Ok(Item::Branch {
+            kind: BranchKind::JmpIfZ,
+            label: need!(operand)?.into(),
+            line: line_no,
+        }),
         "call" => Ok(Item::Call { name: need!(operand)?.into(), line: line_no }),
         "host" => {
             let name = need!(operand)?;
@@ -467,8 +489,8 @@ mod tests {
 
     #[test]
     fn error_duplicate_function() {
-        let e = assemble(".func f args=0 locals=0\n ret\n.func f args=0 locals=0\n ret\n")
-            .unwrap_err();
+        let e =
+            assemble(".func f args=0 locals=0\n ret\n.func f args=0 locals=0\n ret\n").unwrap_err();
         assert!(e.message.contains("duplicate"));
     }
 

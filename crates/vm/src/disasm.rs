@@ -7,6 +7,7 @@
 
 use std::collections::BTreeSet;
 
+use crate::analysis::{FunctionAnalysis, ModuleAnalysis};
 use crate::bytecode::Op;
 use crate::error::ModuleError;
 use crate::host::HostId;
@@ -25,7 +26,32 @@ pub fn disassemble(module: &Module) -> Result<String, ModuleError> {
     }
     for (idx, f) in module.functions.iter().enumerate() {
         out.push('\n');
-        out.push_str(&disassemble_function(module, idx, f)?);
+        out.push_str(&disassemble_function(module, idx, f, None)?);
+    }
+    Ok(out)
+}
+
+/// Disassembles with `fvm-lint` annotations: each instruction line carries
+/// its inferred frame-relative stack height (`; h=N`, or `; unreachable`),
+/// each function header its proven bounds, and lints follow the header.
+/// The output remains assembler-compatible — `;` comments are ignored on
+/// re-assembly.
+pub fn disassemble_annotated(
+    module: &Module,
+    analysis: &ModuleAnalysis,
+) -> Result<String, ModuleError> {
+    let mut out = String::new();
+    out.push_str(&format!(".memory {}\n", module.mem_pages));
+    for seg in &module.data {
+        out.push_str(&format!(
+            ".data {} hex:{}\n",
+            seg.offset,
+            fractal_crypto::hex::encode(&seg.bytes)
+        ));
+    }
+    for (idx, f) in module.functions.iter().enumerate() {
+        out.push('\n');
+        out.push_str(&disassemble_function(module, idx, f, analysis.functions.get(idx))?);
     }
     Ok(out)
 }
@@ -34,6 +60,7 @@ fn disassemble_function(
     module: &Module,
     _idx: usize,
     f: &Function,
+    fa: Option<&FunctionAnalysis>,
 ) -> Result<String, ModuleError> {
     // Pass 1: find branch targets to name labels.
     let mut targets: BTreeSet<usize> = BTreeSet::new();
@@ -51,6 +78,22 @@ fn disassemble_function(
 
     let label_of = |offset: usize| format!("l{offset}");
     let mut out = format!(".func {} args={} locals={}\n", f.name, f.n_args, f.n_locals);
+    if let Some(fa) = fa {
+        let exit = match fa.exit_height {
+            Some(h) => format!("{h}"),
+            None => "never".to_string(),
+        };
+        let fuel =
+            if fa.min_fuel == u64::MAX { "inf".to_string() } else { format!("{}", fa.min_fuel) };
+        out.push_str(&format!(
+            "    ; max_height={} exit={} min_fuel={}\n",
+            fa.max_height, exit, fuel
+        ));
+        for lint in &fa.lints {
+            out.push_str(&format!("    ; lint: {lint}\n"));
+        }
+    }
+    let mut insn_idx = 0usize;
     let mut pc = 0usize;
     while pc < f.code.len() {
         if targets.contains(&pc) {
@@ -126,7 +169,15 @@ fn disassemble_function(
         };
         out.push_str("    ");
         out.push_str(&line);
+        if let Some(fa) = fa {
+            let pad = 24usize.saturating_sub(line.len()).max(1);
+            match fa.insns.get(insn_idx).and_then(|i| i.height) {
+                Some(h) => out.push_str(&format!("{:pad$}; h={h}", "")),
+                None => out.push_str(&format!("{:pad$}; unreachable", "")),
+            }
+        }
         out.push('\n');
+        insn_idx += 1;
         pc = next;
     }
     // A label can also sit exactly at the end of the body (backward jump

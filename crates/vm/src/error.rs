@@ -46,7 +46,9 @@ impl core::fmt::Display for ModuleError {
             ModuleError::BadMagic => write!(f, "not an FVM module (bad magic)"),
             ModuleError::BadVersion(v) => write!(f, "unsupported FVM container version {v}"),
             ModuleError::Truncated => write!(f, "truncated module container"),
-            ModuleError::TruncatedCode { at } => write!(f, "bytecode truncated inside instruction at {at}"),
+            ModuleError::TruncatedCode { at } => {
+                write!(f, "bytecode truncated inside instruction at {at}")
+            }
             ModuleError::UnknownOpcode { opcode, at } => {
                 write!(f, "unknown opcode {opcode:#04x} at {at}")
             }
@@ -139,6 +141,53 @@ pub enum VerifyError {
         /// Function index.
         func: usize,
     },
+    /// Abstract interpretation proved an instruction pops more operands
+    /// than its frame has pushed (would read the caller's stack).
+    StackUnderflow {
+        /// Function index.
+        func: usize,
+        /// Offset of the instruction.
+        at: usize,
+        /// Frame-relative stack height on entry to the instruction.
+        depth: u32,
+        /// Operands the instruction needs.
+        need: u32,
+    },
+    /// Two control-flow paths reach the same instruction with different
+    /// stack heights (or a function's `ret` sites disagree).
+    HeightMismatch {
+        /// Function index.
+        func: usize,
+        /// Offset of the merge-point instruction.
+        at: usize,
+        /// Height established by the first path to reach it.
+        expected: u32,
+        /// Height found on a later path.
+        found: u32,
+    },
+    /// A reachable host call names an intrinsic the sandbox policy denies;
+    /// the module is rejected before instantiation rather than trapping at
+    /// run time.
+    CapabilityViolation {
+        /// Function index.
+        func: usize,
+        /// Offset of the host call.
+        at: usize,
+        /// The denied intrinsic id.
+        id: u8,
+    },
+    /// A single frame provably needs more operand-stack slots than the
+    /// sandbox policy allows, so any call of this function must trap.
+    StackLimit {
+        /// Function index.
+        func: usize,
+        /// Offset of the push that exceeds the limit.
+        at: usize,
+        /// The height the push would reach.
+        height: u32,
+        /// The policy's `max_stack`.
+        limit: usize,
+    },
 }
 
 impl core::fmt::Display for VerifyError {
@@ -161,6 +210,21 @@ impl core::fmt::Display for VerifyError {
                 write!(f, "fn {func}: control may fall off the end of the body")
             }
             VerifyError::TooManyLocals { func } => write!(f, "fn {func}: too many locals"),
+            VerifyError::StackUnderflow { func, at, depth, need } => {
+                write!(f, "fn {func}: stack underflow at {at} (height {depth}, needs {need})")
+            }
+            VerifyError::HeightMismatch { func, at, expected, found } => {
+                write!(
+                    f,
+                    "fn {func}: stack height mismatch at {at} (expected {expected}, found {found})"
+                )
+            }
+            VerifyError::CapabilityViolation { func, at, id } => {
+                write!(f, "fn {func}: host intrinsic {id} at {at} denied by policy")
+            }
+            VerifyError::StackLimit { func, at, height, limit } => {
+                write!(f, "fn {func}: stack height {height} at {at} exceeds limit {limit}")
+            }
         }
     }
 }

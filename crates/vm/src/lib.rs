@@ -36,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod asm;
 pub mod bytecode;
 pub mod disasm;
@@ -46,9 +47,10 @@ pub mod module;
 pub mod sandbox;
 pub mod verify;
 
+pub use analysis::{analyze_module, AnalyzedModule, Lint, ModuleAnalysis};
 pub use asm::assemble;
-pub use disasm::disassemble;
 pub use bytecode::Op;
+pub use disasm::{disassemble, disassemble_annotated};
 pub use error::{AsmError, ModuleError, Trap, VerifyError};
 pub use host::HostId;
 pub use machine::Machine;

@@ -12,6 +12,7 @@
 
 use fractal_crypto::sha1::Sha1;
 
+use crate::analysis::{AnalyzedModule, BinKind, FastOp};
 use crate::bytecode::Op;
 use crate::error::Trap;
 use crate::host::{weak_sum, HostId};
@@ -28,7 +29,8 @@ const SHA1_BYTES_PER_FUEL: u64 = 4;
 struct Frame {
     /// Function index executing.
     func: usize,
-    /// Program counter within that function's code.
+    /// Program counter within that function's code: a byte offset on the
+    /// checked path, an instruction index on the fast path.
     pc: usize,
     /// Base of this frame's locals in the locals arena.
     locals_base: usize,
@@ -45,6 +47,9 @@ pub struct Machine {
     fuel: u64,
     fuel_used_total: u64,
     log: Vec<u8>,
+    /// Predecoded code when the abstract interpreter proved the per-op
+    /// stack checks redundant (see [`AnalyzedModule`]).
+    fast: Option<Vec<Vec<FastOp>>>,
 }
 
 impl core::fmt::Debug for Machine {
@@ -81,7 +86,28 @@ impl Machine {
             fuel,
             fuel_used_total: 0,
             log: Vec::new(),
+            fast: None,
         })
+    }
+
+    /// Instantiates an analyzed module. When the proven whole-machine stack
+    /// bound fits within `policy.max_stack`, execution uses the predecoded
+    /// fast path (no per-op decode, stack checks demoted to debug
+    /// assertions); otherwise the instance falls back to the checked
+    /// interpreter. Fuel accounting is identical on both paths.
+    pub fn new_analyzed(analyzed: AnalyzedModule, policy: SandboxPolicy) -> Result<Machine, Trap> {
+        let AnalyzedModule { module, analysis, fast } = analyzed;
+        let mut machine = Machine::new(module, policy)?;
+        if analysis.stack_bound <= machine.policy.max_stack {
+            machine.stack.reserve(analysis.stack_bound);
+            machine.fast = Some(fast);
+        }
+        Ok(machine)
+    }
+
+    /// Whether this instance runs the predecoded fast path.
+    pub fn is_fast_path(&self) -> bool {
+        self.fast.is_some()
     }
 
     /// Linear memory size in bytes.
@@ -112,9 +138,10 @@ impl Machine {
 
     /// Copies `bytes` into memory at `addr`.
     pub fn write_memory(&mut self, addr: usize, bytes: &[u8]) -> Result<(), Trap> {
-        let end = addr.checked_add(bytes.len()).filter(|&e| e <= self.memory.len()).ok_or(
-            Trap::OutOfBounds { addr: addr as u64, len: bytes.len() as u64 },
-        )?;
+        let end = addr
+            .checked_add(bytes.len())
+            .filter(|&e| e <= self.memory.len())
+            .ok_or(Trap::OutOfBounds { addr: addr as u64, len: bytes.len() as u64 })?;
         self.memory[addr..end].copy_from_slice(bytes);
         Ok(())
     }
@@ -131,10 +158,7 @@ impl Machine {
     /// Invokes the exported function `entry` with `args`, running to
     /// completion. Returns the function's result value.
     pub fn call(&mut self, entry: &str, args: &[i64]) -> Result<i64, Trap> {
-        let func = self
-            .module
-            .find(entry)
-            .ok_or_else(|| Trap::NoSuchEntry(entry.to_string()))?;
+        let func = self.module.find(entry).ok_or_else(|| Trap::NoSuchEntry(entry.to_string()))?;
         let decl = &self.module.functions[func];
         if decl.n_args as usize != args.len() {
             return Err(Trap::ArityMismatch { expected: decl.n_args, got: args.len() });
@@ -147,10 +171,9 @@ impl Machine {
 
         let locals_base = 0;
         self.locals.extend_from_slice(args);
-        self.locals
-            .extend(std::iter::repeat_n(0, decl.n_locals as usize));
+        self.locals.extend(std::iter::repeat_n(0, decl.n_locals as usize));
         self.frames.push(Frame { func, pc: 0, locals_base });
-        let result = self.run();
+        let result = if self.fast.is_some() { self.run_fast() } else { self.run() };
         if result.is_err() {
             // Leave state consistent for inspection but do not allow resume.
             self.frames.clear();
@@ -428,6 +451,205 @@ impl Machine {
         let a = self.pop()?;
         let r = f(a, b)?;
         self.push(r)
+    }
+
+    /// Fast-path pop: the analyzer proved the operand exists, so the check
+    /// is a debug assertion (the release fallback still cannot read out of
+    /// bounds, it just reports a wedged machine).
+    #[inline]
+    fn pop_fast(&mut self) -> Result<i64, Trap> {
+        debug_assert!(!self.stack.is_empty(), "analysis guarantees operands");
+        self.stack.pop().ok_or(Trap::Wedged)
+    }
+
+    /// Fast-path push: the analyzer proved the whole-machine stack bound
+    /// fits the policy, so the limit check is a debug assertion.
+    #[inline]
+    fn push_fast(&mut self, v: i64) {
+        debug_assert!(self.stack.len() < self.policy.max_stack, "analysis bounds the stack");
+        self.stack.push(v);
+    }
+
+    /// Shared semantics for [`FastOp::Bin`]; mirrors the per-op closures of
+    /// the checked loop exactly.
+    fn eval_bin(k: BinKind, a: i64, b: i64) -> Result<i64, Trap> {
+        Ok(match k {
+            BinKind::Add => a.wrapping_add(b),
+            BinKind::Sub => a.wrapping_sub(b),
+            BinKind::Mul => a.wrapping_mul(b),
+            BinKind::DivU => {
+                if b == 0 {
+                    return Err(Trap::DivideByZero);
+                }
+                ((a as u64) / (b as u64)) as i64
+            }
+            BinKind::DivS => {
+                if b == 0 || (a == i64::MIN && b == -1) {
+                    return Err(Trap::DivideByZero);
+                }
+                a / b
+            }
+            BinKind::RemU => {
+                if b == 0 {
+                    return Err(Trap::DivideByZero);
+                }
+                ((a as u64) % (b as u64)) as i64
+            }
+            BinKind::And => a & b,
+            BinKind::Or => a | b,
+            BinKind::Xor => a ^ b,
+            BinKind::Shl => a.wrapping_shl(b as u32),
+            BinKind::ShrU => ((a as u64).wrapping_shr(b as u32)) as i64,
+            BinKind::ShrS => a.wrapping_shr(b as u32),
+            BinKind::Eq => (a == b) as i64,
+            BinKind::Ne => (a != b) as i64,
+            BinKind::LtU => ((a as u64) < (b as u64)) as i64,
+            BinKind::LtS => (a < b) as i64,
+            BinKind::GtU => ((a as u64) > (b as u64)) as i64,
+            BinKind::GtS => (a > b) as i64,
+            BinKind::LeU => ((a as u64) <= (b as u64)) as i64,
+            BinKind::GeU => ((a as u64) >= (b as u64)) as i64,
+        })
+    }
+
+    /// The fast dispatch loop: predecoded instructions, `pc` counts
+    /// instructions rather than bytes, and stack-safety checks are debug
+    /// assertions licensed by the abstract interpreter. Fuel charges match
+    /// the checked loop instruction for instruction.
+    fn run_fast(&mut self) -> Result<i64, Trap> {
+        loop {
+            let frame = self.frames.last_mut().ok_or(Trap::Wedged)?;
+            let func = frame.func;
+            let pc = frame.pc;
+            let fast = self.fast.as_ref().expect("fast path has code");
+            let code = &fast[func];
+            if pc >= code.len() {
+                // Defensive, as in the checked loop.
+                if self.ret()? {
+                    return Ok(self.stack.pop().unwrap_or(0));
+                }
+                continue;
+            }
+            let op = code[pc];
+            self.frames.last_mut().expect("frame").pc = pc + 1;
+            self.charge(1)?;
+
+            match op {
+                FastOp::Halt => return Ok(self.stack.pop().unwrap_or(0)),
+                FastOp::Nop => {}
+                FastOp::Unreachable => return Err(Trap::Unreachable),
+                FastOp::Jmp(t) => self.frames.last_mut().expect("frame").pc = t as usize,
+                FastOp::JmpIf(t) => {
+                    if self.pop_fast()? != 0 {
+                        self.frames.last_mut().expect("frame").pc = t as usize;
+                    }
+                }
+                FastOp::JmpIfZ(t) => {
+                    if self.pop_fast()? == 0 {
+                        self.frames.last_mut().expect("frame").pc = t as usize;
+                    }
+                }
+                FastOp::Call(idx) => self.enter(idx as usize)?,
+                FastOp::Ret => {
+                    if self.ret()? {
+                        return Ok(self.stack.pop().unwrap_or(0));
+                    }
+                }
+                FastOp::HostCall(id) => {
+                    if let Some(abort_code) = self.host_call(id)? {
+                        return Err(Trap::HostAbort(abort_code));
+                    }
+                }
+                FastOp::Push(v) => self.push_fast(v),
+                FastOp::LocalGet(n) => {
+                    let slot = self.local_slot(n)?;
+                    let v = self.locals[slot];
+                    self.push_fast(v);
+                }
+                FastOp::LocalSet(n) => {
+                    let slot = self.local_slot(n)?;
+                    let v = self.pop_fast()?;
+                    self.locals[slot] = v;
+                }
+                FastOp::LocalTee(n) => {
+                    let slot = self.local_slot(n)?;
+                    let v = *self.stack.last().ok_or(Trap::Wedged)?;
+                    self.locals[slot] = v;
+                }
+                FastOp::Drop => {
+                    self.pop_fast()?;
+                }
+                FastOp::Dup => {
+                    let v = *self.stack.last().ok_or(Trap::Wedged)?;
+                    self.push_fast(v);
+                }
+                FastOp::Swap => {
+                    let n = self.stack.len();
+                    debug_assert!(n >= 2, "analysis guarantees operands");
+                    if n < 2 {
+                        return Err(Trap::Wedged);
+                    }
+                    self.stack.swap(n - 1, n - 2);
+                }
+                FastOp::Bin(k) => {
+                    let b = self.pop_fast()?;
+                    let a = self.pop_fast()?;
+                    let r = Self::eval_bin(k, a, b)?;
+                    self.push_fast(r);
+                }
+                FastOp::Eqz => {
+                    let v = self.pop_fast()?;
+                    self.push_fast((v == 0) as i64);
+                }
+                FastOp::Load(width) => {
+                    let a = self.pop_fast()?;
+                    let v = self.load(a, width as usize)?;
+                    self.push_fast(v);
+                }
+                FastOp::Store(width) => {
+                    let v = self.pop_fast()?;
+                    let a = self.pop_fast()?;
+                    self.store(a, width as usize, v)?;
+                }
+                FastOp::MemCopy => {
+                    let len = self.pop_fast()?;
+                    let src = self.pop_fast()?;
+                    let dst = self.pop_fast()?;
+                    self.charge(len.max(0) as u64 / COPY_BYTES_PER_FUEL + 1)?;
+                    let (s, _) = self.mem_range(src, len)?;
+                    let (d, _) = self.mem_range(dst, len)?;
+                    self.memory.copy_within(s..s + len as usize, d);
+                }
+                FastOp::MemFill => {
+                    let len = self.pop_fast()?;
+                    let byte = self.pop_fast()?;
+                    let dst = self.pop_fast()?;
+                    self.charge(len.max(0) as u64 / COPY_BYTES_PER_FUEL + 1)?;
+                    let (d, end) = self.mem_range(dst, len)?;
+                    self.memory[d..end].fill(byte as u8);
+                }
+                FastOp::LzCopy => {
+                    let len = self.pop_fast()?;
+                    let src = self.pop_fast()?;
+                    let dst = self.pop_fast()?;
+                    self.charge(len.max(0) as u64 / COPY_BYTES_PER_FUEL + 1)?;
+                    let (s, _) = self.mem_range(src, len)?;
+                    let (d, _) = self.mem_range(dst, len)?;
+                    let n = len as usize;
+                    if d >= s + n || s >= d {
+                        self.memory.copy_within(s..s + n, d);
+                    } else {
+                        for i in 0..n {
+                            self.memory[d + i] = self.memory[s + i];
+                        }
+                    }
+                }
+                FastOp::MemSize => {
+                    let size = self.memory.len() as i64;
+                    self.push_fast(size);
+                }
+            }
+        }
     }
 
     fn branch(&mut self, rel: i32) -> Result<(), Trap> {
@@ -840,8 +1062,7 @@ mod tests {
                 jmp spin
         "#;
         let module = assemble(src).unwrap();
-        let mut m =
-            Machine::new(module, SandboxPolicy::default().with_fuel(10_000)).unwrap();
+        let mut m = Machine::new(module, SandboxPolicy::default().with_fuel(10_000)).unwrap();
         assert_eq!(m.call("main", &[]), Err(Trap::FuelExhausted));
         assert_eq!(m.fuel_remaining(), 0);
     }
@@ -880,11 +1101,8 @@ mod tests {
                 ret
         "#;
         let module = assemble(src).unwrap();
-        let mut m = Machine::new(
-            module,
-            SandboxPolicy::default().with_hosts(&[HostId::Abort]),
-        )
-        .unwrap();
+        let mut m =
+            Machine::new(module, SandboxPolicy::default().with_hosts(&[HostId::Abort])).unwrap();
         assert_eq!(m.call("main", &[]), Err(Trap::HostDenied(HostId::Log.id())));
     }
 

@@ -83,7 +83,8 @@ impl Module {
 
     /// Serializes to the container format.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(64 + self.functions.iter().map(|f| f.code.len()).sum::<usize>());
+        let mut out =
+            Vec::with_capacity(64 + self.functions.iter().map(|f| f.code.len()).sum::<usize>());
         out.extend_from_slice(&MAGIC);
         out.extend_from_slice(&VERSION.to_le_bytes());
         out.extend_from_slice(&self.mem_pages.to_le_bytes());
@@ -161,6 +162,16 @@ impl Module {
     /// carried in `PADMeta`.
     pub fn digest(&self) -> Digest {
         sha1(&self.to_bytes())
+    }
+
+    /// Runs the full admission pipeline (structural verification, then
+    /// abstract interpretation under `policy`) and returns the analyzed
+    /// bundle ready for [`Machine::new_analyzed`](crate::machine::Machine).
+    pub fn analyzed(
+        self,
+        policy: &crate::sandbox::SandboxPolicy,
+    ) -> Result<crate::analysis::AnalyzedModule, crate::error::VerifyError> {
+        crate::analysis::AnalyzedModule::analyze(self, policy)
     }
 }
 
@@ -386,10 +397,7 @@ mod tests {
         // Even with the "right" digest for the tampered bytes, the signature
         // check fires.
         let tampered_digest = signed.digest();
-        assert!(matches!(
-            signed.open(&tampered_digest, &trust),
-            Err(ModuleError::Signature(_))
-        ));
+        assert!(matches!(signed.open(&tampered_digest, &trust), Err(ModuleError::Signature(_))));
     }
 
     #[test]

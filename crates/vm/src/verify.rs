@@ -5,8 +5,9 @@
 //! shown to be *structurally* safe — every opcode decodes, every branch
 //! lands on an instruction boundary inside its own function, every `Call`
 //! names a real function, every local index is in range, every host id is
-//! known. Dynamic properties (stack depth, memory bounds, fuel) are enforced
-//! by the interpreter at run time.
+//! known. Stack discipline, fuel lower bounds, and capability reachability
+//! are proven next by abstract interpretation ([`crate::analysis`]); memory
+//! bounds and the fuel budget are enforced by the interpreter at run time.
 
 use std::collections::HashSet;
 
@@ -39,16 +40,13 @@ fn verify_function(module: &Module, idx: usize, func: &Function) -> Result<(), V
         decoded.push((pc, op, next));
         pc = next;
     }
-    // End-of-code is a valid branch target only if the body cannot fall
-    // through there; we treat it as invalid and also require an explicit
-    // terminator before it.
+    // One code-end rule covers both ways control could leave the body:
+    // no branch may target end-of-code (or beyond), and the final
+    // instruction must be a terminator so execution cannot fall off the
+    // end. Empty bodies fail the terminator half of the rule.
     let code_end = func.code.len();
-
-    // A body is allowed to be empty only if it can never execute… which it
-    // can, so empty bodies are rejected via the fall-off check below.
     match decoded.last() {
         Some((_, op, _)) if is_terminator(op) => {}
-        Some((_, Op::Jmp(_), _)) => {}
         _ => return Err(VerifyError::MissingTerminator { func: idx }),
     }
 
@@ -63,18 +61,15 @@ fn verify_function(module: &Module, idx: usize, func: &Function) -> Result<(), V
                     return Err(VerifyError::WildJump { func: idx, at, target });
                 }
             }
-            Op::Call(callee)
-                if callee as usize >= module.functions.len() => {
-                    return Err(VerifyError::BadCallTarget { func: idx, at, callee });
-                }
-            Op::LocalGet(n) | Op::LocalSet(n) | Op::LocalTee(n)
-                if n as u16 >= n_slots => {
-                    return Err(VerifyError::BadLocal { func: idx, at, local: n });
-                }
-            Op::HostCall(id)
-                if HostId::from_id(id).is_none() => {
-                    return Err(VerifyError::UnknownHost { func: idx, at, id });
-                }
+            Op::Call(callee) if callee as usize >= module.functions.len() => {
+                return Err(VerifyError::BadCallTarget { func: idx, at, callee });
+            }
+            Op::LocalGet(n) | Op::LocalSet(n) | Op::LocalTee(n) if n as u16 >= n_slots => {
+                return Err(VerifyError::BadLocal { func: idx, at, local: n });
+            }
+            Op::HostCall(id) if HostId::from_id(id).is_none() => {
+                return Err(VerifyError::UnknownHost { func: idx, at, id });
+            }
             _ => {}
         }
     }
@@ -155,10 +150,7 @@ mod tests {
         Op::Call(7).encode(&mut code);
         Op::Ret.encode(&mut code);
         let m = raw_module(code, 0, 0);
-        assert!(matches!(
-            verify_module(&m),
-            Err(VerifyError::BadCallTarget { callee: 7, .. })
-        ));
+        assert!(matches!(verify_module(&m), Err(VerifyError::BadCallTarget { callee: 7, .. })));
     }
 
     #[test]

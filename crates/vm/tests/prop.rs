@@ -170,10 +170,8 @@ proptest! {
 fn truncation_fuzz_on_real_pad_module() {
     // Exhaustively truncate a real PAD container: every prefix must parse
     // as an error, never panic.
-    let src = fractal_vm::asm::assemble(
-        ".memory 2\n.func decode args=6 locals=2\n push 0\n ret\n",
-    )
-    .unwrap();
+    let src = fractal_vm::asm::assemble(".memory 2\n.func decode args=6 locals=2\n push 0\n ret\n")
+        .unwrap();
     let bytes = src.to_bytes();
     for cut in 0..bytes.len() {
         assert!(Module::from_bytes(&bytes[..cut]).is_err());

@@ -35,7 +35,9 @@ impl Image {
                 (
                     rng.gen_range(0.0..width as f64),
                     rng.gen_range(0.0..height as f64),
-                    rng.gen_range((width.min(height) as f64) * 0.05..(width.min(height) as f64) * 0.3),
+                    rng.gen_range(
+                        (width.min(height) as f64) * 0.05..(width.min(height) as f64) * 0.3,
+                    ),
                     rng.gen_range(500.0..8000.0),
                 )
             })
@@ -101,19 +103,13 @@ impl Image {
         if body.len() != width * height * 2 {
             return None;
         }
-        let pixels =
-            body.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
+        let pixels = body.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect();
         Some(Image { width, height, pixels })
     }
 
     /// Fraction of pixels differing from `other` (same dimensions assumed).
     pub fn diff_fraction(&self, other: &Image) -> f64 {
-        let differing = self
-            .pixels
-            .iter()
-            .zip(&other.pixels)
-            .filter(|(a, b)| a != b)
-            .count();
+        let differing = self.pixels.iter().zip(&other.pixels).filter(|(a, b)| a != b).count();
         differing as f64 / self.pixels.len().max(1) as f64
     }
 }
@@ -143,10 +139,7 @@ mod tests {
         let bytes = img.to_bytes();
         // 4 such images ≈ 130 KB, per the paper.
         let four = bytes.len() * 4;
-        assert!(
-            (120_000..140_000).contains(&four),
-            "4 images = {four} bytes, want ≈130KB"
-        );
+        assert!((120_000..140_000).contains(&four), "4 images = {four} bytes, want ≈130KB");
     }
 
     #[test]

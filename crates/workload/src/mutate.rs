@@ -66,10 +66,10 @@ pub fn mutate_text(old: &[u8], seed: u64, profile: EditProfile) -> Vec<u8> {
             let mut out = old.to_vec();
             let fresh = text::generate(seed.wrapping_add(2), 160);
             let insert_at = rng.gen_range(0..=out.len());
-            let sentence = &fresh[52..fresh.len().min(52 + rng.gen_range(40..120))];
+            let sentence = &fresh[52..fresh.len().min(52 + rng.gen_range(40usize..120))];
             out.splice(insert_at..insert_at, sentence.iter().copied());
             if out.len() > 400 {
-                let del = rng.gen_range(10..80);
+                let del = rng.gen_range(10usize..80);
                 let at = rng.gen_range(0..out.len() - del);
                 out.drain(at..at + del);
             }
@@ -107,12 +107,7 @@ pub fn mutate_images(images: &mut [Image], seed: u64, profile: EditProfile) {
         EditProfile::Churn => {
             // Fully new renders.
             for (i, img) in images.iter_mut().enumerate() {
-                *img = Image::render(
-                    seed.wrapping_add(5000 + i as u64),
-                    img.width,
-                    img.height,
-                    6,
-                );
+                *img = Image::render(seed.wrapping_add(5000 + i as u64), img.width, img.height, 6);
             }
         }
     }
@@ -153,12 +148,9 @@ mod tests {
         let mut images: Vec<Image> = (0..4).map(standard_view).collect();
         let before = images.clone();
         mutate_images(&mut images, 7, EditProfile::Localized);
-        let total_diff: f64 = images
-            .iter()
-            .zip(&before)
-            .map(|(a, b)| a.diff_fraction(b))
-            .sum::<f64>()
-            / images.len() as f64;
+        let total_diff: f64 =
+            images.iter().zip(&before).map(|(a, b)| a.diff_fraction(b)).sum::<f64>()
+                / images.len() as f64;
         assert!(total_diff > 0.0 && total_diff < 0.15, "diff {total_diff}");
     }
 

@@ -112,10 +112,7 @@ mod tests {
         let sizes: Vec<usize> = (0..75).map(|i| set.original(i).size()).collect();
         let avg = sizes.iter().sum::<usize>() / sizes.len();
         // "average size of about 135KB"
-        assert!(
-            (128_000..145_000).contains(&avg),
-            "average page size {avg}, want ≈135KB"
-        );
+        assert!((128_000..145_000).contains(&avg), "average page size {avg}, want ≈135KB");
     }
 
     #[test]

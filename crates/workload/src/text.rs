@@ -10,12 +10,49 @@ use rand::{Rng, SeedableRng};
 
 /// A compact medical-flavoured vocabulary; Zipf rank order.
 const VOCAB: &[&str] = &[
-    "the", "of", "and", "in", "to", "image", "patient", "scan", "view", "axial",
-    "study", "series", "contrast", "left", "right", "region", "tissue", "normal",
-    "lesion", "volume", "slice", "cranial", "report", "finding", "margin",
-    "density", "signal", "lateral", "anterior", "posterior", "segment", "surgery",
-    "guidance", "resolution", "protocol", "acquisition", "reconstruction",
-    "ventricle", "hemisphere", "tumor", "biopsy", "catheter", "angiogram",
+    "the",
+    "of",
+    "and",
+    "in",
+    "to",
+    "image",
+    "patient",
+    "scan",
+    "view",
+    "axial",
+    "study",
+    "series",
+    "contrast",
+    "left",
+    "right",
+    "region",
+    "tissue",
+    "normal",
+    "lesion",
+    "volume",
+    "slice",
+    "cranial",
+    "report",
+    "finding",
+    "margin",
+    "density",
+    "signal",
+    "lateral",
+    "anterior",
+    "posterior",
+    "segment",
+    "surgery",
+    "guidance",
+    "resolution",
+    "protocol",
+    "acquisition",
+    "reconstruction",
+    "ventricle",
+    "hemisphere",
+    "tumor",
+    "biopsy",
+    "catheter",
+    "angiogram",
 ];
 
 /// Generates roughly `target_bytes` of HTML-ish text, seeded.

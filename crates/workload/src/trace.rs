@@ -51,12 +51,7 @@ impl Trace {
                 let page = rng.gen_range(0..self.n_pages);
                 let want_version = rng.gen_range(1..4);
                 let warm = rng.gen_bool(self.warm_fraction);
-                Request {
-                    client,
-                    page,
-                    have_version: warm.then(|| want_version - 1),
-                    want_version,
-                }
+                Request { client, page, have_version: warm.then(|| want_version - 1), want_version }
             })
             .collect()
     }

@@ -38,8 +38,14 @@ fn main() {
             client.store_content(p, 0, v0);
 
             let report = run_session(
-                &mut client, &mut tb.proxy, &mut tb.server, &tb.pad_repo,
-                &link, tb.app_id, p, 1,
+                &mut client,
+                &mut tb.proxy,
+                &mut tb.server,
+                &tb.pad_repo,
+                &link,
+                tb.app_id,
+                p,
+                1,
             )
             .expect("session runs");
             total += report.total();

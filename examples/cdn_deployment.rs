@@ -65,7 +65,10 @@ fn main() {
         let sd = RetrievalStats::compute(&dep_d.retrieve_batch(&topo, &origin, &requests)).unwrap();
         println!(
             "{:>7}  {:>17}  {:>17}  {:>16}",
-            n, sc.mean.to_string(), sd.mean.to_string(), sd.p95.to_string()
+            n,
+            sc.mean.to_string(),
+            sd.mean.to_string(),
+            sd.p95.to_string()
         );
     }
 

@@ -12,10 +12,10 @@
 //! ```
 
 use fractal::core::meta::{AppId, AppMeta, PadId, PadMeta, PadOverhead};
-use fractal::core::overhead::OverheadModel;
-use fractal::core::presets::{paper_ratios, pad_id, pad_overhead};
-use fractal::core::proxy::AdaptationProxy;
 use fractal::core::meta::{ClientEnv, CpuType, DevMeta, NtwkMeta, OsType};
+use fractal::core::overhead::OverheadModel;
+use fractal::core::presets::{pad_id, pad_overhead, paper_ratios};
+use fractal::core::proxy::AdaptationProxy;
 use fractal::crypto::sign::{SignerRegistry, TrustStore};
 use fractal::net::link::LinkKind;
 use fractal::pads::runtime::PadRuntime;
@@ -248,9 +248,8 @@ fn main() {
     verify_module(&opened).expect("verifies");
     let mut runtime = PadRuntime::new(opened, SandboxPolicy::for_pads()).expect("deploys");
 
-    let telemetry: Vec<u8> = (0..200_000u32)
-        .map(|i| if i % 100 < 90 { 0u8 } else { (i / 100) as u8 })
-        .collect();
+    let telemetry: Vec<u8> =
+        (0..200_000u32).map(|i| if i % 100 < 90 { 0u8 } else { (i / 100) as u8 }).collect();
     let payload = rle_encode(&telemetry);
     let decoded = runtime.decode(&[], &payload).expect("mobile code decodes");
     assert_eq!(decoded, telemetry);

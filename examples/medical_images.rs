@@ -16,10 +16,7 @@ fn main() {
     println!("One 3D view image: {} bytes\n", standard_view(1).to_bytes().len());
 
     let pages = PageSet::new(42, 4);
-    println!(
-        "{:<22} {:>12} {:>12} {:>12}",
-        "protocol", "localized", "shifting", "churn"
-    );
+    println!("{:<22} {:>12} {:>12} {:>12}", "protocol", "localized", "shifting", "churn");
     println!("{}", "-".repeat(62));
     for protocol in ProtocolId::PAPER_FOUR {
         let codec = codec_for(protocol);

@@ -29,13 +29,21 @@ fn main() {
     let mut peer_b = tb.client(ClientClass::PdaBluetooth);
     let link_b = ClientClass::PdaBluetooth.link();
     let r1 = run_session(
-        &mut peer_b, &mut tb.proxy, &mut tb.server, &tb.pad_repo,
-        &link_b, tb.app_id, 1, 0,
+        &mut peer_b,
+        &mut tb.proxy,
+        &mut tb.server,
+        &tb.pad_repo,
+        &link_b,
+        tb.app_id,
+        1,
+        0,
     )
     .expect("B pulls from A");
     println!(
-        "B ← A: {} via {} ({} B on the wire, {})",
-        "dataset", r1.protocol, r1.traffic.total(), r1.total()
+        "B ← A: dataset via {} ({} B on the wire, {})",
+        r1.protocol,
+        r1.traffic.total(),
+        r1.total()
     );
 
     // Direction 2: A pulls B's notes. Peer B's serving half publishes into
@@ -45,19 +53,24 @@ fn main() {
     let mut peer_a = tb.client(ClientClass::DesktopLan);
     let link_a = ClientClass::DesktopLan.link();
     let r2 = run_session(
-        &mut peer_a, &mut tb.proxy, &mut tb.server, &tb.pad_repo,
-        &link_a, tb.app_id, 2, 0,
+        &mut peer_a,
+        &mut tb.proxy,
+        &mut tb.server,
+        &tb.pad_repo,
+        &link_a,
+        tb.app_id,
+        2,
+        0,
     )
     .expect("A pulls from B");
     println!(
-        "A ← B: {} via {} ({} B on the wire, {})",
-        "notes", r2.protocol, r2.traffic.total(), r2.total()
+        "A ← B: notes via {} ({} B on the wire, {})",
+        r2.protocol,
+        r2.traffic.total(),
+        r2.total()
     );
 
-    assert_ne!(
-        r1.protocol, r2.protocol,
-        "each direction adapts to its receiver"
-    );
+    assert_ne!(r1.protocol, r2.protocol, "each direction adapts to its receiver");
     println!(
         "\nSame application, same proxy, opposite directions: each peer's\n\
          receive path negotiated its own protocol ({} for the PDA side,\n\

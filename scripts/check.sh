@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# Repo-wide hygiene gate: formatting, lints, and the full test suite.
+# Run from the repository root before sending a change out for review.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q (tier-1: root package)"
+cargo test -q
+
+# The full workspace suite (cargo test -q --workspace) additionally runs the
+# figure-regeneration tier; see CHANGES.md for the known calibration baseline
+# there before treating a red run as a regression.
+
+echo "All checks passed."

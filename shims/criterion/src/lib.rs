@@ -1,0 +1,262 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace benches
+//! use — `criterion_group!`/`criterion_main!`, `Criterion::bench_function`,
+//! benchmark groups with throughput, `Bencher::iter`/`iter_batched` — as a
+//! plain wall-clock harness. Each benchmark is warmed up, then sampled; the
+//! median per-iteration time (and throughput when declared) is printed.
+//! When cargo invokes the bench binary with `--test` (as `cargo test` does
+//! for `harness = false` targets), every benchmark body runs exactly once
+//! so the suite doubles as a smoke test without burning minutes of timing.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const WARMUP_ITERS: u64 = 3;
+const SAMPLES: usize = 15;
+
+/// How a batched benchmark sizes its input batches. The shim runs one
+/// setup per measured iteration regardless of variant.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Units processed per iteration, used to report throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from the parameter's `Display` form.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher<'a> {
+    test_mode: bool,
+    samples: &'a mut Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, called repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine());
+        }
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if self.test_mode {
+            black_box(routine(setup()));
+            return;
+        }
+        for _ in 0..WARMUP_ITERS {
+            black_box(routine(setup()));
+        }
+        for _ in 0..SAMPLES {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    fn run_one<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::new();
+        let mut b = Bencher { test_mode: self.test_mode, samples: &mut samples };
+        f(&mut b);
+        if self.test_mode {
+            println!("{name}: ok (test mode)");
+            return;
+        }
+        samples.sort();
+        let median = samples.get(samples.len() / 2).copied().unwrap_or_default();
+        match throughput {
+            Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+                let mib_s = n as f64 / (1 << 20) as f64 / (median.as_nanos() as f64 / 1e9);
+                println!("{name}: median {median:?} ({mib_s:.1} MiB/s)");
+            }
+            Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+                let elem_s = n as f64 / (median.as_nanos() as f64 / 1e9);
+                println!("{name}: median {median:?} ({elem_s:.0} elem/s)");
+            }
+            _ => println!("{name}: median {median:?}"),
+        }
+    }
+
+    /// Benchmarks a single named routine.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name, None, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the units processed per iteration for all members.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim's sample count is fixed.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks a routine parameterised by `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&name, throughput, |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks an unparameterised member routine.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let name = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&name, throughput, f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Declares a group function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut samples = Vec::new();
+        let mut b = Bencher { test_mode: false, samples: &mut samples };
+        let mut n = 0u64;
+        b.iter(|| n += 1);
+        assert_eq!(samples.len(), SAMPLES);
+        assert_eq!(n, WARMUP_ITERS + SAMPLES as u64);
+    }
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut samples = Vec::new();
+        let mut b = Bencher { test_mode: true, samples: &mut samples };
+        let mut n = 0u64;
+        b.iter_batched(|| 1u64, |x| n += x, BatchSize::SmallInput);
+        assert_eq!(n, 1);
+        assert!(samples.is_empty());
+    }
+}

@@ -16,8 +16,7 @@ const PAGES: u32 = 4;
 fn publish_pages(tb: &mut Testbed, pages: &PageSet) {
     for p in 0..pages.len() {
         tb.server.publish(p, pages.original(p).to_bytes());
-        tb.server
-            .publish(p, pages.version(p, 1, EditProfile::Localized).to_bytes());
+        tb.server.publish(p, pages.version(p, 1, EditProfile::Localized).to_bytes());
     }
 }
 
@@ -91,11 +90,25 @@ fn warm_differencing_sessions_save_traffic_on_slow_links() {
     let link = ClientClass::PdaBluetooth.link();
 
     let cold = run_session(
-        &mut client, &mut tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0,
+        &mut client,
+        &mut tb.proxy,
+        &mut tb.server,
+        &tb.pad_repo,
+        &link,
+        tb.app_id,
+        0,
+        0,
     )
     .unwrap();
     let warm = run_session(
-        &mut client, &mut tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 1,
+        &mut client,
+        &mut tb.proxy,
+        &mut tb.server,
+        &tb.pad_repo,
+        &link,
+        tb.app_id,
+        0,
+        1,
     )
     .unwrap();
     assert!(
@@ -119,7 +132,14 @@ fn environment_change_renegotiates_and_changes_protocol() {
     let mut desktop = tb.client(ClientClass::DesktopLan);
     let link = ClientClass::DesktopLan.link();
     let r1 = run_session(
-        &mut desktop, &mut tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0,
+        &mut desktop,
+        &mut tb.proxy,
+        &mut tb.server,
+        &tb.pad_repo,
+        &link,
+        tb.app_id,
+        0,
+        0,
     )
     .unwrap();
     assert_eq!(r1.protocol, ProtocolId::Direct);
@@ -127,10 +147,9 @@ fn environment_change_renegotiates_and_changes_protocol() {
     // Same person, now on the PDA: a new environment probes differently.
     let mut pda = tb.client(ClientClass::PdaBluetooth);
     let link = ClientClass::PdaBluetooth.link();
-    let r2 = run_session(
-        &mut pda, &mut tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0,
-    )
-    .unwrap();
+    let r2 =
+        run_session(&mut pda, &mut tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0)
+            .unwrap();
     assert_eq!(r2.protocol, ProtocolId::Bitmap);
 
     // The proxy cached both environments independently.
@@ -148,7 +167,14 @@ fn proactive_server_mode_flips_pda_protocol_end_to_end() {
     let mut client = tb.client(ClientClass::PdaBluetooth);
     let link = ClientClass::PdaBluetooth.link();
     let report = run_session(
-        &mut client, &mut tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 1,
+        &mut client,
+        &mut tb.proxy,
+        &mut tb.server,
+        &tb.pad_repo,
+        &link,
+        tb.app_id,
+        0,
+        1,
     )
     .unwrap();
     assert_eq!(report.protocol, ProtocolId::VaryBlock);
@@ -163,7 +189,14 @@ fn five_protocol_testbed_with_extension() {
     let mut client = tb.client(ClientClass::LaptopWlan);
     let link = ClientClass::LaptopWlan.link();
     let report = run_session(
-        &mut client, &mut tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0,
+        &mut client,
+        &mut tb.proxy,
+        &mut tb.server,
+        &tb.pad_repo,
+        &link,
+        tb.app_id,
+        0,
+        0,
     )
     .unwrap();
     // With five leaves the negotiation still runs and picks something

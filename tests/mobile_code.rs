@@ -58,8 +58,7 @@ fn upstream_builders_match_native_on_real_content() {
     let mut bitmap_rt = runtime(ProtocolId::Bitmap);
     let bs = fractal::protocols::bitmap::DEFAULT_BLOCK_SIZE;
     let vm_msg = bitmap_rt.upstream("digests", &old, bs as u32).unwrap();
-    let native_msg =
-        fractal::protocols::bitmap::Bitmap::with_block_size(bs).upstream_message(&old);
+    let native_msg = fractal::protocols::bitmap::Bitmap::with_block_size(bs).upstream_message(&old);
     assert_eq!(vm_msg, native_msg);
 
     let mut fixed_rt = runtime(ProtocolId::FixedBlock);

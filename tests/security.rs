@@ -2,15 +2,16 @@
 //! attack — tampering, untrusted signers, malformed modules, hostile
 //! bytecode, and sandbox escapes.
 
-use fractal::core::presets::{pad_id, pad_overhead, ClientClass};
+use fractal::core::client::FractalClient;
 use fractal::core::meta::{PadId, PadMeta};
+use fractal::core::presets::{pad_id, pad_overhead, ClientClass};
 use fractal::core::server::AdaptiveContentMode;
 use fractal::core::testbed::Testbed;
 use fractal::core::FractalError;
 use fractal::crypto::sign::{Signer, SignerRegistry};
 use fractal::pads::artifact::build_pad;
 use fractal::protocols::ProtocolId;
-use fractal::vm::{assemble, Machine, SandboxPolicy, SignedModule, Trap};
+use fractal::vm::{assemble, Machine, SandboxPolicy, SignedModule, Trap, VerifyError};
 
 fn meta_for(artifact: &fractal::pads::PadArtifact, id: PadId) -> PadMeta {
     PadMeta {
@@ -34,17 +35,13 @@ fn bit_flips_anywhere_in_the_artifact_are_rejected() {
 
     // Flip one bit at a spread of positions including the signature,
     // header, code, and tail.
-    let positions: Vec<usize> =
-        (0..wire.len()).step_by((wire.len() / 23).max(1)).collect();
+    let positions: Vec<usize> = (0..wire.len()).step_by((wire.len() / 23).max(1)).collect();
     for pos in positions {
         let mut client = tb.client(ClientClass::LaptopWlan);
         let mut tampered = wire.clone();
         tampered[pos] ^= 0x01;
         let err = client.deploy_pad(&meta, &tampered).unwrap_err();
-        assert!(
-            matches!(err, FractalError::PadRejected(_)),
-            "flip at {pos} produced {err:?}"
-        );
+        assert!(matches!(err, FractalError::PadRejected(_)), "flip at {pos} produced {err:?}");
         assert!(!client.is_deployed(meta.id));
     }
 }
@@ -132,13 +129,17 @@ fn sandbox_policy_denies_unneeded_intrinsics() {
     };
     assert_eq!(client.decode_content(meta.id, 1, &payload).unwrap(), b"hello");
 
-    // But the bitmap PAD's digests entry needs sha1 and must be denied.
+    // But the bitmap PAD's digests entry reaches sha1, and the analyzer
+    // proves it: the PAD is rejected at deploy time, before any of its
+    // code has run.
     let bitmap = build_pad(ProtocolId::Bitmap, &tb.signer);
     let bmeta = meta_for(&bitmap, pad_id(ProtocolId::Bitmap));
-    client.deploy_pad(&bmeta, &bitmap.signed.to_wire()).unwrap();
-    client.store_content(2, 0, vec![1u8; 4096]);
-    let err = client.upstream_message(bmeta.id, ProtocolId::Bitmap, 2).unwrap_err();
-    assert!(matches!(err, FractalError::PadRuntime(_)), "{err:?}");
+    let err = client.deploy_pad(&bmeta, &bitmap.signed.to_wire()).unwrap_err();
+    assert!(
+        matches!(err, FractalError::PadUnverifiable(VerifyError::CapabilityViolation { .. })),
+        "{err:?}"
+    );
+    assert!(!client.is_deployed(bmeta.id));
 }
 
 #[test]
@@ -155,6 +156,161 @@ fn revoking_trust_blocks_future_deployments() {
     let other = build_pad(ProtocolId::Bitmap, &tb.signer);
     let ometa = meta_for(&other, pad_id(ProtocolId::Bitmap));
     assert!(client.deploy_pad(&ometa, &other.signed.to_wire()).is_err());
+}
+
+/// Signs `src` with the testbed's trusted key and runs it through the full
+/// client acceptance gauntlet, returning the rejection. The signature and
+/// digest are *valid* — these modules attack the static analyzer, not the
+/// crypto.
+fn deploy_hostile(src: &str, tweak: impl FnOnce(&mut FractalClient)) -> FractalError {
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let module = assemble(src).unwrap_or_else(|e| panic!("hostile source must assemble: {e}"));
+    let signed = SignedModule::sign(&module, &tb.signer);
+    let meta = PadMeta {
+        id: PadId(99),
+        protocol: ProtocolId::Direct,
+        size: signed.wire_len() as u32,
+        overhead: pad_overhead(ProtocolId::Direct),
+        digest: signed.digest(),
+        url: String::new(),
+        parent: None,
+        children: vec![],
+    };
+    let mut client = tb.client(ClientClass::DesktopLan);
+    tweak(&mut client);
+    let err = client.deploy_pad(&meta, &signed.to_wire()).unwrap_err();
+    assert!(!client.is_deployed(meta.id));
+    assert_eq!(client.stats().pads_rejected, 1);
+    err
+}
+
+#[test]
+fn stack_underflow_is_rejected_statically() {
+    // Structurally valid (decodes, terminates) but pops an empty stack.
+    let err = deploy_hostile(".memory 1\n.func decode args=0 locals=0\n drop\n ret\n", |_| {});
+    assert!(
+        matches!(err, FractalError::PadUnverifiable(VerifyError::StackUnderflow { .. })),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn push_loop_stack_bomb_is_rejected_statically() {
+    // Each iteration leaks one value onto the operand stack; the runtime
+    // would only notice at the stack limit, the analyzer notices at the
+    // loop head (heights 0 and 1 merge).
+    let err = deploy_hostile(
+        ".memory 1\n.func decode args=0 locals=0\nhot:\n push 1\n jmp hot\n",
+        |_| {},
+    );
+    assert!(
+        matches!(err, FractalError::PadUnverifiable(VerifyError::HeightMismatch { .. })),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn stack_height_beyond_policy_is_rejected_statically() {
+    // Straight-line code whose peak height exceeds the client's sandbox
+    // stack bound — no loop needed, the dataflow maximum is enough.
+    let mut src = String::from(".memory 1\n.func decode args=0 locals=0\n");
+    for _ in 0..5 {
+        src.push_str(" push 1\n");
+    }
+    src.push_str(" ret\n");
+    let err = deploy_hostile(&src, |client| client.policy.max_stack = 4);
+    assert!(
+        matches!(err, FractalError::PadUnverifiable(VerifyError::StackLimit { .. })),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn never_completing_pad_is_rejected_as_infeasible() {
+    // Every path loops forever: the proven minimum fuel is infinite, so no
+    // budget can admit it — rejected before instantiation rather than
+    // discovered by fuel exhaustion on the first decode.
+    let err = deploy_hostile(".memory 1\n.func decode args=0 locals=0\nhot:\n jmp hot\n", |_| {});
+    assert!(matches!(err, FractalError::PadInfeasible { .. }), "{err:?}");
+}
+
+mod analyzer_soundness {
+    //! Property: whatever the analyzer admits never trips an operand-stack
+    //! trap at run time, and the fast path agrees with the checked
+    //! interpreter on both result and fuel.
+
+    use fractal::vm::{Function, Machine, Module, Op, SandboxPolicy, Trap};
+    use proptest::prelude::*;
+
+    /// Maps two random bytes to an instruction from a pool weighted toward
+    /// pushes so a useful fraction of sequences pass the analyzer.
+    fn op_from(sel: u8, imm: i8) -> Op {
+        match sel % 24 {
+            0..=7 => Op::PushI8(imm),
+            8 => Op::Drop,
+            9 => Op::Dup,
+            10 => Op::Swap,
+            11 => Op::Add,
+            12 => Op::Sub,
+            13 => Op::Mul,
+            14 => Op::And,
+            15 => Op::Or,
+            16 => Op::Xor,
+            17 => Op::Eqz,
+            18 => Op::Nop,
+            19 => Op::LocalGet(imm as u8 % 3),
+            20 => Op::LocalSet(imm as u8 % 3),
+            21 => Op::LocalTee(imm as u8 % 3),
+            22 => Op::MemSize,
+            _ => Op::Load8,
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn admitted_modules_never_stack_trap(
+            raw in proptest::collection::vec((0u8..=255u8, -128i8..=127i8), 0..40)
+        ) {
+            let mut code = Vec::new();
+            for (sel, imm) in raw {
+                op_from(sel, imm).encode(&mut code);
+            }
+            Op::Ret.encode(&mut code);
+            let module = Module {
+                mem_pages: 1,
+                functions: vec![Function {
+                    name: "f".into(),
+                    n_args: 0,
+                    n_locals: 3,
+                    code,
+                }],
+                data: vec![],
+            };
+            let policy = SandboxPolicy::for_pads().with_fuel(100_000);
+            // Rejected modules are outside the property; admitted ones must
+            // uphold it.
+            if let Ok(analyzed) = module.clone().analyzed(&policy) {
+                let min_fuel = analyzed.analysis.functions[0].min_fuel;
+                let mut fast = Machine::new_analyzed(analyzed, policy.clone()).unwrap();
+                let fast_res = fast.call("f", &[]);
+                let mut checked = Machine::new(module, policy).unwrap();
+                let checked_res = checked.call("f", &[]);
+                prop_assert_eq!(&fast_res, &checked_res);
+                prop_assert_eq!(fast.fuel_used(), checked.fuel_used());
+                prop_assert!(
+                    !matches!(
+                        fast_res,
+                        Err(Trap::StackUnderflow | Trap::StackOverflow | Trap::Wedged)
+                    ),
+                    "stack discipline violated at run time: {:?}",
+                    fast_res
+                );
+                if fast_res.is_ok() {
+                    prop_assert!(fast.fuel_used() >= min_fuel, "min_fuel was not a lower bound");
+                }
+            }
+        }
+    }
 }
 
 #[test]
