@@ -12,7 +12,7 @@ fn bench_negotiation(c: &mut Criterion) {
     c.bench_function("negotiate_cache_miss", |b| {
         b.iter_batched(
             || Testbed::case_study(AdaptiveContentMode::Reactive),
-            |mut tb| tb.proxy.negotiate(tb.app_id, env).unwrap(),
+            |tb| tb.proxy.negotiate(tb.app_id, env).unwrap(),
             criterion::BatchSize::SmallInput,
         )
     });

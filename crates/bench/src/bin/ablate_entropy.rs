@@ -27,14 +27,14 @@ fn main() {
         [("gzip (LZ77 only)", &Gzip as &dyn DiffCodec), ("deflate (LZ77+Huffman)", &Deflate)]
     {
         let t0 = Instant::now();
-        let payloads: Vec<Vec<u8>> = contents.iter().map(|c| codec.encode(&[], c)).collect();
+        let payloads: Vec<_> = contents.iter().map(|c| codec.encode(&[], c)).collect();
         let enc = t0.elapsed();
         let t0 = Instant::now();
         for (c, p) in contents.iter().zip(&payloads) {
             assert_eq!(&codec.decode(&[], p).unwrap(), c);
         }
         let dec = t0.elapsed();
-        let wire: usize = payloads.iter().map(Vec::len).sum();
+        let wire: usize = payloads.iter().map(|p| p.len()).sum();
         println!(
             "{:<24} {:>8.1} KB wire ({:>4.1}%)   encode {:>7.1} ms   decode {:>7.1} ms",
             name,

@@ -33,8 +33,7 @@ fn main() {
         let codec = codec_for(protocol);
 
         // Warm up and collect payloads.
-        let payloads: Vec<Vec<u8>> =
-            pairs.iter().map(|(old, new)| codec.encode(old, new)).collect();
+        let payloads: Vec<_> = pairs.iter().map(|(old, new)| codec.encode(old, new)).collect();
         let wire: u64 = payloads.iter().map(|p| p.len() as u64).sum::<u64>()
             + pairs.iter().map(|(old, _)| codec.upstream_bytes(old.len())).sum::<u64>();
         let content: u64 = pairs.iter().map(|(_, new)| new.len() as u64).sum();

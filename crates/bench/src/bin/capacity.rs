@@ -1,14 +1,15 @@
 //! System-capacity extension: server throughput knee per protocol.
 
-use fractal_bench::capacity::{knee_per_protocol, run_point, service_time};
+use fractal_bench::capacity::{knee_per_protocol_threads, run_point, service_time};
 use fractal_bench::report::render_table;
 
 fn main() {
     println!("System capacity: server compute queue (2 workers, 2.8 GHz), 135 KB pages\n");
 
-    let rows: Vec<Vec<String>> = knee_per_protocol()
-        .into_iter()
-        .map(|(p, knee)| {
+    let knees = knee_per_protocol_threads(2);
+    let rows: Vec<Vec<String>> = knees
+        .iter()
+        .map(|&(p, knee)| {
             vec![
                 p.name().to_string(),
                 format!("{:.1}", service_time(p).as_millis_f64()),
@@ -33,4 +34,19 @@ fn main() {
          requests/second — the capacity argument behind proactive adaptive\n\
          content and behind disqualifying Vary in Figure 10."
     );
+
+    let mut json = String::from("{\n  \"bench\": \"capacity\",\n  \"knees\": [\n");
+    for (i, (p, knee)) in knees.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"protocol\": \"{}\", \"server_ms_per_page\": {:.1}, \
+             \"max_sustainable_rps\": {:.0}}}{}\n",
+            p.name(),
+            service_time(*p).as_millis_f64(),
+            knee,
+            if i + 1 < knees.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_capacity.json", json).expect("write benchmark JSON");
+    println!("\nwrote BENCH_capacity.json");
 }

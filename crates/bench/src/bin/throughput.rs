@@ -1,0 +1,170 @@
+//! End-to-end throughput of the concurrent negotiation engine.
+//!
+//! Two passes per thread count (1, 2, 4, 8):
+//!
+//! * **negotiations/sec** — the Fig. 9(a) mixed-client environment stream
+//!   hammering one shared sharded [`AdaptationProxy`] through the
+//!   work-stealing driver (wall-clock, not simulated time);
+//! * **session-bytes/sec** — independent warm sessions (real encoders,
+//!   real FVM decoding) pushing workload pages through the zero-copy
+//!   payload pipeline; the rate counts delivered content plus wire bytes.
+//!
+//! Every negotiation's adaptation decision is fingerprinted and compared
+//! across thread counts — the run aborts if any decision diverges from the
+//! single-thread oracle. Results land in `BENCH_throughput.json` (skipped
+//! under `--smoke`, the CI gate mode, which also trims the sweep to 1–2
+//! threads).
+
+use std::time::Instant;
+
+use fractal_bench::fig9a::client_env;
+use fractal_bench::parallel::{self, THREAD_SWEEP};
+use fractal_bench::report::render_table;
+use fractal_bench::workbench::WORKLOAD_SEED;
+use fractal_core::presets::ClientClass;
+use fractal_core::server::AdaptiveContentMode;
+use fractal_core::session::run_session;
+use fractal_core::testbed::Testbed;
+use fractal_workload::mutate::EditProfile;
+use fractal_workload::PageSet;
+
+struct Row {
+    threads: usize,
+    negotiations_per_sec: f64,
+    bytes_per_sec: f64,
+    speedup: f64,
+}
+
+/// Times `n` negotiations over the mixed-client stream on `n_threads`
+/// workers against one shared proxy. Returns the rate and the per-client
+/// decision fingerprints (order-sensitive FNV over pad ids + protocols).
+fn negotiation_pass(n_threads: usize, n: usize) -> (f64, Vec<u64>) {
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let proxy = &tb.proxy;
+    let app_id = tb.app_id;
+    let start = Instant::now();
+    let decisions = parallel::run_indexed(n_threads, n, |i| {
+        let pads = proxy.negotiate(app_id, client_env(i)).expect("negotiation succeeds");
+        pads.iter().fold(0xcbf2_9ce4_8422_2325_u64, |h, p| {
+            (h ^ p.id.0 ^ ((p.protocol as u64) << 32)).wrapping_mul(0x100_0000_01b3)
+        })
+    });
+    (n as f64 / start.elapsed().as_secs_f64(), decisions)
+}
+
+/// One independent session item: a fresh testbed serving `n_pages` warm
+/// pages to one client class. Returns bytes moved (delivered content plus
+/// wire traffic).
+fn session_item(item: usize, n_pages: u32) -> u64 {
+    let class = ClientClass::ALL[item % 3];
+    let pages = PageSet::new(WORKLOAD_SEED ^ (item as u64 + 1), n_pages);
+    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let link = class.link();
+    let mut client = tb.client(class);
+    let mut bytes = 0u64;
+    for page in 0..n_pages {
+        let v0 = pages.original(page).to_bytes();
+        let v1 = pages.version(page, 1, EditProfile::Localized).to_bytes();
+        let delivered = v1.len() as u64;
+        tb.server.publish(page, v0.clone());
+        tb.server.publish(page, v1);
+        client.store_content(page, 0, v0);
+        let report = run_session(
+            &mut client,
+            &tb.proxy,
+            &mut tb.server,
+            &tb.pad_repo,
+            &link,
+            tb.app_id,
+            page,
+            1,
+        )
+        .expect("session succeeds");
+        bytes += delivered + report.traffic.total();
+    }
+    bytes
+}
+
+fn write_json(path: &str, rows: &[Row], n_negotiations: usize, host_cpus: usize) {
+    let mut out = String::from("{\n");
+    out.push_str("  \"bench\": \"throughput\",\n");
+    out.push_str("  \"workload\": \"fig9a-mixed-clients\",\n");
+    out.push_str(&format!("  \"negotiations\": {n_negotiations},\n"));
+    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str("  \"decisions_identical_across_threads\": true,\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"threads\": {}, \"negotiations_per_sec\": {:.0}, \
+             \"bytes_per_sec\": {:.0}, \"speedup\": {:.3}}}{}\n",
+            r.threads,
+            r.negotiations_per_sec,
+            r.bytes_per_sec,
+            r.speedup,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, out).expect("write benchmark JSON");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (n_neg, n_items, pages_per_item) = if smoke { (600, 4, 2) } else { (200_000, 24, 6) };
+    let sweep: &[usize] = if smoke { &THREAD_SWEEP[..2] } else { &THREAD_SWEEP };
+    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+
+    println!(
+        "Throughput: {n_neg} negotiations + {n_items}×{pages_per_item} warm sessions \
+         per thread count (host has {host_cpus} cpu(s))\n"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut oracle: Option<Vec<u64>> = None;
+    for &threads in sweep {
+        let (neg_rate, decisions) = negotiation_pass(threads, n_neg);
+        match &oracle {
+            None => oracle = Some(decisions),
+            Some(first) => assert_eq!(
+                first, &decisions,
+                "adaptation decisions diverged from the serial oracle at {threads} threads"
+            ),
+        }
+
+        let start = Instant::now();
+        let bytes: u64 =
+            parallel::run_indexed(threads, n_items, |i| session_item(i, pages_per_item))
+                .into_iter()
+                .sum();
+        let bytes_rate = bytes as f64 / start.elapsed().as_secs_f64();
+
+        let base = rows.first().map_or(neg_rate, |r: &Row| r.negotiations_per_sec);
+        rows.push(Row {
+            threads,
+            negotiations_per_sec: neg_rate,
+            bytes_per_sec: bytes_rate,
+            speedup: neg_rate / base,
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.threads.to_string(),
+                format!("{:.0}", r.negotiations_per_sec),
+                format!("{:.1}", r.bytes_per_sec / 1e6),
+                format!("{:.2}x", r.speedup),
+            ]
+        })
+        .collect();
+    println!("{}", render_table(&["threads", "negotiations/s", "session MB/s", "speedup"], &table));
+    println!("\nadaptation decisions identical across all thread counts: yes");
+
+    if smoke {
+        println!("(--smoke: not writing BENCH_throughput.json)");
+    } else {
+        write_json("BENCH_throughput.json", &rows, n_neg, host_cpus);
+        println!("wrote BENCH_throughput.json");
+    }
+}

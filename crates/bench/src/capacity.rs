@@ -17,6 +17,8 @@ use fractal_net::queue::{FifoQueue, Job};
 use fractal_net::time::{SimDuration, SimTime};
 use fractal_protocols::ProtocolId;
 
+use crate::parallel;
+
 /// Server CPU in MHz (matches `OverheadModel::paper`).
 const SERVER_CPU_MHZ: f64 = 2800.0;
 /// Server worker threads.
@@ -62,22 +64,26 @@ pub fn run_point(protocol: ProtocolId, offered_rps: f64, n_requests: usize) -> C
 /// Sweeps offered load for every case-study protocol; returns, per
 /// protocol, the highest offered load that did not saturate.
 pub fn knee_per_protocol() -> Vec<(ProtocolId, f64)> {
-    ProtocolId::PAPER_FOUR
-        .iter()
-        .map(|&p| {
-            let mut knee = 0.0;
-            for k in 1..=60 {
-                let rps = k as f64 * 2.0;
-                let point = run_point(p, rps, 200);
-                if !point.saturated {
-                    knee = rps;
-                } else {
-                    break;
-                }
+    knee_per_protocol_threads(1)
+}
+
+/// The knee sweep with one worker per protocol (each protocol's load ramp
+/// is an independent pure computation).
+pub fn knee_per_protocol_threads(n_threads: usize) -> Vec<(ProtocolId, f64)> {
+    parallel::run_indexed(n_threads, ProtocolId::PAPER_FOUR.len(), |idx| {
+        let p = ProtocolId::PAPER_FOUR[idx];
+        let mut knee = 0.0;
+        for k in 1..=60 {
+            let rps = k as f64 * 2.0;
+            let point = run_point(p, rps, 200);
+            if !point.saturated {
+                knee = rps;
+            } else {
+                break;
             }
-            (p, knee)
-        })
-        .collect()
+        }
+        (p, knee)
+    })
 }
 
 #[cfg(test)]
@@ -95,6 +101,14 @@ mod tests {
         // Vary's knee is in single-digit requests/second: ~290 ms service
         // on 2 workers ≈ 7 rps.
         assert!(knee(ProtocolId::VaryBlock) < 12.0, "vary knee {}", knee(ProtocolId::VaryBlock));
+    }
+
+    #[test]
+    fn parallel_knees_are_byte_identical_to_serial() {
+        let serial = knee_per_protocol();
+        for threads in [2, 4] {
+            assert_eq!(knee_per_protocol_threads(threads), serial, "threads = {threads}");
+        }
     }
 
     #[test]

@@ -8,6 +8,8 @@
 //! path-search being cheap and (2) the adaptation cache absorbing repeat
 //! environments.
 
+use std::collections::HashSet;
+
 use fractal_core::inp::InpMessage;
 use fractal_core::meta::ClientEnv;
 use fractal_core::presets::ClientClass;
@@ -16,6 +18,8 @@ use fractal_core::testbed::Testbed;
 use fractal_net::jitter::Jitter;
 use fractal_net::queue::{FifoQueue, Job};
 use fractal_net::time::{SimDuration, SimTime};
+
+use crate::parallel;
 
 /// Negotiation workers at the proxy.
 const PROXY_WORKERS: usize = 4;
@@ -36,7 +40,7 @@ pub struct Point {
 /// Produces an environment for client `i`: one of the three classes with a
 /// small amount of device diversity (memory size), so the adaptation cache
 /// sees repeats but not a single key.
-fn client_env(i: usize) -> ClientEnv {
+pub fn client_env(i: usize) -> ClientEnv {
     let class = ClientClass::ALL[i % 3];
     let mut env = class.env();
     env.dev.memory_mb = match (i / 3) % 4 {
@@ -48,10 +52,25 @@ fn client_env(i: usize) -> ClientEnv {
     env
 }
 
-/// Runs the experiment for one client count.
+/// Runs the experiment for one client count on one thread.
 pub fn run_point(n_clients: usize, cache_enabled: bool, seed: u64) -> Point {
+    run_point_threads(n_clients, cache_enabled, seed, 1)
+}
+
+/// Runs one point with the per-client stage fanned out over `n_threads`
+/// workers. The result is byte-identical to [`run_point`] at any thread
+/// count: the jitter stream is pre-drawn serially, cache warmth is derived
+/// from the deterministic index order (not from racy live queries), and
+/// the sharded proxy counts exactly one miss per distinct environment
+/// regardless of interleaving.
+pub fn run_point_threads(
+    n_clients: usize,
+    cache_enabled: bool,
+    seed: u64,
+    n_threads: usize,
+) -> Point {
     let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
-    let mut proxy = if cache_enabled {
+    let proxy = if cache_enabled {
         tb.proxy
     } else {
         // Rebuild without cache.
@@ -59,20 +78,28 @@ pub fn run_point(n_clients: usize, cache_enabled: bool, seed: u64) -> Point {
         tb2.proxy.with_cache_disabled()
     };
     let app_id = tb.app_id;
-    let mut jitter = Jitter::new(seed, 0.15);
 
-    // Deterministic arrivals spread over the window.
-    let mut jobs = Vec::with_capacity(n_clients);
-    let mut legs = Vec::with_capacity(n_clients);
-    for i in 0..n_clients {
+    // Pre-draw the jitter stream in serial-driver order: one leg factor,
+    // then one service factor, per client.
+    let mut jitter = Jitter::new(seed, 0.15);
+    let factors: Vec<(f64, f64)> =
+        (0..n_clients).map(|_| (jitter.factor(), jitter.factor())).collect();
+
+    // What the serial driver observes right before each negotiation: the
+    // environment is warm iff a smaller index already presented it.
+    let mut seen: HashSet<ClientEnv> = HashSet::new();
+    let warm: Vec<bool> =
+        (0..n_clients).map(|i| cache_enabled && !seen.insert(client_env(i))).collect();
+
+    // Per-client stage: negotiate against the shared proxy and price the
+    // wire legs (request, ack+meta-req, meta-rep, pad-meta-rep).
+    let proxy_ref = &proxy;
+    let per_client: Vec<(SimDuration, Job)> = parallel::run_indexed(n_threads, n_clients, |i| {
         let env = client_env(i);
         let class = ClientClass::ALL[i % 3];
         let link = class.link();
+        let pads = proxy_ref.negotiate(app_id, env).expect("negotiation succeeds");
 
-        let was_cached = proxy.cached(app_id, &env);
-        let pads = proxy.negotiate(app_id, env).expect("negotiation succeeds");
-
-        // Wire legs (request, ack+meta-req, meta-rep, pad-meta-rep).
         let init_req = InpMessage::InitReq { app_id, payload: b"app-request".to_vec() };
         let meta_rep = InpMessage::CliMetaRep { dev: env.dev, ntwk: env.ntwk };
         let pads_rep = InpMessage::PadMetaRep { pads };
@@ -83,13 +110,13 @@ pub fn run_point(n_clients: usize, cache_enabled: bool, seed: u64) -> Point {
         );
         leg_time += link.transfer_time(meta_rep.wire_len() as u64);
         leg_time += link.transfer_time(pads_rep.wire_len() as u64);
-        legs.push(jitter.apply(leg_time));
 
-        let service = jitter.apply(proxy.service_time(app_id, was_cached));
+        let service = proxy_ref.service_time(app_id, warm[i]).scale(factors[i].1);
         let arrival = SimTime::ZERO
             + SimDuration::micros(ARRIVAL_WINDOW.as_micros() * i as u64 / n_clients.max(1) as u64);
-        jobs.push(Job { arrival, service });
-    }
+        (leg_time.scale(factors[i].0), Job { arrival, service })
+    });
+    let (legs, jobs): (Vec<SimDuration>, Vec<Job>) = per_client.into_iter().unzip();
 
     // Queue the proxy service; negotiation time = queueing sojourn + legs.
     let queue = FifoQueue::new(PROXY_WORKERS);
@@ -110,7 +137,16 @@ pub fn run_point(n_clients: usize, cache_enabled: bool, seed: u64) -> Point {
 
 /// The full sweep: 20..=300 clients.
 pub fn run_sweep(cache_enabled: bool) -> Vec<Point> {
-    (1..=15).map(|k| run_point(k * 20, cache_enabled, 9 + k as u64)).collect()
+    run_sweep_threads(cache_enabled, 1)
+}
+
+/// The full sweep with the 15 independent points spread over `n_threads`
+/// workers.
+pub fn run_sweep_threads(cache_enabled: bool, n_threads: usize) -> Vec<Point> {
+    parallel::run_indexed(n_threads, 15, |idx| {
+        let k = idx + 1;
+        run_point(k * 20, cache_enabled, 9 + k as u64)
+    })
 }
 
 #[cfg(test)]
@@ -140,5 +176,16 @@ mod tests {
         let with = run_point(150, true, 4);
         let without = run_point(150, false, 4);
         assert!(without.mean_negotiation >= with.mean_negotiation);
+    }
+
+    #[test]
+    fn parallel_point_is_byte_identical_to_serial() {
+        let serial = run_point(90, true, 11);
+        for threads in [2, 4, 8] {
+            let par = run_point_threads(90, true, 11, threads);
+            assert_eq!(par.clients, serial.clients);
+            assert_eq!(par.mean_negotiation, serial.mean_negotiation, "threads = {threads}");
+            assert_eq!(par.cache_hits, serial.cache_hits, "threads = {threads}");
+        }
     }
 }

@@ -14,6 +14,8 @@ use fractal_net::link::LinkKind;
 use fractal_net::time::{SimDuration, SimTime};
 use fractal_net::topology::{NodeId, Position, Topology};
 
+use crate::parallel;
+
 /// Edge servers in the distributed deployment (the paper used "some nodes
 /// from PlanetLab").
 pub const N_EDGES: usize = 20;
@@ -98,10 +100,24 @@ fn mean(ds: &[SimDuration]) -> SimDuration {
     SimDuration::micros(ds.iter().map(|d| d.as_micros()).sum::<u64>() / ds.len().max(1) as u64)
 }
 
+/// Runs one point on a fresh fixture. Client placement depends only on
+/// `(n, salt)` — `Topology::add_spread_nodes` derives positions from the
+/// salt, not from how many nodes already exist — so a standalone point is
+/// value-identical to the same point inside an accumulated serial sweep.
+/// That independence is what lets the sweep fan out.
+pub fn run_point_fresh(n: usize) -> Point {
+    Fixture::new().run_point(n)
+}
+
 /// The full sweep: 20..=300 simultaneous clients.
 pub fn run_sweep() -> Vec<Point> {
-    let mut fx = Fixture::new();
-    (1..=15).map(|k| fx.run_point(k * 20)).collect()
+    run_sweep_threads(1)
+}
+
+/// The full sweep with the 15 independent points spread over `n_threads`
+/// workers.
+pub fn run_sweep_threads(n_threads: usize) -> Vec<Point> {
+    parallel::run_indexed(n_threads, 15, |idx| run_point_fresh((idx + 1) * 20))
 }
 
 #[cfg(test)]
@@ -118,5 +134,32 @@ mod tests {
         assert!(central_growth > 4.0, "centralized grew only {central_growth:.1}x");
         assert!(dist_growth < 3.0, "distributed grew {dist_growth:.1}x");
         assert!(big.centralized > big.distributed);
+    }
+
+    #[test]
+    fn standalone_point_matches_accumulated_fixture() {
+        // The parallel sweep runs each point on a fresh fixture; assert
+        // that equals the serial accumulate-in-one-fixture driver.
+        let mut fx = Fixture::new();
+        let acc20 = fx.run_point(20);
+        let acc60 = fx.run_point(60);
+        for (acc, fresh) in [(acc20, run_point_fresh(20)), (acc60, run_point_fresh(60))] {
+            assert_eq!(acc.clients, fresh.clients);
+            assert_eq!(acc.centralized, fresh.centralized);
+            assert_eq!(acc.distributed, fresh.distributed);
+        }
+    }
+
+    #[test]
+    fn parallel_sweep_is_byte_identical_to_serial() {
+        // Trimmed sweep (3 points) to keep the test quick.
+        let point = |idx: usize| run_point_fresh((idx + 1) * 20);
+        let serial = parallel::run_indexed(1, 3, point);
+        let par = parallel::run_indexed(4, 3, point);
+        for (s, p) in serial.iter().zip(&par) {
+            assert_eq!(s.clients, p.clients);
+            assert_eq!(s.centralized, p.centralized);
+            assert_eq!(s.distributed, p.distributed);
+        }
     }
 }

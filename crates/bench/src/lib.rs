@@ -30,6 +30,7 @@ pub mod fig11;
 pub mod fig9a;
 pub mod fig9b;
 pub mod headline;
+pub mod parallel;
 pub mod report;
 pub mod table1;
 pub mod workbench;

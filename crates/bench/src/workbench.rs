@@ -62,7 +62,7 @@ pub fn measure_protocol(
         client.store_content(page, 0, v0);
         let report = run_session(
             &mut client,
-            &mut tb.proxy,
+            &tb.proxy,
             &mut tb.server,
             &tb.pad_repo,
             &link,
@@ -102,7 +102,7 @@ pub fn measure_adaptive(
         client.store_content(page, 0, v0);
         let report = run_session(
             &mut client,
-            &mut tb.proxy,
+            &tb.proxy,
             &mut tb.server,
             &tb.pad_repo,
             &link,

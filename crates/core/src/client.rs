@@ -18,6 +18,7 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use fractal_crypto::sign::TrustStore;
 use fractal_pads::runtime::PadRuntime;
 use fractal_protocols::ProtocolId;
@@ -32,8 +33,9 @@ use crate::meta::{AppId, ClientEnv, PadId, PadMeta};
 pub struct CachedContent {
     /// Version number held.
     pub version: u32,
-    /// The bytes.
-    pub bytes: Vec<u8>,
+    /// The bytes ([`Bytes`]: handing the old version to the decoder is a
+    /// refcount bump, not a copy of the page).
+    pub bytes: Bytes,
 }
 
 /// Client-side statistics.
@@ -196,8 +198,8 @@ impl FractalClient {
     }
 
     /// Stores a decoded content version.
-    pub fn store_content(&mut self, content_id: u32, version: u32, bytes: Vec<u8>) {
-        self.content_cache.insert(content_id, CachedContent { version, bytes });
+    pub fn store_content(&mut self, content_id: u32, version: u32, bytes: impl Into<Bytes>) {
+        self.content_cache.insert(content_id, CachedContent { version, bytes: bytes.into() });
     }
 
     /// Counters.

@@ -227,7 +227,7 @@ mod tests {
     /// Drives the complete Figure 4 exchange over serialized bytes.
     #[test]
     fn full_exchange_over_the_wire() {
-        let (mut client, mut proxy_ep, mut proxy, _) = wired();
+        let (mut client, mut proxy_ep, proxy, _) = wired();
 
         let init = client.start(b"GET page".to_vec()).unwrap();
         let replies = proxy_ep
@@ -257,7 +257,7 @@ mod tests {
 
     #[test]
     fn client_rejects_out_of_order_messages() {
-        let (mut client, _, mut proxy, app_id) = wired();
+        let (mut client, _, proxy, app_id) = wired();
         // PAD_META_REP before anything else.
         let pads = proxy.negotiate(app_id, ClientClass::PdaBluetooth.env()).unwrap();
         let premature = InpMessage::PadMetaRep { pads };

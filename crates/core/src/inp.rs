@@ -16,6 +16,8 @@
 //! interactive negotiation protocol integrity": 8 bytes of magic, version,
 //! message type, and body length.
 
+use bytes::Bytes;
+
 use crate::error::WireError;
 use crate::meta::{AppId, DevMeta, NtwkMeta, PadId, PadMeta, Reader, Writer};
 use fractal_protocols::ProtocolId;
@@ -59,12 +61,13 @@ pub enum InpMessage {
         /// Which PAD.
         pad_id: PadId,
     },
-    /// CDN → client: the signed module bytes.
+    /// CDN → client: the signed module bytes. Held as [`Bytes`] so one
+    /// PAD artifact buffer is shared by every client downloading it.
     PadDownloadRep {
         /// Which PAD.
         pad_id: PadId,
         /// SignedModule wire bytes.
-        bytes: Vec<u8>,
+        bytes: Bytes,
     },
     /// Client → application server: start the session with the negotiated
     /// protocols.
@@ -200,7 +203,7 @@ impl InpMessage {
             7 => {
                 let pad_id = PadId(r.u64()?);
                 let n = r.u32()? as usize;
-                let bytes = r.take(n)?.to_vec();
+                let bytes = Bytes::copy_from_slice(r.take(n)?);
                 InpMessage::PadDownloadRep { pad_id, bytes }
             }
             8 => {
@@ -270,7 +273,7 @@ mod tests {
             },
             InpMessage::PadMetaRep { pads: vec![sample_pad()] },
             InpMessage::PadDownloadReq { pad_id: PadId(5) },
-            InpMessage::PadDownloadRep { pad_id: PadId(5), bytes: vec![1, 2, 3, 4, 5] },
+            InpMessage::PadDownloadRep { pad_id: PadId(5), bytes: vec![1, 2, 3, 4, 5].into() },
             InpMessage::AppReq {
                 app_id: AppId(1),
                 protocols: vec![ProtocolId::Bitmap],

@@ -11,10 +11,28 @@
 //! ```text
 //! { DevMeta, Application ID, NtwkMeta } ⇒ { PADMeta₁ … PADMetaₙ }
 //! ```
+//!
+//! ## Concurrency model
+//!
+//! [`negotiate`](AdaptationProxy::negotiate) takes `&self`: the proxy is a
+//! concurrent service, shareable across worker threads behind an `Arc`.
+//! The PATs and the overhead model are read-only between
+//! [`push_app_meta`](AdaptationProxy::push_app_meta) calls (which still
+//! take `&mut self`, serializing reconfiguration against all traffic), the
+//! adaptation cache and the path-search memo are split into
+//! [`SHARDS`] lock-striped `RwLock` shards keyed by the hash of
+//! `(ClientEnv, AppId)`, and counters are atomics. Misses take the shard's
+//! write lock for the (microsecond-scale) path search, which makes the
+//! hit/miss accounting *exact*: each distinct key misses exactly once no
+//! matter how many threads race on it — the concurrency suite in
+//! `tests/concurrency.rs` pins this down.
 
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use fractal_net::time::SimDuration;
+use parking_lot::RwLock;
 
 use crate::error::FractalError;
 use crate::meta::{AppId, AppMeta, ClientEnv, PadMeta};
@@ -25,6 +43,10 @@ use crate::search::{search, AdaptationPath};
 /// `Std` content size used during negotiation (Equation 1's "fixed size of
 /// traffic, 1MB in our implementation").
 pub const STD_CONTENT_BYTES: u64 = 1_000_000;
+
+/// Number of lock stripes in the adaptation cache and path-search memo.
+/// Power of two so the shard index is a mask of the key hash.
+pub const SHARDS: usize = 16;
 
 /// Counters for Figure 9(a) and the ablations.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -37,21 +59,48 @@ pub struct ProxyStats {
     pub app_pushes: u64,
 }
 
+/// Cache/memo key: the client environment plus the application.
+type Key = (ClientEnv, AppId);
+
+/// One lock-striped shard pair: the distribution manager's PADMeta cache
+/// and the negotiation manager's path-search memo share striping so a key
+/// touches exactly one lock of each kind.
+#[derive(Default)]
+struct Shard {
+    /// Adaptation cache: key → client-view PADMeta list.
+    cache: RwLock<HashMap<Key, Vec<PadMeta>>>,
+    /// Path-search memo: key → raw search result, so repeated DFS over the
+    /// same tree is O(1) even when the adaptation cache is disabled or has
+    /// been invalidated for unrelated reasons.
+    memo: RwLock<HashMap<Key, AdaptationPath>>,
+}
+
+fn shard_index(client: &ClientEnv, app_id: AppId) -> usize {
+    // Fixed-key hasher so the stripe assignment is deterministic across
+    // runs (the per-instance RandomState of std's HashMap would not be).
+    let mut h = std::hash::DefaultHasher::new();
+    (client, app_id).hash(&mut h);
+    (h.finish() as usize) & (SHARDS - 1)
+}
+
 /// The adaptation proxy.
 pub struct AdaptationProxy {
     pats: HashMap<AppId, Pat>,
     model: OverheadModel,
-    cache: HashMap<(ClientEnv, AppId), Vec<PadMeta>>,
+    shards: [Shard; SHARDS],
     cache_enabled: bool,
-    stats: ProxyStats,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    app_pushes: AtomicU64,
 }
 
 impl core::fmt::Debug for AdaptationProxy {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let entries: usize = self.shards.iter().map(|s| s.cache.read().len()).sum();
         f.debug_struct("AdaptationProxy")
             .field("apps", &self.pats.len())
-            .field("cache_entries", &self.cache.len())
-            .field("stats", &self.stats)
+            .field("cache_entries", &entries)
+            .field("stats", &self.stats())
             .finish()
     }
 }
@@ -62,9 +111,11 @@ impl AdaptationProxy {
         AdaptationProxy {
             pats: HashMap::new(),
             model,
-            cache: HashMap::new(),
+            shards: std::array::from_fn(|_| Shard::default()),
             cache_enabled: true,
-            stats: ProxyStats::default(),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            app_pushes: AtomicU64::new(0),
         }
     }
 
@@ -75,20 +126,28 @@ impl AdaptationProxy {
     }
 
     /// Receives an `AppMeta` push from an application server, (re)building
-    /// that application's PAT and invalidating affected cache entries.
+    /// that application's PAT and invalidating affected cache and memo
+    /// entries.
     pub fn push_app_meta(&mut self, meta: &AppMeta) {
         let pat = Pat::from_app_meta(meta);
-        self.cache.retain(|(_, app), _| *app != meta.app_id);
+        for shard in &self.shards {
+            shard.cache.write().retain(|(_, app), _| *app != meta.app_id);
+            shard.memo.write().retain(|(_, app), _| *app != meta.app_id);
+        }
         self.pats.insert(meta.app_id, pat);
-        self.stats.app_pushes += 1;
+        self.app_pushes.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Switches the server-compute mode (reactive ↔ proactive adaptive
-    /// content). Clears the cache: cached decisions embed the old mode.
+    /// content). Clears the cache and memo: cached decisions embed the old
+    /// mode.
     pub fn set_mode(&mut self, mode: ServerComputeMode) {
         if self.model.mode != mode {
             self.model.mode = mode;
-            self.cache.clear();
+            for shard in &self.shards {
+                shard.cache.write().clear();
+                shard.memo.write().clear();
+            }
         }
     }
 
@@ -108,33 +167,54 @@ impl AdaptationProxy {
     }
 
     /// The heart of the negotiation: answers `Cli_META_REP` with the
-    /// `PADMeta` list for `PAD_META_REP`.
+    /// `PADMeta` list for `PAD_META_REP`. Safe to call from any number of
+    /// threads sharing the proxy.
     pub fn negotiate(
-        &mut self,
+        &self,
         app_id: AppId,
         client: ClientEnv,
     ) -> Result<Vec<PadMeta>, FractalError> {
-        if self.cache_enabled {
-            if let Some(hit) = self.cache.get(&(client, app_id)) {
-                self.stats.cache_hits += 1;
-                return Ok(hit.clone());
-            }
+        if !self.cache_enabled {
+            let pads = self.compute(app_id, &client)?;
+            self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            return Ok(pads);
         }
-        let pat = self.pats.get(&app_id).ok_or(FractalError::UnknownApp(app_id))?;
-        let path = search(pat, &self.model, &client, STD_CONTENT_BYTES)?;
-        self.stats.cache_misses += 1;
 
-        // Distribution manager: client views (links hidden), cache update.
-        let pads = self.materialize(app_id, &path);
-        if self.cache_enabled {
-            self.cache.insert((client, app_id), pads.clone());
+        let key = (client, app_id);
+        let shard = &self.shards[shard_index(&client, app_id)];
+        if let Some(hit) = shard.cache.read().get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
         }
+        // Double-checked under the write lock: a racing thread may have
+        // filled the entry between our read and write acquisition. Holding
+        // the stripe's write lock across the search keeps the accounting
+        // exact — one miss per distinct key, everything else a hit.
+        let mut guard = shard.cache.write();
+        if let Some(hit) = guard.get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(hit.clone());
+        }
+        let pads = self.compute(app_id, &client)?;
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Distribution manager: cache update with the client views.
+        guard.insert(key, pads.clone());
         Ok(pads)
     }
 
-    fn materialize(&self, app_id: AppId, path: &AdaptationPath) -> Vec<PadMeta> {
-        let pat = &self.pats[&app_id];
-        path.pads.iter().map(|id| pat.meta(*id).expect("path ids resolve").client_view()).collect()
+    /// Runs (or recalls) the path search and materializes client views.
+    fn compute(&self, app_id: AppId, client: &ClientEnv) -> Result<Vec<PadMeta>, FractalError> {
+        let pat = self.pats.get(&app_id).ok_or(FractalError::UnknownApp(app_id))?;
+        let key = (*client, app_id);
+        let shard = &self.shards[shard_index(client, app_id)];
+        if let Some(path) = shard.memo.read().get(&key) {
+            return Ok(materialize(pat, path));
+        }
+        let path = search(pat, &self.model, client, STD_CONTENT_BYTES)?;
+        let pads = materialize(pat, &path);
+        shard.memo.write().insert(key, path);
+        Ok(pads)
     }
 
     /// Estimated proxy service time for one negotiation — used by the
@@ -151,13 +231,22 @@ impl AdaptationProxy {
 
     /// Whether the cache currently holds an entry for `(client, app)`.
     pub fn cached(&self, app_id: AppId, client: &ClientEnv) -> bool {
-        self.cache.contains_key(&(*client, app_id))
+        self.shards[shard_index(client, app_id)].cache.read().contains_key(&(*client, app_id))
     }
 
-    /// Counters.
+    /// Counters (a consistent-enough snapshot of the atomics).
     pub fn stats(&self) -> ProxyStats {
-        self.stats
+        ProxyStats {
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            app_pushes: self.app_pushes.load(Ordering::Relaxed),
+        }
     }
+}
+
+/// Distribution manager: client views (links hidden) for a search result.
+fn materialize(pat: &Pat, path: &AdaptationPath) -> Vec<PadMeta> {
+    path.pads.iter().map(|id| pat.meta(*id).expect("path ids resolve").client_view()).collect()
 }
 
 #[cfg(test)]
@@ -181,14 +270,14 @@ mod tests {
 
     #[test]
     fn unknown_app_rejected() {
-        let mut proxy = AdaptationProxy::new(OverheadModel::paper(Ratios::linear()));
+        let proxy = AdaptationProxy::new(OverheadModel::paper(Ratios::linear()));
         let err = proxy.negotiate(AppId(9), ClientClass::DesktopLan.env());
         assert_eq!(err, Err(FractalError::UnknownApp(AppId(9))));
     }
 
     #[test]
     fn negotiation_returns_client_views() {
-        let mut proxy = proxy_with_case_study();
+        let proxy = proxy_with_case_study();
         let pads = proxy.negotiate(AppId(1), ClientClass::DesktopLan.env()).unwrap();
         assert_eq!(pads.len(), 1, "one-level PAT picks a single PAD");
         assert!(pads[0].parent.is_none());
@@ -199,13 +288,13 @@ mod tests {
     #[test]
     fn case_study_winners_per_class() {
         // The headline adaptation decisions of Figure 11(b).
-        let mut proxy = proxy_with_case_study();
-        let pick = |proxy: &mut AdaptationProxy, class: ClientClass| {
+        let proxy = proxy_with_case_study();
+        let pick = |proxy: &AdaptationProxy, class: ClientClass| {
             proxy.negotiate(AppId(1), class.env()).unwrap()[0].protocol
         };
-        assert_eq!(pick(&mut proxy, ClientClass::DesktopLan), ProtocolId::Direct);
-        assert_eq!(pick(&mut proxy, ClientClass::LaptopWlan), ProtocolId::Gzip);
-        assert_eq!(pick(&mut proxy, ClientClass::PdaBluetooth), ProtocolId::Bitmap);
+        assert_eq!(pick(&proxy, ClientClass::DesktopLan), ProtocolId::Direct);
+        assert_eq!(pick(&proxy, ClientClass::LaptopWlan), ProtocolId::Gzip);
+        assert_eq!(pick(&proxy, ClientClass::PdaBluetooth), ProtocolId::Bitmap);
     }
 
     #[test]
@@ -225,7 +314,7 @@ mod tests {
 
     #[test]
     fn cache_hits_after_first_negotiation() {
-        let mut proxy = proxy_with_case_study();
+        let proxy = proxy_with_case_study();
         let env = ClientClass::LaptopWlan.env();
         let first = proxy.negotiate(AppId(1), env).unwrap();
         assert!(proxy.cached(AppId(1), &env));
@@ -238,7 +327,7 @@ mod tests {
 
     #[test]
     fn cache_disabled_ablation() {
-        let mut proxy = proxy_with_case_study().with_cache_disabled();
+        let proxy = proxy_with_case_study().with_cache_disabled();
         let env = ClientClass::LaptopWlan.env();
         proxy.negotiate(AppId(1), env).unwrap();
         proxy.negotiate(AppId(1), env).unwrap();
@@ -285,5 +374,45 @@ mod tests {
         let hit = proxy.service_time(AppId(1), true);
         let miss = proxy.service_time(AppId(1), false);
         assert!(miss > hit);
+    }
+
+    #[test]
+    fn memo_survives_cache_ablation() {
+        // With the adaptation cache disabled, the path-search memo still
+        // makes repeated negotiations O(1) — and the answers stay equal.
+        let proxy = proxy_with_case_study().with_cache_disabled();
+        let env = ClientClass::PdaBluetooth.env();
+        let a = proxy.negotiate(AppId(1), env).unwrap();
+        let b = proxy.negotiate(AppId(1), env).unwrap();
+        assert_eq!(a, b);
+        // Both count as misses (the ablation measures "no result cache").
+        assert_eq!(proxy.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn concurrent_negotiations_agree_with_serial() {
+        use std::sync::Arc;
+        let proxy = Arc::new(proxy_with_case_study());
+        let serial: Vec<_> = ClientClass::ALL
+            .iter()
+            .map(|c| proxy_with_case_study().negotiate(AppId(1), c.env()).unwrap())
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let proxy = Arc::clone(&proxy);
+                let serial = serial.clone();
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        for (i, class) in ClientClass::ALL.iter().enumerate() {
+                            let got = proxy.negotiate(AppId(1), class.env()).unwrap();
+                            assert_eq!(got, serial[i], "{class}");
+                        }
+                    }
+                });
+            }
+        });
+        let stats = proxy.stats();
+        assert_eq!(stats.cache_hits + stats.cache_misses, 4 * 50 * 3);
+        assert_eq!(stats.cache_misses, 3, "one miss per distinct environment");
     }
 }

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use fractal_protocols::bitmap::Bitmap;
 use fractal_protocols::direct::Direct;
 use fractal_protocols::fixedblock::FixedBlock;
@@ -34,8 +35,9 @@ pub enum AdaptiveContentMode {
 pub struct EncodedResponse {
     /// The protocol used.
     pub protocol: ProtocolId,
-    /// Encoded payload bytes.
-    pub payload: Vec<u8>,
+    /// Encoded payload. A [`Bytes`] view: serving a proactive-store entry
+    /// or re-serving a cached response clones a refcount, not the buffer.
+    pub payload: Bytes,
     /// Whether the encode ran on the request path (false = served from the
     /// proactive store).
     pub computed_on_request: bool,
@@ -59,9 +61,9 @@ pub struct ApplicationServer {
     pub app_id: AppId,
     mode: AdaptiveContentMode,
     /// content id → versions (index = version number).
-    contents: HashMap<u32, Vec<Vec<u8>>>,
+    contents: HashMap<u32, Vec<Bytes>>,
     /// Proactive store: (content, have, want, protocol) → payload.
-    store: HashMap<StoreKey, Vec<u8>>,
+    store: HashMap<StoreKey, Bytes>,
     /// Deployed server-side PADs.
     protocols: Vec<ProtocolId>,
 }
@@ -108,9 +110,9 @@ impl ApplicationServer {
     /// Publishes a new version of `content_id`; returns the version number.
     /// In proactive mode the adaptive content for the new version is
     /// pre-computed immediately (the off-request-path cost).
-    pub fn publish(&mut self, content_id: u32, bytes: Vec<u8>) -> u32 {
+    pub fn publish(&mut self, content_id: u32, bytes: impl Into<Bytes>) -> u32 {
         let versions = self.contents.entry(content_id).or_default();
-        versions.push(bytes);
+        versions.push(bytes.into());
         let version = (versions.len() - 1) as u32;
         if self.mode == AdaptiveContentMode::Proactive {
             self.precompute(content_id, version);
@@ -125,14 +127,14 @@ impl ApplicationServer {
 
     /// Raw bytes of a version (for tests and the session runner's oracle).
     pub fn content(&self, content_id: u32, version: u32) -> Option<&[u8]> {
-        self.contents.get(&content_id)?.get(version as usize).map(Vec::as_slice)
+        self.contents.get(&content_id)?.get(version as usize).map(Bytes::as_ref)
     }
 
     fn precompute(&mut self, content_id: u32, version: u32) {
         let versions = &self.contents[&content_id];
         let new = versions[version as usize].clone();
-        let old_versions: Vec<(Option<u32>, Vec<u8>)> = {
-            let mut v: Vec<(Option<u32>, Vec<u8>)> = vec![(None, Vec::new())];
+        let old_versions: Vec<(Option<u32>, Bytes)> = {
+            let mut v: Vec<(Option<u32>, Bytes)> = vec![(None, Bytes::new())];
             if version > 0 {
                 v.push((Some(version - 1), versions[version as usize - 1].clone()));
             }
@@ -180,7 +182,7 @@ impl ApplicationServer {
         let old: &[u8] = match have_version {
             Some(v) => versions
                 .get(v as usize)
-                .map(Vec::as_slice)
+                .map(Bytes::as_ref)
                 .ok_or(FractalError::UnknownContent(content_id))?,
             None => &[],
         };

@@ -10,6 +10,7 @@
 
 use std::collections::HashMap;
 
+use bytes::Bytes;
 use fractal_net::link::Link;
 use fractal_net::time::SimDuration;
 use fractal_protocols::{ProtocolId, Traffic};
@@ -24,8 +25,9 @@ use crate::server::ApplicationServer;
 
 /// Where clients download PADs from in the uncontended sessions of
 /// Figures 10/11 (the contended Figure 9(b) capacity experiment uses the
-/// full CDN deployment in `fractal-cdn`).
-pub type PadRepo = HashMap<PadId, Vec<u8>>;
+/// full CDN deployment in `fractal-cdn`). Values are [`Bytes`]: every
+/// client's `PAD_DOWNLOAD_REP` shares the one artifact buffer.
+pub type PadRepo = HashMap<PadId, Bytes>;
 
 /// Per-session measurements, decomposed the way the paper plots them.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -68,7 +70,7 @@ impl SessionReport {
 #[allow(clippy::too_many_arguments)] // one parameter per party in Figure 4
 pub fn run_session(
     client: &mut FractalClient,
-    proxy: &mut AdaptationProxy,
+    proxy: &AdaptationProxy,
     server: &mut ApplicationServer,
     pad_repo: &PadRepo,
     link: &Link,
@@ -167,7 +169,7 @@ pub fn run_session(
 /// exchange with the adaptation proxy.
 fn negotiate(
     client: &mut FractalClient,
-    proxy: &mut AdaptationProxy,
+    proxy: &AdaptationProxy,
     link: &Link,
     app_id: AppId,
 ) -> Result<(Vec<PadMeta>, SimDuration, bool), FractalError> {
@@ -224,7 +226,7 @@ mod tests {
 
         let cold = run_session(
             &mut client,
-            &mut tb.proxy,
+            &tb.proxy,
             &mut tb.server,
             &tb.pad_repo,
             &link,
@@ -240,7 +242,7 @@ mod tests {
 
         let warm = run_session(
             &mut client,
-            &mut tb.proxy,
+            &tb.proxy,
             &mut tb.server,
             &tb.pad_repo,
             &link,
@@ -265,7 +267,7 @@ mod tests {
             let link = class.link();
             let report = run_session(
                 &mut client,
-                &mut tb.proxy,
+                &tb.proxy,
                 &mut tb.server,
                 &tb.pad_repo,
                 &link,
@@ -288,7 +290,7 @@ mod tests {
         let link = ClientClass::PdaBluetooth.link();
         let report = run_session(
             &mut client,
-            &mut tb.proxy,
+            &tb.proxy,
             &mut tb.server,
             &tb.pad_repo,
             &link,
@@ -309,7 +311,7 @@ mod tests {
         let link = ClientClass::DesktopLan.link();
         let err = run_session(
             &mut client,
-            &mut tb.proxy,
+            &tb.proxy,
             &mut tb.server,
             &tb.pad_repo,
             &link,

@@ -58,7 +58,7 @@ impl Testbed {
         let mut artifacts = Vec::new();
         for &p in protocols {
             let a = catalog.get(p).expect("catalog holds protocol");
-            pad_repo.insert(pad_id(p), a.signed.to_wire());
+            pad_repo.insert(pad_id(p), a.signed.to_wire().into());
             artifacts.push((p, a.digest(), a.wire_len() as u32));
         }
 

@@ -86,7 +86,7 @@ proptest! {
         let messages = vec![
             InpMessage::InitReq { app_id: AppId(app), payload: payload.clone() },
             InpMessage::PadMetaRep { pads: vec![pad] },
-            InpMessage::PadDownloadRep { pad_id: PadId(9), bytes: payload.clone() },
+            InpMessage::PadDownloadRep { pad_id: PadId(9), bytes: payload.clone().into() },
             InpMessage::AppReq {
                 app_id: AppId(app),
                 protocols: vec![ProtocolId::Gzip, ProtocolId::Bitmap],

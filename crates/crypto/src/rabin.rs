@@ -20,13 +20,35 @@ pub const WINDOW: usize = 48;
 /// chunk boundaries are stable across versions of this crate).
 const BASE: u64 = 0x0000_0100_0000_01B3; // FNV-ish prime, odd
 
+/// `BASE^(WINDOW-1)`, the weight of the outgoing byte.
+const POW_OUT: u64 = {
+    let mut p = 1u64;
+    let mut i = 0;
+    while i < WINDOW - 1 {
+        p = p.wrapping_mul(BASE);
+        i += 1;
+    }
+    p
+};
+
+/// Precomputed `(b+1)·BASE^(WINDOW-1)` for every byte value, so sliding a
+/// byte out of the window is one table lookup instead of a 64-bit multiply
+/// on the chunker's per-byte hot path.
+const OUT_TABLE: [u64; 256] = {
+    let mut t = [0u64; 256];
+    let mut b = 0;
+    while b < 256 {
+        t[b] = (b as u64 + 1).wrapping_mul(POW_OUT);
+        b += 1;
+    }
+    t
+};
+
 /// Rolling hash state over the last [`WINDOW`] bytes.
 #[derive(Clone)]
 pub struct RollingHash {
     /// Current fingerprint value.
     hash: u64,
-    /// BASE^(WINDOW-1), used to remove the outgoing byte.
-    pow_out: u64,
     /// Circular buffer of the current window contents.
     window: [u8; WINDOW],
     /// Next write position in the circular buffer.
@@ -53,26 +75,29 @@ impl core::fmt::Debug for RollingHash {
 impl RollingHash {
     /// Creates an empty window.
     pub fn new() -> Self {
-        let mut pow_out = 1u64;
-        for _ in 0..WINDOW - 1 {
-            pow_out = pow_out.wrapping_mul(BASE);
-        }
-        RollingHash { hash: 0, pow_out, window: [0; WINDOW], pos: 0, filled: 0 }
+        RollingHash { hash: 0, window: [0; WINDOW], pos: 0, filled: 0 }
     }
 
     /// Slides one byte into the window (and the oldest byte out once the
     /// window is full). Returns the new fingerprint.
+    ///
+    /// The steady-state cost is two table lookups (the circular window and
+    /// [`OUT_TABLE`]) plus the shift-and-add — the outgoing byte's weight
+    /// `(b+1)·BASE^(W-1)` is precomputed at compile time.
     pub fn roll(&mut self, byte: u8) -> u64 {
         if self.filled == WINDOW {
             let outgoing = self.window[self.pos];
-            // Remove outgoing*BASE^(W-1), shift, add incoming.
-            self.hash = self.hash.wrapping_sub((outgoing as u64 + 1).wrapping_mul(self.pow_out));
+            // Remove outgoing's weight, shift, add incoming.
+            self.hash = self.hash.wrapping_sub(OUT_TABLE[outgoing as usize]);
         } else {
             self.filled += 1;
         }
         self.hash = self.hash.wrapping_mul(BASE).wrapping_add(byte as u64 + 1);
         self.window[self.pos] = byte;
-        self.pos = (self.pos + 1) % WINDOW;
+        self.pos += 1;
+        if self.pos == WINDOW {
+            self.pos = 0;
+        }
         self.hash
     }
 
@@ -166,6 +191,18 @@ mod tests {
         let mut fresh = RollingHash::new();
         for i in 0..10u8 {
             assert_eq!(rh.roll(i), fresh.roll(i));
+        }
+    }
+
+    #[test]
+    fn out_table_matches_definition() {
+        // OUT_TABLE[b] must equal (b+1)·BASE^(WINDOW−1) computed the slow way.
+        let mut pow_out = 1u64;
+        for _ in 0..WINDOW - 1 {
+            pow_out = pow_out.wrapping_mul(BASE);
+        }
+        for b in 0..=255u64 {
+            assert_eq!(OUT_TABLE[b as usize], (b + 1).wrapping_mul(pow_out), "byte {b}");
         }
     }
 

@@ -64,12 +64,10 @@ impl Sha1 {
                 self.buffered = 0;
             }
         }
-        // Whole blocks straight from the input.
+        // Whole blocks straight from the input, no intermediate copy.
         while input.len() >= 64 {
             let (block, rest) = input.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
+            self.compress(block.try_into().expect("64-byte block"));
             input = rest;
         }
         // Stash the tail.
@@ -99,31 +97,54 @@ impl Sha1 {
     }
 
     /// SHA-1 compression function over one 512-bit block.
+    ///
+    /// The 80-word message schedule is folded into a 16-word circular
+    /// buffer computed in place (`w[t&15]` is exactly `W_t` when round `t`
+    /// reads it), and the four round phases are split into separate loops
+    /// so each phase's boolean function and constant are loop-invariant —
+    /// no per-round `match`, no 320-byte schedule array.
     fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
+        let mut w = [0u32; 16];
         for (i, chunk) in block.chunks_exact(4).enumerate() {
             w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
         }
-        for t in 16..80 {
-            w[t] = (w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16]).rotate_left(1);
-        }
 
         let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (t, &wt) in w.iter().enumerate() {
-            let (f, k) = match t {
-                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
-                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
-                _ => (b ^ c ^ d, 0xCA62_C1D6),
+        // One phase of 20 rounds: `f` is the phase's boolean function, `k`
+        // its constant. Rounds ≥ 16 extend the schedule in place:
+        // W_t = rotl1(W_{t-3} ^ W_{t-8} ^ W_{t-14} ^ W_{t-16}), where
+        // W_{t-16} lives in w[t&15] and is overwritten by W_t.
+        macro_rules! phase {
+            ($f:expr, $k:expr, $range:expr) => {
+                for t in $range {
+                    let i = t & 15;
+                    let wt = if t < 16 {
+                        w[i]
+                    } else {
+                        let v = (w[(i + 13) & 15] ^ w[(i + 8) & 15] ^ w[(i + 2) & 15] ^ w[i])
+                            .rotate_left(1);
+                        w[i] = v;
+                        v
+                    };
+                    let f: u32 = $f;
+                    let temp = a
+                        .rotate_left(5)
+                        .wrapping_add(f)
+                        .wrapping_add(e)
+                        .wrapping_add($k)
+                        .wrapping_add(wt);
+                    e = d;
+                    d = c;
+                    c = b.rotate_left(30);
+                    b = a;
+                    a = temp;
+                }
             };
-            let temp =
-                a.rotate_left(5).wrapping_add(f).wrapping_add(e).wrapping_add(k).wrapping_add(wt);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = temp;
         }
+        phase!((b & c) | ((!b) & d), 0x5A82_7999u32, 0..20);
+        phase!(b ^ c ^ d, 0x6ED9_EBA1u32, 20..40);
+        phase!((b & c) | (b & d) | (c & d), 0x8F1B_BCDCu32, 40..60);
+        phase!(b ^ c ^ d, 0xCA62_C1D6u32, 60..80);
 
         self.state[0] = self.state[0].wrapping_add(a);
         self.state[1] = self.state[1].wrapping_add(b);

@@ -36,8 +36,17 @@ impl Jitter {
         if self.amplitude == 0.0 {
             return d;
         }
-        let factor = 1.0 + self.rng.gen_range(-self.amplitude..=self.amplitude);
-        d.scale(factor)
+        d.scale(self.factor())
+    }
+
+    /// Draws the next multiplicative factor from the stream. Lets drivers
+    /// pre-draw a whole jitter sequence serially and apply it from worker
+    /// threads, keeping the stream order independent of scheduling.
+    pub fn factor(&mut self) -> f64 {
+        if self.amplitude == 0.0 {
+            return 1.0;
+        }
+        1.0 + self.rng.gen_range(-self.amplitude..=self.amplitude)
     }
 }
 

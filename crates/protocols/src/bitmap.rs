@@ -90,7 +90,7 @@ impl DiffCodec for Bitmap {
         ProtocolId::Bitmap
     }
 
-    fn encode(&self, old: &[u8], new: &[u8]) -> Vec<u8> {
+    fn encode(&self, old: &[u8], new: &[u8]) -> bytes::Bytes {
         let bs = self.block_size;
         let n_blocks = self.n_blocks(new.len());
         let bitmap_len = n_blocks.div_ceil(8);
@@ -120,10 +120,10 @@ impl DiffCodec for Bitmap {
         for b in blocks {
             out.extend_from_slice(b);
         }
-        out
+        out.into()
     }
 
-    fn decode(&self, old: &[u8], payload: &[u8]) -> Result<Vec<u8>, CodecError> {
+    fn decode(&self, old: &[u8], payload: &[u8]) -> Result<bytes::Bytes, CodecError> {
         if payload.len() < 12 {
             return Err(CodecError::Truncated);
         }
@@ -159,7 +159,7 @@ impl DiffCodec for Bitmap {
         if out.len() != new_len {
             return Err(CodecError::LengthMismatch { declared: new_len, produced: out.len() });
         }
-        Ok(out)
+        Ok(out.into())
     }
 
     fn upstream_bytes(&self, old_len: usize) -> u64 {

@@ -17,12 +17,12 @@ impl DiffCodec for Direct {
         ProtocolId::Direct
     }
 
-    fn encode(&self, _old: &[u8], new: &[u8]) -> Vec<u8> {
-        new.to_vec()
+    fn encode(&self, _old: &[u8], new: &[u8]) -> bytes::Bytes {
+        bytes::Bytes::copy_from_slice(new)
     }
 
-    fn decode(&self, _old: &[u8], payload: &[u8]) -> Result<Vec<u8>, CodecError> {
-        Ok(payload.to_vec())
+    fn decode(&self, _old: &[u8], payload: &[u8]) -> Result<bytes::Bytes, CodecError> {
+        Ok(bytes::Bytes::copy_from_slice(payload))
     }
 }
 

@@ -73,7 +73,7 @@ impl DiffCodec for FixedBlock {
         ProtocolId::FixedBlock
     }
 
-    fn encode(&self, old: &[u8], new: &[u8]) -> Vec<u8> {
+    fn encode(&self, old: &[u8], new: &[u8]) -> bytes::Bytes {
         let bs = self.block_size;
         // Signature table the client would have uploaded.
         let n_old = old.len() / bs;
@@ -133,11 +133,11 @@ impl DiffCodec for FixedBlock {
         if lit_start < new.len() {
             push_data(&mut ops, &new[lit_start..]);
         }
-        recipe::encode(new.len(), &ops)
+        recipe::encode(new.len(), &ops).into()
     }
 
-    fn decode(&self, old: &[u8], payload: &[u8]) -> Result<Vec<u8>, CodecError> {
-        recipe::apply(old, payload)
+    fn decode(&self, old: &[u8], payload: &[u8]) -> Result<bytes::Bytes, CodecError> {
+        recipe::apply(old, payload).map(Into::into)
     }
 
     fn upstream_bytes(&self, old_len: usize) -> u64 {
@@ -146,11 +146,10 @@ impl DiffCodec for FixedBlock {
 }
 
 fn push_data(ops: &mut Vec<RecipeOp>, bytes: &[u8]) {
-    if let Some(RecipeOp::Data(prev)) = ops.last_mut() {
-        prev.extend_from_slice(bytes);
-    } else {
-        ops.push(RecipeOp::Data(bytes.to_vec()));
-    }
+    // Literal runs arrive already coalesced (a Data push is always followed
+    // by a Copy), so each run becomes exactly one op.
+    debug_assert!(!matches!(ops.last(), Some(RecipeOp::Data(_))));
+    ops.push(RecipeOp::Data(bytes::Bytes::copy_from_slice(bytes)));
 }
 
 #[cfg(test)]

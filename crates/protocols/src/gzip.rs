@@ -18,12 +18,12 @@ impl DiffCodec for Gzip {
         ProtocolId::Gzip
     }
 
-    fn encode(&self, _old: &[u8], new: &[u8]) -> Vec<u8> {
-        lz77::compress(new)
+    fn encode(&self, _old: &[u8], new: &[u8]) -> bytes::Bytes {
+        lz77::compress(new).into()
     }
 
-    fn decode(&self, _old: &[u8], payload: &[u8]) -> Result<Vec<u8>, CodecError> {
-        lz77::decompress(payload)
+    fn decode(&self, _old: &[u8], payload: &[u8]) -> Result<bytes::Bytes, CodecError> {
+        lz77::decompress(payload).map(Into::into)
     }
 }
 

@@ -17,6 +17,7 @@
 //! the paper treats them as siblings in the PAT.
 
 use crate::traits::CodecError;
+use bytes::Bytes;
 
 /// Opcode byte for a copy-from-old instruction.
 pub const OP_COPY: u8 = 0x00;
@@ -33,8 +34,10 @@ pub enum RecipeOp {
         /// Bytes to copy.
         len: u32,
     },
-    /// Splice literal bytes.
-    Data(Vec<u8>),
+    /// Splice literal bytes. Held as [`Bytes`] so parsing a payload can
+    /// hand out refcounted sub-views of the wire buffer instead of copies —
+    /// see [`parse_shared`].
+    Data(Bytes),
 }
 
 impl RecipeOp {
@@ -117,7 +120,17 @@ pub fn apply(old: &[u8], payload: &[u8]) -> Result<Vec<u8>, CodecError> {
 }
 
 /// Parses a payload back into structured ops (diagnostics and tests).
+///
+/// Copies the payload into one shared buffer; the returned `Data` ops are
+/// sub-views of it. Callers already holding the payload as [`Bytes`] should
+/// use [`parse_shared`], which copies nothing.
 pub fn parse(payload: &[u8]) -> Result<(usize, Vec<RecipeOp>), CodecError> {
+    parse_shared(&Bytes::copy_from_slice(payload))
+}
+
+/// Zero-copy [`parse`]: every `Data` op is an O(1) refcounted slice of
+/// `payload` — no literal bytes are copied out of the wire buffer.
+pub fn parse_shared(payload: &Bytes) -> Result<(usize, Vec<RecipeOp>), CodecError> {
     if payload.len() < 4 {
         return Err(CodecError::Truncated);
     }
@@ -141,10 +154,12 @@ pub fn parse(payload: &[u8]) -> Result<(usize, Vec<RecipeOp>), CodecError> {
                 let f = payload.get(pos..pos + 4).ok_or(CodecError::Truncated)?;
                 let len = u32::from_le_bytes([f[0], f[1], f[2], f[3]]) as usize;
                 pos += 4;
-                let bytes = payload.get(pos..pos + len).ok_or(CodecError::Truncated)?;
+                if payload.len() < pos + len {
+                    return Err(CodecError::Truncated);
+                }
+                ops.push(RecipeOp::Data(payload.slice(pos..pos + len)));
                 pos += len;
                 produced += len;
-                ops.push(RecipeOp::Data(bytes.to_vec()));
             }
             _ => return Err(CodecError::BadFormat("unknown recipe op")),
         }
@@ -161,7 +176,7 @@ mod tests {
         let old = b"0123456789abcdef";
         let ops = vec![
             RecipeOp::Copy { old_offset: 10, len: 6 },
-            RecipeOp::Data(b"NEW".to_vec()),
+            RecipeOp::Data(Bytes::from(&b"NEW"[..])),
             RecipeOp::Copy { old_offset: 0, len: 4 },
         ];
         let new_len = 6 + 3 + 4;
@@ -195,7 +210,7 @@ mod tests {
 
     #[test]
     fn truncated_payloads_rejected() {
-        let ops = vec![RecipeOp::Data(b"hello world".to_vec())];
+        let ops = vec![RecipeOp::Data(Bytes::from(&b"hello world"[..]))];
         let payload = encode(11, &ops);
         for cut in 0..payload.len() {
             assert!(apply(b"", &payload[..cut]).is_err(), "cut at {cut}");
@@ -213,7 +228,7 @@ mod tests {
     fn overrun_recipe_rejected() {
         // Recipe produces more than declared: apply stops only at >= so a
         // final op overshooting yields LengthMismatch.
-        let ops = vec![RecipeOp::Data(b"abcdef".to_vec())];
+        let ops = vec![RecipeOp::Data(Bytes::from(&b"abcdef"[..]))];
         let payload = encode(3, &ops);
         assert!(matches!(apply(b"", &payload), Err(CodecError::LengthMismatch { .. })));
     }
@@ -221,7 +236,7 @@ mod tests {
     #[test]
     fn output_and_wire_lens() {
         let c = RecipeOp::Copy { old_offset: 0, len: 100 };
-        let d = RecipeOp::Data(vec![0; 7]);
+        let d = RecipeOp::Data(Bytes::from(vec![0; 7]));
         assert_eq!(c.output_len(), 100);
         assert_eq!(c.wire_len(), 9);
         assert_eq!(d.output_len(), 7);

@@ -135,15 +135,20 @@ impl Traffic {
 /// `decode(old, encode(old, new)) == new` for all inputs — the property
 /// tests in each module and in `tests/` enforce this, and the FVM decoders
 /// are differential-tested against `decode`.
+///
+/// Payloads are produced as [`bytes::Bytes`] so the session pipeline can
+/// hand the same encoded buffer to the response store, the wire-accounting
+/// layer, and the client without copying — cached responses and repeated
+/// downloads are refcount bumps.
 pub trait DiffCodec {
     /// Which protocol this codec implements.
     fn id(&self) -> ProtocolId;
 
     /// Server-side encode.
-    fn encode(&self, old: &[u8], new: &[u8]) -> Vec<u8>;
+    fn encode(&self, old: &[u8], new: &[u8]) -> bytes::Bytes;
 
     /// Client-side reference decode.
-    fn decode(&self, old: &[u8], payload: &[u8]) -> Result<Vec<u8>, CodecError>;
+    fn decode(&self, old: &[u8], payload: &[u8]) -> Result<bytes::Bytes, CodecError>;
 
     /// Bytes the client must send upstream before the server can encode
     /// (e.g. Bitmap's block digests). Defaults to a bare request header.

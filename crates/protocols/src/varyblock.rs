@@ -97,7 +97,7 @@ impl DiffCodec for VaryBlock {
         ProtocolId::VaryBlock
     }
 
-    fn encode(&self, old: &[u8], new: &[u8]) -> Vec<u8> {
+    fn encode(&self, old: &[u8], new: &[u8]) -> bytes::Bytes {
         // Index old chunks by digest. This double-chunk-and-hash pass is
         // the protocol's heavy server-side compute.
         let old_chunks = chunk(old, &self.params);
@@ -109,11 +109,17 @@ impl DiffCodec for VaryBlock {
 
         let new_chunks = chunk(new, &self.params);
         let mut ops: Vec<RecipeOp> = Vec::with_capacity(new_chunks.len());
+        // Pending literal run: adjacent unmatched chunks coalesce here and
+        // flush as one Data op (same wire bytes as the old in-place merge).
+        let mut lit: Vec<u8> = Vec::new();
         for c in new_chunks {
             let bytes = &new[c.offset..c.offset + c.len];
             let d = sha1(bytes);
             match index.get(&d.0) {
                 Some(oc) => {
+                    if !lit.is_empty() {
+                        ops.push(RecipeOp::Data(std::mem::take(&mut lit).into()));
+                    }
                     // Merge adjacent copies for a tighter recipe.
                     if let Some(RecipeOp::Copy { old_offset, len }) = ops.last_mut() {
                         if *old_offset as usize + *len as usize == oc.offset {
@@ -123,20 +129,17 @@ impl DiffCodec for VaryBlock {
                     }
                     ops.push(RecipeOp::Copy { old_offset: oc.offset as u32, len: oc.len as u32 });
                 }
-                None => {
-                    if let Some(RecipeOp::Data(prev)) = ops.last_mut() {
-                        prev.extend_from_slice(bytes);
-                        continue;
-                    }
-                    ops.push(RecipeOp::Data(bytes.to_vec()));
-                }
+                None => lit.extend_from_slice(bytes),
             }
         }
-        recipe::encode(new.len(), &ops)
+        if !lit.is_empty() {
+            ops.push(RecipeOp::Data(lit.into()));
+        }
+        recipe::encode(new.len(), &ops).into()
     }
 
-    fn decode(&self, old: &[u8], payload: &[u8]) -> Result<Vec<u8>, CodecError> {
-        recipe::apply(old, payload)
+    fn decode(&self, old: &[u8], payload: &[u8]) -> Result<bytes::Bytes, CodecError> {
+        recipe::apply(old, payload).map(Into::into)
     }
 }
 

@@ -130,7 +130,7 @@ proptest! {
             } else {
                 let bytes: Vec<u8> = (0..len).map(|i| (i * 37 + at) as u8).collect();
                 expected.extend_from_slice(&bytes);
-                ops.push(recipe::RecipeOp::Data(bytes));
+                ops.push(recipe::RecipeOp::Data(bytes.into()));
             }
         }
         let payload = recipe::encode(expected.len(), &ops);

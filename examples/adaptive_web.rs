@@ -39,7 +39,7 @@ fn main() {
 
             let report = run_session(
                 &mut client,
-                &mut tb.proxy,
+                &tb.proxy,
                 &mut tb.server,
                 &tb.pad_repo,
                 &link,

@@ -28,17 +28,9 @@ fn main() {
     tb.server.publish(1, dataset.clone());
     let mut peer_b = tb.client(ClientClass::PdaBluetooth);
     let link_b = ClientClass::PdaBluetooth.link();
-    let r1 = run_session(
-        &mut peer_b,
-        &mut tb.proxy,
-        &mut tb.server,
-        &tb.pad_repo,
-        &link_b,
-        tb.app_id,
-        1,
-        0,
-    )
-    .expect("B pulls from A");
+    let r1 =
+        run_session(&mut peer_b, &tb.proxy, &mut tb.server, &tb.pad_repo, &link_b, tb.app_id, 1, 0)
+            .expect("B pulls from A");
     println!(
         "B ← A: dataset via {} ({} B on the wire, {})",
         r1.protocol,
@@ -52,17 +44,9 @@ fn main() {
     tb.server.publish(2, notes.clone());
     let mut peer_a = tb.client(ClientClass::DesktopLan);
     let link_a = ClientClass::DesktopLan.link();
-    let r2 = run_session(
-        &mut peer_a,
-        &mut tb.proxy,
-        &mut tb.server,
-        &tb.pad_repo,
-        &link_a,
-        tb.app_id,
-        2,
-        0,
-    )
-    .expect("A pulls from B");
+    let r2 =
+        run_session(&mut peer_a, &tb.proxy, &mut tb.server, &tb.pad_repo, &link_a, tb.app_id, 2, 0)
+            .expect("A pulls from B");
     println!(
         "A ← B: notes via {} ({} B on the wire, {})",
         r2.protocol,

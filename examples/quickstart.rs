@@ -29,7 +29,7 @@ fn main() {
     for version in [0u32, 1] {
         let report = run_session(
             &mut client,
-            &mut tb.proxy,
+            &tb.proxy,
             &mut tb.server,
             &tb.pad_repo,
             &link,

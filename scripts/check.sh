@@ -14,6 +14,13 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q (tier-1: root package)"
 cargo test -q
 
+echo "==> throughput smoke (2-thread concurrent engine gate)"
+# Runs the 1- and 2-thread negotiation + session passes with the built-in
+# decision-identity assertion: a deadlock hangs this step and a lost update
+# or decision divergence aborts it, so concurrency regressions fail the
+# gate rather than just skewing the benches.
+cargo run -q --release -p fractal-bench --bin throughput -- --smoke
+
 # The full workspace suite (cargo test -q --workspace) additionally runs the
 # figure-regeneration tier; see CHANGES.md for the known calibration baseline
 # there before treating a red run as a regression.

@@ -1,20 +1,25 @@
 //! Offline stand-in for the `bytes` crate.
 //!
 //! Provides an immutable, cheaply-cloneable byte buffer backed by
-//! `Arc<[u8]>`. Clones share the allocation (O(1)), which preserves the
-//! property the CDN origin cache relies on: handing out `Bytes` does not
-//! copy object bodies.
+//! `Arc<[u8]>` plus a `[start, end)` view, which preserves the two
+//! properties the payload pipeline relies on: clones share the allocation
+//! (O(1)), and [`Bytes::slice`] hands out refcounted sub-views of one
+//! buffer without copying — recipe literals, PAD artifacts, and page
+//! content all stay slices of the buffer they were produced in.
 
 #![forbid(unsafe_code)]
 
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// A cheaply-cloneable immutable byte buffer.
-#[derive(Clone, PartialEq, Eq, Hash, Default)]
+/// A cheaply-cloneable immutable byte buffer (a refcounted `[start, end)`
+/// view of a shared allocation).
+#[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -25,17 +30,37 @@ impl Bytes {
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.into() }
+        Bytes { data: data.into(), start: 0, end: data.len() }
     }
 
-    /// Number of bytes in the buffer.
+    /// Number of bytes in the view.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
-    /// Whether the buffer is empty.
+    /// Whether the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
+    }
+
+    /// Returns a sub-view of this buffer sharing the same allocation
+    /// (O(1), no copy). Panics when the range is out of bounds, matching
+    /// the real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= end, "slice range reversed: {begin} > {end}");
+        assert!(end <= len, "slice range {end} out of bounds of {len}");
+        Bytes { data: Arc::clone(&self.data), start: self.start + begin, end: self.start + end }
     }
 }
 
@@ -43,37 +68,94 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl PartialEq<Vec<u8>> for Bytes {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<Bytes> for Vec<u8> {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Bytes {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
+    fn eq(&self, other: &&[u8; N]) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self[..] == **other
+    }
+}
+
+impl PartialEq<Bytes> for [u8] {
+    fn eq(&self, other: &Bytes) -> bool {
+        *self == other[..]
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state)
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: v.into() }
+        let end = v.len();
+        Bytes { data: v.into(), start: 0, end }
     }
 }
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        Bytes { data: v.into() }
+        Bytes::copy_from_slice(v)
     }
 }
 
 impl From<&str> for Bytes {
     fn from(v: &str) -> Self {
-        Bytes { data: v.as_bytes().into() }
+        Bytes::copy_from_slice(v.as_bytes())
     }
 }
 
 impl From<Bytes> for Vec<u8> {
     fn from(b: Bytes) -> Vec<u8> {
-        b.data.to_vec()
+        b.to_vec()
     }
 }
 
@@ -103,5 +185,38 @@ mod tests {
         let b: Bytes = vec![0u8; 1 << 20].into();
         let c = b.clone();
         assert_eq!(b.as_ptr(), c.as_ptr());
+    }
+
+    #[test]
+    fn slices_share_storage() {
+        let b: Bytes = (0u8..100).collect::<Vec<u8>>().into();
+        let s = b.slice(10..20);
+        assert_eq!(s.len(), 10);
+        assert_eq!(&s[..], &(10u8..20).collect::<Vec<u8>>()[..]);
+        // The slice points into the parent allocation.
+        assert_eq!(s.as_ptr(), b[10..].as_ptr());
+        // Slices of slices compose.
+        let ss = s.slice(2..=4);
+        assert_eq!(&ss[..], &[12, 13, 14]);
+        assert_eq!(b.slice(..).len(), 100);
+        assert_eq!(b.slice(95..).len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let b: Bytes = vec![0u8; 4].into();
+        let _ = b.slice(2..6);
+    }
+
+    #[test]
+    fn eq_and_hash_are_view_based() {
+        let a: Bytes = vec![1u8, 2, 3, 1, 2, 3].into();
+        let left = a.slice(0..3);
+        let right = a.slice(3..6);
+        assert_eq!(left, right);
+        let mut set = std::collections::HashSet::new();
+        set.insert(left);
+        assert!(set.contains(&right));
     }
 }

@@ -1,9 +1,9 @@
 //! Offline stand-in for the `parking_lot` crate.
 //!
-//! Wraps `std::sync::Mutex` behind the poison-free `parking_lot` API the
-//! workspace uses (`Mutex::new` + `lock`). A poisoned std mutex is
-//! recovered rather than propagated, matching parking_lot's semantics of
-//! never poisoning.
+//! Wraps `std::sync::Mutex` / `std::sync::RwLock` behind the poison-free
+//! `parking_lot` API the workspace uses (`Mutex::new` + `lock`,
+//! `RwLock::new` + `read`/`write`). A poisoned std lock is recovered rather
+//! than propagated, matching parking_lot's semantics of never poisoning.
 
 #![forbid(unsafe_code)]
 
@@ -41,9 +41,52 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A reader-writer lock whose guards never return a poison error.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+}
+
+/// Shared guard returned by [`RwLock::read`]; releases the lock on drop.
+pub type RwLockReadGuard<'a, T> = sync::RwLockReadGuard<'a, T>;
+
+/// Exclusive guard returned by [`RwLock::write`]; releases the lock on drop.
+pub type RwLockWriteGuard<'a, T> = sync::RwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock { inner: sync::RwLock::new(value) }
+    }
+
+    /// Acquires shared read access, blocking until no writer holds the lock.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires exclusive write access, blocking until the lock is free.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
     use std::sync::Arc;
 
     #[test]
@@ -70,5 +113,39 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*m.lock(), 8000);
+    }
+
+    #[test]
+    fn rwlock_read_write() {
+        let l = RwLock::new(5);
+        {
+            let a = l.read();
+            let b = l.read();
+            assert_eq!(*a + *b, 10);
+        }
+        *l.write() += 1;
+        assert_eq!(*l.read(), 6);
+        assert_eq!(l.into_inner(), 6);
+    }
+
+    #[test]
+    fn rwlock_shared_across_threads() {
+        let l = Arc::new(RwLock::new(0u64));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    for _ in 0..500 {
+                        let before = *l.read();
+                        *l.write() += 1;
+                        assert!(*l.read() > before);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 2000);
     }
 }

@@ -14,7 +14,7 @@ use fractal::protocols::ProtocolId;
 
 #[test]
 fn inp_messages_survive_the_wire_with_real_pad_meta() {
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     let env = ClientClass::PdaBluetooth.env();
     let pads = tb.proxy.negotiate(tb.app_id, env).unwrap();
 
@@ -33,7 +33,7 @@ fn inp_messages_survive_the_wire_with_real_pad_meta() {
 
 #[test]
 fn proxy_cache_and_client_cache_compose() {
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     let env = ClientClass::LaptopWlan.env();
 
     // Three negotiations from distinct client hosts with identical envs:
