@@ -1,0 +1,71 @@
+//! Provenance stamp shared by every `BENCH_*.json` writer.
+//!
+//! A benchmark number without its host and commit is unreproducible: the
+//! capacity knees depend on core count, the throughput speedups on both.
+//! [`BenchEnv::capture`] records the machine and the exact source revision
+//! once, and [`BenchEnv::json_fields`] emits them in the common JSON shape
+//! so `BENCH_throughput.json` and `BENCH_capacity.json` stay comparable
+//! across CI runs and laptops.
+
+/// Host and revision the benchmark ran on.
+pub struct BenchEnv {
+    /// `available_parallelism` of the host (1 when unknown).
+    pub host_cpus: usize,
+    /// Git commit: `GITHUB_SHA` in CI, `git rev-parse HEAD` locally,
+    /// `"unknown"` outside a checkout.
+    pub git_sha: String,
+}
+
+impl BenchEnv {
+    /// Captures the current host and revision.
+    pub fn capture() -> BenchEnv {
+        let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        let git_sha = std::env::var("GITHUB_SHA")
+            .ok()
+            .or_else(git_head)
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".into());
+        BenchEnv { host_cpus, git_sha }
+    }
+
+    /// The two provenance lines every `BENCH_*.json` carries, indented for
+    /// the top-level object.
+    pub fn json_fields(&self) -> String {
+        format!("  \"host_cpus\": {},\n  \"git_sha\": \"{}\",\n", self.host_cpus, self.git_sha)
+    }
+}
+
+fn git_head() -> Option<String> {
+    let out = std::process::Command::new("git").args(["rev-parse", "HEAD"]).output().ok()?;
+    out.status.success().then(|| String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_yields_usable_stamp() {
+        let env = BenchEnv::capture();
+        assert!(env.host_cpus >= 1);
+        assert!(!env.git_sha.is_empty());
+        // Either a real 40-hex sha or the explicit sentinel — never noise.
+        assert!(
+            env.git_sha == "unknown" || env.git_sha.chars().all(|c| c.is_ascii_hexdigit()),
+            "{}",
+            env.git_sha
+        );
+    }
+
+    #[test]
+    fn json_fields_are_valid_object_members() {
+        let env = BenchEnv { host_cpus: 8, git_sha: "abc123".into() };
+        let fields = env.json_fields();
+        assert!(fields.contains("\"host_cpus\": 8,"));
+        assert!(fields.contains("\"git_sha\": \"abc123\","));
+        // Splices into `{\n<fields>...}` without breaking the object.
+        let doc = format!("{{\n{fields}  \"bench\": \"x\"\n}}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+}

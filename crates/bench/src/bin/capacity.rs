@@ -1,5 +1,6 @@
 //! System-capacity extension: server throughput knee per protocol.
 
+use fractal_bench::bench_env::BenchEnv;
 use fractal_bench::capacity::{knee_per_protocol_threads, run_point, service_time};
 use fractal_bench::report::render_table;
 
@@ -35,7 +36,8 @@ fn main() {
          content and behind disqualifying Vary in Figure 10."
     );
 
-    let mut json = String::from("{\n  \"bench\": \"capacity\",\n  \"knees\": [\n");
+    let env = BenchEnv::capture();
+    let mut json = format!("{{\n  \"bench\": \"capacity\",\n{}  \"knees\": [\n", env.json_fields());
     for (i, (p, knee)) in knees.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"protocol\": \"{}\", \"server_ms_per_page\": {:.1}, \

@@ -1,105 +1,185 @@
 //! End-to-end throughput of the concurrent negotiation engine.
 //!
-//! Two passes per thread count (1, 2, 4, 8):
+//! Three passes per thread count (1, 2, 4, 8), all of them against **one**
+//! shared `&self` server + sharded proxy pair — no per-item testbeds:
 //!
 //! * **negotiations/sec** — the Fig. 9(a) mixed-client environment stream
-//!   hammering one shared sharded [`AdaptationProxy`] through the
-//!   work-stealing driver (wall-clock, not simulated time);
-//! * **session-bytes/sec** — independent warm sessions (real encoders,
-//!   real FVM decoding) pushing workload pages through the zero-copy
-//!   payload pipeline; the rate counts delivered content plus wire bytes.
+//!   hammering the shared [`AdaptationProxy`] through the work-stealing
+//!   driver (wall-clock, not simulated time);
+//! * **session-bytes/sec** — warm sessions (real encoders, real FVM
+//!   decoding) pulling pre-published workload pages from the shared
+//!   server; the rate counts delivered content plus wire bytes;
+//! * **reactor sessions/sec** — batches of ≥ 64 simultaneously in-flight
+//!   event-driven INP sessions, each batch multiplexed by one poll-based
+//!   [`Reactor`] and all batches sharing the same server + proxy.
 //!
-//! Every negotiation's adaptation decision is fingerprinted and compared
-//! across thread counts — the run aborts if any decision diverges from the
-//! single-thread oracle. Results land in `BENCH_throughput.json` (skipped
-//! under `--smoke`, the CI gate mode, which also trims the sweep to 1–2
-//! threads).
+//! Every adaptation decision — direct negotiations and reactor sessions
+//! alike — is fingerprinted and compared against the single-thread serial
+//! oracle; the run aborts on any divergence. Results land in
+//! `BENCH_throughput.json` (skipped under `--smoke`, the CI gate mode,
+//! which also trims the sweep to 1–2 threads).
 
 use std::time::Instant;
 
+use fractal_bench::bench_env::BenchEnv;
 use fractal_bench::fig9a::client_env;
 use fractal_bench::parallel::{self, THREAD_SWEEP};
 use fractal_bench::report::render_table;
 use fractal_bench::workbench::WORKLOAD_SEED;
+use fractal_core::meta::PadMeta;
 use fractal_core::presets::ClientClass;
+use fractal_core::reactor::{InpSession, Reactor};
 use fractal_core::server::AdaptiveContentMode;
 use fractal_core::session::run_session;
 use fractal_core::testbed::Testbed;
 use fractal_workload::mutate::EditProfile;
 use fractal_workload::PageSet;
 
+/// Sessions multiplexed by each reactor — the "≥ 64 in-flight" floor.
+const REACTOR_BATCH: usize = 64;
+
 struct Row {
     threads: usize,
     negotiations_per_sec: f64,
     bytes_per_sec: f64,
+    reactor_sessions_per_sec: f64,
     speedup: f64,
 }
 
+/// Order-sensitive FNV fold over an adaptation decision (pad ids +
+/// protocols) — the identity checked across thread counts.
+fn fingerprint(pads: &[PadMeta]) -> u64 {
+    pads.iter().fold(0xcbf2_9ce4_8422_2325_u64, |h, p| {
+        (h ^ p.id.0 ^ ((p.protocol as u64) << 32)).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
 /// Times `n` negotiations over the mixed-client stream on `n_threads`
-/// workers against one shared proxy. Returns the rate and the per-client
-/// decision fingerprints (order-sensitive FNV over pad ids + protocols).
-fn negotiation_pass(n_threads: usize, n: usize) -> (f64, Vec<u64>) {
-    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
-    let proxy = &tb.proxy;
-    let app_id = tb.app_id;
+/// workers against the shared proxy. Returns the rate and the per-client
+/// decision fingerprints.
+fn negotiation_pass(tb: &Testbed, n_threads: usize, n: usize) -> (f64, Vec<u64>) {
     let start = Instant::now();
     let decisions = parallel::run_indexed(n_threads, n, |i| {
-        let pads = proxy.negotiate(app_id, client_env(i)).expect("negotiation succeeds");
-        pads.iter().fold(0xcbf2_9ce4_8422_2325_u64, |h, p| {
-            (h ^ p.id.0 ^ ((p.protocol as u64) << 32)).wrapping_mul(0x100_0000_01b3)
-        })
+        let pads = tb.proxy.negotiate(tb.app_id, client_env(i)).expect("negotiation succeeds");
+        fingerprint(&pads)
     });
     (n as f64 / start.elapsed().as_secs_f64(), decisions)
 }
 
-/// One independent session item: a fresh testbed serving `n_pages` warm
-/// pages to one client class. Returns bytes moved (delivered content plus
-/// wire traffic).
-fn session_item(item: usize, n_pages: u32) -> u64 {
+/// One warm page pre-published on the shared server: the client holds
+/// version 0 and requests version 1.
+struct WarmPage {
+    content_id: u32,
+    v0: Vec<u8>,
+    delivered: u64,
+}
+
+/// Serially publishes `n_items × n_pages` distinct content ids on the
+/// shared server (publishing is the one `&mut` operation left), returning
+/// the per-item page lists the timed parallel pass replays.
+fn publish_warm_pages(tb: &mut Testbed, n_items: usize, n_pages: u32) -> Vec<Vec<WarmPage>> {
+    (0..n_items)
+        .map(|item| {
+            let pages = PageSet::new(WORKLOAD_SEED ^ (item as u64 + 1), n_pages);
+            (0..n_pages)
+                .map(|page| {
+                    let content_id = item as u32 * n_pages + page;
+                    let v0 = pages.original(page).to_bytes();
+                    let v1 = pages.version(page, 1, EditProfile::Localized).to_bytes();
+                    let delivered = v1.len() as u64;
+                    tb.server.publish(content_id, v0.clone());
+                    tb.server.publish(content_id, v1);
+                    WarmPage { content_id, v0, delivered }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// One session item against the shared pair: a fresh client of the item's
+/// class walks its warm pages through full INP sessions. Returns bytes
+/// moved (delivered content plus wire traffic).
+fn session_item(tb: &Testbed, warm: &[WarmPage], item: usize) -> u64 {
     let class = ClientClass::ALL[item % 3];
-    let pages = PageSet::new(WORKLOAD_SEED ^ (item as u64 + 1), n_pages);
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     let link = class.link();
     let mut client = tb.client(class);
     let mut bytes = 0u64;
-    for page in 0..n_pages {
-        let v0 = pages.original(page).to_bytes();
-        let v1 = pages.version(page, 1, EditProfile::Localized).to_bytes();
-        let delivered = v1.len() as u64;
-        tb.server.publish(page, v0.clone());
-        tb.server.publish(page, v1);
-        client.store_content(page, 0, v0);
+    for page in warm {
+        client.store_content(page.content_id, 0, page.v0.clone());
         let report = run_session(
             &mut client,
             &tb.proxy,
-            &mut tb.server,
+            &tb.server,
             &tb.pad_repo,
             &link,
             tb.app_id,
-            page,
+            page.content_id,
             1,
         )
         .expect("session succeeds");
-        bytes += delivered + report.traffic.total();
+        bytes += page.delivered + report.traffic.total();
     }
     bytes
 }
 
-fn write_json(path: &str, rows: &[Row], n_negotiations: usize, host_cpus: usize) {
+/// One reactor batch: spawns [`REACTOR_BATCH`] event-driven sessions over
+/// the shared pair, requires all of them in flight at once, runs the event
+/// loop to completion, and returns the per-session decision fingerprints
+/// in spawn order.
+fn reactor_batch(tb: &Testbed, batch: usize, content_id: u32) -> Vec<u64> {
+    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+    for s in 0..REACTOR_BATCH {
+        let env = client_env(batch * REACTOR_BATCH + s);
+        let session = InpSession::new(tb.client_with_env(env), tb.app_id, content_id, 0);
+        reactor.spawn(session);
+    }
+    assert!(
+        reactor.peak_in_flight() >= REACTOR_BATCH,
+        "expected ≥ {REACTOR_BATCH} simultaneously in-flight sessions, saw {}",
+        reactor.peak_in_flight()
+    );
+    let report = reactor.run().expect("no reactor session may stall");
+    assert_eq!(report.failed, 0, "reactor sessions must all complete");
+    reactor
+        .into_sessions()
+        .iter()
+        .map(|s| fingerprint(s.negotiated().expect("session negotiated")))
+        .collect()
+}
+
+/// Times `n_batches` reactor batches on `n_threads` workers. Returns the
+/// session rate and all fingerprints in global session order.
+fn reactor_pass(
+    tb: &Testbed,
+    n_threads: usize,
+    n_batches: usize,
+    content_id: u32,
+) -> (f64, Vec<u64>) {
+    let start = Instant::now();
+    let per_batch =
+        parallel::run_indexed(n_threads, n_batches, |b| reactor_batch(tb, b, content_id));
+    let rate = (n_batches * REACTOR_BATCH) as f64 / start.elapsed().as_secs_f64();
+    (rate, per_batch.into_iter().flatten().collect())
+}
+
+fn write_json(path: &str, rows: &[Row], n_negotiations: usize, env: &BenchEnv) {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"throughput\",\n");
     out.push_str("  \"workload\": \"fig9a-mixed-clients\",\n");
     out.push_str(&format!("  \"negotiations\": {n_negotiations},\n"));
-    out.push_str(&format!("  \"host_cpus\": {host_cpus},\n"));
+    out.push_str(&env.json_fields());
+    out.push_str(&format!("  \"reactor_sessions_in_flight\": {REACTOR_BATCH},\n"));
     out.push_str("  \"decisions_identical_across_threads\": true,\n");
     out.push_str("  \"rows\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"threads\": {}, \"negotiations_per_sec\": {:.0}, \
-             \"bytes_per_sec\": {:.0}, \"speedup\": {:.3}}}{}\n",
+             \"bytes_per_sec\": {:.0}, \"reactor_sessions_per_sec\": {:.0}, \
+             \"speedup\": {:.3}}}{}\n",
             r.threads,
             r.negotiations_per_sec,
             r.bytes_per_sec,
+            r.reactor_sessions_per_sec,
             r.speedup,
             if i + 1 < rows.len() { "," } else { "" }
         ));
@@ -110,21 +190,38 @@ fn write_json(path: &str, rows: &[Row], n_negotiations: usize, host_cpus: usize)
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let (n_neg, n_items, pages_per_item) = if smoke { (600, 4, 2) } else { (200_000, 24, 6) };
+    let (n_neg, n_items, pages_per_item, n_batches) =
+        if smoke { (600, 4, 2, 2) } else { (200_000, 24, 6, 16) };
     let sweep: &[usize] = if smoke { &THREAD_SWEEP[..2] } else { &THREAD_SWEEP };
-    let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let env = BenchEnv::capture();
 
     println!(
-        "Throughput: {n_neg} negotiations + {n_items}×{pages_per_item} warm sessions \
-         per thread count (host has {host_cpus} cpu(s))\n"
+        "Throughput: {n_neg} negotiations + {n_items}×{pages_per_item} warm sessions + \
+         {n_batches}×{REACTOR_BATCH} reactor sessions per thread count \
+         (host has {} cpu(s), rev {})\n",
+        env.host_cpus, env.git_sha
     );
 
+    // ONE shared pair for every pass at every thread count: publish is the
+    // only &mut step, done up front; everything timed below runs on &tb.
+    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let warm = publish_warm_pages(&mut tb, n_items, pages_per_item);
+    let reactor_content = n_items as u32 * pages_per_item + 1;
+    tb.server.publish(reactor_content, vec![5u8; 16_000]);
+    let tb = tb;
+
+    // Serial oracle for the reactor sessions: the proxy's direct decision
+    // for every environment in the stream, computed before any timing.
+    let reactor_oracle: Vec<u64> = (0..n_batches * REACTOR_BATCH)
+        .map(|i| fingerprint(&tb.proxy.negotiate(tb.app_id, client_env(i)).unwrap()))
+        .collect();
+
     let mut rows: Vec<Row> = Vec::new();
-    let mut oracle: Option<Vec<u64>> = None;
+    let mut neg_oracle: Option<Vec<u64>> = None;
     for &threads in sweep {
-        let (neg_rate, decisions) = negotiation_pass(threads, n_neg);
-        match &oracle {
-            None => oracle = Some(decisions),
+        let (neg_rate, decisions) = negotiation_pass(&tb, threads, n_neg);
+        match &neg_oracle {
+            None => neg_oracle = Some(decisions),
             Some(first) => assert_eq!(
                 first, &decisions,
                 "adaptation decisions diverged from the serial oracle at {threads} threads"
@@ -133,16 +230,24 @@ fn main() {
 
         let start = Instant::now();
         let bytes: u64 =
-            parallel::run_indexed(threads, n_items, |i| session_item(i, pages_per_item))
+            parallel::run_indexed(threads, n_items, |i| session_item(&tb, &warm[i], i))
                 .into_iter()
                 .sum();
         let bytes_rate = bytes as f64 / start.elapsed().as_secs_f64();
+
+        let (reactor_rate, reactor_decisions) =
+            reactor_pass(&tb, threads, n_batches, reactor_content);
+        assert_eq!(
+            reactor_decisions, reactor_oracle,
+            "reactor decisions diverged from the serial oracle at {threads} threads"
+        );
 
         let base = rows.first().map_or(neg_rate, |r: &Row| r.negotiations_per_sec);
         rows.push(Row {
             threads,
             negotiations_per_sec: neg_rate,
             bytes_per_sec: bytes_rate,
+            reactor_sessions_per_sec: reactor_rate,
             speedup: neg_rate / base,
         });
     }
@@ -154,17 +259,27 @@ fn main() {
                 r.threads.to_string(),
                 format!("{:.0}", r.negotiations_per_sec),
                 format!("{:.1}", r.bytes_per_sec / 1e6),
+                format!("{:.0}", r.reactor_sessions_per_sec),
                 format!("{:.2}x", r.speedup),
             ]
         })
         .collect();
-    println!("{}", render_table(&["threads", "negotiations/s", "session MB/s", "speedup"], &table));
-    println!("\nadaptation decisions identical across all thread counts: yes");
+    println!(
+        "{}",
+        render_table(
+            &["threads", "negotiations/s", "session MB/s", "reactor sess/s", "speedup"],
+            &table
+        )
+    );
+    println!(
+        "\nadaptation decisions identical across all thread counts: yes \
+         (direct + {REACTOR_BATCH}-in-flight reactor)"
+    );
 
     if smoke {
         println!("(--smoke: not writing BENCH_throughput.json)");
     } else {
-        write_json("BENCH_throughput.json", &rows, n_neg, host_cpus);
+        write_json("BENCH_throughput.json", &rows, n_neg, &env);
         println!("wrote BENCH_throughput.json");
     }
 }

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod ablate;
+pub mod bench_env;
 pub mod capacity;
 pub mod fig10;
 pub mod fig11;

@@ -63,7 +63,7 @@ pub fn measure_protocol(
         let report = run_session(
             &mut client,
             &tb.proxy,
-            &mut tb.server,
+            &tb.server,
             &tb.pad_repo,
             &link,
             tb.app_id,
@@ -103,7 +103,7 @@ pub fn measure_adaptive(
         let report = run_session(
             &mut client,
             &tb.proxy,
-            &mut tb.server,
+            &tb.server,
             &tb.pad_repo,
             &link,
             tb.app_id,

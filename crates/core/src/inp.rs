@@ -10,6 +10,7 @@
 //! client → CDN     PAD_DOWNLOAD_REQ    (PAD id; CDN picks closest edge)
 //! CDN    → client  PAD_DOWNLOAD_REP    (signed mobile-code bytes)
 //! client → server  APP_REQ             (request + negotiated protocol ids)
+//! server → client  APP_REP             (encoded session response)
 //! ```
 //!
 //! "Each packet has an INP header segment, which is used to maintain the
@@ -79,6 +80,21 @@ pub enum InpMessage {
         /// Opaque application request payload.
         payload: Vec<u8>,
     },
+    /// Application server → client: the encoded session response. Not in
+    /// Figure 4 (the paper leaves the post-`APP_REQ` session opaque), but
+    /// the event-driven endpoint needs the server's reply framed like every
+    /// other leg so one reactor can multiplex whole sessions.
+    AppRep {
+        /// The content served.
+        content_id: u32,
+        /// The version served.
+        version: u32,
+        /// Protocol the payload is encoded with.
+        protocol: ProtocolId,
+        /// Encoded payload ([`Bytes`]: zero-copy view of the server's
+        /// encode output or proactive-store entry).
+        payload: Bytes,
+    },
 }
 
 impl InpMessage {
@@ -93,6 +109,7 @@ impl InpMessage {
             InpMessage::PadDownloadReq { .. } => 6,
             InpMessage::PadDownloadRep { .. } => 7,
             InpMessage::AppReq { .. } => 8,
+            InpMessage::AppRep { .. } => 9,
         }
     }
 
@@ -107,6 +124,7 @@ impl InpMessage {
             InpMessage::PadDownloadReq { .. } => "PAD_DOWNLOAD_REQ",
             InpMessage::PadDownloadRep { .. } => "PAD_DOWNLOAD_REP",
             InpMessage::AppReq { .. } => "APP_REQ",
+            InpMessage::AppRep { .. } => "APP_REP",
         }
     }
 
@@ -144,6 +162,13 @@ impl InpMessage {
                 for p in protocols {
                     body.u16(p.wire_id());
                 }
+                body.u32(payload.len() as u32);
+                body.bytes(payload);
+            }
+            InpMessage::AppRep { content_id, version, protocol, payload } => {
+                body.u32(*content_id);
+                body.u32(*version);
+                body.u16(protocol.wire_id());
                 body.u32(payload.len() as u32);
                 body.bytes(payload);
             }
@@ -220,6 +245,15 @@ impl InpMessage {
                 let payload = r.take(plen)?.to_vec();
                 InpMessage::AppReq { app_id, protocols, payload }
             }
+            9 => {
+                let content_id = r.u32()?;
+                let version = r.u32()?;
+                let protocol =
+                    ProtocolId::from_wire_id(r.u16()?).ok_or(WireError::BadEnum("ProtocolId"))?;
+                let plen = r.u32()? as usize;
+                let payload = Bytes::copy_from_slice(r.take(plen)?);
+                InpMessage::AppRep { content_id, version, protocol, payload }
+            }
             _ => return Err(WireError::BadEnum("msg_type")),
         };
         if !r.done() {
@@ -278,6 +312,12 @@ mod tests {
                 app_id: AppId(1),
                 protocols: vec![ProtocolId::Bitmap],
                 payload: b"GET page7 v3".to_vec(),
+            },
+            InpMessage::AppRep {
+                content_id: 7,
+                version: 3,
+                protocol: ProtocolId::Bitmap,
+                payload: vec![9, 8, 7].into(),
             },
         ]
     }
@@ -344,7 +384,8 @@ mod tests {
                 "PAD_META_REP",
                 "PAD_DOWNLOAD_REQ",
                 "PAD_DOWNLOAD_REP",
-                "APP_REQ"
+                "APP_REQ",
+                "APP_REP"
             ]
         );
     }
@@ -353,6 +394,6 @@ mod tests {
     fn distinct_wire_types() {
         let types: std::collections::HashSet<u8> =
             all_messages().iter().map(|m| m.msg_type()).collect();
-        assert_eq!(types.len(), 8);
+        assert_eq!(types.len(), 9);
     }
 }

@@ -18,6 +18,9 @@
 //!   and wire formats;
 //! * [`endpoint`] — the INP state machines that enforce Figure 4's message
 //!   order on both ends (the "protocol integrity" of the INP header);
+//! * [`reactor`] — the event-driven INP endpoint: per-session state
+//!   machines ([`reactor::InpSession`]) multiplexed by a poll-based
+//!   [`reactor::Reactor`] over one shared proxy + server pair;
 //! * [`proxy`] — the adaptation proxy: negotiation manager + distribution
 //!   manager + adaptation cache (§3.2);
 //! * [`server`] — the application server: versioned adaptive content,
@@ -43,6 +46,7 @@ pub mod pat;
 pub mod presets;
 pub mod proxy;
 pub mod ratio;
+pub mod reactor;
 pub mod search;
 pub mod server;
 pub mod session;

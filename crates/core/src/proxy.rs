@@ -129,13 +129,27 @@ impl AdaptationProxy {
     /// that application's PAT and invalidating affected cache and memo
     /// entries.
     pub fn push_app_meta(&mut self, meta: &AppMeta) {
-        let pat = Pat::from_app_meta(meta);
-        for shard in &self.shards {
-            shard.cache.write().retain(|(_, app), _| *app != meta.app_id);
-            shard.memo.write().retain(|(_, app), _| *app != meta.app_id);
+        self.push_app_metas(std::slice::from_ref(meta));
+    }
+
+    /// Receives a batch of `AppMeta` pushes at once. The invalidation is
+    /// batched: the affected app-id set is computed first, then each
+    /// shard's cache and memo are swept in **one** write-lock acquisition
+    /// each — 2·[`SHARDS`] lock operations total, independent of how many
+    /// applications reconfigure, instead of 2·`SHARDS` per application.
+    pub fn push_app_metas(&mut self, metas: &[AppMeta]) {
+        if metas.is_empty() {
+            return;
         }
-        self.pats.insert(meta.app_id, pat);
-        self.app_pushes.fetch_add(1, Ordering::Relaxed);
+        let affected: Vec<AppId> = metas.iter().map(|m| m.app_id).collect();
+        for shard in &self.shards {
+            shard.cache.write().retain(|(_, app), _| !affected.contains(app));
+            shard.memo.write().retain(|(_, app), _| !affected.contains(app));
+        }
+        for meta in metas {
+            self.pats.insert(meta.app_id, Pat::from_app_meta(meta));
+        }
+        self.app_pushes.fetch_add(metas.len() as u64, Ordering::Relaxed);
     }
 
     /// Switches the server-compute mode (reactive ↔ proactive adaptive
@@ -366,6 +380,32 @@ mod tests {
         proxy.push_app_meta(&other); // re-push app 2
         assert!(proxy.cached(AppId(1), &env));
         assert!(!proxy.cached(AppId(2), &env));
+    }
+
+    #[test]
+    fn batched_push_invalidates_all_affected_apps_at_once() {
+        let mut proxy = proxy_with_case_study();
+        let artifacts: Vec<_> = ProtocolId::PAPER_FOUR
+            .iter()
+            .map(|&p| (p, sha1(p.slug().as_bytes()), 2000u32))
+            .collect();
+        let app2 = case_study_app_meta(AppId(2), &artifacts);
+        let app3 = case_study_app_meta(AppId(3), &artifacts);
+        proxy.push_app_metas(&[app2.clone(), app3.clone()]);
+        assert_eq!(proxy.stats().app_pushes, 3, "1 from setup + 2 batched");
+
+        let env = ClientClass::DesktopLan.env();
+        for id in [1, 2, 3] {
+            proxy.negotiate(AppId(id), env).unwrap();
+        }
+        // Re-pushing apps 2 and 3 in one batch evicts both and leaves app 1.
+        proxy.push_app_metas(&[app2, app3]);
+        assert!(proxy.cached(AppId(1), &env));
+        assert!(!proxy.cached(AppId(2), &env));
+        assert!(!proxy.cached(AppId(3), &env));
+        // Empty batch is a no-op.
+        proxy.push_app_metas(&[]);
+        assert_eq!(proxy.stats().app_pushes, 5);
     }
 
     #[test]

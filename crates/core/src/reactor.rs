@@ -1,0 +1,782 @@
+//! Event-driven INP: per-session state machines multiplexed by a
+//! poll-based reactor.
+//!
+//! The paper's Figure 4 exchange used to be driven as a synchronous call
+//! chain (`run_session`): one client at a time walks negotiation, PAD
+//! download, and the application exchange to completion. That shape cannot
+//! overlap sessions — the sharded proxy scales but the drive loop
+//! serializes. Here the whole exchange is inverted into events:
+//!
+//! * [`InpSession`] is one negotiation/session as a state machine
+//!   (`Init → MetaExchange → PathSearch → PadDownload → Sessioning →
+//!   Done`/`Failed`). It consumes framed [`InpMessage`]s and emits the
+//!   replies the protocol calls for; it never blocks and never panics on
+//!   hostile input — every (phase, message) pair either advances or
+//!   returns a typed [`SessionError`].
+//! * [`Reactor`] multiplexes many in-flight sessions over **one shared**
+//!   `&AdaptationProxy` + `&ApplicationServer` + `&PadRepo` trio, routing
+//!   each session's outbound messages to the right party (proxy endpoint,
+//!   PAD repository, application server) and delivering replies one
+//!   message per poll in round-robin order, so sessions genuinely
+//!   interleave. No threads, no async runtime: a plain poll loop that a
+//!   caller can drive, stop, or fan out (one reactor per worker thread —
+//!   all workers sharing the same server and proxy, which both serve
+//!   through `&self`).
+//!
+//! A reactor that stops making progress while sessions are still live
+//! reports [`ReactorStalled`] instead of spinning, which is what the CI
+//! smoke gate's timeout wrapper relies on for fast deadlock diagnostics.
+
+use std::collections::VecDeque;
+
+use crate::client::FractalClient;
+use crate::endpoint::{ProtocolViolation, ProxyEndpoint};
+use crate::error::{FractalError, WireError};
+use crate::inp::InpMessage;
+use crate::meta::{AppId, PadId, PadMeta, Reader, Writer};
+use crate::proxy::AdaptationProxy;
+use crate::server::ApplicationServer;
+use crate::session::PadRepo;
+
+/// Phases of one event-driven INP session, in protocol order.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SessionPhase {
+    /// Created; nothing sent yet.
+    Init,
+    /// INIT_REQ sent; awaiting INIT_REP then CLI_META_REQ.
+    MetaExchange,
+    /// CLI_META_REP sent; the proxy is running the Figure 6 path search.
+    PathSearch,
+    /// Awaiting PAD_DOWNLOAD_REPs for the negotiated, not-yet-deployed
+    /// PADs.
+    PadDownload,
+    /// APP_REQ sent; awaiting the encoded APP_REP.
+    Sessioning,
+    /// Content decoded and stored; terminal.
+    Done,
+    /// Terminal failure; see [`InpSession::error`].
+    Failed,
+}
+
+impl SessionPhase {
+    /// Whether the session can make no further transitions.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, SessionPhase::Done | SessionPhase::Failed)
+    }
+
+    /// Phase name for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            SessionPhase::Init => "Init",
+            SessionPhase::MetaExchange => "MetaExchange",
+            SessionPhase::PathSearch => "PathSearch",
+            SessionPhase::PadDownload => "PadDownload",
+            SessionPhase::Sessioning => "Sessioning",
+            SessionPhase::Done => "Done",
+            SessionPhase::Failed => "Failed",
+        }
+    }
+}
+
+/// Typed failures of the event-driven session path.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SessionError {
+    /// A message arrived that the current phase does not accept (the
+    /// session's state is left unchanged — duplicates and reordering are
+    /// rejected, not acted on).
+    UnexpectedMessage {
+        /// Phase at the time.
+        phase: &'static str,
+        /// Offending message name.
+        message: &'static str,
+    },
+    /// `start()` called on a session that already started.
+    AlreadyStarted,
+    /// A `PAD_DOWNLOAD_REP` for a PAD that is not pending download.
+    UnexpectedPad(PadId),
+    /// An `APP_REP` for a content id the session never requested.
+    WrongContent {
+        /// Content the session asked for.
+        expected: u32,
+        /// Content the reply carried.
+        got: u32,
+    },
+    /// A service endpoint rejected the session's message.
+    Peer(ProtocolViolation),
+    /// A framework failure (negotiation, PAD gauntlet, server encode).
+    Fractal(FractalError),
+}
+
+impl core::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            SessionError::UnexpectedMessage { phase, message } => {
+                write!(f, "unexpected {message} in phase {phase}")
+            }
+            SessionError::AlreadyStarted => write!(f, "session already started"),
+            SessionError::UnexpectedPad(id) => write!(f, "PAD {id} was not pending download"),
+            SessionError::WrongContent { expected, got } => {
+                write!(f, "APP_REP for content {got}, expected {expected}")
+            }
+            SessionError::Peer(v) => write!(f, "peer rejected message: {v}"),
+            SessionError::Fractal(e) => write!(f, "session failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+impl From<FractalError> for SessionError {
+    fn from(e: FractalError) -> Self {
+        SessionError::Fractal(e)
+    }
+}
+
+/// Encodes the `APP_REQ` payload the event-driven server side understands:
+/// content id, the version the client already holds (if any), and the
+/// version it wants.
+pub fn encode_app_payload(content_id: u32, have: Option<u32>, want: u32) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.u32(content_id);
+    w.u32(want);
+    match have {
+        Some(v) => {
+            w.u8(1);
+            w.u32(v);
+        }
+        None => w.u8(0),
+    }
+    w.0
+}
+
+/// Decodes an `APP_REQ` payload produced by [`encode_app_payload`].
+pub fn decode_app_payload(payload: &[u8]) -> Result<(u32, Option<u32>, u32), WireError> {
+    let mut r = Reader::new(payload);
+    let content_id = r.u32()?;
+    let want = r.u32()?;
+    let have = match r.u8()? {
+        0 => None,
+        1 => Some(r.u32()?),
+        _ => return Err(WireError::BadEnum("have flag")),
+    };
+    if !r.done() {
+        return Err(WireError::TrailingBytes);
+    }
+    Ok((content_id, have, want))
+}
+
+/// One negotiation/session as an event-driven state machine (client side).
+///
+/// Owns its [`FractalClient`], so PAD deployment, the protocol cache, and
+/// content decoding all run against real client state; the transport is
+/// whatever delivers [`InpMessage`]s to [`on_message`](Self::on_message) —
+/// normally a [`Reactor`].
+#[derive(Debug)]
+pub struct InpSession {
+    client: FractalClient,
+    app_id: AppId,
+    content_id: u32,
+    want_version: u32,
+    phase: SessionPhase,
+    init_acked: bool,
+    pads: Vec<PadMeta>,
+    pending: Vec<PadMeta>,
+    error: Option<SessionError>,
+}
+
+impl InpSession {
+    /// Creates a session that will fetch `content_id` at `want_version`
+    /// from `app_id`.
+    pub fn new(client: FractalClient, app_id: AppId, content_id: u32, want_version: u32) -> Self {
+        InpSession {
+            client,
+            app_id,
+            content_id,
+            want_version,
+            phase: SessionPhase::Init,
+            init_acked: false,
+            pads: Vec::new(),
+            pending: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> SessionPhase {
+        self.phase
+    }
+
+    /// The terminal error, once [`SessionPhase::Failed`].
+    pub fn error(&self) -> Option<&SessionError> {
+        self.error.as_ref()
+    }
+
+    /// The negotiated PADs (known from `PadDownload` onward; empty before).
+    pub fn negotiated(&self) -> Option<&[PadMeta]> {
+        (!self.pads.is_empty()).then_some(self.pads.as_slice())
+    }
+
+    /// Read access to the owned client (content cache, stats).
+    pub fn client(&self) -> &FractalClient {
+        &self.client
+    }
+
+    /// Takes the client back out of a finished session.
+    pub fn into_client(self) -> FractalClient {
+        self.client
+    }
+
+    /// Kicks the session off. Emits `INIT_REQ` — or, when the client's
+    /// protocol cache already holds this application's PADs (the Figure 4
+    /// fast path), skips negotiation entirely and emits the download or
+    /// application requests directly.
+    pub fn start(&mut self) -> Result<Vec<InpMessage>, SessionError> {
+        if self.phase != SessionPhase::Init {
+            return Err(SessionError::AlreadyStarted);
+        }
+        if let Some(pads) = self.client.cached_protocols(self.app_id) {
+            self.pads = pads;
+            return self.after_negotiation();
+        }
+        self.phase = SessionPhase::MetaExchange;
+        Ok(vec![InpMessage::InitReq { app_id: self.app_id, payload: b"app-request".to_vec() }])
+    }
+
+    /// Feeds one framed message. Returns the message(s) to send, which the
+    /// transport routes to the proxy, the PAD repository, or the server.
+    ///
+    /// Out-of-order, duplicate, and unknown messages return a typed error
+    /// and leave the phase unchanged; framework failures (a PAD failing
+    /// the acceptance gauntlet, the server rejecting the request) move the
+    /// session to `Failed` terminally.
+    pub fn on_message(&mut self, msg: &InpMessage) -> Result<Vec<InpMessage>, SessionError> {
+        match (self.phase, msg) {
+            (SessionPhase::MetaExchange, InpMessage::InitRep) if !self.init_acked => {
+                self.init_acked = true;
+                Ok(Vec::new())
+            }
+            (SessionPhase::MetaExchange, InpMessage::CliMetaReq) if self.init_acked => {
+                self.phase = SessionPhase::PathSearch;
+                let env = self.client.probe();
+                Ok(vec![InpMessage::CliMetaRep { dev: env.dev, ntwk: env.ntwk }])
+            }
+            (SessionPhase::PathSearch, InpMessage::PadMetaRep { pads }) => {
+                self.client.remember_protocols(self.app_id, pads);
+                self.pads = pads.clone();
+                self.after_negotiation()
+            }
+            (SessionPhase::PadDownload, InpMessage::PadDownloadRep { pad_id, bytes }) => {
+                let Some(at) = self.pending.iter().position(|p| p.id == *pad_id) else {
+                    return Err(SessionError::UnexpectedPad(*pad_id));
+                };
+                let pad = self.pending.remove(at);
+                if let Err(e) = self.client.deploy_pad(&pad, bytes) {
+                    return self.fail(SessionError::Fractal(e));
+                }
+                if self.pending.is_empty() {
+                    self.app_request()
+                } else {
+                    Ok(Vec::new())
+                }
+            }
+            (SessionPhase::Sessioning, InpMessage::AppRep { content_id, version, payload, .. }) => {
+                if *content_id != self.content_id {
+                    return Err(SessionError::WrongContent {
+                        expected: self.content_id,
+                        got: *content_id,
+                    });
+                }
+                let pad_id = self.pads[0].id;
+                let decoded = match self.client.decode_content(pad_id, *content_id, payload) {
+                    Ok(d) => d,
+                    Err(e) => return self.fail(SessionError::Fractal(e)),
+                };
+                self.client.store_content(*content_id, *version, decoded);
+                self.phase = SessionPhase::Done;
+                Ok(Vec::new())
+            }
+            (_, m) => {
+                Err(SessionError::UnexpectedMessage { phase: self.phase.name(), message: m.name() })
+            }
+        }
+    }
+
+    /// Terminates the session from outside — the transport saw an
+    /// unrecoverable routing or peer failure (e.g. the proxy rejected our
+    /// message, or a reply could not be produced).
+    pub fn abort(&mut self, error: SessionError) {
+        self.phase = SessionPhase::Failed;
+        self.error = Some(error);
+    }
+
+    /// Negotiation finished (from cache or PAD_META_REP): queue downloads
+    /// for undeployed PADs or go straight to the application exchange.
+    fn after_negotiation(&mut self) -> Result<Vec<InpMessage>, SessionError> {
+        if self.pads.is_empty() {
+            return self.fail(SessionError::Fractal(FractalError::NoFeasiblePath));
+        }
+        self.pending =
+            self.pads.iter().filter(|p| !self.client.is_deployed(p.id)).cloned().collect();
+        if self.pending.is_empty() {
+            self.app_request()
+        } else {
+            self.phase = SessionPhase::PadDownload;
+            Ok(self.pending.iter().map(|p| InpMessage::PadDownloadReq { pad_id: p.id }).collect())
+        }
+    }
+
+    /// Emits `APP_REQ` and enters `Sessioning`.
+    fn app_request(&mut self) -> Result<Vec<InpMessage>, SessionError> {
+        self.phase = SessionPhase::Sessioning;
+        let have = self.client.cached_content(self.content_id).map(|c| c.version);
+        Ok(vec![InpMessage::AppReq {
+            app_id: self.app_id,
+            protocols: self.pads.iter().map(|p| p.protocol).collect(),
+            payload: encode_app_payload(self.content_id, have, self.want_version),
+        }])
+    }
+
+    fn fail(&mut self, error: SessionError) -> Result<Vec<InpMessage>, SessionError> {
+        self.abort(error.clone());
+        Err(error)
+    }
+}
+
+/// Identifier of a session inside one reactor.
+pub type SessionId = usize;
+
+/// Progress summary of a completed [`Reactor::run`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ReactorReport {
+    /// Sessions that reached `Done`.
+    pub completed: usize,
+    /// Sessions that reached `Failed`.
+    pub failed: usize,
+    /// Message deliveries performed.
+    pub polls: u64,
+    /// Maximum number of simultaneously live (non-terminal) sessions.
+    pub peak_in_flight: usize,
+}
+
+/// The reactor stopped with live sessions but no deliverable messages —
+/// the event-driven equivalent of a deadlock, reported instead of spun on.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ReactorStalled {
+    /// The stuck sessions and the phases they were stuck in.
+    pub stuck: Vec<(SessionId, &'static str)>,
+}
+
+impl core::fmt::Display for ReactorStalled {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "reactor stalled with {} live session(s):", self.stuck.len())?;
+        for (id, phase) in &self.stuck {
+            write!(f, " #{id}@{phase}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ReactorStalled {}
+
+struct Slot {
+    session: InpSession,
+    /// Per-connection proxy-side state machine (Figure 4 order
+    /// enforcement), negotiation delegated to the shared proxy.
+    endpoint: ProxyEndpoint,
+    inbox: VecDeque<InpMessage>,
+}
+
+/// Poll-based reactor multiplexing many [`InpSession`]s over one shared
+/// proxy + server + PAD repository.
+///
+/// All three services are taken by shared reference: the proxy negotiates
+/// through `&self` (lock-striped shards), the server serves through
+/// `&self` (read-only between `publish` calls), and the repository is a
+/// read-only map — so any number of reactors on any number of threads can
+/// drive sessions against the *same* pair, which is exactly how the
+/// throughput harness scales it.
+pub struct Reactor<'a> {
+    proxy: &'a AdaptationProxy,
+    server: &'a ApplicationServer,
+    pad_repo: &'a PadRepo,
+    slots: Vec<Slot>,
+    ready: VecDeque<SessionId>,
+    polls: u64,
+    peak_in_flight: usize,
+}
+
+impl<'a> Reactor<'a> {
+    /// Creates a reactor over the shared service trio.
+    pub fn new(
+        proxy: &'a AdaptationProxy,
+        server: &'a ApplicationServer,
+        pad_repo: &'a PadRepo,
+    ) -> Reactor<'a> {
+        Reactor {
+            proxy,
+            server,
+            pad_repo,
+            slots: Vec::new(),
+            ready: VecDeque::new(),
+            polls: 0,
+            peak_in_flight: 0,
+        }
+    }
+
+    /// Admits a session: starts it and routes its opening messages. The
+    /// session is live immediately; nothing completes until [`poll`]
+    /// (or [`run`]) drains the message queues.
+    ///
+    /// [`poll`]: Self::poll
+    /// [`run`]: Self::run
+    pub fn spawn(&mut self, mut session: InpSession) -> SessionId {
+        let id = self.slots.len();
+        let opening = session.start().unwrap_or_default();
+        self.slots.push(Slot { session, endpoint: ProxyEndpoint::new(), inbox: VecDeque::new() });
+        self.route(id, opening);
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
+        id
+    }
+
+    /// Fault-injection variant of [`spawn`](Self::spawn): the session is
+    /// started but its opening messages are dropped, as if the transport
+    /// lost `INIT_REQ`. The session then never progresses, and
+    /// [`run`](Self::run) reports [`ReactorStalled`] — used by tests and
+    /// by the deadlock-diagnostic path the CI smoke timeout depends on.
+    pub fn spawn_lossy(&mut self, mut session: InpSession) -> SessionId {
+        let id = self.slots.len();
+        let _dropped = session.start();
+        self.slots.push(Slot { session, endpoint: ProxyEndpoint::new(), inbox: VecDeque::new() });
+        self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
+        id
+    }
+
+    /// Number of live (non-terminal) sessions.
+    pub fn in_flight(&self) -> usize {
+        self.slots.iter().filter(|s| !s.session.phase().is_terminal()).count()
+    }
+
+    /// Maximum number of simultaneously live sessions seen so far.
+    pub fn peak_in_flight(&self) -> usize {
+        self.peak_in_flight
+    }
+
+    /// Delivers **one** message to the next ready session and routes its
+    /// replies. Returns the session that progressed, or `None` when no
+    /// session has deliverable messages (all done — or stalled).
+    ///
+    /// One message per poll is what makes the multiplexing real: with N
+    /// live sessions the reactor round-robins between them, so session 63
+    /// negotiates while session 0 is mid-download.
+    pub fn poll(&mut self) -> Option<SessionId> {
+        let id = self.ready.pop_front()?;
+        let Some(msg) = self.slots[id].inbox.pop_front() else {
+            return Some(id); // spurious wake; counts as progress, not delivery
+        };
+        self.polls += 1;
+        match self.slots[id].session.on_message(&msg) {
+            Ok(replies) => self.route(id, replies),
+            // The reactor delivered something the session cannot accept:
+            // a routing bug or a duplicated frame. Dropping it would stall
+            // the session silently; fail it loudly instead.
+            Err(e) => self.slots[id].session.abort(e),
+        }
+        if !self.slots[id].inbox.is_empty() && !self.slots[id].session.phase().is_terminal() {
+            self.ready.push_back(id);
+        }
+        Some(id)
+    }
+
+    /// Polls until every session is terminal. Detects stalls: if no
+    /// message is deliverable while sessions are live, returns
+    /// [`ReactorStalled`] naming the stuck sessions and phases rather
+    /// than looping forever.
+    pub fn run(&mut self) -> Result<ReactorReport, ReactorStalled> {
+        while self.poll().is_some() {}
+        let stuck: Vec<(SessionId, &'static str)> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.session.phase().is_terminal())
+            .map(|(id, s)| (id, s.session.phase().name()))
+            .collect();
+        if !stuck.is_empty() {
+            return Err(ReactorStalled { stuck });
+        }
+        Ok(ReactorReport {
+            completed: self
+                .slots
+                .iter()
+                .filter(|s| s.session.phase() == SessionPhase::Done)
+                .count(),
+            failed: self.slots.iter().filter(|s| s.session.phase() == SessionPhase::Failed).count(),
+            polls: self.polls,
+            peak_in_flight: self.peak_in_flight,
+        })
+    }
+
+    /// Read access to a session.
+    pub fn session(&self, id: SessionId) -> &InpSession {
+        &self.slots[id].session
+    }
+
+    /// Consumes the reactor, returning every session in spawn order.
+    pub fn into_sessions(self) -> Vec<InpSession> {
+        self.slots.into_iter().map(|s| s.session).collect()
+    }
+
+    /// Routes client-emitted messages to the party each is addressed to
+    /// and enqueues the replies on the session's inbox.
+    fn route(&mut self, id: SessionId, msgs: Vec<InpMessage>) {
+        for msg in msgs {
+            let replies = match &msg {
+                InpMessage::InitReq { .. } | InpMessage::CliMetaRep { .. } => {
+                    self.proxy_leg(id, &msg)
+                }
+                InpMessage::PadDownloadReq { pad_id } => match self.pad_repo.get(pad_id) {
+                    Some(wire) => Ok(vec![InpMessage::PadDownloadRep {
+                        pad_id: *pad_id,
+                        bytes: wire.clone(),
+                    }]),
+                    None => Err(SessionError::Fractal(FractalError::PadUnavailable(*pad_id))),
+                },
+                InpMessage::AppReq { protocols, payload, .. } => {
+                    self.server_leg(protocols, payload)
+                }
+                other => {
+                    Err(SessionError::UnexpectedMessage { phase: "route", message: other.name() })
+                }
+            };
+            let slot = &mut self.slots[id];
+            match replies {
+                Ok(replies) => {
+                    let was_empty = slot.inbox.is_empty();
+                    slot.inbox.extend(replies);
+                    if was_empty && !slot.inbox.is_empty() {
+                        self.ready.push_back(id);
+                    }
+                }
+                Err(e) => slot.session.abort(e),
+            }
+        }
+    }
+
+    /// The adaptation-proxy legs (INIT_REQ, CLI_META_REP), with the path
+    /// search delegated to the shared sharded proxy.
+    fn proxy_leg(
+        &mut self,
+        id: SessionId,
+        msg: &InpMessage,
+    ) -> Result<Vec<InpMessage>, SessionError> {
+        let mut search_err: Option<FractalError> = None;
+        let proxy = self.proxy;
+        let out =
+            self.slots[id].endpoint.on_message(msg, |app, env| match proxy.negotiate(app, env) {
+                Ok(pads) => pads,
+                Err(e) => {
+                    search_err = Some(e);
+                    Vec::new()
+                }
+            });
+        if let Some(e) = search_err {
+            return Err(SessionError::Fractal(e));
+        }
+        out.map_err(SessionError::Peer)
+    }
+
+    /// The application-server leg (APP_REQ → APP_REP) against the shared
+    /// `&self` server.
+    fn server_leg(
+        &self,
+        protocols: &[fractal_protocols::ProtocolId],
+        payload: &[u8],
+    ) -> Result<Vec<InpMessage>, SessionError> {
+        let (content_id, have, want) =
+            decode_app_payload(payload).map_err(|e| SessionError::Fractal(e.into()))?;
+        let protocol =
+            *protocols.first().ok_or(SessionError::Fractal(FractalError::NoFeasiblePath))?;
+        let resp =
+            self.server.respond(content_id, have, want, protocol).map_err(SessionError::Fractal)?;
+        Ok(vec![InpMessage::AppRep {
+            content_id,
+            version: want,
+            protocol: resp.protocol,
+            payload: resp.payload,
+        }])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::ClientClass;
+    use crate::server::AdaptiveContentMode;
+    use crate::testbed::Testbed;
+
+    fn content(seed: u8, len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i / 5) as u8).wrapping_mul(seed).wrapping_add(seed)).collect()
+    }
+
+    fn testbed_with_pages(n: u32) -> Testbed {
+        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        for id in 0..n {
+            tb.server.publish(id, content(id as u8 + 1, 9_000));
+        }
+        tb
+    }
+
+    #[test]
+    fn one_session_completes_end_to_end() {
+        let tb = testbed_with_pages(1);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        let id =
+            reactor.spawn(InpSession::new(tb.client(ClientClass::PdaBluetooth), tb.app_id, 0, 0));
+        let report = reactor.run().unwrap();
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.failed, 0);
+        let session = reactor.session(id);
+        assert_eq!(session.phase(), SessionPhase::Done);
+        let got = session.client().cached_content(0).expect("content stored");
+        assert_eq!(got.bytes, tb.server.content(0, 0).unwrap());
+    }
+
+    #[test]
+    fn many_sessions_interleave_over_one_shared_pair() {
+        const N: u32 = 32;
+        let tb = testbed_with_pages(N);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        for i in 0..N {
+            let class = ClientClass::ALL[i as usize % 3];
+            reactor.spawn(InpSession::new(tb.client(class), tb.app_id, i, 0));
+        }
+        assert_eq!(reactor.in_flight(), N as usize, "all sessions live before polling");
+        let report = reactor.run().unwrap();
+        assert_eq!(report.completed, N as usize);
+        assert_eq!(report.peak_in_flight, N as usize);
+        // Every session decoded its own page through the shared server.
+        for (i, s) in reactor.into_sessions().into_iter().enumerate() {
+            let client = s.into_client();
+            assert_eq!(
+                client.cached_content(i as u32).unwrap().bytes,
+                tb.server.content(i as u32, 0).unwrap(),
+                "session {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn reactor_decisions_match_direct_negotiation() {
+        let tb = testbed_with_pages(3);
+        let oracle_tb = testbed_with_pages(3);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        let ids: Vec<_> = ClientClass::ALL
+            .iter()
+            .map(|&c| reactor.spawn(InpSession::new(tb.client(c), tb.app_id, 0, 0)))
+            .collect();
+        reactor.run().unwrap();
+        for (&id, &class) in ids.iter().zip(ClientClass::ALL.iter()) {
+            let expect = oracle_tb.proxy.negotiate(oracle_tb.app_id, class.env()).unwrap();
+            assert_eq!(reactor.session(id).negotiated().unwrap(), expect.as_slice(), "{class}");
+        }
+    }
+
+    #[test]
+    fn warm_client_takes_the_fast_path() {
+        let tb = testbed_with_pages(2);
+        // First session: cold — negotiate + download.
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        let id =
+            reactor.spawn(InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, 0, 0));
+        reactor.run().unwrap();
+        let client = reactor.into_sessions().remove(id).into_client();
+        let negotiations = client.stats().negotiations;
+        assert_eq!(negotiations, 1);
+
+        // Second session reuses the client: protocol cache + deployed PAD
+        // mean start() emits APP_REQ immediately, skipping negotiation and
+        // download. Drive the single remaining leg by hand.
+        let mut warm = InpSession::new(client, tb.app_id, 1, 0);
+        let opening = warm.start().unwrap();
+        assert_eq!(warm.phase(), SessionPhase::Sessioning);
+        assert_eq!(opening.len(), 1);
+        let InpMessage::AppReq { protocols, payload, .. } = &opening[0] else {
+            panic!("fast path must emit APP_REQ, got {}", opening[0].name());
+        };
+        assert_eq!(warm.start().unwrap_err(), SessionError::AlreadyStarted);
+
+        let (content_id, have, want) = decode_app_payload(payload).unwrap();
+        assert_eq!((content_id, have, want), (1, None, 0));
+        let resp = tb.server.respond(content_id, have, want, protocols[0]).unwrap();
+        let rep = InpMessage::AppRep {
+            content_id,
+            version: want,
+            protocol: resp.protocol,
+            payload: resp.payload,
+        };
+        assert!(warm.on_message(&rep).unwrap().is_empty());
+        assert_eq!(warm.phase(), SessionPhase::Done);
+
+        let client = warm.into_client();
+        assert_eq!(client.stats().negotiations, 1, "no re-negotiation");
+        assert_eq!(client.cached_content(1).unwrap().bytes, tb.server.content(1, 0).unwrap());
+    }
+
+    #[test]
+    fn unknown_app_fails_session_with_typed_error() {
+        let tb = testbed_with_pages(1);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        let id =
+            reactor.spawn(InpSession::new(tb.client(ClientClass::DesktopLan), AppId(99), 0, 0));
+        let report = reactor.run().unwrap();
+        assert_eq!(report.failed, 1);
+        assert!(matches!(
+            reactor.session(id).error(),
+            Some(SessionError::Fractal(FractalError::UnknownApp(AppId(99))))
+        ));
+    }
+
+    #[test]
+    fn missing_pad_fails_session_not_reactor() {
+        let mut tb = testbed_with_pages(1);
+        tb.pad_repo.clear();
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        let id =
+            reactor.spawn(InpSession::new(tb.client(ClientClass::DesktopLan), tb.app_id, 0, 0));
+        let report = reactor.run().unwrap();
+        assert_eq!(report.failed, 1);
+        assert!(matches!(
+            reactor.session(id).error(),
+            Some(SessionError::Fractal(FractalError::PadUnavailable(_)))
+        ));
+    }
+
+    #[test]
+    fn lost_opening_is_reported_as_stall_not_hang() {
+        let tb = testbed_with_pages(2);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        reactor.spawn(InpSession::new(tb.client(ClientClass::DesktopLan), tb.app_id, 0, 0));
+        let stuck_id = reactor.spawn_lossy(InpSession::new(
+            tb.client(ClientClass::DesktopLan),
+            tb.app_id,
+            1,
+            0,
+        ));
+        let err = reactor.run().unwrap_err();
+        assert_eq!(err.stuck, vec![(stuck_id, "MetaExchange")]);
+        assert!(err.to_string().contains("MetaExchange"));
+        // The healthy session still completed.
+        assert_eq!(reactor.session(0).phase(), SessionPhase::Done);
+    }
+
+    #[test]
+    fn app_payload_round_trip() {
+        for have in [None, Some(0), Some(7)] {
+            let bytes = encode_app_payload(42, have, 9);
+            assert_eq!(decode_app_payload(&bytes).unwrap(), (42, have, 9));
+        }
+        assert!(decode_app_payload(&[1, 2]).is_err());
+        let mut bad = encode_app_payload(1, None, 2);
+        bad.push(0);
+        assert_eq!(decode_app_payload(&bad), Err(WireError::TrailingBytes));
+    }
+}

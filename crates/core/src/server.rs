@@ -152,8 +152,14 @@ impl ApplicationServer {
     /// Handles the encoded-content part of an `APP_REQ`: the client holds
     /// `have_version` (or nothing) and wants `want_version` encoded with
     /// `protocol`.
+    ///
+    /// Takes `&self`: the content store and the proactive store are only
+    /// written by [`publish`](Self::publish), so any number of sessions —
+    /// reactor-driven or thread-parallel — can serve concurrently from one
+    /// shared server. Reactive encodes are pure computation over the
+    /// [`Bytes`] store and allocate their own output.
     pub fn respond(
-        &mut self,
+        &self,
         content_id: u32,
         have_version: Option<u32>,
         want_version: u32,

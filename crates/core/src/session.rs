@@ -71,7 +71,7 @@ impl SessionReport {
 pub fn run_session(
     client: &mut FractalClient,
     proxy: &AdaptationProxy,
-    server: &mut ApplicationServer,
+    server: &ApplicationServer,
     pad_repo: &PadRepo,
     link: &Link,
     app_id: AppId,
@@ -224,33 +224,17 @@ mod tests {
         let mut client = tb.client(ClientClass::PdaBluetooth);
         let link = ClientClass::PdaBluetooth.link();
 
-        let cold = run_session(
-            &mut client,
-            &tb.proxy,
-            &mut tb.server,
-            &tb.pad_repo,
-            &link,
-            tb.app_id,
-            7,
-            0,
-        )
-        .unwrap();
+        let cold =
+            run_session(&mut client, &tb.proxy, &tb.server, &tb.pad_repo, &link, tb.app_id, 7, 0)
+                .unwrap();
         assert!(!cold.negotiation_cached);
         assert!(cold.negotiation > SimDuration::ZERO);
         assert!(cold.pad_retrieval > SimDuration::ZERO);
         assert!(cold.total() > SimDuration::ZERO);
 
-        let warm = run_session(
-            &mut client,
-            &tb.proxy,
-            &mut tb.server,
-            &tb.pad_repo,
-            &link,
-            tb.app_id,
-            7,
-            1,
-        )
-        .unwrap();
+        let warm =
+            run_session(&mut client, &tb.proxy, &tb.server, &tb.pad_repo, &link, tb.app_id, 7, 1)
+                .unwrap();
         assert!(warm.negotiation_cached, "protocol cache should hit");
         assert_eq!(warm.negotiation, SimDuration::ZERO);
         assert_eq!(warm.pad_retrieval, SimDuration::ZERO, "PAD already deployed");
@@ -268,7 +252,7 @@ mod tests {
             let report = run_session(
                 &mut client,
                 &tb.proxy,
-                &mut tb.server,
+                &tb.server,
                 &tb.pad_repo,
                 &link,
                 tb.app_id,
@@ -288,17 +272,9 @@ mod tests {
         tb.server.publish(7, content(6, 20_000));
         let mut client = tb.client(ClientClass::PdaBluetooth);
         let link = ClientClass::PdaBluetooth.link();
-        let report = run_session(
-            &mut client,
-            &tb.proxy,
-            &mut tb.server,
-            &tb.pad_repo,
-            &link,
-            tb.app_id,
-            7,
-            0,
-        )
-        .unwrap();
+        let report =
+            run_session(&mut client, &tb.proxy, &tb.server, &tb.pad_repo, &link, tb.app_id, 7, 0)
+                .unwrap();
         assert!(report.server_compute < SimDuration::millis(1));
     }
 
@@ -309,17 +285,9 @@ mod tests {
         tb.pad_repo.clear();
         let mut client = tb.client(ClientClass::DesktopLan);
         let link = ClientClass::DesktopLan.link();
-        let err = run_session(
-            &mut client,
-            &tb.proxy,
-            &mut tb.server,
-            &tb.pad_repo,
-            &link,
-            tb.app_id,
-            7,
-            0,
-        )
-        .unwrap_err();
+        let err =
+            run_session(&mut client, &tb.proxy, &tb.server, &tb.pad_repo, &link, tb.app_id, 7, 0)
+                .unwrap_err();
         assert!(matches!(err, FractalError::PadUnavailable(_)));
     }
 }

@@ -78,6 +78,15 @@ impl Testbed {
         FractalClient::new(class.env(), trust)
     }
 
+    /// Creates a client for an arbitrary environment (e.g. the mixed
+    /// Fig. 9(a) workload stream) with the operator's trust anchors
+    /// installed.
+    pub fn client_with_env(&self, env: crate::meta::ClientEnv) -> FractalClient {
+        let mut trust = TrustStore::new();
+        self.registry.export_trust(&mut trust);
+        FractalClient::new(env, trust)
+    }
+
     /// Creates a client that trusts nobody (for security failure tests).
     pub fn untrusting_client(&self, class: ClientClass) -> FractalClient {
         FractalClient::new(class.env(), TrustStore::new())

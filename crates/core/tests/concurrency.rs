@@ -103,6 +103,65 @@ fn disabled_cache_counts_every_negotiation_as_miss() {
     assert_eq!(stats.cache_hits, 0);
 }
 
+/// Reactors on real threads over ONE shared `&self` server + proxy pair:
+/// every thread runs its own event loop, all of them multiplex sessions
+/// against the same services, and the negotiated protocol per client must
+/// match the serial oracle exactly.
+#[test]
+fn threaded_reactors_share_one_server_and_proxy() {
+    use fractal_core::reactor::{InpSession, Reactor};
+
+    const N: usize = 96;
+    const CONTENT: u32 = 7;
+    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    tb.server.publish(CONTENT, vec![3u8; 8_000]);
+    let tb = tb; // frozen: everything below is &self
+
+    // Serial oracle: the proxy's direct decision for every environment.
+    let oracle: Vec<Vec<PadMeta>> =
+        (0..N).map(|i| tb.proxy.negotiate(tb.app_id, env(i)).unwrap()).collect();
+
+    for n_threads in [2, 4, 8] {
+        let decisions: Vec<(usize, Vec<PadMeta>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|t| {
+                    let tb = &tb;
+                    scope.spawn(move || {
+                        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+                        let ids: Vec<(usize, fractal_core::reactor::SessionId)> = (t..N)
+                            .step_by(n_threads)
+                            .map(|i| {
+                                let client = tb.client_with_env(env(i));
+                                let s = InpSession::new(client, tb.app_id, CONTENT, 0);
+                                (i, reactor.spawn(s))
+                            })
+                            .collect();
+                        let report = reactor.run().expect("no session may stall");
+                        assert_eq!(report.failed, 0);
+                        let sessions = reactor.into_sessions();
+                        ids.into_iter()
+                            .map(|(i, sid)| {
+                                let s = &sessions[sid];
+                                (i, s.negotiated().expect("session negotiated").to_vec())
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().expect("reactor thread")).collect()
+        });
+        let mut got: Vec<Option<Vec<PadMeta>>> = vec![None; N];
+        for (i, pads) in decisions {
+            got[i] = Some(pads);
+        }
+        let got: Vec<Vec<PadMeta>> = got.into_iter().map(|p| p.unwrap()).collect();
+        assert_eq!(got, oracle, "reactor decisions diverged at {n_threads} threads");
+    }
+    // Shared-cache accounting still exact after all the reactor traffic.
+    let stats = tb.proxy.stats();
+    assert_eq!(stats.cache_misses, DISTINCT);
+}
+
 #[test]
 fn repeated_runs_are_deterministic_across_thread_counts() {
     // The decision set must not depend on scheduling: re-run the same

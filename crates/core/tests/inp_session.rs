@@ -1,0 +1,278 @@
+//! Exhaustive transition coverage for the event-driven [`InpSession`]
+//! state machine: every phase × every message kind either advances the
+//! protocol or returns a typed [`SessionError`] — never a panic, and a
+//! rejected message never corrupts the phase.
+
+use bytes::Bytes;
+use fractal_core::inp::InpMessage;
+use fractal_core::meta::{AppId, PadId, PadMeta};
+use fractal_core::presets::ClientClass;
+use fractal_core::reactor::{InpSession, SessionError, SessionPhase};
+use fractal_core::server::AdaptiveContentMode;
+use fractal_core::testbed::Testbed;
+use fractal_protocols::ProtocolId;
+
+const CONTENT_ID: u32 = 0;
+const CLASS: ClientClass = ClientClass::PdaBluetooth;
+
+/// The fixture: a real testbed plus the real messages of one full
+/// exchange, so accepted transitions run against genuine PAD bytes and
+/// server payloads.
+struct Fixture {
+    tb: Testbed,
+    pads: Vec<PadMeta>,
+}
+
+impl Fixture {
+    fn new() -> Fixture {
+        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        tb.server.publish(CONTENT_ID, vec![7u8; 4_000]);
+        let pads = tb.proxy.negotiate(tb.app_id, CLASS.env()).unwrap();
+        Fixture { tb, pads }
+    }
+
+    fn pad_meta_rep(&self) -> InpMessage {
+        InpMessage::PadMetaRep { pads: self.pads.clone() }
+    }
+
+    fn pad_download_rep(&self) -> InpMessage {
+        let id = self.pads[0].id;
+        InpMessage::PadDownloadRep { pad_id: id, bytes: self.tb.pad_repo[&id].clone() }
+    }
+
+    fn app_rep(&self) -> InpMessage {
+        let protocol = self.pads[0].protocol;
+        let resp = self.tb.server.respond(CONTENT_ID, None, 0, protocol).unwrap();
+        InpMessage::AppRep { content_id: CONTENT_ID, version: 0, protocol, payload: resp.payload }
+    }
+
+    /// One representative message per wire kind (9 kinds).
+    fn all_kinds(&self) -> Vec<InpMessage> {
+        let env = CLASS.env();
+        vec![
+            InpMessage::InitReq { app_id: self.tb.app_id, payload: b"req".to_vec() },
+            InpMessage::InitRep,
+            InpMessage::CliMetaReq,
+            InpMessage::CliMetaRep { dev: env.dev, ntwk: env.ntwk },
+            self.pad_meta_rep(),
+            InpMessage::PadDownloadReq { pad_id: self.pads[0].id },
+            self.pad_download_rep(),
+            InpMessage::AppReq {
+                app_id: self.tb.app_id,
+                protocols: vec![self.pads[0].protocol],
+                payload: vec![],
+            },
+            self.app_rep(),
+        ]
+    }
+
+    /// A fresh session driven with real messages up to `phase`.
+    /// `acked` distinguishes the two sub-states of `MetaExchange`.
+    fn session_at(&self, phase: SessionPhase, acked: bool) -> InpSession {
+        let mut s = InpSession::new(self.tb.client(CLASS), self.tb.app_id, CONTENT_ID, 0);
+        if phase == SessionPhase::Init {
+            return s;
+        }
+        s.start().unwrap();
+        if phase == SessionPhase::MetaExchange && !acked {
+            return s;
+        }
+        s.on_message(&InpMessage::InitRep).unwrap();
+        if phase == SessionPhase::MetaExchange {
+            return s;
+        }
+        s.on_message(&InpMessage::CliMetaReq).unwrap();
+        if phase == SessionPhase::PathSearch {
+            return s;
+        }
+        s.on_message(&self.pad_meta_rep()).unwrap();
+        if phase == SessionPhase::PadDownload {
+            return s;
+        }
+        s.on_message(&self.pad_download_rep()).unwrap();
+        if phase == SessionPhase::Sessioning {
+            return s;
+        }
+        s.on_message(&self.app_rep()).unwrap();
+        if phase == SessionPhase::Done {
+            return s;
+        }
+        s.abort(SessionError::AlreadyStarted); // arbitrary terminal error
+        assert_eq!(phase, SessionPhase::Failed);
+        s
+    }
+}
+
+/// Every (phase, message-kind) pair: accepted kinds advance, everything
+/// else returns a typed error and leaves the phase exactly as it was.
+#[test]
+fn every_phase_times_every_message_kind() {
+    let fx = Fixture::new();
+    // (phase, acked, message names the phase accepts)
+    let matrix: &[(SessionPhase, bool, &[&str])] = &[
+        (SessionPhase::Init, false, &[]),
+        (SessionPhase::MetaExchange, false, &["INIT_REP"]),
+        (SessionPhase::MetaExchange, true, &["Cli_META_REQ"]),
+        (SessionPhase::PathSearch, false, &["PAD_META_REP"]),
+        (SessionPhase::PadDownload, false, &["PAD_DOWNLOAD_REP"]),
+        (SessionPhase::Sessioning, false, &["APP_REP"]),
+        (SessionPhase::Done, false, &[]),
+        (SessionPhase::Failed, false, &[]),
+    ];
+    for &(phase, acked, accepted) in matrix {
+        for msg in fx.all_kinds() {
+            let mut s = fx.session_at(phase, acked);
+            assert_eq!(s.phase(), phase);
+            let result = s.on_message(&msg);
+            if accepted.contains(&msg.name()) {
+                assert!(
+                    result.is_ok(),
+                    "{phase:?} (acked={acked}) must accept {}: {result:?}",
+                    msg.name()
+                );
+            } else {
+                let err = result
+                    .expect_err(&format!("{phase:?} (acked={acked}) must reject {}", msg.name()));
+                assert!(
+                    matches!(err, SessionError::UnexpectedMessage { .. }),
+                    "{phase:?} × {} → {err:?}",
+                    msg.name()
+                );
+                assert_eq!(s.phase(), phase, "rejection must not move the phase");
+            }
+        }
+    }
+}
+
+#[test]
+fn double_start_rejected() {
+    let fx = Fixture::new();
+    let mut s = fx.session_at(SessionPhase::MetaExchange, false);
+    assert_eq!(s.start().unwrap_err(), SessionError::AlreadyStarted);
+    assert_eq!(s.phase(), SessionPhase::MetaExchange);
+}
+
+#[test]
+fn duplicate_init_rep_rejected_after_ack() {
+    let fx = Fixture::new();
+    let mut s = fx.session_at(SessionPhase::MetaExchange, true);
+    let err = s.on_message(&InpMessage::InitRep).unwrap_err();
+    assert!(matches!(err, SessionError::UnexpectedMessage { .. }));
+    assert_eq!(s.phase(), SessionPhase::MetaExchange);
+    // The proper continuation still works after the rejected duplicate.
+    assert_eq!(s.on_message(&InpMessage::CliMetaReq).unwrap().len(), 1);
+    assert_eq!(s.phase(), SessionPhase::PathSearch);
+}
+
+#[test]
+fn unknown_pad_download_rejected_without_phase_change() {
+    let fx = Fixture::new();
+    let mut s = fx.session_at(SessionPhase::PadDownload, false);
+    let bogus = InpMessage::PadDownloadRep { pad_id: PadId(999), bytes: Bytes::new() };
+    assert_eq!(s.on_message(&bogus).unwrap_err(), SessionError::UnexpectedPad(PadId(999)));
+    assert_eq!(s.phase(), SessionPhase::PadDownload);
+    // The real download still completes the phase.
+    s.on_message(&fx.pad_download_rep()).unwrap();
+    assert_eq!(s.phase(), SessionPhase::Sessioning);
+}
+
+#[test]
+fn duplicate_pad_download_rejected_after_deploy() {
+    let fx = Fixture::new();
+    let mut s = fx.session_at(SessionPhase::Sessioning, false);
+    // PadDownloadRep is no longer expected at all once in Sessioning.
+    let err = s.on_message(&fx.pad_download_rep()).unwrap_err();
+    assert!(matches!(err, SessionError::UnexpectedMessage { .. }));
+    assert_eq!(s.phase(), SessionPhase::Sessioning);
+}
+
+#[test]
+fn wrong_content_app_rep_rejected_without_phase_change() {
+    let fx = Fixture::new();
+    let mut s = fx.session_at(SessionPhase::Sessioning, false);
+    let protocol = fx.pads[0].protocol;
+    let wrong = InpMessage::AppRep {
+        content_id: CONTENT_ID + 9,
+        version: 0,
+        protocol,
+        payload: Bytes::new(),
+    };
+    assert_eq!(
+        s.on_message(&wrong).unwrap_err(),
+        SessionError::WrongContent { expected: CONTENT_ID, got: CONTENT_ID + 9 }
+    );
+    assert_eq!(s.phase(), SessionPhase::Sessioning);
+    // The right reply still lands.
+    s.on_message(&fx.app_rep()).unwrap();
+    assert_eq!(s.phase(), SessionPhase::Done);
+}
+
+#[test]
+fn tampered_pad_bytes_fail_terminally_with_typed_error() {
+    let fx = Fixture::new();
+    let mut s = fx.session_at(SessionPhase::PadDownload, false);
+    let id = fx.pads[0].id;
+    let mut bytes = fx.tb.pad_repo[&id].to_vec();
+    let at = bytes.len() - 3;
+    bytes[at] ^= 0xFF;
+    let err =
+        s.on_message(&InpMessage::PadDownloadRep { pad_id: id, bytes: bytes.into() }).unwrap_err();
+    assert!(matches!(err, SessionError::Fractal(_)), "{err:?}");
+    assert_eq!(s.phase(), SessionPhase::Failed, "gauntlet failure is terminal");
+    assert!(s.error().is_some());
+}
+
+#[test]
+fn undecodable_app_rep_fails_terminally() {
+    let fx = Fixture::new();
+    let mut s = fx.session_at(SessionPhase::Sessioning, false);
+    let garbage = InpMessage::AppRep {
+        content_id: CONTENT_ID,
+        version: 0,
+        protocol: ProtocolId::Bitmap,
+        payload: vec![0xDE, 0xAD, 0xBE, 0xEF].into(),
+    };
+    let err = s.on_message(&garbage).unwrap_err();
+    assert!(matches!(err, SessionError::Fractal(_)), "{err:?}");
+    assert_eq!(s.phase(), SessionPhase::Failed);
+}
+
+#[test]
+fn empty_pad_meta_rep_fails_with_no_feasible_path() {
+    let fx = Fixture::new();
+    let mut s = fx.session_at(SessionPhase::PathSearch, false);
+    let err = s.on_message(&InpMessage::PadMetaRep { pads: vec![] }).unwrap_err();
+    assert!(
+        matches!(err, SessionError::Fractal(fractal_core::FractalError::NoFeasiblePath)),
+        "{err:?}"
+    );
+    assert_eq!(s.phase(), SessionPhase::Failed);
+}
+
+#[test]
+fn phase_names_and_terminality() {
+    assert!(SessionPhase::Done.is_terminal());
+    assert!(SessionPhase::Failed.is_terminal());
+    for p in [
+        SessionPhase::Init,
+        SessionPhase::MetaExchange,
+        SessionPhase::PathSearch,
+        SessionPhase::PadDownload,
+        SessionPhase::Sessioning,
+    ] {
+        assert!(!p.is_terminal(), "{}", p.name());
+    }
+    assert_eq!(SessionPhase::PathSearch.name(), "PathSearch");
+}
+
+#[test]
+fn errors_display_useful_diagnostics() {
+    let fx = Fixture::new();
+    let mut s = fx.session_at(SessionPhase::Init, false);
+    let err = s.on_message(&InpMessage::InitRep).unwrap_err();
+    let text = err.to_string();
+    assert!(text.contains("INIT_REP") && text.contains("Init"), "{text}");
+    assert!(SessionError::UnexpectedPad(PadId(4)).to_string().contains('4'));
+    assert!(SessionError::WrongContent { expected: 1, got: 2 }.to_string().contains("expected 1"));
+    assert_eq!(AppId(1), fx.tb.app_id);
+}

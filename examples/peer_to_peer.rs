@@ -29,7 +29,7 @@ fn main() {
     let mut peer_b = tb.client(ClientClass::PdaBluetooth);
     let link_b = ClientClass::PdaBluetooth.link();
     let r1 =
-        run_session(&mut peer_b, &tb.proxy, &mut tb.server, &tb.pad_repo, &link_b, tb.app_id, 1, 0)
+        run_session(&mut peer_b, &tb.proxy, &tb.server, &tb.pad_repo, &link_b, tb.app_id, 1, 0)
             .expect("B pulls from A");
     println!(
         "B ← A: dataset via {} ({} B on the wire, {})",
@@ -45,7 +45,7 @@ fn main() {
     let mut peer_a = tb.client(ClientClass::DesktopLan);
     let link_a = ClientClass::DesktopLan.link();
     let r2 =
-        run_session(&mut peer_a, &tb.proxy, &mut tb.server, &tb.pad_repo, &link_a, tb.app_id, 2, 0)
+        run_session(&mut peer_a, &tb.proxy, &tb.server, &tb.pad_repo, &link_a, tb.app_id, 2, 0)
             .expect("A pulls from B");
     println!(
         "A ← B: notes via {} ({} B on the wire, {})",

@@ -30,7 +30,7 @@ fn main() {
         let report = run_session(
             &mut client,
             &tb.proxy,
-            &mut tb.server,
+            &tb.server,
             &tb.pad_repo,
             &link,
             tb.app_id,

@@ -1,28 +1,84 @@
 #!/usr/bin/env sh
 # Repo-wide hygiene gate: formatting, lints, and the full test suite.
 # Run from the repository root before sending a change out for review.
+#
+#   scripts/check.sh          # everything, including the release-build
+#                             # throughput smoke gate
+#   scripts/check.sh --quick  # fmt + clippy + tier-1 tests only (skips the
+#                             # release throughput build; what you want in
+#                             # an edit-test loop or a time-boxed CI lane)
+#
+# On failure the script exits nonzero and names the step that failed, so a
+# red CI run points at the culprit without scrolling.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-echo "==> cargo fmt --check"
+QUICK=0
+for arg in "$@"; do
+    case "$arg" in
+        --quick) QUICK=1 ;;
+        *) echo "check.sh: unknown flag '$arg' (supported: --quick)" >&2; exit 2 ;;
+    esac
+done
+
+CURRENT_STEP="(startup)"
+step() {
+    CURRENT_STEP="$1"
+    echo "==> $1"
+}
+on_exit() {
+    status=$?
+    if [ "$status" -ne 0 ]; then
+        echo "FAILED at step: $CURRENT_STEP (exit $status)" >&2
+    fi
+    exit "$status"
+}
+trap on_exit EXIT
+
+step "cargo fmt --check"
 cargo fmt --all --check
 
-echo "==> cargo clippy --all-targets -- -D warnings"
+step "cargo clippy --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
-echo "==> cargo test -q (tier-1: root package)"
+step "cargo test -q (tier-1: root package)"
 cargo test -q
 
-echo "==> throughput smoke (2-thread concurrent engine gate)"
-# Runs the 1- and 2-thread negotiation + session passes with the built-in
-# decision-identity assertion: a deadlock hangs this step and a lost update
-# or decision divergence aborts it, so concurrency regressions fail the
-# gate rather than just skewing the benches.
-cargo run -q --release -p fractal-bench --bin throughput -- --smoke
+if [ "$QUICK" -eq 1 ]; then
+    echo "All checks passed (--quick: skipped the throughput smoke gate)."
+    trap - EXIT
+    exit 0
+fi
+
+step "throughput smoke (concurrent engine + reactor gate)"
+# Runs the 1- and 2-thread negotiation/session/reactor passes with the
+# built-in decision-identity assertion: a lost update or decision
+# divergence aborts the binary, and a reactor stall is reported as a typed
+# ReactorStalled error naming the stuck sessions. The timeout is the
+# backstop for a true deadlock (e.g. a lock cycle in the sharded proxy):
+# rather than hanging CI for hours, the gate fails in ≤ 120 s with a
+# diagnostic. `timeout` is coreutils; if the host lacks it, run unguarded.
+SMOKE="cargo run -q --release -p fractal-bench --bin throughput -- --smoke"
+if command -v timeout >/dev/null 2>&1; then
+    # Build first (unmetered — cold compiles legitimately take minutes),
+    # then meter only the run itself.
+    cargo build -q --release -p fractal-bench --bin throughput
+    if ! timeout 120 $SMOKE; then
+        status=$?
+        if [ "$status" -eq 124 ]; then
+            echo "throughput smoke DEADLOCKED: no completion within 120 s —" >&2
+            echo "suspect a reactor stall or a lock cycle in the sharded proxy" >&2
+        fi
+        exit "$status"
+    fi
+else
+    $SMOKE
+fi
 
 # The full workspace suite (cargo test -q --workspace) additionally runs the
 # figure-regeneration tier; see CHANGES.md for the known calibration baseline
 # there before treating a red run as a regression.
 
 echo "All checks passed."
+trap - EXIT

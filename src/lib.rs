@@ -41,7 +41,7 @@
 //! let mut client = tb.client(ClientClass::PdaBluetooth);
 //! let link = ClientClass::PdaBluetooth.link();
 //! let report = run_session(
-//!     &mut client, &mut tb.proxy, &mut tb.server, &tb.pad_repo,
+//!     &mut client, &tb.proxy, &tb.server, &tb.pad_repo,
 //!     &link, tb.app_id, 1, 0,
 //! ).unwrap();
 //! println!("negotiated {} in {}", report.protocol, report.total());

@@ -34,7 +34,7 @@ fn every_client_class_completes_sessions_on_real_pages() {
                 let report = run_session(
                     &mut client,
                     &tb.proxy,
-                    &mut tb.server,
+                    &tb.server,
                     &tb.pad_repo,
                     &link,
                     tb.app_id,
@@ -65,7 +65,7 @@ fn adaptation_winners_match_paper_figure11b() {
             let report = run_session(
                 &mut client,
                 &tb.proxy,
-                &mut tb.server,
+                &tb.server,
                 &tb.pad_repo,
                 &link,
                 tb.app_id,
@@ -90,10 +90,10 @@ fn warm_differencing_sessions_save_traffic_on_slow_links() {
     let link = ClientClass::PdaBluetooth.link();
 
     let cold =
-        run_session(&mut client, &tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0)
+        run_session(&mut client, &tb.proxy, &tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0)
             .unwrap();
     let warm =
-        run_session(&mut client, &tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 1)
+        run_session(&mut client, &tb.proxy, &tb.server, &tb.pad_repo, &link, tb.app_id, 0, 1)
             .unwrap();
     assert!(
         warm.traffic.total() < cold.traffic.total() / 4,
@@ -115,16 +115,15 @@ fn environment_change_renegotiates_and_changes_protocol() {
 
     let mut desktop = tb.client(ClientClass::DesktopLan);
     let link = ClientClass::DesktopLan.link();
-    let r1 =
-        run_session(&mut desktop, &tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0)
-            .unwrap();
+    let r1 = run_session(&mut desktop, &tb.proxy, &tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0)
+        .unwrap();
     assert_eq!(r1.protocol, ProtocolId::Direct);
 
     // Same person, now on the PDA: a new environment probes differently.
     let mut pda = tb.client(ClientClass::PdaBluetooth);
     let link = ClientClass::PdaBluetooth.link();
-    let r2 = run_session(&mut pda, &tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0)
-        .unwrap();
+    let r2 =
+        run_session(&mut pda, &tb.proxy, &tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0).unwrap();
     assert_eq!(r2.protocol, ProtocolId::Bitmap);
 
     // The proxy cached both environments independently.
@@ -142,7 +141,7 @@ fn proactive_server_mode_flips_pda_protocol_end_to_end() {
     let mut client = tb.client(ClientClass::PdaBluetooth);
     let link = ClientClass::PdaBluetooth.link();
     let report =
-        run_session(&mut client, &tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 1)
+        run_session(&mut client, &tb.proxy, &tb.server, &tb.pad_repo, &link, tb.app_id, 0, 1)
             .unwrap();
     assert_eq!(report.protocol, ProtocolId::VaryBlock);
     assert!(report.server_compute < SimDuration::millis(1));
@@ -156,7 +155,7 @@ fn five_protocol_testbed_with_extension() {
     let mut client = tb.client(ClientClass::LaptopWlan);
     let link = ClientClass::LaptopWlan.link();
     let report =
-        run_session(&mut client, &tb.proxy, &mut tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0)
+        run_session(&mut client, &tb.proxy, &tb.server, &tb.pad_repo, &link, tb.app_id, 0, 0)
             .unwrap();
     // With five leaves the negotiation still runs and picks something
     // feasible; the extension protocol must at least be deployable.
