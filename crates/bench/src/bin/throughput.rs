@@ -1,7 +1,11 @@
 //! End-to-end throughput of the concurrent negotiation engine.
 //!
 //! Three passes per thread count (1, 2, 4, 8), all of them against **one**
-//! shared `&self` server + sharded proxy pair — no per-item testbeds:
+//! shared `&self` server + sharded proxy pair — no per-item testbeds. The
+//! proxy's adaptation cache and path-search memo are cleared before each
+//! timed negotiation/reactor pass, so every row starts cold and the
+//! speedup column measures parallel path-search scaling, not cache hits
+//! carried over from the oracle or an earlier pass:
 //!
 //! * **negotiations/sec** — the Fig. 9(a) mixed-client environment stream
 //!   hammering the shared [`AdaptationProxy`] through the work-stealing
@@ -219,6 +223,11 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut neg_oracle: Option<Vec<u64>> = None;
     for &threads in sweep {
+        // The oracle computation and every earlier sweep pass warmed the
+        // shared proxy; start each timed pass cold so the rates measure
+        // path-search scaling, not cache hits, and rows stay comparable
+        // to the old fresh-testbed-per-pass methodology.
+        tb.proxy.clear_adaptation_state();
         let (neg_rate, decisions) = negotiation_pass(&tb, threads, n_neg);
         match &neg_oracle {
             None => neg_oracle = Some(decisions),
@@ -235,6 +244,7 @@ fn main() {
                 .sum();
         let bytes_rate = bytes as f64 / start.elapsed().as_secs_f64();
 
+        tb.proxy.clear_adaptation_state();
         let (reactor_rate, reactor_decisions) =
             reactor_pass(&tb, threads, n_batches, reactor_content);
         assert_eq!(

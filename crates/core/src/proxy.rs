@@ -243,6 +243,19 @@ impl AdaptationProxy {
         }
     }
 
+    /// Clears the adaptation cache **and** the path-search memo on a
+    /// shared proxy (`&self`): the next negotiation for any key pays the
+    /// full cold path search again. Benchmarks call this between timed
+    /// passes so each pass starts cold and rows measure path-search
+    /// scaling rather than cache hits. Counters are left untouched —
+    /// recomputed entries count as fresh misses.
+    pub fn clear_adaptation_state(&self) {
+        for shard in &self.shards {
+            shard.cache.write().clear();
+            shard.memo.write().clear();
+        }
+    }
+
     /// Whether the cache currently holds an entry for `(client, app)`.
     pub fn cached(&self, app_id: AppId, client: &ClientEnv) -> bool {
         self.shards[shard_index(client, app_id)].cache.read().contains_key(&(*client, app_id))
@@ -324,6 +337,23 @@ mod tests {
         assert_eq!(d[0].protocol, ProtocolId::Direct);
         let l = proxy.negotiate(AppId(1), ClientClass::LaptopWlan.env()).unwrap();
         assert_eq!(l[0].protocol, ProtocolId::Gzip);
+    }
+
+    #[test]
+    fn clear_adaptation_state_makes_next_negotiation_cold() {
+        let proxy = proxy_with_case_study();
+        let env = ClientClass::PdaBluetooth.env();
+        let first = proxy.negotiate(AppId(1), env).unwrap();
+        assert!(proxy.cached(AppId(1), &env));
+        proxy.clear_adaptation_state();
+        assert!(!proxy.cached(AppId(1), &env));
+        // The recomputed decision is identical, and it was a real
+        // recomputation: a second miss, not a hit or a memo recall.
+        let second = proxy.negotiate(AppId(1), env).unwrap();
+        assert_eq!(first, second);
+        let stats = proxy.stats();
+        assert_eq!(stats.cache_hits, 0);
+        assert_eq!(stats.cache_misses, 2);
     }
 
     #[test]

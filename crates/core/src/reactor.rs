@@ -303,10 +303,13 @@ impl InpSession {
 
     /// Terminates the session from outside — the transport saw an
     /// unrecoverable routing or peer failure (e.g. the proxy rejected our
-    /// message, or a reply could not be produced).
+    /// message, or a reply could not be produced). The first recorded
+    /// error wins: a late stray delivery must not mask the root cause.
     pub fn abort(&mut self, error: SessionError) {
         self.phase = SessionPhase::Failed;
-        self.error = Some(error);
+        if self.error.is_none() {
+            self.error = Some(error);
+        }
     }
 
     /// Negotiation finished (from cache or PAD_META_REP): queue downloads
@@ -470,6 +473,13 @@ impl<'a> Reactor<'a> {
     /// negotiates while session 0 is mid-download.
     pub fn poll(&mut self) -> Option<SessionId> {
         let id = self.ready.pop_front()?;
+        if self.slots[id].session.phase().is_terminal() {
+            // The session ended (e.g. aborted on a routing failure) while
+            // replies were still queued. Delivering them would only raise
+            // UnexpectedMessage over the recorded root cause; drop them.
+            self.slots[id].inbox.clear();
+            return Some(id);
+        }
         let Some(msg) = self.slots[id].inbox.pop_front() else {
             return Some(id); // spurious wake; counts as progress, not delivery
         };
@@ -748,6 +758,27 @@ mod tests {
             reactor.session(id).error(),
             Some(SessionError::Fractal(FractalError::PadUnavailable(_)))
         ));
+    }
+
+    #[test]
+    fn stale_delivery_to_failed_session_keeps_root_cause() {
+        let tb = testbed_with_pages(1);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        let id =
+            reactor.spawn(InpSession::new(tb.client(ClientClass::PdaBluetooth), tb.app_id, 0, 0));
+        // spawn() already routed INIT_REQ, so a reply sits in the inbox.
+        assert!(!reactor.slots[id].inbox.is_empty(), "spawn queues the INIT_REP");
+        // The transport fails the session while that reply is in flight
+        // (e.g. a later leg could not be served).
+        let root = SessionError::Fractal(FractalError::PadUnavailable(crate::meta::PadId(7)));
+        reactor.slots[id].session.abort(root.clone());
+        // Draining must discard the stale reply — not deliver it to the
+        // Failed session and overwrite the root cause with
+        // UnexpectedMessage{phase: "Failed"}.
+        let report = reactor.run().unwrap();
+        assert_eq!(report.failed, 1);
+        assert!(reactor.slots[id].inbox.is_empty(), "stale replies dropped");
+        assert_eq!(reactor.session(id).error(), Some(&root));
     }
 
     #[test]

@@ -250,6 +250,17 @@ fn empty_pad_meta_rep_fails_with_no_feasible_path() {
 }
 
 #[test]
+fn abort_keeps_the_first_recorded_error() {
+    let fx = Fixture::new();
+    let mut s = fx.session_at(SessionPhase::Sessioning, false);
+    s.abort(SessionError::UnexpectedPad(PadId(3)));
+    // A later stray abort (e.g. from a stale delivery) must not mask it.
+    s.abort(SessionError::AlreadyStarted);
+    assert_eq!(s.phase(), SessionPhase::Failed);
+    assert_eq!(s.error(), Some(&SessionError::UnexpectedPad(PadId(3))));
+}
+
+#[test]
 fn phase_names_and_terminality() {
     assert!(SessionPhase::Done.is_terminal());
     assert!(SessionPhase::Failed.is_terminal());

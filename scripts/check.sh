@@ -64,8 +64,11 @@ if command -v timeout >/dev/null 2>&1; then
     # Build first (unmetered — cold compiles legitimately take minutes),
     # then meter only the run itself.
     cargo build -q --release -p fractal-bench --bin throughput
-    if ! timeout 120 $SMOKE; then
-        status=$?
+    # Capture the real exit status: inside `if ! cmd`, `$?` is the status of
+    # the negated condition (always 0 in the branch), not of `cmd` itself.
+    status=0
+    timeout 120 $SMOKE || status=$?
+    if [ "$status" -ne 0 ]; then
         if [ "$status" -eq 124 ]; then
             echo "throughput smoke DEADLOCKED: no completion within 120 s —" >&2
             echo "suspect a reactor stall or a lock cycle in the sharded proxy" >&2
