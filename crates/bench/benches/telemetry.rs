@@ -1,0 +1,64 @@
+//! Criterion: telemetry overhead on the hot paths.
+//!
+//! Bench names are identical in both feature states, so running
+//! `cargo bench --bench telemetry` first without and then with
+//! `--features telemetry` makes criterion's change detection report the
+//! recording overhead directly. The acceptance bar for the instrumented
+//! build is < ~5% on `telemetry_negotiate_cached` (the stripe read-lock
+//! fast path, where relative overhead is worst); a disabled build must
+//! show no change at all, because every recording call compiles to a
+//! zero-sized no-op.
+
+use std::hint::black_box;
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fractal_bench::fig9a::client_env;
+use fractal_core::server::AdaptiveContentMode;
+use fractal_core::testbed::Testbed;
+use fractal_telemetry::{MonotonicClock, Registry, Telemetry};
+
+fn bench_telemetry(c: &mut Criterion) {
+    eprintln!(
+        "telemetry feature: {}",
+        if fractal_telemetry::enabled() { "enabled (recording)" } else { "disabled (no-op)" }
+    );
+
+    // The overhead target: cached negotiation against a warm shared proxy.
+    // With the feature on, each call mirrors one cache-hit counter; with it
+    // off, the same source compiles the mirror away.
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let proxy = &tb.proxy;
+    proxy.negotiate(tb.app_id, client_env(0)).unwrap();
+    c.bench_function("telemetry_negotiate_cached", |b| {
+        b.iter(|| proxy.negotiate(tb.app_id, black_box(client_env(0))).unwrap())
+    });
+
+    // Primitive recording costs in this build's feature state: one relaxed
+    // fetch_add for a counter, five for a histogram record, nothing at all
+    // when disabled.
+    let bundle = Telemetry::new(Arc::new(Registry::new()), MonotonicClock::shared());
+    let counter = bundle.counter("bench_ops_total");
+    c.bench_function("telemetry_counter_inc", |b| {
+        b.iter(|| {
+            counter.inc();
+            black_box(&counter);
+        })
+    });
+
+    let hist = bundle.histogram("bench_lat_ns");
+    c.bench_function("telemetry_histogram_record", |b| {
+        let mut v = 0u64;
+        b.iter(|| {
+            v = v.wrapping_add(0x9E37_79B9);
+            hist.record(black_box(v));
+        })
+    });
+
+    // Snapshot cost — the once-per-pass read side, not a hot path, but it
+    // bounds what embedding metrics into BENCH_*.json adds to a run.
+    c.bench_function("telemetry_snapshot", |b| b.iter(|| black_box(bundle.snapshot())));
+}
+
+criterion_group!(benches, bench_telemetry);
+criterion_main!(benches);

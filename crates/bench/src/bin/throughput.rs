@@ -22,6 +22,15 @@
 //! oracle; the run aborts on any divergence. Results land in
 //! `BENCH_throughput.json` (skipped under `--smoke`, the CI gate mode,
 //! which also trims the sweep to 1–2 threads).
+//!
+//! Built with `--features telemetry`, every pass also records into the
+//! process-global registry: each reactor pass prints its p50/p99 INP
+//! phase latencies (from a snapshot diff around the pass, so passes don't
+//! bleed into each other), the final registry snapshot is embedded under
+//! the `"telemetry"` key of `BENCH_throughput.json`, and the run aborts
+//! unless the registry's cache/memo counters reconcile *exactly* with
+//! [`ProxyStats`] — the registry is the source of truth, the struct
+//! counters are the cross-check.
 
 use std::time::Instant;
 
@@ -32,10 +41,11 @@ use fractal_bench::report::render_table;
 use fractal_bench::workbench::WORKLOAD_SEED;
 use fractal_core::meta::PadMeta;
 use fractal_core::presets::ClientClass;
-use fractal_core::reactor::{InpSession, Reactor};
+use fractal_core::reactor::{InpSession, Reactor, PHASE_METRICS};
 use fractal_core::server::AdaptiveContentMode;
 use fractal_core::session::run_session;
 use fractal_core::testbed::Testbed;
+use fractal_telemetry::{Snapshot, Telemetry};
 use fractal_workload::mutate::EditProfile;
 use fractal_workload::PageSet;
 
@@ -166,7 +176,62 @@ fn reactor_pass(
     (rate, per_batch.into_iter().flatten().collect())
 }
 
-fn write_json(path: &str, rows: &[Row], n_negotiations: usize, env: &BenchEnv) {
+/// Prints the per-pass p50/p99 of every INP phase histogram from `pass`
+/// (a snapshot diff covering exactly one reactor pass). No-op when the
+/// telemetry feature is off — the diff is empty then.
+fn print_phase_latencies(threads: usize, pass: &Snapshot) {
+    if !fractal_telemetry::enabled() {
+        return;
+    }
+    println!("  INP phase latency at {threads} thread(s):");
+    for name in PHASE_METRICS {
+        if let Some(h) = pass.histograms.get(name) {
+            println!(
+                "    {name:<36} p50 {:>12} ns   p99 {:>12} ns   n={}",
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.count
+            );
+        }
+    }
+}
+
+/// Aborts unless the registry mirrors [`ProxyStats`] exactly: cache
+/// hit/miss counters match 1:1, and memo hits + misses partition the
+/// misses (every proxy-cache miss runs `compute` exactly once). Also
+/// requires every INP phase histogram to be non-empty — a full run
+/// exercises all five phases.
+fn reconcile_telemetry(tb: &Testbed, snap: &Snapshot) {
+    let stats = tb.proxy.stats();
+    assert_eq!(
+        snap.counters["fractal_proxy_cache_hits_total"], stats.cache_hits,
+        "registry cache-hit counter must reconcile with ProxyStats"
+    );
+    assert_eq!(
+        snap.counters["fractal_proxy_cache_misses_total"], stats.cache_misses,
+        "registry cache-miss counter must reconcile with ProxyStats"
+    );
+    let memo_hits = snap.counters["fractal_search_memo_hits_total"];
+    let memo_misses = snap.counters["fractal_search_memo_misses_total"];
+    assert_eq!(
+        memo_hits + memo_misses,
+        stats.cache_misses,
+        "memo hits + misses must partition the proxy-cache misses"
+    );
+    for name in PHASE_METRICS {
+        assert!(
+            snap.histograms.get(name).is_some_and(|h| !h.is_empty()),
+            "{name} must be non-empty after a full run"
+        );
+    }
+    println!(
+        "telemetry: registry reconciles with ProxyStats \
+         ({} cache hits, {} misses = {memo_hits} memo hits + {memo_misses} searches)",
+        stats.cache_hits, stats.cache_misses
+    );
+}
+
+fn write_json(path: &str, rows: &[Row], n_negotiations: usize, env: &BenchEnv, telem: &Snapshot) {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"throughput\",\n");
     out.push_str("  \"workload\": \"fig9a-mixed-clients\",\n");
@@ -188,7 +253,11 @@ fn write_json(path: &str, rows: &[Row], n_negotiations: usize, env: &BenchEnv) {
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ]\n}\n");
+    if telem.is_empty() {
+        out.push_str("  ],\n  \"telemetry\": null\n}\n");
+    } else {
+        out.push_str(&format!("  ],\n  \"telemetry\": {}\n}}\n", telem.to_json("  ")));
+    }
     std::fs::write(path, out).expect("write benchmark JSON");
 }
 
@@ -245,12 +314,14 @@ fn main() {
         let bytes_rate = bytes as f64 / start.elapsed().as_secs_f64();
 
         tb.proxy.clear_adaptation_state();
+        let before_pass = Telemetry::global().snapshot();
         let (reactor_rate, reactor_decisions) =
             reactor_pass(&tb, threads, n_batches, reactor_content);
         assert_eq!(
             reactor_decisions, reactor_oracle,
             "reactor decisions diverged from the serial oracle at {threads} threads"
         );
+        print_phase_latencies(threads, &Telemetry::global().snapshot().diff(&before_pass));
 
         let base = rows.first().map_or(neg_rate, |r: &Row| r.negotiations_per_sec);
         rows.push(Row {
@@ -286,10 +357,17 @@ fn main() {
          (direct + {REACTOR_BATCH}-in-flight reactor)"
     );
 
+    let telem = Telemetry::global().snapshot();
+    if fractal_telemetry::enabled() {
+        reconcile_telemetry(&tb, &telem);
+    } else {
+        println!("(telemetry feature off: rebuild with --features telemetry to record metrics)");
+    }
+
     if smoke {
         println!("(--smoke: not writing BENCH_throughput.json)");
     } else {
-        write_json("BENCH_throughput.json", &rows, n_neg, &env);
+        write_json("BENCH_throughput.json", &rows, n_neg, &env, &telem);
         println!("wrote BENCH_throughput.json");
     }
 }

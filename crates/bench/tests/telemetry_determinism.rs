@@ -1,0 +1,137 @@
+//! Determinism suite (`--features telemetry`): reactor batches recording
+//! into per-batch registries and tracers under virtual clocks produce
+//! byte-identical merged snapshots and span traces at 1, 2, 4, and 8
+//! worker threads.
+//!
+//! The recipe mirrors the throughput bin's discipline: each work unit is a
+//! pure function of its index (own testbed, own registry, own clock, own
+//! tracer), the work-stealing driver only decides *where* an index runs,
+//! and aggregation folds results in index order. Under that discipline the
+//! scheduler cannot leak into the numbers — which is exactly the claim the
+//! tentpole makes about `fractal-telemetry`.
+
+#![cfg(feature = "telemetry")]
+
+use std::sync::Arc;
+
+use fractal_bench::parallel::{self, THREAD_SWEEP};
+use fractal_core::reactor::{InpSession, Reactor, PHASE_METRICS};
+use fractal_core::server::AdaptiveContentMode;
+use fractal_core::testbed::Testbed;
+use fractal_core::ClientClass;
+use fractal_telemetry::{Registry, Snapshot, Telemetry, Tracer, VirtualClock};
+
+/// Batches per run — enough to keep every worker in the 8-thread sweep
+/// stealing, small enough for a test binary.
+const BATCHES: usize = 5;
+/// Event-driven sessions multiplexed inside one batch's reactor.
+const SESSIONS: usize = 3;
+
+fn page(item: usize, id: u32) -> Vec<u8> {
+    let seed = (item as u8).wrapping_mul(31).wrapping_add(id as u8 + 1);
+    (0..6_000).map(|i| ((i / 7) as u8).wrapping_mul(seed).wrapping_add(seed)).collect()
+}
+
+/// One self-contained work unit: a fresh testbed and a single-threaded
+/// reactor recording into a per-batch registry and tracer over a virtual
+/// clock whose tick also depends only on the index. Returns the batch's
+/// snapshot and its rendered span tree.
+fn batch(item: usize) -> (Snapshot, String) {
+    let bundle = Telemetry::new(Arc::new(Registry::new()), VirtualClock::shared(7 + item as u64));
+    let tracer = Arc::new(Tracer::new(bundle.clock()));
+
+    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let spare = Testbed::case_study(AdaptiveContentMode::Reactive).proxy;
+    tb.proxy = std::mem::replace(&mut tb.proxy, spare).with_telemetry(&bundle);
+    for id in 0..SESSIONS as u32 {
+        tb.server.publish(id, page(item, id));
+    }
+
+    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+        .with_clock(bundle.clock())
+        .with_telemetry(&bundle)
+        .with_tracer(Arc::clone(&tracer));
+    for s in 0..SESSIONS {
+        let class = ClientClass::ALL[(item + s) % 3];
+        let client = tb.client(class).with_telemetry(&bundle);
+        reactor.spawn(InpSession::new(client, tb.app_id, s as u32, 0));
+    }
+    let report = reactor.run().expect("batch sessions complete");
+    assert_eq!(report.failed, 0);
+
+    (bundle.snapshot(), format!("== batch {item} ==\n{}", tracer.render()))
+}
+
+/// Runs all batches on `threads` workers and aggregates in index order.
+fn sweep_at(threads: usize) -> (Snapshot, String) {
+    let per_batch = parallel::run_indexed(threads, BATCHES, batch);
+    let mut merged = Snapshot::default();
+    let mut trace = String::new();
+    for (snap, text) in &per_batch {
+        merged.merge(snap);
+        trace.push_str(text);
+    }
+    (merged, trace)
+}
+
+#[test]
+fn snapshots_and_traces_identical_at_every_thread_count() {
+    let (baseline_snap, baseline_trace) = sweep_at(1);
+    assert!(!baseline_trace.is_empty());
+    assert!(!baseline_trace.contains("dur=open"), "every span must close once the reactor drains");
+    for &threads in &THREAD_SWEEP[1..] {
+        let (snap, trace) = sweep_at(threads);
+        assert_eq!(snap, baseline_snap, "snapshot diverged at {threads} threads");
+        assert_eq!(trace, baseline_trace, "trace diverged at {threads} threads");
+        // Rendered artifacts are byte-identical too, not just structurally.
+        assert_eq!(snap.render_prometheus(), baseline_snap.render_prometheus());
+        assert_eq!(snap.to_json(""), baseline_snap.to_json(""));
+    }
+}
+
+#[test]
+fn every_batch_fills_all_five_phase_histograms() {
+    for item in 0..BATCHES {
+        let (snap, _) = batch(item);
+        for name in PHASE_METRICS {
+            let h = &snap.histograms[name];
+            assert!(!h.is_empty(), "batch {item}: {name} must be non-empty");
+            assert!(h.sum > 0, "batch {item}: {name} must accumulate virtual time");
+        }
+        assert_eq!(
+            snap.counters["fractal_reactor_completed_total"], SESSIONS as u64,
+            "batch {item}"
+        );
+    }
+}
+
+#[test]
+fn merge_grouping_does_not_change_the_aggregate() {
+    let parts: Vec<Snapshot> = (0..BATCHES).map(|i| batch(i).0).collect();
+
+    // Left fold: ((((s0 + s1) + s2) + s3) + s4).
+    let mut left = Snapshot::default();
+    for p in &parts {
+        left.merge(p);
+    }
+
+    // Right fold: s0 + (s1 + (s2 + (s3 + s4))).
+    let mut right = Snapshot::default();
+    for p in parts.iter().rev() {
+        let mut acc = p.clone();
+        acc.merge(&right);
+        right = acc;
+    }
+
+    // Pairwise tree: (s0 + s1) + ((s2 + s3) + s4).
+    let mut ab = parts[0].clone();
+    ab.merge(&parts[1]);
+    let mut cd = parts[2].clone();
+    cd.merge(&parts[3]);
+    cd.merge(&parts[4]);
+    let mut tree = ab;
+    tree.merge(&cd);
+
+    assert_eq!(left, right, "merge must be associative+commutative (left vs right fold)");
+    assert_eq!(left, tree, "merge must be associative (left fold vs pairwise tree)");
+}

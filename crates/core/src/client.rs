@@ -51,6 +51,33 @@ pub struct ClientStats {
     pub pads_rejected: u64,
 }
 
+/// Pre-bound telemetry handles mirroring [`ClientStats`] plus the PAD
+/// acceptance costs (download bytes, gauntlet wall time). Zero-sized
+/// no-ops unless the `telemetry` feature is on.
+struct ClientTelemetry {
+    bundle: fractal_telemetry::Telemetry,
+    protocol_cache_hits: fractal_telemetry::Counter,
+    negotiations: fractal_telemetry::Counter,
+    pads_deployed: fractal_telemetry::Counter,
+    pads_rejected: fractal_telemetry::Counter,
+    download_bytes: fractal_telemetry::Counter,
+    gauntlet_ns: fractal_telemetry::Histogram,
+}
+
+impl ClientTelemetry {
+    fn bind(bundle: &fractal_telemetry::Telemetry) -> ClientTelemetry {
+        ClientTelemetry {
+            protocol_cache_hits: bundle.counter("fractal_client_protocol_cache_hits_total"),
+            negotiations: bundle.counter("fractal_client_negotiations_total"),
+            pads_deployed: bundle.counter("fractal_client_pads_deployed_total"),
+            pads_rejected: bundle.counter("fractal_client_pads_rejected_total"),
+            download_bytes: bundle.counter("fractal_client_pad_download_bytes_total"),
+            gauntlet_ns: bundle.histogram("fractal_client_gauntlet_ns"),
+            bundle: bundle.clone(),
+        }
+    }
+}
+
 /// A Fractal client host.
 pub struct FractalClient {
     /// The environment this client probes and reports.
@@ -63,6 +90,7 @@ pub struct FractalClient {
     deployed: HashMap<PadId, PadRuntime>,
     content_cache: HashMap<u32, CachedContent>,
     stats: ClientStats,
+    tele: ClientTelemetry,
 }
 
 impl core::fmt::Debug for FractalClient {
@@ -87,7 +115,15 @@ impl FractalClient {
             deployed: HashMap::new(),
             content_cache: HashMap::new(),
             stats: ClientStats::default(),
+            tele: ClientTelemetry::bind(&fractal_telemetry::Telemetry::global()),
         }
+    }
+
+    /// Rebinds the client's metrics to an explicit telemetry bundle
+    /// (default: the process-global one).
+    pub fn with_telemetry(mut self, bundle: &fractal_telemetry::Telemetry) -> FractalClient {
+        self.tele = ClientTelemetry::bind(bundle);
+        self
     }
 
     /// "Probing the system using system calls": returns the metadata for
@@ -101,6 +137,7 @@ impl FractalClient {
         match self.protocol_cache.get(&app_id) {
             Some(pads) => {
                 self.stats.protocol_cache_hits += 1;
+                self.tele.protocol_cache_hits.inc();
                 Some(pads.clone())
             }
             None => None,
@@ -111,6 +148,7 @@ impl FractalClient {
     /// cache").
     pub fn remember_protocols(&mut self, app_id: AppId, pads: &[PadMeta]) {
         self.stats.negotiations += 1;
+        self.tele.negotiations.inc();
         self.protocol_cache.insert(app_id, pads.to_vec());
     }
 
@@ -127,6 +165,8 @@ impl FractalClient {
     /// Runs the full acceptance gauntlet on downloaded PAD bytes and
     /// deploys the module into the sandbox.
     pub fn deploy_pad(&mut self, meta: &PadMeta, wire_bytes: &[u8]) -> Result<(), FractalError> {
+        self.tele.download_bytes.add(wire_bytes.len() as u64);
+        let t0 = self.tele.bundle.now_ns();
         let result = (|| {
             let signed = SignedModule::from_wire(wire_bytes)?;
             let module = signed.open(&meta.digest, &self.trust)?; // digest + signature
@@ -143,14 +183,17 @@ impl FractalClient {
             let runtime = PadRuntime::new(module, self.policy.clone())?;
             Ok::<PadRuntime, FractalError>(runtime)
         })();
+        self.tele.gauntlet_ns.record(self.tele.bundle.now_ns().saturating_sub(t0));
         match result {
             Ok(runtime) => {
                 self.deployed.insert(meta.id, runtime);
                 self.stats.pads_deployed += 1;
+                self.tele.pads_deployed.inc();
                 Ok(())
             }
             Err(e) => {
                 self.stats.pads_rejected += 1;
+                self.tele.pads_rejected.inc();
                 Err(e)
             }
         }

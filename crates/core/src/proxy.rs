@@ -62,6 +62,37 @@ pub struct ProxyStats {
 /// Cache/memo key: the client environment plus the application.
 type Key = (ClientEnv, AppId);
 
+/// Pre-bound telemetry handles: one registry lookup per name at proxy
+/// construction, zero lookups on the hot path. With the `telemetry`
+/// feature off these are zero-sized no-ops and every call compiles away.
+struct ProxyTelemetry {
+    bundle: fractal_telemetry::Telemetry,
+    cache_hits: fractal_telemetry::Counter,
+    cache_misses: fractal_telemetry::Counter,
+    app_pushes: fractal_telemetry::Counter,
+    memo_hits: fractal_telemetry::Counter,
+    memo_misses: fractal_telemetry::Counter,
+    nodes_expanded: fractal_telemetry::Counter,
+    paths_examined: fractal_telemetry::Counter,
+    search_ns: fractal_telemetry::Histogram,
+}
+
+impl ProxyTelemetry {
+    fn bind(bundle: &fractal_telemetry::Telemetry) -> ProxyTelemetry {
+        ProxyTelemetry {
+            cache_hits: bundle.counter("fractal_proxy_cache_hits_total"),
+            cache_misses: bundle.counter("fractal_proxy_cache_misses_total"),
+            app_pushes: bundle.counter("fractal_proxy_app_pushes_total"),
+            memo_hits: bundle.counter("fractal_search_memo_hits_total"),
+            memo_misses: bundle.counter("fractal_search_memo_misses_total"),
+            nodes_expanded: bundle.counter("fractal_search_nodes_expanded_total"),
+            paths_examined: bundle.counter("fractal_search_paths_examined_total"),
+            search_ns: bundle.histogram("fractal_search_time_ns"),
+            bundle: bundle.clone(),
+        }
+    }
+}
+
 /// One lock-striped shard pair: the distribution manager's PADMeta cache
 /// and the negotiation manager's path-search memo share striping so a key
 /// touches exactly one lock of each kind.
@@ -92,6 +123,7 @@ pub struct AdaptationProxy {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     app_pushes: AtomicU64,
+    tele: ProxyTelemetry,
 }
 
 impl core::fmt::Debug for AdaptationProxy {
@@ -116,12 +148,21 @@ impl AdaptationProxy {
             cache_hits: AtomicU64::new(0),
             cache_misses: AtomicU64::new(0),
             app_pushes: AtomicU64::new(0),
+            tele: ProxyTelemetry::bind(&fractal_telemetry::Telemetry::global()),
         }
     }
 
     /// Disables the adaptation cache (ablation).
     pub fn with_cache_disabled(mut self) -> AdaptationProxy {
         self.cache_enabled = false;
+        self
+    }
+
+    /// Rebinds the proxy's metrics to an explicit telemetry bundle
+    /// (default: the process-global one). Tests and the determinism suite
+    /// use per-work-unit registries and virtual clocks here.
+    pub fn with_telemetry(mut self, bundle: &fractal_telemetry::Telemetry) -> AdaptationProxy {
+        self.tele = ProxyTelemetry::bind(bundle);
         self
     }
 
@@ -150,6 +191,7 @@ impl AdaptationProxy {
             self.pats.insert(meta.app_id, Pat::from_app_meta(meta));
         }
         self.app_pushes.fetch_add(metas.len() as u64, Ordering::Relaxed);
+        self.tele.app_pushes.add(metas.len() as u64);
     }
 
     /// Switches the server-compute mode (reactive ↔ proactive adaptive
@@ -191,6 +233,7 @@ impl AdaptationProxy {
         if !self.cache_enabled {
             let pads = self.compute(app_id, &client)?;
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
+            self.tele.cache_misses.inc();
             return Ok(pads);
         }
 
@@ -198,6 +241,7 @@ impl AdaptationProxy {
         let shard = &self.shards[shard_index(&client, app_id)];
         if let Some(hit) = shard.cache.read().get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.tele.cache_hits.inc();
             return Ok(hit.clone());
         }
         // Double-checked under the write lock: a racing thread may have
@@ -207,10 +251,12 @@ impl AdaptationProxy {
         let mut guard = shard.cache.write();
         if let Some(hit) = guard.get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.tele.cache_hits.inc();
             return Ok(hit.clone());
         }
         let pads = self.compute(app_id, &client)?;
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.tele.cache_misses.inc();
 
         // Distribution manager: cache update with the client views.
         guard.insert(key, pads.clone());
@@ -223,9 +269,15 @@ impl AdaptationProxy {
         let key = (*client, app_id);
         let shard = &self.shards[shard_index(client, app_id)];
         if let Some(path) = shard.memo.read().get(&key) {
+            self.tele.memo_hits.inc();
             return Ok(materialize(pat, path));
         }
+        let t0 = self.tele.bundle.now_ns();
         let path = search(pat, &self.model, client, STD_CONTENT_BYTES)?;
+        self.tele.search_ns.record(self.tele.bundle.now_ns().saturating_sub(t0));
+        self.tele.memo_misses.inc();
+        self.tele.nodes_expanded.add(u64::from(path.nodes_marked));
+        self.tele.paths_examined.add(u64::from(path.paths_examined));
         let pads = materialize(pat, &path);
         shard.memo.write().insert(key, path);
         Ok(pads)

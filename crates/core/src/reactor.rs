@@ -28,6 +28,9 @@
 //! smoke gate's timeout wrapper relies on for fast deadlock diagnostics.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
+
+use fractal_telemetry::{MonotonicClock, SharedClock, SpanId, Tracer};
 
 use crate::client::FractalClient;
 use crate::endpoint::{ProtocolViolation, ProxyEndpoint};
@@ -62,6 +65,19 @@ impl SessionPhase {
     /// Whether the session can make no further transitions.
     pub fn is_terminal(self) -> bool {
         matches!(self, SessionPhase::Done | SessionPhase::Failed)
+    }
+
+    /// Index of this phase among the five timed (non-terminal) phases, in
+    /// protocol order; `None` for the terminal phases.
+    pub fn timed_index(self) -> Option<usize> {
+        match self {
+            SessionPhase::Init => Some(0),
+            SessionPhase::MetaExchange => Some(1),
+            SessionPhase::PathSearch => Some(2),
+            SessionPhase::PadDownload => Some(3),
+            SessionPhase::Sessioning => Some(4),
+            SessionPhase::Done | SessionPhase::Failed => None,
+        }
     }
 
     /// Phase name for diagnostics.
@@ -361,19 +377,42 @@ pub struct ReactorReport {
     pub peak_in_flight: usize,
 }
 
+/// One stuck session in a [`ReactorStalled`] report: which phase it died
+/// in **and** where its time went on the way there, so a stall diagnostic
+/// distinguishes "never got past negotiation" from "downloaded for 2 s
+/// then went quiet".
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct StuckSession {
+    /// The stuck session.
+    pub id: SessionId,
+    /// The phase it was stuck in when the stall was detected.
+    pub phase: &'static str,
+    /// Accumulated time per visited phase (name, nanoseconds), in protocol
+    /// order, including time accrued in the current phase up to stall
+    /// detection. Phases never entered are omitted.
+    pub phase_ns: Vec<(&'static str, u64)>,
+}
+
 /// The reactor stopped with live sessions but no deliverable messages —
 /// the event-driven equivalent of a deadlock, reported instead of spun on.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ReactorStalled {
-    /// The stuck sessions and the phases they were stuck in.
-    pub stuck: Vec<(SessionId, &'static str)>,
+    /// The stuck sessions, their phases, and their per-phase timings.
+    pub stuck: Vec<StuckSession>,
 }
 
 impl core::fmt::Display for ReactorStalled {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "reactor stalled with {} live session(s):", self.stuck.len())?;
-        for (id, phase) in &self.stuck {
-            write!(f, " #{id}@{phase}")?;
+        for s in &self.stuck {
+            write!(f, " #{}@{} [", s.id, s.phase)?;
+            for (i, (name, ns)) in s.phase_ns.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{name}={ns}ns")?;
+            }
+            write!(f, "]")?;
         }
         Ok(())
     }
@@ -381,12 +420,71 @@ impl core::fmt::Display for ReactorStalled {
 
 impl std::error::Error for ReactorStalled {}
 
+/// The five timed (non-terminal) phases, indexed by
+/// [`SessionPhase::timed_index`].
+pub const TIMED_PHASES: [SessionPhase; 5] = [
+    SessionPhase::Init,
+    SessionPhase::MetaExchange,
+    SessionPhase::PathSearch,
+    SessionPhase::PadDownload,
+    SessionPhase::Sessioning,
+];
+
+/// The five timed phases' histogram names, indexed by
+/// [`SessionPhase::timed_index`].
+pub const PHASE_METRICS: [&str; 5] = [
+    "fractal_inp_phase_ns_init",
+    "fractal_inp_phase_ns_meta_exchange",
+    "fractal_inp_phase_ns_path_search",
+    "fractal_inp_phase_ns_pad_download",
+    "fractal_inp_phase_ns_sessioning",
+];
+
+/// Pre-bound reactor metrics (no-ops unless the `telemetry` feature is
+/// on): per-phase latency histograms plus the [`ReactorReport`] counters,
+/// so the registry is the single source of truth for what the report
+/// struct summarizes.
+struct ReactorTelemetry {
+    phase_ns: [fractal_telemetry::Histogram; 5],
+    completed: fractal_telemetry::Counter,
+    failed: fractal_telemetry::Counter,
+    polls: fractal_telemetry::Counter,
+    peak_in_flight: fractal_telemetry::Gauge,
+}
+
+impl ReactorTelemetry {
+    fn bind(bundle: &fractal_telemetry::Telemetry) -> ReactorTelemetry {
+        ReactorTelemetry {
+            phase_ns: std::array::from_fn(|i| bundle.histogram(PHASE_METRICS[i])),
+            completed: bundle.counter("fractal_reactor_completed_total"),
+            failed: bundle.counter("fractal_reactor_failed_total"),
+            polls: bundle.counter("fractal_reactor_polls_total"),
+            peak_in_flight: bundle.gauge("fractal_reactor_peak_in_flight"),
+        }
+    }
+}
+
+/// Per-slot handle into a shared [`Tracer`]: the session's root span and
+/// the open child span for its current phase.
+struct SlotTrace {
+    root: SpanId,
+    current: Option<SpanId>,
+}
+
 struct Slot {
     session: InpSession,
     /// Per-connection proxy-side state machine (Figure 4 order
     /// enforcement), negotiation delegated to the shared proxy.
     endpoint: ProxyEndpoint,
     inbox: VecDeque<InpMessage>,
+    /// Last phase [`Reactor::sync_phase`] observed.
+    last_phase: SessionPhase,
+    /// Clock reading when `last_phase` was entered.
+    phase_entered_ns: u64,
+    /// Accumulated nanoseconds per timed phase
+    /// ([`SessionPhase::timed_index`] order).
+    phase_ns: [u64; 5],
+    trace: Option<SlotTrace>,
 }
 
 /// Poll-based reactor multiplexing many [`InpSession`]s over one shared
@@ -406,6 +504,11 @@ pub struct Reactor<'a> {
     ready: VecDeque<SessionId>,
     polls: u64,
     peak_in_flight: usize,
+    /// Time source for per-phase accounting. Never feature-gated: stall
+    /// diagnostics carry real timings in every build.
+    clock: SharedClock,
+    tracer: Option<Arc<Tracer>>,
+    tele: ReactorTelemetry,
 }
 
 impl<'a> Reactor<'a> {
@@ -423,7 +526,33 @@ impl<'a> Reactor<'a> {
             ready: VecDeque::new(),
             polls: 0,
             peak_in_flight: 0,
+            clock: MonotonicClock::shared(),
+            tracer: None,
+            tele: ReactorTelemetry::bind(&fractal_telemetry::Telemetry::global()),
         }
+    }
+
+    /// Replaces the per-phase accounting clock (tests use a
+    /// [`VirtualClock`](fractal_telemetry::VirtualClock) so timings are a
+    /// pure function of event order).
+    pub fn with_clock(mut self, clock: SharedClock) -> Reactor<'a> {
+        self.clock = clock;
+        self
+    }
+
+    /// Attaches a span tracer: each session becomes a root span with one
+    /// child span per phase. For deterministic traces, hand the tracer the
+    /// same virtual clock as [`with_clock`](Self::with_clock).
+    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Reactor<'a> {
+        self.tracer = Some(tracer);
+        self
+    }
+
+    /// Rebinds the reactor's metrics to an explicit telemetry bundle
+    /// (default: the process-global one).
+    pub fn with_telemetry(mut self, bundle: &fractal_telemetry::Telemetry) -> Reactor<'a> {
+        self.tele = ReactorTelemetry::bind(bundle);
+        self
     }
 
     /// Admits a session: starts it and routes its opening messages. The
@@ -434,11 +563,70 @@ impl<'a> Reactor<'a> {
     /// [`run`]: Self::run
     pub fn spawn(&mut self, mut session: InpSession) -> SessionId {
         let id = self.slots.len();
+        // Clock read *before* start(): the Init phase gets a real duration
+        // covering the session's opening work.
+        let spawned_at = self.clock.now_ns();
         let opening = session.start().unwrap_or_default();
-        self.slots.push(Slot { session, endpoint: ProxyEndpoint::new(), inbox: VecDeque::new() });
+        self.push_slot(session, spawned_at);
         self.route(id, opening);
+        self.sync_phase(id);
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
+        self.tele.peak_in_flight.set_max(self.peak_in_flight as i64);
         id
+    }
+
+    fn push_slot(&mut self, session: InpSession, spawned_at: u64) {
+        let trace = self.tracer.as_ref().map(|tr| {
+            let root = tr.root("session");
+            let current = Some(tr.child(root, SessionPhase::Init.name()));
+            SlotTrace { root, current }
+        });
+        self.slots.push(Slot {
+            session,
+            endpoint: ProxyEndpoint::new(),
+            inbox: VecDeque::new(),
+            last_phase: SessionPhase::Init,
+            phase_entered_ns: spawned_at,
+            phase_ns: [0; 5],
+            trace,
+        });
+    }
+
+    /// Folds a session's phase change (if any) into the per-phase
+    /// accounting: the time since the last transition is credited to the
+    /// phase just left (a multi-phase jump credits the phase it started
+    /// from), recorded in the phase histogram, and reflected in the span
+    /// tree. Idempotent while the phase is unchanged.
+    fn sync_phase(&mut self, id: SessionId) {
+        let phase = self.slots[id].session.phase();
+        if phase == self.slots[id].last_phase {
+            return;
+        }
+        let now = self.clock.now_ns();
+        let slot = &mut self.slots[id];
+        if let Some(ix) = slot.last_phase.timed_index() {
+            let spent = now.saturating_sub(slot.phase_entered_ns);
+            slot.phase_ns[ix] += spent;
+            self.tele.phase_ns[ix].record(spent);
+        }
+        if let (Some(tr), Some(t)) = (self.tracer.as_ref(), slot.trace.as_mut()) {
+            if let Some(cur) = t.current.take() {
+                tr.end(cur);
+            }
+            if phase.is_terminal() {
+                tr.end(t.root);
+            } else {
+                t.current = Some(tr.child(t.root, phase.name()));
+            }
+        }
+        if phase.is_terminal() {
+            match phase {
+                SessionPhase::Done => self.tele.completed.inc(),
+                _ => self.tele.failed.inc(),
+            }
+        }
+        slot.last_phase = phase;
+        slot.phase_entered_ns = now;
     }
 
     /// Fault-injection variant of [`spawn`](Self::spawn): the session is
@@ -448,9 +636,12 @@ impl<'a> Reactor<'a> {
     /// by the deadlock-diagnostic path the CI smoke timeout depends on.
     pub fn spawn_lossy(&mut self, mut session: InpSession) -> SessionId {
         let id = self.slots.len();
+        let spawned_at = self.clock.now_ns();
         let _dropped = session.start();
-        self.slots.push(Slot { session, endpoint: ProxyEndpoint::new(), inbox: VecDeque::new() });
+        self.push_slot(session, spawned_at);
+        self.sync_phase(id);
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
+        self.tele.peak_in_flight.set_max(self.peak_in_flight as i64);
         id
     }
 
@@ -478,12 +669,14 @@ impl<'a> Reactor<'a> {
             // replies were still queued. Delivering them would only raise
             // UnexpectedMessage over the recorded root cause; drop them.
             self.slots[id].inbox.clear();
+            self.sync_phase(id);
             return Some(id);
         }
         let Some(msg) = self.slots[id].inbox.pop_front() else {
             return Some(id); // spurious wake; counts as progress, not delivery
         };
         self.polls += 1;
+        self.tele.polls.inc();
         match self.slots[id].session.on_message(&msg) {
             Ok(replies) => self.route(id, replies),
             // The reactor delivered something the session cannot accept:
@@ -491,6 +684,7 @@ impl<'a> Reactor<'a> {
             // the session silently; fail it loudly instead.
             Err(e) => self.slots[id].session.abort(e),
         }
+        self.sync_phase(id);
         if !self.slots[id].inbox.is_empty() && !self.slots[id].session.phase().is_terminal() {
             self.ready.push_back(id);
         }
@@ -503,12 +697,27 @@ impl<'a> Reactor<'a> {
     /// than looping forever.
     pub fn run(&mut self) -> Result<ReactorReport, ReactorStalled> {
         while self.poll().is_some() {}
-        let stuck: Vec<(SessionId, &'static str)> = self
+        let now = self.clock.now_ns();
+        let stuck: Vec<StuckSession> = self
             .slots
             .iter()
             .enumerate()
             .filter(|(_, s)| !s.session.phase().is_terminal())
-            .map(|(id, s)| (id, s.session.phase().name()))
+            .map(|(id, s)| {
+                // Accrue the open phase up to stall detection, then keep
+                // only the phases the session actually visited.
+                let mut per_phase = s.phase_ns;
+                if let Some(ix) = s.last_phase.timed_index() {
+                    per_phase[ix] += now.saturating_sub(s.phase_entered_ns);
+                }
+                let phase_ns = per_phase
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &ns)| ns > 0)
+                    .map(|(ix, &ns)| (TIMED_PHASES[ix].name(), ns))
+                    .collect();
+                StuckSession { id, phase: s.session.phase().name(), phase_ns }
+            })
             .collect();
         if !stuck.is_empty() {
             return Err(ReactorStalled { stuck });
@@ -528,6 +737,24 @@ impl<'a> Reactor<'a> {
     /// Read access to a session.
     pub fn session(&self, id: SessionId) -> &InpSession {
         &self.slots[id].session
+    }
+
+    /// Accumulated time per visited phase for one session (name,
+    /// nanoseconds, protocol order), including the currently open phase up
+    /// to now. This is the same accounting [`ReactorStalled`] reports for
+    /// stuck sessions.
+    pub fn phase_timings(&self, id: SessionId) -> Vec<(&'static str, u64)> {
+        let s = &self.slots[id];
+        let mut per_phase = s.phase_ns;
+        if let Some(ix) = s.last_phase.timed_index() {
+            per_phase[ix] += self.clock.now_ns().saturating_sub(s.phase_entered_ns);
+        }
+        per_phase
+            .iter()
+            .enumerate()
+            .filter(|&(_, &ns)| ns > 0)
+            .map(|(ix, &ns)| (TIMED_PHASES[ix].name(), ns))
+            .collect()
     }
 
     /// Consumes the reactor, returning every session in spawn order.
@@ -793,10 +1020,81 @@ mod tests {
             0,
         ));
         let err = reactor.run().unwrap_err();
-        assert_eq!(err.stuck, vec![(stuck_id, "MetaExchange")]);
+        assert_eq!(err.stuck.len(), 1);
+        assert_eq!(err.stuck[0].id, stuck_id);
+        assert_eq!(err.stuck[0].phase, "MetaExchange");
+        // The diagnostic says where the stuck session's time went: it
+        // visited Init and then sat in MetaExchange until stall detection.
+        let phases: Vec<&str> = err.stuck[0].phase_ns.iter().map(|(n, _)| *n).collect();
+        assert!(phases.contains(&"MetaExchange"), "{phases:?}");
         assert!(err.to_string().contains("MetaExchange"));
+        assert!(err.to_string().contains("ns"));
         // The healthy session still completed.
         assert_eq!(reactor.session(0).phase(), SessionPhase::Done);
+    }
+
+    #[test]
+    fn stall_report_carries_deterministic_phase_timings_under_virtual_clock() {
+        use fractal_telemetry::VirtualClock;
+        let tb = testbed_with_pages(1);
+        let mut reactor =
+            Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_clock(VirtualClock::shared(100));
+        let id = reactor.spawn_lossy(InpSession::new(
+            tb.client(ClientClass::DesktopLan),
+            tb.app_id,
+            0,
+            0,
+        ));
+        let err = reactor.run().unwrap_err();
+        assert_eq!(err.stuck[0].id, id);
+        // Virtual clock: spawn reads t=0, the Init→MetaExchange sync reads
+        // t=100, stall detection reads t=200 — Init gets 100 ns, the stuck
+        // MetaExchange gets 100 ns, every run.
+        assert_eq!(err.stuck[0].phase_ns, vec![("Init", 100), ("MetaExchange", 100)]);
+    }
+
+    #[test]
+    fn phase_timings_cover_all_five_phases_for_a_cold_session() {
+        use fractal_telemetry::VirtualClock;
+        let tb = testbed_with_pages(1);
+        let mut reactor =
+            Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_clock(VirtualClock::shared(10));
+        let id =
+            reactor.spawn(InpSession::new(tb.client(ClientClass::PdaBluetooth), tb.app_id, 0, 0));
+        reactor.run().unwrap();
+        let timings = reactor.phase_timings(id);
+        let names: Vec<&str> = timings.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            ["Init", "MetaExchange", "PathSearch", "PadDownload", "Sessioning"],
+            "a cold session visits every timed phase"
+        );
+        assert!(timings.iter().all(|&(_, ns)| ns > 0));
+    }
+
+    #[test]
+    fn session_span_tree_is_deterministic_under_virtual_clock() {
+        use fractal_telemetry::{Tracer, VirtualClock};
+        let run_once = || {
+            let tb = testbed_with_pages(2);
+            let clock = VirtualClock::shared(10);
+            let tracer = std::sync::Arc::new(Tracer::new(std::sync::Arc::clone(&clock)));
+            let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+                .with_clock(clock)
+                .with_tracer(std::sync::Arc::clone(&tracer));
+            for i in 0..2u32 {
+                reactor.spawn(InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, i, 0));
+            }
+            reactor.run().unwrap();
+            tracer.render()
+        };
+        let a = run_once();
+        let b = run_once();
+        assert_eq!(a, b, "same event order ⇒ byte-identical trace");
+        // Both sessions produced a full phase chain under their roots.
+        assert_eq!(a.matches("session start=").count(), 2);
+        assert_eq!(a.matches("  PathSearch start=").count(), 2);
+        assert!(!a.contains("dur=open"), "every span closed:\n{a}");
     }
 
     #[test]

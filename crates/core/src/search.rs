@@ -17,13 +17,19 @@ use crate::meta::{ClientEnv, PadId};
 use crate::overhead::OverheadModel;
 use crate::pat::Pat;
 
-/// The search result: the chosen PAD chain and its estimated overhead.
+/// The search result: the chosen PAD chain and its estimated overhead,
+/// plus how much work the search did (telemetry feeds on these — node
+/// expansions and path examinations are the paper's Figure 6 cost knobs).
 #[derive(Clone, PartialEq, Debug)]
 pub struct AdaptationPath {
     /// Canonical PAD ids, root-most first.
     pub pads: Vec<PadId>,
     /// Sum of per-PAD estimated total overheads (seconds).
     pub total_overhead_s: f64,
+    /// PAT nodes marked in step 1 (symbolic copies counted).
+    pub nodes_marked: u32,
+    /// Root→leaf paths examined in step 2.
+    pub paths_examined: u32,
 }
 
 /// Marks every node with its Equation-3 total, then finds the cheapest
@@ -37,10 +43,13 @@ pub fn search(
     // Step 1 (Figure 6 lines 1–3): mark each node. Symbolic copies share
     // their canonical PAD's mark.
     let marks = mark_nodes(pat, model, client, content_bytes);
+    let nodes_marked = marks.len() as u32;
 
     // Step 2: DFS over enumerated paths, tracking the least total.
     let mut best: Option<AdaptationPath> = None;
+    let mut paths_examined = 0u32;
     for path in pat.paths() {
+        paths_examined += 1;
         let total: f64 = path.iter().map(|id| marks[id]).sum();
         if !total.is_finite() {
             continue;
@@ -50,10 +59,21 @@ pub fn search(
             Some(b) => total < b.total_overhead_s,
         };
         if better {
-            best = Some(AdaptationPath { pads: path, total_overhead_s: total });
+            best = Some(AdaptationPath {
+                pads: path,
+                total_overhead_s: total,
+                nodes_marked,
+                paths_examined: 0,
+            });
         }
     }
-    best.ok_or(FractalError::NoFeasiblePath)
+    match best {
+        Some(mut b) => {
+            b.paths_examined = paths_examined;
+            Ok(b)
+        }
+        None => Err(FractalError::NoFeasiblePath),
+    }
 }
 
 /// The per-node overhead marks (exposed for diagnostics and the figure
@@ -133,6 +153,8 @@ mod tests {
         let got = search(&pat, &model, &client(), 1_000_000).unwrap();
         assert_eq!(got.pads, vec![PadId(2), PadId(7)]);
         assert!((got.total_overhead_s - 9.0).abs() < 1e-6, "{}", got.total_overhead_s);
+        assert_eq!(got.nodes_marked, 8, "7 canonical PADs + 1 symlink");
+        assert_eq!(got.paths_examined, 6, "3 under PAD1, 2 under PAD2, PAD3 alone");
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Pluggable time sources.
+//!
+//! Everything in the telemetry layer that needs a timestamp reads it
+//! through the [`Clock`] trait, so the *same* instrumentation code can run
+//! against wall time in benchmarks ([`MonotonicClock`]) and against a
+//! deterministic counter in tests ([`VirtualClock`]). A virtual clock
+//! advances by a fixed tick per read, which makes every duration a pure
+//! function of the *event order* — and event order is exactly what the
+//! repo's determinism discipline (index-ordered work units) already pins
+//! down, so traces and histograms come out byte-identical at any thread
+//! count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A monotonic nanosecond source.
+pub trait Clock: Send + Sync {
+    /// Nanoseconds since the clock's origin. Successive reads never
+    /// decrease.
+    fn now_ns(&self) -> u64;
+}
+
+/// How clocks are passed around: cheap to clone, dynamically dispatched
+/// (one virtual call per timestamp — timestamps are taken per *event*,
+/// not per instruction, so dispatch cost is noise).
+pub type SharedClock = Arc<dyn Clock>;
+
+/// Real wall time: nanoseconds since the clock was created.
+pub struct MonotonicClock {
+    origin: Instant,
+}
+
+impl MonotonicClock {
+    /// Creates a clock whose origin is "now".
+    pub fn new() -> MonotonicClock {
+        MonotonicClock { origin: Instant::now() }
+    }
+
+    /// A ready-to-share handle.
+    pub fn shared() -> SharedClock {
+        Arc::new(MonotonicClock::new())
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// Deterministic virtual time: every read returns the current value and
+/// advances it by a fixed tick, so the nth read always observes
+/// `start + n·tick` regardless of wall time, host, or thread count —
+/// provided the reads themselves happen in a deterministic order (one
+/// clock per single-threaded work unit).
+pub struct VirtualClock {
+    ns: AtomicU64,
+    tick: u64,
+}
+
+impl VirtualClock {
+    /// A clock starting at 0 that advances by `tick` nanoseconds per read.
+    pub fn new(tick: u64) -> VirtualClock {
+        VirtualClock::starting_at(0, tick)
+    }
+
+    /// A clock with an explicit origin (lets tests distinguish "never
+    /// timed" zeros from a genuine zero-length interval).
+    pub fn starting_at(start_ns: u64, tick: u64) -> VirtualClock {
+        VirtualClock { ns: AtomicU64::new(start_ns), tick }
+    }
+
+    /// Manually advances the clock (e.g. to model a long external wait).
+    pub fn advance(&self, ns: u64) {
+        self.ns.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// A ready-to-share handle.
+    pub fn shared(tick: u64) -> SharedClock {
+        Arc::new(VirtualClock::new(tick))
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.fetch_add(self.tick, Ordering::Relaxed)
+    }
+}
+
+/// A clock that always reads 0 — durations collapse to zero. Useful when
+/// an instrumented component is constructed in a context that wants no
+/// timing at all.
+pub struct NullClock;
+
+impl Clock for NullClock {
+    fn now_ns(&self) -> u64 {
+        0
+    }
+}
+
+impl NullClock {
+    /// A ready-to-share handle.
+    pub fn shared() -> SharedClock {
+        Arc::new(NullClock)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn monotonic_never_decreases() {
+        let c = MonotonicClock::new();
+        let mut prev = c.now_ns();
+        for _ in 0..100 {
+            let now = c.now_ns();
+            assert!(now >= prev);
+            prev = now;
+        }
+    }
+
+    #[test]
+    fn virtual_clock_is_a_pure_function_of_read_count() {
+        let c = VirtualClock::starting_at(100, 7);
+        assert_eq!(c.now_ns(), 100);
+        assert_eq!(c.now_ns(), 107);
+        c.advance(1000);
+        assert_eq!(c.now_ns(), 1114);
+    }
+
+    #[test]
+    fn null_clock_reads_zero() {
+        let c = NullClock;
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+    }
+}

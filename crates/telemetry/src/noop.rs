@@ -1,0 +1,128 @@
+//! Zero-sized no-op mirrors of the recording handles, selected at the
+//! crate root when the `enabled` feature is off.
+//!
+//! Consumers write unconditional instrumentation code against
+//! `fractal_telemetry::{Counter, Gauge, Histogram, Telemetry}`; with the
+//! feature off those names resolve here, every method body is empty, and
+//! the optimizer deletes the call sites entirely — no dynamic dispatch, no
+//! branch, no atomic. Snapshot-returning methods hand back the *real*
+//! (empty) plain-data types so downstream rendering code needs no cfg.
+
+use std::sync::Arc;
+
+use crate::clock::SharedClock;
+use crate::metrics::HistogramSnapshot;
+use crate::registry::{Registry, Snapshot};
+
+/// No-op counter: every call compiles away.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Counter;
+
+impl Counter {
+    /// No-op.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// No-op gauge: every call compiles away.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Gauge;
+
+impl Gauge {
+    /// No-op.
+    #[inline(always)]
+    pub fn set(&self, _v: i64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn add(&self, _delta: i64) {}
+
+    /// No-op.
+    #[inline(always)]
+    pub fn set_max(&self, _v: i64) {}
+
+    /// Always 0.
+    #[inline(always)]
+    pub fn get(&self) -> i64 {
+        0
+    }
+}
+
+/// No-op histogram: every call compiles away.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Histogram;
+
+impl Histogram {
+    /// No-op.
+    #[inline(always)]
+    pub fn record(&self, _v: u64) {}
+
+    /// Always empty.
+    #[inline(always)]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::default()
+    }
+}
+
+/// No-op telemetry bundle: hands out no-op handles, reads time as 0, and
+/// snapshots as empty. Deliberately `Clone` but not `Copy`: the real
+/// bundle holds `Arc`s and can't be `Copy`, and consumers `.clone()` it —
+/// a `Copy` mirror would trip clippy's clone-on-copy lint in default
+/// builds for code that is idiomatic in recording builds.
+#[derive(Clone, Debug, Default)]
+pub struct Telemetry;
+
+impl Telemetry {
+    /// Accepts and discards the registry and clock (same signature as the
+    /// real bundle, so call sites need no cfg).
+    #[inline(always)]
+    pub fn new(_registry: Arc<Registry>, _clock: SharedClock) -> Telemetry {
+        Telemetry
+    }
+
+    /// The process-wide default (also a no-op).
+    #[inline(always)]
+    pub fn global() -> Telemetry {
+        Telemetry
+    }
+
+    /// Always 0 — durations computed from it collapse to zero.
+    #[inline(always)]
+    pub fn now_ns(&self) -> u64 {
+        0
+    }
+
+    /// A no-op counter.
+    #[inline(always)]
+    pub fn counter(&self, _name: &str) -> Counter {
+        Counter
+    }
+
+    /// A no-op gauge.
+    #[inline(always)]
+    pub fn gauge(&self, _name: &str) -> Gauge {
+        Gauge
+    }
+
+    /// A no-op histogram.
+    #[inline(always)]
+    pub fn histogram(&self, _name: &str) -> Histogram {
+        Histogram
+    }
+
+    /// Always the empty snapshot.
+    #[inline(always)]
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot::default()
+    }
+}

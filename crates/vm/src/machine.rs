@@ -25,6 +25,30 @@ const COPY_BYTES_PER_FUEL: u64 = 8;
 /// Fuel charged per byte hashed by the SHA-1 intrinsic.
 const SHA1_BYTES_PER_FUEL: u64 = 4;
 
+/// Process-wide VM metrics, bound lazily to the global telemetry bundle.
+/// Machines are constructed deep inside PAD runtimes with no telemetry
+/// handle to thread through, so the VM records globally — and only when
+/// the `telemetry` feature is on (see the `enabled()` guard in
+/// [`Machine::call`]).
+struct VmMetrics {
+    fuel_consumed: fractal_telemetry::Counter,
+    calls_fast: fractal_telemetry::Counter,
+    calls_checked: fractal_telemetry::Counter,
+}
+
+fn vm_metrics() -> &'static VmMetrics {
+    use std::sync::OnceLock;
+    static METRICS: OnceLock<VmMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let bundle = fractal_telemetry::Telemetry::global();
+        VmMetrics {
+            fuel_consumed: bundle.counter("fractal_vm_fuel_consumed_total"),
+            calls_fast: bundle.counter("fractal_vm_calls_fast_total"),
+            calls_checked: bundle.counter("fractal_vm_calls_checked_total"),
+        }
+    })
+}
+
 /// One call frame.
 struct Frame {
     /// Function index executing.
@@ -173,10 +197,22 @@ impl Machine {
         self.locals.extend_from_slice(args);
         self.locals.extend(std::iter::repeat_n(0, decl.n_locals as usize));
         self.frames.push(Frame { func, pc: 0, locals_base });
+        let fuel_before = self.fuel_used_total;
         let result = if self.fast.is_some() { self.run_fast() } else { self.run() };
         if result.is_err() {
             // Leave state consistent for inspection but do not allow resume.
             self.frames.clear();
+        }
+        // `enabled()` is const: the whole block folds away in builds
+        // without the telemetry feature.
+        if fractal_telemetry::enabled() {
+            let m = vm_metrics();
+            m.fuel_consumed.add(self.fuel_used_total - fuel_before);
+            if self.fast.is_some() {
+                m.calls_fast.inc();
+            } else {
+                m.calls_checked.inc();
+            }
         }
         result
     }

@@ -39,17 +39,27 @@ trap on_exit EXIT
 step "cargo fmt --check"
 cargo fmt --all --check
 
-step "cargo clippy --all-targets -- -D warnings"
+# The default build is the NO-telemetry build: every recording call must
+# compile to a zero-sized no-op and stay clippy-clean without the feature.
+step "cargo clippy --all-targets -- -D warnings (no-telemetry build)"
 cargo clippy --workspace --all-targets -- -D warnings
 
 step "cargo test -q (tier-1: root package)"
 cargo test -q
 
 if [ "$QUICK" -eq 1 ]; then
-    echo "All checks passed (--quick: skipped the throughput smoke gate)."
+    echo "All checks passed (--quick: skipped telemetry matrix + throughput smoke gate)."
     trap - EXIT
     exit 0
 fi
+
+step "cargo clippy --features telemetry (recording build)"
+cargo clippy -p fractal-telemetry --all-targets --all-features -- -D warnings
+cargo clippy -p fractal-core -p fractal-bench --all-targets --features telemetry -- -D warnings
+
+step "cargo test --features telemetry (registry reconciliation + determinism suites)"
+cargo test -q -p fractal-telemetry --all-features
+cargo test -q -p fractal-core -p fractal-bench --features telemetry
 
 step "throughput smoke (concurrent engine + reactor gate)"
 # Runs the 1- and 2-thread negotiation/session/reactor passes with the

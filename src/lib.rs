@@ -23,6 +23,7 @@
 //! | [`cdn`] | origin + edge servers, proximity routing, deployments |
 //! | [`net`] | the deterministic network simulator (links, queues, topology) |
 //! | [`crypto`] | SHA-1, HMAC, code signing, Rabin fingerprints |
+//! | [`telemetry`] | deterministic metrics + tracing (enable the `telemetry` feature to record) |
 //! | [`workload`] | the synthetic 75-page medical-imaging workload |
 //!
 //! ## Quickstart
@@ -53,5 +54,6 @@ pub use fractal_crypto as crypto;
 pub use fractal_net as net;
 pub use fractal_pads as pads;
 pub use fractal_protocols as protocols;
+pub use fractal_telemetry as telemetry;
 pub use fractal_vm as vm;
 pub use fractal_workload as workload;
