@@ -15,7 +15,16 @@
 //!   server; the rate counts delivered content plus wire bytes;
 //! * **reactor sessions/sec** — batches of ≥ 64 simultaneously in-flight
 //!   event-driven INP sessions, each batch multiplexed by one poll-based
-//!   [`Reactor`] and all batches sharing the same server + proxy.
+//!   [`Reactor`] over framed loopback byte streams, all batches sharing
+//!   the same server + proxy;
+//! * **transport pass** — the same reactor batches behind per-session
+//!   [`SimLinkTransport`](fractal_core::transport::SimLinkTransport)
+//!   pairs at the LAN / WLAN / Bluetooth profiles: serialization time,
+//!   RTT, and bandwidth gate when bytes become readable, and the
+//!   per-link simulated negotiation/session times land as `"transport"`
+//!   rows in the JSON. Per-session wire clocks make those times a pure
+//!   function of each session's own traffic, so they are asserted
+//!   byte-identical across thread counts.
 //!
 //! Every adaptation decision — direct negotiations and reactor sessions
 //! alike — is fingerprinted and compared against the single-thread serial
@@ -45,12 +54,35 @@ use fractal_core::reactor::{InpSession, Reactor, PHASE_METRICS};
 use fractal_core::server::AdaptiveContentMode;
 use fractal_core::session::run_session;
 use fractal_core::testbed::Testbed;
+use fractal_net::LinkKind;
 use fractal_telemetry::{Snapshot, Telemetry};
 use fractal_workload::mutate::EditProfile;
 use fractal_workload::PageSet;
 
 /// Sessions multiplexed by each reactor — the "≥ 64 in-flight" floor.
 const REACTOR_BATCH: usize = 64;
+
+/// Link profiles the transport pass drives the reactor over.
+const TRANSPORT_LINKS: [LinkKind; 3] = [LinkKind::Lan, LinkKind::Wlan, LinkKind::Bluetooth];
+
+fn link_label(kind: LinkKind) -> &'static str {
+    match kind {
+        LinkKind::Lan => "LAN",
+        LinkKind::Wlan => "WLAN",
+        LinkKind::Bluetooth => "Bluetooth",
+        LinkKind::Dialup => "Dialup",
+        LinkKind::Wan => "WAN",
+    }
+}
+
+/// One per-link result of the transport pass: mean simulated
+/// negotiation/session time over `sessions` sessions.
+struct TransportRow {
+    link: &'static str,
+    sessions: usize,
+    negotiation_ms: f64,
+    session_ms: f64,
+}
 
 struct Row {
     threads: usize,
@@ -161,6 +193,39 @@ fn reactor_batch(tb: &Testbed, batch: usize, content_id: u32) -> Vec<u64> {
         .collect()
 }
 
+/// One transport batch: [`REACTOR_BATCH`] sessions over the same shared
+/// pair, but each behind its own simulated-link transport of `kind`.
+/// Returns the decision fingerprints in spawn order plus the summed
+/// simulated negotiation/session times in µs.
+fn transport_batch(
+    tb: &Testbed,
+    kind: LinkKind,
+    batch: usize,
+    content_id: u32,
+) -> (Vec<u64>, u64, u64) {
+    let mut reactor = tb.reactor_over(kind);
+    let ids: Vec<_> = (0..REACTOR_BATCH)
+        .map(|s| {
+            let env = client_env(batch * REACTOR_BATCH + s);
+            reactor.spawn(InpSession::new(tb.client_with_env(env), tb.app_id, content_id, 0))
+        })
+        .collect();
+    assert!(reactor.peak_in_flight() >= REACTOR_BATCH);
+    let report = reactor.run().expect("no transport session may stall");
+    assert_eq!(report.failed, 0, "transport sessions must all complete");
+    let (mut neg_us, mut done_us) = (0u64, 0u64);
+    let fps = ids
+        .iter()
+        .map(|&id| {
+            let t = reactor.transport_times(id);
+            neg_us += t.negotiated_us.expect("cold sessions negotiate on the wire");
+            done_us += t.done_us.expect("sessions finish on the wire");
+            fingerprint(reactor.session(id).negotiated().expect("session negotiated"))
+        })
+        .collect();
+    (fps, neg_us, done_us)
+}
+
 /// Times `n_batches` reactor batches on `n_threads` workers. Returns the
 /// session rate and all fingerprints in global session order.
 fn reactor_pass(
@@ -231,7 +296,49 @@ fn reconcile_telemetry(tb: &Testbed, snap: &Snapshot) {
     );
 }
 
-fn write_json(path: &str, rows: &[Row], n_negotiations: usize, env: &BenchEnv, telem: &Snapshot) {
+/// Runs the per-link transport pass on `n_threads` workers: every link in
+/// [`TRANSPORT_LINKS`], `n_batches` batches each, fingerprints checked
+/// against `oracle`. Returns the per-link (neg µs, done µs) sums — the
+/// caller asserts these identical across thread counts.
+fn transport_pass(
+    tb: &Testbed,
+    n_threads: usize,
+    n_batches: usize,
+    content_id: u32,
+    oracle: &[u64],
+) -> Vec<(u64, u64)> {
+    TRANSPORT_LINKS
+        .iter()
+        .map(|&kind| {
+            let per_batch = parallel::run_indexed(n_threads, n_batches, |b| {
+                transport_batch(tb, kind, b, content_id)
+            });
+            let (mut neg_us, mut done_us) = (0u64, 0u64);
+            let mut fps = Vec::with_capacity(n_batches * REACTOR_BATCH);
+            for (f, n, d) in per_batch {
+                fps.extend(f);
+                neg_us += n;
+                done_us += d;
+            }
+            assert_eq!(
+                fps,
+                oracle[..n_batches * REACTOR_BATCH],
+                "{} transport decisions diverged from the serial oracle at {n_threads} threads",
+                link_label(kind)
+            );
+            (neg_us, done_us)
+        })
+        .collect()
+}
+
+fn write_json(
+    path: &str,
+    rows: &[Row],
+    transport: &[TransportRow],
+    n_negotiations: usize,
+    env: &BenchEnv,
+    telem: &Snapshot,
+) {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"throughput\",\n");
     out.push_str("  \"workload\": \"fig9a-mixed-clients\",\n");
@@ -253,6 +360,18 @@ fn write_json(path: &str, rows: &[Row], n_negotiations: usize, env: &BenchEnv, t
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"transport\": [\n");
+    for (i, t) in transport.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"link\": \"{}\", \"sessions\": {}, \"negotiation_ms\": {:.3}, \
+             \"session_ms\": {:.3}}}{}\n",
+            t.link,
+            t.sessions,
+            t.negotiation_ms,
+            t.session_ms,
+            if i + 1 < transport.len() { "," } else { "" }
+        ));
+    }
     if telem.is_empty() {
         out.push_str("  ],\n  \"telemetry\": null\n}\n");
     } else {
@@ -265,6 +384,7 @@ fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
     let (n_neg, n_items, pages_per_item, n_batches) =
         if smoke { (600, 4, 2, 2) } else { (200_000, 24, 6, 16) };
+    let t_batches = if smoke { 1 } else { 4 };
     let sweep: &[usize] = if smoke { &THREAD_SWEEP[..2] } else { &THREAD_SWEEP };
     let env = BenchEnv::capture();
 
@@ -291,6 +411,7 @@ fn main() {
 
     let mut rows: Vec<Row> = Vec::new();
     let mut neg_oracle: Option<Vec<u64>> = None;
+    let mut transport_oracle: Option<Vec<(u64, u64)>> = None;
     for &threads in sweep {
         // The oracle computation and every earlier sweep pass warmed the
         // shared proxy; start each timed pass cold so the rates measure
@@ -323,6 +444,20 @@ fn main() {
         );
         print_phase_latencies(threads, &Telemetry::global().snapshot().diff(&before_pass));
 
+        // Transport pass: the same batches behind simulated LAN / WLAN /
+        // Bluetooth links. Decisions must match the oracle, and — because
+        // every session has its own wire clock — the simulated times must
+        // be byte-identical across thread counts.
+        tb.proxy.clear_adaptation_state();
+        let link_times = transport_pass(&tb, threads, t_batches, reactor_content, &reactor_oracle);
+        match &transport_oracle {
+            None => transport_oracle = Some(link_times),
+            Some(first) => assert_eq!(
+                first, &link_times,
+                "per-link simulated times diverged at {threads} threads"
+            ),
+        }
+
         let base = rows.first().map_or(neg_rate, |r: &Row| r.negotiations_per_sec);
         rows.push(Row {
             threads,
@@ -352,9 +487,36 @@ fn main() {
             &table
         )
     );
+    // Per-link rows from the (thread-count-invariant) transport pass.
+    let t_sessions = t_batches * REACTOR_BATCH;
+    let transport_rows: Vec<TransportRow> = TRANSPORT_LINKS
+        .iter()
+        .zip(transport_oracle.as_ref().expect("sweep ran").iter())
+        .map(|(&kind, &(neg_us, done_us))| TransportRow {
+            link: link_label(kind),
+            sessions: t_sessions,
+            negotiation_ms: neg_us as f64 / t_sessions as f64 / 1e3,
+            session_ms: done_us as f64 / t_sessions as f64 / 1e3,
+        })
+        .collect();
+    let t_table: Vec<Vec<String>> = transport_rows
+        .iter()
+        .map(|t| {
+            vec![
+                t.link.to_string(),
+                t.sessions.to_string(),
+                format!("{:.3}", t.negotiation_ms),
+                format!("{:.3}", t.session_ms),
+            ]
+        })
+        .collect();
+    println!(
+        "\nTransport pass (simulated wire time per session, identical at every thread count):\n{}",
+        render_table(&["link", "sessions", "negotiation ms", "session ms"], &t_table)
+    );
     println!(
         "\nadaptation decisions identical across all thread counts: yes \
-         (direct + {REACTOR_BATCH}-in-flight reactor)"
+         (direct + {REACTOR_BATCH}-in-flight reactor over loopback and simulated links)"
     );
 
     let telem = Telemetry::global().snapshot();
@@ -367,7 +529,7 @@ fn main() {
     if smoke {
         println!("(--smoke: not writing BENCH_throughput.json)");
     } else {
-        write_json("BENCH_throughput.json", &rows, n_neg, &env, &telem);
+        write_json("BENCH_throughput.json", &rows, &transport_rows, n_neg, &env, &telem);
         println!("wrote BENCH_throughput.json");
     }
 }

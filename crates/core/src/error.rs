@@ -111,9 +111,105 @@ impl From<PadError> for FractalError {
     }
 }
 
+/// The unified error surface of the event-driven INP stack.
+///
+/// The endpoint state machines ([`ProtocolViolation`]), the session state
+/// machine ([`SessionError`]), the byte transport ([`TransportError`] /
+/// [`FrameError`]), and the reactor's stall diagnostic ([`ReactorStalled`])
+/// each keep their own precise type — but callers of the
+/// [`Reactor`](crate::reactor::Reactor) should not have to triple-match.
+/// Everything that crosses the reactor's public signatures (including
+/// [`InpSession::error`](crate::reactor::InpSession::error)) converges
+/// here via `From`.
+///
+/// [`ProtocolViolation`]: crate::endpoint::ProtocolViolation
+/// [`SessionError`]: crate::reactor::SessionError
+/// [`TransportError`]: crate::transport::TransportError
+/// [`FrameError`]: crate::transport::FrameError
+/// [`ReactorStalled`]: crate::reactor::ReactorStalled
+#[derive(Clone, PartialEq, Debug)]
+pub enum InpError {
+    /// An endpoint state machine rejected a message (Figure 4 order).
+    Protocol(crate::endpoint::ProtocolViolation),
+    /// The session state machine failed.
+    Session(crate::reactor::SessionError),
+    /// The byte transport failed (e.g. closed mid-session).
+    Transport(crate::transport::TransportError),
+    /// Frame reassembly failed (garbage, oversized, malformed).
+    Frame(crate::transport::FrameError),
+    /// The reactor quiesced with live sessions.
+    Stalled(crate::reactor::ReactorStalled),
+}
+
+impl core::fmt::Display for InpError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            InpError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            InpError::Session(e) => write!(f, "session error: {e}"),
+            InpError::Transport(e) => write!(f, "transport error: {e}"),
+            InpError::Frame(e) => write!(f, "framing error: {e}"),
+            InpError::Stalled(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for InpError {}
+
+impl From<crate::endpoint::ProtocolViolation> for InpError {
+    fn from(e: crate::endpoint::ProtocolViolation) -> Self {
+        InpError::Protocol(e)
+    }
+}
+
+impl From<crate::reactor::SessionError> for InpError {
+    fn from(e: crate::reactor::SessionError) -> Self {
+        InpError::Session(e)
+    }
+}
+
+impl From<crate::transport::TransportError> for InpError {
+    fn from(e: crate::transport::TransportError) -> Self {
+        InpError::Transport(e)
+    }
+}
+
+impl From<crate::transport::FrameError> for InpError {
+    fn from(e: crate::transport::FrameError) -> Self {
+        InpError::Frame(e)
+    }
+}
+
+impl From<crate::reactor::ReactorStalled> for InpError {
+    fn from(e: crate::reactor::ReactorStalled) -> Self {
+        InpError::Stalled(e)
+    }
+}
+
+impl From<FractalError> for InpError {
+    fn from(e: FractalError) -> Self {
+        InpError::Session(crate::reactor::SessionError::Fractal(e))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn inp_error_unifies_the_layer_errors() {
+        let s: InpError = crate::reactor::SessionError::AlreadyStarted.into();
+        assert!(matches!(s, InpError::Session(_)));
+        assert!(s.to_string().contains("already started"));
+        let t: InpError = crate::transport::TransportError::Closed.into();
+        assert!(matches!(t, InpError::Transport(_)));
+        let fr: InpError = crate::transport::FrameError::BadPrefix.into();
+        assert!(fr.to_string().contains("INP header"));
+        let fe: InpError = FractalError::NoFeasiblePath.into();
+        assert!(matches!(
+            fe,
+            InpError::Session(crate::reactor::SessionError::Fractal(FractalError::NoFeasiblePath))
+        ));
+    }
 
     #[test]
     fn display_strings() {

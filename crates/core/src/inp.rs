@@ -30,6 +30,24 @@ pub const INP_VERSION: u8 = 1;
 /// Header length on the wire.
 pub const HEADER_LEN: usize = 8;
 
+/// Validates an INP header prefix and returns `(msg_type, body_len)`.
+///
+/// This is the single source of truth for the header layout — magic(3) +
+/// version(1) + type(1) + len(3, u24 little-endian) — shared by
+/// [`InpMessage::from_bytes`] and the transport layer's length-prefixed
+/// [`Framer`](crate::transport::Framer), which uses the body length to
+/// find frame boundaries in a byte stream.
+pub fn header_info(bytes: &[u8]) -> Result<(u8, usize), WireError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(WireError::Truncated);
+    }
+    if bytes[..3] != MAGIC || bytes[3] != INP_VERSION {
+        return Err(WireError::BadHeader);
+    }
+    let len = bytes[5] as usize | (bytes[6] as usize) << 8 | (bytes[7] as usize) << 16;
+    Ok((bytes[4], len))
+}
+
 /// One INP message.
 #[derive(Clone, PartialEq, Debug)]
 pub enum InpMessage {
@@ -190,14 +208,7 @@ impl InpMessage {
 
     /// Parses header + body, rejecting malformed or trailing input.
     pub fn from_bytes(bytes: &[u8]) -> Result<InpMessage, WireError> {
-        if bytes.len() < HEADER_LEN {
-            return Err(WireError::Truncated);
-        }
-        if bytes[..3] != MAGIC || bytes[3] != INP_VERSION {
-            return Err(WireError::BadHeader);
-        }
-        let msg_type = bytes[4];
-        let len = bytes[5] as usize | (bytes[6] as usize) << 8 | (bytes[7] as usize) << 16;
+        let (msg_type, len) = header_info(bytes)?;
         let body = bytes.get(HEADER_LEN..).ok_or(WireError::Truncated)?;
         if body.len() != len {
             return Err(WireError::Truncated);

@@ -21,6 +21,10 @@
 //! * [`reactor`] — the event-driven INP endpoint: per-session state
 //!   machines ([`reactor::InpSession`]) multiplexed by a poll-based
 //!   [`reactor::Reactor`] over one shared proxy + server pair;
+//! * [`transport`] — the byte-stream layer under the reactor: the
+//!   [`transport::Transport`] readiness trait, the in-memory loopback and
+//!   the [`fractal_net`]-timed simulated-link implementations, and the
+//!   length-prefixed [`transport::Framer`];
 //! * [`proxy`] — the adaptation proxy: negotiation manager + distribution
 //!   manager + adaptation cache (§3.2);
 //! * [`server`] — the application server: versioned adaptive content,
@@ -51,8 +55,9 @@ pub mod search;
 pub mod server;
 pub mod session;
 pub mod testbed;
+pub mod transport;
 
-pub use error::FractalError;
+pub use error::{FractalError, InpError};
 pub use meta::{AppId, AppMeta, ClientEnv, CpuType, DevMeta, NtwkMeta, OsType, PadId, PadMeta};
 pub use overhead::{OverheadModel, ServerComputeMode};
 pub use pat::Pat;

@@ -1,5 +1,5 @@
 //! Event-driven INP: per-session state machines multiplexed by a
-//! poll-based reactor.
+//! poll-based reactor over byte-stream transports.
 //!
 //! The paper's Figure 4 exchange used to be driven as a synchronous call
 //! chain (`run_session`): one client at a time walks negotiation, PAD
@@ -14,18 +14,27 @@
 //!   hostile input — every (phase, message) pair either advances or
 //!   returns a typed [`SessionError`].
 //! * [`Reactor`] multiplexes many in-flight sessions over **one shared**
-//!   `&AdaptationProxy` + `&ApplicationServer` + `&PadRepo` trio, routing
-//!   each session's outbound messages to the right party (proxy endpoint,
-//!   PAD repository, application server) and delivering replies one
-//!   message per poll in round-robin order, so sessions genuinely
-//!   interleave. No threads, no async runtime: a plain poll loop that a
-//!   caller can drive, stop, or fan out (one reactor per worker thread —
-//!   all workers sharing the same server and proxy, which both serve
-//!   through `&self`).
+//!   `&AdaptationProxy` + `&ApplicationServer` + `&PadRepo` trio. Each
+//!   session registers a [`Transport`] pair at spawn; every poll flushes
+//!   the session's pending frames subject to the peer's `writable()`
+//!   budget, drains whatever bytes the wire has made readable, routes the
+//!   service-side frames (proxy endpoint, PAD repository, application
+//!   server), and delivers **one** reassembled frame to the session — so
+//!   with N live sessions the reactor round-robins between them and
+//!   session 63 negotiates while session 0 is mid-download. No threads, no
+//!   async runtime: a plain readiness loop a caller can drive, stop, or
+//!   fan out (one reactor per worker thread — all workers sharing the same
+//!   server and proxy, which both serve through `&self`).
 //!
-//! A reactor that stops making progress while sessions are still live
-//! reports [`ReactorStalled`] instead of spinning, which is what the CI
-//! smoke gate's timeout wrapper relies on for fast deadlock diagnostics.
+//! Frames that don't fit the peer's window queue per session (their depth
+//! is the `fractal_transport_queue_depth` gauge); over a
+//! [`SimLinkTransport`](crate::transport::SimLinkTransport) the run loop
+//! advances the pair's simulated clock to the next delivery instant when
+//! every live session is transport-starved. Only when no session has
+//! bytes in flight *and* none has deliverable work does the reactor
+//! report [`ReactorStalled`] — distinguishing protocol-stuck from
+//! transport-starved is what keeps the CI smoke gate's timeout wrapper an
+//! actual deadlock detector.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -34,12 +43,13 @@ use fractal_telemetry::{MonotonicClock, SharedClock, SpanId, Tracer};
 
 use crate::client::FractalClient;
 use crate::endpoint::{ProtocolViolation, ProxyEndpoint};
-use crate::error::{FractalError, WireError};
+use crate::error::{FractalError, InpError, WireError};
 use crate::inp::InpMessage;
 use crate::meta::{AppId, PadId, PadMeta, Reader, Writer};
 use crate::proxy::AdaptationProxy;
 use crate::server::ApplicationServer;
 use crate::session::PadRepo;
+use crate::transport::{Framer, SendQueue, Transport, TransportPair, TransportProfile};
 
 /// Phases of one event-driven INP session, in protocol order.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -94,7 +104,9 @@ impl SessionPhase {
     }
 }
 
-/// Typed failures of the event-driven session path.
+/// Typed rejections of the session state machine proper. Everything a
+/// reactor caller sees is widened to [`InpError`] (see
+/// [`InpSession::error`] and [`Reactor::run`]).
 #[derive(Clone, PartialEq, Debug)]
 pub enum SessionError {
     /// A message arrived that the current phase does not accept (the
@@ -186,7 +198,7 @@ pub fn decode_app_payload(payload: &[u8]) -> Result<(u32, Option<u32>, u32), Wir
 /// Owns its [`FractalClient`], so PAD deployment, the protocol cache, and
 /// content decoding all run against real client state; the transport is
 /// whatever delivers [`InpMessage`]s to [`on_message`](Self::on_message) —
-/// normally a [`Reactor`].
+/// normally a [`Reactor`] pumping a framed byte stream.
 #[derive(Debug)]
 pub struct InpSession {
     client: FractalClient,
@@ -197,7 +209,7 @@ pub struct InpSession {
     init_acked: bool,
     pads: Vec<PadMeta>,
     pending: Vec<PadMeta>,
-    error: Option<SessionError>,
+    error: Option<InpError>,
 }
 
 impl InpSession {
@@ -222,8 +234,10 @@ impl InpSession {
         self.phase
     }
 
-    /// The terminal error, once [`SessionPhase::Failed`].
-    pub fn error(&self) -> Option<&SessionError> {
+    /// The terminal error, once [`SessionPhase::Failed`] — unified over
+    /// every layer that can kill a session (state machine, peer endpoint,
+    /// transport, framing).
+    pub fn error(&self) -> Option<&InpError> {
         self.error.as_ref()
     }
 
@@ -318,13 +332,14 @@ impl InpSession {
     }
 
     /// Terminates the session from outside — the transport saw an
-    /// unrecoverable routing or peer failure (e.g. the proxy rejected our
-    /// message, or a reply could not be produced). The first recorded
-    /// error wins: a late stray delivery must not mask the root cause.
-    pub fn abort(&mut self, error: SessionError) {
+    /// unrecoverable routing, framing, or peer failure (e.g. the proxy
+    /// rejected our message, or the byte stream went bad). The first
+    /// recorded error wins: a late stray delivery must not mask the root
+    /// cause.
+    pub fn abort(&mut self, error: impl Into<InpError>) {
         self.phase = SessionPhase::Failed;
         if self.error.is_none() {
-            self.error = Some(error);
+            self.error = Some(error.into());
         }
     }
 
@@ -393,8 +408,12 @@ pub struct StuckSession {
     pub phase_ns: Vec<(&'static str, u64)>,
 }
 
-/// The reactor stopped with live sessions but no deliverable messages —
-/// the event-driven equivalent of a deadlock, reported instead of spun on.
+/// The reactor stopped with live sessions, no deliverable frames, and no
+/// bytes in flight — the event-driven equivalent of a deadlock, reported
+/// instead of spun on. Sessions merely waiting on a simulated link are
+/// *not* stalls: the run loop advances their pair clocks and keeps going;
+/// only protocol-stuck sessions (nothing in flight in either direction)
+/// end up here.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ReactorStalled {
     /// The stuck sessions, their phases, and their per-phase timings.
@@ -440,6 +459,10 @@ pub const PHASE_METRICS: [&str; 5] = [
     "fractal_inp_phase_ns_sessioning",
 ];
 
+/// Name of the backpressure gauge: frames queued per session awaiting
+/// `writable()` budget, summed over the reactor's live sessions.
+pub const TRANSPORT_QUEUE_METRIC: &str = "fractal_transport_queue_depth";
+
 /// Pre-bound reactor metrics (no-ops unless the `telemetry` feature is
 /// on): per-phase latency histograms plus the [`ReactorReport`] counters,
 /// so the registry is the single source of truth for what the report
@@ -450,6 +473,8 @@ struct ReactorTelemetry {
     failed: fractal_telemetry::Counter,
     polls: fractal_telemetry::Counter,
     peak_in_flight: fractal_telemetry::Gauge,
+    /// Outbound frames queued behind full peer windows, reactor-wide.
+    queue_depth: fractal_telemetry::Gauge,
 }
 
 impl ReactorTelemetry {
@@ -460,6 +485,7 @@ impl ReactorTelemetry {
             failed: bundle.counter("fractal_reactor_failed_total"),
             polls: bundle.counter("fractal_reactor_polls_total"),
             peak_in_flight: bundle.gauge("fractal_reactor_peak_in_flight"),
+            queue_depth: bundle.gauge(TRANSPORT_QUEUE_METRIC),
         }
     }
 }
@@ -471,12 +497,38 @@ struct SlotTrace {
     current: Option<SpanId>,
 }
 
+/// Wire-clock milestones of one session, in the pair's simulated
+/// microseconds (always 0 over the untimed loopback): when negotiation
+/// ended (the session left `PathSearch`) and when the session reached a
+/// terminal phase. This is what the throughput harness's per-link
+/// negotiation-time rows report.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TransportTimes {
+    /// Pair time when the session left `PathSearch` (negotiation done);
+    /// `None` if it never entered or never left that phase (warm fast
+    /// path, early failure).
+    pub negotiated_us: Option<u64>,
+    /// Pair time when the session reached `Done`/`Failed`.
+    pub done_us: Option<u64>,
+}
+
 struct Slot {
     session: InpSession,
     /// Per-connection proxy-side state machine (Figure 4 order
     /// enforcement), negotiation delegated to the shared proxy.
     endpoint: ProxyEndpoint,
-    inbox: VecDeque<InpMessage>,
+    /// The session's end of the byte pipe.
+    client_end: Box<dyn Transport>,
+    /// The reactor-service end of the byte pipe.
+    service_end: Box<dyn Transport>,
+    /// Reassembles service→client bytes into frames for the session.
+    client_rx: Framer,
+    /// Reassembles client→service bytes into frames for routing.
+    service_rx: Framer,
+    /// Client frames awaiting `writable()` budget.
+    client_tx: SendQueue,
+    /// Service frames awaiting `writable()` budget.
+    service_tx: SendQueue,
     /// Last phase [`Reactor::sync_phase`] observed.
     last_phase: SessionPhase,
     /// Clock reading when `last_phase` was entered.
@@ -484,24 +536,30 @@ struct Slot {
     /// Accumulated nanoseconds per timed phase
     /// ([`SessionPhase::timed_index`] order).
     phase_ns: [u64; 5],
+    /// Wire-clock milestones (simulated µs).
+    times: TransportTimes,
     trace: Option<SlotTrace>,
 }
 
 /// Poll-based reactor multiplexing many [`InpSession`]s over one shared
-/// proxy + server + PAD repository.
+/// proxy + server + PAD repository, each session behind its own
+/// [`Transport`] pair.
 ///
 /// All three services are taken by shared reference: the proxy negotiates
 /// through `&self` (lock-striped shards), the server serves through
 /// `&self` (read-only between `publish` calls), and the repository is a
 /// read-only map — so any number of reactors on any number of threads can
 /// drive sessions against the *same* pair, which is exactly how the
-/// throughput harness scales it.
+/// throughput harness scales it. (A reactor itself stays on the thread
+/// that built it: transport pairs are single-threaded by construction.)
 pub struct Reactor<'a> {
     proxy: &'a AdaptationProxy,
     server: &'a ApplicationServer,
     pad_repo: &'a PadRepo,
     slots: Vec<Slot>,
     ready: VecDeque<SessionId>,
+    /// Pair builder for [`spawn`](Self::spawn) (default: loopback).
+    profile: TransportProfile,
     polls: u64,
     peak_in_flight: usize,
     /// Time source for per-phase accounting. Never feature-gated: stall
@@ -512,7 +570,9 @@ pub struct Reactor<'a> {
 }
 
 impl<'a> Reactor<'a> {
-    /// Creates a reactor over the shared service trio.
+    /// Creates a reactor over the shared service trio, spawning sessions
+    /// onto loopback transports by default (see
+    /// [`with_transport`](Self::with_transport)).
     pub fn new(
         proxy: &'a AdaptationProxy,
         server: &'a ApplicationServer,
@@ -524,12 +584,21 @@ impl<'a> Reactor<'a> {
             pad_repo,
             slots: Vec::new(),
             ready: VecDeque::new(),
+            profile: TransportProfile::default(),
             polls: 0,
             peak_in_flight: 0,
             clock: MonotonicClock::shared(),
             tracer: None,
             tele: ReactorTelemetry::bind(&fractal_telemetry::Telemetry::global()),
         }
+    }
+
+    /// Replaces the transport profile used by [`spawn`](Self::spawn) —
+    /// e.g. `LinkKind::Bluetooth.into()` to put every session behind a
+    /// simulated Bluetooth link.
+    pub fn with_transport(mut self, profile: impl Into<TransportProfile>) -> Reactor<'a> {
+        self.profile = profile.into();
+        self
     }
 
     /// Replaces the per-phase accounting clock (tests use a
@@ -555,27 +624,38 @@ impl<'a> Reactor<'a> {
         self
     }
 
-    /// Admits a session: starts it and routes its opening messages. The
-    /// session is live immediately; nothing completes until [`poll`]
-    /// (or [`run`]) drains the message queues.
+    /// Admits a session on a fresh pair from the reactor's transport
+    /// profile. The session is live immediately; nothing crosses the wire
+    /// until [`poll`] (or [`run`]) pumps it.
     ///
     /// [`poll`]: Self::poll
     /// [`run`]: Self::run
-    pub fn spawn(&mut self, mut session: InpSession) -> SessionId {
+    pub fn spawn(&mut self, session: InpSession) -> SessionId {
+        let pair = self.profile.pair();
+        self.spawn_on(session, pair)
+    }
+
+    /// Admits a session on an explicit transport pair: starts it and
+    /// queues its opening frames on the client side of `pair`.
+    pub fn spawn_on(&mut self, mut session: InpSession, pair: TransportPair) -> SessionId {
         let id = self.slots.len();
         // Clock read *before* start(): the Init phase gets a real duration
         // covering the session's opening work.
         let spawned_at = self.clock.now_ns();
         let opening = session.start().unwrap_or_default();
-        self.push_slot(session, spawned_at);
-        self.route(id, opening);
+        self.push_slot(session, pair, spawned_at);
+        let slot = &mut self.slots[id];
+        for msg in &opening {
+            slot.client_tx.push(Framer::frame(msg));
+        }
+        self.ready.push_back(id);
         self.sync_phase(id);
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
         self.tele.peak_in_flight.set_max(self.peak_in_flight as i64);
         id
     }
 
-    fn push_slot(&mut self, session: InpSession, spawned_at: u64) {
+    fn push_slot(&mut self, session: InpSession, pair: TransportPair, spawned_at: u64) {
         let trace = self.tracer.as_ref().map(|tr| {
             let root = tr.root("session");
             let current = Some(tr.child(root, SessionPhase::Init.name()));
@@ -584,10 +664,16 @@ impl<'a> Reactor<'a> {
         self.slots.push(Slot {
             session,
             endpoint: ProxyEndpoint::new(),
-            inbox: VecDeque::new(),
+            client_end: pair.client,
+            service_end: pair.service,
+            client_rx: Framer::new(),
+            service_rx: Framer::new(),
+            client_tx: SendQueue::new(),
+            service_tx: SendQueue::new(),
             last_phase: SessionPhase::Init,
             phase_entered_ns: spawned_at,
             phase_ns: [0; 5],
+            times: TransportTimes::default(),
             trace,
         });
     }
@@ -604,6 +690,10 @@ impl<'a> Reactor<'a> {
         }
         let now = self.clock.now_ns();
         let slot = &mut self.slots[id];
+        let wire_now = slot.client_end.now_us();
+        if slot.last_phase == SessionPhase::PathSearch {
+            slot.times.negotiated_us = Some(wire_now);
+        }
         if let Some(ix) = slot.last_phase.timed_index() {
             let spent = now.saturating_sub(slot.phase_entered_ns);
             slot.phase_ns[ix] += spent;
@@ -620,6 +710,7 @@ impl<'a> Reactor<'a> {
             }
         }
         if phase.is_terminal() {
+            slot.times.done_us = Some(wire_now);
             match phase {
                 SessionPhase::Done => self.tele.completed.inc(),
                 _ => self.tele.failed.inc(),
@@ -630,7 +721,7 @@ impl<'a> Reactor<'a> {
     }
 
     /// Fault-injection variant of [`spawn`](Self::spawn): the session is
-    /// started but its opening messages are dropped, as if the transport
+    /// started but its opening frames are dropped, as if the transport
     /// lost `INIT_REQ`. The session then never progresses, and
     /// [`run`](Self::run) reports [`ReactorStalled`] — used by tests and
     /// by the deadlock-diagnostic path the CI smoke timeout depends on.
@@ -638,7 +729,7 @@ impl<'a> Reactor<'a> {
         let id = self.slots.len();
         let spawned_at = self.clock.now_ns();
         let _dropped = session.start();
-        self.push_slot(session, spawned_at);
+        self.push_slot(session, self.profile.pair(), spawned_at);
         self.sync_phase(id);
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
         self.tele.peak_in_flight.set_max(self.peak_in_flight as i64);
@@ -655,50 +746,184 @@ impl<'a> Reactor<'a> {
         self.peak_in_flight
     }
 
-    /// Delivers **one** message to the next ready session and routes its
-    /// replies. Returns the session that progressed, or `None` when no
-    /// session has deliverable messages (all done — or stalled).
+    /// Frames queued for `id` (both directions) that have not fully
+    /// reached the wire — the session's backpressure debt.
+    pub fn pending_frames(&self, id: SessionId) -> usize {
+        let s = &self.slots[id];
+        s.client_tx.frames() + s.service_tx.frames()
+    }
+
+    /// Total queued frames across all sessions — exactly what the
+    /// [`TRANSPORT_QUEUE_METRIC`] gauge reports after each poll.
+    pub fn queued_frames(&self) -> usize {
+        (0..self.slots.len()).map(|id| self.pending_frames(id)).sum()
+    }
+
+    /// Pumps the next ready session one readiness step: flush its pending
+    /// frames (up to the peer's `writable()` budget), drain and route
+    /// whatever the wire has delivered, and hand the session **at most
+    /// one** reassembled frame. Returns the session that was pumped, or
+    /// `None` when no session has actionable work (all done — or waiting
+    /// on the wire/stalled, which [`run`](Self::run) distinguishes).
     ///
-    /// One message per poll is what makes the multiplexing real: with N
+    /// One delivery per poll is what makes the multiplexing real: with N
     /// live sessions the reactor round-robins between them, so session 63
     /// negotiates while session 0 is mid-download.
     pub fn poll(&mut self) -> Option<SessionId> {
         let id = self.ready.pop_front()?;
         if self.slots[id].session.phase().is_terminal() {
             // The session ended (e.g. aborted on a routing failure) while
-            // replies were still queued. Delivering them would only raise
-            // UnexpectedMessage over the recorded root cause; drop them.
-            self.slots[id].inbox.clear();
+            // frames were still queued or in flight. Pumping them on would
+            // only raise UnexpectedMessage over the recorded root cause;
+            // tear the pipe down instead.
+            self.teardown(id);
             self.sync_phase(id);
+            self.tele.queue_depth.set(self.queued_frames() as i64);
             return Some(id);
         }
-        let Some(msg) = self.slots[id].inbox.pop_front() else {
-            return Some(id); // spurious wake; counts as progress, not delivery
-        };
-        self.polls += 1;
-        self.tele.polls.inc();
-        match self.slots[id].session.on_message(&msg) {
-            Ok(replies) => self.route(id, replies),
-            // The reactor delivered something the session cannot accept:
-            // a routing bug or a duplicated frame. Dropping it would stall
-            // the session silently; fail it loudly instead.
-            Err(e) => self.slots[id].session.abort(e),
+        if let Err(e) = self.pump(id) {
+            self.slots[id].session.abort(e);
+        }
+        if self.slots[id].session.phase().is_terminal() {
+            self.teardown(id);
         }
         self.sync_phase(id);
-        if !self.slots[id].inbox.is_empty() && !self.slots[id].session.phase().is_terminal() {
+        self.tele.queue_depth.set(self.queued_frames() as i64);
+        if !self.slots[id].session.phase().is_terminal() && self.has_actionable_work(id) {
             self.ready.push_back(id);
         }
         Some(id)
     }
 
-    /// Polls until every session is terminal. Detects stalls: if no
-    /// message is deliverable while sessions are live, returns
-    /// [`ReactorStalled`] naming the stuck sessions and phases rather
-    /// than looping forever.
-    pub fn run(&mut self) -> Result<ReactorReport, ReactorStalled> {
-        while self.poll().is_some() {}
+    /// One readiness step for one session. Transport and framing failures
+    /// bubble up as [`InpError`] and abort the session (first error wins).
+    fn pump(&mut self, id: SessionId) -> Result<(), InpError> {
+        // Client → wire: put pending frames on the wire, up to writable().
+        {
+            let s = &mut self.slots[id];
+            s.client_tx.flush(s.client_end.as_mut())?;
+        }
+        // Wire → services: drain every readable byte, route every complete
+        // frame to the party it addresses, queue the replies.
+        {
+            let s = &mut self.slots[id];
+            s.service_rx.pull(s.service_end.as_mut())?;
+        }
+        while let Some(msg) = self.slots[id].service_rx.next_frame()? {
+            let replies = self.serve(id, &msg).map_err(InpError::Session)?;
+            let s = &mut self.slots[id];
+            for r in &replies {
+                s.service_tx.push(Framer::frame(r));
+            }
+        }
+        {
+            let s = &mut self.slots[id];
+            s.service_tx.flush(s.service_end.as_mut())?;
+        }
+        // Wire → session: drain the client end, deliver at most ONE frame.
+        {
+            let s = &mut self.slots[id];
+            s.client_rx.pull(s.client_end.as_mut())?;
+        }
+        if let Some(msg) = self.slots[id].client_rx.next_frame()? {
+            self.polls += 1;
+            self.tele.polls.inc();
+            match self.slots[id].session.on_message(&msg) {
+                Ok(replies) => {
+                    let s = &mut self.slots[id];
+                    for r in &replies {
+                        s.client_tx.push(Framer::frame(r));
+                    }
+                    s.client_tx.flush(s.client_end.as_mut())?;
+                }
+                // The wire delivered something the session cannot accept:
+                // a routing bug or a duplicated frame. Dropping it would
+                // stall the session silently; fail it loudly instead.
+                Err(e) => self.slots[id].session.abort(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether one more [`poll`](Self::poll) of `id` would make progress
+    /// *right now*: pending frames with window to enter, readable bytes,
+    /// or a complete (or known-bad) frame already buffered.
+    fn has_actionable_work(&self, id: SessionId) -> bool {
+        let s = &self.slots[id];
+        (!s.client_tx.is_empty() && s.client_end.writable() > 0)
+            || (!s.service_tx.is_empty() && s.service_end.writable() > 0)
+            || s.client_end.readable() > 0
+            || s.service_end.readable() > 0
+            || s.client_rx.frame_ready()
+            || s.service_rx.frame_ready()
+    }
+
+    /// Drops a terminal session's queued frames and buffered bytes and
+    /// closes its pair. Stale in-flight replies must not reach a Failed
+    /// session and overwrite its root-cause error.
+    fn teardown(&mut self, id: SessionId) {
+        let s = &mut self.slots[id];
+        s.client_tx.clear();
+        s.service_tx.clear();
+        s.client_rx.clear();
+        s.service_rx.clear();
+        s.client_end.close();
+    }
+
+    /// Polls until every session is terminal. When every live session is
+    /// merely transport-starved (bytes in flight on a timed link), the
+    /// pair clocks advance — each to its *own* next delivery instant, so
+    /// a session's wire timeline stays a pure function of its own traffic
+    /// — and polling resumes. Only when no bytes are in flight anywhere
+    /// does the reactor return [`ReactorStalled`] (wrapped in
+    /// [`InpError`]) naming the protocol-stuck sessions.
+    pub fn run(&mut self) -> Result<ReactorReport, InpError> {
+        loop {
+            while self.poll().is_some() {}
+            if self.in_flight() == 0 {
+                break;
+            }
+            let mut advanced = false;
+            for id in 0..self.slots.len() {
+                let s = &mut self.slots[id];
+                if s.session.phase().is_terminal() {
+                    continue;
+                }
+                let next = match (s.client_end.next_ready_at(), s.service_end.next_ready_at()) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if let Some(t) = next {
+                    s.client_end.advance_to(t);
+                    s.service_end.advance_to(t);
+                    advanced = true;
+                }
+            }
+            if !advanced {
+                return Err(self.stall_report().into());
+            }
+            for id in 0..self.slots.len() {
+                if !self.slots[id].session.phase().is_terminal() && self.has_actionable_work(id) {
+                    self.ready.push_back(id);
+                }
+            }
+        }
+        Ok(ReactorReport {
+            completed: self
+                .slots
+                .iter()
+                .filter(|s| s.session.phase() == SessionPhase::Done)
+                .count(),
+            failed: self.slots.iter().filter(|s| s.session.phase() == SessionPhase::Failed).count(),
+            polls: self.polls,
+            peak_in_flight: self.peak_in_flight,
+        })
+    }
+
+    /// Builds the protocol-stuck diagnostic for every live session.
+    fn stall_report(&self) -> ReactorStalled {
         let now = self.clock.now_ns();
-        let stuck: Vec<StuckSession> = self
+        let stuck = self
             .slots
             .iter()
             .enumerate()
@@ -719,24 +944,22 @@ impl<'a> Reactor<'a> {
                 StuckSession { id, phase: s.session.phase().name(), phase_ns }
             })
             .collect();
-        if !stuck.is_empty() {
-            return Err(ReactorStalled { stuck });
-        }
-        Ok(ReactorReport {
-            completed: self
-                .slots
-                .iter()
-                .filter(|s| s.session.phase() == SessionPhase::Done)
-                .count(),
-            failed: self.slots.iter().filter(|s| s.session.phase() == SessionPhase::Failed).count(),
-            polls: self.polls,
-            peak_in_flight: self.peak_in_flight,
-        })
+        ReactorStalled { stuck }
     }
 
     /// Read access to a session.
     pub fn session(&self, id: SessionId) -> &InpSession {
         &self.slots[id].session
+    }
+
+    /// The session's wire-clock milestones (simulated µs on its pair):
+    /// when negotiation finished and when the session ended. Always 0 over
+    /// the untimed loopback; over a
+    /// [`SimLinkTransport`](crate::transport::SimLinkTransport) these are
+    /// the per-link negotiation/session times the throughput harness
+    /// reports.
+    pub fn transport_times(&self, id: SessionId) -> TransportTimes {
+        self.slots[id].times
     }
 
     /// Accumulated time per visited phase for one session (name,
@@ -762,39 +985,19 @@ impl<'a> Reactor<'a> {
         self.slots.into_iter().map(|s| s.session).collect()
     }
 
-    /// Routes client-emitted messages to the party each is addressed to
-    /// and enqueues the replies on the session's inbox.
-    fn route(&mut self, id: SessionId, msgs: Vec<InpMessage>) {
-        for msg in msgs {
-            let replies = match &msg {
-                InpMessage::InitReq { .. } | InpMessage::CliMetaRep { .. } => {
-                    self.proxy_leg(id, &msg)
+    /// Routes one client-emitted frame to the party it addresses and
+    /// returns the replies to put back on the wire.
+    fn serve(&mut self, id: SessionId, msg: &InpMessage) -> Result<Vec<InpMessage>, SessionError> {
+        match msg {
+            InpMessage::InitReq { .. } | InpMessage::CliMetaRep { .. } => self.proxy_leg(id, msg),
+            InpMessage::PadDownloadReq { pad_id } => match self.pad_repo.get(pad_id) {
+                Some(wire) => {
+                    Ok(vec![InpMessage::PadDownloadRep { pad_id: *pad_id, bytes: wire.clone() }])
                 }
-                InpMessage::PadDownloadReq { pad_id } => match self.pad_repo.get(pad_id) {
-                    Some(wire) => Ok(vec![InpMessage::PadDownloadRep {
-                        pad_id: *pad_id,
-                        bytes: wire.clone(),
-                    }]),
-                    None => Err(SessionError::Fractal(FractalError::PadUnavailable(*pad_id))),
-                },
-                InpMessage::AppReq { protocols, payload, .. } => {
-                    self.server_leg(protocols, payload)
-                }
-                other => {
-                    Err(SessionError::UnexpectedMessage { phase: "route", message: other.name() })
-                }
-            };
-            let slot = &mut self.slots[id];
-            match replies {
-                Ok(replies) => {
-                    let was_empty = slot.inbox.is_empty();
-                    slot.inbox.extend(replies);
-                    if was_empty && !slot.inbox.is_empty() {
-                        self.ready.push_back(id);
-                    }
-                }
-                Err(e) => slot.session.abort(e),
-            }
+                None => Err(SessionError::Fractal(FractalError::PadUnavailable(*pad_id))),
+            },
+            InpMessage::AppReq { protocols, payload, .. } => self.server_leg(protocols, payload),
+            other => Err(SessionError::UnexpectedMessage { phase: "route", message: other.name() }),
         }
     }
 
@@ -849,6 +1052,7 @@ mod tests {
     use crate::presets::ClientClass;
     use crate::server::AdaptiveContentMode;
     use crate::testbed::Testbed;
+    use fractal_net::LinkKind;
 
     fn content(seed: u8, len: usize) -> Vec<u8> {
         (0..len).map(|i| ((i / 5) as u8).wrapping_mul(seed).wrapping_add(seed)).collect()
@@ -918,6 +1122,83 @@ mod tests {
     }
 
     #[test]
+    fn simlink_sessions_complete_with_the_same_decisions() {
+        let tb = testbed_with_pages(3);
+        // Oracle: the same classes over the untimed loopback.
+        let loop_tb = testbed_with_pages(3);
+        let mut oracle = Reactor::new(&loop_tb.proxy, &loop_tb.server, &loop_tb.pad_repo);
+        let oracle_ids: Vec<_> = ClientClass::ALL
+            .iter()
+            .map(|&c| oracle.spawn(InpSession::new(loop_tb.client(c), loop_tb.app_id, 0, 0)))
+            .collect();
+        oracle.run().unwrap();
+
+        let mut reactor =
+            Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_transport(LinkKind::Bluetooth);
+        let ids: Vec<_> = ClientClass::ALL
+            .iter()
+            .map(|&c| reactor.spawn(InpSession::new(tb.client(c), tb.app_id, 0, 0)))
+            .collect();
+        let report = reactor.run().unwrap();
+        assert_eq!(report.failed, 0);
+        for (&id, &oid) in ids.iter().zip(oracle_ids.iter()) {
+            assert_eq!(
+                reactor.session(id).negotiated().unwrap(),
+                oracle.session(oid).negotiated().unwrap(),
+                "byte-gated delivery must not change adaptation decisions"
+            );
+            // The simulated wire clock moved: negotiation took real link
+            // time and the session finished after it.
+            let times = reactor.transport_times(id);
+            let negotiated = times.negotiated_us.expect("cold session negotiates");
+            let done = times.done_us.expect("session finished");
+            assert!(negotiated > 0, "negotiation costs link time");
+            assert!(done > negotiated, "PAD download + app exchange cost more");
+            // Loopback sessions report zero wire time.
+            assert_eq!(oracle.transport_times(oid).done_us, Some(0));
+        }
+    }
+
+    #[test]
+    fn simlink_wire_times_are_deterministic_and_link_ordered() {
+        let time_for = |kind: LinkKind| {
+            let tb = testbed_with_pages(1);
+            let mut reactor =
+                Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_transport(kind);
+            let id = reactor.spawn(InpSession::new(
+                tb.client(ClientClass::PdaBluetooth),
+                tb.app_id,
+                0,
+                0,
+            ));
+            reactor.run().unwrap();
+            reactor.transport_times(id).done_us.unwrap()
+        };
+        assert_eq!(time_for(LinkKind::Wlan), time_for(LinkKind::Wlan), "deterministic");
+        assert!(
+            time_for(LinkKind::Lan) < time_for(LinkKind::Wlan)
+                && time_for(LinkKind::Wlan) < time_for(LinkKind::Bluetooth),
+            "slower links take longer in simulated time"
+        );
+    }
+
+    #[test]
+    fn tiny_window_forces_backpressure_but_sessions_still_complete() {
+        let tb = testbed_with_pages(2);
+        // A 64-byte window: every PAD frame (multi-KB) crosses in dozens
+        // of partial writes and the send queues are exercised hard.
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+            .with_transport(TransportProfile::Loopback { capacity: 64 });
+        for i in 0..2u32 {
+            reactor.spawn(InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, i, 0));
+        }
+        assert!(reactor.queued_frames() > 0, "openings queue behind the tiny window");
+        let report = reactor.run().unwrap();
+        assert_eq!(report.completed, 2);
+        assert_eq!(reactor.queued_frames(), 0, "queues drain by completion");
+    }
+
+    #[test]
     fn warm_client_takes_the_fast_path() {
         let tb = testbed_with_pages(2);
         // First session: cold — negotiate + download.
@@ -968,7 +1249,7 @@ mod tests {
         assert_eq!(report.failed, 1);
         assert!(matches!(
             reactor.session(id).error(),
-            Some(SessionError::Fractal(FractalError::UnknownApp(AppId(99))))
+            Some(InpError::Session(SessionError::Fractal(FractalError::UnknownApp(AppId(99)))))
         ));
     }
 
@@ -983,7 +1264,7 @@ mod tests {
         assert_eq!(report.failed, 1);
         assert!(matches!(
             reactor.session(id).error(),
-            Some(SessionError::Fractal(FractalError::PadUnavailable(_)))
+            Some(InpError::Session(SessionError::Fractal(FractalError::PadUnavailable(_))))
         ));
     }
 
@@ -993,18 +1274,21 @@ mod tests {
         let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
         let id =
             reactor.spawn(InpSession::new(tb.client(ClientClass::PdaBluetooth), tb.app_id, 0, 0));
-        // spawn() already routed INIT_REQ, so a reply sits in the inbox.
-        assert!(!reactor.slots[id].inbox.is_empty(), "spawn queues the INIT_REP");
-        // The transport fails the session while that reply is in flight
+        // spawn() queued the framed INIT_REQ; it has not crossed yet.
+        assert!(reactor.pending_frames(id) > 0, "spawn queues the opening frame");
+        // The transport fails the session while that frame is in flight
         // (e.g. a later leg could not be served).
-        let root = SessionError::Fractal(FractalError::PadUnavailable(crate::meta::PadId(7)));
+        let root = InpError::Session(SessionError::Fractal(FractalError::PadUnavailable(
+            crate::meta::PadId(7),
+        )));
         reactor.slots[id].session.abort(root.clone());
-        // Draining must discard the stale reply — not deliver it to the
-        // Failed session and overwrite the root cause with
+        // Draining must tear the pipe down — not pump the stale frame
+        // through and overwrite the root cause with
         // UnexpectedMessage{phase: "Failed"}.
         let report = reactor.run().unwrap();
         assert_eq!(report.failed, 1);
-        assert!(reactor.slots[id].inbox.is_empty(), "stale replies dropped");
+        assert_eq!(reactor.pending_frames(id), 0, "stale frames dropped");
+        assert!(reactor.slots[id].client_end.is_closed(), "pair closed on teardown");
         assert_eq!(reactor.session(id).error(), Some(&root));
     }
 
@@ -1019,7 +1303,9 @@ mod tests {
             1,
             0,
         ));
-        let err = reactor.run().unwrap_err();
+        let InpError::Stalled(err) = reactor.run().unwrap_err() else {
+            panic!("quiescent live session must surface as InpError::Stalled");
+        };
         assert_eq!(err.stuck.len(), 1);
         assert_eq!(err.stuck[0].id, stuck_id);
         assert_eq!(err.stuck[0].phase, "MetaExchange");
@@ -1045,7 +1331,9 @@ mod tests {
             0,
             0,
         ));
-        let err = reactor.run().unwrap_err();
+        let InpError::Stalled(err) = reactor.run().unwrap_err() else {
+            panic!("lossy spawn must stall");
+        };
         assert_eq!(err.stuck[0].id, id);
         // Virtual clock: spawn reads t=0, the Init→MetaExchange sync reads
         // t=100, stall detection reads t=200 — Init gets 100 ns, the stuck

@@ -91,6 +91,18 @@ impl Testbed {
     pub fn untrusting_client(&self, class: ClientClass) -> FractalClient {
         FractalClient::new(class.env(), TrustStore::new())
     }
+
+    /// Builds a reactor over this testbed's proxy/server/PAD-repo trio that
+    /// spawns sessions behind the given transport profile — e.g.
+    /// `tb.reactor_over(LinkKind::Bluetooth)` for a simulated Bluetooth
+    /// link, or a [`TransportProfile`] for explicit capacities.
+    pub fn reactor_over(
+        &self,
+        profile: impl Into<crate::transport::TransportProfile>,
+    ) -> crate::reactor::Reactor<'_> {
+        crate::reactor::Reactor::new(&self.proxy, &self.server, &self.pad_repo)
+            .with_transport(profile)
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +122,22 @@ mod tests {
         let tb = Testbed::with_protocols(&ProtocolId::ALL, AdaptiveContentMode::Reactive);
         assert_eq!(tb.pad_repo.len(), 5);
         assert_eq!(tb.proxy.pat(tb.app_id).unwrap().leaf_count(), 5);
+    }
+
+    #[test]
+    fn reactor_over_builds_a_transport_backed_reactor() {
+        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        tb.server.publish(0, vec![7u8; 4_096]);
+        let mut reactor = tb.reactor_over(fractal_net::LinkKind::Wlan);
+        let id = reactor.spawn(crate::reactor::InpSession::new(
+            tb.client(ClientClass::LaptopWlan),
+            tb.app_id,
+            0,
+            0,
+        ));
+        let report = reactor.run().unwrap();
+        assert_eq!(report.completed, 1);
+        assert!(reactor.transport_times(id).done_us.unwrap() > 0, "WLAN time elapsed");
     }
 
     #[test]

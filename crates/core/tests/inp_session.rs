@@ -257,7 +257,8 @@ fn abort_keeps_the_first_recorded_error() {
     // A later stray abort (e.g. from a stale delivery) must not mask it.
     s.abort(SessionError::AlreadyStarted);
     assert_eq!(s.phase(), SessionPhase::Failed);
-    assert_eq!(s.error(), Some(&SessionError::UnexpectedPad(PadId(3))));
+    // error() surfaces the unified InpError, wrapping the session-layer type.
+    assert_eq!(s.error(), Some(&SessionError::UnexpectedPad(PadId(3)).into()));
 }
 
 #[test]

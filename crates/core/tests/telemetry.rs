@@ -133,6 +133,41 @@ fn reactor_fills_all_five_phase_histograms_and_mirrors_the_report() {
 }
 
 #[test]
+fn queue_depth_gauge_reconciles_with_per_session_pending_counts() {
+    use fractal_core::reactor::TRANSPORT_QUEUE_METRIC;
+    use fractal_core::transport::TransportProfile;
+
+    let bundle = local_bundle();
+    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    for id in 0..3u32 {
+        tb.server.publish(id, content(id as u8 + 1, 8_000));
+    }
+    // A 48-byte window keeps multi-KB PAD frames queued for many polls, so
+    // the gauge is exercised at real depths, not just 0.
+    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+        .with_transport(TransportProfile::Loopback { capacity: 48 })
+        .with_clock(bundle.clock())
+        .with_telemetry(&bundle);
+    let ids: Vec<_> = (0..3u32)
+        .map(|i| {
+            reactor.spawn(InpSession::new(tb.client(ClientClass::ALL[i as usize]), tb.app_id, i, 0))
+        })
+        .collect();
+
+    let mut saw_backpressure = false;
+    while reactor.poll().is_some() {
+        let gauge = bundle.snapshot().gauges[TRANSPORT_QUEUE_METRIC];
+        let pending: usize = ids.iter().map(|&id| reactor.pending_frames(id)).sum();
+        assert_eq!(gauge, pending as i64, "gauge must equal the sum of per-session queues");
+        saw_backpressure |= pending > 0;
+    }
+    assert!(saw_backpressure, "the tiny window must actually queue frames");
+    let report = reactor.run().unwrap();
+    assert_eq!(report.completed, 3);
+    assert_eq!(bundle.snapshot().gauges[TRANSPORT_QUEUE_METRIC], 0, "queues drain by completion");
+}
+
+#[test]
 fn failed_session_counts_into_the_failed_counter() {
     let bundle = local_bundle();
     let tb = Testbed::case_study(AdaptiveContentMode::Reactive);

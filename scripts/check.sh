@@ -61,14 +61,18 @@ step "cargo test --features telemetry (registry reconciliation + determinism sui
 cargo test -q -p fractal-telemetry --all-features
 cargo test -q -p fractal-core -p fractal-bench --features telemetry
 
-step "throughput smoke (concurrent engine + reactor gate)"
+step "throughput smoke (concurrent engine + reactor + transport gate)"
 # Runs the 1- and 2-thread negotiation/session/reactor passes with the
 # built-in decision-identity assertion: a lost update or decision
 # divergence aborts the binary, and a reactor stall is reported as a typed
-# ReactorStalled error naming the stuck sessions. The timeout is the
-# backstop for a true deadlock (e.g. a lock cycle in the sharded proxy):
-# rather than hanging CI for hours, the gate fails in ≤ 120 s with a
-# diagnostic. `timeout` is coreutils; if the host lacks it, run unguarded.
+# InpError::Stalled naming the stuck sessions. The reactor pass drives
+# 64 in-flight sessions over framed LoopbackTransport byte streams; the
+# transport pass repeats them behind simulated LAN/WLAN/Bluetooth links
+# and asserts the per-link wire times identical across thread counts. The
+# timeout is the backstop for a true deadlock (e.g. a lock cycle in the
+# sharded proxy): rather than hanging CI for hours, the gate fails in
+# ≤ 120 s with a diagnostic. `timeout` is coreutils; if the host lacks
+# it, run unguarded.
 SMOKE="cargo run -q --release -p fractal-bench --bin throughput -- --smoke"
 if command -v timeout >/dev/null 2>&1; then
     # Build first (unmetered — cold compiles legitimately take minutes),
@@ -88,6 +92,19 @@ if command -v timeout >/dev/null 2>&1; then
 else
     $SMOKE
 fi
+
+step "BENCH_throughput.json carries per-link transport rows"
+# The committed full-sweep results must include the transport pass: one
+# row per simulated link profile with its mean negotiation time. A missing
+# row means the sweep predates the transport layer (regenerate with
+# `cargo run --release -p fractal-bench --features telemetry --bin throughput`).
+for link in LAN WLAN Bluetooth; do
+    if ! grep -q "\"link\": \"$link\"" BENCH_throughput.json; then
+        echo "BENCH_throughput.json has no transport row for $link" >&2
+        exit 1
+    fi
+done
+grep -q '"negotiation_ms"' BENCH_throughput.json
 
 # The full workspace suite (cargo test -q --workspace) additionally runs the
 # figure-regeneration tier; see CHANGES.md for the known calibration baseline

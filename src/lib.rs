@@ -56,4 +56,9 @@ pub use fractal_pads as pads;
 pub use fractal_protocols as protocols;
 pub use fractal_telemetry as telemetry;
 pub use fractal_vm as vm;
+
+/// The byte-stream transport layer under the reactor (loopback and
+/// simulated-link implementations, framing) — re-exported so callers can
+/// write `fractal::transport::Transport` next to `fractal::telemetry`.
+pub use fractal_core::transport;
 pub use fractal_workload as workload;
