@@ -4,7 +4,8 @@ use fractal_crypto::sign::Signer;
 use fractal_crypto::Digest;
 use fractal_protocols::ProtocolId;
 use fractal_vm::{
-    analyze_module, assemble, verify::verify_module, HostId, Module, SandboxPolicy, SignedModule,
+    analyze_module, assemble, verify::verify_module, AnalysisClaims, HostId, Module, SandboxPolicy,
+    SignedModule,
 };
 
 /// FVM assembly source for the direct-sending PAD.
@@ -40,6 +41,11 @@ pub struct PadArtifact {
     /// actually needs, as opposed to the ones it could name. Computed at
     /// build time; not part of the wire format.
     pub required_hosts: Vec<HostId>,
+    /// The analyzer's full claims ledger (fuel lower bounds, capability
+    /// mask, per-site proven facts and operand intervals). Carried so a
+    /// client can run the claims auditor against this exact build; not
+    /// part of the wire format.
+    pub claims: AnalysisClaims,
 }
 
 impl PadArtifact {
@@ -86,6 +92,7 @@ pub fn build_pad(protocol: ProtocolId, signer: &Signer) -> PadArtifact {
         entries,
         min_fuel: analysis.module_min_fuel,
         required_hosts: analysis.all_hosts(),
+        claims: analysis.claims,
     }
 }
 
@@ -105,6 +112,7 @@ pub fn build_deflate_pad(signer: &Signer) -> PadArtifact {
         entries,
         min_fuel: analysis.module_min_fuel,
         required_hosts: analysis.all_hosts(),
+        claims: analysis.claims,
     }
 }
 

@@ -103,6 +103,28 @@ impl PadRuntime {
         Ok(PadRuntime { machine: Machine::new(module, policy)? })
     }
 
+    /// Instantiates in claims-auditor mode: the checked interpreter runs
+    /// and every claim the analyzer made (fuel lower bounds, capability
+    /// set, per-site intervals and proven facts) is asserted against
+    /// observed execution. Discrepancies accumulate in
+    /// [`PadRuntime::audit_violations`] — each one is an analyzer
+    /// soundness bug. Used by the differential trust harness.
+    pub fn new_audited(module: Module, policy: SandboxPolicy) -> Result<PadRuntime, PadError> {
+        let analyzed = module.analyzed(&policy).map_err(|_| PadError::Trap(Trap::Wedged))?;
+        Ok(PadRuntime { machine: Machine::new_audited(analyzed, policy)? })
+    }
+
+    /// Claim violations the auditor has observed (empty unless built with
+    /// [`PadRuntime::new_audited`]).
+    pub fn audit_violations(&self) -> &[fractal_vm::AuditViolation] {
+        self.machine.audit_violations()
+    }
+
+    /// How many analyzer claims the auditor has checked so far.
+    pub fn claims_audited(&self) -> u64 {
+        self.machine.claims_audited()
+    }
+
     /// Whether this instance runs on the analyzed fast path.
     pub fn is_fast_path(&self) -> bool {
         self.machine.is_fast_path()

@@ -49,6 +49,10 @@ use crate::module::{Function, Module};
 use crate::sandbox::SandboxPolicy;
 use crate::verify::verify_module;
 
+pub mod range;
+
+pub use range::{proven, AbsVal, InsnFacts};
+
 /// Fuel cost floor for one instruction (every op charges at least this).
 const BASE_COST: u64 = 1;
 /// Extra fuel floor for bulk ops (`len/8 + 1` is at least 1 even at len 0).
@@ -111,6 +115,30 @@ pub enum Lint {
         /// Function index.
         func: usize,
     },
+    /// The divisor at this site is provably always zero: the instruction
+    /// traps on every execution that reaches it.
+    CertainDivideByZero {
+        /// Function index.
+        func: usize,
+        /// Byte offset of the division.
+        at: usize,
+    },
+    /// Every possible address/length at this memory op lies outside
+    /// linear memory: the instruction traps on every execution.
+    CertainOutOfBounds {
+        /// Function index.
+        func: usize,
+        /// Byte offset of the access.
+        at: usize,
+    },
+    /// The shift amount can never be in `[0, 63]`, so the machine's
+    /// modular masking always rewrites it — almost certainly a bug.
+    ShiftAmountMasked {
+        /// Function index.
+        func: usize,
+        /// Byte offset of the shift.
+        at: usize,
+    },
 }
 
 impl core::fmt::Display for Lint {
@@ -123,7 +151,102 @@ impl core::fmt::Display for Lint {
                 write!(f, "fn {func}: local {local} stored at {at} but never read")
             }
             Lint::NeverReturns { func } => write!(f, "fn {func}: no reachable ret"),
+            Lint::CertainDivideByZero { func, at } => {
+                write!(f, "fn {func}: divisor at {at} is always zero")
+            }
+            Lint::CertainOutOfBounds { func, at } => {
+                write!(f, "fn {func}: memory access at {at} is always out of bounds")
+            }
+            Lint::ShiftAmountMasked { func, at } => {
+                write!(f, "fn {func}: shift amount at {at} is never in [0, 63]")
+            }
         }
+    }
+}
+
+/// How seriously a [`Lint`] is taken by enforcement tooling (`fasmlint`).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum LintLevel {
+    /// Not reported.
+    Allow,
+    /// Reported, does not fail the gate.
+    Warn,
+    /// Reported and fails the gate (nonzero `fasmlint` exit).
+    Deny,
+}
+
+impl core::fmt::Display for LintLevel {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LintLevel::Allow => write!(f, "allow"),
+            LintLevel::Warn => write!(f, "warn"),
+            LintLevel::Deny => write!(f, "deny"),
+        }
+    }
+}
+
+/// Severity assignment for every lint kind.
+///
+/// The default denies what is certainly wrong (dead stores, guaranteed
+/// traps) and warns on what is merely suspicious (unreachable code, a
+/// function that never returns — legitimate for abort-only helpers).
+#[derive(Clone, Debug)]
+pub struct LintConfig {
+    /// Severity of [`Lint::UnreachableCode`].
+    pub unreachable_code: LintLevel,
+    /// Severity of [`Lint::DeadStore`].
+    pub dead_store: LintLevel,
+    /// Severity of [`Lint::NeverReturns`].
+    pub never_returns: LintLevel,
+    /// Severity of [`Lint::CertainDivideByZero`].
+    pub certain_divide_by_zero: LintLevel,
+    /// Severity of [`Lint::CertainOutOfBounds`].
+    pub certain_out_of_bounds: LintLevel,
+    /// Severity of [`Lint::ShiftAmountMasked`].
+    pub shift_amount_masked: LintLevel,
+}
+
+impl Default for LintConfig {
+    fn default() -> LintConfig {
+        LintConfig {
+            unreachable_code: LintLevel::Warn,
+            dead_store: LintLevel::Deny,
+            never_returns: LintLevel::Warn,
+            certain_divide_by_zero: LintLevel::Deny,
+            certain_out_of_bounds: LintLevel::Deny,
+            shift_amount_masked: LintLevel::Deny,
+        }
+    }
+}
+
+impl LintConfig {
+    /// The severity assigned to `lint`.
+    pub fn level_for(&self, lint: &Lint) -> LintLevel {
+        match lint {
+            Lint::UnreachableCode { .. } => self.unreachable_code,
+            Lint::DeadStore { .. } => self.dead_store,
+            Lint::NeverReturns { .. } => self.never_returns,
+            Lint::CertainDivideByZero { .. } => self.certain_divide_by_zero,
+            Lint::CertainOutOfBounds { .. } => self.certain_out_of_bounds,
+            Lint::ShiftAmountMasked { .. } => self.shift_amount_masked,
+        }
+    }
+
+    /// Promotes every `Warn` to `Deny`.
+    pub fn strict(mut self) -> LintConfig {
+        for level in [
+            &mut self.unreachable_code,
+            &mut self.dead_store,
+            &mut self.never_returns,
+            &mut self.certain_divide_by_zero,
+            &mut self.certain_out_of_bounds,
+            &mut self.shift_amount_masked,
+        ] {
+            if *level == LintLevel::Warn {
+                *level = LintLevel::Deny;
+            }
+        }
+        self
     }
 }
 
@@ -150,6 +273,8 @@ pub struct FunctionAnalysis {
     pub reachable_hosts: u8,
     /// Suspicious-but-safe findings for this function.
     pub lints: Vec<Lint>,
+    /// Range-pass facts, aligned with `insns`.
+    pub ranges: Vec<InsnFacts>,
 }
 
 /// Whole-module analysis results.
@@ -166,6 +291,45 @@ pub struct ModuleAnalysis {
     /// tree, from a longest-path walk of the call DAG (recursive modules
     /// fall back to `max_call_depth × tallest frame`).
     pub stack_bound: usize,
+    /// The checkable-claims ledger distilled from the passes above.
+    pub claims: AnalysisClaims,
+}
+
+/// Everything the analyzer *claims* about a module, in a form the
+/// machine's audit mode ([`crate::machine::Machine::new_audited`]) can
+/// assert against observed execution. A violated claim is an analyzer
+/// soundness bug, not a module bug — the differential harness exists to
+/// find exactly those.
+#[derive(Clone, Default, Debug)]
+pub struct AnalysisClaims {
+    /// Claimed lower bound on fuel for the most expensive entry.
+    pub module_min_fuel: u64,
+    /// Claimed per-function fuel lower bounds (successful runs only);
+    /// `u64::MAX` claims the entry can never complete.
+    pub entry_min_fuel: Vec<u64>,
+    /// Claimed capability set: every host call observed at run time must
+    /// fall inside this mask (by [`HostId::id`]).
+    pub required_hosts: u8,
+    /// Number of instructions with at least one discharged check.
+    pub proven_ops: u32,
+    /// Per-site claims: operand intervals and proven-safe facts, keyed by
+    /// `(func, byte offset)`.
+    pub sites: Vec<ClaimSite>,
+}
+
+/// One audited program point: what the analyzer claims holds every time
+/// the instruction at `(func, at)` executes.
+#[derive(Clone, Debug)]
+pub struct ClaimSite {
+    /// Function index.
+    pub func: usize,
+    /// Byte offset of the instruction.
+    pub at: usize,
+    /// Discharged checks (see [`proven`]).
+    pub proven: u8,
+    /// Claimed signed intervals `[lo, hi]` for the operands the
+    /// instruction pops, top of stack first.
+    pub operands: Vec<(i64, i64)>,
 }
 
 impl ModuleAnalysis {
@@ -225,12 +389,21 @@ pub enum FastOp {
     Swap,
     /// Binary arithmetic/comparison op, dispatched by [`Op`] kind.
     Bin(BinKind),
+    /// A division/remainder whose divisor (and, for `divs`, overflow
+    /// case) the range pass proved safe: the zero/overflow branch is
+    /// demoted to a defensive wedge check.
+    BinNz(BinKind),
     /// See [`Op::Eqz`].
     Eqz,
     /// Load of the given width in bytes.
     Load(u8),
+    /// Load whose address range the range pass proved in bounds: skips
+    /// the sign/overflow checks of the checked `mem_range`.
+    LoadF(u8),
     /// Store of the given width in bytes.
     Store(u8),
+    /// Store with statically proven bounds, like [`FastOp::LoadF`].
+    StoreF(u8),
     /// See [`Op::MemCopy`].
     MemCopy,
     /// See [`Op::MemFill`].
@@ -773,6 +946,27 @@ fn collect_lints(func_idx: usize, cfg: &FuncCfg, exit: Option<u32>, lints: &mut 
     }
 }
 
+/// Process-wide analyzer metrics; see `vm_metrics` in `machine.rs` for
+/// why these bind lazily to the global telemetry bundle.
+struct AnalysisMetrics {
+    analysis_ns: fractal_telemetry::Histogram,
+    proven_ops: fractal_telemetry::Counter,
+    lints: fractal_telemetry::Counter,
+}
+
+fn analysis_metrics() -> &'static AnalysisMetrics {
+    use std::sync::OnceLock;
+    static METRICS: OnceLock<AnalysisMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let bundle = fractal_telemetry::Telemetry::global();
+        AnalysisMetrics {
+            analysis_ns: bundle.histogram("fractal_vm_analysis_ns"),
+            proven_ops: bundle.counter("fractal_vm_analysis_proven_ops_total"),
+            lints: bundle.counter("fractal_vm_analysis_lints_total"),
+        }
+    })
+}
+
 /// Runs abstract interpretation over every function of a structurally
 /// verified module. Returns the proof object, or the first admission error.
 ///
@@ -783,6 +977,8 @@ pub fn analyze_module(
     module: &Module,
     policy: &SandboxPolicy,
 ) -> Result<ModuleAnalysis, VerifyError> {
+    let started_ns =
+        fractal_telemetry::enabled().then(|| fractal_telemetry::Telemetry::global().now_ns());
     let n = module.functions.len();
     let mut cfgs: Vec<FuncCfg> = module.functions.iter().map(build_cfg).collect();
     let sccs = call_sccs(module);
@@ -893,17 +1089,49 @@ pub fn analyze_module(
         }
     }
 
+    // --- value ranges (interval + known bits) ------------------------------
+    let mut all_ranges: Vec<Vec<InsnFacts>> = Vec::with_capacity(n);
+    let mut range_lints: Vec<Vec<Lint>> = Vec::with_capacity(n);
+    for (f, cfg) in cfgs.iter().enumerate() {
+        let outcome = range::flow_ranges(f, &module.functions[f], cfg, module, &exit_heights);
+        all_ranges.push(outcome.facts);
+        range_lints.push(outcome.lints);
+    }
+
     // --- lints -------------------------------------------------------------
     let mut all_lints: Vec<Vec<Lint>> = vec![Vec::new(); n];
     for (f, cfg) in cfgs.iter().enumerate() {
         collect_lints(f, cfg, exit_heights[f], &mut all_lints[f]);
+        all_lints[f].append(&mut range_lints[f]);
     }
 
     let stack_bound = shared_stack_bound(module, &cfgs, &max_heights, &sccs, policy);
 
+    // --- claims ledger ------------------------------------------------------
+    let mut claims = AnalysisClaims {
+        entry_min_fuel: (0..n).map(|f| ret_lb[f].min(halt_lb[f])).collect(),
+        required_hosts: own_hosts.iter().fold(0u8, |m, &h| m | h),
+        ..AnalysisClaims::default()
+    };
+    for (f, (cfg, facts)) in cfgs.iter().zip(&all_ranges).enumerate() {
+        for (insn, fact) in cfg.insns.iter().zip(facts) {
+            if fact.proven != 0 {
+                claims.proven_ops += 1;
+            }
+            if fact.proven != 0 || !fact.operands.is_empty() {
+                claims.sites.push(ClaimSite {
+                    func: f,
+                    at: insn.at,
+                    proven: fact.proven,
+                    operands: fact.operands.iter().map(|v| (v.lo, v.hi)).collect(),
+                });
+            }
+        }
+    }
+
     let mut functions = Vec::with_capacity(n);
     let mut module_min_fuel = 0u64;
-    for (f, (cfg, lints)) in cfgs.into_iter().zip(all_lints).enumerate() {
+    for (f, ((cfg, lints), ranges)) in cfgs.into_iter().zip(all_lints).zip(all_ranges).enumerate() {
         let min_fuel = ret_lb[f].min(halt_lb[f]);
         module_min_fuel = module_min_fuel.max(min_fuel);
         functions.push(FunctionAnalysis {
@@ -915,17 +1143,27 @@ pub fn analyze_module(
             own_hosts: own_hosts[f],
             reachable_hosts: reachable[f],
             lints,
+            ranges,
         });
     }
+    claims.module_min_fuel = module_min_fuel;
 
-    Ok(ModuleAnalysis { functions, module_min_fuel, stack_bound })
+    if let Some(t0) = started_ns {
+        let m = analysis_metrics();
+        m.analysis_ns.record(fractal_telemetry::Telemetry::global().now_ns().saturating_sub(t0));
+        m.proven_ops.add(claims.proven_ops as u64);
+        m.lints.add(functions.iter().map(|f| f.lints.len() as u64).sum());
+    }
+
+    Ok(ModuleAnalysis { functions, module_min_fuel, stack_bound, claims })
 }
 
 fn calls_self(cfg: &FuncCfg, f: usize) -> bool {
     cfg.insns.iter().any(|i| matches!(i.op, Op::Call(c) if c as usize == f))
 }
 
-/// Predecodes one verified, analyzed function into fast-path form.
+/// Predecodes one verified, analyzed function into fast-path form,
+/// spending range-pass proofs on unchecked op variants.
 fn predecode(func: &Function, fa: &FunctionAnalysis) -> Vec<FastOp> {
     let mut index_of = vec![u32::MAX; func.code.len() + 1];
     for (i, insn) in fa.insns.iter().enumerate() {
@@ -933,8 +1171,31 @@ fn predecode(func: &Function, fa: &FunctionAnalysis) -> Vec<FastOp> {
     }
     fa.insns
         .iter()
-        .map(|insn| {
+        .enumerate()
+        .map(|(i, insn)| {
             let target = |rel: i32| index_of[(insn.next as i64 + rel as i64) as usize];
+            let proven = fa.ranges.get(i).map(|f| f.proven).unwrap_or(0);
+            let div_safe = |k: BinKind, need: u8| {
+                if proven & need == need {
+                    FastOp::BinNz(k)
+                } else {
+                    FastOp::Bin(k)
+                }
+            };
+            let load = |w: u8| {
+                if proven & proven::MEM_IN_BOUNDS != 0 {
+                    FastOp::LoadF(w)
+                } else {
+                    FastOp::Load(w)
+                }
+            };
+            let store = |w: u8| {
+                if proven & proven::MEM_IN_BOUNDS != 0 {
+                    FastOp::StoreF(w)
+                } else {
+                    FastOp::Store(w)
+                }
+            };
             match insn.op {
                 Op::Halt => FastOp::Halt,
                 Op::Nop => FastOp::Nop,
@@ -957,9 +1218,9 @@ fn predecode(func: &Function, fa: &FunctionAnalysis) -> Vec<FastOp> {
                 Op::Add => FastOp::Bin(BinKind::Add),
                 Op::Sub => FastOp::Bin(BinKind::Sub),
                 Op::Mul => FastOp::Bin(BinKind::Mul),
-                Op::DivU => FastOp::Bin(BinKind::DivU),
-                Op::DivS => FastOp::Bin(BinKind::DivS),
-                Op::RemU => FastOp::Bin(BinKind::RemU),
+                Op::DivU => div_safe(BinKind::DivU, proven::DIV_NONZERO),
+                Op::DivS => div_safe(BinKind::DivS, proven::DIV_NONZERO | proven::DIV_NO_OVERFLOW),
+                Op::RemU => div_safe(BinKind::RemU, proven::DIV_NONZERO),
                 Op::And => FastOp::Bin(BinKind::And),
                 Op::Or => FastOp::Bin(BinKind::Or),
                 Op::Xor => FastOp::Bin(BinKind::Xor),
@@ -975,14 +1236,14 @@ fn predecode(func: &Function, fa: &FunctionAnalysis) -> Vec<FastOp> {
                 Op::LeU => FastOp::Bin(BinKind::LeU),
                 Op::GeU => FastOp::Bin(BinKind::GeU),
                 Op::Eqz => FastOp::Eqz,
-                Op::Load8 => FastOp::Load(1),
-                Op::Load16 => FastOp::Load(2),
-                Op::Load32 => FastOp::Load(4),
-                Op::Load64 => FastOp::Load(8),
-                Op::Store8 => FastOp::Store(1),
-                Op::Store16 => FastOp::Store(2),
-                Op::Store32 => FastOp::Store(4),
-                Op::Store64 => FastOp::Store(8),
+                Op::Load8 => load(1),
+                Op::Load16 => load(2),
+                Op::Load32 => load(4),
+                Op::Load64 => load(8),
+                Op::Store8 => store(1),
+                Op::Store16 => store(2),
+                Op::Store32 => store(4),
+                Op::Store64 => store(8),
                 Op::MemCopy => FastOp::MemCopy,
                 Op::MemFill => FastOp::MemFill,
                 Op::LzCopy => FastOp::LzCopy,
@@ -1457,6 +1718,68 @@ mod tests {
             );
             assert!(a.module_min_fuel < policy.max_fuel, "{name}");
         }
+    }
+
+    /// The call-graph fuel fixpoint must hit its round cap ([`FUEL_ROUNDS`])
+    /// gracefully: terminate, and claim only *sound* (under-approximate)
+    /// lower bounds — never panic, spin, or overclaim.
+    #[test]
+    fn fuel_fixpoint_cap_is_graceful_and_sound() {
+        // Case 1: guaranteed cap-hit. Self-recursion with no base case
+        // makes the bound grow every round, so only the round cap stops
+        // the fixpoint. The capped value is a legitimate lower bound (the
+        // entry can never complete, so any claim is sound), and a run
+        // traps without audit violations.
+        let src = r#"
+            .memory 1
+            .func spin args=0 locals=0
+                call spin
+                ret
+        "#;
+        let m = assemble(src).unwrap();
+        verify_module(&m).unwrap();
+        let policy = SandboxPolicy::default();
+        let a = analyze_module(&m, &policy).unwrap();
+        let claimed = a.claims.entry_min_fuel[0];
+        assert!(claimed > BASE_COST, "cap should still have grown the bound: {claimed}");
+        let analyzed = m.analyzed(&policy).unwrap();
+        let mut machine = Machine::new_audited(analyzed, SandboxPolicy::default()).unwrap();
+        assert!(machine.call("spin", &[]).is_err(), "unbounded recursion must trap");
+        assert!(machine.audit_violations().is_empty(), "{:?}", machine.audit_violations());
+
+        // Case 2: a 20-function mutually recursive ring where only f0 has
+        // a base case. Full convergence for f1 needs the base-case cost to
+        // propagate through every hop of the cycle — more rounds than the
+        // cap in at least one sweep order. Whatever the cap leaves must
+        // under-approximate the true minimum (5 fuel per hop × 19 hops +
+        // 5 for f0's base path = 100) and hold at run time.
+        const N: usize = 20;
+        let mut src = String::from(".memory 1\n");
+        src.push_str(
+            ".func f0 args=1 locals=0\n    local.get 0\n    eqz\n    jmpif base\n    \
+             local.get 0\n    push 1\n    sub\n    call f1\n    ret\nbase:\n    push 77\n    \
+             ret\n",
+        );
+        for i in 1..N {
+            let next = (i + 1) % N;
+            src.push_str(&format!(
+                ".func f{i} args=1 locals=0\n    local.get 0\n    push 1\n    sub\n    \
+                 call f{next}\n    ret\n"
+            ));
+        }
+        let m = assemble(&src).unwrap();
+        verify_module(&m).unwrap();
+        let a = analyze_module(&m, &policy).unwrap();
+        let claimed = a.claims.entry_min_fuel[1];
+        assert!(claimed > BASE_COST, "ring bound should exceed the floor: {claimed}");
+        assert!(claimed <= 100, "ring bound overclaims the true minimum: {claimed}");
+        // Run f1 all the way around the ring; the auditor cross-checks the
+        // observed fuel against the claim.
+        let analyzed = m.analyzed(&policy).unwrap();
+        let mut machine = Machine::new_audited(analyzed, SandboxPolicy::default()).unwrap();
+        assert_eq!(machine.call("f1", &[19]), Ok(77));
+        assert!(machine.fuel_used() >= claimed, "{} < {claimed}", machine.fuel_used());
+        assert!(machine.audit_violations().is_empty(), "{:?}", machine.audit_violations());
     }
 
     #[test]

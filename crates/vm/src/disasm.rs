@@ -7,7 +7,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::analysis::{FunctionAnalysis, ModuleAnalysis};
+use crate::analysis::{FunctionAnalysis, LintConfig, LintLevel, ModuleAnalysis};
 use crate::bytecode::Op;
 use crate::error::ModuleError;
 use crate::host::HostId;
@@ -56,6 +56,43 @@ pub fn disassemble_annotated(
     Ok(out)
 }
 
+/// Renders a capability bitmask as comma-separated host mnemonics
+/// (`"-"` when empty).
+fn host_mask_names(mask: u8) -> String {
+    let names: Vec<&str> = (0u8..8)
+        .filter(|id| mask & (1 << id) != 0)
+        .filter_map(HostId::from_id)
+        .map(|h| h.mnemonic())
+        .collect();
+    if names.is_empty() {
+        "-".to_string()
+    } else {
+        names.join(",")
+    }
+}
+
+/// Renders a `proven` fact bitmask as `+`-joined short names.
+fn proven_names(p: u8) -> String {
+    use crate::analysis::proven;
+    let mut names = Vec::new();
+    if p & proven::DIV_NONZERO != 0 {
+        names.push("nz");
+    }
+    if p & proven::DIV_NO_OVERFLOW != 0 {
+        names.push("novf");
+    }
+    if p & proven::SHIFT_IN_RANGE != 0 {
+        names.push("shift");
+    }
+    if p & proven::MEM_IN_BOUNDS != 0 {
+        names.push("bounds");
+    }
+    if p & proven::HOST_ARGS_OK != 0 {
+        names.push("hostok");
+    }
+    names.join("+")
+}
+
 fn disassemble_function(
     module: &Module,
     _idx: usize,
@@ -85,12 +122,17 @@ fn disassemble_function(
         };
         let fuel =
             if fa.min_fuel == u64::MAX { "inf".to_string() } else { format!("{}", fa.min_fuel) };
+        let hosts = host_mask_names(fa.reachable_hosts);
         out.push_str(&format!(
-            "    ; max_height={} exit={} min_fuel={}\n",
-            fa.max_height, exit, fuel
+            "    ; max_height={} exit={} min_fuel={} hosts={}\n",
+            fa.max_height, exit, fuel, hosts
         ));
+        let config = LintConfig::default();
         for lint in &fa.lints {
-            out.push_str(&format!("    ; lint: {lint}\n"));
+            match config.level_for(lint) {
+                LintLevel::Allow => {}
+                level => out.push_str(&format!("    ; lint[{level}]: {lint}\n")),
+            }
         }
     }
     let mut insn_idx = 0usize;
@@ -172,7 +214,22 @@ fn disassemble_function(
         if let Some(fa) = fa {
             let pad = 24usize.saturating_sub(line.len()).max(1);
             match fa.insns.get(insn_idx).and_then(|i| i.height) {
-                Some(h) => out.push_str(&format!("{:pad$}; h={h}", "")),
+                Some(h) => {
+                    out.push_str(&format!("{:pad$}; h={h}", ""));
+                    // Range-pass facts, when the pass had anything to say:
+                    // discharged checks and claimed operand intervals (top
+                    // of stack first).
+                    if let Some(facts) = fa.ranges.get(insn_idx) {
+                        if facts.proven != 0 {
+                            out.push_str(&format!(" proven={}", proven_names(facts.proven)));
+                        }
+                        if !facts.operands.is_empty() {
+                            let ops: Vec<String> =
+                                facts.operands.iter().map(|v| v.to_string()).collect();
+                            out.push_str(&format!(" stack={}", ops.join(",")));
+                        }
+                    }
+                }
                 None => out.push_str(&format!("{:pad$}; unreachable", "")),
             }
         }
@@ -274,21 +331,50 @@ mod pad_round_trips {
     use super::*;
     use crate::asm::assemble;
 
-    /// Every shipped PAD source survives the full tool round trip. Uses
-    /// the sources via include_str! to avoid a dependency cycle with
-    /// fractal-pads.
+    /// All six shipped PAD sources, via include_str! to avoid a dependency
+    /// cycle with fractal-pads.
+    const SHIPPED: [(&str, &str); 6] = [
+        ("direct", include_str!("../../pads/fasm/direct.fasm")),
+        ("gzip", include_str!("../../pads/fasm/gzip.fasm")),
+        ("bitmap", include_str!("../../pads/fasm/bitmap.fasm")),
+        ("recipe", include_str!("../../pads/fasm/recipe.fasm")),
+        ("deflate", include_str!("../../pads/fasm/deflate.fasm")),
+        ("signatures", include_str!("../../pads/fasm/signatures.fasm")),
+    ];
+
+    /// Every shipped PAD source survives the full tool round trip to
+    /// byte-identical bytecode, data segments, and memory declaration.
     #[test]
     fn shipped_pad_sources_round_trip() {
-        for (name, src) in [
-            ("direct", include_str!("../../pads/fasm/direct.fasm")),
-            ("gzip", include_str!("../../pads/fasm/gzip.fasm")),
-            ("bitmap", include_str!("../../pads/fasm/bitmap.fasm")),
-            ("recipe", include_str!("../../pads/fasm/recipe.fasm")),
-            ("deflate", include_str!("../../pads/fasm/deflate.fasm")),
-        ] {
+        for (name, src) in SHIPPED {
             let m1 = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
             let text = disassemble(&m1).unwrap();
             let m2 = assemble(&text).unwrap_or_else(|e| panic!("{name} reassemble: {e}"));
+            assert_eq!(m1.mem_pages, m2.mem_pages, "{name}");
+            assert_eq!(m1.data, m2.data, "{name}");
+            assert_eq!(m1.functions.len(), m2.functions.len(), "{name}");
+            for (a, b) in m1.functions.iter().zip(&m2.functions) {
+                assert_eq!((a.n_args, a.n_locals), (b.n_args, b.n_locals), "{name}::{}", a.name);
+                assert_eq!(a.code, b.code, "{name}::{}", a.name);
+            }
+        }
+    }
+
+    /// The annotated (fasmlint) rendering stays assembler-compatible: its
+    /// comments are ignored on re-assembly and the bytecode round-trips.
+    #[test]
+    fn shipped_pads_annotated_round_trip() {
+        use crate::analysis::analyze_module;
+        use crate::sandbox::SandboxPolicy;
+        use crate::verify::verify_module;
+
+        for (name, src) in SHIPPED {
+            let m1 = assemble(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            verify_module(&m1).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let analysis = analyze_module(&m1, &SandboxPolicy::for_pads())
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let text = disassemble_annotated(&m1, &analysis).unwrap();
+            let m2 = assemble(&text).unwrap_or_else(|e| panic!("{name} reassemble: {e}\n{text}"));
             for (a, b) in m1.functions.iter().zip(&m2.functions) {
                 assert_eq!(a.code, b.code, "{name}::{}", a.name);
             }

@@ -306,3 +306,86 @@ impl core::fmt::Display for Trap {
 }
 
 impl std::error::Error for Trap {}
+
+/// A claim the analyzer made that observed execution contradicted.
+///
+/// These are **analyzer soundness bugs**, not module bugs: the module did
+/// something the static analysis claimed impossible. The claims auditor
+/// ([`crate::machine::Machine::new_audited`]) collects them during checked
+/// execution; the differential harness asserts none are ever produced.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AuditViolation {
+    /// A successful entry call consumed less fuel than the claimed lower
+    /// bound.
+    FuelBelowClaim {
+        /// Entry function index.
+        func: usize,
+        /// The analyzer's claimed minimum.
+        claimed: u64,
+        /// Fuel the call actually consumed.
+        observed: u64,
+    },
+    /// An entry claimed infeasible (`min_fuel = u64::MAX`) completed
+    /// successfully.
+    InfeasibleEntryCompleted {
+        /// Entry function index.
+        func: usize,
+    },
+    /// A host intrinsic outside the claimed capability set executed.
+    UnclaimedHostCall {
+        /// The intrinsic id observed.
+        id: u8,
+    },
+    /// An audited operand fell outside its claimed interval.
+    ValueOutsideInterval {
+        /// Function index.
+        func: usize,
+        /// Byte offset of the instruction.
+        at: usize,
+        /// Operand position (0 = top of stack).
+        operand: usize,
+        /// The value observed.
+        value: i64,
+        /// Claimed interval low bound.
+        lo: i64,
+        /// Claimed interval high bound.
+        hi: i64,
+    },
+    /// A proven-safe fact did not hold (e.g. a "never zero" divisor was
+    /// zero, a "in bounds" access was out of bounds).
+    ProvenFactViolated {
+        /// Function index.
+        func: usize,
+        /// Byte offset of the instruction.
+        at: usize,
+        /// Which fact failed, as a stable short name.
+        fact: &'static str,
+        /// The offending value (divisor, shift amount, or address).
+        value: i64,
+    },
+}
+
+impl core::fmt::Display for AuditViolation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AuditViolation::FuelBelowClaim { func, claimed, observed } => {
+                write!(f, "fn {func}: claimed min fuel {claimed}, observed {observed}")
+            }
+            AuditViolation::InfeasibleEntryCompleted { func } => {
+                write!(f, "fn {func}: claimed infeasible but completed")
+            }
+            AuditViolation::UnclaimedHostCall { id } => {
+                write!(f, "host intrinsic {id} executed outside the claimed capability set")
+            }
+            AuditViolation::ValueOutsideInterval { func, at, operand, value, lo, hi } => {
+                write!(
+                    f,
+                    "fn {func}@{at}: operand {operand} = {value} outside claimed [{lo}, {hi}]"
+                )
+            }
+            AuditViolation::ProvenFactViolated { func, at, fact, value } => {
+                write!(f, "fn {func}@{at}: proven fact {fact} violated by value {value}")
+            }
+        }
+    }
+}

@@ -47,11 +47,14 @@ pub mod module;
 pub mod sandbox;
 pub mod verify;
 
-pub use analysis::{analyze_module, AnalyzedModule, Lint, ModuleAnalysis};
+pub use analysis::{
+    analyze_module, proven, AbsVal, AnalysisClaims, AnalyzedModule, ClaimSite, InsnFacts, Lint,
+    LintConfig, LintLevel, ModuleAnalysis,
+};
 pub use asm::assemble;
 pub use bytecode::Op;
 pub use disasm::{disassemble, disassemble_annotated};
-pub use error::{AsmError, ModuleError, Trap, VerifyError};
+pub use error::{AsmError, AuditViolation, ModuleError, Trap, VerifyError};
 pub use host::HostId;
 pub use machine::Machine;
 pub use module::{Function, Module, SignedModule};

@@ -12,9 +12,9 @@
 
 use fractal_crypto::sha1::Sha1;
 
-use crate::analysis::{AnalyzedModule, BinKind, FastOp};
+use crate::analysis::{proven, AnalysisClaims, AnalyzedModule, BinKind, FastOp};
 use crate::bytecode::Op;
-use crate::error::Trap;
+use crate::error::{AuditViolation, Trap};
 use crate::host::{weak_sum, HostId};
 use crate::module::Module;
 use crate::sandbox::SandboxPolicy;
@@ -34,6 +34,8 @@ struct VmMetrics {
     fuel_consumed: fractal_telemetry::Counter,
     calls_fast: fractal_telemetry::Counter,
     calls_checked: fractal_telemetry::Counter,
+    claims_audited: fractal_telemetry::Counter,
+    audit_violations: fractal_telemetry::Counter,
 }
 
 fn vm_metrics() -> &'static VmMetrics {
@@ -45,8 +47,40 @@ fn vm_metrics() -> &'static VmMetrics {
             fuel_consumed: bundle.counter("fractal_vm_fuel_consumed_total"),
             calls_fast: bundle.counter("fractal_vm_calls_fast_total"),
             calls_checked: bundle.counter("fractal_vm_calls_checked_total"),
+            claims_audited: bundle.counter("fractal_vm_claims_audited_total"),
+            audit_violations: bundle.counter("fractal_vm_audit_violations_total"),
         }
     })
+}
+
+/// Keep at most this many violations; the first few are what matter for
+/// diagnosing an unsound pass, and an adversarial module should not be able
+/// to grow the report without bound.
+const MAX_AUDIT_VIOLATIONS: usize = 64;
+
+/// The analyzer's claims for one program point, rekeyed for O(1) lookup
+/// during the audit hook.
+struct AuditSite {
+    proven: u8,
+    /// Claimed operand intervals, top of stack first.
+    operands: Vec<(i64, i64)>,
+}
+
+/// Claims-auditor state: everything the analyzer promised about this
+/// module, plus what checked execution has observed so far.
+struct AuditState {
+    claims: AnalysisClaims,
+    sites: std::collections::HashMap<(usize, usize), AuditSite>,
+    audited: u64,
+    violations: Vec<AuditViolation>,
+}
+
+impl AuditState {
+    fn record(&mut self, v: AuditViolation) {
+        if self.violations.len() < MAX_AUDIT_VIOLATIONS {
+            self.violations.push(v);
+        }
+    }
 }
 
 /// One call frame.
@@ -74,6 +108,9 @@ pub struct Machine {
     /// Predecoded code when the abstract interpreter proved the per-op
     /// stack checks redundant (see [`AnalyzedModule`]).
     fast: Option<Vec<Vec<FastOp>>>,
+    /// Claims-auditor state; present only on machines built with
+    /// [`Machine::new_audited`]. Boxed to keep the common case small.
+    audit: Option<Box<AuditState>>,
 }
 
 impl core::fmt::Debug for Machine {
@@ -111,6 +148,7 @@ impl Machine {
             fuel_used_total: 0,
             log: Vec::new(),
             fast: None,
+            audit: None,
         })
     }
 
@@ -129,9 +167,50 @@ impl Machine {
         Ok(machine)
     }
 
+    /// Instantiates an analyzed module in **claims-auditor** mode: the
+    /// checked interpreter runs as usual, and additionally asserts every
+    /// claim the analyzer made against observed reality — operand values
+    /// inside predicted intervals, proven-safe facts actually holding,
+    /// host calls inside the claimed capability set, and (on successful
+    /// entry calls) fuel consumption at least the claimed lower bound.
+    ///
+    /// Discrepancies are **analyzer soundness bugs**; they are collected
+    /// (capped) in [`Machine::audit_violations`] rather than trapping, so a
+    /// differential harness can compare full executions.
+    pub fn new_audited(analyzed: AnalyzedModule, policy: SandboxPolicy) -> Result<Machine, Trap> {
+        let AnalyzedModule { module, analysis, fast: _ } = analyzed;
+        let mut machine = Machine::new(module, policy)?;
+        let mut sites = std::collections::HashMap::new();
+        for s in &analysis.claims.sites {
+            sites.insert(
+                (s.func, s.at),
+                AuditSite { proven: s.proven, operands: s.operands.clone() },
+            );
+        }
+        machine.audit = Some(Box::new(AuditState {
+            claims: analysis.claims,
+            sites,
+            audited: 0,
+            violations: Vec::new(),
+        }));
+        Ok(machine)
+    }
+
     /// Whether this instance runs the predecoded fast path.
     pub fn is_fast_path(&self) -> bool {
         self.fast.is_some()
+    }
+
+    /// How many analyzer claims the auditor has checked so far (0 when the
+    /// machine was not built with [`Machine::new_audited`]).
+    pub fn claims_audited(&self) -> u64 {
+        self.audit.as_ref().map_or(0, |a| a.audited)
+    }
+
+    /// Claim violations observed by the auditor: every entry is a bug in
+    /// the static analysis, not in the module.
+    pub fn audit_violations(&self) -> &[AuditViolation] {
+        self.audit.as_ref().map_or(&[][..], |a| &a.violations)
     }
 
     /// Linear memory size in bytes.
@@ -198,10 +277,29 @@ impl Machine {
         self.locals.extend(std::iter::repeat_n(0, decl.n_locals as usize));
         self.frames.push(Frame { func, pc: 0, locals_base });
         let fuel_before = self.fuel_used_total;
+        let (audited_before, violations_before) = match &self.audit {
+            Some(a) => (a.audited, a.violations.len()),
+            None => (0, 0),
+        };
         let result = if self.fast.is_some() { self.run_fast() } else { self.run() };
         if result.is_err() {
             // Leave state consistent for inspection but do not allow resume.
             self.frames.clear();
+        }
+        // Fuel lower bounds are claimed for *successful* completions only:
+        // a trap can legitimately cut a run short of the static minimum.
+        if result.is_ok() {
+            if let Some(audit) = self.audit.as_mut() {
+                if let Some(&claimed) = audit.claims.entry_min_fuel.get(func) {
+                    audit.audited += 1;
+                    let observed = self.fuel_used_total - fuel_before;
+                    if claimed == u64::MAX {
+                        audit.record(AuditViolation::InfeasibleEntryCompleted { func });
+                    } else if observed < claimed {
+                        audit.record(AuditViolation::FuelBelowClaim { func, claimed, observed });
+                    }
+                }
+            }
         }
         // `enabled()` is const: the whole block folds away in builds
         // without the telemetry feature.
@@ -212,6 +310,10 @@ impl Machine {
                 m.calls_fast.inc();
             } else {
                 m.calls_checked.inc();
+            }
+            if let Some(a) = &self.audit {
+                m.claims_audited.add(a.audited - audited_before);
+                m.audit_violations.add((a.violations.len() - violations_before) as u64);
             }
         }
         result
@@ -295,6 +397,11 @@ impl Machine {
                 continue;
             }
             let (op, next) = Op::decode(code, pc).map_err(|_| Trap::Wedged)?;
+            if self.audit.is_some() {
+                // Audit *before* dispatch, while the operands the analyzer
+                // reasoned about are still on the stack.
+                self.audit_check(func, pc, &op);
+            }
             self.frames.last_mut().expect("frame").pc = next;
             self.charge(1)?;
 
@@ -482,6 +589,124 @@ impl Machine {
         }
     }
 
+    /// The claims-auditor hook: runs before dispatch of every checked-loop
+    /// instruction and compares the analyzer's per-site claims against the
+    /// live operand stack. Never alters execution — violations are
+    /// collected for the embedding to inspect.
+    fn audit_check(&mut self, func: usize, at: usize, op: &Op) {
+        // Take the state out so `self` stays freely borrowable below.
+        let Some(mut audit) = self.audit.take() else { return };
+        let n = self.stack.len();
+        let peek = |i: usize| -> Option<i64> { n.checked_sub(1 + i).map(|s| self.stack[s]) };
+
+        if let Op::HostCall(id) = *op {
+            audit.audited += 1;
+            if id >= 8 || audit.claims.required_hosts & (1u8 << id) == 0 {
+                audit.record(AuditViolation::UnclaimedHostCall { id });
+            }
+        }
+
+        // Violations found at this site; kept local so `site` (borrowed from
+        // `audit`) and the recorder don't alias. Empty in the common case,
+        // so no allocation.
+        let mut found: Vec<AuditViolation> = Vec::new();
+        let mut site_hit = false;
+        if let Some(site) = audit.sites.get(&(func, at)) {
+            site_hit = true;
+            for (i, &(lo, hi)) in site.operands.iter().enumerate() {
+                let Some(value) = peek(i) else { break };
+                if value < lo || value > hi {
+                    found.push(AuditViolation::ValueOutsideInterval {
+                        func,
+                        at,
+                        operand: i,
+                        value,
+                        lo,
+                        hi,
+                    });
+                }
+            }
+            let p = site.proven;
+            let mut fact_failed = |fact: &'static str, value: i64| {
+                found.push(AuditViolation::ProvenFactViolated { func, at, fact, value });
+            };
+            if p & proven::DIV_NONZERO != 0 {
+                if let Some(b) = peek(0) {
+                    if b == 0 {
+                        fact_failed("div_nonzero", b);
+                    }
+                }
+            }
+            if p & proven::DIV_NO_OVERFLOW != 0 {
+                if let (Some(b), Some(a)) = (peek(0), peek(1)) {
+                    if a == i64::MIN && b == -1 {
+                        fact_failed("div_no_overflow", a);
+                    }
+                }
+            }
+            if p & proven::SHIFT_IN_RANGE != 0 {
+                if let Some(b) = peek(0) {
+                    if !(0..=63).contains(&b) {
+                        fact_failed("shift_in_range", b);
+                    }
+                }
+            }
+            if p & (proven::MEM_IN_BOUNDS | proven::HOST_ARGS_OK) != 0 {
+                // Which (addr, len) pairs the fact promises are in bounds,
+                // derived from the operand layout of each op (top last in
+                // the listed pairs' source positions).
+                let ranges: &[(Option<i64>, Option<i64>)] = &match *op {
+                    Op::Load8 => [(peek(0), Some(1)), (None, None)],
+                    Op::Load16 => [(peek(0), Some(2)), (None, None)],
+                    Op::Load32 => [(peek(0), Some(4)), (None, None)],
+                    Op::Load64 => [(peek(0), Some(8)), (None, None)],
+                    Op::Store8 => [(peek(1), Some(1)), (None, None)],
+                    Op::Store16 => [(peek(1), Some(2)), (None, None)],
+                    Op::Store32 => [(peek(1), Some(4)), (None, None)],
+                    Op::Store64 => [(peek(1), Some(8)), (None, None)],
+                    // MemCopy/LzCopy pop len, src, dst.
+                    Op::MemCopy | Op::LzCopy => [(peek(1), peek(0)), (peek(2), peek(0))],
+                    // MemFill pops len, byte, dst.
+                    Op::MemFill => [(peek(2), peek(0)), (None, None)],
+                    Op::HostCall(id) => match HostId::from_id(id) {
+                        // Sha1 pops dst, len, src: hashes (src, len), writes
+                        // 20 bytes at dst.
+                        Some(HostId::Sha1) => [(peek(2), peek(1)), (peek(0), Some(20))],
+                        // Log pops len, ptr.
+                        Some(HostId::Log) => [(peek(1), peek(0)), (None, None)],
+                        // MemEq pops len, b, a.
+                        Some(HostId::MemEq) => [(peek(2), peek(0)), (peek(1), peek(0))],
+                        // WeakSum pops len, src.
+                        Some(HostId::WeakSum) => [(peek(1), peek(0)), (None, None)],
+                        _ => [(None, None), (None, None)],
+                    },
+                    _ => [(None, None), (None, None)],
+                };
+                for &(addr, len) in ranges {
+                    if let (Some(addr), Some(len)) = (addr, len) {
+                        if self.mem_range(addr, len).is_err() {
+                            fact_failed(
+                                if p & proven::HOST_ARGS_OK != 0 {
+                                    "host_args_ok"
+                                } else {
+                                    "mem_in_bounds"
+                                },
+                                addr,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        if site_hit {
+            audit.audited += 1;
+        }
+        for v in found {
+            audit.record(v);
+        }
+        self.audit = Some(audit);
+    }
+
     fn binop(&mut self, f: impl FnOnce(i64, i64) -> Result<i64, Trap>) -> Result<(), Trap> {
         let b = self.pop()?;
         let a = self.pop()?;
@@ -633,6 +858,25 @@ impl Machine {
                     let r = Self::eval_bin(k, a, b)?;
                     self.push_fast(r);
                 }
+                FastOp::BinNz(k) => {
+                    // The range pass proved the divisor nonzero (and for
+                    // DivS, that MIN/-1 cannot occur): `checked_*` folds the
+                    // trap conditions into one branch, with `Wedged` as the
+                    // defensive fallback should the proof ever be wrong.
+                    let b = self.pop_fast()?;
+                    let a = self.pop_fast()?;
+                    let r = match k {
+                        BinKind::DivU => {
+                            (a as u64).checked_div(b as u64).ok_or(Trap::Wedged)? as i64
+                        }
+                        BinKind::DivS => a.checked_div(b).ok_or(Trap::Wedged)?,
+                        BinKind::RemU => {
+                            (a as u64).checked_rem(b as u64).ok_or(Trap::Wedged)? as i64
+                        }
+                        _ => return Err(Trap::Wedged),
+                    };
+                    self.push_fast(r);
+                }
                 FastOp::Eqz => {
                     let v = self.pop_fast()?;
                     self.push_fast((v == 0) as i64);
@@ -646,6 +890,26 @@ impl Machine {
                     let v = self.pop_fast()?;
                     let a = self.pop_fast()?;
                     self.store(a, width as usize, v)?;
+                }
+                FastOp::LoadF(width) => {
+                    // Proven in bounds: skip the sign/overflow checks of
+                    // `mem_range` and go straight to a slice lookup
+                    // (`wrapping_add` keeps the index total; an inverted or
+                    // oversized range yields `None` → defensive `Wedged`).
+                    let addr = self.pop_fast()? as usize;
+                    let w = width as usize;
+                    let bytes = self.memory.get(addr..addr.wrapping_add(w)).ok_or(Trap::Wedged)?;
+                    let mut buf = [0u8; 8];
+                    buf[..w].copy_from_slice(bytes);
+                    self.push_fast(i64::from_le_bytes(buf));
+                }
+                FastOp::StoreF(width) => {
+                    let v = self.pop_fast()?;
+                    let addr = self.pop_fast()? as usize;
+                    let w = width as usize;
+                    let dst =
+                        self.memory.get_mut(addr..addr.wrapping_add(w)).ok_or(Trap::Wedged)?;
+                    dst.copy_from_slice(&v.to_le_bytes()[..w]);
                 }
                 FastOp::MemCopy => {
                     let len = self.pop_fast()?;

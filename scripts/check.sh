@@ -47,6 +47,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 step "cargo test -q (tier-1: root package)"
 cargo test -q
 
+# The shipped PADs must come out of the analyzer lint-clean: fasmlint
+# exits nonzero on any deny-level lint (certain divide-by-zero, certain
+# out-of-bounds, dead stores, ...). Runs in quick mode too — it is the
+# cheapest gate here and the one a hand-edited .fasm is most likely to
+# trip. Annotated disassembly lands in target/fasmlint for inspection.
+step "fasmlint (shipped PAD sources)"
+cargo run -q -p fractal-vm --bin fasmlint -- \
+    --quiet --out target/fasmlint crates/pads/fasm/*.fasm
+
 if [ "$QUICK" -eq 1 ]; then
     echo "All checks passed (--quick: skipped telemetry matrix + throughput smoke gate)."
     trap - EXIT
