@@ -7,17 +7,27 @@
 //! so `BENCH_throughput.json` and `BENCH_capacity.json` stay comparable
 //! across CI runs and laptops.
 
-/// Host and revision the benchmark ran on.
+/// Host and revision the benchmark ran on, plus the I/O configuration the
+/// numbers were measured under.
 pub struct BenchEnv {
     /// `available_parallelism` of the host (1 when unknown).
     pub host_cpus: usize,
     /// Git commit: `GITHUB_SHA` in CI, `git rev-parse HEAD` locally,
     /// `"unknown"` outside a checkout.
     pub git_sha: String,
+    /// Reactor shards driving the sessions (1 = the serial reactor).
+    pub reactor_shards: usize,
+    /// Transport the bytes crossed: `"loopback"` (in-memory ring),
+    /// `"simlink"` (simulated links), `"tcp-loopback"` (real kernel
+    /// sockets), or a combination.
+    pub transport: String,
 }
 
 impl BenchEnv {
-    /// Captures the current host and revision.
+    /// Captures the current host and revision. Defaults to the serial
+    /// single-shard reactor over the in-memory loopback transport; benches
+    /// that drive something else override via [`BenchEnv::with_shards`] /
+    /// [`BenchEnv::with_transport`].
     pub fn capture() -> BenchEnv {
         let host_cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
         let git_sha = std::env::var("GITHUB_SHA")
@@ -26,13 +36,29 @@ impl BenchEnv {
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty())
             .unwrap_or_else(|| "unknown".into());
-        BenchEnv { host_cpus, git_sha }
+        BenchEnv { host_cpus, git_sha, reactor_shards: 1, transport: "loopback".into() }
     }
 
-    /// The two provenance lines every `BENCH_*.json` carries, indented for
+    /// Stamps the number of reactor shards the bench drove.
+    pub fn with_shards(mut self, shards: usize) -> BenchEnv {
+        self.reactor_shards = shards;
+        self
+    }
+
+    /// Stamps the transport kind the session bytes crossed.
+    pub fn with_transport(mut self, transport: &str) -> BenchEnv {
+        self.transport = transport.into();
+        self
+    }
+
+    /// The provenance lines every `BENCH_*.json` carries, indented for
     /// the top-level object.
     pub fn json_fields(&self) -> String {
-        format!("  \"host_cpus\": {},\n  \"git_sha\": \"{}\",\n", self.host_cpus, self.git_sha)
+        format!(
+            "  \"host_cpus\": {},\n  \"git_sha\": \"{}\",\n  \"reactor_shards\": {},\n  \
+             \"transport\": \"{}\",\n",
+            self.host_cpus, self.git_sha, self.reactor_shards, self.transport
+        )
     }
 }
 
@@ -60,12 +86,22 @@ mod tests {
 
     #[test]
     fn json_fields_are_valid_object_members() {
-        let env = BenchEnv { host_cpus: 8, git_sha: "abc123".into() };
+        let env = BenchEnv::capture().with_shards(4).with_transport("tcp-loopback");
+        let env = BenchEnv { host_cpus: 8, git_sha: "abc123".into(), ..env };
         let fields = env.json_fields();
         assert!(fields.contains("\"host_cpus\": 8,"));
         assert!(fields.contains("\"git_sha\": \"abc123\","));
+        assert!(fields.contains("\"reactor_shards\": 4,"));
+        assert!(fields.contains("\"transport\": \"tcp-loopback\","));
         // Splices into `{\n<fields>...}` without breaking the object.
         let doc = format!("{{\n{fields}  \"bench\": \"x\"\n}}");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn capture_defaults_to_serial_loopback() {
+        let env = BenchEnv::capture();
+        assert_eq!(env.reactor_shards, 1);
+        assert_eq!(env.transport, "loopback");
     }
 }

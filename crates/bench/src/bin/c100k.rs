@@ -1,0 +1,290 @@
+//! c100k: thousands of *live kernel-socket* INP sessions at once.
+//!
+//! Every other bench moves bytes through in-memory rings or simulated
+//! links. This one answers the systems question those can't: does the
+//! event engine hold up against real `TcpStream`s — EAGAIN flag churn,
+//! short writes at the socket buffer, FIN ordering — at four-digit
+//! concurrency? The sweep drives the same session population through the
+//! [`ShardedReactor`] at 1/2/4/8 shards: one loopback acceptor deals
+//! connections round-robin to N reactor threads, each owning a private
+//! poll(2) poller and a private telemetry registry, all sharing the one
+//! `&self` proxy/server/PAD-repo trio.
+//!
+//! Checked invariants, every row:
+//!
+//! * **all sessions complete** — a quiet shard surfaces as a typed
+//!   [`InpError::Stalled`](fractal_core::error::InpError) naming the stuck
+//!   sessions, never a hang;
+//! * **peak in-flight = the full population** — admission finishes before
+//!   any shard pumps, so the concurrency claim is real, not pipelined;
+//! * **decision identity** — every session's negotiated PAD chain is
+//!   fingerprinted against the serial in-memory oracle (`proxy.negotiate`
+//!   per client environment, computed before any sockets exist);
+//! * **telemetry reconciliation** — each shard's registry must agree
+//!   exactly with its reactor report, and the merged snapshot with the
+//!   aggregate (when built with `--features telemetry`).
+//!
+//! Results land as the `"c100k"` section of `BENCH_throughput.json`
+//! (spliced in next to the thread-sweep results; `--smoke` skips the
+//! write and trims to a few hundred sessions on 2 shards — the CI gate).
+//!
+//! On a single-CPU host the shard sweep measures scheduling and dispatch
+//! overhead, not parallel speedup — N shard threads time-slicing one core
+//! can come out well below the serial row. The rows are still the point:
+//! every invariant above must hold at every shard count, and the
+//! latency/throughput numbers document what sharding costs when the
+//! hardware can't pay it back. Speedup claims need real cores.
+
+#[cfg(not(unix))]
+fn main() {
+    eprintln!("c100k needs a Unix host: the TCP transport rides on poll(2).");
+    std::process::exit(2);
+}
+
+#[cfg(unix)]
+fn main() {
+    imp::main()
+}
+
+#[cfg(unix)]
+mod imp {
+    use std::time::{Duration, Instant};
+
+    use fractal_bench::bench_env::BenchEnv;
+    use fractal_bench::fig9a::client_env;
+    use fractal_bench::report::{render_table, upsert_top_level};
+    use fractal_core::meta::PadMeta;
+    use fractal_core::reactor::{InpSession, PHASE_METRICS};
+    use fractal_core::server::AdaptiveContentMode;
+    use fractal_core::shard::ShardedReactor;
+    use fractal_core::sys::raise_nofile_limit;
+    use fractal_core::testbed::Testbed;
+    use fractal_telemetry::Snapshot;
+
+    /// Shard counts the full sweep drives.
+    const SHARD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+
+    /// Concurrent sessions in the full sweep (the "C100k direction"
+    /// floor from the acceptance bar: ≥ 5000 live sockets at once means
+    /// ≥ 10000 fds in the process).
+    const FULL_SESSIONS: usize = 5_000;
+
+    /// Concurrent sessions under `--smoke`.
+    const SMOKE_SESSIONS: usize = 256;
+
+    /// File descriptors beyond the session sockets (listener, stdio,
+    /// wakeup margins).
+    const FD_HEADROOM: u64 = 64;
+
+    /// Order-sensitive FNV fold over an adaptation decision (pad ids +
+    /// protocols) — the identity checked against the serial oracle.
+    fn fingerprint(pads: &[PadMeta]) -> u64 {
+        pads.iter().fold(0xcbf2_9ce4_8422_2325_u64, |h, p| {
+            (h ^ p.id.0 ^ ((p.protocol as u64) << 32)).wrapping_mul(0x100_0000_01b3)
+        })
+    }
+
+    struct Row {
+        shards: usize,
+        sessions_per_sec: f64,
+        /// Per-phase (p50 ns, p99 ns) in [`PHASE_METRICS`] order; `None`
+        /// when telemetry is compiled out.
+        phase_ns: Option<[(u64, u64); 5]>,
+        polls: u64,
+    }
+
+    /// Prints the merged per-phase latency distribution for one row.
+    fn print_phase_latencies(shards: usize, snap: &Snapshot) {
+        if !fractal_telemetry::enabled() {
+            return;
+        }
+        println!("  INP phase latency at {shards} shard(s) (merged over shards):");
+        for name in PHASE_METRICS {
+            if let Some(h) = snap.histograms.get(name) {
+                println!(
+                    "    {name:<36} p50 {:>12} ns   p99 {:>12} ns   n={}",
+                    h.quantile(0.50),
+                    h.quantile(0.99),
+                    h.count
+                );
+            }
+        }
+    }
+
+    /// The `"c100k"` JSON member spliced into `BENCH_throughput.json`.
+    fn section_json(n_sessions: usize, env: &BenchEnv, rows: &[Row], telem: &Snapshot) -> String {
+        let mut v = String::from("{\n");
+        v.push_str(&format!("    \"sessions\": {n_sessions},\n"));
+        v.push_str(&format!("    \"host_cpus\": {},\n", env.host_cpus));
+        v.push_str(&format!("    \"git_sha\": \"{}\",\n", env.git_sha));
+        v.push_str(&format!("    \"reactor_shards\": {},\n", env.reactor_shards));
+        v.push_str(&format!("    \"transport\": \"{}\",\n", env.transport));
+        v.push_str("    \"decisions_identical_with_serial_oracle\": true,\n");
+        v.push_str("    \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            let phases = match &r.phase_ns {
+                None => "null".to_string(),
+                Some(per) => {
+                    let members: Vec<String> = PHASE_METRICS
+                        .iter()
+                        .zip(per.iter())
+                        .map(|(name, &(p50, p99))| {
+                            let short = name.strip_prefix("fractal_inp_phase_ns_").unwrap_or(name);
+                            format!("\"{short}\": {{\"p50_ns\": {p50}, \"p99_ns\": {p99}}}")
+                        })
+                        .collect();
+                    format!("{{{}}}", members.join(", "))
+                }
+            };
+            v.push_str(&format!(
+                "      {{\"shards\": {}, \"sessions_per_sec\": {:.0}, \
+                 \"peak_in_flight\": {n_sessions}, \"polls\": {}, \"phase_ns\": {phases}}}{}\n",
+                r.shards,
+                r.sessions_per_sec,
+                r.polls,
+                if i + 1 < rows.len() { "," } else { "" }
+            ));
+        }
+        if telem.is_empty() {
+            v.push_str("    ],\n    \"telemetry\": null\n  }");
+        } else {
+            v.push_str(&format!("    ],\n    \"telemetry\": {}\n  }}", telem.to_json("    ")));
+        }
+        v
+    }
+
+    pub fn main() {
+        let smoke = std::env::args().any(|a| a == "--smoke");
+        let mut n_sessions = if smoke { SMOKE_SESSIONS } else { FULL_SESSIONS };
+        let sweep: &[usize] = if smoke { &SHARD_SWEEP[1..2] } else { &SHARD_SWEEP };
+        let stall_timeout = Duration::from_secs(if smoke { 10 } else { 30 });
+
+        // Each live session is two sockets (client end + service end).
+        // Raise the soft RLIMIT_NOFILE toward the hard cap; if the hard
+        // cap still can't hold the target population, shrink it instead
+        // of dying on EMFILE mid-accept.
+        let needed = 2 * n_sessions as u64 + FD_HEADROOM;
+        let in_force = raise_nofile_limit(needed).unwrap_or(needed);
+        if in_force < needed {
+            n_sessions = ((in_force - FD_HEADROOM) / 2) as usize;
+            println!("fd limit {in_force} < {needed}: scaling down to {n_sessions} sessions\n");
+        }
+
+        let env = BenchEnv::capture()
+            .with_shards(*sweep.iter().max().expect("sweep non-empty"))
+            .with_transport("tcp-loopback");
+        println!(
+            "c100k: {n_sessions} concurrent INP sessions over live loopback TCP, \
+             shard sweep {sweep:?} (host has {} cpu(s), rev {})\n",
+            env.host_cpus, env.git_sha
+        );
+
+        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let content_id = 0;
+        tb.server.publish(content_id, vec![5u8; 4_000]);
+        let tb = tb;
+
+        // Serial in-memory oracle: the proxy's direct decision for every
+        // client environment, computed before a single socket exists.
+        let oracle: Vec<u64> = (0..n_sessions)
+            .map(|i| fingerprint(&tb.proxy.negotiate(tb.app_id, client_env(i)).unwrap()))
+            .collect();
+
+        let mut rows: Vec<Row> = Vec::new();
+        let mut last_snapshot = Snapshot::default();
+        for &shards in sweep {
+            let sessions: Vec<InpSession> = (0..n_sessions)
+                .map(|i| {
+                    InpSession::new(tb.client_with_env(client_env(i)), tb.app_id, content_id, 0)
+                })
+                .collect();
+            // Cold proxy per row: rows measure the engine, not cache
+            // carry-over from the oracle or the previous shard count.
+            tb.proxy.clear_adaptation_state();
+
+            let reactor = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, shards)
+                .with_stall_timeout(stall_timeout);
+            let start = Instant::now();
+            let outcome = reactor.run(sessions).expect("no sharded session may stall");
+            let wall = start.elapsed().as_secs_f64();
+
+            let agg = outcome.aggregate_report();
+            assert_eq!(agg.completed, n_sessions, "every session must complete");
+            assert_eq!(agg.failed, 0, "no session may fail");
+            assert_eq!(
+                agg.peak_in_flight, n_sessions,
+                "all {n_sessions} sessions must be live at once (summed shard peaks)"
+            );
+            outcome.reconcile().expect("per-shard telemetry must reconcile with reports");
+
+            let merged = outcome.merged_snapshot();
+            print_phase_latencies(shards, &merged);
+            let phase_ns = fractal_telemetry::enabled().then(|| {
+                std::array::from_fn(|i| {
+                    let h = &merged.histograms[PHASE_METRICS[i]];
+                    (h.quantile(0.50), h.quantile(0.99))
+                })
+            });
+            last_snapshot = outcome.labeled_snapshot();
+
+            let decisions: Vec<u64> = outcome
+                .into_sessions()
+                .iter()
+                .map(|s| fingerprint(s.negotiated().expect("session negotiated")))
+                .collect();
+            assert_eq!(
+                decisions, oracle,
+                "socket-backed decisions diverged from the serial oracle at {shards} shards"
+            );
+
+            rows.push(Row {
+                shards,
+                sessions_per_sec: n_sessions as f64 / wall,
+                phase_ns,
+                polls: agg.polls,
+            });
+        }
+
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let (p50, p99) = match &r.phase_ns {
+                    // Sessioning is the longest phase — the headline pair.
+                    Some(per) => (format!("{}", per[4].0 / 1_000), format!("{}", per[4].1 / 1_000)),
+                    None => ("-".into(), "-".into()),
+                };
+                vec![
+                    r.shards.to_string(),
+                    format!("{:.0}", r.sessions_per_sec),
+                    p50,
+                    p99,
+                    r.polls.to_string(),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            render_table(&["shards", "sessions/s", "sessioning p50 µs", "p99 µs", "polls"], &table)
+        );
+        println!(
+            "\n{n_sessions} live-socket sessions per row, peak in-flight = {n_sessions} at every \
+             shard count; decisions identical with the serial oracle: yes"
+        );
+        if !fractal_telemetry::enabled() {
+            println!(
+                "(telemetry feature off: rebuild with --features telemetry for phase latency)"
+            );
+        }
+
+        if smoke {
+            println!("(--smoke: not writing BENCH_throughput.json)");
+            return;
+        }
+        let path = "BENCH_throughput.json";
+        let existing = std::fs::read_to_string(path).unwrap_or_default();
+        let section = section_json(n_sessions, &env, &rows, &last_snapshot);
+        std::fs::write(path, upsert_top_level(&existing, "c100k", &section))
+            .expect("write benchmark JSON");
+        println!("spliced \"c100k\" section into {path}");
+    }
+}

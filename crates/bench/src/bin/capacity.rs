@@ -36,7 +36,9 @@ fn main() {
          content and behind disqualifying Vary in Figure 10."
     );
 
-    let env = BenchEnv::capture();
+    // No bytes cross a wire here — the capacity knees come out of the
+    // server-side queueing model; the stamp says so explicitly.
+    let env = BenchEnv::capture().with_transport("queueing-model");
     let mut json = format!("{{\n  \"bench\": \"capacity\",\n{}  \"knees\": [\n", env.json_fields());
     for (i, (p, knee)) in knees.iter().enumerate() {
         json.push_str(&format!(

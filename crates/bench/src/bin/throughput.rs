@@ -21,8 +21,9 @@
 //!   [`SimLinkTransport`](fractal_core::transport::SimLinkTransport)
 //!   pairs at the LAN / WLAN / Bluetooth profiles: serialization time,
 //!   RTT, and bandwidth gate when bytes become readable, and the
-//!   per-link simulated negotiation/session times land as `"transport"`
-//!   rows in the JSON. Per-session wire clocks make those times a pure
+//!   per-link simulated negotiation/session times land as `"links"`
+//!   rows in the JSON (the top-level `"transport"` member is the
+//!   bench-env stamp naming the transport kind). Per-session wire clocks make those times a pure
 //!   function of each session's own traffic, so they are asserted
 //!   byte-identical across thread counts.
 //!
@@ -360,7 +361,7 @@ fn write_json(
             if i + 1 < rows.len() { "," } else { "" }
         ));
     }
-    out.push_str("  ],\n  \"transport\": [\n");
+    out.push_str("  ],\n  \"links\": [\n");
     for (i, t) in transport.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"link\": \"{}\", \"sessions\": {}, \"negotiation_ms\": {:.3}, \
@@ -386,7 +387,10 @@ fn main() {
         if smoke { (600, 4, 2, 2) } else { (200_000, 24, 6, 16) };
     let t_batches = if smoke { 1 } else { 4 };
     let sweep: &[usize] = if smoke { &THREAD_SWEEP[..2] } else { &THREAD_SWEEP };
-    let env = BenchEnv::capture();
+    // One work-stealing reactor per batch (no sharding here — the sharded
+    // TCP sweep is `--bin c100k`); bytes cross in-memory loopback rings
+    // plus the simulated-link pass.
+    let env = BenchEnv::capture().with_transport("loopback+simlink");
 
     println!(
         "Throughput: {n_neg} negotiations + {n_items}×{pages_per_item} warm sessions + \

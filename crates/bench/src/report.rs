@@ -1,4 +1,6 @@
-//! Plain-text table rendering for the figure binaries.
+//! Plain-text table rendering for the figure binaries, plus the textual
+//! JSON splicer that lets late-running benches add their section to an
+//! already-written `BENCH_*.json` without clobbering it.
 
 /// Renders an aligned table: header row plus data rows.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -46,6 +48,63 @@ pub fn kb(bytes: u64) -> String {
     format!("{:.1}", bytes as f64 / 1024.0)
 }
 
+/// Splices `"key": value` into the top level of the JSON object `doc`,
+/// replacing the member if one with that key already exists, appending it
+/// otherwise. An empty `doc` yields a fresh one-member object.
+///
+/// Purely textual on purpose — the bench crate has no JSON parser and the
+/// `BENCH_*.json` writers emit by hand. The scanner is string-aware
+/// (metric names carry `{shard="0"}` labels, braces and quotes inside
+/// string literals must not confuse it) and depth-aware, so members of
+/// any nesting survive round trips. Multi-line members keep their
+/// interior formatting; only the two-space top-level indent is
+/// normalized.
+pub fn upsert_top_level(doc: &str, key: &str, value: &str) -> String {
+    let trimmed = doc.trim();
+    let inner = if trimmed.is_empty() {
+        ""
+    } else {
+        assert!(
+            trimmed.starts_with('{') && trimmed.ends_with('}'),
+            "upsert_top_level: doc is not a JSON object"
+        );
+        &trimmed[1..trimmed.len() - 1]
+    };
+    // Split the object body at depth-0 commas outside string literals.
+    let mut members: Vec<String> = Vec::new();
+    let (mut depth, mut in_str, mut esc) = (0i32, false, false);
+    let mut start = 0usize;
+    for (i, c) in inner.char_indices() {
+        if esc {
+            esc = false;
+            continue;
+        }
+        match c {
+            '\\' if in_str => esc = true,
+            '"' => in_str = !in_str,
+            '{' | '[' if !in_str => depth += 1,
+            '}' | ']' if !in_str => depth -= 1,
+            ',' if !in_str && depth == 0 => {
+                members.push(inner[start..i].trim().to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    let tail = inner[start..].trim();
+    if !tail.is_empty() {
+        members.push(tail.to_string());
+    }
+    let needle = format!("\"{key}\"");
+    let entry = format!("{needle}: {}", value.trim());
+    match members.iter_mut().find(|m| m.starts_with(&needle)) {
+        Some(m) => *m = entry,
+        None => members.push(entry),
+    }
+    let body: Vec<String> = members.iter().map(|m| format!("  {m}")).collect();
+    format!("{{\n{}\n}}\n", body.join(",\n"))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +127,48 @@ mod tests {
         assert_eq!(ms(SimDuration::micros(1500)), "1.50");
         assert_eq!(secs(SimDuration::millis(2500)), "2.500");
         assert_eq!(kb(2048), "2.0");
+    }
+
+    #[test]
+    fn upsert_creates_a_fresh_object_from_nothing() {
+        let doc = upsert_top_level("", "c100k", "{\"sessions\": 5}");
+        assert_eq!(doc, "{\n  \"c100k\": {\"sessions\": 5}\n}\n");
+    }
+
+    #[test]
+    fn upsert_appends_without_disturbing_existing_members() {
+        let base = "{\n  \"bench\": \"throughput\",\n  \"rows\": [\n    {\"threads\": 1},\n    \
+                    {\"threads\": 2}\n  ]\n}\n";
+        let doc = upsert_top_level(base, "c100k", "{\"sessions\": 5000}");
+        assert!(doc.contains("\"bench\": \"throughput\""));
+        assert!(doc.contains("{\"threads\": 1},\n    {\"threads\": 2}"), "{doc}");
+        assert!(doc.ends_with("  \"c100k\": {\"sessions\": 5000}\n}\n"), "{doc}");
+    }
+
+    #[test]
+    fn upsert_replaces_an_existing_member_in_place() {
+        let v1 = upsert_top_level(
+            "{\n  \"a\": 1,\n  \"c100k\": {\"old\": true},\n  \"z\": 2\n}",
+            "c100k",
+            "{\"new\": 7}",
+        );
+        assert!(!v1.contains("old"));
+        // Replacement happens in member order, not at the end.
+        let c = v1.find("c100k").unwrap();
+        assert!(c < v1.find("\"z\"").unwrap(), "{v1}");
+        assert!(v1.contains("\"c100k\": {\"new\": 7}"), "{v1}");
+    }
+
+    #[test]
+    fn upsert_survives_braces_and_quotes_inside_strings() {
+        // Labeled metric names look like `name{shard="0"}` — the scanner
+        // must not treat their braces or quotes as structure.
+        let base = "{\n  \"telemetry\": {\"counters\": {\"x_total{shard=\\\"0\\\"}\": 3}}\n}";
+        let doc = upsert_top_level(base, "c100k", "{}");
+        assert!(doc.contains("x_total{shard=\\\"0\\\"}"));
+        assert_eq!(doc.matches("\"c100k\"").count(), 1);
+        let again = upsert_top_level(&doc, "c100k", "{\"v\": 2}");
+        assert_eq!(again.matches("\"c100k\"").count(), 1);
+        assert!(again.contains("\"c100k\": {\"v\": 2}"));
     }
 }

@@ -35,9 +35,16 @@
 //! * [`session`] — the end-to-end session runner over the simulated
 //!   network, producing the measurements behind Figures 9–11;
 //! * [`presets`] — the experimental platform of Figure 7 (Desktop/LAN,
-//!   Laptop/WLAN, PDA/Bluetooth) and the calibrated cost table.
+//!   Laptop/WLAN, PDA/Bluetooth) and the calibrated cost table;
+//! * [`sys`] — the narrow `poll(2)`/rlimit OS bindings behind the
+//!   socket-backed transport (the one module where `unsafe` is allowed);
+//! * [`shard`] — N independent reactors behind one TCP acceptor: the
+//!   C100k front-end driving live sockets via [`sys::Poller`] readiness.
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and re-allowed in exactly one module:
+// `sys`, the hand-rolled poll(2)/rlimit FFI (crates.io is offline, so
+// there is no libc/mio to lean on). Everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
@@ -54,6 +61,10 @@ pub mod reactor;
 pub mod search;
 pub mod server;
 pub mod session;
+#[cfg(unix)]
+pub mod shard;
+#[cfg(unix)]
+pub mod sys;
 pub mod testbed;
 pub mod transport;
 

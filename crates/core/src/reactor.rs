@@ -845,6 +845,67 @@ impl<'a> Reactor<'a> {
         Ok(())
     }
 
+    /// Re-queues `id` for [`poll`](Self::poll) if it is live and has
+    /// actionable work — how an external readiness driver (the sharded
+    /// TCP front-end) feeds kernel events back into the poll loop.
+    /// Idempotent per drain: an id already queued is not queued twice.
+    pub fn enqueue_ready(&mut self, id: SessionId) {
+        if !self.slots[id].session.phase().is_terminal()
+            && self.has_actionable_work(id)
+            && !self.ready.contains(&id)
+        {
+            self.ready.push_back(id);
+        }
+    }
+
+    /// Registers every live session's socket-backed ends with `poller`:
+    /// token `2·id` is the client end, `2·id + 1` the service end. Read
+    /// interest is unconditional; write interest only where frames are
+    /// queued (waking on an always-writable idle socket would busy-spin).
+    /// Ends without a file descriptor (in-memory transports) are skipped —
+    /// their readiness is intrinsic and [`poll`](Self::poll) sees it
+    /// directly.
+    #[cfg(unix)]
+    pub fn register_interest(&self, poller: &mut crate::sys::Poller) {
+        use crate::sys::Interest;
+        for (id, s) in self.slots.iter().enumerate() {
+            if s.session.phase().is_terminal() {
+                continue;
+            }
+            if let Some(fd) = s.client_end.raw_fd() {
+                let want_write = !s.client_tx.is_empty();
+                poller.register(
+                    fd,
+                    2 * id,
+                    if want_write { Interest::READ_WRITE } else { Interest::READ },
+                );
+            }
+            if let Some(fd) = s.service_end.raw_fd() {
+                let want_write = !s.service_tx.is_empty();
+                poller.register(
+                    fd,
+                    2 * id + 1,
+                    if want_write { Interest::READ_WRITE } else { Interest::READ },
+                );
+            }
+        }
+    }
+
+    /// Feeds one kernel readiness event (token scheme of
+    /// [`register_interest`](Self::register_interest)) into the matching
+    /// transport end and re-queues the session if that made it actionable.
+    #[cfg(unix)]
+    pub fn apply_event(&mut self, ev: &crate::sys::Event) {
+        let id = ev.token / 2;
+        let Some(s) = self.slots.get_mut(id) else { return };
+        if ev.token.is_multiple_of(2) {
+            s.client_end.set_ready(ev.readable, ev.writable);
+        } else {
+            s.service_end.set_ready(ev.readable, ev.writable);
+        }
+        self.enqueue_ready(id);
+    }
+
     /// Whether one more [`poll`](Self::poll) of `id` would make progress
     /// *right now*: pending frames with window to enter, readable bytes,
     /// or a complete (or known-bad) frame already buffered.
@@ -908,7 +969,14 @@ impl<'a> Reactor<'a> {
                 }
             }
         }
-        Ok(ReactorReport {
+        Ok(self.report())
+    }
+
+    /// The progress summary as of now — what [`run`](Self::run) returns on
+    /// completion, available to external drive loops (the sharded TCP
+    /// front-end) that pump via [`poll`](Self::poll) directly.
+    pub fn report(&self) -> ReactorReport {
+        ReactorReport {
             completed: self
                 .slots
                 .iter()
@@ -917,11 +985,14 @@ impl<'a> Reactor<'a> {
             failed: self.slots.iter().filter(|s| s.session.phase() == SessionPhase::Failed).count(),
             polls: self.polls,
             peak_in_flight: self.peak_in_flight,
-        })
+        }
     }
 
-    /// Builds the protocol-stuck diagnostic for every live session.
-    fn stall_report(&self) -> ReactorStalled {
+    /// Builds the protocol-stuck diagnostic for every live session —
+    /// public so external drive loops with their own quiescence detection
+    /// (kernel-poll timeouts instead of simulated clocks) report the same
+    /// typed stall as [`run`](Self::run).
+    pub fn stall_report(&self) -> ReactorStalled {
         let now = self.clock.now_ns();
         let stuck = self
             .slots

@@ -1,0 +1,503 @@
+//! Sharded reactors behind one TCP acceptor: the C100k front-end.
+//!
+//! One [`Reactor`] is single-threaded by design (its transport pairs and
+//! framers are not shared), so scaling past one core means *more
+//! reactors*, not a bigger one. [`ShardedReactor`] runs N of them behind a
+//! single loopback listener:
+//!
+//! * the **driver** (caller's thread) connects one nonblocking TCP stream
+//!   per session and registers it with the acceptor;
+//! * the **acceptor** thread matches each accepted stream to its
+//!   registered client end (by the connection's peer address — exact, not
+//!   heuristic: a loopback 4-tuple is unique) and deals complete
+//!   [`TcpTransport`] pairs round-robin across the shards;
+//! * each **shard** thread owns one `Reactor`, one
+//!   [`sys::Poller`](crate::sys::Poller), and its slice of the sessions.
+//!   It admits everything the acceptor deals it, then alternates "drain
+//!   the ready queue" with "sleep in `poll(2)` until the kernel marks a
+//!   registered socket ready" — sessions wake on readiness edges, never by
+//!   scanning.
+//!
+//! Acceptor-distributes was chosen over work-stealing deliberately: a
+//! session's sockets, framers, and send queues stay on one thread for
+//! their whole life, so shards share **nothing** mutable — they only read
+//! the `&self` proxy/server/PAD-repo trio, which is exactly the
+//! concurrency contract those services already honor (lock-striped and
+//! read-only respectively). Stealing would require every slot behind a
+//! lock for a rebalancing win that a round-robin deal of thousands of
+//! statistically identical sessions doesn't need.
+//!
+//! Each shard records into its **own** telemetry registry; the outcome
+//! merges them with [`Snapshot::merge`] and can
+//! [`reconcile`](ShardedOutcome::reconcile) the merged counters against
+//! the aggregate [`ReactorReport`] — the cross-check that per-shard
+//! accounting neither dropped nor double-counted a session.
+//!
+//! Stalls cannot rely on the simulated-clock protocol ([`Reactor::run`]'s
+//! device): a kernel socket has no `next_ready_at`. Instead a shard that
+//! sees no readiness for [`stall_timeout`](ShardedReactor::with_stall_timeout)
+//! while sessions are live returns the same typed
+//! [`ReactorStalled`](crate::reactor::ReactorStalled) diagnostic, so the
+//! CI smoke gate's `timeout` wrapper stays a deadlock detector of last
+//! resort, not the primary one.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fractal_telemetry::{MonotonicClock, Registry, Snapshot, Telemetry};
+
+use crate::error::InpError;
+use crate::proxy::AdaptationProxy;
+use crate::reactor::{InpSession, Reactor, ReactorReport};
+use crate::server::ApplicationServer;
+use crate::session::PadRepo;
+use crate::sys::{Interest, Poller};
+use crate::transport::{TcpTransport, TransportError, TransportPair};
+
+/// How long a shard sleeps per `poll(2)` call while waiting for readiness.
+/// Small enough that admission-close and stall detection stay responsive,
+/// large enough that an idle shard costs ~20 syscalls/s.
+const WAIT_SLICE: Duration = Duration::from_millis(50);
+
+/// Default consecutive-quiet time before a shard declares its live
+/// sessions protocol-stuck.
+const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn io_err(e: std::io::Error) -> InpError {
+    InpError::Transport(TransportError::Io(e.kind()))
+}
+
+/// One connection dealt to a shard: the session plus both socket ends.
+struct ShardItem {
+    gid: usize,
+    session: InpSession,
+    client: TcpTransport,
+    service: TcpTransport,
+}
+
+/// A session awaiting its accepted peer: `(client local addr, gid,
+/// session, client stream)`.
+type Registration = (SocketAddr, usize, InpSession, TcpStream);
+
+/// What one shard produced.
+#[derive(Debug)]
+pub struct ShardOutcome {
+    /// Shard index (deal order).
+    pub shard: usize,
+    /// The shard reactor's progress summary.
+    pub report: ReactorReport,
+    /// The shard's private telemetry registry, snapshotted at completion.
+    pub snapshot: Snapshot,
+    sessions: Vec<(usize, InpSession)>,
+}
+
+/// The combined result of a sharded run.
+#[derive(Debug)]
+pub struct ShardedOutcome {
+    /// Per-shard outcomes, indexed by shard.
+    pub shards: Vec<ShardOutcome>,
+}
+
+impl ShardedOutcome {
+    /// Sums the shard reports. `peak_in_flight` adds too: every shard held
+    /// its full deal live at once (admission completes before driving), so
+    /// the sum is the true process-wide concurrent-session peak.
+    pub fn aggregate_report(&self) -> ReactorReport {
+        let mut agg = ReactorReport { completed: 0, failed: 0, polls: 0, peak_in_flight: 0 };
+        for s in &self.shards {
+            agg.completed += s.report.completed;
+            agg.failed += s.report.failed;
+            agg.polls += s.report.polls;
+            agg.peak_in_flight += s.report.peak_in_flight;
+        }
+        agg
+    }
+
+    /// Folds every shard's registry into one snapshot
+    /// ([`Snapshot::merge`] is associative and commutative, so shard
+    /// order does not matter).
+    pub fn merged_snapshot(&self) -> Snapshot {
+        let mut merged = Snapshot::default();
+        for s in &self.shards {
+            merged.merge(&s.snapshot);
+        }
+        merged
+    }
+
+    /// The merged totals **plus** each shard's series under a
+    /// `{shard="i"}` label — one snapshot carrying both views, shaped for
+    /// embedding in `BENCH_*.json`.
+    pub fn labeled_snapshot(&self) -> Snapshot {
+        let mut out = self.merged_snapshot();
+        for s in &self.shards {
+            out.merge(&s.snapshot.labeled("shard", &s.shard.to_string()));
+        }
+        out
+    }
+
+    /// Cross-checks per-shard telemetry against per-shard reports, and the
+    /// merged snapshot against the aggregate report: `completed`/`failed`/
+    /// `polls` counters and the `peak_in_flight` gauge must match exactly,
+    /// shard by shard and in total. No-op `Ok` when the `telemetry`
+    /// feature is compiled out (the registries are then empty by design).
+    pub fn reconcile(&self) -> Result<(), String> {
+        if !fractal_telemetry::enabled() {
+            return Ok(());
+        }
+        let check = |snap: &Snapshot, report: &ReactorReport, who: &str| -> Result<(), String> {
+            let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+            let pairs = [
+                ("fractal_reactor_completed_total", report.completed as u64),
+                ("fractal_reactor_failed_total", report.failed as u64),
+                ("fractal_reactor_polls_total", report.polls),
+            ];
+            for (name, want) in pairs {
+                let got = counter(name);
+                if got != want {
+                    return Err(format!("{who}: {name} = {got}, report says {want}"));
+                }
+            }
+            let peak = snap.gauges.get("fractal_reactor_peak_in_flight").copied().unwrap_or(0);
+            if peak != report.peak_in_flight as i64 {
+                return Err(format!(
+                    "{who}: peak_in_flight gauge = {peak}, report says {}",
+                    report.peak_in_flight
+                ));
+            }
+            Ok(())
+        };
+        for s in &self.shards {
+            check(&s.snapshot, &s.report, &format!("shard {}", s.shard))?;
+        }
+        check(&self.merged_snapshot(), &self.aggregate_report(), "merged")
+    }
+
+    /// Every session, restored to the caller's original spawn order (the
+    /// round-robin deal is an implementation detail).
+    pub fn into_sessions(self) -> Vec<InpSession> {
+        let mut all: Vec<(usize, InpSession)> =
+            self.shards.into_iter().flat_map(|s| s.sessions).collect();
+        all.sort_by_key(|(gid, _)| *gid);
+        all.into_iter().map(|(_, s)| s).collect()
+    }
+}
+
+/// N reactors behind one loopback TCP acceptor, sharing the `&self`
+/// proxy/server/PAD-repo trio. See the module docs for the thread layout.
+pub struct ShardedReactor<'a> {
+    proxy: &'a AdaptationProxy,
+    server: &'a ApplicationServer,
+    pad_repo: &'a PadRepo,
+    shards: usize,
+    stall_timeout: Duration,
+}
+
+impl<'a> ShardedReactor<'a> {
+    /// A sharded front-end over `shards` reactors (must be ≥ 1).
+    pub fn new(
+        proxy: &'a AdaptationProxy,
+        server: &'a ApplicationServer,
+        pad_repo: &'a PadRepo,
+        shards: usize,
+    ) -> ShardedReactor<'a> {
+        assert!(shards > 0, "at least one shard");
+        ShardedReactor { proxy, server, pad_repo, shards, stall_timeout: DEFAULT_STALL_TIMEOUT }
+    }
+
+    /// Replaces the consecutive-quiet time after which a shard with live
+    /// sessions reports them stuck (default 5 s).
+    pub fn with_stall_timeout(mut self, stall_timeout: Duration) -> ShardedReactor<'a> {
+        self.stall_timeout = stall_timeout;
+        self
+    }
+
+    /// Runs every session to a terminal phase over live loopback TCP.
+    ///
+    /// Connects one socket per session, deals the accepted pairs
+    /// round-robin across the shards, drives all shards concurrently, and
+    /// returns the per-shard outcomes. A shard whose sessions go quiet
+    /// returns the typed stall; the first shard error wins (it is the root
+    /// cause — acceptor/driver failures that follow from it are
+    /// secondary).
+    pub fn run(&self, sessions: Vec<InpSession>) -> Result<ShardedOutcome, InpError> {
+        let total = sessions.len();
+        let listener = TcpListener::bind(("127.0.0.1", 0)).map_err(io_err)?;
+        listener.set_nonblocking(true).map_err(io_err)?;
+        let addr = listener.local_addr().map_err(io_err)?;
+
+        let (reg_tx, reg_rx) = mpsc::channel::<Registration>();
+        let mut shard_txs = Vec::with_capacity(self.shards);
+        let mut shard_rxs = Vec::with_capacity(self.shards);
+        for _ in 0..self.shards {
+            let (tx, rx) = mpsc::channel::<ShardItem>();
+            shard_txs.push(tx);
+            shard_rxs.push(rx);
+        }
+        let abort = AtomicBool::new(false);
+
+        std::thread::scope(|scope| {
+            let acceptor = scope.spawn(|| {
+                accept_and_deal(&listener, total, reg_rx, shard_txs, &abort, self.stall_timeout)
+            });
+            let shard_handles: Vec<_> = shard_rxs
+                .into_iter()
+                .enumerate()
+                .map(|(ix, rx)| scope.spawn(move || self.drive_shard(ix, rx)))
+                .collect();
+
+            // Driver: one nonblocking connect + registration per session.
+            let connect_res: Result<(), InpError> = (|| {
+                for (gid, session) in sessions.into_iter().enumerate() {
+                    let stream = TcpStream::connect(addr).map_err(io_err)?;
+                    let local = stream.local_addr().map_err(io_err)?;
+                    reg_tx
+                        .send((local, gid, session, stream))
+                        .map_err(|_| io_err(std::io::ErrorKind::BrokenPipe.into()))?;
+                }
+                Ok(())
+            })();
+            drop(reg_tx);
+            if connect_res.is_err() {
+                abort.store(true, Ordering::Relaxed);
+            }
+
+            let acceptor_res = acceptor.join().expect("acceptor panicked");
+            let mut outcomes = Vec::with_capacity(self.shards);
+            let mut shard_err: Option<InpError> = None;
+            for h in shard_handles {
+                match h.join().expect("shard panicked") {
+                    Ok(out) => outcomes.push(out),
+                    Err(e) if shard_err.is_none() => shard_err = Some(e),
+                    Err(_) => {}
+                }
+            }
+            if let Some(e) = shard_err {
+                return Err(e);
+            }
+            connect_res?;
+            acceptor_res?;
+            outcomes.sort_by_key(|o| o.shard);
+            Ok(ShardedOutcome { shards: outcomes })
+        })
+    }
+
+    /// One shard: admit everything the acceptor deals, then alternate
+    /// ready-queue drains with kernel readiness waits until every session
+    /// is terminal.
+    fn drive_shard(
+        &self,
+        shard: usize,
+        rx: mpsc::Receiver<ShardItem>,
+    ) -> Result<ShardOutcome, InpError> {
+        let tele = Telemetry::new(Arc::new(Registry::new()), MonotonicClock::shared());
+        let mut reactor =
+            Reactor::new(self.proxy, self.server, self.pad_repo).with_telemetry(&tele);
+        let mut gids = Vec::new();
+        // Admission: block until the acceptor has dealt the whole run
+        // (senders dropped). Every session is then live before the first
+        // byte is pumped, so the shard's peak-in-flight equals its deal.
+        for item in rx.iter() {
+            gids.push(item.gid);
+            reactor.spawn_on(
+                item.session,
+                TransportPair { client: Box::new(item.client), service: Box::new(item.service) },
+            );
+        }
+        let mut poller = Poller::new();
+        let mut quiet = Duration::ZERO;
+        loop {
+            while reactor.poll().is_some() {}
+            if reactor.in_flight() == 0 {
+                break;
+            }
+            poller.clear();
+            reactor.register_interest(&mut poller);
+            let slice = WAIT_SLICE.min(self.stall_timeout);
+            let events = poller.wait(Some(slice)).map_err(io_err)?;
+            if events.is_empty() {
+                quiet += slice;
+                if quiet >= self.stall_timeout {
+                    return Err(InpError::Stalled(reactor.stall_report()));
+                }
+            } else {
+                quiet = Duration::ZERO;
+                for ev in events {
+                    reactor.apply_event(ev);
+                }
+            }
+        }
+        let report = reactor.report();
+        let sessions = gids.into_iter().zip(reactor.into_sessions()).collect();
+        Ok(ShardOutcome { shard, report, snapshot: tele.snapshot(), sessions })
+    }
+}
+
+/// The acceptor: accept `total` connections, match each to its registered
+/// client end by peer address, and deal the completed pairs round-robin.
+/// Runs the listener nonblocking under the same [`Poller`] so a driver
+/// failure (`abort`) or a dried-up run cannot leave it parked in
+/// `accept(2)` forever.
+fn accept_and_deal(
+    listener: &TcpListener,
+    total: usize,
+    reg_rx: mpsc::Receiver<Registration>,
+    shard_txs: Vec<mpsc::Sender<ShardItem>>,
+    abort: &AtomicBool,
+    patience: Duration,
+) -> Result<(), InpError> {
+    use std::os::fd::AsRawFd;
+    let mut pending: HashMap<SocketAddr, (usize, InpSession, TcpStream)> = HashMap::new();
+    let mut poller = Poller::new();
+    let mut quiet = Duration::ZERO;
+    let mut accepted = 0;
+    while accepted < total {
+        if abort.load(Ordering::Relaxed) {
+            return Err(io_err(std::io::ErrorKind::ConnectionAborted.into()));
+        }
+        let (stream, peer) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                poller.clear();
+                poller.register(listener.as_raw_fd(), 0, Interest::READ);
+                let slice = WAIT_SLICE.min(patience);
+                if poller.wait(Some(slice)).map_err(io_err)?.is_empty() {
+                    quiet += slice;
+                    if quiet >= patience {
+                        return Err(io_err(std::io::ErrorKind::TimedOut.into()));
+                    }
+                }
+                continue;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(io_err(e)),
+        };
+        quiet = Duration::ZERO;
+        // The registration for this peer may still be in the channel
+        // behind others; drain until it surfaces. Every accepted
+        // connection comes from a driver connect, and the driver always
+        // registers right after connecting, so the recv terminates.
+        let (gid, session, client) = loop {
+            if let Some(found) = pending.remove(&peer) {
+                break found;
+            }
+            match reg_rx.recv() {
+                Ok((local, gid, session, stream)) => {
+                    pending.insert(local, (gid, session, stream));
+                }
+                Err(_) => return Err(io_err(std::io::ErrorKind::NotFound.into())),
+            }
+        };
+        let item = ShardItem {
+            gid,
+            session,
+            client: TcpTransport::new(client).map_err(io_err)?,
+            service: TcpTransport::new(stream).map_err(io_err)?,
+        };
+        if shard_txs[accepted % shard_txs.len()].send(item).is_err() {
+            // The shard died (it reports its own root cause); stop dealing.
+            return Err(io_err(std::io::ErrorKind::BrokenPipe.into()));
+        }
+        accepted += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::ClientClass;
+    use crate::reactor::SessionPhase;
+    use crate::server::AdaptiveContentMode;
+    use crate::testbed::Testbed;
+
+    fn content(seed: u8, len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((i / 5) as u8).wrapping_mul(seed).wrapping_add(seed)).collect()
+    }
+
+    fn testbed_with_pages(n: u32) -> Testbed {
+        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        for id in 0..n {
+            tb.server.publish(id, content(id as u8 + 1, 6_000));
+        }
+        tb
+    }
+
+    #[test]
+    fn sharded_run_completes_and_matches_serial_decisions() {
+        const N: u32 = 24;
+        const SHARDS: usize = 3;
+        let tb = testbed_with_pages(N);
+        let oracle_tb = testbed_with_pages(N);
+        let classes: Vec<ClientClass> = (0..N).map(|i| ClientClass::ALL[i as usize % 3]).collect();
+
+        let sessions: Vec<InpSession> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| InpSession::new(tb.client(c), tb.app_id, i as u32, 0))
+            .collect();
+        let sharded = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, SHARDS);
+        let outcome = sharded.run(sessions).expect("sharded run completes");
+
+        let agg = outcome.aggregate_report();
+        assert_eq!(agg.completed, N as usize);
+        assert_eq!(agg.failed, 0);
+        assert_eq!(agg.peak_in_flight, N as usize, "hold-until-dealt admission");
+        assert_eq!(outcome.shards.len(), SHARDS);
+        assert!(outcome.shards.iter().all(|s| s.report.completed == N as usize / SHARDS));
+
+        outcome.reconcile().expect("telemetry reconciles with reports");
+
+        // Decision identity vs direct serial negotiation, in spawn order.
+        let finished = outcome.into_sessions();
+        assert_eq!(finished.len(), N as usize);
+        for (i, (s, &class)) in finished.iter().zip(classes.iter()).enumerate() {
+            assert_eq!(s.phase(), SessionPhase::Done, "session {i}");
+            let expect = oracle_tb.proxy.negotiate(oracle_tb.app_id, class.env()).unwrap();
+            assert_eq!(s.negotiated().unwrap(), expect.as_slice(), "session {i} ({class})");
+            assert_eq!(
+                s.client().cached_content(i as u32).unwrap().bytes,
+                tb.server.content(i as u32, 0).unwrap(),
+                "session {i} content"
+            );
+        }
+    }
+
+    #[test]
+    fn merged_and_labeled_snapshots_cover_every_shard() {
+        if !fractal_telemetry::enabled() {
+            return;
+        }
+        let tb = testbed_with_pages(8);
+        let sessions: Vec<InpSession> = (0..8)
+            .map(|i| InpSession::new(tb.client(ClientClass::DesktopLan), tb.app_id, i, 0))
+            .collect();
+        let outcome =
+            ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, 2).run(sessions).unwrap();
+        let labeled = outcome.labeled_snapshot();
+        assert_eq!(labeled.counters["fractal_reactor_completed_total"], 8);
+        assert_eq!(labeled.counters["fractal_reactor_completed_total{shard=\"0\"}"], 4);
+        assert_eq!(labeled.counters["fractal_reactor_completed_total{shard=\"1\"}"], 4);
+    }
+
+    #[test]
+    fn quiet_shard_reports_typed_stall_not_hang() {
+        let tb = testbed_with_pages(1);
+        // Pre-starting the session makes spawn_on's start() return
+        // AlreadyStarted, so the opening frames are lost in transit —
+        // the socket never carries a byte and the shard must detect it.
+        let mut session = InpSession::new(tb.client(ClientClass::DesktopLan), tb.app_id, 0, 0);
+        session.start().unwrap();
+        let sharded = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, 1)
+            .with_stall_timeout(Duration::from_millis(200));
+        let err = sharded.run(vec![session]).unwrap_err();
+        let InpError::Stalled(stall) = err else {
+            panic!("expected typed stall, got {err:?}");
+        };
+        assert_eq!(stall.stuck.len(), 1);
+        assert_eq!(stall.stuck[0].phase, "MetaExchange");
+    }
+}

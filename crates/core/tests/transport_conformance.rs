@@ -1,0 +1,292 @@
+//! One conformance body, three transports.
+//!
+//! Every [`Transport`] implementation must honor the same readiness
+//! contract — short writes at the window, partial reads, `Ok(0)` as
+//! "no budget", drain-then-`Closed` teardown — because the reactor's pump
+//! loop is written against the contract, not an implementation. This suite
+//! runs each behavioral case against `LoopbackTransport`,
+//! `SimLinkTransport`, and the socket-backed `TcpTransport`, so an edge
+//! case found on one (EAGAIN flag handling, split frames, FIN ordering)
+//! is pinned for all.
+//!
+//! The driver below is transport-agnostic: progress comes from `pump`,
+//! which advances simulated clocks where the pair has them and feeds
+//! `poll(2)` readiness where the pair has file descriptors.
+
+#![cfg(unix)]
+
+use std::time::Duration;
+
+use fractal_core::inp::InpMessage;
+use fractal_core::reactor::{InpSession, Reactor, SessionPhase};
+use fractal_core::server::AdaptiveContentMode;
+use fractal_core::sys::{Interest, Poller};
+use fractal_core::testbed::Testbed;
+use fractal_core::transport::{
+    Framer, LoopbackTransport, SendQueue, SimLinkTransport, TcpTransport, TransportError,
+    TransportPair, TrickleTransport,
+};
+use fractal_core::ClientClass;
+use fractal_net::LinkKind;
+
+/// The pairs under test. Small in-memory capacities so multi-hundred-byte
+/// payloads must cross in several partial writes.
+fn transports() -> Vec<(&'static str, TransportPair)> {
+    vec![
+        ("loopback", LoopbackTransport::pair(256)),
+        ("simlink", SimLinkTransport::pair(LinkKind::Wlan.link(), 256)),
+        ("tcp", TcpTransport::pair().expect("loopback TCP pair")),
+    ]
+}
+
+/// One transport-agnostic progress step: advance the pair's simulated
+/// clock to its next delivery instant (timed transports) and feed one
+/// `poll(2)` round of kernel readiness back in (socket transports).
+fn pump(pair: &mut TransportPair) {
+    let next = match (pair.client.next_ready_at(), pair.service.next_ready_at()) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    if let Some(t) = next {
+        pair.client.advance_to(t);
+        pair.service.advance_to(t);
+    }
+    let mut poller = Poller::new();
+    if let Some(fd) = pair.client.raw_fd() {
+        poller.register(fd, 0, Interest::READ_WRITE);
+    }
+    if let Some(fd) = pair.service.raw_fd() {
+        poller.register(fd, 1, Interest::READ_WRITE);
+    }
+    if poller.registered() > 0 {
+        let events = poller.wait(Some(Duration::from_millis(500))).expect("poll");
+        for ev in events {
+            let end = if ev.token == 0 { &mut pair.client } else { &mut pair.service };
+            end.set_ready(ev.readable, ev.writable);
+        }
+    }
+}
+
+/// Sends all of `bytes` client→service, pumping through backpressure.
+fn send_all(pair: &mut TransportPair, bytes: &[u8]) {
+    let mut sent = 0;
+    for _ in 0..100_000 {
+        if sent == bytes.len() {
+            return;
+        }
+        sent += pair.client.send(&bytes[sent..]).expect("send");
+        pump(pair);
+    }
+    panic!("send made no progress ({sent}/{} bytes)", bytes.len());
+}
+
+/// Receives exactly `n` bytes at the service end, `chunk` bytes at a time.
+fn recv_exactly(pair: &mut TransportPair, n: usize, chunk: usize) -> Vec<u8> {
+    let mut got = Vec::new();
+    let mut buf = vec![0u8; chunk];
+    for _ in 0..100_000 {
+        if got.len() >= n {
+            return got;
+        }
+        let r = pair.service.recv(&mut buf).expect("recv");
+        got.extend_from_slice(&buf[..r]);
+        if r == 0 {
+            pump(pair);
+        }
+    }
+    panic!("recv made no progress ({}/{n} bytes)", got.len());
+}
+
+#[test]
+fn round_trip_survives_partial_reads() {
+    for (name, mut pair) in transports() {
+        // The payload exceeds the in-memory window (256 bytes), so the
+        // sender must interleave with the reader through backpressure;
+        // a 7-byte read buffer makes every read partial.
+        let payload: Vec<u8> = (0..2_000u32).map(|i| (i % 251) as u8).collect();
+        let mut sent = 0;
+        let mut got = Vec::new();
+        let mut buf = [0u8; 7];
+        for _ in 0..100_000 {
+            if got.len() == payload.len() {
+                break;
+            }
+            if sent < payload.len() {
+                sent += pair.client.send(&payload[sent..]).expect("send");
+            }
+            let r = pair.service.recv(&mut buf).expect("recv");
+            got.extend_from_slice(&buf[..r]);
+            if r == 0 {
+                pump(&mut pair);
+            }
+        }
+        assert_eq!(got, payload, "{name}: bytes must arrive intact and in order");
+        let mut probe = [0u8; 16];
+        assert_eq!(pair.service.recv(&mut probe).expect(name), 0, "{name}: drained pipe reads 0");
+    }
+}
+
+#[test]
+fn framed_messages_reassemble_across_short_writes() {
+    for (name, mut pair) in transports() {
+        let messages = [
+            InpMessage::InitReq { app_id: fractal_core::AppId(3), payload: vec![1; 5] },
+            InpMessage::InitReq { app_id: fractal_core::AppId(4), payload: vec![2; 1_500] },
+            InpMessage::InitRep,
+        ];
+        let mut queue = SendQueue::new();
+        for m in &messages {
+            queue.push(Framer::frame(m));
+        }
+        let mut framer = Framer::new();
+        let mut out = Vec::new();
+        for _ in 0..100_000 {
+            if out.len() == messages.len() {
+                break;
+            }
+            queue.flush(pair.client.as_mut()).expect("flush");
+            pump(&mut pair);
+            framer.pull(pair.service.as_mut()).expect("pull");
+            while let Some(m) = framer.next_frame().expect("frame") {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, messages, "{name}: frames must survive arbitrary write splits");
+        assert!(queue.is_empty(), "{name}: queue fully drained");
+        assert_eq!(framer.buffered(), 0, "{name}: no stray bytes");
+    }
+}
+
+#[test]
+fn backpressure_zeroes_writable_and_draining_reopens_it() {
+    for (name, mut pair) in transports() {
+        // Fill the window: in-memory pairs cap at their ring capacity, the
+        // kernel caps at the socket buffer. Either way send must start
+        // returning Ok(0) with writable() == 0 instead of blocking.
+        let chunk = vec![0xA5u8; 64 * 1024];
+        let mut queued = 0usize;
+        let mut stalls = 0;
+        while stalls < 3 {
+            let n = pair.client.send(&chunk).expect("send");
+            queued += n;
+            if n == 0 {
+                stalls += 1;
+            } else {
+                stalls = 0;
+            }
+            assert!(queued < 64 << 20, "{name}: window never closed");
+        }
+        assert_eq!(pair.client.writable(), 0, "{name}: closed window reports zero budget");
+        assert!(queued > 0, "{name}: something entered the window first");
+
+        // Drain the whole backlog at the peer (the kernel only reports
+        // POLLOUT once a sizable share of the send buffer is free, so a
+        // token drain is not enough), pump readiness home, and the window
+        // must reopen.
+        recv_exactly(&mut pair, queued, 4096);
+        for _ in 0..1_000 {
+            if pair.client.writable() > 0 {
+                break;
+            }
+            pump(&mut pair);
+        }
+        assert!(pair.client.writable() > 0, "{name}: draining must reopen the window");
+    }
+}
+
+#[test]
+fn close_mid_frame_drains_backlog_then_reports_closed() {
+    for (name, mut pair) in transports() {
+        // Half a frame crosses, then the sender goes away.
+        let frame = Framer::frame(&InpMessage::InitReq {
+            app_id: fractal_core::AppId(9),
+            payload: vec![7; 64],
+        });
+        let half = frame.len() / 2;
+        send_all(&mut pair, &frame[..half]);
+        // Make the backlog deliverable before the close, then close.
+        for _ in 0..1_000 {
+            if pair.service.readable() > 0 {
+                break;
+            }
+            pump(&mut pair);
+        }
+        pair.client.close();
+        assert!(pair.client.is_closed(), "{name}: closing end knows");
+        assert_eq!(
+            pair.client.send(b"late"),
+            Err(TransportError::Closed),
+            "{name}: send after close errors"
+        );
+        // The receiver first drains every byte that made it across…
+        let got = recv_exactly(&mut pair, half, 11);
+        assert_eq!(got, &frame[..half], "{name}: backlog intact");
+        // …and only then sees Closed, never a silent hang.
+        let mut buf = [0u8; 32];
+        let verdict: Result<usize, TransportError> = loop {
+            match pair.service.recv(&mut buf) {
+                Err(e) => break Err(e),
+                Ok(0) => pump(&mut pair),
+                Ok(n) => panic!("{name}: {n} surprise bytes after drain"),
+            }
+        };
+        assert_eq!(verdict, Err(TransportError::Closed), "{name}");
+    }
+}
+
+#[test]
+fn byte_at_a_time_arrival_still_completes_a_full_session() {
+    // Regression for real-TCP dribble: with a 1-byte-per-tick clamp every
+    // INP header and body splits at every byte boundary, in both
+    // directions, through the whole negotiation + PAD download + app
+    // exchange. The framer must reassemble and the reactor's starvation
+    // protocol must keep driving (ticks, not stalls).
+    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    tb.server.publish(0, (0..4_000).map(|i| (i % 200) as u8).collect::<Vec<u8>>());
+    let oracle_tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+
+    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+    let pair = TrickleTransport::wrap_pair(LoopbackTransport::pair(4096), 1);
+    let id = reactor
+        .spawn_on(InpSession::new(tb.client(ClientClass::PdaBluetooth), tb.app_id, 0, 0), pair);
+    let report = reactor.run().expect("dribbled session completes");
+    assert_eq!(report.completed, 1);
+    assert_eq!(report.failed, 0);
+    let session = reactor.session(id);
+    assert_eq!(session.phase(), SessionPhase::Done);
+    assert_eq!(
+        session.client().cached_content(0).unwrap().bytes,
+        tb.server.content(0, 0).unwrap(),
+        "content survives byte-at-a-time reassembly"
+    );
+    // Decisions are unchanged by delivery granularity.
+    let expect =
+        oracle_tb.proxy.negotiate(oracle_tb.app_id, ClientClass::PdaBluetooth.env()).unwrap();
+    assert_eq!(session.negotiated().unwrap(), expect.as_slice());
+}
+
+#[test]
+fn coarser_trickle_rates_agree_with_untrickled_loopback() {
+    let outcome_at = |per_tick: Option<usize>| {
+        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        tb.server.publish(0, vec![42; 2_000]);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        let base = LoopbackTransport::pair(4096);
+        let pair = match per_tick {
+            Some(r) => TrickleTransport::wrap_pair(base, r),
+            None => base,
+        };
+        let id = reactor
+            .spawn_on(InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, 0, 0), pair);
+        reactor.run().expect("completes");
+        (
+            reactor.session(id).phase(),
+            reactor.session(id).negotiated().map(<[_]>::to_vec),
+            reactor.session(id).client().cached_content(0).unwrap().bytes.to_vec(),
+        )
+    };
+    let oracle = outcome_at(None);
+    for rate in [1, 3, 64, 4096] {
+        assert_eq!(outcome_at(Some(rate)), oracle, "per_tick={rate}");
+    }
+}

@@ -196,6 +196,21 @@ impl Snapshot {
         }
     }
 
+    /// A copy with every metric name suffixed by a `{key="value"}` label,
+    /// Prometheus-style. Per-shard registries are identical by name;
+    /// labeling before embedding keeps each shard's series distinct next
+    /// to the merged totals (`snap.labeled("shard", "3")`). Labeled and
+    /// unlabeled names never collide, so a labeled snapshot still merges
+    /// cleanly.
+    pub fn labeled(&self, key: &str, value: &str) -> Snapshot {
+        let rename = |name: &str| format!("{name}{{{key}=\"{value}\"}}");
+        Snapshot {
+            counters: self.counters.iter().map(|(k, v)| (rename(k), *v)).collect(),
+            gauges: self.gauges.iter().map(|(k, v)| (rename(k), *v)).collect(),
+            histograms: self.histograms.iter().map(|(k, v)| (rename(k), v.clone())).collect(),
+        }
+    }
+
     /// The activity since `earlier` (a prefix snapshot of the same
     /// registry): counters and histogram buckets subtract; gauges keep the
     /// later level.
@@ -245,17 +260,21 @@ impl Snapshot {
 
     /// Renders a JSON object (no trailing newline), with `indent` as the
     /// leading whitespace of nested lines — shaped for embedding into the
-    /// hand-rolled `BENCH_*.json` writers.
+    /// hand-rolled `BENCH_*.json` writers. Metric names are escaped:
+    /// labeled series ([`Snapshot::labeled`]) carry literal quotes in
+    /// their `{key="value"}` suffix, which must not terminate the JSON
+    /// key.
     pub fn to_json(&self, indent: &str) -> String {
+        let esc = |k: &str| k.replace('\\', "\\\\").replace('"', "\\\"");
         let pad = format!("{indent}  ");
         let mut parts: Vec<String> = Vec::new();
 
         let counters: Vec<String> =
-            self.counters.iter().map(|(k, v)| format!("{pad}  \"{k}\": {v}")).collect();
+            self.counters.iter().map(|(k, v)| format!("{pad}  \"{}\": {v}", esc(k))).collect();
         parts.push(format!("{pad}\"counters\": {{\n{}\n{pad}}}", counters.join(",\n")));
 
         let gauges: Vec<String> =
-            self.gauges.iter().map(|(k, v)| format!("{pad}  \"{k}\": {v}")).collect();
+            self.gauges.iter().map(|(k, v)| format!("{pad}  \"{}\": {v}", esc(k))).collect();
         parts.push(format!("{pad}\"gauges\": {{\n{}\n{pad}}}", gauges.join(",\n")));
 
         let hists: Vec<String> = self
@@ -267,8 +286,9 @@ impl Snapshot {
                     .map(|i| format!("[{}, {}]", bucket_upper(i), h.buckets[i]))
                     .collect();
                 format!(
-                    "{pad}  \"{k}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
+                    "{pad}  \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}, \
                      \"p50\": {}, \"p99\": {}, \"buckets\": [{}]}}",
+                    esc(k),
                     h.count,
                     h.sum,
                     h.min,
@@ -458,6 +478,19 @@ mod tests {
         assert!(json.contains("\"count\": 1"));
         // Identical snapshots render identically (byte determinism).
         assert_eq!(json, t.snapshot().to_json("  "));
+    }
+
+    #[test]
+    fn json_escapes_labeled_metric_names() {
+        let t = local();
+        t.counter("done_total").add(4);
+        t.histogram("lat_ns").record(9);
+        let json = t.snapshot().labeled("shard", "0").to_json("  ");
+        // The literal quotes of the `{shard="0"}` suffix must arrive
+        // escaped, or the embedding BENCH_*.json stops being JSON.
+        assert!(json.contains("\"done_total{shard=\\\"0\\\"}\": 4"), "{json}");
+        assert!(json.contains("\"lat_ns{shard=\\\"0\\\"}\": {"), "{json}");
+        assert!(!json.contains("{shard=\"0\"}\":"), "unescaped name survived: {json}");
     }
 
     #[test]

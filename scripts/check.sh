@@ -102,6 +102,31 @@ else
     $SMOKE
 fi
 
+step "c100k smoke (sharded reactors over live loopback TCP)"
+# A few hundred concurrent kernel-socket sessions dealt across 2 reactor
+# shards: real EAGAIN churn, short writes at the socket buffer, FIN
+# ordering. The binary asserts all sessions complete with peak in-flight
+# equal to the population, per-shard telemetry reconciling with the
+# reactor reports, and decision identity against the serial in-memory
+# oracle. A quiet shard aborts with a typed InpError::Stalled naming the
+# stuck sessions; the timeout is only the backstop for a bug in that very
+# stall detector.
+C100K="cargo run -q --release -p fractal-bench --bin c100k -- --smoke"
+if command -v timeout >/dev/null 2>&1; then
+    cargo build -q --release -p fractal-bench --bin c100k
+    status=0
+    timeout 120 $C100K || status=$?
+    if [ "$status" -ne 0 ]; then
+        if [ "$status" -eq 124 ]; then
+            echo "c100k smoke DEADLOCKED: no completion within 120 s —" >&2
+            echo "the shard stall detector itself failed to fire" >&2
+        fi
+        exit "$status"
+    fi
+else
+    $C100K
+fi
+
 step "BENCH_throughput.json carries per-link transport rows"
 # The committed full-sweep results must include the transport pass: one
 # row per simulated link profile with its mean negotiation time. A missing
