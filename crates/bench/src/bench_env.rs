@@ -21,6 +21,10 @@ pub struct BenchEnv {
     /// `"simlink"` (simulated links), `"tcp-loopback"` (real kernel
     /// sockets), or a combination.
     pub transport: String,
+    /// Adversity scenario this row came from, with the fault seed that
+    /// drove it — `None` outside the scenario soak driver. A scenario row
+    /// without its seed is unreplayable, so the two travel together.
+    pub scenario: Option<(String, u64)>,
 }
 
 impl BenchEnv {
@@ -36,7 +40,13 @@ impl BenchEnv {
             .map(|s| s.trim().to_string())
             .filter(|s| !s.is_empty())
             .unwrap_or_else(|| "unknown".into());
-        BenchEnv { host_cpus, git_sha, reactor_shards: 1, transport: "loopback".into() }
+        BenchEnv {
+            host_cpus,
+            git_sha,
+            reactor_shards: 1,
+            transport: "loopback".into(),
+            scenario: None,
+        }
     }
 
     /// Stamps the number of reactor shards the bench drove.
@@ -51,14 +61,26 @@ impl BenchEnv {
         self
     }
 
+    /// Stamps the adversity scenario and the fault seed that drove it —
+    /// every `BENCH_scenarios.json` row carries both, so any row can be
+    /// replayed with `--scenario <name>` under the same seed.
+    pub fn with_scenario(mut self, name: &str, seed: u64) -> BenchEnv {
+        self.scenario = Some((name.into(), seed));
+        self
+    }
+
     /// The provenance lines every `BENCH_*.json` carries, indented for
     /// the top-level object.
     pub fn json_fields(&self) -> String {
-        format!(
+        let mut fields = format!(
             "  \"host_cpus\": {},\n  \"git_sha\": \"{}\",\n  \"reactor_shards\": {},\n  \
              \"transport\": \"{}\",\n",
             self.host_cpus, self.git_sha, self.reactor_shards, self.transport
-        )
+        );
+        if let Some((name, seed)) = &self.scenario {
+            fields.push_str(&format!("  \"scenario\": \"{name}\",\n  \"fault_seed\": {seed},\n"));
+        }
+        fields
     }
 }
 
@@ -94,6 +116,19 @@ mod tests {
         assert!(fields.contains("\"reactor_shards\": 4,"));
         assert!(fields.contains("\"transport\": \"tcp-loopback\","));
         // Splices into `{\n<fields>...}` without breaking the object.
+        let doc = format!("{{\n{fields}  \"bench\": \"x\"\n}}");
+        assert_eq!(doc.matches('{').count(), doc.matches('}').count());
+    }
+
+    #[test]
+    fn scenario_stamp_carries_name_and_seed() {
+        let plain = BenchEnv::capture();
+        assert!(plain.scenario.is_none());
+        assert!(!plain.json_fields().contains("fault_seed"));
+        let stamped = plain.with_scenario("lossy_link", 0xC0FFEE);
+        let fields = stamped.json_fields();
+        assert!(fields.contains("\"scenario\": \"lossy_link\","));
+        assert!(fields.contains(&format!("\"fault_seed\": {},", 0xC0FFEE)));
         let doc = format!("{{\n{fields}  \"bench\": \"x\"\n}}");
         assert_eq!(doc.matches('{').count(), doc.matches('}').count());
     }

@@ -1,0 +1,757 @@
+//! scenarios: the adversity soak matrix — every way a pervasive session
+//! goes wrong, each as a bounded deterministic run.
+//!
+//! The paper's setting is hostile by construction: PDA-class clients on
+//! flaky wireless links that corrupt, lose, and reorder bytes, walk out
+//! of WLAN range mid-session, and stampede the proxy after a PAD
+//! republish. The unit benches prove the happy path; this driver proves
+//! the *typed-failure* contract under adversity, scenario by scenario:
+//!
+//! * `burst_arrivals` — self-similar arrival waves from the β-model
+//!   cascade ([`BurstCascade`]) instead of a uniform schedule; every
+//!   session still completes and decides exactly like the serial oracle.
+//! * `lossy_link` — seeded loss + duplication + corruption + reorder over
+//!   checksummed framing; every session either completes with exact
+//!   content, fails with a typed error, or surfaces in a typed stall
+//!   report. Never a hang, never silently wrong bytes.
+//! * `partition_recovery` — a transient partition parks bytes mid-flight;
+//!   the link heals and every session completes with oracle decisions.
+//! * `handoff_renegotiation` — WLAN→Bluetooth mid-session: the transport
+//!   link swaps underneath while the INP session renegotiates; the new
+//!   decision matches the serial oracle for the new environment.
+//! * `cache_stampede` — a population of all-distinct client environments
+//!   hits a cold adaptation cache at once, twice: wave one is all misses,
+//!   wave two all hits, counted exactly.
+//! * `pad_rollout_rollback` — the server republishes mid-traffic and then
+//!   rolls back; warm clients ride their protocol cache through all three
+//!   versions and end with byte-exact content for each.
+//!
+//! Every scenario runs **twice** per invocation under the same seed and a
+//! virtual clock; the two outcomes — decision fingerprints, fault-event
+//! logs, and merged telemetry — must be identical, or the run fails.
+//! Results land as the `"scenarios"` section of `BENCH_scenarios.json`,
+//! one member per scenario, each row stamped with the scenario name and
+//! fault seed so any row can be replayed. `--smoke` trims the population
+//! and skips the write (the CI gate); `--long` is the 10× soak behind
+//! `workflow_dispatch`. An *unexpected* stall writes `STALL_<name>.txt`
+//! with the stuck-session phase report and exits nonzero.
+
+use std::sync::Arc;
+
+use fractal_bench::bench_env::BenchEnv;
+use fractal_bench::fig9a::client_env;
+use fractal_bench::report::{get_top_level, render_table, upsert_top_level};
+use fractal_core::error::InpError;
+use fractal_core::fault::{FaultKind, FaultLog, FaultPlan};
+use fractal_core::meta::{ClientEnv, PadMeta};
+use fractal_core::reactor::{InpSession, Reactor, SessionPhase};
+use fractal_core::server::AdaptiveContentMode;
+use fractal_core::testbed::Testbed;
+use fractal_core::transport::{LoopbackTransport, SimLinkTransport};
+use fractal_net::LinkKind;
+use fractal_telemetry::{Registry, Snapshot, Telemetry, VirtualClock};
+use fractal_workload::BurstCascade;
+
+/// The scenario matrix, in the order the full run drives it. CI fans one
+/// matrix job per name; `--scenario <name>` selects a single one.
+const SCENARIOS: [&str; 6] = [
+    "burst_arrivals",
+    "lossy_link",
+    "partition_recovery",
+    "handoff_renegotiation",
+    "cache_stampede",
+    "pad_rollout_rollback",
+];
+
+/// Base fault seed; each scenario soaks under `BASE_SEED + its index` so
+/// the streams are distinct but every row remains replayable.
+const BASE_SEED: u64 = 0xF2AC_7A15;
+
+/// Distinct pages published per scenario; sessions round-robin over them.
+const PAGES: u32 = 16;
+
+/// Population knobs per invocation mode.
+struct Scale {
+    /// Sessions per scenario (per wave, for the multi-wave scenarios).
+    sessions: usize,
+    /// Cascade depth for `burst_arrivals` (2^levels arrival slots).
+    levels: u32,
+}
+
+const SMOKE: Scale = Scale { sessions: 24, levels: 4 };
+const FULL: Scale = Scale { sessions: 192, levels: 6 };
+/// The `workflow_dispatch` long soak: 10× the full population.
+const LONG: Scale = Scale { sessions: 1920, levels: 6 };
+
+/// Order-sensitive FNV fold over an adaptation decision (pad ids +
+/// protocols) — the identity compared between runs and with the oracle.
+fn fingerprint(pads: &[PadMeta]) -> u64 {
+    pads.iter().fold(0xcbf2_9ce4_8422_2325_u64, |h, p| {
+        (h ^ p.id.0 ^ ((p.protocol as u64) << 32)).wrapping_mul(0x100_0000_01b3)
+    })
+}
+
+/// Folds one more value into an order-sensitive FNV accumulator.
+fn fold(acc: u64, v: u64) -> u64 {
+    (acc ^ v).wrapping_mul(0x100_0000_01b3)
+}
+
+/// Everything observable about one scenario run. Two runs under the same
+/// seed must compare equal, field for field — including the merged
+/// telemetry snapshot — or the scenario is nondeterministic and fails.
+#[derive(Clone, PartialEq, Debug)]
+struct Outcome {
+    sessions: usize,
+    completed: usize,
+    failed: usize,
+    /// Live-but-stuck sessions surfaced by a *typed* stall (lossy_link
+    /// only — everywhere else a stall is a scenario failure).
+    stuck: usize,
+    /// Injected fault actions across all sessions' logs.
+    fault_events: u64,
+    /// Fold of every session's fault-log fingerprint, in session order.
+    fault_fp: u64,
+    /// Fold of completed sessions' decision fingerprints, in session
+    /// order (checked against the serial oracle inside each scenario).
+    decision_fp: u64,
+    /// Scenario-specific row members, already JSON-formatted.
+    extras: Vec<(&'static str, String)>,
+    telemetry: Snapshot,
+}
+
+/// A fresh per-run telemetry bundle on a virtual clock: metric values
+/// become a pure function of event order, so run-to-run snapshot
+/// equality is meaningful (and the reconciliation below exact).
+fn run_bundle() -> (Telemetry, fractal_telemetry::SharedClock) {
+    let clock = VirtualClock::shared(1);
+    (Telemetry::new(Arc::new(Registry::new()), Arc::clone(&clock)), clock)
+}
+
+/// Asserts the run bundle's reactor counters agree with the accumulated
+/// reactor reports — the telemetry-reconciliation leg of the contract.
+fn reconcile(snap: &Snapshot, completed: usize, failed: usize) {
+    if !fractal_telemetry::enabled() {
+        return;
+    }
+    let counter = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    assert_eq!(
+        counter("fractal_reactor_completed_total"),
+        completed as u64,
+        "telemetry disagrees with reactor reports on completions"
+    );
+    assert_eq!(
+        counter("fractal_reactor_failed_total"),
+        failed as u64,
+        "telemetry disagrees with reactor reports on failures"
+    );
+}
+
+fn testbed_with_pages() -> Testbed {
+    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    for id in 0..PAGES {
+        tb.server.publish(id, page_bytes(id as u8 + 1, 4_000));
+    }
+    tb
+}
+
+fn page_bytes(seed: u8, len: usize) -> Vec<u8> {
+    (0..len).map(|i| ((i / 5) as u8).wrapping_mul(seed).wrapping_add(seed)).collect()
+}
+
+/// Serial oracle decisions for `n` sessions under the standard
+/// environment schedule, on a testbed the scenario never touches.
+fn oracle_decisions(n: usize) -> Vec<u64> {
+    let tb = testbed_with_pages();
+    (0..n).map(|i| fingerprint(&tb.proxy.negotiate(tb.app_id, client_env(i)).unwrap())).collect()
+}
+
+/// Cascade-shaped arrival waves over the untimed loopback: admission
+/// pressure comes in bursts (one spawn wave per cascade slot, partial
+/// pumping between waves) instead of all-at-once, yet every session must
+/// complete with the oracle's decision.
+fn burst_arrivals(scale: &Scale, seed: u64) -> Result<Outcome, String> {
+    let n = scale.sessions;
+    let cascade = BurstCascade::new(seed, scale.levels, 0.8);
+    let counts = cascade.counts(n);
+    let peak_wave = counts.iter().copied().max().unwrap_or(0);
+    let oracle = oracle_decisions(n);
+
+    let tb = testbed_with_pages();
+    let (bundle, clock) = run_bundle();
+    let mut reactor =
+        Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_clock(clock).with_telemetry(&bundle);
+    let mut spawned = 0usize;
+    for &wave in &counts {
+        for _ in 0..wave {
+            let env = client_env(spawned);
+            let session =
+                InpSession::new(tb.client_with_env(env), tb.app_id, spawned as u32 % PAGES, 0);
+            reactor.spawn(session);
+            spawned += 1;
+        }
+        // Partial pump between waves: the burst arrives onto a reactor
+        // that is still mid-flight with the previous ones.
+        for _ in 0..wave * 4 {
+            if reactor.poll().is_none() {
+                break;
+            }
+        }
+    }
+    assert_eq!(spawned, n, "cascade counts must conserve the population");
+    let report = reactor.run().map_err(|e| format!("burst_arrivals stalled: {e}"))?;
+    assert_eq!((report.completed, report.failed), (n, 0), "bursty admission broke sessions");
+
+    let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
+    for (i, s) in reactor.into_sessions().iter().enumerate() {
+        let fp = fingerprint(s.negotiated().expect("completed session negotiated"));
+        assert_eq!(fp, oracle[i], "burst arrival order changed decision for session {i}");
+        decision_fp = fold(decision_fp, fp);
+    }
+    let snap = bundle.snapshot();
+    reconcile(&snap, n, 0);
+    Ok(Outcome {
+        sessions: n,
+        completed: n,
+        failed: 0,
+        stuck: 0,
+        fault_events: 0,
+        fault_fp: 0,
+        decision_fp,
+        extras: vec![
+            ("cascade_slots", counts.len().to_string()),
+            ("peak_wave", peak_wave.to_string()),
+        ],
+        telemetry: snap,
+    })
+}
+
+/// Seeded loss/dup/corrupt/reorder over checksummed framing. Outcomes
+/// are classified, never hung: exact content on completion, a typed
+/// error on failure, a typed stall report for sessions the adversary
+/// starved — and corruption must be *caught* at least once.
+fn lossy_link(scale: &Scale, seed: u64) -> Result<Outcome, String> {
+    let n = scale.sessions;
+    let plan = FaultPlan::new(seed).with_drop(20).with_dup(40).with_corrupt(30).with_reorder(60);
+    let tb = testbed_with_pages();
+    let (bundle, clock) = run_bundle();
+    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+        .with_frame_checksums()
+        .with_clock(clock)
+        .with_telemetry(&bundle);
+    let mut logs: Vec<FaultLog> = Vec::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let (pair, log) = plan.for_session(i as u64).wrap_pair(LoopbackTransport::pair(4096));
+        logs.push(log);
+        let session =
+            InpSession::new(tb.client_with_env(client_env(i)), tb.app_id, i as u32 % PAGES, 0);
+        ids.push(reactor.spawn_on(session, pair));
+    }
+    // Dropped frames have no retransmit at this layer, so starved
+    // sessions are expected — but only as a *typed* stall.
+    match reactor.run() {
+        Ok(_) | Err(InpError::Stalled(_)) => {}
+        Err(e) => return Err(format!("lossy_link died untypedly: {e}")),
+    }
+
+    let (mut completed, mut failed, mut stuck) = (0usize, 0usize, 0usize);
+    let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
+    for &id in &ids {
+        let s = reactor.session(id);
+        match s.phase() {
+            SessionPhase::Done => {
+                completed += 1;
+                let content_id = id as u32 % PAGES;
+                assert_eq!(
+                    s.client().cached_content(content_id).unwrap().bytes,
+                    tb.server.content(content_id, 0).unwrap(),
+                    "session {id} completed with corrupted content"
+                );
+                decision_fp = fold(decision_fp, fingerprint(s.negotiated().unwrap()));
+            }
+            SessionPhase::Failed => {
+                failed += 1;
+                assert!(s.error().is_some(), "failed session {id} lost its typed error");
+            }
+            _ => stuck += 1,
+        }
+    }
+    assert!(completed > 0, "the fault mix starved every single session");
+
+    let mut fault_events = 0u64;
+    let mut fault_fp = 0xcbf2_9ce4_8422_2325_u64;
+    let mut corruptions = 0u64;
+    for log in &logs {
+        let events = log.events();
+        fault_events += events.len() as u64;
+        corruptions +=
+            events.iter().filter(|e| matches!(e.kind, FaultKind::Corrupted { .. })).count() as u64;
+        fault_fp = fold(fault_fp, log.fingerprint());
+    }
+    assert!(fault_events > 0, "the adversary never acted");
+    if corruptions > 0 {
+        // Checked framing means a flipped byte can only surface as a
+        // typed rejection (failure/stall), never as accepted content —
+        // the content equality above already proved acceptance is clean.
+        assert!(
+            failed + stuck > 0,
+            "{corruptions} corruptions injected yet every session completed untouched"
+        );
+    }
+    let snap = bundle.snapshot();
+    reconcile(&snap, completed, failed);
+    Ok(Outcome {
+        sessions: n,
+        completed,
+        failed,
+        stuck,
+        fault_events,
+        fault_fp,
+        decision_fp,
+        extras: vec![("corruptions_injected", corruptions.to_string())],
+        telemetry: snap,
+    })
+}
+
+/// A transient partition parks every in-flight byte, the link heals on
+/// the simulated clock, and every session still completes with the
+/// oracle's decision — recovery, not typed failure, is the bar here.
+fn partition_recovery(scale: &Scale, seed: u64) -> Result<Outcome, String> {
+    let n = scale.sessions;
+    let plan = FaultPlan::new(seed).with_partition(4, 20_000);
+    let oracle = oracle_decisions(n);
+    let tb = testbed_with_pages();
+    let (bundle, clock) = run_bundle();
+    let mut reactor =
+        Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_clock(clock).with_telemetry(&bundle);
+    let mut logs = Vec::with_capacity(n);
+    for i in 0..n {
+        let inner = SimLinkTransport::pair(LinkKind::Wlan.link(), 4096);
+        let (pair, log) = plan.for_session(i as u64).wrap_pair(inner);
+        logs.push(log);
+        let session =
+            InpSession::new(tb.client_with_env(client_env(i)), tb.app_id, i as u32 % PAGES, 0);
+        reactor.spawn_on(session, pair);
+    }
+    let report = reactor.run().map_err(|e| format!("partition never healed: {e}"))?;
+    assert_eq!((report.completed, report.failed), (n, 0), "partitioned sessions must recover");
+
+    let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
+    for (i, s) in reactor.into_sessions().iter().enumerate() {
+        let fp = fingerprint(s.negotiated().expect("recovered session negotiated"));
+        assert_eq!(fp, oracle[i], "partition recovery changed decision for session {i}");
+        decision_fp = fold(decision_fp, fp);
+    }
+    let mut fault_events = 0u64;
+    let mut fault_fp = 0xcbf2_9ce4_8422_2325_u64;
+    let mut healed = 0usize;
+    for log in &logs {
+        let events = log.events();
+        fault_events += events.len() as u64;
+        if events.iter().any(|e| matches!(e.kind, FaultKind::PartitionHeal)) {
+            healed += 1;
+        }
+        fault_fp = fold(fault_fp, log.fingerprint());
+    }
+    assert!(healed > 0, "no session ever saw its partition heal");
+    let snap = bundle.snapshot();
+    reconcile(&snap, n, 0);
+    Ok(Outcome {
+        sessions: n,
+        completed: n,
+        failed: 0,
+        stuck: 0,
+        fault_events,
+        fault_fp,
+        decision_fp,
+        extras: vec![("sessions_healed", healed.to_string())],
+        telemetry: snap,
+    })
+}
+
+/// Mid-session mobility: sessions negotiate on WLAN, then the link swaps
+/// to Bluetooth underneath while the INP session renegotiates. Every
+/// re-negotiated decision must match the serial oracle for the *new*
+/// environment, and every client must have negotiated exactly twice.
+fn handoff_renegotiation(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
+    let n = scale.sessions;
+    let tb = testbed_with_pages();
+    let oracle_tb = testbed_with_pages();
+    let (bundle, clock) = run_bundle();
+    let mut reactor =
+        Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_clock(clock).with_telemetry(&bundle);
+    let mut handles = Vec::with_capacity(n);
+    let mut ids = Vec::with_capacity(n);
+    for i in 0..n {
+        let (pair, handle) = SimLinkTransport::pair_with_handoff(LinkKind::Wlan.link(), 4096);
+        handles.push(handle);
+        let session =
+            InpSession::new(tb.client_with_env(client_env(i)), tb.app_id, i as u32 % PAGES, 0);
+        ids.push(reactor.spawn_on(session, pair));
+    }
+    // Drive until the whole population is deep in flight (or done —
+    // round-robin pumping can walk a session through Sessioning early).
+    reactor
+        .run_until(|r| {
+            ids.iter().all(|&id| {
+                let p = r.session(id).phase();
+                p == SessionPhase::Sessioning || p.is_terminal()
+            })
+        })
+        .map_err(|e| format!("never reached the handoff point: {e}"))?;
+
+    // Walk out of WLAN range: swap the physical link *and* force the
+    // protocol back through renegotiation on every still-live session.
+    let new_ntwk = fractal_core::ClientClass::PdaBluetooth.env().ntwk;
+    let mut handoffs = 0usize;
+    for (i, &id) in ids.iter().enumerate() {
+        if reactor.session(id).phase().is_terminal() {
+            continue;
+        }
+        reactor.handoff(id, new_ntwk).map_err(|e| format!("handoff of {id} refused: {e}"))?;
+        handles[i].switch(LinkKind::Bluetooth.link());
+        handoffs += 1;
+    }
+    assert!(handoffs > 0, "population finished before any handoff could fire");
+    let report = reactor.run().map_err(|e| format!("post-handoff stall: {e}"))?;
+    assert_eq!((report.completed, report.failed), (n, 0), "handoff broke sessions");
+
+    let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
+    for (i, &id) in ids.iter().enumerate() {
+        let s = reactor.session(id);
+        let fp = fingerprint(s.negotiated().expect("completed session negotiated"));
+        let stats = s.client().stats();
+        let mut env = client_env(i);
+        if stats.negotiations == 2 {
+            // Renegotiated: the oracle question is the NEW environment.
+            env.ntwk = new_ntwk;
+        }
+        let expect = fingerprint(&oracle_tb.proxy.negotiate(oracle_tb.app_id, env).unwrap());
+        assert_eq!(fp, expect, "session {i} decision diverged from its environment oracle");
+        let content_id = i as u32 % PAGES;
+        assert_eq!(
+            s.client().cached_content(content_id).unwrap().bytes,
+            tb.server.content(content_id, 0).unwrap(),
+            "session {i} content wrong after renegotiation"
+        );
+        decision_fp = fold(decision_fp, fp);
+    }
+    let snap = bundle.snapshot();
+    reconcile(&snap, n, 0);
+    Ok(Outcome {
+        sessions: n,
+        completed: n,
+        failed: 0,
+        stuck: 0,
+        fault_events: 0,
+        fault_fp: 0,
+        decision_fp,
+        extras: vec![("handoffs", handoffs.to_string())],
+        telemetry: snap,
+    })
+}
+
+/// An all-distinct client environment for stampede index `i`: the class
+/// cycles and the memory size never repeats, so every environment is a
+/// distinct adaptation-cache key.
+fn stampede_env(i: usize) -> ClientEnv {
+    let mut env = client_env(i);
+    env.dev.memory_mb = env.dev.memory_mb.saturating_add(13 * i as u32 + 1);
+    env
+}
+
+/// A population of all-distinct environments hits the cold adaptation
+/// cache at once — every negotiation is a miss. The identical second
+/// wave must be answered entirely from cache, counted exactly.
+fn cache_stampede(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
+    let n = scale.sessions;
+    let tb = testbed_with_pages();
+    let oracle_tb = testbed_with_pages();
+    let oracle: Vec<u64> = (0..n)
+        .map(|i| {
+            fingerprint(&oracle_tb.proxy.negotiate(oracle_tb.app_id, stampede_env(i)).unwrap())
+        })
+        .collect();
+    let (bundle, clock) = run_bundle();
+
+    let before = tb.proxy.stats();
+    assert_eq!((before.cache_hits, before.cache_misses), (0, 0), "scenario proxy must be cold");
+    let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
+    for wave in 0..2 {
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+            .with_clock(Arc::clone(&clock))
+            .with_telemetry(&bundle);
+        for i in 0..n {
+            let session = InpSession::new(
+                tb.client_with_env(stampede_env(i)),
+                tb.app_id,
+                i as u32 % PAGES,
+                0,
+            );
+            reactor.spawn(session);
+        }
+        let report = reactor.run().map_err(|e| format!("stampede wave {wave} stalled: {e}"))?;
+        assert_eq!((report.completed, report.failed), (n, 0), "stampede wave {wave} broke");
+        for (i, s) in reactor.into_sessions().iter().enumerate() {
+            let fp = fingerprint(s.negotiated().expect("completed session negotiated"));
+            assert_eq!(fp, oracle[i], "wave {wave} session {i} diverged from the oracle");
+            decision_fp = fold(decision_fp, fp);
+        }
+    }
+    let stats = tb.proxy.stats();
+    assert_eq!(
+        stats.cache_misses, n as u64,
+        "wave one must miss exactly once per distinct environment"
+    );
+    assert_eq!(stats.cache_hits, n as u64, "wave two must be answered entirely from cache");
+
+    let snap = bundle.snapshot();
+    reconcile(&snap, 2 * n, 0);
+    Ok(Outcome {
+        sessions: 2 * n,
+        completed: 2 * n,
+        failed: 0,
+        stuck: 0,
+        fault_events: 0,
+        fault_fp: 0,
+        decision_fp,
+        extras: vec![
+            ("cache_misses", stats.cache_misses.to_string()),
+            ("cache_hits", stats.cache_hits.to_string()),
+        ],
+        telemetry: snap,
+    })
+}
+
+/// The server republishes mid-traffic (v0 → v1) and then rolls back
+/// (v2 = v0's bytes). Warm clients carry their protocol cache through
+/// all three waves — one negotiation ever — and end each wave with
+/// byte-exact content for the version that wave asked for.
+fn pad_rollout_rollback(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
+    let n = scale.sessions;
+    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let content_id = 0u32;
+    let v0_bytes = page_bytes(3, 4_000);
+    let v1_bytes = page_bytes(9, 5_000);
+    assert_eq!(tb.server.publish(content_id, v0_bytes.clone()), 0);
+
+    let oracle_tb = testbed_with_pages();
+    let oracle: Vec<u64> = (0..n)
+        .map(|i| fingerprint(&oracle_tb.proxy.negotiate(oracle_tb.app_id, client_env(i)).unwrap()))
+        .collect();
+    let (bundle, clock) = run_bundle();
+
+    let mut clients: Vec<fractal_core::client::FractalClient> =
+        (0..n).map(|i| tb.client_with_env(client_env(i))).collect();
+    let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
+    let mut completed = 0usize;
+    // (wave, version to request, bytes that version must decode to)
+    let waves: [(&str, u32, &[u8]); 3] =
+        [("rollout-base", 0, &v0_bytes), ("rollout", 1, &v1_bytes), ("rollback", 2, &v0_bytes)];
+    for (w, (label, want, expect_bytes)) in waves.iter().enumerate() {
+        if *want > 0 {
+            // Republish mid-traffic: v1 is new content, v2 the rollback
+            // to v0's exact bytes.
+            let bytes = if *label == "rollback" { v0_bytes.clone() } else { v1_bytes.clone() };
+            assert_eq!(tb.server.publish(content_id, bytes), *want);
+        }
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+            .with_clock(Arc::clone(&clock))
+            .with_telemetry(&bundle);
+        for client in clients.drain(..) {
+            reactor.spawn(InpSession::new(client, tb.app_id, content_id, *want));
+        }
+        let report = reactor.run().map_err(|e| format!("{label} wave stalled: {e}"))?;
+        assert_eq!((report.completed, report.failed), (n, 0), "{label} wave broke sessions");
+        completed += report.completed;
+        for (i, session) in reactor.into_sessions().into_iter().enumerate() {
+            if w == 0 {
+                let fp = fingerprint(session.negotiated().expect("cold session negotiated"));
+                assert_eq!(fp, oracle[i], "{label} session {i} diverged from the oracle");
+                decision_fp = fold(decision_fp, fp);
+            }
+            let client = session.into_client();
+            assert_eq!(
+                client.cached_content(content_id).unwrap().bytes,
+                *expect_bytes,
+                "{label} session {i} holds the wrong version's bytes"
+            );
+            clients.push(client);
+        }
+    }
+    // The protocol cache carried every client through the republishes:
+    // one full negotiation ever, a cache hit per following wave.
+    for (i, client) in clients.iter().enumerate() {
+        let stats = client.stats();
+        assert_eq!(stats.negotiations, 1, "client {i} renegotiated on a republish");
+        assert_eq!(stats.protocol_cache_hits, 2, "client {i} missed its protocol cache");
+    }
+    let snap = bundle.snapshot();
+    reconcile(&snap, completed, 0);
+    Ok(Outcome {
+        sessions: completed,
+        completed,
+        failed: 0,
+        stuck: 0,
+        fault_events: 0,
+        fault_fp: 0,
+        decision_fp,
+        extras: vec![("waves", "3".into()), ("republishes", "2".into())],
+        telemetry: snap,
+    })
+}
+
+fn run_scenario(name: &str, scale: &Scale, seed: u64) -> Result<Outcome, String> {
+    match name {
+        "burst_arrivals" => burst_arrivals(scale, seed),
+        "lossy_link" => lossy_link(scale, seed),
+        "partition_recovery" => partition_recovery(scale, seed),
+        "handoff_renegotiation" => handoff_renegotiation(scale, seed),
+        "cache_stampede" => cache_stampede(scale, seed),
+        "pad_rollout_rollback" => pad_rollout_rollback(scale, seed),
+        other => Err(format!("unknown scenario {other:?}")),
+    }
+}
+
+/// The JSON row for one scenario, stamped with provenance + scenario +
+/// seed via [`BenchEnv::json_fields`] (reindented one level down).
+fn row_json(env: &BenchEnv, o: &Outcome) -> String {
+    let mut v = String::from("{\n");
+    v.push_str(&env.json_fields().replace("\n  ", "\n      ").replacen("  ", "      ", 1));
+    v.push_str(&format!(
+        "      \"sessions\": {}, \"completed\": {}, \"failed\": {}, \"stuck\": {},\n",
+        o.sessions, o.completed, o.failed, o.stuck
+    ));
+    v.push_str(&format!(
+        "      \"fault_events\": {}, \"fault_fingerprint\": \"{:#018x}\",\n",
+        o.fault_events, o.fault_fp
+    ));
+    v.push_str(&format!("      \"decision_fingerprint\": \"{:#018x}\",\n", o.decision_fp));
+    for (k, val) in &o.extras {
+        v.push_str(&format!("      \"{k}\": {val},\n"));
+    }
+    v.push_str("      \"runs\": 2, \"deterministic_across_runs\": true,\n");
+    if o.telemetry.is_empty() {
+        v.push_str("      \"telemetry\": null\n    }");
+    } else {
+        v.push_str(&format!("      \"telemetry\": {}\n    }}", o.telemetry.to_json("      ")));
+    }
+    v
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let long = args.iter().any(|a| a == "--long");
+    let only = args.iter().position(|a| a == "--scenario").map(|p| {
+        args.get(p + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--scenario needs a name; one of: {SCENARIOS:?}");
+            std::process::exit(2);
+        })
+    });
+    if let Some(name) = &only {
+        if !SCENARIOS.contains(&name.as_str()) {
+            eprintln!("unknown scenario {name:?}; one of: {SCENARIOS:?}");
+            std::process::exit(2);
+        }
+    }
+    let scale = if smoke {
+        SMOKE
+    } else if long {
+        LONG
+    } else {
+        FULL
+    };
+    let mode = if smoke {
+        "smoke"
+    } else if long {
+        "long"
+    } else {
+        "full"
+    };
+    let env = BenchEnv::capture();
+    println!(
+        "scenarios ({mode}): {} session(s) per scenario, every scenario run twice under its \
+         seed (host has {} cpu(s), rev {})\n",
+        scale.sessions, env.host_cpus, env.git_sha
+    );
+
+    let selected: Vec<&str> = match &only {
+        Some(name) => vec![SCENARIOS.iter().find(|s| *s == name).unwrap()],
+        None => SCENARIOS.to_vec(),
+    };
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut sections: Vec<(String, String)> = Vec::new();
+    let mut failures = 0usize;
+    for name in selected {
+        let seed = BASE_SEED + SCENARIOS.iter().position(|s| *s == name).unwrap() as u64;
+        // The determinism contract, enforced in-process: the same seed
+        // must yield identical decisions, fault logs, and telemetry.
+        let first = run_scenario(name, &scale, seed);
+        let outcome = match (first, run_scenario(name, &scale, seed)) {
+            (Ok(a), Ok(b)) => {
+                assert_eq!(a, b, "{name}: two runs under seed {seed:#x} diverged");
+                a
+            }
+            (Err(e), _) | (_, Err(e)) => {
+                let path = format!("STALL_{name}.txt");
+                let report =
+                    format!("scenario {name} (seed {seed:#x}, {mode} scale) failed:\n{e}\n");
+                let _ = std::fs::write(&path, &report);
+                eprintln!("FAIL {name}: {e}\n  (stall report written to {path})");
+                failures += 1;
+                continue;
+            }
+        };
+        rows.push(vec![
+            name.to_string(),
+            outcome.sessions.to_string(),
+            outcome.completed.to_string(),
+            outcome.failed.to_string(),
+            outcome.stuck.to_string(),
+            outcome.fault_events.to_string(),
+            format!("{:#018x}", outcome.decision_fp),
+        ]);
+        let transport = match name {
+            "lossy_link" => "loopback+faults",
+            "partition_recovery" => "simlink+faults",
+            "handoff_renegotiation" => "simlink",
+            _ => "loopback",
+        };
+        let stamped = BenchEnv::capture().with_transport(transport).with_scenario(name, seed);
+        sections.push((name.to_string(), row_json(&stamped, &outcome)));
+    }
+
+    println!(
+        "{}",
+        render_table(
+            &["scenario", "sessions", "done", "failed", "stuck", "faults", "decision_fp"],
+            &rows
+        )
+    );
+    println!(
+        "\nevery scenario above ran twice under its seed: decisions, fault logs, and merged \
+         telemetry identical; injected faults terminated in typed errors or recovery, never hangs"
+    );
+
+    if smoke {
+        println!("(--smoke: not writing BENCH_scenarios.json)");
+    } else if !sections.is_empty() {
+        let path = "BENCH_scenarios.json";
+        let mut doc = std::fs::read_to_string(path).unwrap_or_default();
+        let mut section = get_top_level(&doc, "scenarios").unwrap_or_default();
+        for (name, row) in &sections {
+            section = upsert_top_level(&section, name, row);
+        }
+        doc = upsert_top_level(&doc, "scenarios", &section);
+        std::fs::write(path, doc).expect("write benchmark JSON");
+        println!(
+            "spliced {} scenario row(s) into the \"scenarios\" section of {path}",
+            sections.len()
+        );
+    }
+    if failures > 0 {
+        eprintln!("\n{failures} scenario(s) failed");
+        std::process::exit(1);
+    }
+}

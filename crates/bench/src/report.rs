@@ -60,17 +60,44 @@ pub fn kb(bytes: u64) -> String {
 /// interior formatting; only the two-space top-level indent is
 /// normalized.
 pub fn upsert_top_level(doc: &str, key: &str, value: &str) -> String {
+    let mut members = top_level_members(doc, "upsert_top_level");
+    let needle = format!("\"{key}\"");
+    let entry = format!("{needle}: {}", value.trim());
+    match members.iter_mut().find(|m| m.starts_with(&needle)) {
+        Some(m) => *m = entry,
+        None => members.push(entry),
+    }
+    let body: Vec<String> = members.iter().map(|m| format!("  {m}")).collect();
+    format!("{{\n{}\n}}\n", body.join(",\n"))
+}
+
+/// Reads the value text of the top-level member `key` of the JSON object
+/// `doc`, or `None` when the document is empty or has no such member.
+/// The same string-aware depth-0 scanner as [`upsert_top_level`], so a
+/// value read back can be edited (e.g. its own members upserted) and
+/// re-spliced without a JSON parser — how the scenario driver nests
+/// per-scenario rows under one `"scenarios"` section.
+pub fn get_top_level(doc: &str, key: &str) -> Option<String> {
+    let needle = format!("\"{key}\"");
+    top_level_members(doc, "get_top_level").into_iter().find(|m| m.starts_with(&needle)).map(|m| {
+        let colon = m.find(':').expect("member has a colon");
+        m[colon + 1..].trim().to_string()
+    })
+}
+
+/// Splits the body of JSON object `doc` at depth-0 commas outside string
+/// literals, returning the trimmed `"key": value` member texts.
+fn top_level_members(doc: &str, caller: &str) -> Vec<String> {
     let trimmed = doc.trim();
     let inner = if trimmed.is_empty() {
         ""
     } else {
         assert!(
             trimmed.starts_with('{') && trimmed.ends_with('}'),
-            "upsert_top_level: doc is not a JSON object"
+            "{caller}: doc is not a JSON object"
         );
         &trimmed[1..trimmed.len() - 1]
     };
-    // Split the object body at depth-0 commas outside string literals.
     let mut members: Vec<String> = Vec::new();
     let (mut depth, mut in_str, mut esc) = (0i32, false, false);
     let mut start = 0usize;
@@ -95,14 +122,7 @@ pub fn upsert_top_level(doc: &str, key: &str, value: &str) -> String {
     if !tail.is_empty() {
         members.push(tail.to_string());
     }
-    let needle = format!("\"{key}\"");
-    let entry = format!("{needle}: {}", value.trim());
-    match members.iter_mut().find(|m| m.starts_with(&needle)) {
-        Some(m) => *m = entry,
-        None => members.push(entry),
-    }
-    let body: Vec<String> = members.iter().map(|m| format!("  {m}")).collect();
-    format!("{{\n{}\n}}\n", body.join(",\n"))
+    members
 }
 
 #[cfg(test)]
@@ -170,5 +190,35 @@ mod tests {
         let again = upsert_top_level(&doc, "c100k", "{\"v\": 2}");
         assert_eq!(again.matches("\"c100k\"").count(), 1);
         assert!(again.contains("\"c100k\": {\"v\": 2}"));
+    }
+
+    #[test]
+    fn get_reads_back_what_upsert_wrote() {
+        assert_eq!(get_top_level("", "x"), None);
+        let doc = upsert_top_level("", "c100k", "{\"sessions\": 5}");
+        assert_eq!(get_top_level(&doc, "c100k").as_deref(), Some("{\"sessions\": 5}"));
+        assert_eq!(get_top_level(&doc, "missing"), None);
+    }
+
+    #[test]
+    fn get_then_upsert_nests_members_one_level_down() {
+        // The scenario driver's round trip: read the "scenarios" section,
+        // upsert one scenario's row inside it, splice it back.
+        let mut doc = String::new();
+        for (name, row) in [("lossy_link", "{\"completed\": 7}"), ("handoff", "{\"completed\": 3}")]
+        {
+            let section = get_top_level(&doc, "scenarios").unwrap_or_default();
+            let section = upsert_top_level(&section, name, row);
+            doc = upsert_top_level(&doc, "scenarios", &section);
+        }
+        assert!(doc.contains("\"lossy_link\": {\"completed\": 7}"), "{doc}");
+        assert!(doc.contains("\"handoff\": {\"completed\": 3}"), "{doc}");
+        // Updating one member leaves the sibling untouched.
+        let section = get_top_level(&doc, "scenarios").unwrap();
+        let section = upsert_top_level(&section, "lossy_link", "{\"completed\": 9}");
+        let doc = upsert_top_level(&doc, "scenarios", &section);
+        assert!(doc.contains("\"lossy_link\": {\"completed\": 9}"), "{doc}");
+        assert!(doc.contains("\"handoff\": {\"completed\": 3}"), "{doc}");
+        assert_eq!(doc.matches("\"scenarios\"").count(), 1);
     }
 }

@@ -26,7 +26,7 @@ use fractal_vm::verify::verify_module;
 use fractal_vm::{analyze_module, SandboxPolicy, SignedModule};
 
 use crate::error::FractalError;
-use crate::meta::{AppId, ClientEnv, PadId, PadMeta};
+use crate::meta::{AppId, ClientEnv, NtwkMeta, PadId, PadMeta};
 
 /// One locally cached content version.
 #[derive(Clone, Debug)]
@@ -155,6 +155,16 @@ impl FractalClient {
     /// Drops the protocol cache (e.g. when the environment changes).
     pub fn clear_protocol_cache(&mut self) {
         self.protocol_cache.clear();
+    }
+
+    /// A mobility handoff: the device moved onto a different link. The
+    /// environment the client reports changes and every cached
+    /// negotiation result is invalidated — the old decisions were priced
+    /// for the old network. Deployed PADs stay: code already through the
+    /// acceptance gauntlet remains trustworthy on any link.
+    pub fn handoff(&mut self, ntwk: NtwkMeta) {
+        self.env.ntwk = ntwk;
+        self.clear_protocol_cache();
     }
 
     /// Whether the PAD is already deployed locally.

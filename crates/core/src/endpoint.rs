@@ -176,6 +176,14 @@ impl ProxyEndpoint {
         self.state
     }
 
+    /// Rewinds the endpoint to await a fresh INIT_REQ on the same
+    /// connection — the proxy side of a mid-session mobility handoff,
+    /// where the client renegotiates for its new environment.
+    pub fn reset(&mut self) {
+        self.state = ProxyState::AwaitInit;
+        self.app_id = None;
+    }
+
     /// Feeds a client message; `negotiate` is invoked exactly once, at the
     /// CLI_META_REP step. Returns the message(s) to send back.
     pub fn on_message<F>(

@@ -21,6 +21,9 @@
 //! * [`reactor`] — the event-driven INP endpoint: per-session state
 //!   machines ([`reactor::InpSession`]) multiplexed by a poll-based
 //!   [`reactor::Reactor`] over one shared proxy + server pair;
+//! * [`fault`] — seeded fault injection over any transport pair: loss,
+//!   duplication, reorder, corruption, transient partitions, hard link
+//!   drops — each logged deterministically;
 //! * [`transport`] — the byte-stream layer under the reactor: the
 //!   [`transport::Transport`] readiness trait, the in-memory loopback and
 //!   the [`fractal_net`]-timed simulated-link implementations, and the
@@ -50,6 +53,7 @@
 pub mod client;
 pub mod endpoint;
 pub mod error;
+pub mod fault;
 pub mod inp;
 pub mod meta;
 pub mod overhead;

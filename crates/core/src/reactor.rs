@@ -45,7 +45,7 @@ use crate::client::FractalClient;
 use crate::endpoint::{ProtocolViolation, ProxyEndpoint};
 use crate::error::{FractalError, InpError, WireError};
 use crate::inp::InpMessage;
-use crate::meta::{AppId, PadId, PadMeta, Reader, Writer};
+use crate::meta::{AppId, NtwkMeta, PadId, PadMeta, Reader, Writer};
 use crate::proxy::AdaptationProxy;
 use crate::server::ApplicationServer;
 use crate::session::PadRepo;
@@ -210,6 +210,10 @@ pub struct InpSession {
     pads: Vec<PadMeta>,
     pending: Vec<PadMeta>,
     error: Option<InpError>,
+    /// Set by [`renegotiate`](Self::renegotiate): replies from the
+    /// pre-handoff generation may still be in flight and are dropped
+    /// instead of failing the session.
+    tolerates_stale: bool,
 }
 
 impl InpSession {
@@ -226,6 +230,7 @@ impl InpSession {
             pads: Vec::new(),
             pending: Vec::new(),
             error: None,
+            tolerates_stale: false,
         }
     }
 
@@ -297,6 +302,10 @@ impl InpSession {
             }
             (SessionPhase::PadDownload, InpMessage::PadDownloadRep { pad_id, bytes }) => {
                 let Some(at) = self.pending.iter().position(|p| p.id == *pad_id) else {
+                    if self.tolerates_stale {
+                        // A pre-handoff download still in flight; drop it.
+                        return Ok(Vec::new());
+                    }
                     return Err(SessionError::UnexpectedPad(*pad_id));
                 };
                 let pad = self.pending.remove(at);
@@ -309,7 +318,15 @@ impl InpSession {
                     Ok(Vec::new())
                 }
             }
-            (SessionPhase::Sessioning, InpMessage::AppRep { content_id, version, payload, .. }) => {
+            (
+                SessionPhase::Sessioning,
+                InpMessage::AppRep { content_id, version, protocol, payload },
+            ) => {
+                if self.tolerates_stale && *protocol != self.pads[0].protocol {
+                    // A reply encoded with the pre-handoff PAD: decoding
+                    // it with the renegotiated one would corrupt content.
+                    return Ok(Vec::new());
+                }
                 if *content_id != self.content_id {
                     return Err(SessionError::WrongContent {
                         expected: self.content_id,
@@ -326,9 +343,40 @@ impl InpSession {
                 Ok(Vec::new())
             }
             (_, m) => {
+                if self.tolerates_stale {
+                    // Post-handoff, off-phase deliveries are expected:
+                    // whatever the old generation left on the wire drains
+                    // through here without failing the session.
+                    return Ok(Vec::new());
+                }
                 Err(SessionError::UnexpectedMessage { phase: self.phase.name(), message: m.name() })
             }
         }
+    }
+
+    /// Rolls a live session back through negotiation after a mobility
+    /// handoff: the client re-probes its (changed) environment, its
+    /// protocol cache is invalidated, and a fresh `INIT_REQ` is emitted.
+    /// From here on, replies from the pre-handoff generation that are
+    /// still in flight are silently dropped rather than treated as
+    /// protocol violations (see [`on_message`](Self::on_message)).
+    pub fn renegotiate(&mut self, ntwk: NtwkMeta) -> Result<Vec<InpMessage>, SessionError> {
+        if self.phase.is_terminal() || self.phase == SessionPhase::Init {
+            return Err(SessionError::UnexpectedMessage {
+                phase: self.phase.name(),
+                message: "HANDOFF",
+            });
+        }
+        self.client.handoff(ntwk);
+        self.pads.clear();
+        self.pending.clear();
+        self.init_acked = false;
+        self.tolerates_stale = true;
+        self.phase = SessionPhase::MetaExchange;
+        Ok(vec![InpMessage::InitReq {
+            app_id: self.app_id,
+            payload: b"handoff-renegotiate".to_vec(),
+        }])
     }
 
     /// Terminates the session from outside — the transport saw an
@@ -560,6 +608,9 @@ pub struct Reactor<'a> {
     ready: VecDeque<SessionId>,
     /// Pair builder for [`spawn`](Self::spawn) (default: loopback).
     profile: TransportProfile,
+    /// Checked framing: frames carry a weak-sum trailer and corrupted
+    /// deliveries surface as [`FrameError::Corrupt`](crate::transport::FrameError::Corrupt).
+    checksums: bool,
     polls: u64,
     peak_in_flight: usize,
     /// Time source for per-phase accounting. Never feature-gated: stall
@@ -585,6 +636,7 @@ impl<'a> Reactor<'a> {
             slots: Vec::new(),
             ready: VecDeque::new(),
             profile: TransportProfile::default(),
+            checksums: false,
             polls: 0,
             peak_in_flight: 0,
             clock: MonotonicClock::shared(),
@@ -598,6 +650,17 @@ impl<'a> Reactor<'a> {
     /// simulated Bluetooth link.
     pub fn with_transport(mut self, profile: impl Into<TransportProfile>) -> Reactor<'a> {
         self.profile = profile.into();
+        self
+    }
+
+    /// Turns on checked framing for every pair this reactor drives: each
+    /// frame carries a weak-sum trailer, and a frame corrupted in flight
+    /// fails its session with a typed
+    /// [`FrameError::Corrupt`](crate::transport::FrameError::Corrupt)
+    /// instead of being silently decoded. The adversity scenarios run
+    /// with this on whenever corruption faults are injected.
+    pub fn with_frame_checksums(mut self) -> Reactor<'a> {
+        self.checksums = true;
         self
     }
 
@@ -643,16 +706,35 @@ impl<'a> Reactor<'a> {
         // covering the session's opening work.
         let spawned_at = self.clock.now_ns();
         let opening = session.start().unwrap_or_default();
+        let frames: Vec<Vec<u8>> = opening.iter().map(|m| self.encode(m)).collect();
         self.push_slot(session, pair, spawned_at);
         let slot = &mut self.slots[id];
-        for msg in &opening {
-            slot.client_tx.push(Framer::frame(msg));
+        for frame in frames {
+            slot.client_tx.push(frame);
         }
         self.ready.push_back(id);
         self.sync_phase(id);
         self.peak_in_flight = self.peak_in_flight.max(self.in_flight());
         self.tele.peak_in_flight.set_max(self.peak_in_flight as i64);
         id
+    }
+
+    /// Encodes one message per the reactor's framing mode.
+    fn encode(&self, msg: &InpMessage) -> Vec<u8> {
+        if self.checksums {
+            Framer::frame_checked(msg)
+        } else {
+            Framer::frame(msg)
+        }
+    }
+
+    /// A receive framer matching the reactor's framing mode.
+    fn rx_framer(&self) -> Framer {
+        if self.checksums {
+            Framer::new().with_checksum()
+        } else {
+            Framer::new()
+        }
     }
 
     fn push_slot(&mut self, session: InpSession, pair: TransportPair, spawned_at: u64) {
@@ -666,8 +748,8 @@ impl<'a> Reactor<'a> {
             endpoint: ProxyEndpoint::new(),
             client_end: pair.client,
             service_end: pair.service,
-            client_rx: Framer::new(),
-            service_rx: Framer::new(),
+            client_rx: self.rx_framer(),
+            service_rx: self.rx_framer(),
             client_tx: SendQueue::new(),
             service_tx: SendQueue::new(),
             last_phase: SessionPhase::Init,
@@ -811,9 +893,10 @@ impl<'a> Reactor<'a> {
         }
         while let Some(msg) = self.slots[id].service_rx.next_frame()? {
             let replies = self.serve(id, &msg).map_err(InpError::Session)?;
+            let frames: Vec<Vec<u8>> = replies.iter().map(|r| self.encode(r)).collect();
             let s = &mut self.slots[id];
-            for r in &replies {
-                s.service_tx.push(Framer::frame(r));
+            for frame in frames {
+                s.service_tx.push(frame);
             }
         }
         {
@@ -830,9 +913,10 @@ impl<'a> Reactor<'a> {
             self.tele.polls.inc();
             match self.slots[id].session.on_message(&msg) {
                 Ok(replies) => {
+                    let frames: Vec<Vec<u8>> = replies.iter().map(|r| self.encode(r)).collect();
                     let s = &mut self.slots[id];
-                    for r in &replies {
-                        s.client_tx.push(Framer::frame(r));
+                    for frame in frames {
+                        s.client_tx.push(frame);
                     }
                     s.client_tx.flush(s.client_end.as_mut())?;
                 }
@@ -939,8 +1023,27 @@ impl<'a> Reactor<'a> {
     /// does the reactor return [`ReactorStalled`] (wrapped in
     /// [`InpError`]) naming the protocol-stuck sessions.
     pub fn run(&mut self) -> Result<ReactorReport, InpError> {
+        self.run_until(|_| false)
+    }
+
+    /// [`run`](Self::run) with an external stop predicate checked before
+    /// every poll — how a driver interleaves its own actions (e.g. firing
+    /// a mid-session [`handoff`](Self::handoff) once a session reaches a
+    /// given phase) with the event loop. Returns the in-progress report
+    /// as soon as `stop` fires; the reactor can be run again afterwards.
+    pub fn run_until(
+        &mut self,
+        mut stop: impl FnMut(&Reactor<'a>) -> bool,
+    ) -> Result<ReactorReport, InpError> {
         loop {
-            while self.poll().is_some() {}
+            loop {
+                if stop(self) {
+                    return Ok(self.report());
+                }
+                if self.poll().is_none() {
+                    break;
+                }
+            }
             if self.in_flight() == 0 {
                 break;
             }
@@ -1021,6 +1124,26 @@ impl<'a> Reactor<'a> {
     /// Read access to a session.
     pub fn session(&self, id: SessionId) -> &InpSession {
         &self.slots[id].session
+    }
+
+    /// Fires a mid-session mobility handoff on `id`: the client's link
+    /// changed to `ntwk`, so the session rolls back through negotiation
+    /// ([`InpSession::renegotiate`]) and the proxy-side endpoint rewinds
+    /// to await the fresh `INIT_REQ` on the same connection. Replies from
+    /// the old generation still in flight are drained and dropped by the
+    /// session. The caller is responsible for repricing the wire itself
+    /// (e.g. [`LinkHandoff::switch`](crate::transport::LinkHandoff::switch)).
+    pub fn handoff(&mut self, id: SessionId, ntwk: NtwkMeta) -> Result<(), InpError> {
+        let msgs = self.slots[id].session.renegotiate(ntwk).map_err(InpError::Session)?;
+        let frames: Vec<Vec<u8>> = msgs.iter().map(|m| self.encode(m)).collect();
+        let slot = &mut self.slots[id];
+        slot.endpoint.reset();
+        for frame in frames {
+            slot.client_tx.push(frame);
+        }
+        self.sync_phase(id);
+        self.enqueue_ready(id);
+        Ok(())
     }
 
     /// The session's wire-clock milestones (simulated µs on its pair):
@@ -1454,6 +1577,105 @@ mod tests {
         assert_eq!(a.matches("session start=").count(), 2);
         assert_eq!(a.matches("  PathSearch start=").count(), 2);
         assert!(!a.contains("dur=open"), "every span closed:\n{a}");
+    }
+
+    #[test]
+    fn handoff_renegotiates_against_the_new_environment_oracle() {
+        let tb = testbed_with_pages(1);
+        let oracle_tb = testbed_with_pages(1);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        let id =
+            reactor.spawn(InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, 0, 0));
+        // Drive until the session is deep in flight, then walk out of
+        // WLAN range: the PDA-class Bluetooth link takes over.
+        reactor.run_until(|r| r.session(id).phase() == SessionPhase::Sessioning).unwrap();
+        assert_eq!(reactor.session(id).phase(), SessionPhase::Sessioning);
+        let new_ntwk = ClientClass::PdaBluetooth.env().ntwk;
+        reactor.handoff(id, new_ntwk).unwrap();
+        assert_eq!(reactor.session(id).phase(), SessionPhase::MetaExchange, "rolled back");
+        let report = reactor.run().unwrap();
+        assert_eq!((report.completed, report.failed), (1, 0));
+        // The re-negotiated decision matches the serial oracle for the
+        // NEW environment, and the client really negotiated twice.
+        let mut env = ClientClass::LaptopWlan.env();
+        env.ntwk = new_ntwk;
+        let expect = oracle_tb.proxy.negotiate(oracle_tb.app_id, env).unwrap();
+        assert_eq!(reactor.session(id).negotiated().unwrap(), expect.as_slice());
+        assert_eq!(reactor.session(id).client().stats().negotiations, 2);
+        assert_eq!(
+            reactor.session(id).client().cached_content(0).unwrap().bytes,
+            tb.server.content(0, 0).unwrap(),
+            "content decoded with the renegotiated protocol"
+        );
+    }
+
+    #[test]
+    fn handoff_rejected_on_terminal_or_unstarted_sessions() {
+        let tb = testbed_with_pages(1);
+        let new_ntwk = ClientClass::PdaBluetooth.env().ntwk;
+        let mut done = InpSession::new(tb.client(ClientClass::DesktopLan), tb.app_id, 0, 0);
+        done.abort(InpError::Session(SessionError::AlreadyStarted));
+        assert!(done.renegotiate(new_ntwk).is_err(), "terminal sessions cannot renegotiate");
+        let mut fresh = InpSession::new(tb.client(ClientClass::DesktopLan), tb.app_id, 0, 0);
+        assert!(fresh.renegotiate(new_ntwk).is_err(), "unstarted sessions cannot renegotiate");
+    }
+
+    #[test]
+    fn checked_framing_completes_sessions_end_to_end() {
+        const N: u32 = 4;
+        let tb = testbed_with_pages(N);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_frame_checksums();
+        for i in 0..N {
+            let class = ClientClass::ALL[i as usize % 3];
+            reactor.spawn(InpSession::new(tb.client(class), tb.app_id, i, 0));
+        }
+        let report = reactor.run().unwrap();
+        assert_eq!((report.completed, report.failed), (N as usize, 0));
+    }
+
+    #[test]
+    fn corrupted_frames_fail_sessions_with_typed_errors_never_silently() {
+        use crate::fault::FaultPlan;
+        use crate::transport::{FrameError, LoopbackTransport};
+        const N: usize = 8;
+        let tb = testbed_with_pages(N as u32);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_frame_checksums();
+        let plan = FaultPlan::new(0xC0FFEE).with_corrupt(400);
+        let mut ids = Vec::new();
+        for i in 0..N {
+            let (pair, _log) = plan.for_session(i as u64).wrap_pair(LoopbackTransport::pair(4096));
+            let class = ClientClass::ALL[i % 3];
+            ids.push(
+                reactor.spawn_on(InpSession::new(tb.client(class), tb.app_id, i as u32, 0), pair),
+            );
+        }
+        // A corrupted length byte can leave a frame forever incomplete —
+        // that surfaces as a typed stall, which is also acceptable.
+        match reactor.run() {
+            Ok(_) | Err(InpError::Stalled(_)) => {}
+            Err(e) => panic!("only typed completion or stall allowed, got {e}"),
+        }
+        let mut caught = 0;
+        for &id in &ids {
+            match reactor.session(id).phase() {
+                SessionPhase::Done => {
+                    // Completed despite the adversary: content must be exact.
+                    assert_eq!(
+                        reactor.session(id).client().cached_content(id as u32).unwrap().bytes,
+                        tb.server.content(id as u32, 0).unwrap(),
+                        "session {id} completed with corrupted content"
+                    );
+                }
+                SessionPhase::Failed => {
+                    let err = reactor.session(id).error().expect("typed error");
+                    if matches!(err, InpError::Frame(FrameError::Corrupt { .. })) {
+                        caught += 1;
+                    }
+                }
+                _ => {} // protocol-stuck after a length-byte flip: typed stall above
+            }
+        }
+        assert!(caught > 0, "40% corruption must trip the checksum at least once");
     }
 
     #[test]

@@ -50,6 +50,12 @@ pub const DEFAULT_CAPACITY: usize = 4096;
 /// rejected before the reassembly buffer grows to meet it.
 pub const MAX_FRAME_BODY: usize = 1 << 20;
 
+/// Bytes of the per-frame checksum trailer in checked framing mode: the
+/// little-endian rsync weak sum of header + body. Any single-byte flip in
+/// a correctly-sliced frame changes the sum's low 16-bit component, so
+/// in-flight corruption is always caught, never silently decoded.
+pub const CHECKSUM_TRAILER_LEN: usize = 4;
+
 /// Failures of the byte pipe itself.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TransportError {
@@ -88,6 +94,14 @@ pub enum FrameError {
     },
     /// A complete frame failed to parse as an [`InpMessage`].
     Malformed(WireError),
+    /// A checksum-trailered frame arrived with a mismatched checksum —
+    /// the bytes were corrupted in flight and must not be delivered.
+    Corrupt {
+        /// The checksum the received bytes actually sum to.
+        expected: u32,
+        /// The checksum the trailer claimed.
+        got: u32,
+    },
 }
 
 impl core::fmt::Display for FrameError {
@@ -98,6 +112,9 @@ impl core::fmt::Display for FrameError {
                 write!(f, "frame body of {len} bytes exceeds the {max}-byte limit")
             }
             FrameError::Malformed(e) => write!(f, "frame failed to parse: {e}"),
+            FrameError::Corrupt { expected, got } => {
+                write!(f, "frame checksum mismatch: bytes sum to {expected:#010x}, trailer says {got:#010x}")
+            }
         }
     }
 }
@@ -396,6 +413,49 @@ impl SimLinkTransport {
             client: Box::new(SimLinkTransport { state: Rc::clone(&state), side: Side::Client }),
             service: Box::new(SimLinkTransport { state, side: Side::Service }),
         }
+    }
+
+    /// Like [`pair`](Self::pair), but also returns a [`LinkHandoff`]
+    /// handle that can swap the link model mid-session — the mobility
+    /// primitive (walk out of WLAN range, fall back to Bluetooth).
+    pub fn pair_with_handoff(link: Link, capacity: usize) -> (TransportPair, LinkHandoff) {
+        assert!(capacity > 0, "transport capacity must be positive");
+        let state = Rc::new(RefCell::new(SimState {
+            link,
+            capacity,
+            now: 0,
+            closed: false,
+            to_service: SimWire::default(),
+            to_client: SimWire::default(),
+        }));
+        let pair = TransportPair {
+            client: Box::new(SimLinkTransport { state: Rc::clone(&state), side: Side::Client }),
+            service: Box::new(SimLinkTransport { state: Rc::clone(&state), side: Side::Service }),
+        };
+        (pair, LinkHandoff { state })
+    }
+}
+
+/// A handle onto a live [`SimLinkTransport`] pair's link model.
+///
+/// [`switch`](Self::switch) swaps the link under the pair mid-session:
+/// chunks already in flight keep the delivery times the old link priced
+/// them at (they are already on the old medium), while every subsequent
+/// `send` serializes at the new link's goodput and latency.
+#[derive(Debug)]
+pub struct LinkHandoff {
+    state: Rc<RefCell<SimState>>,
+}
+
+impl LinkHandoff {
+    /// Swaps the pair onto `link` at the pair's current simulated time.
+    pub fn switch(&self, link: Link) {
+        self.state.borrow_mut().link = link;
+    }
+
+    /// The link currently under the pair.
+    pub fn link(&self) -> Link {
+        self.state.borrow().link
     }
 }
 
@@ -815,6 +875,7 @@ impl Transport for TrickleTransport {
 pub struct Framer {
     buf: Vec<u8>,
     max_body: usize,
+    checksum: bool,
 }
 
 impl Default for Framer {
@@ -831,12 +892,31 @@ impl Framer {
 
     /// A framer rejecting bodies longer than `max_body`.
     pub fn with_max_body(max_body: usize) -> Framer {
-        Framer { buf: Vec::new(), max_body }
+        Framer { buf: Vec::new(), max_body, checksum: false }
+    }
+
+    /// Switches this framer to checked framing: every frame must carry a
+    /// [`CHECKSUM_TRAILER_LEN`]-byte weak-sum trailer (produce such frames
+    /// with [`frame_checked`](Self::frame_checked)); a mismatch surfaces
+    /// as [`FrameError::Corrupt`] instead of a silently-decoded message.
+    pub fn with_checksum(mut self) -> Framer {
+        self.checksum = true;
+        self
     }
 
     /// Encodes one message as a wire frame (header + body).
     pub fn frame(msg: &InpMessage) -> Vec<u8> {
         msg.to_bytes()
+    }
+
+    /// Encodes one message as a checked wire frame: header + body plus
+    /// the weak-sum trailer a [`with_checksum`](Self::with_checksum)
+    /// framer verifies on receipt.
+    pub fn frame_checked(msg: &InpMessage) -> Vec<u8> {
+        let mut bytes = msg.to_bytes();
+        let sum = fractal_crypto::checksum::weak_sum(&bytes);
+        bytes.extend_from_slice(&sum.to_le_bytes());
+        bytes
     }
 
     /// Appends received bytes to the reassembly buffer.
@@ -871,9 +951,10 @@ impl Framer {
         if self.buf.len() < HEADER_LEN {
             return false;
         }
+        let trailer = if self.checksum { CHECKSUM_TRAILER_LEN } else { 0 };
         match inp::header_info(&self.buf[..HEADER_LEN]) {
             Err(_) => true,
-            Ok((_, len)) => len > self.max_body || self.buf.len() >= HEADER_LEN + len,
+            Ok((_, len)) => len > self.max_body || self.buf.len() >= HEADER_LEN + len + trailer,
         }
     }
 
@@ -890,11 +971,21 @@ impl Framer {
             return Err(FrameError::Oversized { len, max: self.max_body });
         }
         let frame_len = HEADER_LEN + len;
-        if self.buf.len() < frame_len {
+        let trailer = if self.checksum { CHECKSUM_TRAILER_LEN } else { 0 };
+        if self.buf.len() < frame_len + trailer {
             return Ok(None);
         }
+        if self.checksum {
+            let mut sum = [0u8; CHECKSUM_TRAILER_LEN];
+            sum.copy_from_slice(&self.buf[frame_len..frame_len + trailer]);
+            let got = u32::from_le_bytes(sum);
+            let expected = fractal_crypto::checksum::weak_sum(&self.buf[..frame_len]);
+            if got != expected {
+                return Err(FrameError::Corrupt { expected, got });
+            }
+        }
         let msg = InpMessage::from_bytes(&self.buf[..frame_len]).map_err(FrameError::Malformed)?;
-        self.buf.drain(..frame_len);
+        self.buf.drain(..frame_len + trailer);
         Ok(Some(msg))
     }
 
@@ -1123,6 +1214,77 @@ mod tests {
         assert_eq!(framer.next_frame(), Ok(None));
         framer.push(&frame[HEADER_LEN + 5..]);
         assert_eq!(framer.next_frame(), Ok(Some(msg(32))));
+    }
+
+    #[test]
+    fn checked_framer_reassembles_across_arbitrary_chunks() {
+        let messages = [msg(0), msg(3), msg(600), msg(1)];
+        let stream: Vec<u8> = messages.iter().flat_map(Framer::frame_checked).collect();
+        let mut framer = Framer::new().with_checksum();
+        let mut out = Vec::new();
+        for chunk in stream.chunks(5) {
+            framer.push(chunk);
+            while let Some(m) = framer.next_frame().unwrap() {
+                out.push(m);
+            }
+        }
+        assert_eq!(out, messages);
+        assert_eq!(framer.buffered(), 0);
+    }
+
+    #[test]
+    fn checked_framer_rejects_every_single_byte_flip() {
+        let frame = Framer::frame_checked(&msg(64));
+        for i in 0..frame.len() {
+            let mut bad = frame.clone();
+            bad[i] ^= 0xA5;
+            let mut framer = Framer::new().with_checksum();
+            framer.push(&bad);
+            match framer.next_frame() {
+                // A flipped length byte can leave the framer waiting on
+                // bytes that never come — not-delivered is acceptable;
+                // delivering a message is not.
+                Ok(None) | Err(_) => {}
+                Ok(Some(m)) => panic!("flip at byte {i} decoded as {m:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn checked_framer_waits_for_the_trailer() {
+        let frame = Framer::frame_checked(&msg(16));
+        let mut framer = Framer::new().with_checksum();
+        framer.push(&frame[..frame.len() - 1]);
+        assert!(!framer.frame_ready(), "trailer incomplete");
+        assert_eq!(framer.next_frame(), Ok(None));
+        framer.push(&frame[frame.len() - 1..]);
+        assert!(framer.frame_ready());
+        assert_eq!(framer.next_frame(), Ok(Some(msg(16))));
+    }
+
+    #[test]
+    fn link_handoff_reprices_subsequent_sends() {
+        let wlan = LinkKind::Wlan.link();
+        let bt = LinkKind::Bluetooth.link();
+        let (TransportPair { mut client, mut service }, handoff) =
+            SimLinkTransport::pair_with_handoff(wlan, 4096);
+        client.send(&[1u8; 500]).unwrap();
+        let first = service.next_ready_at().unwrap();
+        assert_eq!(first, wlan.serialization_time(500).as_micros() + wlan.latency.as_micros());
+        // Drain the WLAN chunk, then switch mediums.
+        service.advance_to(first);
+        let mut buf = [0u8; 512];
+        service.recv(&mut buf).unwrap();
+        handoff.switch(bt);
+        assert_eq!(handoff.link(), bt);
+        client.advance_to(first);
+        client.send(&[2u8; 500]).unwrap();
+        let second = service.next_ready_at().unwrap();
+        assert_eq!(
+            second,
+            first + bt.serialization_time(500).as_micros() + bt.latency.as_micros(),
+            "post-handoff chunk priced at the new link"
+        );
     }
 
     #[test]

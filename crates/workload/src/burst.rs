@@ -1,0 +1,163 @@
+//! Self-similar bursty arrival schedules.
+//!
+//! The generator is a **beta-multiplier multiplicative cascade** over a
+//! dyadic tree — the construction used by multifractal wavelet traffic
+//! models: start with the total arrival mass at the root, and at every
+//! node split the mass between the two children with a random multiplier
+//! `m` / `1 - m`. After `levels` splits the leaves form `2^levels` time
+//! slots whose masses exhibit the burstiness of the cascade: long-range
+//! dependent, self-similar clumping rather than uniform spread.
+//!
+//! The multiplier is the two-point "beta" distribution: `m = 0.5 +
+//! spread/2`, with the heavy side chosen by one bit of a seeded
+//! xorshift64 stream. `spread = 0` degenerates to a perfectly uniform
+//! schedule; `spread → 1` concentrates nearly all arrivals in a few
+//! slots. Everything is integer-exact downstream: masses are converted
+//! to per-slot counts by largest-remainder rounding, so
+//! `counts(total).sum() == total` always.
+
+/// A deterministic beta-multiplier cascade over `2^levels` time slots.
+#[derive(Clone, Copy, Debug)]
+pub struct BurstCascade {
+    seed: u64,
+    levels: u32,
+    spread: f64,
+}
+
+fn xorshift64(s: &mut u64) -> u64 {
+    *s ^= *s << 13;
+    *s ^= *s >> 7;
+    *s ^= *s << 17;
+    *s
+}
+
+impl BurstCascade {
+    /// Creates a cascade. `levels` is the dyadic depth (`2^levels`
+    /// slots, capped at 20); `spread` in `[0, 1]` sets how uneven each
+    /// split is (`0` = uniform, `1` = maximally bursty).
+    pub fn new(seed: u64, levels: u32, spread: f64) -> BurstCascade {
+        assert!(levels <= 20, "cascade depth {levels} too deep");
+        assert!((0.0..=1.0).contains(&spread), "spread {spread} outside [0, 1]");
+        // xorshift has a fixed point at zero; displace it deterministically.
+        let seed = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        BurstCascade { seed, levels, spread }
+    }
+
+    /// Number of time slots (`2^levels`).
+    pub fn slots(&self) -> usize {
+        1usize << self.levels
+    }
+
+    /// The leaf mass fractions, in slot order. Sums to 1 (up to float
+    /// rounding); every fraction is in `(0, 1]`.
+    pub fn weights(&self) -> Vec<f64> {
+        let mut s = self.seed;
+        let heavy = 0.5 + self.spread / 2.0;
+        let mut w = vec![1.0f64];
+        for _ in 0..self.levels {
+            let mut next = Vec::with_capacity(w.len() * 2);
+            for parent in w {
+                let left = if xorshift64(&mut s) & 1 == 0 { heavy } else { 1.0 - heavy };
+                next.push(parent * left);
+                next.push(parent * (1.0 - left));
+            }
+            w = next;
+        }
+        w
+    }
+
+    /// Distributes `total` arrivals over the slots by largest-remainder
+    /// rounding of the cascade weights. The counts always sum to
+    /// exactly `total`.
+    pub fn counts(&self, total: usize) -> Vec<usize> {
+        let w = self.weights();
+        let mut counts: Vec<usize> = Vec::with_capacity(w.len());
+        let mut remainders: Vec<(usize, f64)> = Vec::with_capacity(w.len());
+        let mut assigned = 0usize;
+        for (i, wi) in w.iter().enumerate() {
+            let exact = wi * total as f64;
+            let floor = exact.floor() as usize;
+            counts.push(floor);
+            assigned += floor;
+            remainders.push((i, exact - floor as f64));
+        }
+        // Hand the leftover arrivals to the largest fractional parts;
+        // ties break by slot index so the result is deterministic.
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+        for (i, _) in remainders.iter().take(total - assigned) {
+            counts[*i] += 1;
+        }
+        counts
+    }
+
+    /// Expands the schedule into sorted arrival offsets (µs from start)
+    /// across a horizon of `horizon_us`. Arrivals inside one slot are
+    /// spread evenly; burstiness lives between slots.
+    pub fn offsets_us(&self, total: usize, horizon_us: u64) -> Vec<u64> {
+        let counts = self.counts(total);
+        let slots = counts.len() as u64;
+        let mut out = Vec::with_capacity(total);
+        for (slot, count) in counts.into_iter().enumerate() {
+            let start = slot as u64 * horizon_us / slots;
+            let width = (slot as u64 + 1) * horizon_us / slots - start;
+            for j in 0..count as u64 {
+                out.push(start + j * width / count.max(1) as u64);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let a = BurstCascade::new(42, 8, 0.6);
+        let b = BurstCascade::new(42, 8, 0.6);
+        assert_eq!(a.counts(10_000), b.counts(10_000));
+        assert_eq!(a.offsets_us(1_000, 1_000_000), b.offsets_us(1_000, 1_000_000));
+    }
+
+    #[test]
+    fn counts_conserve_mass() {
+        for total in [0usize, 1, 7, 100, 9_999] {
+            let c = BurstCascade::new(3, 6, 0.8);
+            assert_eq!(c.counts(total).iter().sum::<usize>(), total);
+        }
+    }
+
+    #[test]
+    fn zero_spread_is_uniform() {
+        let c = BurstCascade::new(11, 5, 0.0);
+        let counts = c.counts(32 * 10);
+        assert!(counts.iter().all(|&n| n == 10), "{counts:?}");
+    }
+
+    #[test]
+    fn high_spread_is_bursty() {
+        let c = BurstCascade::new(7, 8, 0.9);
+        let counts = c.counts(10_000);
+        let peak = *counts.iter().max().unwrap();
+        let mean = 10_000 / counts.len();
+        assert!(peak > 10 * mean, "peak {peak} vs mean {mean}");
+        // ...while a uniform schedule would have no empty slots at all.
+        assert!(counts.iter().filter(|&&n| n == 0).count() > counts.len() / 4);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = BurstCascade::new(1, 8, 0.6).counts(10_000);
+        let b = BurstCascade::new(2, 8, 0.6).counts(10_000);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn offsets_sorted_within_horizon() {
+        let offs = BurstCascade::new(5, 7, 0.7).offsets_us(5_000, 2_000_000);
+        assert_eq!(offs.len(), 5_000);
+        assert!(offs.windows(2).all(|w| w[0] <= w[1]));
+        assert!(offs.iter().all(|&t| t < 2_000_000));
+    }
+}

@@ -10,6 +10,8 @@
 //!   regime where Gzip shines);
 //! * [`image`] — DICOM-like 16-bit grayscale renderings of a smooth 3-D
 //!   field (the medical-imaging workload of reference \[29\]);
+//! * [`burst`] — self-similar bursty arrival schedules (beta-multiplier
+//!   multiplicative cascade over a dyadic tree);
 //! * [`mutate`] — version evolution: *in-place* pixel edits (Bitmap's best
 //!   case), *insertions/deletions* in text (vary-sized blocking's best
 //!   case), and fresh-content churn (Gzip/Direct's case);
@@ -21,11 +23,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod burst;
 pub mod image;
 pub mod mutate;
 pub mod pages;
 pub mod text;
 pub mod trace;
 
+pub use burst::BurstCascade;
 pub use pages::{Page, PageSet};
 pub use trace::{Request, Trace};

@@ -57,7 +57,7 @@ cargo run -q -p fractal-vm --bin fasmlint -- \
     --quiet --out target/fasmlint crates/pads/fasm/*.fasm
 
 if [ "$QUICK" -eq 1 ]; then
-    echo "All checks passed (--quick: skipped telemetry matrix + throughput smoke gate)."
+    echo "All checks passed (--quick: skipped telemetry matrix + throughput/scenario smoke gates)."
     trap - EXIT
     exit 0
 fi
@@ -126,6 +126,32 @@ if command -v timeout >/dev/null 2>&1; then
 else
     $C100K
 fi
+
+# Each adversity scenario at --smoke scale, one named step per scenario
+# so a red run says WHICH one broke. Every scenario runs twice in-process
+# under its seed and asserts identical decisions, fault logs, and merged
+# telemetry; injected faults must end in typed errors or recovery. The
+# timeout is the backstop for a failure of the stall detector itself —
+# an unexpected stall inside the budget writes STALL_<scenario>.txt and
+# exits nonzero on its own.
+cargo build -q --release -p fractal-bench --bin scenarios
+for scenario in burst_arrivals lossy_link partition_recovery \
+                handoff_renegotiation cache_stampede pad_rollout_rollback; do
+    step "scenarios smoke ($scenario)"
+    SCEN="./target/release/scenarios --smoke --scenario $scenario"
+    if command -v timeout >/dev/null 2>&1; then
+        status=0
+        timeout 120 $SCEN || status=$?
+        if [ "$status" -ne 0 ]; then
+            if [ "$status" -eq 124 ]; then
+                echo "scenario $scenario HUNG: the stall detector never fired" >&2
+            fi
+            exit "$status"
+        fi
+    else
+        $SCEN
+    fi
+done
 
 step "BENCH_throughput.json carries per-link transport rows"
 # The committed full-sweep results must include the transport pass: one
