@@ -53,6 +53,7 @@ mod imp {
     use fractal_bench::bench_env::BenchEnv;
     use fractal_bench::fig9a::client_env;
     use fractal_bench::report::{render_table, upsert_top_level};
+    use fractal_core::introspect::{http_get, response_body, IntrospectServer, IntrospectSource};
     use fractal_core::meta::PadMeta;
     use fractal_core::reactor::{InpSession, PHASE_METRICS};
     use fractal_core::server::AdaptiveContentMode;
@@ -154,7 +155,16 @@ mod imp {
     }
 
     pub fn main() {
-        let smoke = std::env::args().any(|a| a == "--smoke");
+        let args: Vec<String> = std::env::args().collect();
+        let smoke = args.iter().any(|a| a == "--smoke");
+        // `--introspect <port>` starts the live observability sidecar
+        // (port 0 = ephemeral; the bound address is printed either way).
+        let introspect_port: Option<u16> =
+            args.iter().position(|a| a == "--introspect").map(|ix| {
+                args.get(ix + 1)
+                    .and_then(|p| p.parse().ok())
+                    .expect("--introspect needs a port (0 for ephemeral)")
+            });
         let mut n_sessions = if smoke { SMOKE_SESSIONS } else { FULL_SESSIONS };
         let sweep: &[usize] = if smoke { &SHARD_SWEEP[1..2] } else { &SHARD_SWEEP };
         let stall_timeout = Duration::from_secs(if smoke { 10 } else { 30 });
@@ -179,6 +189,17 @@ mod imp {
             env.host_cpus, env.git_sha
         );
 
+        let introspect = introspect_port.map(|port| {
+            let source = IntrospectSource::new();
+            let server =
+                IntrospectServer::spawn(port, source.clone()).expect("bind introspection endpoint");
+            println!(
+                "introspection plane live at http://{} (/metrics /healthz /journal /stalls)\n",
+                server.addr()
+            );
+            (server, source)
+        });
+
         let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         let content_id = 0;
         tb.server.publish(content_id, vec![5u8; 4_000]);
@@ -192,18 +213,24 @@ mod imp {
 
         let mut rows: Vec<Row> = Vec::new();
         let mut last_snapshot = Snapshot::default();
-        for &shards in sweep {
+        for (row_ix, &shards) in sweep.iter().enumerate() {
             let sessions: Vec<InpSession> = (0..n_sessions)
                 .map(|i| {
+                    // Journal labels are sweep-global so post-mortem
+                    // `/journal?session=` queries are unambiguous.
                     InpSession::new(tb.client_with_env(client_env(i)), tb.app_id, content_id, 0)
+                        .with_label((row_ix * n_sessions + i) as u64)
                 })
                 .collect();
             // Cold proxy per row: rows measure the engine, not cache
             // carry-over from the oracle or the previous shard count.
             tb.proxy.clear_adaptation_state();
 
-            let reactor = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, shards)
+            let mut reactor = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, shards)
                 .with_stall_timeout(stall_timeout);
+            if let Some((_, source)) = &introspect {
+                reactor = reactor.with_introspect(source.clone());
+            }
             let start = Instant::now();
             let outcome = reactor.run(sessions).expect("no sharded session may stall");
             let wall = start.elapsed().as_secs_f64();
@@ -243,6 +270,26 @@ mod imp {
                 phase_ns,
                 polls: agg.polls,
             });
+        }
+
+        // Acceptance check for the observability plane: a real-TCP scrape
+        // of the quiescent plane must reconcile *exactly* with the
+        // in-process merged snapshot — same render, byte for byte.
+        if let Some((server, source)) = &introspect {
+            let resp = http_get(server.addr(), "/metrics").expect("introspection self-scrape");
+            assert!(resp.starts_with("HTTP/1.0 200 OK\r\n"), "bad scrape status: {resp}");
+            let body = response_body(&resp);
+            assert_eq!(
+                body,
+                source.merged_snapshot().render_prometheus(),
+                "self-scrape must reconcile exactly with the in-process snapshot"
+            );
+            let health = http_get(server.addr(), "/healthz").expect("healthz");
+            assert_eq!(response_body(&health), "ok\n");
+            println!(
+                "introspection self-scrape reconciled exactly ({} bytes of /metrics)\n",
+                body.len()
+            );
         }
 
         let table: Vec<Vec<String>> = rows

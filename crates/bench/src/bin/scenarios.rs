@@ -36,19 +36,21 @@
 //! `workflow_dispatch`. An *unexpected* stall writes `STALL_<name>.txt`
 //! with the stuck-session phase report and exits nonzero.
 
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 use fractal_bench::bench_env::BenchEnv;
 use fractal_bench::fig9a::client_env;
 use fractal_bench::report::{get_top_level, render_table, upsert_top_level};
 use fractal_core::error::InpError;
 use fractal_core::fault::{FaultKind, FaultLog, FaultPlan};
+use fractal_core::introspect::{http_get, response_body, IntrospectServer, IntrospectSource};
 use fractal_core::meta::{ClientEnv, PadMeta};
 use fractal_core::reactor::{InpSession, Reactor, SessionPhase};
 use fractal_core::server::AdaptiveContentMode;
 use fractal_core::testbed::Testbed;
 use fractal_core::transport::{LoopbackTransport, SimLinkTransport};
 use fractal_net::LinkKind;
+use fractal_telemetry::journal::{Journal, JournalSnapshot};
 use fractal_telemetry::{Registry, Snapshot, Telemetry, VirtualClock};
 use fractal_workload::BurstCascade;
 
@@ -117,14 +119,51 @@ struct Outcome {
     /// Scenario-specific row members, already JSON-formatted.
     extras: Vec<(&'static str, String)>,
     telemetry: Snapshot,
+    /// The run's flight-recorder snapshot: phase transitions, handoffs,
+    /// and injected faults on one causal stream per session. Part of the
+    /// equality contract — two runs must journal identically too.
+    journal: JournalSnapshot,
 }
 
-/// A fresh per-run telemetry bundle on a virtual clock: metric values
-/// become a pure function of event order, so run-to-run snapshot
-/// equality is meaningful (and the reconciliation below exact).
-fn run_bundle() -> (Telemetry, fractal_telemetry::SharedClock) {
+/// What a failing scenario hands back: the message plus the failing
+/// pass's telemetry snapshot (each run starts a fresh registry, so the
+/// snapshot *is* the diff for that pass) and its flight-recorder
+/// snapshot — everything `STALL_<name>.txt` embeds.
+struct Failure {
+    msg: String,
+    telemetry: Snapshot,
+    journal: JournalSnapshot,
+}
+
+impl Failure {
+    /// A failure with no observability to attach (pre-run errors).
+    fn bare(msg: String) -> Box<Failure> {
+        Box::new(Failure {
+            msg,
+            telemetry: Snapshot::default(),
+            journal: JournalSnapshot::default(),
+        })
+    }
+}
+
+/// The live introspection plane, when `--introspect` is up. Scenario
+/// bundles attach here as they are created and are never retired: the
+/// registries only grow, so scrapes stay monotonic for the process
+/// lifetime.
+static INTROSPECT: OnceLock<Arc<IntrospectSource>> = OnceLock::new();
+
+/// A fresh per-run telemetry bundle + flight recorder on a virtual
+/// clock: metric values and journal timestamps become pure functions of
+/// event order, so run-to-run snapshot equality is meaningful (and the
+/// reconciliation below exact).
+fn run_bundle() -> (Telemetry, fractal_telemetry::SharedClock, Arc<Journal>) {
     let clock = VirtualClock::shared(1);
-    (Telemetry::new(Arc::new(Registry::new()), Arc::clone(&clock)), clock)
+    let tele = Telemetry::new(Arc::new(Registry::new()), Arc::clone(&clock));
+    let journal = Arc::new(Journal::new(4096).with_clock(Arc::clone(&clock)));
+    if let Some(src) = INTROSPECT.get() {
+        src.attach(tele.clone(), Arc::clone(&journal));
+    }
+    (tele, clock, journal)
 }
 
 /// Asserts the run bundle's reactor counters agree with the accumulated
@@ -169,7 +208,7 @@ fn oracle_decisions(n: usize) -> Vec<u64> {
 /// pressure comes in bursts (one spawn wave per cascade slot, partial
 /// pumping between waves) instead of all-at-once, yet every session must
 /// complete with the oracle's decision.
-fn burst_arrivals(scale: &Scale, seed: u64) -> Result<Outcome, String> {
+fn burst_arrivals(scale: &Scale, seed: u64) -> Result<Outcome, Box<Failure>> {
     let n = scale.sessions;
     let cascade = BurstCascade::new(seed, scale.levels, 0.8);
     let counts = cascade.counts(n);
@@ -177,9 +216,14 @@ fn burst_arrivals(scale: &Scale, seed: u64) -> Result<Outcome, String> {
     let oracle = oracle_decisions(n);
 
     let tb = testbed_with_pages();
-    let (bundle, clock) = run_bundle();
-    let mut reactor =
-        Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_clock(clock).with_telemetry(&bundle);
+    let (bundle, clock, journal) = run_bundle();
+    let fail = |msg: String| {
+        Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
+    };
+    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+        .with_clock(clock)
+        .with_telemetry(&bundle)
+        .with_journal(Arc::clone(&journal));
     let mut spawned = 0usize;
     for &wave in &counts {
         for _ in 0..wave {
@@ -198,7 +242,7 @@ fn burst_arrivals(scale: &Scale, seed: u64) -> Result<Outcome, String> {
         }
     }
     assert_eq!(spawned, n, "cascade counts must conserve the population");
-    let report = reactor.run().map_err(|e| format!("burst_arrivals stalled: {e}"))?;
+    let report = reactor.run().map_err(|e| fail(format!("burst_arrivals stalled: {e}")))?;
     assert_eq!((report.completed, report.failed), (n, 0), "bursty admission broke sessions");
 
     let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
@@ -222,6 +266,7 @@ fn burst_arrivals(scale: &Scale, seed: u64) -> Result<Outcome, String> {
             ("peak_wave", peak_wave.to_string()),
         ],
         telemetry: snap,
+        journal: journal.snapshot(),
     })
 }
 
@@ -229,19 +274,28 @@ fn burst_arrivals(scale: &Scale, seed: u64) -> Result<Outcome, String> {
 /// are classified, never hung: exact content on completion, a typed
 /// error on failure, a typed stall report for sessions the adversary
 /// starved — and corruption must be *caught* at least once.
-fn lossy_link(scale: &Scale, seed: u64) -> Result<Outcome, String> {
+fn lossy_link(scale: &Scale, seed: u64) -> Result<Outcome, Box<Failure>> {
     let n = scale.sessions;
     let plan = FaultPlan::new(seed).with_drop(20).with_dup(40).with_corrupt(30).with_reorder(60);
     let tb = testbed_with_pages();
-    let (bundle, clock) = run_bundle();
+    let (bundle, clock, journal) = run_bundle();
+    let fail = |msg: String| {
+        Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
+    };
     let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
         .with_frame_checksums()
         .with_clock(clock)
-        .with_telemetry(&bundle);
+        .with_telemetry(&bundle)
+        .with_journal(Arc::clone(&journal));
     let mut logs: Vec<FaultLog> = Vec::with_capacity(n);
     let mut ids = Vec::with_capacity(n);
     for i in 0..n {
-        let (pair, log) = plan.for_session(i as u64).wrap_pair(LoopbackTransport::pair(4096));
+        // The fault layer journals onto the same per-session stream the
+        // reactor uses (session id = spawn order = slot id), so injected
+        // faults interleave causally with phase transitions.
+        let (pair, log) = plan
+            .for_session(i as u64)
+            .wrap_pair_journaled(LoopbackTransport::pair(4096), journal.session(i as u64));
         logs.push(log);
         let session =
             InpSession::new(tb.client_with_env(client_env(i)), tb.app_id, i as u32 % PAGES, 0);
@@ -251,7 +305,7 @@ fn lossy_link(scale: &Scale, seed: u64) -> Result<Outcome, String> {
     // sessions are expected — but only as a *typed* stall.
     match reactor.run() {
         Ok(_) | Err(InpError::Stalled(_)) => {}
-        Err(e) => return Err(format!("lossy_link died untypedly: {e}")),
+        Err(e) => return Err(fail(format!("lossy_link died untypedly: {e}"))),
     }
 
     let (mut completed, mut failed, mut stuck) = (0usize, 0usize, 0usize);
@@ -310,30 +364,37 @@ fn lossy_link(scale: &Scale, seed: u64) -> Result<Outcome, String> {
         decision_fp,
         extras: vec![("corruptions_injected", corruptions.to_string())],
         telemetry: snap,
+        journal: journal.snapshot(),
     })
 }
 
 /// A transient partition parks every in-flight byte, the link heals on
 /// the simulated clock, and every session still completes with the
 /// oracle's decision — recovery, not typed failure, is the bar here.
-fn partition_recovery(scale: &Scale, seed: u64) -> Result<Outcome, String> {
+fn partition_recovery(scale: &Scale, seed: u64) -> Result<Outcome, Box<Failure>> {
     let n = scale.sessions;
     let plan = FaultPlan::new(seed).with_partition(4, 20_000);
     let oracle = oracle_decisions(n);
     let tb = testbed_with_pages();
-    let (bundle, clock) = run_bundle();
-    let mut reactor =
-        Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_clock(clock).with_telemetry(&bundle);
+    let (bundle, clock, journal) = run_bundle();
+    let fail = |msg: String| {
+        Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
+    };
+    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+        .with_clock(clock)
+        .with_telemetry(&bundle)
+        .with_journal(Arc::clone(&journal));
     let mut logs = Vec::with_capacity(n);
     for i in 0..n {
         let inner = SimLinkTransport::pair(LinkKind::Wlan.link(), 4096);
-        let (pair, log) = plan.for_session(i as u64).wrap_pair(inner);
+        let (pair, log) =
+            plan.for_session(i as u64).wrap_pair_journaled(inner, journal.session(i as u64));
         logs.push(log);
         let session =
             InpSession::new(tb.client_with_env(client_env(i)), tb.app_id, i as u32 % PAGES, 0);
         reactor.spawn_on(session, pair);
     }
-    let report = reactor.run().map_err(|e| format!("partition never healed: {e}"))?;
+    let report = reactor.run().map_err(|e| fail(format!("partition never healed: {e}")))?;
     assert_eq!((report.completed, report.failed), (n, 0), "partitioned sessions must recover");
 
     let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
@@ -366,6 +427,7 @@ fn partition_recovery(scale: &Scale, seed: u64) -> Result<Outcome, String> {
         decision_fp,
         extras: vec![("sessions_healed", healed.to_string())],
         telemetry: snap,
+        journal: journal.snapshot(),
     })
 }
 
@@ -373,13 +435,18 @@ fn partition_recovery(scale: &Scale, seed: u64) -> Result<Outcome, String> {
 /// to Bluetooth underneath while the INP session renegotiates. Every
 /// re-negotiated decision must match the serial oracle for the *new*
 /// environment, and every client must have negotiated exactly twice.
-fn handoff_renegotiation(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
+fn handoff_renegotiation(scale: &Scale, _seed: u64) -> Result<Outcome, Box<Failure>> {
     let n = scale.sessions;
     let tb = testbed_with_pages();
     let oracle_tb = testbed_with_pages();
-    let (bundle, clock) = run_bundle();
-    let mut reactor =
-        Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_clock(clock).with_telemetry(&bundle);
+    let (bundle, clock, journal) = run_bundle();
+    let fail = |msg: String| {
+        Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
+    };
+    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+        .with_clock(clock)
+        .with_telemetry(&bundle)
+        .with_journal(Arc::clone(&journal));
     let mut handles = Vec::with_capacity(n);
     let mut ids = Vec::with_capacity(n);
     for i in 0..n {
@@ -398,7 +465,7 @@ fn handoff_renegotiation(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
                 p == SessionPhase::Sessioning || p.is_terminal()
             })
         })
-        .map_err(|e| format!("never reached the handoff point: {e}"))?;
+        .map_err(|e| fail(format!("never reached the handoff point: {e}")))?;
 
     // Walk out of WLAN range: swap the physical link *and* force the
     // protocol back through renegotiation on every still-live session.
@@ -408,12 +475,12 @@ fn handoff_renegotiation(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
         if reactor.session(id).phase().is_terminal() {
             continue;
         }
-        reactor.handoff(id, new_ntwk).map_err(|e| format!("handoff of {id} refused: {e}"))?;
+        reactor.handoff(id, new_ntwk).map_err(|e| fail(format!("handoff of {id} refused: {e}")))?;
         handles[i].switch(LinkKind::Bluetooth.link());
         handoffs += 1;
     }
     assert!(handoffs > 0, "population finished before any handoff could fire");
-    let report = reactor.run().map_err(|e| format!("post-handoff stall: {e}"))?;
+    let report = reactor.run().map_err(|e| fail(format!("post-handoff stall: {e}")))?;
     assert_eq!((report.completed, report.failed), (n, 0), "handoff broke sessions");
 
     let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
@@ -448,6 +515,7 @@ fn handoff_renegotiation(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
         decision_fp,
         extras: vec![("handoffs", handoffs.to_string())],
         telemetry: snap,
+        journal: journal.snapshot(),
     })
 }
 
@@ -463,7 +531,7 @@ fn stampede_env(i: usize) -> ClientEnv {
 /// A population of all-distinct environments hits the cold adaptation
 /// cache at once — every negotiation is a miss. The identical second
 /// wave must be answered entirely from cache, counted exactly.
-fn cache_stampede(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
+fn cache_stampede(scale: &Scale, _seed: u64) -> Result<Outcome, Box<Failure>> {
     let n = scale.sessions;
     let tb = testbed_with_pages();
     let oracle_tb = testbed_with_pages();
@@ -472,7 +540,10 @@ fn cache_stampede(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
             fingerprint(&oracle_tb.proxy.negotiate(oracle_tb.app_id, stampede_env(i)).unwrap())
         })
         .collect();
-    let (bundle, clock) = run_bundle();
+    let (bundle, clock, journal) = run_bundle();
+    let fail = |msg: String| {
+        Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
+    };
 
     let before = tb.proxy.stats();
     assert_eq!((before.cache_hits, before.cache_misses), (0, 0), "scenario proxy must be cold");
@@ -480,17 +551,22 @@ fn cache_stampede(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
     for wave in 0..2 {
         let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
             .with_clock(Arc::clone(&clock))
-            .with_telemetry(&bundle);
+            .with_telemetry(&bundle)
+            .with_journal(Arc::clone(&journal));
         for i in 0..n {
+            // Wave-global journal labels: wave two's streams must not
+            // splice into wave one's.
             let session = InpSession::new(
                 tb.client_with_env(stampede_env(i)),
                 tb.app_id,
                 i as u32 % PAGES,
                 0,
-            );
+            )
+            .with_label((wave * n + i) as u64);
             reactor.spawn(session);
         }
-        let report = reactor.run().map_err(|e| format!("stampede wave {wave} stalled: {e}"))?;
+        let report =
+            reactor.run().map_err(|e| fail(format!("stampede wave {wave} stalled: {e}")))?;
         assert_eq!((report.completed, report.failed), (n, 0), "stampede wave {wave} broke");
         for (i, s) in reactor.into_sessions().iter().enumerate() {
             let fp = fingerprint(s.negotiated().expect("completed session negotiated"));
@@ -520,6 +596,7 @@ fn cache_stampede(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
             ("cache_hits", stats.cache_hits.to_string()),
         ],
         telemetry: snap,
+        journal: journal.snapshot(),
     })
 }
 
@@ -527,7 +604,7 @@ fn cache_stampede(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
 /// (v2 = v0's bytes). Warm clients carry their protocol cache through
 /// all three waves — one negotiation ever — and end each wave with
 /// byte-exact content for the version that wave asked for.
-fn pad_rollout_rollback(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
+fn pad_rollout_rollback(scale: &Scale, _seed: u64) -> Result<Outcome, Box<Failure>> {
     let n = scale.sessions;
     let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     let content_id = 0u32;
@@ -539,7 +616,10 @@ fn pad_rollout_rollback(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
     let oracle: Vec<u64> = (0..n)
         .map(|i| fingerprint(&oracle_tb.proxy.negotiate(oracle_tb.app_id, client_env(i)).unwrap()))
         .collect();
-    let (bundle, clock) = run_bundle();
+    let (bundle, clock, journal) = run_bundle();
+    let fail = |msg: String| {
+        Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
+    };
 
     let mut clients: Vec<fractal_core::client::FractalClient> =
         (0..n).map(|i| tb.client_with_env(client_env(i))).collect();
@@ -557,11 +637,15 @@ fn pad_rollout_rollback(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
         }
         let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
             .with_clock(Arc::clone(&clock))
-            .with_telemetry(&bundle);
-        for client in clients.drain(..) {
-            reactor.spawn(InpSession::new(client, tb.app_id, content_id, *want));
+            .with_telemetry(&bundle)
+            .with_journal(Arc::clone(&journal));
+        for (i, client) in clients.drain(..).enumerate() {
+            reactor.spawn(
+                InpSession::new(client, tb.app_id, content_id, *want)
+                    .with_label((w * n + i) as u64),
+            );
         }
-        let report = reactor.run().map_err(|e| format!("{label} wave stalled: {e}"))?;
+        let report = reactor.run().map_err(|e| fail(format!("{label} wave stalled: {e}")))?;
         assert_eq!((report.completed, report.failed), (n, 0), "{label} wave broke sessions");
         completed += report.completed;
         for (i, session) in reactor.into_sessions().into_iter().enumerate() {
@@ -598,10 +682,11 @@ fn pad_rollout_rollback(scale: &Scale, _seed: u64) -> Result<Outcome, String> {
         decision_fp,
         extras: vec![("waves", "3".into()), ("republishes", "2".into())],
         telemetry: snap,
+        journal: journal.snapshot(),
     })
 }
 
-fn run_scenario(name: &str, scale: &Scale, seed: u64) -> Result<Outcome, String> {
+fn run_scenario(name: &str, scale: &Scale, seed: u64) -> Result<Outcome, Box<Failure>> {
     match name {
         "burst_arrivals" => burst_arrivals(scale, seed),
         "lossy_link" => lossy_link(scale, seed),
@@ -609,7 +694,7 @@ fn run_scenario(name: &str, scale: &Scale, seed: u64) -> Result<Outcome, String>
         "handoff_renegotiation" => handoff_renegotiation(scale, seed),
         "cache_stampede" => cache_stampede(scale, seed),
         "pad_rollout_rollback" => pad_rollout_rollback(scale, seed),
-        other => Err(format!("unknown scenario {other:?}")),
+        other => Err(Failure::bare(format!("unknown scenario {other:?}"))),
     }
 }
 
@@ -655,6 +740,21 @@ fn main() {
             std::process::exit(2);
         }
     }
+    let introspect_server = args.iter().position(|a| a == "--introspect").map(|ix| {
+        let port: u16 = args.get(ix + 1).and_then(|p| p.parse().ok()).unwrap_or_else(|| {
+            eprintln!("--introspect needs a port (0 for ephemeral)");
+            std::process::exit(2);
+        });
+        let source = IntrospectSource::new();
+        let server =
+            IntrospectServer::spawn(port, source.clone()).expect("bind introspection endpoint");
+        println!(
+            "introspection plane live at http://{} (/metrics /healthz /journal /stalls)\n",
+            server.addr()
+        );
+        INTROSPECT.set(source).ok().expect("introspect source set once");
+        server
+    });
     let scale = if smoke {
         SMOKE
     } else if long {
@@ -693,12 +793,29 @@ fn main() {
                 assert_eq!(a, b, "{name}: two runs under seed {seed:#x} diverged");
                 a
             }
-            (Err(e), _) | (_, Err(e)) => {
+            (Err(f), _) | (_, Err(f)) => {
                 let path = format!("STALL_{name}.txt");
-                let report =
-                    format!("scenario {name} (seed {seed:#x}, {mode} scale) failed:\n{e}\n");
+                let mut report =
+                    format!("scenario {name} (seed {seed:#x}, {mode} scale) failed:\n{}\n", f.msg);
+                // Each run starts a fresh registry on a virtual clock, so
+                // this snapshot is exactly the failing pass's diff from a
+                // zero baseline — where the counters stopped is where the
+                // run died.
+                report.push_str("\n== telemetry snapshot of the failing pass ==\n");
+                if f.telemetry.is_empty() {
+                    report.push_str(
+                        "(empty: telemetry feature compiled out, or failure before first record)\n",
+                    );
+                } else {
+                    report.push_str(&f.telemetry.render_prometheus());
+                }
+                report.push_str("\n== flight recorder of the failing pass ==\n");
+                report.push_str(&f.journal.render());
                 let _ = std::fs::write(&path, &report);
-                eprintln!("FAIL {name}: {e}\n  (stall report written to {path})");
+                if let Some(src) = INTROSPECT.get() {
+                    src.record_stall(format!("{name}: {}", f.msg));
+                }
+                eprintln!("FAIL {name}: {}\n  (stall report written to {path})", f.msg);
                 failures += 1;
                 continue;
             }
@@ -748,6 +865,23 @@ fn main() {
         println!(
             "spliced {} scenario row(s) into the \"scenarios\" section of {path}",
             sections.len()
+        );
+    }
+    // With the sidecar up, close the loop over real TCP: the quiescent
+    // scrape must reconcile exactly with the in-process merged snapshot.
+    if let Some(server) = &introspect_server {
+        let source = INTROSPECT.get().expect("source set with server");
+        let resp = http_get(server.addr(), "/metrics").expect("introspection self-scrape");
+        assert!(resp.starts_with("HTTP/1.0 200 OK\r\n"), "bad scrape status: {resp}");
+        let body = response_body(&resp);
+        assert_eq!(
+            body,
+            source.merged_snapshot().render_prometheus(),
+            "self-scrape must reconcile exactly with the in-process snapshot"
+        );
+        println!(
+            "\nintrospection self-scrape reconciled exactly ({} bytes of /metrics)",
+            body.len()
         );
     }
     if failures > 0 {

@@ -1,0 +1,495 @@
+//! Bench trend tooling: load two `BENCH_*.json` documents, align their
+//! numeric series, and gate on regressions.
+//!
+//! The bench JSON is written by the repo's own textual splicers
+//! ([`report`](crate::report)), so this module carries the matching
+//! reader: a dependency-free recursive-descent JSON parser, a flattener
+//! that turns nested sections and row arrays into stable `(key, value)`
+//! series, and a direction-aware comparator. `--bin benchdiff` is the
+//! CLI; CI runs it against the committed baseline.
+//!
+//! Flattening rules, chosen so keys survive row reordering:
+//!
+//! * object members nest with `.` (`c100k.sessions`);
+//! * array elements are keyed by their identifying member —
+//!   `threads`, `shards`, `link`, `scenario`, or `label` — so
+//!   `c100k.rows[shards=2].sessions_per_sec` names the same series in
+//!   both files even if the sweep order changed (positional index is
+//!   the fallback);
+//! * only numeric leaves become series; strings, booleans, and nulls
+//!   are provenance, not trends;
+//! * `telemetry` subtrees are skipped — raw counter dumps are
+//!   reconciliation artifacts, not benchmark metrics.
+//!
+//! Comparison is direction-aware: only `*_per_sec` throughput series
+//! (higher is better) gate by default. Latency members (`*_ms`, `*_ns`,
+//! `p50`/`p99`) are reported but never fail the run — on shared 1-CPU
+//! CI they swing far too wildly to gate on.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader
+// ---------------------------------------------------------------------------
+
+/// A parsed JSON value. Object member order is preserved (the bench
+/// documents are splicer-maintained, so order is meaningful to humans).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, held as `f64` (bench values fit comfortably).
+    Num(f64),
+    /// A string literal.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, members in source order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing whitespace allowed).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let mut p = Parser { bytes: src.as_bytes(), pos: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing garbage at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    /// Member lookup on an object; `None` on other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The number in this value, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'s> {
+    bytes: &'s [u8],
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            other => Err(format!("unexpected {other:?} at byte {}", self.pos)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == b'.' || c == b'e' || c == b'E' || c == b'+' || c == b'-')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("bad escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through untouched: copy the
+                    // raw bytes until the next ASCII quote/backslash.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| "invalid utf-8 in string")?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.push((key, self.value()?));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                other => return Err(format!("expected , or }} got {other:?} at {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                other => return Err(format!("expected , or ] got {other:?} at {}", self.pos)),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Flattening
+// ---------------------------------------------------------------------------
+
+/// Members that identify an array row — checked in order; the first one
+/// present keys the row.
+const ROW_KEYS: [&str; 5] = ["threads", "shards", "link", "scenario", "label"];
+
+/// Subtrees that are reconciliation artifacts, not trend series.
+const SKIP_SUBTREES: [&str; 1] = ["telemetry"];
+
+/// Flattens a parsed bench document into `(series key, value)` pairs,
+/// in document order. See the module docs for the key grammar.
+pub fn flatten(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    walk(doc, String::new(), &mut out);
+    out
+}
+
+fn walk(v: &Json, path: String, out: &mut Vec<(String, f64)>) {
+    match v {
+        Json::Num(n) => out.push((path, *n)),
+        Json::Obj(members) => {
+            for (k, child) in members {
+                if SKIP_SUBTREES.contains(&k.as_str()) {
+                    continue;
+                }
+                let next = if path.is_empty() { k.clone() } else { format!("{path}.{k}") };
+                walk(child, next, out);
+            }
+        }
+        Json::Arr(items) => {
+            for (ix, item) in items.iter().enumerate() {
+                let tag = ROW_KEYS.iter().find_map(|rk| {
+                    item.get(rk).map(|id| match id {
+                        Json::Str(s) => format!("{rk}={s}"),
+                        Json::Num(n) => format!("{rk}={n}"),
+                        _ => format!("{rk}?"),
+                    })
+                });
+                let next = format!("{path}[{}]", tag.unwrap_or_else(|| ix.to_string()));
+                walk(item, next, out);
+            }
+        }
+        // Strings, booleans, nulls: provenance, not series.
+        _ => {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Comparison
+// ---------------------------------------------------------------------------
+
+/// How a series may gate the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Higher is better; gated (throughput).
+    HigherBetter,
+    /// Reported, never gated (latency and counts on noisy CI).
+    Informational,
+}
+
+/// The gating direction of a series key.
+pub fn direction(key: &str) -> Direction {
+    let metric = key.rsplit('.').next().unwrap_or(key);
+    if metric.ends_with("_per_sec") {
+        Direction::HigherBetter
+    } else {
+        Direction::Informational
+    }
+}
+
+/// One aligned series: its value in both documents.
+#[derive(Clone, Debug)]
+pub struct Delta {
+    /// Flattened series key.
+    pub key: String,
+    /// Value in the baseline document.
+    pub base: f64,
+    /// Value in the fresh document.
+    pub fresh: f64,
+}
+
+impl Delta {
+    /// Percent change, fresh vs base (`None` when base is 0).
+    pub fn pct(&self) -> Option<f64> {
+        (self.base != 0.0).then(|| (self.fresh - self.base) / self.base * 100.0)
+    }
+
+    /// Whether this delta fails the gate: a gated series that lost more
+    /// than `tolerance_pct` percent.
+    pub fn regressed(&self, tolerance_pct: f64) -> bool {
+        direction(&self.key) == Direction::HigherBetter
+            && self.fresh < self.base * (1.0 - tolerance_pct / 100.0)
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let pct = match self.pct() {
+            Some(p) => format!("{p:+.1}%"),
+            None => "n/a".into(),
+        };
+        write!(f, "{}: {} -> {} ({pct})", self.key, self.base, self.fresh)
+    }
+}
+
+/// The aligned comparison of two flattened documents.
+#[derive(Clone, Debug, Default)]
+pub struct DiffReport {
+    /// Series present in both documents, in baseline order.
+    pub deltas: Vec<Delta>,
+    /// Series only in the baseline (removed by the fresh run).
+    pub only_base: Vec<String>,
+    /// Series only in the fresh document (new metrics).
+    pub only_fresh: Vec<String>,
+}
+
+impl DiffReport {
+    /// Aligns two parsed documents by flattened series key.
+    pub fn compare(base: &Json, fresh: &Json) -> DiffReport {
+        let base_series = flatten(base);
+        let fresh_series = flatten(fresh);
+        let fresh_map: std::collections::HashMap<&str, f64> =
+            fresh_series.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        let base_keys: std::collections::HashSet<&str> =
+            base_series.iter().map(|(k, _)| k.as_str()).collect();
+        let mut report = DiffReport::default();
+        for (key, bval) in &base_series {
+            match fresh_map.get(key.as_str()) {
+                Some(&fval) => {
+                    report.deltas.push(Delta { key: key.clone(), base: *bval, fresh: fval })
+                }
+                None => report.only_base.push(key.clone()),
+            }
+        }
+        for (key, _) in &fresh_series {
+            if !base_keys.contains(key.as_str()) {
+                report.only_fresh.push(key.clone());
+            }
+        }
+        report
+    }
+
+    /// The deltas that fail the gate at `tolerance_pct`, optionally
+    /// restricted to keys containing `only`.
+    pub fn regressions(&self, tolerance_pct: f64, only: Option<&str>) -> Vec<&Delta> {
+        self.deltas
+            .iter()
+            .filter(|d| only.is_none_or(|s| d.key.contains(s)))
+            .filter(|d| d.regressed(tolerance_pct))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const BASE: &str = r#"{
+        "bench": "throughput",
+        "negotiations": 1000,
+        "rows": [
+            {"shards": 1, "sessions_per_sec": 200, "polls": 5000},
+            {"shards": 2, "sessions_per_sec": 110, "polls": 5000}
+        ],
+        "links": [
+            {"link": "WLAN", "negotiation_ms": 8.5}
+        ],
+        "telemetry": {"counters": {"noise_total": 9}}
+    }"#;
+
+    #[test]
+    fn parser_handles_the_bench_grammar() {
+        let doc = Json::parse(BASE).expect("parses");
+        assert_eq!(doc.get("negotiations").and_then(Json::as_f64), Some(1000.0));
+        assert_eq!(doc.get("bench"), Some(&Json::Str("throughput".into())));
+        let escaped = Json::parse(r#"{"a{b": "x\"y\n", "n": -3.5e2}"#).unwrap();
+        assert_eq!(escaped.get("a{b"), Some(&Json::Str("x\"y\n".into())));
+        assert_eq!(escaped.get("n").and_then(Json::as_f64), Some(-350.0));
+        assert!(Json::parse("{\"a\": 1,}").is_err(), "trailing comma rejected");
+        assert!(Json::parse("[1, 2] tail").is_err(), "trailing garbage rejected");
+    }
+
+    #[test]
+    fn flatten_keys_rows_by_identity_and_skips_telemetry() {
+        let doc = Json::parse(BASE).unwrap();
+        let series = flatten(&doc);
+        let keys: Vec<&str> = series.iter().map(|(k, _)| k.as_str()).collect();
+        assert!(keys.contains(&"rows[shards=1].sessions_per_sec"), "{keys:?}");
+        assert!(keys.contains(&"links[link=WLAN].negotiation_ms"), "{keys:?}");
+        assert!(keys.contains(&"negotiations"), "{keys:?}");
+        assert!(
+            !keys.iter().any(|k| k.contains("telemetry") || k.contains("noise_total")),
+            "telemetry subtree must be skipped: {keys:?}"
+        );
+        // Strings never become series.
+        assert!(!keys.contains(&"bench"), "{keys:?}");
+    }
+
+    #[test]
+    fn row_identity_survives_reordering() {
+        let reordered = BASE.replace(
+            r#"{"shards": 1, "sessions_per_sec": 200, "polls": 5000},
+            {"shards": 2, "sessions_per_sec": 110, "polls": 5000}"#,
+            r#"{"shards": 2, "sessions_per_sec": 110, "polls": 5000},
+            {"shards": 1, "sessions_per_sec": 200, "polls": 5000}"#,
+        );
+        let report =
+            DiffReport::compare(&Json::parse(BASE).unwrap(), &Json::parse(&reordered).unwrap());
+        assert!(report.only_base.is_empty() && report.only_fresh.is_empty());
+        assert!(report.deltas.iter().all(|d| d.base == d.fresh), "pure reorder: no deltas");
+    }
+
+    #[test]
+    fn gate_is_direction_aware_and_tolerant() {
+        // Throughput halves (gated), latency triples (informational).
+        let fresh = BASE
+            .replace("\"sessions_per_sec\": 200", "\"sessions_per_sec\": 90")
+            .replace("\"negotiation_ms\": 8.5", "\"negotiation_ms\": 25.5");
+        let report =
+            DiffReport::compare(&Json::parse(BASE).unwrap(), &Json::parse(&fresh).unwrap());
+        let bad = report.regressions(50.0, None);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert_eq!(bad[0].key, "rows[shards=1].sessions_per_sec");
+        assert!(bad[0].regressed(50.0));
+        // 55% drop passes a 60% tolerance.
+        assert!(report.regressions(60.0, None).is_empty());
+        // The filter narrows by substring.
+        assert!(report.regressions(50.0, Some("links")).is_empty());
+        // Latency never gates regardless of tolerance.
+        assert_eq!(direction("links[link=WLAN].negotiation_ms"), Direction::Informational);
+    }
+
+    #[test]
+    fn identical_documents_diff_to_nothing() {
+        let doc = Json::parse(BASE).unwrap();
+        let report = DiffReport::compare(&doc, &doc);
+        assert!(report.only_base.is_empty() && report.only_fresh.is_empty());
+        assert!(report.regressions(0.0, None).is_empty(), "zero tolerance, zero regressions");
+        assert!(report.deltas.iter().all(|d| d.pct() == Some(0.0) || d.base == 0.0));
+    }
+}

@@ -26,6 +26,7 @@
 pub mod ablate;
 pub mod bench_env;
 pub mod capacity;
+pub mod diff;
 pub mod fig10;
 pub mod fig11;
 pub mod fig9a;

@@ -28,6 +28,8 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
+use fractal_telemetry::journal::{KindId, SessionJournal};
+
 use crate::transport::{Transport, TransportError, TransportPair};
 
 /// Bytes one direction may park while partitioned before `writable()`
@@ -65,6 +67,33 @@ pub enum FaultKind {
     PartitionHeal,
     /// The link died for good; the pair is closed.
     LinkDropped,
+}
+
+/// Flight-recorder labels for the injected (non-`Delivered`) fault
+/// kinds, in [`fault_journal_ix`] order.
+const FAULT_KIND_LABELS: [&str; 7] = [
+    "fault:drop",
+    "fault:dup",
+    "fault:corrupt",
+    "fault:reorder",
+    "fault:partition",
+    "fault:heal",
+    "fault:link_drop",
+];
+
+/// Index of `kind` into [`FAULT_KIND_LABELS`]; `None` for `Delivered`
+/// (journaling every clean chunk would flood the ring with non-events).
+fn fault_journal_ix(kind: FaultKind) -> Option<usize> {
+    match kind {
+        FaultKind::Delivered => None,
+        FaultKind::Dropped => Some(0),
+        FaultKind::Duplicated => Some(1),
+        FaultKind::Corrupted { .. } => Some(2),
+        FaultKind::Reordered => Some(3),
+        FaultKind::PartitionStart => Some(4),
+        FaultKind::PartitionHeal => Some(5),
+        FaultKind::LinkDropped => Some(6),
+    }
 }
 
 /// One entry of the deterministic fault log.
@@ -192,6 +221,26 @@ impl FaultPlan {
     /// Wraps both ends of `pair` with this plan; the returned [`FaultLog`]
     /// observes every injected fault.
     pub fn wrap_pair(&self, pair: TransportPair) -> (TransportPair, FaultLog) {
+        self.wrap_pair_inner(pair, None)
+    }
+
+    /// [`wrap_pair`](Self::wrap_pair) that also records every injected
+    /// fault on `journal` (the session's flight-recorder handle), so a
+    /// stall's causal tail interleaves the faults with the phase chain.
+    pub fn wrap_pair_journaled(
+        &self,
+        pair: TransportPair,
+        journal: SessionJournal,
+    ) -> (TransportPair, FaultLog) {
+        let kinds = std::array::from_fn(|i| journal.kind(FAULT_KIND_LABELS[i]));
+        self.wrap_pair_inner(pair, Some((journal, kinds)))
+    }
+
+    fn wrap_pair_inner(
+        &self,
+        pair: TransportPair,
+        journal: Option<(SessionJournal, [KindId; 7])>,
+    ) -> (TransportPair, FaultLog) {
         let total = self.drop_per_mille as u32
             + self.dup_per_mille as u32
             + self.corrupt_per_mille as u32
@@ -203,6 +252,7 @@ impl FaultPlan {
             link_dropped: false,
             dirs: [DirState::new(mix(self.seed, 0xA)), DirState::new(mix(self.seed, 0xB))],
             log: Vec::new(),
+            journal,
         }));
         let wrapped = TransportPair {
             client: Box::new(FaultTransport {
@@ -258,6 +308,20 @@ struct FaultState {
     /// Index 0 = client→service, 1 = service→client.
     dirs: [DirState; 2],
     log: Vec<FaultEvent>,
+    /// Flight-recorder handle + pre-bound fault kinds, when the caller
+    /// wants injections on the session's causal stream.
+    journal: Option<(SessionJournal, [KindId; 7])>,
+}
+
+impl FaultState {
+    /// Appends to the deterministic tape and, for actual faults, to the
+    /// session's flight recorder.
+    fn log_event(&mut self, ev: FaultEvent) {
+        if let (Some((journal, kinds)), Some(ix)) = (&self.journal, fault_journal_ix(ev.kind)) {
+            journal.record(kinds[ix]);
+        }
+        self.log.push(ev);
+    }
 }
 
 /// Read-side handle onto the fault log of one wrapped pair.
@@ -367,7 +431,7 @@ impl FaultTransport {
                 d.partition_until = None;
                 d.partition_done = true;
                 let chunk = d.chunks_sent;
-                st.log.push(FaultEvent { dir: dir_tag, chunk, kind: FaultKind::PartitionHeal });
+                st.log_event(FaultEvent { dir: dir_tag, chunk, kind: FaultKind::PartitionHeal });
             }
         }
         // A held chunk released by time (no follow-up send arrived).
@@ -436,7 +500,11 @@ impl Transport for FaultTransport {
 
         if plan.drop_link_after_chunks.is_some_and(|k| chunk_no > k) {
             st.link_dropped = true;
-            st.log.push(FaultEvent { dir: dir_tag, chunk: chunk_no, kind: FaultKind::LinkDropped });
+            st.log_event(FaultEvent {
+                dir: dir_tag,
+                chunk: chunk_no,
+                kind: FaultKind::LinkDropped,
+            });
             drop(st);
             self.inner.close();
             return Err(TransportError::Closed);
@@ -446,7 +514,7 @@ impl Transport for FaultTransport {
             let d = &mut st.dirs[self.dir];
             if !d.partition_done && d.partition_until.is_none() && chunk_no > p.after_chunks {
                 d.partition_until = Some(now + p.heal_after_us.max(1));
-                st.log.push(FaultEvent {
+                st.log_event(FaultEvent {
                     dir: dir_tag,
                     chunk: chunk_no,
                     kind: FaultKind::PartitionStart,
@@ -482,14 +550,14 @@ impl Transport for FaultTransport {
         if decision == Decision::Corrupt {
             let offset = (next_rand(&mut d.rng) as usize) % chunk.len();
             chunk[offset] ^= 0xA5;
-            st.log.push(FaultEvent {
+            st.log_event(FaultEvent {
                 dir: dir_tag,
                 chunk: chunk_no,
                 kind: FaultKind::Corrupted { offset },
             });
         }
         if decision == Decision::Drop {
-            st.log.push(FaultEvent { dir: dir_tag, chunk: chunk_no, kind: FaultKind::Dropped });
+            st.log_event(FaultEvent { dir: dir_tag, chunk: chunk_no, kind: FaultKind::Dropped });
             return Ok(n);
         }
 
@@ -505,7 +573,7 @@ impl Transport for FaultTransport {
             } else {
                 FaultKind::Delivered
             };
-            st.log.push(FaultEvent { dir: dir_tag, chunk: chunk_no, kind });
+            st.log_event(FaultEvent { dir: dir_tag, chunk: chunk_no, kind });
         }
         if partitioned {
             let d = &mut st.dirs[self.dir];
@@ -742,5 +810,28 @@ mod tests {
         };
         assert_ne!(run(base.for_session(0)), run(base.for_session(1)));
         assert_eq!(run(base.for_session(3)), run(base.for_session(3)));
+    }
+
+    #[test]
+    fn journaled_wrap_mirrors_injected_faults_onto_the_flight_recorder() {
+        use fractal_telemetry::{Journal, VirtualClock};
+        use std::sync::Arc;
+        let journal = Arc::new(Journal::new(128).with_clock(VirtualClock::shared(1)));
+        let plan = FaultPlan::new(7).with_drop(300).with_dup(200).with_corrupt(200);
+        let (mut pair, log) =
+            plan.wrap_pair_journaled(LoopbackTransport::pair(1 << 16), journal.session(42));
+        for i in 0..64u8 {
+            pair.client.send(&[i; 8]).unwrap();
+        }
+        let injected =
+            log.events().iter().filter(|e| e.kind != FaultKind::Delivered).count() as u64;
+        assert!(injected > 0, "rates that high must inject something");
+        let snap = journal.snapshot();
+        assert_eq!(snap.recorded, injected, "one journal event per injected fault");
+        let tail = snap.tail(42, usize::MAX);
+        assert_eq!(tail.len() as u64, injected.min(128));
+        assert!(tail.iter().all(|e| e.kind.starts_with("fault:")), "{tail:?}");
+        // Clean deliveries never hit the ring.
+        assert!(log.events().iter().any(|e| e.kind == FaultKind::Delivered));
     }
 }

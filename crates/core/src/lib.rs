@@ -55,6 +55,8 @@ pub mod endpoint;
 pub mod error;
 pub mod fault;
 pub mod inp;
+#[cfg(unix)]
+pub mod introspect;
 pub mod meta;
 pub mod overhead;
 pub mod pat;

@@ -39,6 +39,7 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 
+use fractal_telemetry::journal::{Event, Journal, KindId, SessionJournal};
 use fractal_telemetry::{MonotonicClock, SharedClock, SpanId, Tracer};
 
 use crate::client::FractalClient;
@@ -102,7 +103,32 @@ impl SessionPhase {
             SessionPhase::Failed => "Failed",
         }
     }
+
+    /// Index of this phase among all seven phases, in protocol order —
+    /// how the flight-recorder kind table is laid out.
+    fn journal_index(self) -> usize {
+        match self {
+            SessionPhase::Init => 0,
+            SessionPhase::MetaExchange => 1,
+            SessionPhase::PathSearch => 2,
+            SessionPhase::PadDownload => 3,
+            SessionPhase::Sessioning => 4,
+            SessionPhase::Done => 5,
+            SessionPhase::Failed => 6,
+        }
+    }
 }
+
+/// All seven phases in [`SessionPhase::journal_index`] order.
+const ALL_PHASES: [SessionPhase; 7] = [
+    SessionPhase::Init,
+    SessionPhase::MetaExchange,
+    SessionPhase::PathSearch,
+    SessionPhase::PadDownload,
+    SessionPhase::Sessioning,
+    SessionPhase::Done,
+    SessionPhase::Failed,
+];
 
 /// Typed rejections of the session state machine proper. Everything a
 /// reactor caller sees is widened to [`InpError`] (see
@@ -214,6 +240,12 @@ pub struct InpSession {
     /// pre-handoff generation may still be in flight and are dropped
     /// instead of failing the session.
     tolerates_stale: bool,
+    /// Caller-assigned flight-recorder label (e.g. the global session
+    /// index in a sharded run); defaults to the reactor slot id.
+    label: Option<u64>,
+    /// Flight-recorder handle plus the `stale:drop` kind, attached by the
+    /// reactor so silently-tolerated stale deliveries leave a trace.
+    journal: Option<(SessionJournal, KindId)>,
 }
 
 impl InpSession {
@@ -231,6 +263,28 @@ impl InpSession {
             pending: Vec::new(),
             error: None,
             tolerates_stale: false,
+            label: None,
+            journal: None,
+        }
+    }
+
+    /// Tags the session with a caller-chosen flight-recorder label —
+    /// the sharded front-end uses the *global* session index, so journal
+    /// queries line up across shards.
+    pub fn with_label(mut self, label: u64) -> Self {
+        self.label = Some(label);
+        self
+    }
+
+    /// The caller-assigned flight-recorder label, if any.
+    pub fn label(&self) -> Option<u64> {
+        self.label
+    }
+
+    /// Records one `stale:drop` event, if a journal is attached.
+    fn journal_stale_drop(&self) {
+        if let Some((j, kind)) = &self.journal {
+            j.record(*kind);
         }
     }
 
@@ -304,6 +358,7 @@ impl InpSession {
                 let Some(at) = self.pending.iter().position(|p| p.id == *pad_id) else {
                     if self.tolerates_stale {
                         // A pre-handoff download still in flight; drop it.
+                        self.journal_stale_drop();
                         return Ok(Vec::new());
                     }
                     return Err(SessionError::UnexpectedPad(*pad_id));
@@ -325,6 +380,7 @@ impl InpSession {
                 if self.tolerates_stale && *protocol != self.pads[0].protocol {
                     // A reply encoded with the pre-handoff PAD: decoding
                     // it with the renegotiated one would corrupt content.
+                    self.journal_stale_drop();
                     return Ok(Vec::new());
                 }
                 if *content_id != self.content_id {
@@ -347,6 +403,7 @@ impl InpSession {
                     // Post-handoff, off-phase deliveries are expected:
                     // whatever the old generation left on the wire drains
                     // through here without failing the session.
+                    self.journal_stale_drop();
                     return Ok(Vec::new());
                 }
                 Err(SessionError::UnexpectedMessage { phase: self.phase.name(), message: m.name() })
@@ -454,6 +511,14 @@ pub struct StuckSession {
     /// order, including time accrued in the current phase up to stall
     /// detection. Phases never entered are omitted.
     pub phase_ns: Vec<(&'static str, u64)>,
+    /// Frames still queued behind full peer windows (both directions) at
+    /// stall detection: 0 means protocol-stuck (nothing left to send),
+    /// nonzero means transport-starved (the wire stopped draining).
+    pub queue_depth: usize,
+    /// The session's last journaled events (oldest first) when a flight
+    /// recorder is attached — the causal history behind the bare phase
+    /// name. Empty without a journal.
+    pub recent: Vec<Event>,
 }
 
 /// The reactor stopped with live sessions, no deliverable frames, and no
@@ -472,7 +537,7 @@ impl core::fmt::Display for ReactorStalled {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         write!(f, "reactor stalled with {} live session(s):", self.stuck.len())?;
         for s in &self.stuck {
-            write!(f, " #{}@{} [", s.id, s.phase)?;
+            write!(f, " #{}@{} q={} [", s.id, s.phase, s.queue_depth)?;
             for (i, (name, ns)) in s.phase_ns.iter().enumerate() {
                 if i > 0 {
                     write!(f, ", ")?;
@@ -480,6 +545,12 @@ impl core::fmt::Display for ReactorStalled {
                 write!(f, "{name}={ns}ns")?;
             }
             write!(f, "]")?;
+            if !s.recent.is_empty() {
+                write!(f, " last:")?;
+                for e in &s.recent {
+                    write!(f, " {}", e.kind)?;
+                }
+            }
         }
         Ok(())
     }
@@ -538,6 +609,36 @@ impl ReactorTelemetry {
     }
 }
 
+/// Events of causal history a stall report carries per stuck session.
+const STALL_TAIL_EVENTS: usize = 8;
+
+/// Pre-bound flight-recorder kind ids — one interning pass when the
+/// journal is attached, so the recording path never touches the label
+/// table.
+struct JournalKinds {
+    /// `phase:<name>` per [`SessionPhase::journal_index`].
+    phases: [KindId; 7],
+    /// `handoff` — a mid-session mobility renegotiation.
+    handoff: KindId,
+    /// `stale:drop` — a tolerated post-handoff stale delivery.
+    stale: KindId,
+    /// `stall:mark` — the session was named in a stall report.
+    stall: KindId,
+}
+
+impl JournalKinds {
+    fn bind(journal: &Journal) -> JournalKinds {
+        JournalKinds {
+            phases: std::array::from_fn(|i| {
+                journal.kind(&format!("phase:{}", ALL_PHASES[i].name()))
+            }),
+            handoff: journal.kind("handoff"),
+            stale: journal.kind("stale:drop"),
+            stall: journal.kind("stall:mark"),
+        }
+    }
+}
+
 /// Per-slot handle into a shared [`Tracer`]: the session's root span and
 /// the open child span for its current phase.
 struct SlotTrace {
@@ -587,6 +688,9 @@ struct Slot {
     /// Wire-clock milestones (simulated µs).
     times: TransportTimes,
     trace: Option<SlotTrace>,
+    /// Flight-recorder handle under the session's label (global id in a
+    /// sharded run, slot id otherwise).
+    journal: Option<SessionJournal>,
 }
 
 /// Poll-based reactor multiplexing many [`InpSession`]s over one shared
@@ -618,6 +722,10 @@ pub struct Reactor<'a> {
     clock: SharedClock,
     tracer: Option<Arc<Tracer>>,
     tele: ReactorTelemetry,
+    /// Flight recorder shared by every session this reactor drives
+    /// (normally the shard's journal). Never feature-gated: like the
+    /// clock, stall causality must work in every build.
+    journal: Option<(Arc<Journal>, JournalKinds)>,
 }
 
 impl<'a> Reactor<'a> {
@@ -642,6 +750,7 @@ impl<'a> Reactor<'a> {
             clock: MonotonicClock::shared(),
             tracer: None,
             tele: ReactorTelemetry::bind(&fractal_telemetry::Telemetry::global()),
+            journal: None,
         }
     }
 
@@ -684,6 +793,17 @@ impl<'a> Reactor<'a> {
     /// (default: the process-global one).
     pub fn with_telemetry(mut self, bundle: &fractal_telemetry::Telemetry) -> Reactor<'a> {
         self.tele = ReactorTelemetry::bind(bundle);
+        self
+    }
+
+    /// Attaches a flight recorder: every session this reactor drives
+    /// journals its phase transitions, handoffs, tolerated stale drops,
+    /// and stall marks under its label ([`InpSession::with_label`], slot
+    /// id by default). Stall reports then carry the last
+    /// [`STALL_TAIL_EVENTS`] causal events per stuck session.
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Reactor<'a> {
+        let kinds = JournalKinds::bind(&journal);
+        self.journal = Some((journal, kinds));
         self
     }
 
@@ -737,11 +857,20 @@ impl<'a> Reactor<'a> {
         }
     }
 
-    fn push_slot(&mut self, session: InpSession, pair: TransportPair, spawned_at: u64) {
+    fn push_slot(&mut self, mut session: InpSession, pair: TransportPair, spawned_at: u64) {
         let trace = self.tracer.as_ref().map(|tr| {
             let root = tr.root("session");
             let current = Some(tr.child(root, SessionPhase::Init.name()));
             SlotTrace { root, current }
+        });
+        let journal = self.journal.as_ref().map(|(journal, kinds)| {
+            let label = session.label.unwrap_or(self.slots.len() as u64);
+            let handle = journal.session(label);
+            // The session records its own tolerated stale drops on the
+            // same per-session stream.
+            session.journal = Some((handle.clone(), kinds.stale));
+            handle.record(kinds.phases[SessionPhase::Init.journal_index()]);
+            handle
         });
         self.slots.push(Slot {
             session,
@@ -757,6 +886,7 @@ impl<'a> Reactor<'a> {
             phase_ns: [0; 5],
             times: TransportTimes::default(),
             trace,
+            journal,
         });
     }
 
@@ -780,6 +910,9 @@ impl<'a> Reactor<'a> {
             let spent = now.saturating_sub(slot.phase_entered_ns);
             slot.phase_ns[ix] += spent;
             self.tele.phase_ns[ix].record(spent);
+        }
+        if let (Some(handle), Some((_, kinds))) = (slot.journal.as_ref(), self.journal.as_ref()) {
+            handle.record(kinds.phases[phase.journal_index()]);
         }
         if let (Some(tr), Some(t)) = (self.tracer.as_ref(), slot.trace.as_mut()) {
             if let Some(cur) = t.current.take() {
@@ -1115,7 +1248,22 @@ impl<'a> Reactor<'a> {
                     .filter(|&(_, &ns)| ns > 0)
                     .map(|(ix, &ns)| (TIMED_PHASES[ix].name(), ns))
                     .collect();
-                StuckSession { id, phase: s.session.phase().name(), phase_ns }
+                // Mark the stall on the session's own event stream, then
+                // pull its recent causal history (the mark included).
+                let recent = match (s.journal.as_ref(), self.journal.as_ref()) {
+                    (Some(handle), Some((journal, kinds))) => {
+                        handle.record(kinds.stall);
+                        journal.tail(handle.session(), STALL_TAIL_EVENTS)
+                    }
+                    _ => Vec::new(),
+                };
+                StuckSession {
+                    id,
+                    phase: s.session.phase().name(),
+                    phase_ns,
+                    queue_depth: self.pending_frames(id),
+                    recent,
+                }
             })
             .collect();
         ReactorStalled { stuck }
@@ -1140,6 +1288,9 @@ impl<'a> Reactor<'a> {
         slot.endpoint.reset();
         for frame in frames {
             slot.client_tx.push(frame);
+        }
+        if let (Some(handle), Some((_, kinds))) = (slot.journal.as_ref(), self.journal.as_ref()) {
+            handle.record(kinds.handoff);
         }
         self.sync_phase(id);
         self.enqueue_ready(id);
@@ -1688,5 +1839,106 @@ mod tests {
         let mut bad = encode_app_payload(1, None, 2);
         bad.push(0);
         assert_eq!(decode_app_payload(&bad), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn journal_records_full_phase_chain_per_session() {
+        use fractal_telemetry::VirtualClock;
+        let tb = testbed_with_pages(2);
+        let journal = Arc::new(Journal::new(256).with_clock(VirtualClock::shared(1)));
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+            .with_clock(VirtualClock::shared(1))
+            .with_journal(Arc::clone(&journal));
+        for i in 0..2u32 {
+            reactor.spawn(InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, i, 0));
+        }
+        reactor.run().unwrap();
+        let snap = journal.snapshot();
+        assert_eq!(snap.sessions(), vec![0, 1], "slot-id labels by default");
+        for session in 0..2u64 {
+            let tail = snap.tail(session, 16);
+            let kinds: Vec<&str> = tail.iter().map(|e| e.kind.as_str()).collect();
+            assert_eq!(
+                kinds,
+                [
+                    "phase:Init",
+                    "phase:MetaExchange",
+                    "phase:PathSearch",
+                    "phase:PadDownload",
+                    "phase:Sessioning",
+                    "phase:Done"
+                ],
+                "session {session}"
+            );
+        }
+    }
+
+    #[test]
+    fn journal_uses_caller_labels_and_marks_handoffs() {
+        let tb = testbed_with_pages(1);
+        let journal = Arc::new(Journal::new(128));
+        let mut reactor =
+            Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_journal(Arc::clone(&journal));
+        let id = reactor.spawn(
+            InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, 0, 0).with_label(4711),
+        );
+        reactor.run_until(|r| r.session(id).phase() == SessionPhase::Sessioning).unwrap();
+        reactor.handoff(id, ClientClass::PdaBluetooth.env().ntwk).unwrap();
+        reactor.run().unwrap();
+        let tail = journal.tail(4711, 32);
+        assert!(!tail.is_empty(), "events land under the caller's label");
+        let kinds: Vec<&str> = tail.iter().map(|e| e.kind.as_str()).collect();
+        assert!(kinds.contains(&"handoff"), "{kinds:?}");
+        // The handoff rolls the phase chain back through MetaExchange.
+        assert!(kinds.iter().filter(|k| **k == "phase:MetaExchange").count() >= 2, "{kinds:?}");
+        assert_eq!(*kinds.last().unwrap(), "phase:Done");
+        // Per-session seq stream is gap-free from 0.
+        let seqs: Vec<u64> = tail.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (0..tail.len() as u64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stall_report_carries_queue_depth_and_recent_events() {
+        use fractal_telemetry::VirtualClock;
+        let tb = testbed_with_pages(1);
+        let journal = Arc::new(Journal::new(64).with_clock(VirtualClock::shared(1)));
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
+            .with_clock(VirtualClock::shared(100))
+            .with_journal(Arc::clone(&journal));
+        let id = reactor.spawn_lossy(InpSession::new(
+            tb.client(ClientClass::DesktopLan),
+            tb.app_id,
+            0,
+            0,
+        ));
+        let InpError::Stalled(err) = reactor.run().unwrap_err() else {
+            panic!("lossy spawn must stall");
+        };
+        assert_eq!(err.stuck[0].id, id);
+        // Opening frames were dropped before queuing: protocol-stuck, not
+        // transport-starved.
+        assert_eq!(err.stuck[0].queue_depth, 0);
+        let kinds: Vec<&str> = err.stuck[0].recent.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, ["phase:Init", "phase:MetaExchange", "stall:mark"]);
+        let rendered = err.to_string();
+        assert!(rendered.contains("q=0"), "{rendered}");
+        assert!(rendered.contains("stall:mark"), "{rendered}");
+    }
+
+    #[test]
+    fn journal_recording_is_optional_and_absent_by_default() {
+        let tb = testbed_with_pages(1);
+        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
+        let id = reactor.spawn_lossy(InpSession::new(
+            tb.client(ClientClass::DesktopLan),
+            tb.app_id,
+            0,
+            0,
+        ));
+        let InpError::Stalled(err) = reactor.run().unwrap_err() else {
+            panic!("lossy spawn must stall");
+        };
+        assert_eq!(err.stuck[0].id, id);
+        assert!(err.stuck[0].recent.is_empty(), "no journal ⇒ no causal tail");
     }
 }

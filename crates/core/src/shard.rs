@@ -27,11 +27,16 @@
 //! lock for a rebalancing win that a round-robin deal of thousands of
 //! statistically identical sessions doesn't need.
 //!
-//! Each shard records into its **own** telemetry registry; the outcome
-//! merges them with [`Snapshot::merge`] and can
+//! Each shard records into its **own** telemetry registry and its own
+//! flight-recorder [`Journal`]; the outcome merges them with
+//! [`Snapshot::merge`] / [`JournalSnapshot::merge`] and can
 //! [`reconcile`](ShardedOutcome::reconcile) the merged counters against
 //! the aggregate [`ReactorReport`] — the cross-check that per-shard
-//! accounting neither dropped nor double-counted a session.
+//! accounting neither dropped nor double-counted a session. Sessions are
+//! journal-labeled by their **spawn order** (gid), not their shard slot,
+//! so under a pinned [`VirtualClock`]
+//! ([`with_virtual_time`](ShardedReactor::with_virtual_time)) the merged
+//! journal is byte-identical at any shard count.
 //!
 //! Stalls cannot rely on the simulated-clock protocol ([`Reactor::run`]'s
 //! device): a kernel socket has no `next_ready_at`. Instead a shard that
@@ -48,9 +53,11 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Duration;
 
-use fractal_telemetry::{MonotonicClock, Registry, Snapshot, Telemetry};
+use fractal_telemetry::journal::{Journal, JournalSnapshot, DEFAULT_JOURNAL_CAPACITY};
+use fractal_telemetry::{MonotonicClock, Registry, SharedClock, Snapshot, Telemetry, VirtualClock};
 
 use crate::error::InpError;
+use crate::introspect::IntrospectSource;
 use crate::proxy::AdaptationProxy;
 use crate::reactor::{InpSession, Reactor, ReactorReport};
 use crate::server::ApplicationServer;
@@ -92,6 +99,8 @@ pub struct ShardOutcome {
     pub report: ReactorReport,
     /// The shard's private telemetry registry, snapshotted at completion.
     pub snapshot: Snapshot,
+    /// The shard's flight-recorder journal, snapshotted at completion.
+    pub journal: JournalSnapshot,
     sessions: Vec<(usize, InpSession)>,
 }
 
@@ -124,6 +133,18 @@ impl ShardedOutcome {
         let mut merged = Snapshot::default();
         for s in &self.shards {
             merged.merge(&s.snapshot);
+        }
+        merged
+    }
+
+    /// Folds every shard's flight-recorder journal into one canonical
+    /// snapshot ([`JournalSnapshot::merge`] is associative and
+    /// commutative, and sessions are journal-labeled by spawn order, so
+    /// the result is independent of both shard order and shard count).
+    pub fn merged_journal(&self) -> JournalSnapshot {
+        let mut merged = JournalSnapshot::default();
+        for s in &self.shards {
+            merged.merge(&s.journal);
         }
         merged
     }
@@ -194,6 +215,9 @@ pub struct ShardedReactor<'a> {
     pad_repo: &'a PadRepo,
     shards: usize,
     stall_timeout: Duration,
+    virtual_tick: Option<u64>,
+    journal_capacity: usize,
+    introspect: Option<Arc<IntrospectSource>>,
 }
 
 impl<'a> ShardedReactor<'a> {
@@ -205,7 +229,16 @@ impl<'a> ShardedReactor<'a> {
         shards: usize,
     ) -> ShardedReactor<'a> {
         assert!(shards > 0, "at least one shard");
-        ShardedReactor { proxy, server, pad_repo, shards, stall_timeout: DEFAULT_STALL_TIMEOUT }
+        ShardedReactor {
+            proxy,
+            server,
+            pad_repo,
+            shards,
+            stall_timeout: DEFAULT_STALL_TIMEOUT,
+            virtual_tick: None,
+            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
+            introspect: None,
+        }
     }
 
     /// Replaces the consecutive-quiet time after which a shard with live
@@ -213,6 +246,48 @@ impl<'a> ShardedReactor<'a> {
     pub fn with_stall_timeout(mut self, stall_timeout: Duration) -> ShardedReactor<'a> {
         self.stall_timeout = stall_timeout;
         self
+    }
+
+    /// Puts every shard's telemetry *and* journal on its own
+    /// [`VirtualClock`] starting at 0 and advancing `tick` ns per
+    /// reading, instead of real monotonic time. With `tick == 0` the
+    /// timeline is pinned: every recorded timestamp is identical, so the
+    /// merged journal becomes a pure function of the per-session event
+    /// streams — byte-identical at any shard count.
+    pub fn with_virtual_time(mut self, tick: u64) -> ShardedReactor<'a> {
+        self.virtual_tick = Some(tick);
+        self
+    }
+
+    /// Replaces each shard's flight-recorder ring capacity (default
+    /// [`DEFAULT_JOURNAL_CAPACITY`]; rounded up to a power of two).
+    pub fn with_journal_capacity(mut self, capacity: usize) -> ShardedReactor<'a> {
+        self.journal_capacity = capacity;
+        self
+    }
+
+    /// Publishes this run to a live introspection plane: every shard's
+    /// registry + journal is [`attach`](IntrospectSource::attach)ed
+    /// before the shards spawn (so `/metrics` sees the run mid-flight),
+    /// [`retire`](IntrospectSource::retire)d when they join, and stall
+    /// diagnostics are pushed to `/stalls` as they surface.
+    pub fn with_introspect(mut self, source: Arc<IntrospectSource>) -> ShardedReactor<'a> {
+        self.introspect = Some(source);
+        self
+    }
+
+    /// One shard's observability bundle: a private registry + a private
+    /// flight-recorder ring, both on the same clock. Built on the caller's
+    /// thread (before the shard spawns) so live handles can be attached to
+    /// an introspection plane while the run is in flight.
+    fn shard_bundle(&self) -> (Telemetry, Arc<Journal>) {
+        let clock: SharedClock = match self.virtual_tick {
+            Some(tick) => Arc::new(VirtualClock::starting_at(0, tick)),
+            None => MonotonicClock::shared(),
+        };
+        let tele = Telemetry::new(Arc::new(Registry::new()), clock.clone());
+        let journal = Arc::new(Journal::new(self.journal_capacity).with_clock(clock));
+        (tele, journal)
     }
 
     /// Runs every session to a terminal phase over live loopback TCP.
@@ -238,6 +313,15 @@ impl<'a> ShardedReactor<'a> {
             shard_rxs.push(rx);
         }
         let abort = AtomicBool::new(false);
+        // Observability bundles are built up front, on this thread: live
+        // registry/journal handles exist before any shard spawns, which is
+        // what lets an introspection plane watch a run mid-flight.
+        let bundles: Vec<(Telemetry, Arc<Journal>)> =
+            (0..self.shards).map(|_| self.shard_bundle()).collect();
+        let attached: Vec<u64> = match &self.introspect {
+            Some(src) => bundles.iter().map(|(t, j)| src.attach(t.clone(), j.clone())).collect(),
+            None => Vec::new(),
+        };
 
         std::thread::scope(|scope| {
             let acceptor = scope.spawn(|| {
@@ -245,13 +329,24 @@ impl<'a> ShardedReactor<'a> {
             });
             let shard_handles: Vec<_> = shard_rxs
                 .into_iter()
+                .zip(bundles)
                 .enumerate()
-                .map(|(ix, rx)| scope.spawn(move || self.drive_shard(ix, rx)))
+                .map(|(ix, (rx, (tele, journal)))| {
+                    scope.spawn(move || self.drive_shard(ix, rx, tele, journal))
+                })
                 .collect();
 
             // Driver: one nonblocking connect + registration per session.
             let connect_res: Result<(), InpError> = (|| {
                 for (gid, session) in sessions.into_iter().enumerate() {
+                    // Journal-label by spawn order unless the caller chose
+                    // a label, so event streams are shard-assignment
+                    // independent.
+                    let session = if session.label().is_none() {
+                        session.with_label(gid as u64)
+                    } else {
+                        session
+                    };
                     let stream = TcpStream::connect(addr).map_err(io_err)?;
                     let local = stream.local_addr().map_err(io_err)?;
                     reg_tx
@@ -271,8 +366,22 @@ impl<'a> ShardedReactor<'a> {
             for h in shard_handles {
                 match h.join().expect("shard panicked") {
                     Ok(out) => outcomes.push(out),
-                    Err(e) if shard_err.is_none() => shard_err = Some(e),
-                    Err(_) => {}
+                    Err(e) => {
+                        if let (Some(src), InpError::Stalled(stall)) = (&self.introspect, &e) {
+                            src.record_stall(stall);
+                        }
+                        if shard_err.is_none() {
+                            shard_err = Some(e);
+                        }
+                    }
+                }
+            }
+            // Fold final registries/journals into the plane's baseline —
+            // on success *and* on failure, so scrapes stay monotonic and
+            // post-mortem journals survive the shard threads.
+            if let Some(src) = &self.introspect {
+                for id in &attached {
+                    src.retire(*id);
                 }
             }
             if let Some(e) = shard_err {
@@ -292,10 +401,12 @@ impl<'a> ShardedReactor<'a> {
         &self,
         shard: usize,
         rx: mpsc::Receiver<ShardItem>,
+        tele: Telemetry,
+        journal: Arc<Journal>,
     ) -> Result<ShardOutcome, InpError> {
-        let tele = Telemetry::new(Arc::new(Registry::new()), MonotonicClock::shared());
-        let mut reactor =
-            Reactor::new(self.proxy, self.server, self.pad_repo).with_telemetry(&tele);
+        let mut reactor = Reactor::new(self.proxy, self.server, self.pad_repo)
+            .with_telemetry(&tele)
+            .with_journal(journal.clone());
         let mut gids = Vec::new();
         // Admission: block until the acceptor has dealt the whole run
         // (senders dropped). Every session is then live before the first
@@ -332,7 +443,13 @@ impl<'a> ShardedReactor<'a> {
         }
         let report = reactor.report();
         let sessions = gids.into_iter().zip(reactor.into_sessions()).collect();
-        Ok(ShardOutcome { shard, report, snapshot: tele.snapshot(), sessions })
+        Ok(ShardOutcome {
+            shard,
+            report,
+            snapshot: tele.snapshot(),
+            journal: journal.snapshot(),
+            sessions,
+        })
     }
 }
 
@@ -481,6 +598,52 @@ mod tests {
         assert_eq!(labeled.counters["fractal_reactor_completed_total"], 8);
         assert_eq!(labeled.counters["fractal_reactor_completed_total{shard=\"0\"}"], 4);
         assert_eq!(labeled.counters["fractal_reactor_completed_total{shard=\"1\"}"], 4);
+    }
+
+    #[test]
+    fn merged_journal_is_byte_identical_across_shard_counts() {
+        const N: u32 = 8;
+        let mut renders: Vec<String> = Vec::new();
+        for shards in [1usize, 2, 4, 8] {
+            let tb = testbed_with_pages(N);
+            let sessions: Vec<InpSession> = (0..N)
+                .map(|i| {
+                    InpSession::new(tb.client(ClientClass::ALL[i as usize % 3]), tb.app_id, i, 0)
+                })
+                .collect();
+            let outcome = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, shards)
+                .with_virtual_time(0)
+                .run(sessions)
+                .expect("sharded run completes");
+            let merged = outcome.merged_journal();
+            assert_eq!(merged.sessions().len(), N as usize, "{shards} shards");
+            assert_eq!(merged.dropped, 0, "{shards} shards: ring must not wrap");
+            renders.push(merged.render());
+        }
+        for (i, other) in renders.iter().enumerate().skip(1) {
+            assert_eq!(&renders[0], other, "shard count {} vs 1", [1, 2, 4, 8][i]);
+        }
+        // The render is substantive, not trivially equal-because-empty:
+        // every session contributed its full phase chain.
+        assert!(renders[0].contains("kind=phase:Done"));
+        assert!(renders[0].contains("session=7"));
+    }
+
+    #[test]
+    fn stall_diagnostics_carry_journal_tails_over_real_sockets() {
+        let tb = testbed_with_pages(1);
+        let mut session = InpSession::new(tb.client(ClientClass::DesktopLan), tb.app_id, 0, 0);
+        session.start().unwrap();
+        let sharded = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, 1)
+            .with_stall_timeout(Duration::from_millis(200));
+        let err = sharded.run(vec![session]).unwrap_err();
+        let InpError::Stalled(stall) = err else {
+            panic!("expected typed stall, got {err:?}");
+        };
+        let stuck = &stall.stuck[0];
+        assert_eq!(stuck.queue_depth, 0, "nothing queued: protocol-stuck, not starved");
+        let kinds: Vec<&str> = stuck.recent.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, ["phase:Init", "phase:MetaExchange", "stall:mark"]);
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //! - [`registry`] — a sharded `&self` name→handle map, snapshots rendered
 //!   as a Prometheus text page or as JSON for embedding in `BENCH_*.json`;
 //! - [`span`] — nested span traces over a pluggable clock;
+//! - [`journal`] — the flight recorder: per-shard bounded ring-buffer
+//!   event journals with a deterministic, associative snapshot merge
+//!   and a per-session `tail` query;
 //! - [`clock`] — the pluggable time sources: real monotonic time in
 //!   benches, a deterministic [`VirtualClock`] in tests so traces come out
 //!   byte-identical at any thread count.
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod journal;
 pub mod metrics;
 #[cfg(not(feature = "enabled"))]
 mod noop;
@@ -41,6 +45,7 @@ pub mod registry;
 pub mod span;
 
 pub use clock::{Clock, MonotonicClock, NullClock, SharedClock, VirtualClock};
+pub use journal::{Event, Journal, JournalSnapshot, KindId, SessionJournal};
 pub use metrics::HistogramSnapshot;
 pub use registry::{Registry, Snapshot};
 pub use span::{SpanId, Tracer};

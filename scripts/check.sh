@@ -57,7 +57,7 @@ cargo run -q -p fractal-vm --bin fasmlint -- \
     --quiet --out target/fasmlint crates/pads/fasm/*.fasm
 
 if [ "$QUICK" -eq 1 ]; then
-    echo "All checks passed (--quick: skipped telemetry matrix + throughput/scenario smoke gates)."
+    echo "All checks passed (--quick: skipped telemetry matrix + throughput/scenario/introspection smoke gates)."
     trap - EXIT
     exit 0
 fi
@@ -126,6 +126,35 @@ if command -v timeout >/dev/null 2>&1; then
 else
     $C100K
 fi
+
+step "introspection smoke (flight recorder + live /metrics plane)"
+# The same c100k smoke with the HTTP introspection sidecar attached
+# (`--introspect 0` binds an ephemeral loopback port). The binary finishes
+# by scraping its own /metrics and /healthz over the kernel socket and
+# asserts the wire bytes equal the in-process merged snapshot exactly —
+# a drift between the live plane and the registry exits nonzero here.
+INTRO="./target/release/c100k --smoke --introspect 0"
+if command -v timeout >/dev/null 2>&1; then
+    status=0
+    timeout 120 $INTRO || status=$?
+    if [ "$status" -ne 0 ]; then
+        if [ "$status" -eq 124 ]; then
+            echo "introspection smoke HUNG: the plane or the stall detector wedged" >&2
+        fi
+        exit "$status"
+    fi
+else
+    $INTRO
+fi
+
+step "benchdiff self-check (committed baselines diff clean against themselves)"
+# Identity must be a fixed point: diffing a committed BENCH_*.json against
+# itself has to align every series and report zero regressions. Catches
+# row-identity or flattening bugs in the diff tool before CI relies on it
+# to gate real regressions.
+cargo build -q --release -p fractal-bench --bin benchdiff
+./target/release/benchdiff BENCH_throughput.json BENCH_throughput.json >/dev/null
+./target/release/benchdiff BENCH_scenarios.json  BENCH_scenarios.json  >/dev/null
 
 # Each adversity scenario at --smoke scale, one named step per scenario
 # so a red run says WHICH one broke. Every scenario runs twice in-process
