@@ -17,7 +17,7 @@ fn bench_negotiation(c: &mut Criterion) {
         )
     });
 
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     tb.proxy.negotiate(tb.app_id, env).unwrap();
     c.bench_function("negotiate_cache_hit", |b| {
         b.iter(|| tb.proxy.negotiate(tb.app_id, std::hint::black_box(env)).unwrap())

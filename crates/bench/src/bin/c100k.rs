@@ -55,7 +55,7 @@ mod imp {
     use fractal_bench::report::{render_table, upsert_top_level};
     use fractal_core::introspect::{http_get, response_body, IntrospectServer, IntrospectSource};
     use fractal_core::meta::PadMeta;
-    use fractal_core::reactor::{InpSession, PHASE_METRICS};
+    use fractal_core::reactor::{InpSession, ReactorConfig, PHASE_METRICS};
     use fractal_core::server::AdaptiveContentMode;
     use fractal_core::shard::ShardedReactor;
     use fractal_core::sys::raise_nofile_limit;
@@ -200,7 +200,7 @@ mod imp {
             (server, source)
         });
 
-        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         let content_id = 0;
         tb.server.publish(content_id, vec![5u8; 4_000]);
         let tb = tb;
@@ -226,11 +226,12 @@ mod imp {
             // carry-over from the oracle or the previous shard count.
             tb.proxy.clear_adaptation_state();
 
-            let mut reactor = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, shards)
-                .with_stall_timeout(stall_timeout);
+            let mut cfg = ReactorConfig::new().stall_timeout(stall_timeout);
             if let Some((_, source)) = &introspect {
-                reactor = reactor.with_introspect(source.clone());
+                cfg = cfg.introspect(source.clone());
             }
+            let reactor =
+                ShardedReactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, shards, cfg);
             let start = Instant::now();
             let outcome = reactor.run(sessions).expect("no sharded session may stall");
             let wall = start.elapsed().as_secs_f64();

@@ -25,6 +25,11 @@
 //! * `pad_rollout_rollback` — the server republishes mid-traffic and then
 //!   rolls back; warm clients ride their protocol cache through all three
 //!   versions and end with byte-exact content for each.
+//! * `live_republish` — cascade-shaped `&self` publish bursts land on the
+//!   epoch-versioned server while the whole population is in flight,
+//!   pinned to version 0; every session still decodes version 0's exact
+//!   bytes with the oracle's decision, versions append monotonically,
+//!   and every superseded snapshot generation is reclaimed by the end.
 //!
 //! Every scenario runs **twice** per invocation under the same seed and a
 //! virtual clock; the two outcomes — decision fingerprints, fault-event
@@ -45,7 +50,7 @@ use fractal_core::error::InpError;
 use fractal_core::fault::{FaultKind, FaultLog, FaultPlan};
 use fractal_core::introspect::{http_get, response_body, IntrospectServer, IntrospectSource};
 use fractal_core::meta::{ClientEnv, PadMeta};
-use fractal_core::reactor::{InpSession, Reactor, SessionPhase};
+use fractal_core::reactor::{InpSession, Reactor, ReactorConfig, SessionPhase};
 use fractal_core::server::AdaptiveContentMode;
 use fractal_core::testbed::Testbed;
 use fractal_core::transport::{LoopbackTransport, SimLinkTransport};
@@ -56,13 +61,14 @@ use fractal_workload::BurstCascade;
 
 /// The scenario matrix, in the order the full run drives it. CI fans one
 /// matrix job per name; `--scenario <name>` selects a single one.
-const SCENARIOS: [&str; 6] = [
+const SCENARIOS: [&str; 7] = [
     "burst_arrivals",
     "lossy_link",
     "partition_recovery",
     "handoff_renegotiation",
     "cache_stampede",
     "pad_rollout_rollback",
+    "live_republish",
 ];
 
 /// Base fault seed; each scenario soaks under `BASE_SEED + its index` so
@@ -186,7 +192,7 @@ fn reconcile(snap: &Snapshot, completed: usize, failed: usize) {
 }
 
 fn testbed_with_pages() -> Testbed {
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     for id in 0..PAGES {
         tb.server.publish(id, page_bytes(id as u8 + 1, 4_000));
     }
@@ -220,10 +226,8 @@ fn burst_arrivals(scale: &Scale, seed: u64) -> Result<Outcome, Box<Failure>> {
     let fail = |msg: String| {
         Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
     };
-    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-        .with_clock(clock)
-        .with_telemetry(&bundle)
-        .with_journal(Arc::clone(&journal));
+    let cfg = ReactorConfig::new().clock(clock).telemetry(&bundle).journal(Arc::clone(&journal));
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
     let mut spawned = 0usize;
     for &wave in &counts {
         for _ in 0..wave {
@@ -282,11 +286,12 @@ fn lossy_link(scale: &Scale, seed: u64) -> Result<Outcome, Box<Failure>> {
     let fail = |msg: String| {
         Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
     };
-    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-        .with_frame_checksums()
-        .with_clock(clock)
-        .with_telemetry(&bundle)
-        .with_journal(Arc::clone(&journal));
+    let cfg = ReactorConfig::new()
+        .frame_checksums()
+        .clock(clock)
+        .telemetry(&bundle)
+        .journal(Arc::clone(&journal));
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
     let mut logs: Vec<FaultLog> = Vec::with_capacity(n);
     let mut ids = Vec::with_capacity(n);
     for i in 0..n {
@@ -380,10 +385,8 @@ fn partition_recovery(scale: &Scale, seed: u64) -> Result<Outcome, Box<Failure>>
     let fail = |msg: String| {
         Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
     };
-    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-        .with_clock(clock)
-        .with_telemetry(&bundle)
-        .with_journal(Arc::clone(&journal));
+    let cfg = ReactorConfig::new().clock(clock).telemetry(&bundle).journal(Arc::clone(&journal));
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
     let mut logs = Vec::with_capacity(n);
     for i in 0..n {
         let inner = SimLinkTransport::pair(LinkKind::Wlan.link(), 4096);
@@ -443,10 +446,8 @@ fn handoff_renegotiation(scale: &Scale, _seed: u64) -> Result<Outcome, Box<Failu
     let fail = |msg: String| {
         Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
     };
-    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-        .with_clock(clock)
-        .with_telemetry(&bundle)
-        .with_journal(Arc::clone(&journal));
+    let cfg = ReactorConfig::new().clock(clock).telemetry(&bundle).journal(Arc::clone(&journal));
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
     let mut handles = Vec::with_capacity(n);
     let mut ids = Vec::with_capacity(n);
     for i in 0..n {
@@ -549,10 +550,11 @@ fn cache_stampede(scale: &Scale, _seed: u64) -> Result<Outcome, Box<Failure>> {
     assert_eq!((before.cache_hits, before.cache_misses), (0, 0), "scenario proxy must be cold");
     let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
     for wave in 0..2 {
-        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-            .with_clock(Arc::clone(&clock))
-            .with_telemetry(&bundle)
-            .with_journal(Arc::clone(&journal));
+        let cfg = ReactorConfig::new()
+            .clock(Arc::clone(&clock))
+            .telemetry(&bundle)
+            .journal(Arc::clone(&journal));
+        let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
         for i in 0..n {
             // Wave-global journal labels: wave two's streams must not
             // splice into wave one's.
@@ -606,7 +608,7 @@ fn cache_stampede(scale: &Scale, _seed: u64) -> Result<Outcome, Box<Failure>> {
 /// byte-exact content for the version that wave asked for.
 fn pad_rollout_rollback(scale: &Scale, _seed: u64) -> Result<Outcome, Box<Failure>> {
     let n = scale.sessions;
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     let content_id = 0u32;
     let v0_bytes = page_bytes(3, 4_000);
     let v1_bytes = page_bytes(9, 5_000);
@@ -635,10 +637,11 @@ fn pad_rollout_rollback(scale: &Scale, _seed: u64) -> Result<Outcome, Box<Failur
             let bytes = if *label == "rollback" { v0_bytes.clone() } else { v1_bytes.clone() };
             assert_eq!(tb.server.publish(content_id, bytes), *want);
         }
-        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-            .with_clock(Arc::clone(&clock))
-            .with_telemetry(&bundle)
-            .with_journal(Arc::clone(&journal));
+        let cfg = ReactorConfig::new()
+            .clock(Arc::clone(&clock))
+            .telemetry(&bundle)
+            .journal(Arc::clone(&journal));
+        let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
         for (i, client) in clients.drain(..).enumerate() {
             reactor.spawn(
                 InpSession::new(client, tb.app_id, content_id, *want)
@@ -686,6 +689,109 @@ fn pad_rollout_rollback(scale: &Scale, _seed: u64) -> Result<Outcome, Box<Failur
     })
 }
 
+/// Cascade-shaped publish bursts against the epoch-versioned server
+/// while the whole population is in flight. One publish per session
+/// index, shaped by [`BurstCascade`] into bursts that land between
+/// partial event-loop pumps (same thread, virtual clock — so the
+/// interleaving is deterministic and the run-twice contract is
+/// meaningful). Sessions are pinned to version 0: no matter how many
+/// successors a burst appends, each must decode version 0's exact bytes
+/// with the oracle's decision. The writer side asserts every publish
+/// appends exactly one version; the end of the run asserts every
+/// superseded snapshot generation was reclaimed.
+fn live_republish(scale: &Scale, seed: u64) -> Result<Outcome, Box<Failure>> {
+    let n = scale.sessions;
+    let cascade = BurstCascade::new(seed, scale.levels, 0.8);
+    let bursts = cascade.counts(n);
+    let peak_burst = bursts.iter().copied().max().unwrap_or(0);
+    let oracle = oracle_decisions(n);
+
+    let tb = testbed_with_pages();
+    let generation_before = tb.server.generation();
+    let (bundle, clock, journal) = run_bundle();
+    let fail = |msg: String| {
+        Box::new(Failure { msg, telemetry: bundle.snapshot(), journal: journal.snapshot() })
+    };
+    let cfg = ReactorConfig::new().clock(clock).telemetry(&bundle).journal(Arc::clone(&journal));
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
+    for i in 0..n {
+        let session =
+            InpSession::new(tb.client_with_env(client_env(i)), tb.app_id, i as u32 % PAGES, 0);
+        reactor.spawn(session);
+    }
+
+    // The publish bursts, mid-soak: every page id gains versions while
+    // sessions decode against it.
+    let mut next_version: Vec<u32> = vec![1; PAGES as usize];
+    let mut published = 0u64;
+    for &burst in &bursts {
+        for _ in 0..burst {
+            let id = (published % PAGES as u64) as u32;
+            let v = tb.server.publish(id, page_bytes((published % 199) as u8 + 31, 3_000));
+            assert_eq!(
+                v, next_version[id as usize],
+                "republish of page {id} must append exactly one version"
+            );
+            next_version[id as usize] += 1;
+            published += 1;
+        }
+        for _ in 0..burst * 4 {
+            if reactor.poll().is_none() {
+                break;
+            }
+        }
+    }
+    assert_eq!(published, n as u64, "cascade counts must conserve the publish budget");
+    let report = reactor.run().map_err(|e| fail(format!("live_republish stalled: {e}")))?;
+    assert_eq!((report.completed, report.failed), (n, 0), "republish bursts broke sessions");
+
+    let mut decision_fp = 0xcbf2_9ce4_8422_2325_u64;
+    for (i, s) in reactor.into_sessions().iter().enumerate() {
+        let fp = fingerprint(s.negotiated().expect("completed session negotiated"));
+        assert_eq!(fp, oracle[i], "republish bursts changed decision for session {i}");
+        decision_fp = fold(decision_fp, fp);
+        let content_id = i as u32 % PAGES;
+        assert_eq!(
+            s.client().cached_content(content_id).unwrap().bytes,
+            tb.server.content(content_id, 0).unwrap(),
+            "session {i} decoded bytes other than the version it negotiated"
+        );
+    }
+    for id in 0..PAGES {
+        assert_eq!(
+            tb.server.latest_version(id),
+            Some(next_version[id as usize] - 1),
+            "page {id} lost a version"
+        );
+    }
+    let generation = tb.server.generation();
+    assert_eq!(generation, generation_before + published, "a publish was lost");
+    // Grace periods complete: readers quiesced, so only the current
+    // snapshot generation may remain alive.
+    let epoch = tb.server.epoch_stats();
+    assert_eq!(epoch.live, 1, "superseded generations must be reclaimed: {epoch:?}");
+
+    let snap = bundle.snapshot();
+    reconcile(&snap, n, 0);
+    Ok(Outcome {
+        sessions: n,
+        completed: n,
+        failed: 0,
+        stuck: 0,
+        fault_events: 0,
+        fault_fp: 0,
+        decision_fp,
+        extras: vec![
+            ("publish_bursts", bursts.len().to_string()),
+            ("peak_burst", peak_burst.to_string()),
+            ("republishes", published.to_string()),
+            ("server_generation", generation.to_string()),
+        ],
+        telemetry: snap,
+        journal: journal.snapshot(),
+    })
+}
+
 fn run_scenario(name: &str, scale: &Scale, seed: u64) -> Result<Outcome, Box<Failure>> {
     match name {
         "burst_arrivals" => burst_arrivals(scale, seed),
@@ -694,6 +800,7 @@ fn run_scenario(name: &str, scale: &Scale, seed: u64) -> Result<Outcome, Box<Fai
         "handoff_renegotiation" => handoff_renegotiation(scale, seed),
         "cache_stampede" => cache_stampede(scale, seed),
         "pad_rollout_rollback" => pad_rollout_rollback(scale, seed),
+        "live_republish" => live_republish(scale, seed),
         other => Err(Failure::bare(format!("unknown scenario {other:?}"))),
     }
 }

@@ -27,6 +27,18 @@
 //!   function of each session's own traffic, so they are asserted
 //!   byte-identical across thread counts.
 //!
+//! After the sweep, a **live-republish pass** retires the old "publish
+//! before you read" rule: a dedicated writer thread keeps calling the
+//! `&self` [`ApplicationServer::publish`](fractal_core::server::ApplicationServer::publish)
+//! at a paced ~1 kHz trickle (a ~1% write share against the read-side
+//! page rate) while the full reactor pass re-runs at the widest thread
+//! count. The pass asserts zero decision divergence from the serial
+//! oracle, per-content-id `latest_version` monotonicity on both the
+//! writer and reader sides, a bounded p99 phase-latency ratio against
+//! the quiet pass, and that every superseded epoch generation was
+//! reclaimed by the end. Its rates land under the `"republish"` key of
+//! the JSON, where `benchdiff --only republish` gates them.
+//!
 //! Every adaptation decision — direct negotiations and reactor sessions
 //! alike — is fingerprinted and compared against the single-thread serial
 //! oracle; the run aborts on any divergence. Results land in
@@ -42,7 +54,8 @@
 //! [`ProxyStats`] — the registry is the source of truth, the struct
 //! counters are the cross-check.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
 
 use fractal_bench::bench_env::BenchEnv;
 use fractal_bench::fig9a::client_env;
@@ -62,6 +75,12 @@ use fractal_workload::PageSet;
 
 /// Sessions multiplexed by each reactor — the "≥ 64 in-flight" floor.
 const REACTOR_BATCH: usize = 64;
+
+/// Ceiling on p99 phase-latency inflation under the live-republish
+/// writer, as a multiple of the quiet pass at the same thread count.
+/// Deliberately generous — shared 1-CPU CI runners swing wildly — so a
+/// trip means the write path is blocking readers, not scheduler noise.
+const REPUBLISH_P99_BOUND: f64 = 100.0;
 
 /// Link profiles the transport pass drives the reactor over.
 const TRANSPORT_LINKS: [LinkKind; 3] = [LinkKind::Lan, LinkKind::Wlan, LinkKind::Bluetooth];
@@ -122,9 +141,10 @@ struct WarmPage {
 }
 
 /// Serially publishes `n_items × n_pages` distinct content ids on the
-/// shared server (publishing is the one `&mut` operation left), returning
-/// the per-item page lists the timed parallel pass replays.
-fn publish_warm_pages(tb: &mut Testbed, n_items: usize, n_pages: u32) -> Vec<Vec<WarmPage>> {
+/// shared server (now a plain `&self` call — the epoch-versioned store
+/// no longer needs exclusive access), returning the per-item page lists
+/// the timed parallel pass replays.
+fn publish_warm_pages(tb: &Testbed, n_items: usize, n_pages: u32) -> Vec<Vec<WarmPage>> {
     (0..n_items)
         .map(|item| {
             let pages = PageSet::new(WORKLOAD_SEED ^ (item as u64 + 1), n_pages);
@@ -332,10 +352,154 @@ fn transport_pass(
         .collect()
 }
 
+/// What the live-republish pass measured.
+struct Republish {
+    publishes: u64,
+    publishes_per_sec: f64,
+    reader_sessions: usize,
+    reader_sessions_per_sec: f64,
+    /// Worst per-phase p99 ratio vs the quiet pass (`None` when the
+    /// telemetry feature is off or a quiet histogram was empty).
+    p99_ratio: Option<f64>,
+    /// The server's epoch generation counter after the pass.
+    server_generation: u64,
+}
+
+/// Worst per-phase p99 inflation of `loaded` over `quiet` (both snapshot
+/// diffs covering exactly one reactor pass each).
+fn max_p99_ratio(quiet: &Snapshot, loaded: &Snapshot) -> Option<f64> {
+    let mut worst: Option<f64> = None;
+    for name in PHASE_METRICS {
+        let (Some(q), Some(l)) = (quiet.histograms.get(name), loaded.histograms.get(name)) else {
+            continue;
+        };
+        if q.is_empty() || l.is_empty() || q.quantile(0.99) == 0 {
+            continue;
+        }
+        let ratio = l.quantile(0.99) as f64 / q.quantile(0.99) as f64;
+        if worst.is_none_or(|w| ratio > w) {
+            worst = Some(ratio);
+        }
+    }
+    worst
+}
+
+/// The live-republish pass: a dedicated writer thread trickles `&self`
+/// publishes (~1 kHz pace, rotating over `write_ids`) into the shared
+/// server while the full reactor pass re-runs on `threads` workers.
+///
+/// Readers never see a torn store: sessions pinned to version 0 decode
+/// exactly version 0 no matter how many successors land, every decision
+/// must equal the serial oracle, and `latest_version` must be monotonic
+/// from both sides — the writer asserts each publish appends exactly one
+/// version, each reader batch asserts the id's version never moved
+/// backwards across the batch. `quiet_pass` is the telemetry diff of the
+/// writer-free reactor pass at the same thread count; the p99 ratio
+/// against it is bounded by [`REPUBLISH_P99_BOUND`].
+fn republish_pass(
+    tb: &Testbed,
+    threads: usize,
+    n_batches: usize,
+    content_id: u32,
+    write_ids: &[u32],
+    oracle: &[u64],
+    quiet_pass: &Snapshot,
+) -> Republish {
+    tb.proxy.clear_adaptation_state();
+    // Pre-render a few distinct bodies so the writer loop measures the
+    // publish path, not the workload generator.
+    let pages = PageSet::new(WORKLOAD_SEED ^ 0x5EED_F00D, 1);
+    let bodies: Vec<Vec<u8>> =
+        (1..=4).map(|v| pages.version(0, v, EditProfile::Localized).to_bytes()).collect();
+    let initial: Vec<u32> =
+        write_ids.iter().map(|&id| tb.server.latest_version(id).expect("id seeded")).collect();
+
+    let stop = AtomicBool::new(false);
+    let before = Telemetry::global().snapshot();
+    let start = Instant::now();
+    let (publishes, decisions) = std::thread::scope(|scope| {
+        let writer = scope.spawn(|| {
+            let mut expect = initial.clone();
+            let mut published = 0u64;
+            loop {
+                let slot = (published as usize) % write_ids.len();
+                let body = bodies[(published as usize) % bodies.len()].clone();
+                let v = tb.server.publish(write_ids[slot], body);
+                assert_eq!(
+                    v,
+                    expect[slot] + 1,
+                    "republish of id {} must append exactly one version",
+                    write_ids[slot]
+                );
+                expect[slot] = v;
+                published += 1;
+                // Stop is checked after the publish: even a reader pass
+                // that finishes instantly races at least one republish.
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                // The pace that makes this a background trickle (~1 kHz)
+                // instead of a write-side stress test.
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            published
+        });
+        let per_batch = parallel::run_indexed(threads, n_batches, |b| {
+            let seen = tb.server.latest_version(content_id).expect("seeded");
+            let fps = reactor_batch(tb, b, content_id);
+            let after = tb.server.latest_version(content_id).expect("seeded");
+            assert!(after >= seen, "latest_version({content_id}) moved backwards under readers");
+            fps
+        });
+        stop.store(true, Ordering::Relaxed);
+        let publishes = writer.join().expect("writer thread panicked");
+        (publishes, per_batch.into_iter().flatten().collect::<Vec<u64>>())
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    assert_eq!(
+        decisions,
+        oracle[..n_batches * REACTOR_BATCH],
+        "decisions diverged from the serial oracle under live republish"
+    );
+    assert!(publishes > 0, "the writer thread never got a publish in");
+    for (&id, &was) in write_ids.iter().zip(&initial) {
+        let now = tb.server.latest_version(id).expect("id seeded");
+        assert!(now > was, "id {id} gained no versions despite {publishes} publishes");
+    }
+    // Grace periods completed: with the writer joined and every reader
+    // pin dropped, only the current generation may remain alive.
+    let epoch = tb.server.epoch_stats();
+    assert_eq!(
+        epoch.live, 1,
+        "superseded generations must be reclaimed once readers quiesce ({epoch:?})"
+    );
+
+    let loaded_pass = Telemetry::global().snapshot().diff(&before);
+    let p99_ratio = max_p99_ratio(quiet_pass, &loaded_pass);
+    if let Some(ratio) = p99_ratio {
+        assert!(
+            ratio < REPUBLISH_P99_BOUND,
+            "p99 phase latency inflated {ratio:.1}x under the republish writer \
+             (bound {REPUBLISH_P99_BOUND}x) — the write path is blocking readers"
+        );
+    }
+    let reader_sessions = n_batches * REACTOR_BATCH;
+    Republish {
+        publishes,
+        publishes_per_sec: publishes as f64 / elapsed,
+        reader_sessions,
+        reader_sessions_per_sec: reader_sessions as f64 / elapsed,
+        p99_ratio,
+        server_generation: tb.server.generation(),
+    }
+}
+
 fn write_json(
     path: &str,
     rows: &[Row],
     transport: &[TransportRow],
+    republish: &Republish,
     n_negotiations: usize,
     env: &BenchEnv,
     telem: &Snapshot,
@@ -373,10 +537,24 @@ fn write_json(
             if i + 1 < transport.len() { "," } else { "" }
         ));
     }
+    out.push_str("  ],\n  \"republish\": {\n");
+    out.push_str(&format!("    \"publishes\": {},\n", republish.publishes));
+    out.push_str(&format!("    \"publishes_per_sec\": {:.0},\n", republish.publishes_per_sec));
+    out.push_str(&format!("    \"reader_sessions\": {},\n", republish.reader_sessions));
+    out.push_str(&format!(
+        "    \"reader_sessions_per_sec\": {:.0},\n",
+        republish.reader_sessions_per_sec
+    ));
+    out.push_str("    \"divergent_decisions\": 0,\n");
+    out.push_str(&format!(
+        "    \"p99_ratio\": {},\n",
+        republish.p99_ratio.map_or("null".into(), |r| format!("{r:.3}"))
+    ));
+    out.push_str(&format!("    \"server_generation\": {}\n  }},\n", republish.server_generation));
     if telem.is_empty() {
-        out.push_str("  ],\n  \"telemetry\": null\n}\n");
+        out.push_str("  \"telemetry\": null\n}\n");
     } else {
-        out.push_str(&format!("  ],\n  \"telemetry\": {}\n}}\n", telem.to_json("  ")));
+        out.push_str(&format!("  \"telemetry\": {}\n}}\n", telem.to_json("  ")));
     }
     std::fs::write(path, out).expect("write benchmark JSON");
 }
@@ -399,13 +577,14 @@ fn main() {
         env.host_cpus, env.git_sha
     );
 
-    // ONE shared pair for every pass at every thread count: publish is the
-    // only &mut step, done up front; everything timed below runs on &tb.
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
-    let warm = publish_warm_pages(&mut tb, n_items, pages_per_item);
+    // ONE shared pair for every pass at every thread count. Publishing is
+    // a `&self` call against the epoch-versioned store now, so nothing
+    // here needs exclusive access — the same `tb` the readers share also
+    // takes the live-republish writes later on.
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let warm = publish_warm_pages(&tb, n_items, pages_per_item);
     let reactor_content = n_items as u32 * pages_per_item + 1;
     tb.server.publish(reactor_content, vec![5u8; 16_000]);
-    let tb = tb;
 
     // Serial oracle for the reactor sessions: the proxy's direct decision
     // for every environment in the stream, computed before any timing.
@@ -416,6 +595,7 @@ fn main() {
     let mut rows: Vec<Row> = Vec::new();
     let mut neg_oracle: Option<Vec<u64>> = None;
     let mut transport_oracle: Option<Vec<(u64, u64)>> = None;
+    let mut quiet_pass: Option<Snapshot> = None;
     for &threads in sweep {
         // The oracle computation and every earlier sweep pass warmed the
         // shared proxy; start each timed pass cold so the rates measure
@@ -446,7 +626,12 @@ fn main() {
             reactor_decisions, reactor_oracle,
             "reactor decisions diverged from the serial oracle at {threads} threads"
         );
-        print_phase_latencies(threads, &Telemetry::global().snapshot().diff(&before_pass));
+        let pass_diff = Telemetry::global().snapshot().diff(&before_pass);
+        print_phase_latencies(threads, &pass_diff);
+        // The widest sweep entry's diff is the quiet baseline the
+        // live-republish pass compares its p99s against (last wins:
+        // the sweep ascends).
+        quiet_pass = Some(pass_diff);
 
         // Transport pass: the same batches behind simulated LAN / WLAN /
         // Bluetooth links. Decisions must match the oracle, and — because
@@ -523,6 +708,36 @@ fn main() {
          (direct + {REACTOR_BATCH}-in-flight reactor over loopback and simulated links)"
     );
 
+    // Live-republish pass: the writer trickles new versions into the
+    // reactor page plus the first warm item's pages while the widest
+    // reactor pass re-runs against them.
+    let max_threads = *sweep.last().expect("sweep is non-empty");
+    let write_ids: Vec<u32> = std::iter::once(reactor_content).chain(0..pages_per_item).collect();
+    let repub = republish_pass(
+        &tb,
+        max_threads,
+        n_batches,
+        reactor_content,
+        &write_ids,
+        &reactor_oracle,
+        quiet_pass.as_ref().expect("sweep ran"),
+    );
+    println!(
+        "\nlive-republish pass at {max_threads} thread(s): {} publishes ({:.0}/s) raced \
+         {} reader sessions ({:.0}/s) over {} content ids;\n  decisions identical to the \
+         serial oracle, latest_version monotonic, server generation {}{}",
+        repub.publishes,
+        repub.publishes_per_sec,
+        repub.reader_sessions,
+        repub.reader_sessions_per_sec,
+        write_ids.len(),
+        repub.server_generation,
+        repub
+            .p99_ratio
+            .map(|r| format!(", p99 within {r:.2}x of the quiet pass"))
+            .unwrap_or_default()
+    );
+
     let telem = Telemetry::global().snapshot();
     if fractal_telemetry::enabled() {
         reconcile_telemetry(&tb, &telem);
@@ -533,7 +748,7 @@ fn main() {
     if smoke {
         println!("(--smoke: not writing BENCH_throughput.json)");
     } else {
-        write_json("BENCH_throughput.json", &rows, &transport_rows, n_neg, &env, &telem);
+        write_json("BENCH_throughput.json", &rows, &transport_rows, &repub, n_neg, &env, &telem);
         println!("wrote BENCH_throughput.json");
     }
 }

@@ -50,7 +50,7 @@ impl Fixture {
         let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         // Use the biggest real artifact so transfer times are visible.
         let wire =
-            tb.pad_repo.values().max_by_key(|w| w.len()).expect("repo has artifacts").clone();
+            tb.pad_repo.wires().into_iter().max_by_key(|w| w.len()).expect("repo has artifacts");
         let mut topo = Topology::new();
         let central_node = topo.add_node(Position { x: 0.5, y: 0.5 });
         let edge_nodes = topo.add_spread_nodes(N_EDGES, 7);

@@ -48,7 +48,7 @@ pub fn measure_protocol(
     mode: AdaptiveContentMode,
 ) -> CellReport {
     let pages = PageSet::new(WORKLOAD_SEED, n_pages);
-    let mut tb = Testbed::with_protocols(&[protocol], mode);
+    let tb = Testbed::with_protocols(&[protocol], mode);
     let link = class.link();
     let mut client = tb.client(class);
 

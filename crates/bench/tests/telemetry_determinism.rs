@@ -15,7 +15,7 @@
 use std::sync::Arc;
 
 use fractal_bench::parallel::{self, THREAD_SWEEP};
-use fractal_core::reactor::{InpSession, Reactor, PHASE_METRICS};
+use fractal_core::reactor::{InpSession, Reactor, ReactorConfig, PHASE_METRICS};
 use fractal_core::server::AdaptiveContentMode;
 use fractal_core::testbed::Testbed;
 use fractal_core::ClientClass;
@@ -47,10 +47,9 @@ fn batch(item: usize) -> (Snapshot, String) {
         tb.server.publish(id, page(item, id));
     }
 
-    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-        .with_clock(bundle.clock())
-        .with_telemetry(&bundle)
-        .with_tracer(Arc::clone(&tracer));
+    let cfg =
+        ReactorConfig::new().clock(bundle.clock()).telemetry(&bundle).tracer(Arc::clone(&tracer));
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
     for s in 0..SESSIONS {
         let class = ClientClass::ALL[(item + s) % 3];
         let client = tb.client(class).with_telemetry(&bundle);

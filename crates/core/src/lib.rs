@@ -42,7 +42,10 @@
 //! * [`sys`] — the narrow `poll(2)`/rlimit OS bindings behind the
 //!   socket-backed transport (the one module where `unsafe` is allowed);
 //! * [`shard`] — N independent reactors behind one TCP acceptor: the
-//!   C100k front-end driving live sockets via [`sys::Poller`] readiness.
+//!   C100k front-end driving live sockets via [`sys::Poller`] readiness;
+//! * [`epoch`] — RCU-style epoch versioning: the `&self` write path under
+//!   the server's content store, the proxy's PAT table, and the PAD wire
+//!   repo, so republish runs live under full read load.
 
 // `unsafe` is denied crate-wide and re-allowed in exactly one module:
 // `sys`, the hand-rolled poll(2)/rlimit FFI (crates.io is offline, so
@@ -52,6 +55,7 @@
 
 pub mod client;
 pub mod endpoint;
+pub mod epoch;
 pub mod error;
 pub mod fault;
 pub mod inp;

@@ -14,26 +14,39 @@
 //!
 //! ## Concurrency model
 //!
-//! [`negotiate`](AdaptationProxy::negotiate) takes `&self`: the proxy is a
-//! concurrent service, shareable across worker threads behind an `Arc`.
-//! The PATs and the overhead model are read-only between
-//! [`push_app_meta`](AdaptationProxy::push_app_meta) calls (which still
-//! take `&mut self`, serializing reconfiguration against all traffic), the
-//! adaptation cache and the path-search memo are split into
-//! [`SHARDS`] lock-striped `RwLock` shards keyed by the hash of
-//! `(ClientEnv, AppId)`, and counters are atomics. Misses take the shard's
-//! write lock for the (microsecond-scale) path search, which makes the
-//! hit/miss accounting *exact*: each distinct key misses exactly once no
-//! matter how many threads race on it — the concurrency suite in
-//! `tests/concurrency.rs` pins this down.
+//! Every traffic-path operation takes `&self`: the proxy is a concurrent
+//! service, shareable across worker threads behind an `Arc`, and that now
+//! includes reconfiguration. The PAT table is epoch-versioned
+//! ([`crate::epoch`]): [`negotiate`](AdaptationProxy::negotiate) pins one
+//! immutable table generation wait-free, and
+//! [`push_app_metas`](AdaptationProxy::push_app_metas) publishes a
+//! successor table off-path — pushes run concurrently with live
+//! negotiations. The adaptation cache and the path-search memo are split
+//! into [`SHARDS`] lock-striped `RwLock` shards keyed by the hash of
+//! `(ClientEnv, AppId)`, and counters are atomics. Misses take the
+//! shard's write lock for the (microsecond-scale) path search, which
+//! makes the hit/miss accounting *exact*: each distinct key misses
+//! exactly once no matter how many threads race on it — the concurrency
+//! suite in `tests/concurrency.rs` pins this down.
+//!
+//! Cache and memo entries are **generation-tagged**: each carries the
+//! per-app PAT generation it was computed against, validated on every
+//! hit. A push installs the new PAT (bumping the app's generation) and
+//! then sweeps the shards — so a racing negotiation that pinned the old
+//! table can at worst insert an entry tagged with the old generation
+//! *after* the sweep, and that entry is detected as stale on its next
+//! lookup instead of being served. The sweep is pure reclamation; the
+//! tags carry correctness.
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use fractal_net::time::SimDuration;
 use parking_lot::RwLock;
 
+use crate::epoch::Epoch;
 use crate::error::FractalError;
 use crate::meta::{AppId, AppMeta, ClientEnv, PadMeta};
 use crate::overhead::{OverheadModel, ServerComputeMode};
@@ -95,15 +108,34 @@ impl ProxyTelemetry {
 
 /// One lock-striped shard pair: the distribution manager's PADMeta cache
 /// and the negotiation manager's path-search memo share striping so a key
-/// touches exactly one lock of each kind.
+/// touches exactly one lock of each kind. Every entry is tagged with the
+/// per-app PAT generation it was computed against; a hit with a stale tag
+/// is a miss (see the module docs on the push/negotiate race).
 #[derive(Default)]
 struct Shard {
-    /// Adaptation cache: key → client-view PADMeta list.
-    cache: RwLock<HashMap<Key, Vec<PadMeta>>>,
-    /// Path-search memo: key → raw search result, so repeated DFS over the
-    /// same tree is O(1) even when the adaptation cache is disabled or has
-    /// been invalidated for unrelated reasons.
-    memo: RwLock<HashMap<Key, AdaptationPath>>,
+    /// Adaptation cache: key → (PAT generation, client-view PADMeta list).
+    cache: RwLock<HashMap<Key, (u64, Vec<PadMeta>)>>,
+    /// Path-search memo: key → (PAT generation, raw search result), so
+    /// repeated DFS over the same tree is O(1) even when the adaptation
+    /// cache is disabled or has been invalidated for unrelated reasons.
+    memo: RwLock<HashMap<Key, (u64, AdaptationPath)>>,
+}
+
+/// One application's entry in the epoch-versioned PAT table: the tree
+/// plus the generation it was installed at (bumped per re-push; the tag
+/// that cache/memo entries are validated against).
+#[derive(Clone)]
+struct PatEntry {
+    generation: u64,
+    pat: Arc<Pat>,
+}
+
+/// The negotiation manager's PAT table, published as one epoch snapshot:
+/// a pinned reader sees every application's tree at a consistent instant,
+/// even mid-batch-push. Cloning copies the index; the trees are `Arc`'d.
+#[derive(Clone, Default)]
+struct PatTable {
+    pats: HashMap<AppId, PatEntry>,
 }
 
 fn shard_index(client: &ClientEnv, app_id: AppId) -> usize {
@@ -116,7 +148,7 @@ fn shard_index(client: &ClientEnv, app_id: AppId) -> usize {
 
 /// The adaptation proxy.
 pub struct AdaptationProxy {
-    pats: HashMap<AppId, Pat>,
+    pats: Epoch<PatTable>,
     model: OverheadModel,
     shards: [Shard; SHARDS],
     cache_enabled: bool,
@@ -130,7 +162,7 @@ impl core::fmt::Debug for AdaptationProxy {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         let entries: usize = self.shards.iter().map(|s| s.cache.read().len()).sum();
         f.debug_struct("AdaptationProxy")
-            .field("apps", &self.pats.len())
+            .field("apps", &self.pats.pin().pats.len())
             .field("cache_entries", &entries)
             .field("stats", &self.stats())
             .finish()
@@ -141,7 +173,7 @@ impl AdaptationProxy {
     /// Creates a proxy with the given overhead model.
     pub fn new(model: OverheadModel) -> AdaptationProxy {
         AdaptationProxy {
-            pats: HashMap::new(),
+            pats: Epoch::new(PatTable::default()),
             model,
             shards: std::array::from_fn(|_| Shard::default()),
             cache_enabled: true,
@@ -168,27 +200,46 @@ impl AdaptationProxy {
 
     /// Receives an `AppMeta` push from an application server, (re)building
     /// that application's PAT and invalidating affected cache and memo
-    /// entries.
-    pub fn push_app_meta(&mut self, meta: &AppMeta) {
+    /// entries. Takes `&self` — pushes run concurrently with live
+    /// negotiations (see the module docs).
+    pub fn push_app_meta(&self, meta: &AppMeta) {
         self.push_app_metas(std::slice::from_ref(meta));
     }
 
-    /// Receives a batch of `AppMeta` pushes at once. The invalidation is
-    /// batched: the affected app-id set is computed first, then each
-    /// shard's cache and memo are swept in **one** write-lock acquisition
-    /// each — 2·[`SHARDS`] lock operations total, independent of how many
-    /// applications reconfigure, instead of 2·`SHARDS` per application.
-    pub fn push_app_metas(&mut self, metas: &[AppMeta]) {
+    /// Registers an application with the negotiation manager — the
+    /// server-side half of deployment. Semantically the first `AppMeta`
+    /// push for that app; returns `true` if the application was new,
+    /// `false` if this re-registered (and so reconfigured) a known one.
+    pub fn register_app(&self, meta: &AppMeta) -> bool {
+        let known = self.pats.pin().pats.contains_key(&meta.app_id);
+        self.push_app_meta(meta);
+        !known
+    }
+
+    /// Receives a batch of `AppMeta` pushes at once, `&self`, concurrent
+    /// with negotiations. The successor PAT table is published first
+    /// (bumping each affected app's generation), then the stale cache and
+    /// memo entries are swept. The sweep is batched: the affected app-id
+    /// set is computed once, then each shard's cache and memo are swept in
+    /// **one** write-lock acquisition each — 2·[`SHARDS`] lock operations
+    /// total, independent of how many applications reconfigure. A
+    /// negotiation racing the sweep can at worst re-insert an entry tagged
+    /// with the superseded generation, which every lookup rejects.
+    pub fn push_app_metas(&self, metas: &[AppMeta]) {
         if metas.is_empty() {
             return;
         }
+        self.pats.publish_with(|table| {
+            for meta in metas {
+                let generation = table.pats.get(&meta.app_id).map_or(0, |e| e.generation) + 1;
+                let pat = Arc::new(Pat::from_app_meta(meta));
+                table.pats.insert(meta.app_id, PatEntry { generation, pat });
+            }
+        });
         let affected: Vec<AppId> = metas.iter().map(|m| m.app_id).collect();
         for shard in &self.shards {
             shard.cache.write().retain(|(_, app), _| !affected.contains(app));
             shard.memo.write().retain(|(_, app), _| !affected.contains(app));
-        }
-        for meta in metas {
-            self.pats.insert(meta.app_id, Pat::from_app_meta(meta));
         }
         self.app_pushes.fetch_add(metas.len() as u64, Ordering::Relaxed);
         self.tele.app_pushes.add(metas.len() as u64);
@@ -217,9 +268,11 @@ impl AdaptationProxy {
         &self.model
     }
 
-    /// Direct access to an application's PAT (diagnostics, figure harness).
-    pub fn pat(&self, app_id: AppId) -> Option<&Pat> {
-        self.pats.get(&app_id)
+    /// Direct access to an application's PAT (diagnostics, figure
+    /// harness). A refcounted handle to the tree in the current table
+    /// generation — stable even if a push lands right after.
+    pub fn pat(&self, app_id: AppId) -> Option<Arc<Pat>> {
+        self.pats.pin().pats.get(&app_id).map(|e| Arc::clone(&e.pat))
     }
 
     /// The heart of the negotiation: answers `Cli_META_REP` with the
@@ -230,8 +283,13 @@ impl AdaptationProxy {
         app_id: AppId,
         client: ClientEnv,
     ) -> Result<Vec<PadMeta>, FractalError> {
+        // Pin one PAT-table generation for the whole negotiation: the tree
+        // we search and the generation we tag the result with can't be
+        // torn apart by a concurrent push.
+        let table = self.pats.pin();
+        let entry = table.pats.get(&app_id).ok_or(FractalError::UnknownApp(app_id))?;
         if !self.cache_enabled {
-            let pads = self.compute(app_id, &client)?;
+            let pads = self.compute(entry, app_id, &client)?;
             self.cache_misses.fetch_add(1, Ordering::Relaxed);
             self.tele.cache_misses.inc();
             return Ok(pads);
@@ -239,47 +297,58 @@ impl AdaptationProxy {
 
         let key = (client, app_id);
         let shard = &self.shards[shard_index(&client, app_id)];
-        if let Some(hit) = shard.cache.read().get(&key) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            self.tele.cache_hits.inc();
-            return Ok(hit.clone());
+        if let Some((generation, hit)) = shard.cache.read().get(&key) {
+            if *generation == entry.generation {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.tele.cache_hits.inc();
+                return Ok(hit.clone());
+            }
         }
         // Double-checked under the write lock: a racing thread may have
         // filled the entry between our read and write acquisition. Holding
         // the stripe's write lock across the search keeps the accounting
         // exact — one miss per distinct key, everything else a hit.
         let mut guard = shard.cache.write();
-        if let Some(hit) = guard.get(&key) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            self.tele.cache_hits.inc();
-            return Ok(hit.clone());
+        if let Some((generation, hit)) = guard.get(&key) {
+            if *generation == entry.generation {
+                self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                self.tele.cache_hits.inc();
+                return Ok(hit.clone());
+            }
         }
-        let pads = self.compute(app_id, &client)?;
+        let pads = self.compute(entry, app_id, &client)?;
         self.cache_misses.fetch_add(1, Ordering::Relaxed);
         self.tele.cache_misses.inc();
 
-        // Distribution manager: cache update with the client views.
-        guard.insert(key, pads.clone());
+        // Distribution manager: cache update with the client views, tagged
+        // with the PAT generation they were computed against.
+        guard.insert(key, (entry.generation, pads.clone()));
         Ok(pads)
     }
 
     /// Runs (or recalls) the path search and materializes client views.
-    fn compute(&self, app_id: AppId, client: &ClientEnv) -> Result<Vec<PadMeta>, FractalError> {
-        let pat = self.pats.get(&app_id).ok_or(FractalError::UnknownApp(app_id))?;
+    fn compute(
+        &self,
+        entry: &PatEntry,
+        app_id: AppId,
+        client: &ClientEnv,
+    ) -> Result<Vec<PadMeta>, FractalError> {
         let key = (*client, app_id);
         let shard = &self.shards[shard_index(client, app_id)];
-        if let Some(path) = shard.memo.read().get(&key) {
-            self.tele.memo_hits.inc();
-            return Ok(materialize(pat, path));
+        if let Some((generation, path)) = shard.memo.read().get(&key) {
+            if *generation == entry.generation {
+                self.tele.memo_hits.inc();
+                return Ok(materialize(&entry.pat, path));
+            }
         }
         let t0 = self.tele.bundle.now_ns();
-        let path = search(pat, &self.model, client, STD_CONTENT_BYTES)?;
+        let path = search(&entry.pat, &self.model, client, STD_CONTENT_BYTES)?;
         self.tele.search_ns.record(self.tele.bundle.now_ns().saturating_sub(t0));
         self.tele.memo_misses.inc();
         self.tele.nodes_expanded.add(u64::from(path.nodes_marked));
         self.tele.paths_examined.add(u64::from(path.paths_examined));
-        let pads = materialize(pat, &path);
-        shard.memo.write().insert(key, path);
+        let pads = materialize(&entry.pat, &path);
+        shard.memo.write().insert(key, (entry.generation, path));
         Ok(pads)
     }
 
@@ -287,7 +356,7 @@ impl AdaptationProxy {
     /// Figure 9(a) capacity simulation. Cache hits are one table lookup;
     /// misses pay the path search, linear in PAT size.
     pub fn service_time(&self, app_id: AppId, cache_hit: bool) -> SimDuration {
-        let nodes = self.pats.get(&app_id).map_or(0, Pat::len) as u64;
+        let nodes = self.pats.pin().pats.get(&app_id).map_or(0, |e| e.pat.len()) as u64;
         if cache_hit {
             SimDuration::micros(40)
         } else {
@@ -308,9 +377,19 @@ impl AdaptationProxy {
         }
     }
 
-    /// Whether the cache currently holds an entry for `(client, app)`.
+    /// Whether the cache currently holds a *live* entry for
+    /// `(client, app)` — an entry tagged with a superseded PAT generation
+    /// does not count, exactly as `negotiate` would refuse to serve it.
     pub fn cached(&self, app_id: AppId, client: &ClientEnv) -> bool {
-        self.shards[shard_index(client, app_id)].cache.read().contains_key(&(*client, app_id))
+        let table = self.pats.pin();
+        let Some(entry) = table.pats.get(&app_id) else {
+            return false;
+        };
+        self.shards[shard_index(client, app_id)]
+            .cache
+            .read()
+            .get(&(*client, app_id))
+            .is_some_and(|(generation, _)| *generation == entry.generation)
     }
 
     /// Counters (a consistent-enough snapshot of the atomics).
@@ -342,7 +421,7 @@ mod tests {
             .map(|&p| (p, sha1(p.slug().as_bytes()), 2000u32))
             .collect();
         let meta = case_study_app_meta(AppId(1), &artifacts);
-        let mut proxy = AdaptationProxy::new(OverheadModel::paper(paper_ratios()));
+        let proxy = AdaptationProxy::new(OverheadModel::paper(paper_ratios()));
         proxy.push_app_meta(&meta);
         proxy
     }
@@ -448,7 +527,7 @@ mod tests {
 
     #[test]
     fn app_push_invalidates_only_that_app() {
-        let mut proxy = proxy_with_case_study();
+        let proxy = proxy_with_case_study();
         let artifacts: Vec<_> = ProtocolId::PAPER_FOUR
             .iter()
             .map(|&p| (p, sha1(p.slug().as_bytes()), 2000u32))
@@ -466,7 +545,7 @@ mod tests {
 
     #[test]
     fn batched_push_invalidates_all_affected_apps_at_once() {
-        let mut proxy = proxy_with_case_study();
+        let proxy = proxy_with_case_study();
         let artifacts: Vec<_> = ProtocolId::PAPER_FOUR
             .iter()
             .map(|&p| (p, sha1(p.slug().as_bytes()), 2000u32))
@@ -509,6 +588,87 @@ mod tests {
         assert_eq!(a, b);
         // Both count as misses (the ablation measures "no result cache").
         assert_eq!(proxy.stats().cache_misses, 2);
+    }
+
+    #[test]
+    fn register_app_reports_novelty() {
+        let proxy = proxy_with_case_study();
+        let artifacts: Vec<_> = ProtocolId::PAPER_FOUR
+            .iter()
+            .map(|&p| (p, sha1(p.slug().as_bytes()), 2000u32))
+            .collect();
+        let app2 = case_study_app_meta(AppId(2), &artifacts);
+        assert!(proxy.register_app(&app2), "first registration is new");
+        assert!(!proxy.register_app(&app2), "re-registration reconfigures");
+        assert!(proxy.negotiate(AppId(2), ClientClass::DesktopLan.env()).is_ok());
+    }
+
+    #[test]
+    fn stale_generation_entry_is_not_served() {
+        // The push/negotiate race, replayed deterministically: a
+        // negotiation that pinned the pre-push PAT table can insert its
+        // result *after* the push's sweep. The entry lands tagged with the
+        // superseded generation — simulate exactly that insert and check
+        // that every read path treats it as a miss, not a hit.
+        let proxy = proxy_with_case_study();
+        let env = ClientClass::PdaBluetooth.env();
+        let stale = proxy.negotiate(AppId(1), env).unwrap();
+
+        let artifacts: Vec<_> = ProtocolId::PAPER_FOUR
+            .iter()
+            .map(|&p| (p, sha1(p.slug().as_bytes()), 2000u32))
+            .collect();
+        proxy.push_app_meta(&case_study_app_meta(AppId(1), &artifacts));
+
+        // The racing thread's late insert: generation 1 entry, after the
+        // sweep, while the live table is at generation 2.
+        let shard = &proxy.shards[shard_index(&env, AppId(1))];
+        shard.cache.write().insert((env, AppId(1)), (1, stale.clone()));
+        assert!(!proxy.cached(AppId(1), &env), "stale tag must not count as cached");
+
+        let fresh = proxy.negotiate(AppId(1), env).unwrap();
+        assert_eq!(fresh, stale, "same meta ⇒ same decision, but recomputed");
+        assert_eq!(proxy.stats().cache_misses, 2, "the stale entry was not served");
+        assert!(proxy.cached(AppId(1), &env), "recompute re-tags with the live generation");
+    }
+
+    #[test]
+    fn pushes_race_negotiations_without_stale_decisions() {
+        use std::sync::atomic::AtomicBool;
+        let proxy = Arc::new(proxy_with_case_study());
+        let serial: Vec<_> = ClientClass::ALL
+            .iter()
+            .map(|c| proxy_with_case_study().negotiate(AppId(1), c.env()).unwrap())
+            .collect();
+        let artifacts: Vec<_> = ProtocolId::PAPER_FOUR
+            .iter()
+            .map(|&p| (p, sha1(p.slug().as_bytes()), 2000u32))
+            .collect();
+        let meta = case_study_app_meta(AppId(1), &artifacts);
+        let done = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let proxy = Arc::clone(&proxy);
+                let serial = serial.clone();
+                let done = Arc::clone(&done);
+                scope.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        for (i, class) in ClientClass::ALL.iter().enumerate() {
+                            // Identical meta is re-pushed throughout, so
+                            // the decision must never waver — even when a
+                            // negotiation spans a push.
+                            let got = proxy.negotiate(AppId(1), class.env()).unwrap();
+                            assert_eq!(got, serial[i], "{class}");
+                        }
+                    }
+                });
+            }
+            for _ in 0..200 {
+                proxy.push_app_meta(&meta);
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(proxy.stats().app_pushes, 201);
     }
 
     #[test]

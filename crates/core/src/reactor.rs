@@ -728,83 +728,180 @@ pub struct Reactor<'a> {
     journal: Option<(Arc<Journal>, JournalKinds)>,
 }
 
-impl<'a> Reactor<'a> {
-    /// Creates a reactor over the shared service trio, spawning sessions
-    /// onto loopback transports by default (see
-    /// [`with_transport`](Self::with_transport)).
-    pub fn new(
-        proxy: &'a AdaptationProxy,
-        server: &'a ApplicationServer,
-        pad_repo: &'a PadRepo,
-    ) -> Reactor<'a> {
-        Reactor {
-            proxy,
-            server,
-            pad_repo,
-            slots: Vec::new(),
-            ready: VecDeque::new(),
-            profile: TransportProfile::default(),
-            checksums: false,
-            polls: 0,
-            peak_in_flight: 0,
-            clock: MonotonicClock::shared(),
-            tracer: None,
-            tele: ReactorTelemetry::bind(&fractal_telemetry::Telemetry::global()),
-            journal: None,
-        }
+/// Every reactor knob in one builder, shared by [`Reactor`] and
+/// [`ShardedReactor`](crate::shard::ShardedReactor) — new knobs land here
+/// once instead of multiplying `with_*` constructors on both drivers.
+///
+/// A driver reads the knobs that apply to it and ignores the rest:
+///
+/// | knob | `Reactor` | `ShardedReactor` |
+/// |---|---|---|
+/// | [`transport`](Self::transport) | pair builder for `spawn` | — (pairs come from the acceptor) |
+/// | [`frame_checksums`](Self::frame_checksums) | ✓ | ✓ (every shard) |
+/// | [`clock`](Self::clock) | ✓ | — (see `virtual_time`) |
+/// | [`tracer`](Self::tracer) | ✓ | — |
+/// | [`telemetry`](Self::telemetry) | ✓ | — (per-shard registries) |
+/// | [`journal`](Self::journal) | ✓ | — (per-shard journals) |
+/// | [`stall_timeout`](Self::stall_timeout) | — (simulated-clock stall protocol) | ✓ |
+/// | [`virtual_time`](Self::virtual_time) | — (use `clock`) | ✓ |
+/// | [`journal_capacity`](Self::journal_capacity) | — (use `journal`) | ✓ |
+/// | [`introspect`](Self::introspect) | — | ✓ |
+#[derive(Default)]
+pub struct ReactorConfig {
+    pub(crate) transport: TransportProfile,
+    pub(crate) frame_checksums: bool,
+    pub(crate) clock: Option<SharedClock>,
+    pub(crate) tracer: Option<Arc<Tracer>>,
+    pub(crate) telemetry: Option<fractal_telemetry::Telemetry>,
+    pub(crate) journal: Option<Arc<Journal>>,
+    pub(crate) stall_timeout: Option<std::time::Duration>,
+    pub(crate) virtual_tick: Option<u64>,
+    pub(crate) journal_capacity: Option<usize>,
+    #[cfg(unix)]
+    pub(crate) introspect: Option<Arc<crate::introspect::IntrospectSource>>,
+}
+
+impl ReactorConfig {
+    /// All defaults: loopback transport, unchecked framing, monotonic
+    /// clock, process-global telemetry, no tracer/journal/introspection.
+    pub fn new() -> ReactorConfig {
+        ReactorConfig::default()
     }
 
-    /// Replaces the transport profile used by [`spawn`](Self::spawn) —
-    /// e.g. `LinkKind::Bluetooth.into()` to put every session behind a
-    /// simulated Bluetooth link.
-    pub fn with_transport(mut self, profile: impl Into<TransportProfile>) -> Reactor<'a> {
-        self.profile = profile.into();
+    /// Replaces the transport profile used by [`Reactor::spawn`] — e.g.
+    /// `LinkKind::Bluetooth` to put every session behind a simulated
+    /// Bluetooth link.
+    pub fn transport(mut self, profile: impl Into<TransportProfile>) -> ReactorConfig {
+        self.transport = profile.into();
         self
     }
 
-    /// Turns on checked framing for every pair this reactor drives: each
+    /// Turns on checked framing for every pair the driver runs: each
     /// frame carries a weak-sum trailer, and a frame corrupted in flight
     /// fails its session with a typed
     /// [`FrameError::Corrupt`](crate::transport::FrameError::Corrupt)
     /// instead of being silently decoded. The adversity scenarios run
     /// with this on whenever corruption faults are injected.
-    pub fn with_frame_checksums(mut self) -> Reactor<'a> {
-        self.checksums = true;
+    pub fn frame_checksums(mut self) -> ReactorConfig {
+        self.frame_checksums = true;
         self
     }
 
     /// Replaces the per-phase accounting clock (tests use a
     /// [`VirtualClock`](fractal_telemetry::VirtualClock) so timings are a
     /// pure function of event order).
-    pub fn with_clock(mut self, clock: SharedClock) -> Reactor<'a> {
-        self.clock = clock;
+    pub fn clock(mut self, clock: SharedClock) -> ReactorConfig {
+        self.clock = Some(clock);
         self
     }
 
     /// Attaches a span tracer: each session becomes a root span with one
-    /// child span per phase. For deterministic traces, hand the tracer the
-    /// same virtual clock as [`with_clock`](Self::with_clock).
-    pub fn with_tracer(mut self, tracer: Arc<Tracer>) -> Reactor<'a> {
+    /// child span per phase. For deterministic traces, hand the tracer
+    /// the same virtual clock as [`clock`](Self::clock).
+    pub fn tracer(mut self, tracer: Arc<Tracer>) -> ReactorConfig {
         self.tracer = Some(tracer);
         self
     }
 
     /// Rebinds the reactor's metrics to an explicit telemetry bundle
     /// (default: the process-global one).
-    pub fn with_telemetry(mut self, bundle: &fractal_telemetry::Telemetry) -> Reactor<'a> {
-        self.tele = ReactorTelemetry::bind(bundle);
+    pub fn telemetry(mut self, bundle: &fractal_telemetry::Telemetry) -> ReactorConfig {
+        self.telemetry = Some(bundle.clone());
         self
     }
 
-    /// Attaches a flight recorder: every session this reactor drives
-    /// journals its phase transitions, handoffs, tolerated stale drops,
-    /// and stall marks under its label ([`InpSession::with_label`], slot
-    /// id by default). Stall reports then carry the last
-    /// [`STALL_TAIL_EVENTS`] causal events per stuck session.
-    pub fn with_journal(mut self, journal: Arc<Journal>) -> Reactor<'a> {
-        let kinds = JournalKinds::bind(&journal);
-        self.journal = Some((journal, kinds));
+    /// Attaches a flight recorder: every session journals its phase
+    /// transitions, handoffs, tolerated stale drops, and stall marks
+    /// under its label ([`InpSession::with_label`], slot id by default).
+    /// Stall reports then carry the last [`STALL_TAIL_EVENTS`] causal
+    /// events per stuck session.
+    pub fn journal(mut self, journal: Arc<Journal>) -> ReactorConfig {
+        self.journal = Some(journal);
         self
+    }
+
+    /// Replaces the consecutive-quiet time after which a sharded driver
+    /// with live sessions reports them stuck (default 5 s).
+    pub fn stall_timeout(mut self, timeout: std::time::Duration) -> ReactorConfig {
+        self.stall_timeout = Some(timeout);
+        self
+    }
+
+    /// Puts every shard's telemetry *and* journal on its own
+    /// [`VirtualClock`](fractal_telemetry::VirtualClock) starting at 0
+    /// and advancing `tick` ns per reading, instead of real monotonic
+    /// time. With `tick == 0` the timeline is pinned: every recorded
+    /// timestamp is identical, so the merged journal becomes a pure
+    /// function of the per-session event streams — byte-identical at any
+    /// shard count.
+    pub fn virtual_time(mut self, tick: u64) -> ReactorConfig {
+        self.virtual_tick = Some(tick);
+        self
+    }
+
+    /// Replaces each shard's flight-recorder ring capacity (default
+    /// [`DEFAULT_JOURNAL_CAPACITY`](fractal_telemetry::journal::DEFAULT_JOURNAL_CAPACITY);
+    /// rounded up to a power of two).
+    pub fn journal_capacity(mut self, capacity: usize) -> ReactorConfig {
+        self.journal_capacity = Some(capacity);
+        self
+    }
+
+    /// Publishes a sharded run to a live introspection plane: every
+    /// shard's registry + journal is attached before the shards spawn (so
+    /// `/metrics` sees the run mid-flight), retired when they join, and
+    /// stall diagnostics are pushed to `/stalls` as they surface.
+    #[cfg(unix)]
+    pub fn introspect(mut self, source: Arc<crate::introspect::IntrospectSource>) -> ReactorConfig {
+        self.introspect = Some(source);
+        self
+    }
+}
+
+impl<'a> Reactor<'a> {
+    /// Creates a reactor over the shared service trio with every knob at
+    /// its [`ReactorConfig`] default (loopback transports, monotonic
+    /// clock, global telemetry).
+    pub fn new(
+        proxy: &'a AdaptationProxy,
+        server: &'a ApplicationServer,
+        pad_repo: &'a PadRepo,
+    ) -> Reactor<'a> {
+        Reactor::with_config(proxy, server, pad_repo, ReactorConfig::new())
+    }
+
+    /// Creates a reactor over the shared service trio, configured by one
+    /// [`ReactorConfig`]. Shard-only knobs (`stall_timeout`,
+    /// `virtual_time`, `journal_capacity`, `introspect`) are ignored
+    /// here — see the knob table on [`ReactorConfig`].
+    pub fn with_config(
+        proxy: &'a AdaptationProxy,
+        server: &'a ApplicationServer,
+        pad_repo: &'a PadRepo,
+        config: ReactorConfig,
+    ) -> Reactor<'a> {
+        let tele = match &config.telemetry {
+            Some(bundle) => ReactorTelemetry::bind(bundle),
+            None => ReactorTelemetry::bind(&fractal_telemetry::Telemetry::global()),
+        };
+        Reactor {
+            proxy,
+            server,
+            pad_repo,
+            slots: Vec::new(),
+            ready: VecDeque::new(),
+            profile: config.transport,
+            checksums: config.frame_checksums,
+            polls: 0,
+            peak_in_flight: 0,
+            clock: config.clock.unwrap_or_else(MonotonicClock::shared),
+            tracer: config.tracer,
+            tele,
+            journal: config.journal.map(|j| {
+                let kinds = JournalKinds::bind(&j);
+                (j, kinds)
+            }),
+        }
     }
 
     /// Admits a session on a fresh pair from the reactor's transport
@@ -1335,10 +1432,8 @@ impl<'a> Reactor<'a> {
     fn serve(&mut self, id: SessionId, msg: &InpMessage) -> Result<Vec<InpMessage>, SessionError> {
         match msg {
             InpMessage::InitReq { .. } | InpMessage::CliMetaRep { .. } => self.proxy_leg(id, msg),
-            InpMessage::PadDownloadReq { pad_id } => match self.pad_repo.get(pad_id) {
-                Some(wire) => {
-                    Ok(vec![InpMessage::PadDownloadRep { pad_id: *pad_id, bytes: wire.clone() }])
-                }
+            InpMessage::PadDownloadReq { pad_id } => match self.pad_repo.get(*pad_id) {
+                Some(wire) => Ok(vec![InpMessage::PadDownloadRep { pad_id: *pad_id, bytes: wire }]),
                 None => Err(SessionError::Fractal(FractalError::PadUnavailable(*pad_id))),
             },
             InpMessage::AppReq { protocols, payload, .. } => self.server_leg(protocols, payload),
@@ -1404,7 +1499,7 @@ mod tests {
     }
 
     fn testbed_with_pages(n: u32) -> Testbed {
-        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         for id in 0..n {
             tb.server.publish(id, content(id as u8 + 1, 9_000));
         }
@@ -1478,8 +1573,7 @@ mod tests {
             .collect();
         oracle.run().unwrap();
 
-        let mut reactor =
-            Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_transport(LinkKind::Bluetooth);
+        let mut reactor = tb.reactor_with(ReactorConfig::new().transport(LinkKind::Bluetooth));
         let ids: Vec<_> = ClientClass::ALL
             .iter()
             .map(|&c| reactor.spawn(InpSession::new(tb.client(c), tb.app_id, 0, 0)))
@@ -1508,8 +1602,7 @@ mod tests {
     fn simlink_wire_times_are_deterministic_and_link_ordered() {
         let time_for = |kind: LinkKind| {
             let tb = testbed_with_pages(1);
-            let mut reactor =
-                Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_transport(kind);
+            let mut reactor = tb.reactor_with(ReactorConfig::new().transport(kind));
             let id = reactor.spawn(InpSession::new(
                 tb.client(ClientClass::PdaBluetooth),
                 tb.app_id,
@@ -1532,8 +1625,9 @@ mod tests {
         let tb = testbed_with_pages(2);
         // A 64-byte window: every PAD frame (multi-KB) crosses in dozens
         // of partial writes and the send queues are exercised hard.
-        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-            .with_transport(TransportProfile::Loopback { capacity: 64 });
+        let mut reactor = tb.reactor_with(
+            ReactorConfig::new().transport(TransportProfile::Loopback { capacity: 64 }),
+        );
         for i in 0..2u32 {
             reactor.spawn(InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, i, 0));
         }
@@ -1600,7 +1694,7 @@ mod tests {
 
     #[test]
     fn missing_pad_fails_session_not_reactor() {
-        let mut tb = testbed_with_pages(1);
+        let tb = testbed_with_pages(1);
         tb.pad_repo.clear();
         let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
         let id =
@@ -1668,8 +1762,7 @@ mod tests {
     fn stall_report_carries_deterministic_phase_timings_under_virtual_clock() {
         use fractal_telemetry::VirtualClock;
         let tb = testbed_with_pages(1);
-        let mut reactor =
-            Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_clock(VirtualClock::shared(100));
+        let mut reactor = tb.reactor_with(ReactorConfig::new().clock(VirtualClock::shared(100)));
         let id = reactor.spawn_lossy(InpSession::new(
             tb.client(ClientClass::DesktopLan),
             tb.app_id,
@@ -1690,8 +1783,7 @@ mod tests {
     fn phase_timings_cover_all_five_phases_for_a_cold_session() {
         use fractal_telemetry::VirtualClock;
         let tb = testbed_with_pages(1);
-        let mut reactor =
-            Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_clock(VirtualClock::shared(10));
+        let mut reactor = tb.reactor_with(ReactorConfig::new().clock(VirtualClock::shared(10)));
         let id =
             reactor.spawn(InpSession::new(tb.client(ClientClass::PdaBluetooth), tb.app_id, 0, 0));
         reactor.run().unwrap();
@@ -1712,9 +1804,9 @@ mod tests {
             let tb = testbed_with_pages(2);
             let clock = VirtualClock::shared(10);
             let tracer = std::sync::Arc::new(Tracer::new(std::sync::Arc::clone(&clock)));
-            let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-                .with_clock(clock)
-                .with_tracer(std::sync::Arc::clone(&tracer));
+            let mut reactor = tb.reactor_with(
+                ReactorConfig::new().clock(clock).tracer(std::sync::Arc::clone(&tracer)),
+            );
             for i in 0..2u32 {
                 reactor.spawn(InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, i, 0));
             }
@@ -1775,7 +1867,7 @@ mod tests {
     fn checked_framing_completes_sessions_end_to_end() {
         const N: u32 = 4;
         let tb = testbed_with_pages(N);
-        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_frame_checksums();
+        let mut reactor = tb.reactor_with(ReactorConfig::new().frame_checksums());
         for i in 0..N {
             let class = ClientClass::ALL[i as usize % 3];
             reactor.spawn(InpSession::new(tb.client(class), tb.app_id, i, 0));
@@ -1790,7 +1882,7 @@ mod tests {
         use crate::transport::{FrameError, LoopbackTransport};
         const N: usize = 8;
         let tb = testbed_with_pages(N as u32);
-        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_frame_checksums();
+        let mut reactor = tb.reactor_with(ReactorConfig::new().frame_checksums());
         let plan = FaultPlan::new(0xC0FFEE).with_corrupt(400);
         let mut ids = Vec::new();
         for i in 0..N {
@@ -1846,9 +1938,9 @@ mod tests {
         use fractal_telemetry::VirtualClock;
         let tb = testbed_with_pages(2);
         let journal = Arc::new(Journal::new(256).with_clock(VirtualClock::shared(1)));
-        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-            .with_clock(VirtualClock::shared(1))
-            .with_journal(Arc::clone(&journal));
+        let mut reactor = tb.reactor_with(
+            ReactorConfig::new().clock(VirtualClock::shared(1)).journal(Arc::clone(&journal)),
+        );
         for i in 0..2u32 {
             reactor.spawn(InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, i, 0));
         }
@@ -1877,8 +1969,7 @@ mod tests {
     fn journal_uses_caller_labels_and_marks_handoffs() {
         let tb = testbed_with_pages(1);
         let journal = Arc::new(Journal::new(128));
-        let mut reactor =
-            Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_journal(Arc::clone(&journal));
+        let mut reactor = tb.reactor_with(ReactorConfig::new().journal(Arc::clone(&journal)));
         let id = reactor.spawn(
             InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, 0, 0).with_label(4711),
         );
@@ -1902,9 +1993,9 @@ mod tests {
         use fractal_telemetry::VirtualClock;
         let tb = testbed_with_pages(1);
         let journal = Arc::new(Journal::new(64).with_clock(VirtualClock::shared(1)));
-        let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-            .with_clock(VirtualClock::shared(100))
-            .with_journal(Arc::clone(&journal));
+        let mut reactor = tb.reactor_with(
+            ReactorConfig::new().clock(VirtualClock::shared(100)).journal(Arc::clone(&journal)),
+        );
         let id = reactor.spawn_lossy(InpSession::new(
             tb.client(ClientClass::DesktopLan),
             tb.app_id,

@@ -7,6 +7,14 @@
 //! high. On the contrary, the latter, where adaptive content is
 //! precalculated in advance and saved in memory or disk consumes less CPU
 //! and has large memory or disk space requirements."
+//!
+//! Both stores live behind an [`Epoch`]: `publish` takes `&self`, builds
+//! the successor snapshot (new version appended, proactive entries
+//! precomputed) entirely off the read path, then swaps it in. Sessions
+//! pin one generation per `respond`, so a racing republish can never show
+//! them a torn version chain — and since version chains are append-only,
+//! a session that negotiated version `v` decodes against exactly `v` no
+//! matter how many publishes land mid-flight.
 
 use std::collections::HashMap;
 
@@ -18,6 +26,7 @@ use fractal_protocols::gzip::Gzip;
 use fractal_protocols::varyblock::VaryBlock;
 use fractal_protocols::{DiffCodec, ProtocolId};
 
+use crate::epoch::{Epoch, EpochStats};
 use crate::error::FractalError;
 use crate::meta::AppId;
 
@@ -55,26 +64,39 @@ pub struct StoreStats {
 
 type StoreKey = (u32, Option<u32>, u32, ProtocolId);
 
+/// The epoch-versioned snapshot behind one server: the version chains and
+/// the proactive store publish together, so a reader that pins the
+/// snapshot sees them consistent. Cloning copies the two indexes; every
+/// payload is a [`Bytes`] refcount.
+#[derive(Clone, Default)]
+struct ServerState {
+    /// content id → versions (index = version number). Append-only.
+    contents: HashMap<u32, Vec<Bytes>>,
+    /// Proactive store: (content, have, want, protocol) → payload.
+    store: HashMap<StoreKey, Bytes>,
+}
+
 /// The application server.
 pub struct ApplicationServer {
     /// Application this server provides.
     pub app_id: AppId,
     mode: AdaptiveContentMode,
-    /// content id → versions (index = version number).
-    contents: HashMap<u32, Vec<Bytes>>,
-    /// Proactive store: (content, have, want, protocol) → payload.
-    store: HashMap<StoreKey, Bytes>,
     /// Deployed server-side PADs.
     protocols: Vec<ProtocolId>,
+    state: Epoch<ServerState>,
 }
 
 impl core::fmt::Debug for ApplicationServer {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let state = self.state.pin();
         f.debug_struct("ApplicationServer")
             .field("app_id", &self.app_id)
             .field("mode", &self.mode)
-            .field("contents", &self.contents.len())
-            .field("store", &self.store.len())
+            .field("protocols", &self.protocols)
+            .field("contents", &state.contents.len())
+            .field("store", &self.store_stats())
+            .field("generation", &self.state.generation())
+            .field("epoch", &self.state.stats())
             .finish()
     }
 }
@@ -96,9 +118,8 @@ impl ApplicationServer {
         ApplicationServer {
             app_id,
             mode,
-            contents: HashMap::new(),
-            store: HashMap::new(),
             protocols: protocols.to_vec(),
+            state: Epoch::new(ServerState::default()),
         }
     }
 
@@ -110,54 +131,58 @@ impl ApplicationServer {
     /// Publishes a new version of `content_id`; returns the version number.
     /// In proactive mode the adaptive content for the new version is
     /// pre-computed immediately (the off-request-path cost).
-    pub fn publish(&mut self, content_id: u32, bytes: impl Into<Bytes>) -> u32 {
-        let versions = self.contents.entry(content_id).or_default();
-        versions.push(bytes.into());
-        let version = (versions.len() - 1) as u32;
-        if self.mode == AdaptiveContentMode::Proactive {
-            self.precompute(content_id, version);
-        }
-        version
+    ///
+    /// Takes `&self`: the successor snapshot — appended version chain plus
+    /// any proactive precomputes — is built off the read path and swapped
+    /// in atomically, so publish runs concurrently with live `respond`
+    /// traffic. Concurrent publishers serialize; readers never wait.
+    pub fn publish(&self, content_id: u32, bytes: impl Into<Bytes>) -> u32 {
+        let bytes = bytes.into();
+        self.state.publish_with(|state| {
+            let versions = state.contents.entry(content_id).or_default();
+            versions.push(bytes);
+            let version = (versions.len() - 1) as u32;
+            if self.mode == AdaptiveContentMode::Proactive {
+                precompute(state, &self.protocols, content_id, version);
+            }
+            version
+        })
     }
 
     /// Latest version number of `content_id`.
     pub fn latest_version(&self, content_id: u32) -> Option<u32> {
-        self.contents.get(&content_id).map(|v| (v.len() - 1) as u32)
+        self.state.pin().contents.get(&content_id).map(|v| (v.len() - 1) as u32)
     }
 
     /// Raw bytes of a version (for tests and the session runner's oracle).
-    pub fn content(&self, content_id: u32, version: u32) -> Option<&[u8]> {
-        self.contents.get(&content_id)?.get(version as usize).map(Bytes::as_ref)
+    /// An O(1) [`Bytes`] view into the pinned snapshot.
+    pub fn content(&self, content_id: u32, version: u32) -> Option<Bytes> {
+        self.state.pin().contents.get(&content_id)?.get(version as usize).cloned()
     }
 
-    fn precompute(&mut self, content_id: u32, version: u32) {
-        let versions = &self.contents[&content_id];
-        let new = versions[version as usize].clone();
-        let old_versions: Vec<(Option<u32>, Bytes)> = {
-            let mut v: Vec<(Option<u32>, Bytes)> = vec![(None, Bytes::new())];
-            if version > 0 {
-                v.push((Some(version - 1), versions[version as usize - 1].clone()));
-            }
-            v
-        };
-        for &protocol in &self.protocols.clone() {
-            let codec = codec_for(protocol);
-            for (have, old) in &old_versions {
-                let payload = codec.encode(old, &new);
-                self.store.insert((content_id, *have, version, protocol), payload);
-            }
-        }
+    /// The snapshot generation currently being served (0 until the first
+    /// publish; +1 per publish). Monotonic — the throughput bench asserts
+    /// it against `latest_version` during the live-republish pass.
+    pub fn generation(&self) -> u64 {
+        self.state.generation()
+    }
+
+    /// Epoch accounting: generations published / retired / still live.
+    pub fn epoch_stats(&self) -> EpochStats {
+        self.state.stats()
     }
 
     /// Handles the encoded-content part of an `APP_REQ`: the client holds
     /// `have_version` (or nothing) and wants `want_version` encoded with
     /// `protocol`.
     ///
-    /// Takes `&self`: the content store and the proactive store are only
-    /// written by [`publish`](Self::publish), so any number of sessions —
-    /// reactor-driven or thread-parallel — can serve concurrently from one
-    /// shared server. Reactive encodes are pure computation over the
-    /// [`Bytes`] store and allocate their own output.
+    /// Takes `&self` and pins one snapshot generation for the duration:
+    /// any number of sessions — reactor-driven or thread-parallel — serve
+    /// concurrently from one shared server, and a racing
+    /// [`publish`](Self::publish) can never tear the version chain out
+    /// from under a response in flight. Reactive encodes are pure
+    /// computation over the pinned [`Bytes`] store and allocate their own
+    /// output.
     pub fn respond(
         &self,
         content_id: u32,
@@ -168,14 +193,15 @@ impl ApplicationServer {
         if !self.protocols.contains(&protocol) {
             return Err(FractalError::ProtocolNotDeployed(protocol));
         }
+        let state = self.state.pin();
         let versions =
-            self.contents.get(&content_id).ok_or(FractalError::UnknownContent(content_id))?;
+            state.contents.get(&content_id).ok_or(FractalError::UnknownContent(content_id))?;
         let new =
             versions.get(want_version as usize).ok_or(FractalError::UnknownContent(content_id))?;
 
         if self.mode == AdaptiveContentMode::Proactive {
             if let Some(payload) =
-                self.store.get(&(content_id, have_version, want_version, protocol))
+                state.store.get(&(content_id, have_version, want_version, protocol))
             {
                 return Ok(EncodedResponse {
                     protocol,
@@ -198,9 +224,32 @@ impl ApplicationServer {
 
     /// Proactive-store accounting.
     pub fn store_stats(&self) -> StoreStats {
+        let state = self.state.pin();
         StoreStats {
-            entries: self.store.len(),
-            bytes: self.store.values().map(|p| p.len() as u64).sum(),
+            entries: state.store.len(),
+            bytes: state.store.values().map(|p| p.len() as u64).sum(),
+        }
+    }
+}
+
+/// Pre-encodes the cold fetch and the adjacent-pair diff for `version`
+/// into the successor snapshot's proactive store. Runs inside
+/// `publish_with`, i.e. off the read path.
+fn precompute(state: &mut ServerState, protocols: &[ProtocolId], content_id: u32, version: u32) {
+    let versions = &state.contents[&content_id];
+    let new = versions[version as usize].clone();
+    let old_versions: Vec<(Option<u32>, Bytes)> = {
+        let mut v: Vec<(Option<u32>, Bytes)> = vec![(None, Bytes::new())];
+        if version > 0 {
+            v.push((Some(version - 1), versions[version as usize - 1].clone()));
+        }
+        v
+    };
+    for &protocol in protocols {
+        let codec = codec_for(protocol);
+        for (have, old) in &old_versions {
+            let payload = codec.encode(old, &new);
+            state.store.insert((content_id, *have, version, protocol), payload);
         }
     }
 }
@@ -219,17 +268,18 @@ mod tests {
 
     #[test]
     fn publish_and_version_chain() {
-        let mut s = server(AdaptiveContentMode::Reactive);
+        let s = server(AdaptiveContentMode::Reactive);
         assert_eq!(s.publish(7, content(1, 100)), 0);
         assert_eq!(s.publish(7, content(2, 100)), 1);
         assert_eq!(s.latest_version(7), Some(1));
         assert_eq!(s.latest_version(8), None);
         assert_eq!(s.content(7, 0).unwrap().len(), 100);
+        assert_eq!(s.generation(), 2, "one snapshot generation per publish");
     }
 
     #[test]
     fn reactive_respond_round_trips_every_protocol() {
-        let mut s = server(AdaptiveContentMode::Reactive);
+        let s = server(AdaptiveContentMode::Reactive);
         let v0 = content(1, 5000);
         let v1 = content(2, 5000);
         s.publish(7, v0.clone());
@@ -244,7 +294,7 @@ mod tests {
 
     #[test]
     fn proactive_serves_from_store() {
-        let mut s = server(AdaptiveContentMode::Proactive);
+        let s = server(AdaptiveContentMode::Proactive);
         s.publish(7, content(1, 2000));
         s.publish(7, content(2, 2000));
         // Cold fetch and warm fetch are both precomputed.
@@ -258,7 +308,7 @@ mod tests {
 
     #[test]
     fn proactive_falls_back_to_reactive_for_unexpected_pairs() {
-        let mut s = server(AdaptiveContentMode::Proactive);
+        let s = server(AdaptiveContentMode::Proactive);
         s.publish(7, content(1, 1000));
         s.publish(7, content(2, 1000));
         s.publish(7, content(3, 1000));
@@ -269,7 +319,7 @@ mod tests {
 
     #[test]
     fn unknown_content_and_versions_rejected() {
-        let mut s = server(AdaptiveContentMode::Reactive);
+        let s = server(AdaptiveContentMode::Reactive);
         assert!(matches!(
             s.respond(9, None, 0, ProtocolId::Direct),
             Err(FractalError::UnknownContent(9))
@@ -281,7 +331,7 @@ mod tests {
 
     #[test]
     fn undeployed_protocol_rejected() {
-        let mut s =
+        let s =
             ApplicationServer::new(AppId(1), &[ProtocolId::Direct], AdaptiveContentMode::Reactive);
         s.publish(7, content(1, 10));
         assert_eq!(
@@ -292,7 +342,7 @@ mod tests {
 
     #[test]
     fn proactive_store_grows_with_versions() {
-        let mut s = server(AdaptiveContentMode::Proactive);
+        let s = server(AdaptiveContentMode::Proactive);
         s.publish(7, content(1, 1000));
         let after_one = s.store_stats().entries;
         s.publish(7, content(2, 1000));
@@ -301,5 +351,49 @@ mod tests {
         // v0: 4 protocols × cold; v1: 4 × (cold + warm).
         assert_eq!(after_one, 4);
         assert_eq!(after_two, 12);
+    }
+
+    #[test]
+    fn debug_dump_shows_deployments() {
+        // The STALL_*.txt satellite: a debug dump must show what the
+        // server actually had deployed — protocols and store stats.
+        let s = server(AdaptiveContentMode::Proactive);
+        s.publish(7, content(1, 1000));
+        let dump = format!("{s:?}");
+        assert!(dump.contains("protocols"), "{dump}");
+        assert!(dump.contains("Gzip"), "{dump}");
+        assert!(dump.contains("StoreStats"), "{dump}");
+        assert!(dump.contains("generation"), "{dump}");
+    }
+
+    #[test]
+    fn concurrent_publish_and_respond_never_tear() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let s = std::sync::Arc::new(server(AdaptiveContentMode::Proactive));
+        s.publish(7, content(1, 2000));
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                let s = &s;
+                let done = &done;
+                scope.spawn(move || {
+                    while !done.load(Ordering::Relaxed) {
+                        let latest = s.latest_version(7).unwrap();
+                        // The version we just observed stays servable: the
+                        // chain is append-only within a pinned snapshot and
+                        // across publishes.
+                        let resp = s.respond(7, None, latest, ProtocolId::Gzip).unwrap();
+                        let decoded = codec_for(ProtocolId::Gzip).decode(&[], &resp.payload);
+                        let expected = s.content(7, latest).unwrap();
+                        assert_eq!(decoded.unwrap(), expected);
+                    }
+                });
+            }
+            for seed in 2..40u8 {
+                s.publish(7, content(seed, 2000));
+            }
+            done.store(true, Ordering::Relaxed);
+        });
+        assert_eq!(s.latest_version(7), Some(38));
     }
 }

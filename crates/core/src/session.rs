@@ -25,9 +25,77 @@ use crate::server::ApplicationServer;
 
 /// Where clients download PADs from in the uncontended sessions of
 /// Figures 10/11 (the contended Figure 9(b) capacity experiment uses the
-/// full CDN deployment in `fractal-cdn`). Values are [`Bytes`]: every
+/// full CDN deployment in `fractal-cdn`). Wires are [`Bytes`]: every
 /// client's `PAD_DOWNLOAD_REP` shares the one artifact buffer.
-pub type PadRepo = HashMap<PadId, Bytes>;
+///
+/// Epoch-versioned like the server's content store: `insert`/`clear`
+/// take `&self` and publish a successor snapshot, so a PAD rollout (or
+/// rollback) lands atomically under live download traffic — a reader
+/// pins one consistent repo generation per lookup.
+#[derive(Default)]
+pub struct PadRepo {
+    wires: crate::epoch::Epoch<HashMap<PadId, Bytes>>,
+}
+
+impl PadRepo {
+    /// An empty repo (generation 0).
+    pub fn new() -> PadRepo {
+        PadRepo::default()
+    }
+
+    /// Publishes (or replaces) one PAD artifact's wire form.
+    pub fn insert(&self, pad_id: PadId, wire: impl Into<Bytes>) {
+        let wire = wire.into();
+        self.wires.publish_with(|m| {
+            m.insert(pad_id, wire);
+        });
+    }
+
+    /// The wire form served for `PAD_DOWNLOAD_REQ` — an O(1) refcount
+    /// clone out of the pinned snapshot.
+    pub fn get(&self, pad_id: PadId) -> Option<Bytes> {
+        self.wires.pin().get(&pad_id).cloned()
+    }
+
+    /// Withdraws every artifact (the "repo offline" fault in the
+    /// session tests).
+    pub fn clear(&self) {
+        self.wires.publish_with(HashMap::clear);
+    }
+
+    /// Number of artifacts currently published.
+    pub fn len(&self) -> usize {
+        self.wires.pin().len()
+    }
+
+    /// Whether no artifacts are published.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Every published wire, ordered by PAD id (deterministic — the repo
+    /// index is a hash map, its iteration order is not).
+    pub fn wires(&self) -> Vec<Bytes> {
+        let pinned = self.wires.pin();
+        let mut entries: Vec<(&PadId, &Bytes)> = pinned.iter().collect();
+        entries.sort_by_key(|(id, _)| **id);
+        entries.into_iter().map(|(_, w)| w.clone()).collect()
+    }
+
+    /// The repo's snapshot generation (+1 per insert/clear).
+    pub fn generation(&self) -> u64 {
+        self.wires.generation()
+    }
+}
+
+impl core::fmt::Debug for PadRepo {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("PadRepo")
+            .field("pads", &self.len())
+            .field("generation", &self.generation())
+            .finish()
+    }
+}
 
 /// Per-session measurements, decomposed the way the paper plots them.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -88,12 +156,12 @@ pub fn run_session(
         if client.is_deployed(pad.id) {
             continue;
         }
-        let wire = pad_repo.get(&pad.id).ok_or(FractalError::PadUnavailable(pad.id))?;
+        let wire = pad_repo.get(pad.id).ok_or(FractalError::PadUnavailable(pad.id))?;
         let req = InpMessage::PadDownloadReq { pad_id: pad.id };
         let rep = InpMessage::PadDownloadRep { pad_id: pad.id, bytes: wire.clone() };
         pad_retrieval += link.transfer_time(req.wire_len() as u64);
         pad_retrieval += link.transfer_time(rep.wire_len() as u64);
-        client.deploy_pad(pad, wire)?;
+        client.deploy_pad(pad, &wire)?;
         // Verification + instantiation cost, linear-model scaled.
         pad_retrieval += SimDuration::millis(1).scale(STD_CPU_MHZ / client.env.dev.cpu_mhz as f64);
     }
@@ -214,7 +282,7 @@ mod tests {
 
     #[test]
     fn full_session_cold_then_warm() {
-        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         let v0 = content(3, 40_000);
         let mut v1 = v0.clone();
         v1[100] ^= 0xFF;
@@ -245,7 +313,7 @@ mod tests {
     #[test]
     fn session_decodes_through_vm_for_every_class() {
         for class in ClientClass::ALL {
-            let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+            let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
             tb.server.publish(7, content(5, 20_000));
             let mut client = tb.client(class);
             let link = class.link();
@@ -280,7 +348,7 @@ mod tests {
 
     #[test]
     fn missing_pad_in_repo_fails_cleanly() {
-        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         tb.server.publish(7, content(9, 5_000));
         tb.pad_repo.clear();
         let mut client = tb.client(ClientClass::DesktopLan);

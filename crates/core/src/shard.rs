@@ -35,12 +35,12 @@
 //! accounting neither dropped nor double-counted a session. Sessions are
 //! journal-labeled by their **spawn order** (gid), not their shard slot,
 //! so under a pinned [`VirtualClock`]
-//! ([`with_virtual_time`](ShardedReactor::with_virtual_time)) the merged
+//! ([`ReactorConfig::virtual_time`]) the merged
 //! journal is byte-identical at any shard count.
 //!
 //! Stalls cannot rely on the simulated-clock protocol ([`Reactor::run`]'s
 //! device): a kernel socket has no `next_ready_at`. Instead a shard that
-//! sees no readiness for [`stall_timeout`](ShardedReactor::with_stall_timeout)
+//! sees no readiness for [`stall_timeout`](ReactorConfig::stall_timeout)
 //! while sessions are live returns the same typed
 //! [`ReactorStalled`](crate::reactor::ReactorStalled) diagnostic, so the
 //! CI smoke gate's `timeout` wrapper stays a deadlock detector of last
@@ -59,7 +59,7 @@ use fractal_telemetry::{MonotonicClock, Registry, SharedClock, Snapshot, Telemet
 use crate::error::InpError;
 use crate::introspect::IntrospectSource;
 use crate::proxy::AdaptationProxy;
-use crate::reactor::{InpSession, Reactor, ReactorReport};
+use crate::reactor::{InpSession, Reactor, ReactorConfig, ReactorReport};
 use crate::server::ApplicationServer;
 use crate::session::PadRepo;
 use crate::sys::{Interest, Poller};
@@ -214,6 +214,7 @@ pub struct ShardedReactor<'a> {
     server: &'a ApplicationServer,
     pad_repo: &'a PadRepo,
     shards: usize,
+    frame_checksums: bool,
     stall_timeout: Duration,
     virtual_tick: Option<u64>,
     journal_capacity: usize,
@@ -221,12 +222,30 @@ pub struct ShardedReactor<'a> {
 }
 
 impl<'a> ShardedReactor<'a> {
-    /// A sharded front-end over `shards` reactors (must be ≥ 1).
+    /// A sharded front-end over `shards` reactors (must be ≥ 1), every
+    /// knob at its [`ReactorConfig`] default.
     pub fn new(
         proxy: &'a AdaptationProxy,
         server: &'a ApplicationServer,
         pad_repo: &'a PadRepo,
         shards: usize,
+    ) -> ShardedReactor<'a> {
+        ShardedReactor::with_config(proxy, server, pad_repo, shards, ReactorConfig::new())
+    }
+
+    /// A sharded front-end configured by one [`ReactorConfig`]. The
+    /// sharded driver reads `frame_checksums`, `stall_timeout`,
+    /// `virtual_time`, `journal_capacity`, and `introspect`; per-shard
+    /// clocks, registries, and journals are built internally, so the
+    /// single-reactor knobs (`transport`, `clock`, `telemetry`,
+    /// `journal`, `tracer`) are ignored — see the knob table on
+    /// [`ReactorConfig`].
+    pub fn with_config(
+        proxy: &'a AdaptationProxy,
+        server: &'a ApplicationServer,
+        pad_repo: &'a PadRepo,
+        shards: usize,
+        config: ReactorConfig,
     ) -> ShardedReactor<'a> {
         assert!(shards > 0, "at least one shard");
         ShardedReactor {
@@ -234,46 +253,12 @@ impl<'a> ShardedReactor<'a> {
             server,
             pad_repo,
             shards,
-            stall_timeout: DEFAULT_STALL_TIMEOUT,
-            virtual_tick: None,
-            journal_capacity: DEFAULT_JOURNAL_CAPACITY,
-            introspect: None,
+            frame_checksums: config.frame_checksums,
+            stall_timeout: config.stall_timeout.unwrap_or(DEFAULT_STALL_TIMEOUT),
+            virtual_tick: config.virtual_tick,
+            journal_capacity: config.journal_capacity.unwrap_or(DEFAULT_JOURNAL_CAPACITY),
+            introspect: config.introspect,
         }
-    }
-
-    /// Replaces the consecutive-quiet time after which a shard with live
-    /// sessions reports them stuck (default 5 s).
-    pub fn with_stall_timeout(mut self, stall_timeout: Duration) -> ShardedReactor<'a> {
-        self.stall_timeout = stall_timeout;
-        self
-    }
-
-    /// Puts every shard's telemetry *and* journal on its own
-    /// [`VirtualClock`] starting at 0 and advancing `tick` ns per
-    /// reading, instead of real monotonic time. With `tick == 0` the
-    /// timeline is pinned: every recorded timestamp is identical, so the
-    /// merged journal becomes a pure function of the per-session event
-    /// streams — byte-identical at any shard count.
-    pub fn with_virtual_time(mut self, tick: u64) -> ShardedReactor<'a> {
-        self.virtual_tick = Some(tick);
-        self
-    }
-
-    /// Replaces each shard's flight-recorder ring capacity (default
-    /// [`DEFAULT_JOURNAL_CAPACITY`]; rounded up to a power of two).
-    pub fn with_journal_capacity(mut self, capacity: usize) -> ShardedReactor<'a> {
-        self.journal_capacity = capacity;
-        self
-    }
-
-    /// Publishes this run to a live introspection plane: every shard's
-    /// registry + journal is [`attach`](IntrospectSource::attach)ed
-    /// before the shards spawn (so `/metrics` sees the run mid-flight),
-    /// [`retire`](IntrospectSource::retire)d when they join, and stall
-    /// diagnostics are pushed to `/stalls` as they surface.
-    pub fn with_introspect(mut self, source: Arc<IntrospectSource>) -> ShardedReactor<'a> {
-        self.introspect = Some(source);
-        self
     }
 
     /// One shard's observability bundle: a private registry + a private
@@ -404,9 +389,11 @@ impl<'a> ShardedReactor<'a> {
         tele: Telemetry,
         journal: Arc<Journal>,
     ) -> Result<ShardOutcome, InpError> {
-        let mut reactor = Reactor::new(self.proxy, self.server, self.pad_repo)
-            .with_telemetry(&tele)
-            .with_journal(journal.clone());
+        let mut cfg = ReactorConfig::new().telemetry(&tele).journal(journal.clone());
+        if self.frame_checksums {
+            cfg = cfg.frame_checksums();
+        }
+        let mut reactor = Reactor::with_config(self.proxy, self.server, self.pad_repo, cfg);
         let mut gids = Vec::new();
         // Admission: block until the acceptor has dealt the whole run
         // (senders dropped). Every session is then live before the first
@@ -536,7 +523,7 @@ mod tests {
     }
 
     fn testbed_with_pages(n: u32) -> Testbed {
-        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         for id in 0..n {
             tb.server.publish(id, content(id as u8 + 1, 6_000));
         }
@@ -611,10 +598,15 @@ mod tests {
                     InpSession::new(tb.client(ClientClass::ALL[i as usize % 3]), tb.app_id, i, 0)
                 })
                 .collect();
-            let outcome = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, shards)
-                .with_virtual_time(0)
-                .run(sessions)
-                .expect("sharded run completes");
+            let outcome = ShardedReactor::with_config(
+                &tb.proxy,
+                &tb.server,
+                &tb.pad_repo,
+                shards,
+                ReactorConfig::new().virtual_time(0),
+            )
+            .run(sessions)
+            .expect("sharded run completes");
             let merged = outcome.merged_journal();
             assert_eq!(merged.sessions().len(), N as usize, "{shards} shards");
             assert_eq!(merged.dropped, 0, "{shards} shards: ring must not wrap");
@@ -634,8 +626,13 @@ mod tests {
         let tb = testbed_with_pages(1);
         let mut session = InpSession::new(tb.client(ClientClass::DesktopLan), tb.app_id, 0, 0);
         session.start().unwrap();
-        let sharded = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, 1)
-            .with_stall_timeout(Duration::from_millis(200));
+        let sharded = ShardedReactor::with_config(
+            &tb.proxy,
+            &tb.server,
+            &tb.pad_repo,
+            1,
+            ReactorConfig::new().stall_timeout(Duration::from_millis(200)),
+        );
         let err = sharded.run(vec![session]).unwrap_err();
         let InpError::Stalled(stall) = err else {
             panic!("expected typed stall, got {err:?}");
@@ -654,8 +651,13 @@ mod tests {
         // the socket never carries a byte and the shard must detect it.
         let mut session = InpSession::new(tb.client(ClientClass::DesktopLan), tb.app_id, 0, 0);
         session.start().unwrap();
-        let sharded = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, 1)
-            .with_stall_timeout(Duration::from_millis(200));
+        let sharded = ShardedReactor::with_config(
+            &tb.proxy,
+            &tb.server,
+            &tb.pad_repo,
+            1,
+            ReactorConfig::new().stall_timeout(Duration::from_millis(200)),
+        );
         let err = sharded.run(vec![session]).unwrap_err();
         let InpError::Stalled(stall) = err else {
             panic!("expected typed stall, got {err:?}");

@@ -5,8 +5,6 @@
 //! Used by the integration tests, the examples, and the figure harness so
 //! they all exercise the same assembly code path.
 
-use std::collections::HashMap;
-
 use fractal_crypto::sign::{Signer, SignerRegistry, TrustStore};
 use fractal_pads::Catalog;
 use fractal_protocols::ProtocolId;
@@ -54,17 +52,17 @@ impl Testbed {
         };
 
         let app_id = AppId(1);
-        let mut pad_repo: PadRepo = HashMap::new();
+        let pad_repo = PadRepo::new();
         let mut artifacts = Vec::new();
         for &p in protocols {
             let a = catalog.get(p).expect("catalog holds protocol");
-            pad_repo.insert(pad_id(p), a.signed.to_wire().into());
+            pad_repo.insert(pad_id(p), a.signed.to_wire());
             artifacts.push((p, a.digest(), a.wire_len() as u32));
         }
 
         let meta = case_study_app_meta(app_id, &artifacts);
-        let mut proxy = AdaptationProxy::new(OverheadModel::paper(paper_ratios()));
-        proxy.push_app_meta(&meta);
+        let proxy = AdaptationProxy::new(OverheadModel::paper(paper_ratios()));
+        proxy.register_app(&meta);
 
         let server = ApplicationServer::new(app_id, protocols, mode);
         Testbed { proxy, server, pad_repo, app_id, signer, registry }
@@ -95,13 +93,24 @@ impl Testbed {
     /// Builds a reactor over this testbed's proxy/server/PAD-repo trio that
     /// spawns sessions behind the given transport profile — e.g.
     /// `tb.reactor_over(LinkKind::Bluetooth)` for a simulated Bluetooth
-    /// link, or a [`TransportProfile`] for explicit capacities.
+    /// link, or a [`TransportProfile`](crate::transport::TransportProfile)
+    /// for explicit capacities.
     pub fn reactor_over(
         &self,
         profile: impl Into<crate::transport::TransportProfile>,
     ) -> crate::reactor::Reactor<'_> {
-        crate::reactor::Reactor::new(&self.proxy, &self.server, &self.pad_repo)
-            .with_transport(profile)
+        self.reactor_with(crate::reactor::ReactorConfig::new().transport(profile))
+    }
+
+    /// Builds a reactor over this testbed's trio from a full
+    /// [`ReactorConfig`](crate::reactor::ReactorConfig) — the one-stop
+    /// constructor for tests that need checksums, virtual clocks,
+    /// journals, or explicit telemetry.
+    pub fn reactor_with(
+        &self,
+        config: crate::reactor::ReactorConfig,
+    ) -> crate::reactor::Reactor<'_> {
+        crate::reactor::Reactor::with_config(&self.proxy, &self.server, &self.pad_repo, config)
     }
 }
 
@@ -126,7 +135,7 @@ mod tests {
 
     #[test]
     fn reactor_over_builds_a_transport_backed_reactor() {
-        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         tb.server.publish(0, vec![7u8; 4_096]);
         let mut reactor = tb.reactor_over(fractal_net::LinkKind::Wlan);
         let id = reactor.spawn(crate::reactor::InpSession::new(

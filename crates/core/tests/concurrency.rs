@@ -113,9 +113,8 @@ fn threaded_reactors_share_one_server_and_proxy() {
 
     const N: usize = 96;
     const CONTENT: u32 = 7;
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     tb.server.publish(CONTENT, vec![3u8; 8_000]);
-    let tb = tb; // frozen: everything below is &self
 
     // Serial oracle: the proxy's direct decision for every environment.
     let oracle: Vec<Vec<PadMeta>> =
@@ -160,6 +159,87 @@ fn threaded_reactors_share_one_server_and_proxy() {
     // Shared-cache accounting still exact after all the reactor traffic.
     let stats = tb.proxy.stats();
     assert_eq!(stats.cache_misses, DISTINCT);
+}
+
+/// The epoch-versioned server under a live writer: reader threads run
+/// full INP sessions pinned to version 1 of a page while the main thread
+/// keeps publishing successor versions of that same page. The version
+/// chain must never tear — every reader decodes byte-exactly the version
+/// it negotiated, `latest_version` only moves forward, and once the
+/// threads quiesce every superseded snapshot generation has been
+/// reclaimed.
+#[test]
+fn publish_under_load() {
+    use fractal_core::session::run_session;
+
+    const CONTENT: u32 = 0;
+    const READERS: usize = 4;
+    const SESSIONS_PER_READER: usize = 6;
+    const REPUBLISHES: u32 = 40;
+
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let v0 = vec![1u8; 6_000];
+    let v1 = vec![2u8; 6_000];
+    tb.server.publish(CONTENT, v0.clone());
+    tb.server.publish(CONTENT, v1.clone());
+
+    std::thread::scope(|scope| {
+        let readers: Vec<_> = (0..READERS)
+            .map(|t| {
+                let (tb, v0, v1) = (&tb, &v0, &v1);
+                scope.spawn(move || {
+                    let class = ClientClass::ALL[t % 3];
+                    let link = class.link();
+                    let mut last_seen = 1u32;
+                    for _ in 0..SESSIONS_PER_READER {
+                        // Fixed-version chain entries are immutable no
+                        // matter how many successors the writer appends.
+                        assert_eq!(
+                            tb.server.content(CONTENT, 1).expect("v1 published").as_ref(),
+                            &v1[..],
+                            "version 1 bytes changed under a racing publish"
+                        );
+                        let latest = tb.server.latest_version(CONTENT).expect("published");
+                        assert!(latest >= last_seen, "latest_version moved backwards");
+                        last_seen = latest;
+                        // Full INP session against version 1: run_session
+                        // asserts the FVM decode reproduces the exact
+                        // negotiated version's bytes.
+                        let mut client = tb.client(class);
+                        client.store_content(CONTENT, 0, v0.clone());
+                        run_session(
+                            &mut client,
+                            &tb.proxy,
+                            &tb.server,
+                            &tb.pad_repo,
+                            &link,
+                            tb.app_id,
+                            CONTENT,
+                            1,
+                        )
+                        .expect("session under live republish succeeds");
+                    }
+                })
+            })
+            .collect();
+
+        // The writer: keep appending distinct versions to the same page
+        // the readers are decoding, through the plain `&self` publish.
+        for k in 0..REPUBLISHES {
+            let appended = tb.server.publish(CONTENT, vec![(k % 251) as u8 + 3; 4_000]);
+            assert_eq!(appended, k + 2, "publish must append exactly one version");
+        }
+        for r in readers {
+            r.join().expect("reader thread panicked");
+        }
+    });
+
+    assert_eq!(tb.server.latest_version(CONTENT), Some(1 + REPUBLISHES));
+    // Grace periods complete: with all pins dropped, only the current
+    // generation survives.
+    let epoch = tb.server.epoch_stats();
+    assert_eq!(epoch.live, 1, "superseded generations must be reclaimed: {epoch:?}");
+    assert_eq!(epoch.published, epoch.retired, "every superseded generation retires");
 }
 
 #[test]

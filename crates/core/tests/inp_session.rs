@@ -25,7 +25,7 @@ struct Fixture {
 
 impl Fixture {
     fn new() -> Fixture {
-        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         tb.server.publish(CONTENT_ID, vec![7u8; 4_000]);
         let pads = tb.proxy.negotiate(tb.app_id, CLASS.env()).unwrap();
         Fixture { tb, pads }
@@ -37,7 +37,7 @@ impl Fixture {
 
     fn pad_download_rep(&self) -> InpMessage {
         let id = self.pads[0].id;
-        InpMessage::PadDownloadRep { pad_id: id, bytes: self.tb.pad_repo[&id].clone() }
+        InpMessage::PadDownloadRep { pad_id: id, bytes: self.tb.pad_repo.get(id).unwrap() }
     }
 
     fn app_rep(&self) -> InpMessage {
@@ -212,7 +212,7 @@ fn tampered_pad_bytes_fail_terminally_with_typed_error() {
     let fx = Fixture::new();
     let mut s = fx.session_at(SessionPhase::PadDownload, false);
     let id = fx.pads[0].id;
-    let mut bytes = fx.tb.pad_repo[&id].to_vec();
+    let mut bytes = fx.tb.pad_repo.get(id).unwrap().to_vec();
     let at = bytes.len() - 3;
     bytes[at] ^= 0xFF;
     let err =

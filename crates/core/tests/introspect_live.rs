@@ -13,13 +13,13 @@ use fractal_core::introspect::{
     http_get, parse_prometheus, response_body, IntrospectServer, IntrospectSource,
 };
 use fractal_core::presets::ClientClass;
-use fractal_core::reactor::InpSession;
+use fractal_core::reactor::{InpSession, ReactorConfig};
 use fractal_core::server::AdaptiveContentMode;
 use fractal_core::shard::ShardedReactor;
 use fractal_core::testbed::Testbed;
 
 fn testbed_with_pages(n: u32) -> Testbed {
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     for id in 0..n {
         let body: Vec<u8> =
             (0..6_000).map(|i| ((i / 7) as u8).wrapping_mul(id as u8).wrapping_add(3)).collect();
@@ -44,8 +44,8 @@ fn live_scrapes_are_monotonic_and_final_scrape_reconciles_exactly() {
     let mut scrapes: Vec<String> = Vec::new();
     let outcome = std::thread::scope(|scope| {
         let worker = scope.spawn(|| {
-            let run = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, 2)
-                .with_introspect(source.clone())
+            let cfg = ReactorConfig::new().introspect(source.clone());
+            let run = ShardedReactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, 2, cfg)
                 .run(sessions);
             done.store(true, Ordering::Relaxed);
             run
@@ -107,9 +107,8 @@ fn stalled_run_publishes_diagnostics_to_the_plane() {
 
     let source = IntrospectSource::new();
     let server = IntrospectServer::spawn(0, source.clone()).expect("bind ephemeral");
-    let err = ShardedReactor::new(&tb.proxy, &tb.server, &tb.pad_repo, 1)
-        .with_stall_timeout(Duration::from_millis(200))
-        .with_introspect(source)
+    let cfg = ReactorConfig::new().stall_timeout(Duration::from_millis(200)).introspect(source);
+    let err = ShardedReactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, 1, cfg)
         .run(vec![session])
         .unwrap_err();
     assert!(matches!(err, fractal_core::error::InpError::Stalled(_)), "{err:?}");

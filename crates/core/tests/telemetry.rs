@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use fractal_core::meta::AppId;
 use fractal_core::proxy::ProxyStats;
-use fractal_core::reactor::{InpSession, Reactor, PHASE_METRICS};
+use fractal_core::reactor::{InpSession, Reactor, ReactorConfig, PHASE_METRICS};
 use fractal_core::server::AdaptiveContentMode;
 use fractal_core::testbed::Testbed;
 use fractal_core::ClientClass;
@@ -76,9 +76,9 @@ fn client_registry_mirrors_client_stats_and_pad_costs() {
 
     let mut wire_total = 0u64;
     for pad in &pads {
-        let wire = tb.pad_repo.get(&pad.id).unwrap();
+        let wire = tb.pad_repo.get(pad.id).unwrap();
         wire_total += wire.len() as u64;
-        client.deploy_pad(pad, wire).unwrap();
+        client.deploy_pad(pad, &wire).unwrap();
     }
     // A garbage PAD exercises the rejection counter (and still counts its
     // bytes as downloaded — the bytes were fetched before the gauntlet).
@@ -104,13 +104,12 @@ fn client_registry_mirrors_client_stats_and_pad_costs() {
 #[test]
 fn reactor_fills_all_five_phase_histograms_and_mirrors_the_report() {
     let bundle = local_bundle();
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     for id in 0..4u32 {
         tb.server.publish(id, content(id as u8 + 1, 8_000));
     }
-    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-        .with_clock(bundle.clock())
-        .with_telemetry(&bundle);
+    let cfg = ReactorConfig::new().clock(bundle.clock()).telemetry(&bundle);
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
     for i in 0..4u32 {
         let class = ClientClass::ALL[i as usize % 3];
         reactor.spawn(InpSession::new(tb.client(class), tb.app_id, i, 0));
@@ -138,16 +137,17 @@ fn queue_depth_gauge_reconciles_with_per_session_pending_counts() {
     use fractal_core::transport::TransportProfile;
 
     let bundle = local_bundle();
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     for id in 0..3u32 {
         tb.server.publish(id, content(id as u8 + 1, 8_000));
     }
     // A 48-byte window keeps multi-KB PAD frames queued for many polls, so
     // the gauge is exercised at real depths, not just 0.
-    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-        .with_transport(TransportProfile::Loopback { capacity: 48 })
-        .with_clock(bundle.clock())
-        .with_telemetry(&bundle);
+    let cfg = ReactorConfig::new()
+        .transport(TransportProfile::Loopback { capacity: 48 })
+        .clock(bundle.clock())
+        .telemetry(&bundle);
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
     let ids: Vec<_> = (0..3u32)
         .map(|i| {
             reactor.spawn(InpSession::new(tb.client(ClientClass::ALL[i as usize]), tb.app_id, i, 0))
@@ -171,9 +171,8 @@ fn queue_depth_gauge_reconciles_with_per_session_pending_counts() {
 fn failed_session_counts_into_the_failed_counter() {
     let bundle = local_bundle();
     let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
-    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-        .with_clock(bundle.clock())
-        .with_telemetry(&bundle);
+    let cfg = ReactorConfig::new().clock(bundle.clock()).telemetry(&bundle);
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
     reactor.spawn(InpSession::new(tb.client(ClientClass::DesktopLan), AppId(99), 0, 0));
     let report = reactor.run().unwrap();
     assert_eq!(report.failed, 1);
@@ -193,7 +192,7 @@ fn vm_counters_move_through_the_global_registry() {
     let calls_before = before.counters.get("fractal_vm_calls_fast_total").copied().unwrap_or(0)
         + before.counters.get("fractal_vm_calls_checked_total").copied().unwrap_or(0);
 
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     tb.server.publish(0, content(3, 9_000));
     let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
     reactor.spawn(InpSession::new(tb.client(ClientClass::PdaBluetooth), tb.app_id, 0, 0));
@@ -212,11 +211,10 @@ fn vm_counters_move_through_the_global_registry() {
 #[test]
 fn prometheus_page_renders_the_whole_stack() {
     let bundle = local_bundle();
-    let mut tb = testbed_bound_to(&bundle);
+    let tb = testbed_bound_to(&bundle);
     tb.server.publish(0, content(1, 8_000));
-    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo)
-        .with_clock(bundle.clock())
-        .with_telemetry(&bundle);
+    let cfg = ReactorConfig::new().clock(bundle.clock()).telemetry(&bundle);
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
     reactor.spawn(InpSession::new(tb.client(ClientClass::LaptopWlan), tb.app_id, 0, 0));
     reactor.run().unwrap();
 

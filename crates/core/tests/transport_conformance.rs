@@ -241,7 +241,7 @@ fn byte_at_a_time_arrival_still_completes_a_full_session() {
     // directions, through the whole negotiation + PAD download + app
     // exchange. The framer must reassemble and the reactor's starvation
     // protocol must keep driving (ticks, not stalls).
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     tb.server.publish(0, (0..4_000).map(|i| (i % 200) as u8).collect::<Vec<u8>>());
     let oracle_tb = Testbed::case_study(AdaptiveContentMode::Reactive);
 
@@ -268,7 +268,7 @@ fn byte_at_a_time_arrival_still_completes_a_full_session() {
 #[test]
 fn coarser_trickle_rates_agree_with_untrickled_loopback() {
     let outcome_at = |per_tick: Option<usize>| {
-        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         tb.server.publish(0, vec![42; 2_000]);
         let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo);
         let base = LoopbackTransport::pair(4096);

@@ -23,7 +23,7 @@ fn main() {
     println!("sessions: warm updates (client holds v0, fetches v1, localized edits)\n");
 
     for class in ClientClass::ALL {
-        let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+        let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
         let mut client = tb.client(class);
         let link = class.link();
 

@@ -21,7 +21,7 @@ fn main() {
     // Build and publish the real signed PAD artifacts.
     let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     let mut origin = OriginStore::new();
-    let digests: Vec<_> = tb.pad_repo.values().map(|w| origin.publish(w.clone())).collect();
+    let digests: Vec<_> = tb.pad_repo.wires().into_iter().map(|w| origin.publish(w)).collect();
     println!("published {} PAD artifacts to the origin:", digests.len());
     for d in &digests {
         let obj = origin.fetch(d).unwrap();

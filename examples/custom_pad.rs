@@ -223,7 +223,7 @@ fn main() {
         children: vec![],
     };
     let app = AppMeta { app_id: AppId(9), pads: vec![direct_meta, rle_meta.clone()] };
-    let mut proxy = AdaptationProxy::new(OverheadModel::paper(paper_ratios()));
+    let proxy = AdaptationProxy::new(OverheadModel::paper(paper_ratios()));
     proxy.push_app_meta(&app);
 
     // 3. Negotiate: a dialup client asks the proxy.

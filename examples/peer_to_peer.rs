@@ -16,7 +16,7 @@ use fractal::core::testbed::Testbed;
 fn main() {
     // One administration domain: a single proxy + PAD repository serves
     // both directions (the PAT is the same application protocol).
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
 
     // Peer A: a desktop on the LAN, publishing a dataset.
     // Peer B: a PDA on Bluetooth, publishing field notes.

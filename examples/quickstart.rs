@@ -13,7 +13,7 @@ fn main() {
     // 1. Assemble the platform: four PADs built from FVM assembly, signed,
     //    published; the PAT pushed to the adaptation proxy; an application
     //    server with reactive adaptive content.
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
 
     // 2. Publish two versions of some content.
     let v0: Vec<u8> = b"breaking news, version one. ".repeat(2000).to_vec();

@@ -70,14 +70,19 @@ step "cargo test --features telemetry (registry reconciliation + determinism sui
 cargo test -q -p fractal-telemetry --all-features
 cargo test -q -p fractal-core -p fractal-bench --features telemetry
 
-step "throughput smoke (concurrent engine + reactor + transport gate)"
+step "throughput smoke (concurrent engine + reactor + transport + republish gate)"
 # Runs the 1- and 2-thread negotiation/session/reactor passes with the
 # built-in decision-identity assertion: a lost update or decision
 # divergence aborts the binary, and a reactor stall is reported as a typed
 # InpError::Stalled naming the stuck sessions. The reactor pass drives
 # 64 in-flight sessions over framed LoopbackTransport byte streams; the
 # transport pass repeats them behind simulated LAN/WLAN/Bluetooth links
-# and asserts the per-link wire times identical across thread counts. The
+# and asserts the per-link wire times identical across thread counts.
+# The run ends with the live-republish pass: a dedicated writer thread
+# trickles `&self` publishes into the shared server while the reactor
+# pass re-runs, and the binary aborts on any decision divergence, a
+# latest_version going backwards, an unreclaimed epoch generation, or a
+# p99 blow-up against the quiet pass. The
 # timeout is the backstop for a true deadlock (e.g. a lock cycle in the
 # sharded proxy): rather than hanging CI for hours, the gate fails in
 # ≤ 120 s with a diagnostic. `timeout` is coreutils; if the host lacks
@@ -165,7 +170,8 @@ cargo build -q --release -p fractal-bench --bin benchdiff
 # exits nonzero on its own.
 cargo build -q --release -p fractal-bench --bin scenarios
 for scenario in burst_arrivals lossy_link partition_recovery \
-                handoff_renegotiation cache_stampede pad_rollout_rollback; do
+                handoff_renegotiation cache_stampede pad_rollout_rollback \
+                live_republish; do
     step "scenarios smoke ($scenario)"
     SCEN="./target/release/scenarios --smoke --scenario $scenario"
     if command -v timeout >/dev/null 2>&1; then
@@ -194,6 +200,19 @@ for link in LAN WLAN Bluetooth; do
     fi
 done
 grep -q '"negotiation_ms"' BENCH_throughput.json
+
+step "BENCH_throughput.json carries the live-republish section"
+# The committed sweep must include the republish pass — the rates CI's
+# `benchdiff --only republish` gate diffs against. A missing section
+# means the baseline predates the epoch-versioned write path
+# (regenerate with the full sweep, then re-run `--bin c100k` to
+# re-splice its rows).
+for key in '"republish"' '"publishes_per_sec"' '"divergent_decisions": 0'; do
+    if ! grep -q "$key" BENCH_throughput.json; then
+        echo "BENCH_throughput.json is missing republish member $key" >&2
+        exit 1
+    fi
+done
 
 # The full workspace suite (cargo test -q --workspace) additionally runs the
 # figure-regeneration tier; see CHANGES.md for the known calibration baseline

@@ -16,7 +16,7 @@ use fractal::net::topology::{Position, Topology};
 fn publish_catalog() -> (OriginStore, Vec<fractal::crypto::Digest>) {
     let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     let mut origin = OriginStore::new();
-    let digests = tb.pad_repo.values().map(|wire| origin.publish(wire.clone())).collect();
+    let digests = tb.pad_repo.wires().into_iter().map(|wire| origin.publish(wire)).collect();
     (origin, digests)
 }
 

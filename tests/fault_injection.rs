@@ -13,7 +13,7 @@ use fractal::core::error::InpError;
 use fractal::core::fault::{FaultEvent, FaultPlan};
 use fractal::core::inp::InpMessage;
 use fractal::core::meta::{AppId, PadMeta};
-use fractal::core::reactor::{InpSession, Reactor, SessionPhase};
+use fractal::core::reactor::{InpSession, Reactor, ReactorConfig, SessionPhase};
 use fractal::core::server::AdaptiveContentMode;
 use fractal::core::testbed::Testbed;
 use fractal::core::transport::{Framer, LoopbackTransport};
@@ -32,7 +32,7 @@ fn plan() -> FaultPlan {
 }
 
 fn testbed() -> Testbed {
-    let mut tb = Testbed::case_study(AdaptiveContentMode::Reactive);
+    let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     for id in 0..N as u32 {
         tb.server.publish(id, vec![id as u8 + 1; 3_000]);
     }
@@ -64,7 +64,8 @@ struct SessionRecord {
 /// per-session fault streams derived from the *global* index, returning
 /// one record per session in index order.
 fn run_partition(tb: &Testbed, range: std::ops::Range<usize>) -> Vec<SessionRecord> {
-    let mut reactor = Reactor::new(&tb.proxy, &tb.server, &tb.pad_repo).with_frame_checksums();
+    let cfg = ReactorConfig::new().frame_checksums();
+    let mut reactor = Reactor::with_config(&tb.proxy, &tb.server, &tb.pad_repo, cfg);
     let mut logs = Vec::new();
     let mut ids = Vec::new();
     for i in range {

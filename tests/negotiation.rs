@@ -92,7 +92,7 @@ fn multi_level_pat_negotiates_a_chain() {
 
 #[test]
 fn proxy_serves_multiple_applications_independently() {
-    let mut proxy = AdaptationProxy::new(OverheadModel::paper(paper_ratios()));
+    let proxy = AdaptationProxy::new(OverheadModel::paper(paper_ratios()));
     // App 1: one-level case study; App 2: a deep tree.
     let tb = Testbed::case_study(AdaptiveContentMode::Reactive);
     let pat1 = tb.proxy.pat(tb.app_id).unwrap();
